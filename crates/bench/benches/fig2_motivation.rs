@@ -1,0 +1,57 @@
+//! Figure 2 — motivation: on a PS deployment with the embedding table on
+//! a remote server (1 worker, 1 GbE, D = 32), data transfer dominates
+//! the training cycle across all six workloads.
+//!
+//! The paper reports the per-workload split of time into "data transfer"
+//! vs "computation" (up to 86 % transfer for TF) and the number of
+//! embedding parameters. This harness regenerates both columns.
+
+use het_bench::{out, run_workload, Workload};
+use het_core::config::SystemPreset;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    transfer_fraction: f64,
+    compute_fraction: f64,
+    embedding_params: u64,
+}
+
+fn main() {
+    out::banner("Figure 2: large embedding model workloads on a remote-PS deployment");
+    println!(
+        "{:<14} {:>14} {:>14} {:>18}",
+        "workload", "transfer %", "compute %", "#embedding params"
+    );
+
+    let mut rows = Vec::new();
+    for workload in Workload::ALL {
+        let dim = 32usize;
+        let report = run_workload(workload, SystemPreset::TfPs, &|c| {
+            c.cluster = het_simnet::ClusterSpec::cluster_a(1, 1);
+            c.dim = dim;
+            c.max_iterations = 120;
+            c.eval_every = 120;
+        });
+        let transfer = report.breakdown.communication_fraction();
+        let params = (workload.n_keys() * dim) as u64;
+        println!(
+            "{:<14} {:>13.1}% {:>13.1}% {:>18}",
+            workload.name(),
+            100.0 * transfer,
+            100.0 * (1.0 - transfer),
+            params
+        );
+        rows.push(Row {
+            workload: workload.name().to_string(),
+            transfer_fraction: transfer,
+            compute_fraction: 1.0 - transfer,
+            embedding_params: params,
+        });
+    }
+    out::write_json("fig2_motivation", &rows);
+
+    println!("\npaper shape: transfer ≫ compute on every workload (TF spent up to 86%");
+    println!("of time fetching/updating embeddings over 1 GbE).");
+}

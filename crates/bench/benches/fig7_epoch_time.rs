@@ -1,0 +1,103 @@
+//! Figure 7 — per-epoch time and communication speedup on the three
+//! DLRM tasks, on both clusters:
+//!
+//! * (a) cluster A, 1 GbE — the paper sees up to 8.2× embedding
+//!   communication reduction (~88 %) and large epoch-time speedups;
+//! * (b) cluster B, 10 GbE — speedups shrink but HET still wins, and
+//!   HET AR becomes the slowest (the fast Ethernet removes the PS
+//!   bottleneck while AllGather still pays the degenerate-collective
+//!   price).
+
+use het_bench::{out, run_workload, Workload};
+use het_core::config::SystemPreset;
+use het_simnet::ClusterSpec;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    cluster: String,
+    workload: String,
+    system: String,
+    epoch_time_s: f64,
+    comm_time_s: f64,
+    embedding_bytes: u64,
+}
+
+fn main() {
+    out::banner("Figure 7: per-epoch time on DLRM tasks (a: 1 GbE, b: 10 GbE)");
+
+    let systems: Vec<(&str, SystemPreset)> = vec![
+        ("TF PS", SystemPreset::TfPs),
+        ("TF Parallax", SystemPreset::TfParallax),
+        ("HET PS", SystemPreset::HetPs),
+        ("HET AR", SystemPreset::HetAr),
+        ("HET Hybrid", SystemPreset::HetHybrid),
+        ("HET Cache s=100", SystemPreset::HetCache { staleness: 100 }),
+    ];
+
+    let mut rows = Vec::new();
+    for (cluster_name, cluster) in [
+        ("1 GbE (cluster A)", ClusterSpec::cluster_a(8, 1)),
+        ("10 GbE (cluster B)", ClusterSpec::cluster_b(8, 1)),
+    ] {
+        println!("--- {cluster_name} ---");
+        println!(
+            "{:<12} {:<16} {:>14} {:>14} {:>16}",
+            "workload", "system", "epoch time", "comm time", "embedding MB"
+        );
+        for workload in Workload::DLRM {
+            let mut baseline_epoch: Option<f64> = None;
+            let mut hybrid_epoch: Option<f64> = None;
+            let mut cache_epoch: Option<f64> = None;
+            for (name, preset) in &systems {
+                let report = run_workload(workload, *preset, &|c| {
+                    c.cluster = cluster;
+                    // The paper's §5.1 setting (D = 128), halved to keep
+                    // the real-compute part of the simulation fast.
+                    c.dim = 64;
+                    c.max_iterations = 240;
+                    c.eval_every = 240;
+                });
+                let epoch = report.epoch_time();
+                // Per-worker communication time per epoch (the breakdown
+                // sums over all workers).
+                let comm = report.breakdown.communication().as_secs_f64()
+                    / (report.epochs.max(f64::MIN_POSITIVE)
+                        * cluster.n_workers as f64);
+                println!(
+                    "{:<12} {:<16} {:>13.2}s {:>13.2}s {:>16.2}",
+                    workload.name(),
+                    name,
+                    epoch,
+                    comm,
+                    report.comm.embedding_bytes() as f64 / 1e6
+                );
+                match *name {
+                    "TF Parallax" => baseline_epoch = Some(epoch),
+                    "HET Hybrid" => hybrid_epoch = Some(epoch),
+                    "HET Cache s=100" => cache_epoch = Some(epoch),
+                    _ => {}
+                }
+                rows.push(Row {
+                    cluster: cluster_name.to_string(),
+                    workload: workload.name().to_string(),
+                    system: name.to_string(),
+                    epoch_time_s: epoch,
+                    comm_time_s: comm,
+                    embedding_bytes: report.comm.embedding_bytes(),
+                });
+            }
+            if let (Some(b), Some(h), Some(c)) = (baseline_epoch, hybrid_epoch, cache_epoch) {
+                println!(
+                    "  -> HET Cache speedup: {:.2}x vs TF Parallax, {:.2}x vs HET Hybrid\n",
+                    b / c,
+                    h / c
+                );
+            }
+        }
+    }
+    out::write_json("fig7_epoch_time", &rows);
+
+    println!("paper shape: on 1 GbE the cache removes most embedding traffic (up to");
+    println!("~88% / 8.2x); on 10 GbE speedups shrink and HET AR falls to last place.");
+}

@@ -1,0 +1,58 @@
+//! Figure 8 — cache miss rate under different cache sizes
+//! ({3, 5, 10, 15} % of the embedding table) and eviction strategies
+//! (LRU, LFU, plus the §4.3 LightLFU) on the GNN tasks (ogbn-mag-like
+//! and Reddit-like).
+//!
+//! Paper shape: LFU beats LRU (long-term popularity); miss rate falls
+//! steeply with cache size — at 15 % on ogbn-mag, ~97 % of accesses hit.
+
+use het_bench::{out, run_workload, Workload};
+use het_cache::PolicyKind;
+use het_core::config::SystemPreset;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    policy: String,
+    cache_percent: f64,
+    miss_rate: f64,
+}
+
+fn main() {
+    out::banner("Figure 8: cache miss rate vs cache size and policy (GNN tasks)");
+
+    let mut rows = Vec::new();
+    for workload in [Workload::GnnOgbnMag, Workload::GnnReddit] {
+        println!("--- {} ---", workload.name());
+        println!(
+            "{:>9} {:>10} {:>10} {:>10}",
+            "capacity", "LRU", "LFU", "LightLFU"
+        );
+        for frac in [0.03, 0.05, 0.10, 0.15] {
+            let mut cells = String::new();
+            for policy in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::LightLfu] {
+                let report =
+                    run_workload(workload, SystemPreset::HetCache { staleness: 100 }, &|c| {
+                        *c = c.clone().with_cache(frac, policy);
+                        c.max_iterations = 800;
+                        c.eval_every = 800;
+                    });
+                let miss = report.cache.miss_rate();
+                cells.push_str(&format!("{:>9.1}% ", 100.0 * miss));
+                rows.push(Row {
+                    workload: workload.name().to_string(),
+                    policy: policy.to_string(),
+                    cache_percent: frac * 100.0,
+                    miss_rate: miss,
+                });
+            }
+            println!("{:>8.0}% {}", frac * 100.0, cells);
+        }
+        println!();
+    }
+    out::write_json("fig8_cache_policy", &rows);
+
+    println!("paper shape: LFU-family < LRU at every size; miss rate drops sharply");
+    println!("as capacity grows (paper: ~3% misses at 15% capacity on ogbn-mag).");
+}

@@ -1,0 +1,115 @@
+//! Figure 9 — scalability study.
+//!
+//! * (a) WDL-Criteo: throughput speedup over 1 worker for
+//!   {1, 2, 4, 8, 16, 32} workers × {TF PS, TF Parallax, HET Cache}.
+//! * (b) GNN-Reddit: the same sweep (everything scales better — smaller
+//!   table, lighter communication, matching the paper's note).
+//! * (c) model scalability: WDL per-epoch time as D grows up to 4096
+//!   (the paper's "one trillion parameters" point) on 32 workers.
+//!
+//! Paper shape: PS baselines flatten early; HET keeps scaling; at huge D
+//! the PS architectures fall far behind HET.
+
+use het_bench::{out, run_workload, Workload};
+use het_core::config::SystemPreset;
+use het_simnet::ClusterSpec;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ScaleRow {
+    figure: String,
+    workload: String,
+    system: String,
+    workers: usize,
+    throughput: f64,
+    speedup_vs_1: f64,
+}
+
+#[derive(Serialize)]
+struct ModelScaleRow {
+    dim: usize,
+    system: String,
+    epoch_time_s: f64,
+}
+
+fn worker_sweep(figure: &str, workload: Workload, rows: &mut Vec<ScaleRow>) {
+    let systems: Vec<(&str, SystemPreset)> = vec![
+        ("TF PS", SystemPreset::TfPs),
+        ("TF Parallax", SystemPreset::TfParallax),
+        ("HET Cache s=100", SystemPreset::HetCache { staleness: 100 }),
+    ];
+    println!("--- {figure}: {} ---", workload.name());
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "system", "1", "2", "4", "8", "16", "32"
+    );
+    for (name, preset) in systems {
+        let mut line = format!("{name:<16} ");
+        let mut base: Option<f64> = None;
+        for workers in [1usize, 2, 4, 8, 16, 32] {
+            let report = run_workload(workload, preset, &|c| {
+                c.cluster = ClusterSpec::cluster_a(workers, 4);
+                // The scalability sweep is where the shared server NIC
+                // matters: every worker hits the PS each iteration.
+                c.cluster.shared_server_bandwidth = true;
+                // Same number of rounds per sweep point.
+                c.max_iterations = 96 * workers as u64;
+                c.eval_every = c.max_iterations;
+            });
+            let throughput = report.throughput();
+            let b = *base.get_or_insert(throughput);
+            let speedup = throughput / b;
+            line.push_str(&format!("{speedup:>7.2}x "));
+            rows.push(ScaleRow {
+                figure: figure.to_string(),
+                workload: workload.name().to_string(),
+                system: name.to_string(),
+                workers,
+                throughput,
+                speedup_vs_1: speedup,
+            });
+        }
+        println!("{line}");
+    }
+    println!();
+}
+
+fn main() {
+    out::banner("Figure 9: scalability (a: WDL, b: GNN-Reddit, c: embedding dim sweep)");
+
+    let mut rows = Vec::new();
+    worker_sweep("fig9a", Workload::WdlCriteo, &mut rows);
+    worker_sweep("fig9b", Workload::GnnReddit, &mut rows);
+    out::write_json("fig9ab_scalability", &rows);
+
+    // (c) model scalability: per-epoch time vs embedding dimension.
+    println!("--- fig9c: WDL per-epoch time vs embedding dimension (32 workers) ---");
+    println!("{:<16} {:>10} {:>10} {:>10} {:>10}", "system", "D=64", "D=256", "D=1024", "D=4096");
+    let mut crows = Vec::new();
+    for (name, preset) in [
+        ("TF Parallax", SystemPreset::TfParallax),
+        ("HET Cache s=100", SystemPreset::HetCache { staleness: 100 }),
+    ] {
+        let mut line = format!("{name:<16} ");
+        for dim in [64usize, 256, 1024, 4096] {
+            let report = run_workload(Workload::WdlCriteo, preset, &|c| {
+                c.cluster = ClusterSpec::cluster_a(32, 4);
+                c.cluster.shared_server_bandwidth = true;
+                c.dim = dim;
+                c.batch_size = 64;
+                // Timing-only: a couple of rounds suffice.
+                c.max_iterations = 64;
+                c.eval_every = 64;
+                c.eval_batches = 1;
+            });
+            let epoch = report.epoch_time();
+            line.push_str(&format!("{epoch:>9.1}s "));
+            crows.push(ModelScaleRow { dim, system: name.to_string(), epoch_time_s: epoch });
+        }
+        println!("{line}");
+    }
+    out::write_json("fig9c_model_scale", &crows);
+
+    println!("\npaper shape: PS-based baselines flatten with workers and explode with D;");
+    println!("HET keeps scaling because hot-embedding traffic stays on the cache.");
+}

@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks for the cache table: hit path, miss +
+//! eviction path, and the per-policy bookkeeping cost — the paper's
+//! §4.3 motivation for LightLFU is exactly the "run-time cost" this
+//! measures.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use het_cache::{CacheTable, PolicyKind};
+use std::hint::black_box;
+
+fn warm_table(policy: PolicyKind, capacity: usize) -> CacheTable {
+    let mut t = CacheTable::new(capacity, policy, 0.1);
+    for k in 0..capacity as u64 {
+        t.install(k, vec![0.5; 32], 0);
+    }
+    t
+}
+
+fn bench_hit_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_hit_get");
+    for policy in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::LightLfu] {
+        group.bench_function(policy.to_string(), |b| {
+            let mut table = warm_table(policy, 4096);
+            // Warm LightLFU promotions.
+            for _ in 0..20 {
+                for k in 0..256u64 {
+                    let _ = table.get(k);
+                }
+            }
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 1) % 256;
+                black_box(table.get(black_box(k)).map(|v| v[0]))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_update");
+    let grad = vec![0.01f32; 32];
+    for policy in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::LightLfu] {
+        group.bench_function(policy.to_string(), |b| {
+            let mut table = warm_table(policy, 4096);
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 1) % 4096;
+                table.update(black_box(k), black_box(&grad));
+                table.bump_clock(k);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_eviction_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_install_evict_churn");
+    for policy in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::LightLfu] {
+        group.bench_function(policy.to_string(), |b| {
+            b.iter_batched(
+                || warm_table(policy, 1024),
+                |mut table| {
+                    for k in 2000..2256u64 {
+                        table.install(k, vec![0.5; 32], 0);
+                        black_box(table.evict_overflow().len());
+                    }
+                    table
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hit_path, bench_update_path, bench_eviction_churn);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks for the simulated-network cost models and
+//! the HET client protocol fast paths (warm read, stale write).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use het_core::HetClient;
+use het_cache::PolicyKind;
+use het_models::SparseGrads;
+use het_ps::{PsConfig, PsServer, ServerOptimizer};
+use het_simnet::{ClusterSpec, CommStats};
+use std::hint::black_box;
+
+fn bench_cost_models(c: &mut Criterion) {
+    let net = ClusterSpec::cluster_a(8, 1).collectives();
+    c.bench_function("cost_ring_allreduce", |b| {
+        b.iter(|| black_box(net.ring_allreduce(black_box(10 << 20))));
+    });
+    c.bench_function("cost_ps_transfer", |b| {
+        b.iter(|| black_box(net.ps_transfer(black_box(1 << 20))));
+    });
+    c.bench_function("cost_allgather", |b| {
+        b.iter(|| black_box(net.allgather(black_box(1 << 20))));
+    });
+}
+
+fn bench_client_warm_read(c: &mut Criterion) {
+    c.bench_function("het_client_warm_read_256keys", |b| {
+        let dim = 32;
+        let server = PsServer::new(PsConfig { dim, n_shards: 8, lr: 0.1, seed: 1, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+        let net = ClusterSpec::cluster_a(8, 1).collectives();
+        let mut client = HetClient::new(4096, 100, PolicyKind::LightLfu, dim, 0.1);
+        let keys: Vec<u64> = (0..256).collect();
+        let mut stats = CommStats::new();
+        let _ = client.read(&keys, &server, &net, &mut stats);
+        b.iter(|| {
+            let mut stats = CommStats::new();
+            black_box(client.read(&keys, &server, &net, &mut stats).1)
+        });
+    });
+}
+
+fn bench_client_stale_write(c: &mut Criterion) {
+    c.bench_function("het_client_stale_write_256keys", |b| {
+        let dim = 32;
+        let server = PsServer::new(PsConfig { dim, n_shards: 8, lr: 0.1, seed: 1, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+        let net = ClusterSpec::cluster_a(8, 1).collectives();
+        let mut client = HetClient::new(4096, u64::MAX, PolicyKind::LightLfu, dim, 0.1);
+        let keys: Vec<u64> = (0..256).collect();
+        let mut stats = CommStats::new();
+        let _ = client.read(&keys, &server, &net, &mut stats);
+        let mut grads = SparseGrads::new(dim);
+        for &k in &keys {
+            grads.accumulate(k, &vec![0.01; dim]);
+        }
+        b.iter(|| {
+            let mut stats = CommStats::new();
+            black_box(client.write(&grads, &server, &net, &mut stats))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cost_models,
+    bench_client_warm_read,
+    bench_client_stale_write
+);
+criterion_main!(benches);

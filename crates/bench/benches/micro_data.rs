@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks for the workload generators: Zipf
+//! sampling, CTR batch generation, and GraphSAGE neighbour sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use het_data::{CtrConfig, CtrDataset, Graph, GraphConfig, NeighborSampler, ZipfSampler};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_zipf(c: &mut Criterion) {
+    c.bench_function("zipf_sample_n4000", |b| {
+        let z = ZipfSampler::new(4_000, 1.25);
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| black_box(z.sample(&mut rng)));
+    });
+}
+
+fn bench_ctr_batch(c: &mut Criterion) {
+    c.bench_function("ctr_train_batch_128", |b| {
+        let ds = CtrDataset::new(CtrConfig::criteo_like(1));
+        let mut cursor = 0u64;
+        b.iter(|| {
+            cursor += 128;
+            black_box(ds.train_batch(cursor, 128))
+        });
+    });
+}
+
+fn bench_unique_keys(c: &mut Criterion) {
+    c.bench_function("ctr_unique_keys_128", |b| {
+        let ds = CtrDataset::new(CtrConfig::criteo_like(1));
+        let batch = ds.train_batch(0, 128);
+        b.iter(|| black_box(batch.unique_keys()));
+    });
+}
+
+fn bench_neighbor_sampling(c: &mut Criterion) {
+    c.bench_function("sage_sample_batch_128_f8x4", |b| {
+        let graph = Graph::generate(GraphConfig { n_nodes: 12_000, ..GraphConfig::reddit_like(1) });
+        let sampler = NeighborSampler::new(8, 4);
+        let mut cursor = 0u64;
+        b.iter(|| {
+            cursor += 128;
+            black_box(sampler.train_batch(&graph, cursor, 128))
+        });
+    });
+}
+
+fn bench_graph_generation(c: &mut Criterion) {
+    c.bench_function("graph_generate_5k", |b| {
+        b.iter(|| {
+            black_box(Graph::generate(GraphConfig {
+                n_nodes: 5_000,
+                ..GraphConfig::reddit_like(7)
+            }))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_zipf,
+    bench_ctr_batch,
+    bench_unique_keys,
+    bench_neighbor_sampling,
+    bench_graph_generation
+);
+criterion_main!(benches);

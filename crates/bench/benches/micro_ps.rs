@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for the parameter-server substrate:
+//! pull/push throughput at the dimensions the experiments use.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use het_ps::{PsConfig, PsServer, ServerOptimizer};
+use std::hint::black_box;
+
+fn bench_pull(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ps_pull");
+    for dim in [16usize, 128] {
+        group.bench_function(format!("dim{dim}"), |b| {
+            let server = PsServer::new(PsConfig { dim, n_shards: 8, lr: 0.1, seed: 1, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+            for k in 0..10_000u64 {
+                let _ = server.pull(k);
+            }
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 1) % 10_000;
+                black_box(server.pull(black_box(k)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_push(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ps_push");
+    for dim in [16usize, 128] {
+        group.bench_function(format!("dim{dim}"), |b| {
+            let server = PsServer::new(PsConfig { dim, n_shards: 8, lr: 0.1, seed: 1, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+            let grad = vec![0.01f32; dim];
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 1) % 10_000;
+                server.push_inc(black_box(k), black_box(&grad));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_clock_query(c: &mut Criterion) {
+    c.bench_function("ps_clock_of", |b| {
+        let server = PsServer::new(PsConfig { dim: 32, n_shards: 8, lr: 0.1, seed: 1, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+        for k in 0..10_000u64 {
+            server.push_inc(k, &vec![0.0; 32]);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 10_000;
+            black_box(server.clock_of(black_box(k)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_pull, bench_push, bench_clock_query);
+criterion_main!(benches);

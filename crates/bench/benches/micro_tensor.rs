@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the tensor substrate: the matmul and
+//! model forward/backward kernels that dominate the real compute of the
+//! simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use het_models::{EmbeddingModel, EmbeddingStore, WideDeep};
+use het_data::{CtrConfig, CtrDataset};
+use het_tensor::{Matrix, Mlp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for (m, k, n) in [(128usize, 416usize, 64usize), (128, 64, 1)] {
+        group.bench_function(format!("{m}x{k}x{n}"), |b| {
+            let a = Matrix::from_fn(m, k, |r, c2| ((r * 7 + c2) % 13) as f32 * 0.1);
+            let w = Matrix::from_fn(k, n, |r, c2| ((r + c2 * 3) % 17) as f32 * 0.05);
+            b.iter(|| black_box(a.matmul(&w)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mlp_forward_backward(c: &mut Criterion) {
+    c.bench_function("mlp_fwd_bwd_416_64_32_1", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mlp = Mlp::new(&mut rng, &[416, 64, 32, 1]);
+        let x = Matrix::from_fn(128, 416, |r, c2| ((r + c2) % 11) as f32 * 0.02);
+        b.iter(|| {
+            let y = mlp.forward(&x);
+            let dy = Matrix::from_fn(y.rows(), y.cols(), |_, _| 1.0);
+            black_box(mlp.backward(&dy))
+        });
+    });
+}
+
+fn bench_wdl_batch(c: &mut Criterion) {
+    c.bench_function("wdl_forward_backward_batch128", |b| {
+        let ds = CtrDataset::new(CtrConfig::criteo_like(1));
+        let batch = ds.train_batch(0, 128);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = WideDeep::new(&mut rng, 26, 16, &[64, 32]);
+        let mut store = EmbeddingStore::new(16);
+        for k in batch.unique_keys() {
+            store.insert(k, vec![0.05; 16]);
+        }
+        b.iter(|| black_box(model.forward_backward(&batch, &store).0));
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_mlp_forward_backward, bench_wdl_batch);
+criterion_main!(benches);

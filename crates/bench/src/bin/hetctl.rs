@@ -1,0 +1,187 @@
+//! `hetctl` — command-line driver for the HET reproduction.
+//!
+//! ```text
+//! hetctl train   --workload wdl --system het-cache --staleness 100 [...]
+//! hetctl compare --workload wdl --baseline het-hybrid --staleness 100 [...]
+//! hetctl list
+//! ```
+//!
+//! Runs a (workload × system) training simulation and prints the report;
+//! `compare` additionally runs a baseline and prints speedups — the
+//! quickest way to poke at the paper's claims with custom parameters.
+
+use het_bench::{run_workload, RunSummary, Workload};
+use het_cache::PolicyKind;
+use het_core::config::SystemPreset;
+use het_simnet::ClusterSpec;
+use std::process::ExitCode;
+
+struct Args {
+    map: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut map = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got '{}'", argv[i]))?;
+            let value =
+                argv.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?.clone();
+            map.push((key.to_string(), value));
+            i += 2;
+        }
+        Ok(Args { map })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.map.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+}
+
+fn workload_of(name: &str) -> Result<Workload, String> {
+    Ok(match name {
+        "wdl" => Workload::WdlCriteo,
+        "dfm" => Workload::DfmCriteo,
+        "dcn" => Workload::DcnCriteo,
+        "reddit" => Workload::GnnReddit,
+        "amazon" => Workload::GnnAmazon,
+        "mag" => Workload::GnnOgbnMag,
+        other => return Err(format!("unknown workload '{other}' (try: wdl dfm dcn reddit amazon mag)")),
+    })
+}
+
+fn system_of(name: &str, staleness: u64) -> Result<SystemPreset, String> {
+    Ok(match name {
+        "tf-ps" => SystemPreset::TfPs,
+        "tf-parallax" => SystemPreset::TfParallax,
+        "het-ps" => SystemPreset::HetPs,
+        "het-ar" => SystemPreset::HetAr,
+        "het-hybrid" => SystemPreset::HetHybrid,
+        "het-cache" => SystemPreset::HetCache { staleness },
+        "ssp" => SystemPreset::Ssp { staleness },
+        other => return Err(format!(
+            "unknown system '{other}' (try: tf-ps tf-parallax het-ps het-ar het-hybrid het-cache ssp)"
+        )),
+    })
+}
+
+fn policy_of(name: &str) -> Result<PolicyKind, String> {
+    Ok(match name {
+        "lru" => PolicyKind::Lru,
+        "lfu" => PolicyKind::Lfu,
+        "lightlfu" => PolicyKind::LightLfu,
+        other => return Err(format!("unknown policy '{other}' (try: lru lfu lightlfu)")),
+    })
+}
+
+fn print_report(workload: Workload, system: &str, summary: &RunSummary) {
+    println!("workload          {}", workload.name());
+    println!("system            {system}");
+    println!("final metric      {:.4}", summary.final_metric);
+    println!("simulated time    {:.3} s", summary.sim_time_s);
+    println!("epoch time        {:.3} s", summary.epoch_time_s);
+    println!("embedding bytes   {}", summary.embedding_bytes);
+    println!("cache hit rate    {:.1} %", 100.0 * summary.cache_hit_rate);
+    println!("comm fraction     {:.1} %", 100.0 * summary.comm_fraction);
+    if let Some(t) = summary.time_to_target_s {
+        println!("time to target    {t:.3} s");
+    }
+}
+
+fn run_one(
+    workload: Workload,
+    preset: SystemPreset,
+    args: &Args,
+) -> Result<RunSummary, String> {
+    let workers: usize = args.get_parsed("workers", 8)?;
+    let servers: usize = args.get_parsed("servers", 1)?;
+    let dim: usize = args.get_parsed("dim", 16)?;
+    let iters: u64 = args.get_parsed("iters", 1_600)?;
+    let cache_frac: f64 = args.get_parsed("cache-frac", 0.10)?;
+    let policy = policy_of(args.get("policy").unwrap_or("lightlfu"))?;
+    let band = args.get("network").unwrap_or("1gbe").to_string();
+    let target: f64 = args.get_parsed("target", -1.0)?;
+    let lr: f64 = args.get_parsed("lr", -1.0)?;
+
+    let report = run_workload(workload, preset, &move |c| {
+        c.cluster = match band.as_str() {
+            "10gbe" => ClusterSpec::cluster_b(workers, servers),
+            _ => ClusterSpec::cluster_a(workers, servers),
+        };
+        c.dim = dim;
+        c.max_iterations = iters;
+        c.eval_every = (iters / 4).max(1);
+        if target > 0.0 {
+            c.target_metric = Some(target);
+        }
+        if lr > 0.0 {
+            c.lr = lr as f32;
+        }
+        *c = c.clone().with_cache(cache_frac, policy);
+    });
+    Ok(RunSummary::from_report(workload, report.system.as_str(), &report))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().map(String::as_str) else {
+        eprintln!("usage: hetctl <train|compare|list> [--flag value ...]");
+        return ExitCode::FAILURE;
+    };
+    let result = match command {
+        "list" => {
+            println!("workloads: wdl dfm dcn reddit amazon mag");
+            println!("systems:   tf-ps tf-parallax het-ps het-ar het-hybrid het-cache ssp");
+            println!("flags:     --workers N --servers N --dim N --iters N --staleness N");
+            println!("           --cache-frac F --policy lru|lfu|lightlfu --network 1gbe|10gbe");
+            println!("           --target METRIC --lr RATE");
+            Ok(())
+        }
+        "train" | "compare" => (|| -> Result<(), String> {
+            let args = Args::parse(&argv[1..])?;
+            let workload = workload_of(args.get("workload").unwrap_or("wdl"))?;
+            let staleness: u64 = args.get_parsed("staleness", 100)?;
+            let system_name = args.get("system").unwrap_or("het-cache").to_string();
+            let preset = system_of(&system_name, staleness)?;
+            let summary = run_one(workload, preset, &args)?;
+            print_report(workload, &system_name, &summary);
+            if command == "compare" {
+                let base_name = args.get("baseline").unwrap_or("het-hybrid").to_string();
+                let base_preset = system_of(&base_name, staleness)?;
+                let base = run_one(workload, base_preset, &args)?;
+                println!("\n--- baseline ---");
+                print_report(workload, &base_name, &base);
+                println!("\n--- comparison ---");
+                println!(
+                    "epoch-time speedup      {:.2}x",
+                    base.epoch_time_s / summary.epoch_time_s.max(f64::MIN_POSITIVE)
+                );
+                let reduction = if base.embedding_bytes > 0 {
+                    1.0 - summary.embedding_bytes as f64 / base.embedding_bytes as f64
+                } else {
+                    0.0
+                };
+                println!("embedding comm reduction {:.1} %", 100.0 * reduction);
+            }
+            Ok(())
+        })(),
+        other => Err(format!("unknown command '{other}' (try: train compare list)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("hetctl: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Cache entries and what eviction returns.
+
+/// One cached embedding with its two per-embedding clocks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheEntry {
+    /// The locally visible embedding vector. Local updates are applied to
+    /// it immediately, which is what gives the worker read-my-updates.
+    pub vector: Vec<f32>,
+    /// Accumulated raw gradients not yet pushed to the server
+    /// (the "stale write" buffer). Empty ⇔ clean entry.
+    pub pending_grad: Vec<f32>,
+    /// True if `pending_grad` holds at least one accumulated update.
+    pub dirty: bool,
+    /// Start clock `c_s`: global clock observed at the last fetch.
+    pub start_clock: u64,
+    /// Current clock `c_c`: `c_s` plus this worker's local updates.
+    pub current_clock: u64,
+}
+
+impl CacheEntry {
+    /// A freshly fetched entry: both clocks equal the server's global
+    /// clock (paper `Het.Cache.Fetch`).
+    pub fn fetched(vector: Vec<f32>, global_clock: u64) -> Self {
+        let dim = vector.len();
+        CacheEntry {
+            vector,
+            pending_grad: vec![0.0; dim],
+            dirty: false,
+            start_clock: global_clock,
+            current_clock: global_clock,
+        }
+    }
+
+    /// Locally checkable validity: condition (1) of `CheckValid`,
+    /// `c_c ≤ c_s + s`.
+    pub fn within_write_bound(&self, staleness: u64) -> bool {
+        self.current_clock <= self.start_clock.saturating_add(staleness)
+    }
+
+    /// Server-clock validity: condition (2) of `CheckValid`,
+    /// `c_g ≤ c_c + s`, given a freshly queried global clock.
+    pub fn within_read_bound(&self, global_clock: u64, staleness: u64) -> bool {
+        global_clock <= self.current_clock.saturating_add(staleness)
+    }
+}
+
+/// What `Evict` hands back to be pushed to the server: the accumulated
+/// gradient and the local clock `c_c` (the server will take
+/// `c_g = max(c_g, c_c)`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvictedEntry {
+    /// The accumulated (summed) raw gradient.
+    pub pending_grad: Vec<f32>,
+    /// The entry's local clock at eviction.
+    pub current_clock: u64,
+    /// True if there was anything to push.
+    pub dirty: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetched_entry_is_clean_with_equal_clocks() {
+        let e = CacheEntry::fetched(vec![1.0, 2.0], 7);
+        assert_eq!(e.start_clock, 7);
+        assert_eq!(e.current_clock, 7);
+        assert!(!e.dirty);
+        assert_eq!(e.pending_grad, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn write_bound_condition() {
+        let mut e = CacheEntry::fetched(vec![0.0], 10);
+        assert!(e.within_write_bound(0), "fresh entry valid even at s=0");
+        e.current_clock = 13;
+        assert!(e.within_write_bound(3));
+        assert!(!e.within_write_bound(2));
+    }
+
+    #[test]
+    fn read_bound_condition() {
+        let e = CacheEntry::fetched(vec![0.0], 10);
+        assert!(e.within_read_bound(10, 0));
+        assert!(e.within_read_bound(12, 2));
+        assert!(!e.within_read_bound(13, 2));
+    }
+
+    #[test]
+    fn bounds_saturate_at_u64_max() {
+        let mut e = CacheEntry::fetched(vec![0.0], u64::MAX - 1);
+        e.current_clock = u64::MAX;
+        assert!(e.within_write_bound(u64::MAX));
+        assert!(e.within_read_bound(u64::MAX, u64::MAX));
+    }
+}

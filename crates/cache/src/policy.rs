@@ -1,0 +1,538 @@
+//! Eviction policies: LRU, exact LFU, and the paper's light-weighted LFU.
+//!
+//! The paper (§4.3) finds LFU beats LRU on embedding workloads because
+//! frequency reflects long-term popularity, but exact LFU's bookkeeping
+//! is costly; its "light-weighted LFU" promotes an embedding to a
+//! direct-access set once its frequency passes a threshold, after which
+//! accesses bypass frequency maintenance entirely. All three are provided
+//! behind one trait so `CacheTable` and the Fig. 8 bench can swap them.
+
+use crate::Key;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Which built-in policy to instantiate (used by configs and benches).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Least-recently-used.
+    Lru,
+    /// Exact least-frequently-used (ties broken by recency).
+    Lfu,
+    /// The paper's §4.3 light-weighted LFU.
+    LightLfu,
+    /// CLOCK (second-chance): O(1) approximate LRU — an extension beyond
+    /// the paper's LRU/LFU comparison.
+    Clock,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn CachePolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(LruPolicy::new()),
+            PolicyKind::Lfu => Box::new(LfuPolicy::new()),
+            PolicyKind::LightLfu => Box::new(LightLfuPolicy::new(16)),
+            PolicyKind::Clock => Box::new(ClockPolicy::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyKind::Lru => f.write_str("LRU"),
+            PolicyKind::Lfu => f.write_str("LFU"),
+            PolicyKind::LightLfu => f.write_str("LightLFU"),
+            PolicyKind::Clock => f.write_str("CLOCK"),
+        }
+    }
+}
+
+/// Bookkeeping interface every eviction policy implements.
+///
+/// The table guarantees: `on_insert` is called once per resident key,
+/// `on_access` only for resident keys, `on_remove` exactly once when a
+/// key leaves, and `pop_victim` only when at least one key is resident.
+pub trait CachePolicy: Send {
+    /// A key became resident.
+    fn on_insert(&mut self, key: Key);
+    /// A resident key was read or written.
+    fn on_access(&mut self, key: Key);
+    /// A resident key was removed explicitly (invalidation).
+    fn on_remove(&mut self, key: Key);
+    /// Chooses a victim, removes it from the policy state, and returns
+    /// it. Returns `None` only when no key is tracked.
+    fn pop_victim(&mut self) -> Option<Key>;
+    /// Number of tracked keys.
+    fn len(&self) -> usize;
+    /// True when no key is tracked.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Classic LRU via a logical tick per key.
+pub struct LruPolicy {
+    tick: u64,
+    last_used: HashMap<Key, u64>,
+    order: BTreeSet<(u64, Key)>,
+}
+
+impl LruPolicy {
+    /// Creates an empty LRU policy.
+    pub fn new() -> Self {
+        LruPolicy { tick: 0, last_used: HashMap::new(), order: BTreeSet::new() }
+    }
+
+    fn touch(&mut self, key: Key) {
+        self.tick += 1;
+        if let Some(old) = self.last_used.insert(key, self.tick) {
+            self.order.remove(&(old, key));
+        }
+        self.order.insert((self.tick, key));
+    }
+}
+
+impl Default for LruPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CachePolicy for LruPolicy {
+    fn on_insert(&mut self, key: Key) {
+        self.touch(key);
+    }
+
+    fn on_access(&mut self, key: Key) {
+        self.touch(key);
+    }
+
+    fn on_remove(&mut self, key: Key) {
+        if let Some(t) = self.last_used.remove(&key) {
+            self.order.remove(&(t, key));
+        }
+    }
+
+    fn pop_victim(&mut self) -> Option<Key> {
+        let &(tick, key) = self.order.iter().next()?;
+        self.order.remove(&(tick, key));
+        self.last_used.remove(&key);
+        Some(key)
+    }
+
+    fn len(&self) -> usize {
+        self.last_used.len()
+    }
+}
+
+/// Exact LFU with LRU tie-breaking.
+pub struct LfuPolicy {
+    tick: u64,
+    state: HashMap<Key, (u64, u64)>, // key -> (freq, last tick)
+    order: BTreeSet<(u64, u64, Key)>, // (freq, tick, key)
+}
+
+impl LfuPolicy {
+    /// Creates an empty LFU policy.
+    pub fn new() -> Self {
+        LfuPolicy { tick: 0, state: HashMap::new(), order: BTreeSet::new() }
+    }
+
+    fn bump(&mut self, key: Key, is_insert: bool) {
+        self.tick += 1;
+        let entry = self.state.entry(key).or_insert((0, 0));
+        if entry.1 != 0 || entry.0 != 0 {
+            self.order.remove(&(entry.0, entry.1, key));
+        }
+        if !is_insert {
+            entry.0 += 1;
+        } else if entry.0 == 0 {
+            entry.0 = 1;
+        }
+        entry.1 = self.tick;
+        self.order.insert((entry.0, entry.1, key));
+    }
+}
+
+impl Default for LfuPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CachePolicy for LfuPolicy {
+    fn on_insert(&mut self, key: Key) {
+        self.bump(key, true);
+    }
+
+    fn on_access(&mut self, key: Key) {
+        self.bump(key, false);
+    }
+
+    fn on_remove(&mut self, key: Key) {
+        if let Some((f, t)) = self.state.remove(&key) {
+            self.order.remove(&(f, t, key));
+        }
+    }
+
+    fn pop_victim(&mut self) -> Option<Key> {
+        let &(f, t, key) = self.order.iter().next()?;
+        self.order.remove(&(f, t, key));
+        self.state.remove(&key);
+        Some(key)
+    }
+
+    fn len(&self) -> usize {
+        self.state.len()
+    }
+}
+
+/// The paper's light-weighted LFU (§4.3): exact frequency bookkeeping
+/// only below a promotion threshold. Once a key's frequency reaches the
+/// threshold it is *promoted* — moved to a direct-access set whose
+/// members cost O(1) per access (a hash lookup, no ordered-structure
+/// maintenance) and are never evicted while any unpromoted key remains.
+pub struct LightLfuPolicy {
+    threshold: u64,
+    tick: u64,
+    cold: HashMap<Key, (u64, u64)>,
+    cold_order: BTreeSet<(u64, u64, Key)>,
+    hot: HashMap<Key, u64>, // promoted keys -> insertion order (FIFO fallback)
+    hot_fifo: VecDeque<Key>,
+}
+
+impl LightLfuPolicy {
+    /// Creates the policy with the given promotion threshold.
+    ///
+    /// # Panics
+    /// Panics if `threshold == 0` (everything would promote instantly).
+    pub fn new(threshold: u64) -> Self {
+        assert!(threshold > 0, "promotion threshold must be positive");
+        LightLfuPolicy {
+            threshold,
+            tick: 0,
+            cold: HashMap::new(),
+            cold_order: BTreeSet::new(),
+            hot: HashMap::new(),
+            hot_fifo: VecDeque::new(),
+        }
+    }
+
+    /// Number of promoted (direct-access) keys.
+    pub fn promoted_len(&self) -> usize {
+        self.hot.len()
+    }
+
+    fn promote(&mut self, key: Key) {
+        self.tick += 1;
+        self.hot.insert(key, self.tick);
+        self.hot_fifo.push_back(key);
+    }
+}
+
+impl CachePolicy for LightLfuPolicy {
+    fn on_insert(&mut self, key: Key) {
+        self.tick += 1;
+        self.cold.insert(key, (1, self.tick));
+        self.cold_order.insert((1, self.tick, key));
+    }
+
+    fn on_access(&mut self, key: Key) {
+        // Promoted keys: O(1), no maintenance — the paper's fast path.
+        if self.hot.contains_key(&key) {
+            return;
+        }
+        self.tick += 1;
+        if let Some((f, t)) = self.cold.get(&key).copied() {
+            self.cold_order.remove(&(f, t, key));
+            let nf = f + 1;
+            if nf >= self.threshold {
+                self.cold.remove(&key);
+                self.promote(key);
+            } else {
+                self.cold.insert(key, (nf, self.tick));
+                self.cold_order.insert((nf, self.tick, key));
+            }
+        }
+    }
+
+    fn on_remove(&mut self, key: Key) {
+        if let Some((f, t)) = self.cold.remove(&key) {
+            self.cold_order.remove(&(f, t, key));
+        } else if self.hot.remove(&key).is_some() {
+            self.hot_fifo.retain(|&k| k != key);
+        }
+    }
+
+    fn pop_victim(&mut self) -> Option<Key> {
+        if let Some(&(f, t, key)) = self.cold_order.iter().next() {
+            self.cold_order.remove(&(f, t, key));
+            self.cold.remove(&key);
+            return Some(key);
+        }
+        // All keys promoted: fall back to FIFO among the hot set.
+        while let Some(key) = self.hot_fifo.pop_front() {
+            if self.hot.remove(&key).is_some() {
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.cold.len() + self.hot.len()
+    }
+}
+
+/// CLOCK / second-chance: keys sit on a circular list with a referenced
+/// bit; the hand sweeps, clearing bits, and evicts the first key found
+/// unreferenced. All operations are O(1) amortised — the cheapest
+/// recency approximation, included as a systems-extension beyond the
+/// paper's LRU/LFU pair.
+pub struct ClockPolicy {
+    ring: VecDeque<Key>,
+    referenced: HashMap<Key, bool>,
+}
+
+impl ClockPolicy {
+    /// Creates an empty CLOCK policy.
+    pub fn new() -> Self {
+        ClockPolicy { ring: VecDeque::new(), referenced: HashMap::new() }
+    }
+}
+
+impl Default for ClockPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CachePolicy for ClockPolicy {
+    fn on_insert(&mut self, key: Key) {
+        if self.referenced.insert(key, true).is_none() {
+            self.ring.push_back(key);
+        }
+    }
+
+    fn on_access(&mut self, key: Key) {
+        if let Some(bit) = self.referenced.get_mut(&key) {
+            *bit = true;
+        }
+    }
+
+    fn on_remove(&mut self, key: Key) {
+        if self.referenced.remove(&key).is_some() {
+            self.ring.retain(|&k| k != key);
+        }
+    }
+
+    fn pop_victim(&mut self) -> Option<Key> {
+        // Sweep: clear referenced bits until an unreferenced key is found.
+        // Terminates within two revolutions.
+        for _ in 0..self.ring.len() * 2 + 1 {
+            let key = self.ring.pop_front()?;
+            match self.referenced.get_mut(&key) {
+                Some(bit) if *bit => {
+                    *bit = false;
+                    self.ring.push_back(key);
+                }
+                Some(_) => {
+                    self.referenced.remove(&key);
+                    return Some(key);
+                }
+                // Stale ring entry for a removed key: skip.
+                None => continue,
+            }
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.referenced.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_gives_second_chances() {
+        let mut p = ClockPolicy::new();
+        p.on_insert(1);
+        p.on_insert(2);
+        p.on_insert(3);
+        // First sweep clears every referenced bit and evicts the oldest.
+        assert_eq!(p.pop_victim(), Some(1));
+        // Re-reference 2: on the next sweep the hand skips it (clearing
+        // its bit) and evicts 3 — the second chance in action.
+        p.on_access(2);
+        assert_eq!(p.pop_victim(), Some(3));
+        assert_eq!(p.pop_victim(), Some(2));
+        assert_eq!(p.pop_victim(), None);
+    }
+
+    #[test]
+    fn clock_remove_and_len() {
+        let mut p = ClockPolicy::new();
+        p.on_insert(1);
+        p.on_insert(2);
+        assert_eq!(p.len(), 2);
+        p.on_remove(1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.pop_victim(), Some(2));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn clock_reinsert_is_idempotent() {
+        let mut p = ClockPolicy::new();
+        p.on_insert(1);
+        p.on_insert(1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.pop_victim(), Some(1));
+        assert_eq!(p.pop_victim(), None);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut p = LruPolicy::new();
+        p.on_insert(1);
+        p.on_insert(2);
+        p.on_insert(3);
+        p.on_access(1); // order now: 2, 3, 1
+        assert_eq!(p.pop_victim(), Some(2));
+        assert_eq!(p.pop_victim(), Some(3));
+        assert_eq!(p.pop_victim(), Some(1));
+        assert_eq!(p.pop_victim(), None);
+    }
+
+    #[test]
+    fn lru_remove_unlinks() {
+        let mut p = LruPolicy::new();
+        p.on_insert(1);
+        p.on_insert(2);
+        p.on_remove(1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.pop_victim(), Some(2));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut p = LfuPolicy::new();
+        p.on_insert(1);
+        p.on_insert(2);
+        p.on_insert(3);
+        p.on_access(1);
+        p.on_access(1);
+        p.on_access(3);
+        // freqs: 1->3, 2->1, 3->2
+        assert_eq!(p.pop_victim(), Some(2));
+        assert_eq!(p.pop_victim(), Some(3));
+        assert_eq!(p.pop_victim(), Some(1));
+    }
+
+    #[test]
+    fn lfu_breaks_ties_by_recency() {
+        let mut p = LfuPolicy::new();
+        p.on_insert(1);
+        p.on_insert(2);
+        // Equal frequency; 1 is older.
+        assert_eq!(p.pop_victim(), Some(1));
+    }
+
+    #[test]
+    fn lfu_remove_unlinks() {
+        let mut p = LfuPolicy::new();
+        p.on_insert(1);
+        p.on_insert(2);
+        p.on_access(2);
+        p.on_remove(2);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.pop_victim(), Some(1));
+    }
+
+    #[test]
+    fn light_lfu_promotes_hot_keys() {
+        let mut p = LightLfuPolicy::new(3);
+        p.on_insert(1);
+        p.on_insert(2);
+        p.on_access(1); // freq 2
+        p.on_access(1); // freq 3 -> promoted
+        assert_eq!(p.promoted_len(), 1);
+        // Victim must be the cold key even though 1 is "older".
+        assert_eq!(p.pop_victim(), Some(2));
+        // Only the promoted key remains: FIFO fallback yields it.
+        assert_eq!(p.pop_victim(), Some(1));
+        assert_eq!(p.pop_victim(), None);
+    }
+
+    #[test]
+    fn light_lfu_promoted_access_is_noop() {
+        let mut p = LightLfuPolicy::new(2);
+        p.on_insert(1);
+        p.on_access(1); // promoted at freq 2
+        let before = p.promoted_len();
+        for _ in 0..100 {
+            p.on_access(1);
+        }
+        assert_eq!(p.promoted_len(), before);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn light_lfu_remove_handles_both_sets() {
+        let mut p = LightLfuPolicy::new(2);
+        p.on_insert(1);
+        p.on_insert(2);
+        p.on_access(1); // promote 1
+        p.on_remove(1);
+        p.on_remove(2);
+        assert!(p.is_empty());
+        assert_eq!(p.pop_victim(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn light_lfu_zero_threshold_rejected() {
+        let _ = LightLfuPolicy::new(0);
+    }
+
+    #[test]
+    fn kinds_build_working_policies() {
+        for kind in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::LightLfu, PolicyKind::Clock] {
+            let mut p = kind.build();
+            p.on_insert(5);
+            p.on_access(5);
+            assert_eq!(p.len(), 1, "{kind}");
+            assert_eq!(p.pop_victim(), Some(5), "{kind}");
+        }
+    }
+
+    #[test]
+    fn light_lfu_mimics_lfu_on_skewed_stream() {
+        // Under a skewed access stream the light LFU should keep the hot
+        // keys resident just like exact LFU (the paper's §4.3 claim of
+        // "similar miss rate").
+        let mut lfu = LfuPolicy::new();
+        let mut light = LightLfuPolicy::new(4);
+        for k in 0..4u64 {
+            lfu.on_insert(k);
+            light.on_insert(k);
+        }
+        // Key 0 hot, key 1 warm, keys 2,3 cold.
+        for _ in 0..10 {
+            lfu.on_access(0);
+            light.on_access(0);
+        }
+        for _ in 0..3 {
+            lfu.on_access(1);
+            light.on_access(1);
+        }
+        let v1 = lfu.pop_victim().unwrap();
+        let v2 = light.pop_victim().unwrap();
+        assert!(v1 == 2 || v1 == 3);
+        assert!(v2 == 2 || v2 == 3);
+    }
+}

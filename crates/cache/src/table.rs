@@ -1,0 +1,367 @@
+//! The bounded cache embedding table.
+//!
+//! This is the state behind the paper's client operations. Network
+//! actions (what `Fetch`/`Evict` transfer) live in `het-core`; this
+//! module owns residency, clocks, gradient accumulation, and the
+//! eviction policy. See the crate docs for the clock semantics.
+
+use crate::entry::{CacheEntry, EvictedEntry};
+use crate::policy::{CachePolicy, PolicyKind};
+use crate::stats::CacheStats;
+use crate::Key;
+use std::collections::HashMap;
+
+/// A bounded per-worker cache of embeddings.
+pub struct CacheTable {
+    entries: HashMap<Key, CacheEntry>,
+    policy: Box<dyn CachePolicy>,
+    capacity: usize,
+    /// Local SGD rate used to fold pending gradients into the local view
+    /// (read-my-updates); matches the server's learning rate.
+    lr: f32,
+    stats: CacheStats,
+}
+
+impl CacheTable {
+    /// Creates a cache holding at most `capacity` embeddings, evicting
+    /// with `policy`, applying local updates at rate `lr`.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, policy: PolicyKind, lr: f32) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        CacheTable {
+            entries: HashMap::with_capacity(capacity + 1),
+            policy: policy.build(),
+            capacity,
+            lr,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Maximum number of resident embeddings.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of resident embeddings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the counters (e.g. between measurement epochs).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// `Het.Cache.Find`: is the key resident? Does **not** count as a
+    /// lookup; use [`CacheTable::record_hit`]/[`CacheTable::record_miss`]
+    /// when the read protocol resolves.
+    pub fn find(&self, key: Key) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Records a cache hit (the read was served locally).
+    pub fn record_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
+    /// Records a cache miss (the read needed a server fetch).
+    pub fn record_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Immutable access to a resident entry.
+    pub fn peek(&self, key: Key) -> Option<&CacheEntry> {
+        self.entries.get(&key)
+    }
+
+    /// `Het.Cache.Get`: the locally visible vector (includes this
+    /// worker's own updates), bumping the policy.
+    pub fn get(&mut self, key: Key) -> Option<&[f32]> {
+        if self.entries.contains_key(&key) {
+            self.policy.on_access(key);
+        }
+        self.entries.get(&key).map(|e| e.vector.as_slice())
+    }
+
+    /// `Het.Cache.Fetch` landing: installs (or refreshes) a vector pulled
+    /// from the server, setting `c_s = c_c = c_g`.
+    ///
+    /// Replacing a dirty resident entry would silently drop its pending
+    /// gradient, so the read protocol must `evict` first; this method
+    /// panics if asked to clobber a dirty entry (debug-guard of the
+    /// protocol's correctness).
+    pub fn install(&mut self, key: Key, vector: Vec<f32>, global_clock: u64) {
+        if let Some(old) = self.entries.get(&key) {
+            assert!(!old.dirty, "installing over a dirty entry would lose updates");
+            self.policy.on_access(key);
+        } else {
+            self.policy.on_insert(key);
+        }
+        self.entries.insert(key, CacheEntry::fetched(vector, global_clock));
+    }
+
+    /// `Het.Cache.Update`: accumulates a raw gradient against the key and
+    /// applies it to the local view (read-my-updates). Does **not** bump
+    /// `c_c` — the protocol calls [`CacheTable::bump_clock`] once per
+    /// iteration that updated the key (paper `Het.Cache.Clock`).
+    ///
+    /// # Panics
+    /// Panics if the key is not resident or the gradient has the wrong
+    /// dimension — both protocol violations.
+    pub fn update(&mut self, key: Key, grad: &[f32]) {
+        let lr = self.lr;
+        let e = self.entries.get_mut(&key).expect("update of a non-resident key");
+        assert_eq!(e.vector.len(), grad.len(), "gradient dimension mismatch");
+        for ((v, p), &g) in e.vector.iter_mut().zip(e.pending_grad.iter_mut()).zip(grad) {
+            *v -= lr * g;
+            *p += g;
+        }
+        e.dirty = true;
+        self.policy.on_access(key);
+    }
+
+    /// `Het.Cache.Clock`: increments `c_c` by one.
+    ///
+    /// # Panics
+    /// Panics if the key is not resident.
+    pub fn bump_clock(&mut self, key: Key) {
+        let e = self.entries.get_mut(&key).expect("clock bump of a non-resident key");
+        e.current_clock += 1;
+    }
+
+    /// Explicit `Het.Cache.Evict(key)`: removes the entry and returns its
+    /// write-back payload. Used both for invalidation-resync and by tests.
+    pub fn evict(&mut self, key: Key) -> Option<EvictedEntry> {
+        let e = self.entries.remove(&key)?;
+        self.policy.on_remove(key);
+        if e.dirty {
+            self.stats.writebacks += 1;
+        }
+        Some(EvictedEntry {
+            pending_grad: e.pending_grad,
+            current_clock: e.current_clock,
+            dirty: e.dirty,
+        })
+    }
+
+    /// Marks an invalidation in the stats (failed `CheckValid`).
+    pub fn record_invalidation(&mut self) {
+        self.stats.invalidations += 1;
+    }
+
+    /// Capacity-pressure `Het.Cache.Evict()`: pops policy victims until
+    /// the table fits its capacity, returning their write-back payloads.
+    pub fn evict_overflow(&mut self) -> Vec<(Key, EvictedEntry)> {
+        let mut out = Vec::new();
+        while self.entries.len() > self.capacity {
+            let Some(victim) = self.policy.pop_victim() else {
+                break;
+            };
+            if let Some(e) = self.entries.remove(&victim) {
+                if e.dirty {
+                    self.stats.writebacks += 1;
+                }
+                self.stats.capacity_evictions += 1;
+                out.push((
+                    victim,
+                    EvictedEntry {
+                        pending_grad: e.pending_grad,
+                        current_clock: e.current_clock,
+                        dirty: e.dirty,
+                    },
+                ));
+            }
+        }
+        out
+    }
+
+    /// Drains every entry (end of training: flush all pending updates).
+    pub fn drain_all(&mut self) -> Vec<(Key, EvictedEntry)> {
+        let keys: Vec<Key> = self.entries.keys().copied().collect();
+        keys.into_iter()
+            .filter_map(|k| self.evict(k).map(|e| (k, e)))
+            .collect()
+    }
+
+    /// Iterates over resident keys (unordered).
+    pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.entries.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(cap: usize) -> CacheTable {
+        CacheTable::new(cap, PolicyKind::Lru, 0.5)
+    }
+
+    #[test]
+    fn install_get_round_trip() {
+        let mut t = table(4);
+        t.install(1, vec![1.0, 2.0], 5);
+        assert!(t.find(1));
+        assert_eq!(t.get(1).unwrap(), &[1.0, 2.0]);
+        let e = t.peek(1).unwrap();
+        assert_eq!(e.start_clock, 5);
+        assert_eq!(e.current_clock, 5);
+    }
+
+    #[test]
+    fn update_applies_locally_and_accumulates() {
+        let mut t = table(4);
+        t.install(1, vec![1.0, 1.0], 0);
+        t.update(1, &[2.0, -2.0]);
+        t.update(1, &[2.0, 0.0]);
+        // Local view: 1 - 0.5*2 - 0.5*2 = -1 ; 1 + 0.5*2 = 2
+        assert_eq!(t.get(1).unwrap(), &[-1.0, 2.0]);
+        let e = t.peek(1).unwrap();
+        assert_eq!(e.pending_grad, vec![4.0, -2.0]);
+        assert!(e.dirty);
+    }
+
+    #[test]
+    fn bump_clock_advances_only_current() {
+        let mut t = table(4);
+        t.install(1, vec![0.0], 3);
+        t.bump_clock(1);
+        t.bump_clock(1);
+        let e = t.peek(1).unwrap();
+        assert_eq!(e.current_clock, 5);
+        assert_eq!(e.start_clock, 3);
+    }
+
+    #[test]
+    fn evict_returns_writeback_payload() {
+        let mut t = table(4);
+        t.install(1, vec![0.0], 7);
+        t.update(1, &[3.0]);
+        t.bump_clock(1);
+        let ev = t.evict(1).unwrap();
+        assert_eq!(ev.pending_grad, vec![3.0]);
+        assert_eq!(ev.current_clock, 8);
+        assert!(ev.dirty);
+        assert!(!t.find(1));
+        assert_eq!(t.stats().writebacks, 1);
+        assert_eq!(t.evict(1), None);
+    }
+
+    #[test]
+    fn clean_evict_is_not_a_writeback() {
+        let mut t = table(4);
+        t.install(1, vec![0.0], 0);
+        let ev = t.evict(1).unwrap();
+        assert!(!ev.dirty);
+        assert_eq!(t.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn overflow_eviction_respects_capacity_and_policy() {
+        let mut t = table(2);
+        t.install(1, vec![0.0], 0);
+        t.install(2, vec![0.0], 0);
+        let _ = t.get(1); // 2 is now LRU
+        t.install(3, vec![0.0], 0);
+        let evicted = t.evict_overflow();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, 2);
+        assert_eq!(t.len(), 2);
+        assert!(t.find(1) && t.find(3));
+        assert_eq!(t.stats().capacity_evictions, 1);
+    }
+
+    #[test]
+    fn never_exceeds_capacity_after_overflow_eviction() {
+        let mut t = table(8);
+        for k in 0..100u64 {
+            t.install(k, vec![0.0], 0);
+            t.evict_overflow();
+            assert!(t.len() <= 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dirty entry")]
+    fn install_over_dirty_entry_panics() {
+        let mut t = table(4);
+        t.install(1, vec![0.0], 0);
+        t.update(1, &[1.0]);
+        t.install(1, vec![9.0], 2);
+    }
+
+    #[test]
+    fn install_over_clean_entry_refreshes() {
+        let mut t = table(4);
+        t.install(1, vec![0.0], 0);
+        t.install(1, vec![9.0], 4);
+        let e = t.peek(1).unwrap();
+        assert_eq!(e.vector, vec![9.0]);
+        assert_eq!(e.start_clock, 4);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-resident")]
+    fn update_missing_key_panics() {
+        let mut t = table(4);
+        t.update(1, &[1.0]);
+    }
+
+    #[test]
+    fn drain_returns_everything() {
+        let mut t = table(4);
+        t.install(1, vec![0.0], 0);
+        t.install(2, vec![0.0], 0);
+        t.update(2, &[1.0]);
+        let drained = t.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert!(t.is_empty());
+        let dirty: Vec<_> = drained.iter().filter(|(_, e)| e.dirty).collect();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[0].0, 2);
+    }
+
+    #[test]
+    fn stats_counters() {
+        let mut t = table(4);
+        t.record_hit();
+        t.record_hit();
+        t.record_miss();
+        t.record_invalidation();
+        assert_eq!(t.stats().hits, 2);
+        assert_eq!(t.stats().misses, 1);
+        assert_eq!(t.stats().invalidations, 1);
+        assert!((t.stats().miss_rate() - 1.0 / 3.0).abs() < 1e-12);
+        t.reset_stats();
+        assert_eq!(t.stats().lookups(), 0);
+    }
+
+    #[test]
+    fn keys_iterates_residents() {
+        let mut t = table(4);
+        t.install(1, vec![0.0], 0);
+        t.install(2, vec![0.0], 0);
+        let mut ks: Vec<Key> = t.keys().collect();
+        ks.sort_unstable();
+        assert_eq!(ks, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = CacheTable::new(0, PolicyKind::Lru, 0.1);
+    }
+}

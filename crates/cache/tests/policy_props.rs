@@ -1,0 +1,174 @@
+//! Property-based tests of the cache table and eviction policies under
+//! arbitrary operation sequences.
+
+use het_cache::{CachePolicy, CacheTable, ClockPolicy, LfuPolicy, LightLfuPolicy, LruPolicy, PolicyKind};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// An abstract op stream over a small key universe.
+#[derive(Clone, Debug)]
+enum Op {
+    Access(u64),
+    Insert(u64),
+    Remove(u64),
+    PopVictim,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..16).prop_map(Op::Access),
+        (0u64..16).prop_map(Op::Insert),
+        (0u64..16).prop_map(Op::Remove),
+        Just(Op::PopVictim),
+    ]
+}
+
+/// Drives a policy with a reference resident-set model and checks the
+/// bookkeeping never diverges.
+fn check_policy(mut policy: Box<dyn CachePolicy>, ops: Vec<Op>) -> Result<(), TestCaseError> {
+    let mut resident: HashSet<u64> = HashSet::new();
+    for op in ops {
+        match op {
+            Op::Access(k) => {
+                if resident.contains(&k) {
+                    policy.on_access(k);
+                }
+            }
+            Op::Insert(k) => {
+                if !resident.contains(&k) {
+                    policy.on_insert(k);
+                    resident.insert(k);
+                }
+            }
+            Op::Remove(k) => {
+                if resident.remove(&k) {
+                    policy.on_remove(k);
+                }
+            }
+            Op::PopVictim => {
+                let victim = policy.pop_victim();
+                match victim {
+                    Some(k) => {
+                        prop_assert!(
+                            resident.remove(&k),
+                            "policy returned non-resident victim {k}"
+                        );
+                    }
+                    None => prop_assert!(
+                        resident.is_empty(),
+                        "policy claims empty while {} keys resident",
+                        resident.len()
+                    ),
+                }
+            }
+        }
+        prop_assert_eq!(policy.len(), resident.len(), "length diverged");
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn lru_tracks_reference_model(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        check_policy(Box::new(LruPolicy::new()), ops)?;
+    }
+
+    #[test]
+    fn lfu_tracks_reference_model(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        check_policy(Box::new(LfuPolicy::new()), ops)?;
+    }
+
+    #[test]
+    fn clock_tracks_reference_model(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        check_policy(Box::new(ClockPolicy::new()), ops)?;
+    }
+
+    #[test]
+    fn light_lfu_tracks_reference_model(
+        ops in proptest::collection::vec(op_strategy(), 0..200),
+        threshold in 1u64..8,
+    ) {
+        check_policy(Box::new(LightLfuPolicy::new(threshold)), ops)?;
+    }
+
+    /// LRU victims come out in exact least-recent order when draining.
+    #[test]
+    fn lru_drain_order_is_recency_order(keys in proptest::collection::vec(0u64..64, 1..40)) {
+        let mut policy = LruPolicy::new();
+        let mut last_touch: Vec<u64> = Vec::new();
+        for &k in &keys {
+            if last_touch.contains(&k) {
+                policy.on_access(k);
+                last_touch.retain(|&x| x != k);
+            } else {
+                policy.on_insert(k);
+            }
+            last_touch.push(k);
+        }
+        let mut drained = Vec::new();
+        while let Some(v) = policy.pop_victim() {
+            drained.push(v);
+        }
+        prop_assert_eq!(drained, last_touch);
+    }
+
+    /// The table never exceeds capacity after `evict_overflow`, no matter
+    /// the install/update sequence, for every policy.
+    #[test]
+    fn table_respects_capacity(
+        keys in proptest::collection::vec(0u64..256, 1..120),
+        capacity in 1usize..24,
+        policy_idx in 0usize..4,
+    ) {
+        let policy =
+            [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::LightLfu, PolicyKind::Clock][policy_idx];
+        let mut table = CacheTable::new(capacity, policy, 0.1);
+        for &k in &keys {
+            if !table.find(k) {
+                table.install(k, vec![0.0; 4], 0);
+            }
+            table.update(k, &[1.0, 1.0, 1.0, 1.0]);
+            table.bump_clock(k);
+            table.evict_overflow();
+            prop_assert!(table.len() <= capacity);
+        }
+    }
+
+    /// Eviction returns exactly the accumulated gradient: the sum of all
+    /// updates applied since install, regardless of interleaving.
+    #[test]
+    fn eviction_payload_equals_update_sum(
+        updates in proptest::collection::vec(-10.0f32..10.0, 1..30),
+    ) {
+        let mut table = CacheTable::new(8, PolicyKind::Lru, 0.5);
+        table.install(1, vec![0.0; 1], 3);
+        let mut sum = 0.0f32;
+        for &u in &updates {
+            table.update(1, &[u]);
+            table.bump_clock(1);
+            sum += u;
+        }
+        let ev = table.evict(1).expect("resident");
+        prop_assert!(ev.dirty);
+        prop_assert!((ev.pending_grad[0] - sum).abs() < 1e-3);
+        prop_assert_eq!(ev.current_clock, 3 + updates.len() as u64);
+    }
+
+    /// The local view always equals install value − lr · (sum of
+    /// gradients): read-my-updates as arithmetic.
+    #[test]
+    fn local_view_is_install_minus_lr_times_sum(
+        updates in proptest::collection::vec(-5.0f32..5.0, 0..20),
+    ) {
+        let lr = 0.25f32;
+        let mut table = CacheTable::new(4, PolicyKind::Lfu, lr);
+        table.install(7, vec![2.0], 0);
+        let mut sum = 0.0f32;
+        for &u in &updates {
+            table.update(7, &[u]);
+            sum += u;
+        }
+        let view = table.get(7).unwrap()[0];
+        prop_assert!((view - (2.0 - lr * sum)).abs() < 1e-3);
+    }
+}

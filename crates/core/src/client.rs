@@ -1,0 +1,504 @@
+//! The HET client: the paper's Algorithms 1–3 with wire-accurate cost
+//! accounting.
+//!
+//! `Het.Read` (Algorithm 2): for each requested key, a cache hit is
+//! validated against the two clock bounds of `CheckValid`; condition (1)
+//! (`c_c ≤ c_s + s`) is checked locally, condition (2) (`c_g ≤ c_c + s`)
+//! requires a clock-only round trip to the server — charged at
+//! clock-message size, which is the cheapness the protocol exploits.
+//! Invalid entries are synchronised: evicted (pending gradients pushed)
+//! and re-fetched. Missing keys are fetched. All transfers are batched
+//! per protocol step, mirroring the paper's message-fusion optimisation
+//! (§4.2).
+//!
+//! `Het.Write` (Algorithm 3): gradients are accumulated into the cache
+//! (stale writes), per-key clocks advance by one, and only capacity
+//! overflow triggers server write-backs.
+
+use het_cache::{CacheTable, PolicyKind};
+use het_data::Key;
+use het_models::{EmbeddingStore, SparseGrads};
+use het_ps::PsServer;
+use het_simnet::wire::MessageCosts;
+use het_simnet::{CommCategory, CommStats, Collectives, SimDuration};
+
+/// The cache-enabled embedding client of one worker.
+pub struct HetClient {
+    cache: CacheTable,
+    staleness: u64,
+    dim: usize,
+    costs: MessageCosts,
+}
+
+impl HetClient {
+    /// Creates a client with a cache of `capacity` embeddings, staleness
+    /// threshold `s`, eviction `policy`, and local update rate `lr`
+    /// (must match the server's, so the local view tracks what the
+    /// server will compute from the pushed gradients), with fused
+    /// messages (§4.2).
+    pub fn new(capacity: usize, staleness: u64, policy: PolicyKind, dim: usize, lr: f32) -> Self {
+        Self::with_costs(capacity, staleness, policy, dim, lr, MessageCosts { fused: true })
+    }
+
+    /// As [`HetClient::new`] with explicit message-cost semantics (the
+    /// unfused variant models a runtime without message fusion).
+    pub fn with_costs(
+        capacity: usize,
+        staleness: u64,
+        policy: PolicyKind,
+        dim: usize,
+        lr: f32,
+        costs: MessageCosts,
+    ) -> Self {
+        HetClient { cache: CacheTable::new(capacity, policy, lr), staleness, dim, costs }
+    }
+
+    /// The staleness threshold `s`.
+    pub fn staleness(&self) -> u64 {
+        self.staleness
+    }
+
+    /// The underlying cache table (stats, inspection).
+    pub fn cache(&self) -> &CacheTable {
+        &self.cache
+    }
+
+    /// Mutable access to the cache table (stat resets in harnesses).
+    pub fn cache_mut(&mut self) -> &mut CacheTable {
+        &mut self.cache
+    }
+
+    /// `Het.Read(keys)`: resolves every key through the cache, fetching
+    /// and synchronising as the protocol requires. Returns the resolved
+    /// embeddings and the simulated communication time spent.
+    ///
+    /// Fetched entries are added to the cache *temporarily* even past
+    /// capacity (Algorithm 2 line 8); the overflow is trimmed by the
+    /// `Evict()` pass at the end of the next `Het.Write` (Algorithm 3
+    /// line 5), exactly as in the paper.
+    pub fn read(
+        &mut self,
+        keys: &[Key],
+        server: &PsServer,
+        net: &Collectives,
+        stats: &mut CommStats,
+    ) -> (EmbeddingStore, SimDuration) {
+        // Partition the request.
+        let mut check_candidates: Vec<Key> = Vec::new(); // hit + cond (1) holds
+        let mut resync: Vec<Key> = Vec::new(); // must evict + fetch
+        let mut missing: Vec<Key> = Vec::new();
+        for &k in keys {
+            if self.cache.find(k) {
+                let entry = self.cache.peek(k).expect("resident entry");
+                if entry.within_write_bound(self.staleness) {
+                    check_candidates.push(k);
+                } else {
+                    resync.push(k);
+                }
+            } else {
+                missing.push(k);
+            }
+        }
+
+        // Phase A — two independent legs issued concurrently (§4.1 async
+        // invocation): the clock-only validation round trip for the
+        // resident candidates, and the fetch of the keys already known to
+        // be missing. The phase costs the slower of the two.
+        let mut t_clock = SimDuration::ZERO;
+        if !check_candidates.is_empty() {
+            let bytes = self.costs.clock_check(check_candidates.len());
+            stats.record(CommCategory::ClockSync, bytes);
+            t_clock = net.ps_transfer(bytes);
+            for k in std::mem::take(&mut check_candidates) {
+                let global = server.clock_of(k);
+                let entry = self.cache.peek(k).expect("resident entry");
+                if entry.within_read_bound(global, self.staleness) {
+                    self.cache.record_hit();
+                } else {
+                    resync.push(k);
+                }
+            }
+        }
+        let mut t_missing = SimDuration::ZERO;
+        if !missing.is_empty() {
+            let req = self.costs.fetch_request(missing.len());
+            let resp = self.costs.fetch_response(missing.len(), self.dim);
+            stats.record(CommCategory::EmbeddingFetch, req + resp);
+            t_missing = net.ps_transfer(req) + net.ps_transfer(resp);
+            for &k in &missing {
+                self.cache.record_miss();
+                let pulled = server.pull(k);
+                self.cache.install(k, pulled.vector, pulled.clock);
+            }
+        }
+        let mut time = t_clock.max(t_missing);
+
+        // Phase B — synchronise entries the validation invalidated:
+        // evict (write back the pending gradients) then re-fetch. This
+        // leg depends on the clock results, so it is sequential.
+        let mut dirty_pushes = 0usize;
+        for &k in &resync {
+            self.cache.record_invalidation();
+            self.cache.record_miss();
+            if let Some(ev) = self.cache.evict(k) {
+                if ev.dirty {
+                    server.push_with_clock(k, &ev.pending_grad, ev.current_clock);
+                    dirty_pushes += 1;
+                }
+            }
+        }
+        if dirty_pushes > 0 {
+            let bytes = self.costs.push(dirty_pushes, self.dim);
+            stats.record(CommCategory::EmbeddingPush, bytes);
+            time += net.ps_transfer(bytes);
+        }
+        if !resync.is_empty() {
+            let req = self.costs.fetch_request(resync.len());
+            let resp = self.costs.fetch_response(resync.len(), self.dim);
+            stats.record(CommCategory::EmbeddingFetch, req + resp);
+            time += net.ps_transfer(req) + net.ps_transfer(resp);
+            for &k in &resync {
+                let pulled = server.pull(k);
+                self.cache.install(k, pulled.vector, pulled.clock);
+            }
+        }
+
+        // Serve the batch from the cache.
+        let mut store = EmbeddingStore::new(self.dim);
+        for &k in keys {
+            let v = self.cache.get(k).expect("key resolved by read protocol").to_vec();
+            store.insert(k, v);
+        }
+        (store, time)
+    }
+
+    /// `Het.Write(keys, grads)`: stale-writes the gradients into the
+    /// cache, bumps per-key clocks, and handles capacity eviction.
+    /// Returns the simulated communication time (only evictions cost
+    /// anything — this is where the cache wins).
+    pub fn write(
+        &mut self,
+        grads: &SparseGrads,
+        server: &PsServer,
+        net: &Collectives,
+        stats: &mut CommStats,
+    ) -> SimDuration {
+        for k in grads.sorted_keys() {
+            let g = grads.get(k).expect("key from sorted_keys");
+            self.cache.update(k, g);
+            self.cache.bump_clock(k);
+        }
+        let evicted = self.cache.evict_overflow();
+        let mut dirty = 0usize;
+        for (k, ev) in &evicted {
+            if ev.dirty {
+                server.push_with_clock(*k, &ev.pending_grad, ev.current_clock);
+                dirty += 1;
+            }
+        }
+        if dirty > 0 {
+            let bytes = self.costs.push(dirty, self.dim);
+            stats.record(CommCategory::EmbeddingPush, bytes);
+            net.ps_transfer(bytes)
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Flushes every dirty entry to the server (end of training, or the
+    /// paper's corner-case discussion after Lemma 1). Returns the
+    /// simulated communication time.
+    pub fn flush(
+        &mut self,
+        server: &PsServer,
+        net: &Collectives,
+        stats: &mut CommStats,
+    ) -> SimDuration {
+        let drained = self.cache.drain_all();
+        let mut dirty = 0usize;
+        for (k, ev) in &drained {
+            if ev.dirty {
+                server.push_with_clock(*k, &ev.pending_grad, ev.current_clock);
+                dirty += 1;
+            }
+        }
+        if dirty > 0 {
+            let bytes = self.costs.push(dirty, self.dim);
+            stats.record(CommCategory::EmbeddingPush, bytes);
+            net.ps_transfer(bytes)
+        } else {
+            SimDuration::ZERO
+        }
+    }
+}
+
+/// The cache-less sparse path used by the PS baselines: pull everything,
+/// push everything, every iteration.
+pub struct DirectPsClient {
+    dim: usize,
+    costs: MessageCosts,
+}
+
+impl DirectPsClient {
+    /// Creates the pass-through client with fused messages.
+    pub fn new(dim: usize) -> Self {
+        Self::with_costs(dim, MessageCosts { fused: true })
+    }
+
+    /// As [`DirectPsClient::new`] with explicit message-cost semantics.
+    pub fn with_costs(dim: usize, costs: MessageCosts) -> Self {
+        DirectPsClient { dim, costs }
+    }
+
+    /// Pulls the batch's embeddings from the server.
+    pub fn read(
+        &self,
+        keys: &[Key],
+        server: &PsServer,
+        net: &Collectives,
+        stats: &mut CommStats,
+    ) -> (EmbeddingStore, SimDuration) {
+        let req = self.costs.fetch_request(keys.len());
+        let resp = self.costs.fetch_response(keys.len(), self.dim);
+        stats.record(CommCategory::EmbeddingFetch, req + resp);
+        let time = net.ps_transfer(req) + net.ps_transfer(resp);
+        let mut store = EmbeddingStore::new(self.dim);
+        for &k in keys {
+            store.insert(k, server.pull(k).vector);
+        }
+        (store, time)
+    }
+
+    /// Pushes the batch's gradients to the server.
+    pub fn write(
+        &self,
+        grads: &SparseGrads,
+        server: &PsServer,
+        net: &Collectives,
+        stats: &mut CommStats,
+    ) -> SimDuration {
+        if grads.is_empty() {
+            return SimDuration::ZERO;
+        }
+        for k in grads.sorted_keys() {
+            server.push_inc(k, grads.get(k).expect("key from sorted_keys"));
+        }
+        let bytes = self.costs.push(grads.len(), self.dim);
+        stats.record(CommCategory::EmbeddingPush, bytes);
+        net.ps_transfer(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use het_ps::{PsConfig, ServerOptimizer};
+    use het_simnet::ClusterSpec;
+
+    fn setup(capacity: usize, staleness: u64) -> (HetClient, PsServer, Collectives) {
+        let client = HetClient::new(capacity, staleness, PolicyKind::Lru, 2, 0.5);
+        let server = PsServer::new(PsConfig { dim: 2, n_shards: 2, lr: 0.5, seed: 7, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+        let net = ClusterSpec::cluster_a(4, 1).collectives();
+        (client, server, net)
+    }
+
+    fn grads_for(keys: &[Key], value: f32) -> SparseGrads {
+        let mut g = SparseGrads::new(2);
+        for &k in keys {
+            g.accumulate(k, &[value, value]);
+        }
+        g
+    }
+
+    #[test]
+    fn first_read_fetches_everything() {
+        let (mut client, server, net) = setup(10, 5);
+        let mut stats = CommStats::new();
+        let (store, time) = client.read(&[1, 2, 3], &server, &net, &mut stats);
+        assert_eq!(store.len(), 3);
+        assert!(time > SimDuration::ZERO);
+        assert_eq!(client.cache().stats().misses, 3);
+        assert_eq!(client.cache().stats().hits, 0);
+        assert!(stats.bytes(CommCategory::EmbeddingFetch) > 0);
+        assert_eq!(stats.bytes(CommCategory::ClockSync), 0, "no resident keys to check");
+    }
+
+    #[test]
+    fn second_read_hits_with_only_clock_traffic() {
+        let (mut client, server, net) = setup(10, 5);
+        let mut stats = CommStats::new();
+        let _ = client.read(&[1, 2], &server, &net, &mut stats);
+        let fetch_bytes_before = stats.bytes(CommCategory::EmbeddingFetch);
+        let (_, time2) = client.read(&[1, 2], &server, &net, &mut stats);
+        assert_eq!(client.cache().stats().hits, 2);
+        assert_eq!(
+            stats.bytes(CommCategory::EmbeddingFetch),
+            fetch_bytes_before,
+            "no new vector fetches on a warm validated cache"
+        );
+        assert!(stats.bytes(CommCategory::ClockSync) > 0, "validation is clock-only");
+        assert!(time2 > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn writes_are_stale_until_eviction() {
+        let (mut client, server, net) = setup(10, 5);
+        let mut stats = CommStats::new();
+        let _ = client.read(&[1], &server, &net, &mut stats);
+        let server_before = server.pull(1).vector;
+        let t = client.write(&grads_for(&[1], 1.0), &server, &net, &mut stats);
+        assert_eq!(t, SimDuration::ZERO, "stale write costs nothing");
+        assert_eq!(server.pull(1).vector, server_before, "server unchanged until eviction");
+        assert_eq!(stats.bytes(CommCategory::EmbeddingPush), 0);
+        // Local view did change (read-my-updates).
+        let entry = client.cache().peek(1).unwrap();
+        assert!((entry.vector[0] - (server_before[0] - 0.5)).abs() < 1e-6);
+        assert_eq!(entry.current_clock, 1);
+    }
+
+    #[test]
+    fn flush_applies_accumulated_updates_exactly_once() {
+        let (mut client, server, net) = setup(10, 100);
+        let mut stats = CommStats::new();
+        let _ = client.read(&[1], &server, &net, &mut stats);
+        let before = server.pull(1).vector;
+        client.write(&grads_for(&[1], 1.0), &server, &net, &mut stats);
+        client.write(&grads_for(&[1], 2.0), &server, &net, &mut stats);
+        let t = client.flush(&server, &net, &mut stats);
+        assert!(t > SimDuration::ZERO);
+        let after = server.pull(1);
+        // Accumulated grad = 3.0, lr = 0.5.
+        assert!((after.vector[0] - (before[0] - 1.5)).abs() < 1e-6);
+        assert_eq!(after.clock, 2, "two local updates -> c_g = 2");
+        assert_eq!(stats.messages(CommCategory::EmbeddingPush), 1);
+    }
+
+    #[test]
+    fn capacity_overflow_writes_back_dirty_victims() {
+        let (mut client, server, net) = setup(2, 100);
+        let mut stats = CommStats::new();
+        let _ = client.read(&[1, 2], &server, &net, &mut stats);
+        client.write(&grads_for(&[1, 2], 1.0), &server, &net, &mut stats);
+        let before1 = server.pull(1).vector;
+        // Reading key 3 exceeds capacity after the write's overflow pass:
+        // read installs it, the *next write* evicts the LRU victim.
+        let (_, _) = client.read(&[3], &server, &net, &mut stats);
+        let t = client.write(&grads_for(&[3], 1.0), &server, &net, &mut stats);
+        assert!(t > SimDuration::ZERO, "eviction write-back costs time");
+        assert_eq!(client.cache().len(), 2);
+        // Key 1 (least recently used) was evicted; its update landed.
+        assert!(!client.cache().find(1));
+        let after1 = server.pull(1).vector;
+        assert!((after1[0] - (before1[0] - 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stale_entry_resyncs_after_other_worker_updates() {
+        let (mut client, server, net) = setup(10, 2);
+        let mut stats = CommStats::new();
+        let _ = client.read(&[1], &server, &net, &mut stats);
+        // Another worker pushes 5 updates: c_g = 5, our c_c = 0, s = 2 →
+        // condition (2) violated.
+        for _ in 0..5 {
+            server.push_inc(1, &[1.0, 1.0]);
+        }
+        let (store, _) = client.read(&[1], &server, &net, &mut stats);
+        assert_eq!(client.cache().stats().invalidations, 1);
+        // The resynced entry matches the server.
+        assert_eq!(store.get(1), server.pull(1).vector.as_slice());
+        let entry = client.cache().peek(1).unwrap();
+        assert_eq!(entry.start_clock, 5);
+        assert_eq!(entry.current_clock, 5);
+    }
+
+    #[test]
+    fn local_write_bound_forces_resync_without_clock_message() {
+        let (mut client, server, net) = setup(10, 1);
+        let mut stats = CommStats::new();
+        let _ = client.read(&[1], &server, &net, &mut stats);
+        // Two local updates: c_c = c_s + 2 > c_s + 1 → condition (1)
+        // violated locally.
+        client.write(&grads_for(&[1], 1.0), &server, &net, &mut stats);
+        client.write(&grads_for(&[1], 1.0), &server, &net, &mut stats);
+        let clock_bytes_before = stats.bytes(CommCategory::ClockSync);
+        let _ = client.read(&[1], &server, &net, &mut stats);
+        assert_eq!(
+            stats.bytes(CommCategory::ClockSync),
+            clock_bytes_before,
+            "condition (1) is local: no clock message for the invalid key"
+        );
+        assert_eq!(client.cache().stats().invalidations, 1);
+        assert!(stats.bytes(CommCategory::EmbeddingPush) > 0, "dirty eviction pushed");
+        // Server received both updates: c_g = 2.
+        assert_eq!(server.clock_of(1), 2);
+    }
+
+    #[test]
+    fn staleness_zero_behaves_like_write_through_reads() {
+        let (mut client, server, net) = setup(10, 0);
+        let mut stats = CommStats::new();
+        let _ = client.read(&[1], &server, &net, &mut stats);
+        // s = 0 and no updates anywhere: entry still valid (c_g = c_c).
+        let _ = client.read(&[1], &server, &net, &mut stats);
+        assert_eq!(client.cache().stats().hits, 1);
+        // One local update at s=0 violates condition (1) immediately.
+        client.write(&grads_for(&[1], 1.0), &server, &net, &mut stats);
+        let _ = client.read(&[1], &server, &net, &mut stats);
+        assert_eq!(client.cache().stats().invalidations, 1);
+        assert_eq!(server.clock_of(1), 1, "update reached the server at once");
+    }
+
+    #[test]
+    fn oversized_batch_overflows_temporarily_then_trims() {
+        let (mut client, server, net) = setup(2, 5);
+        let mut stats = CommStats::new();
+        let (store, _) = client.read(&[1, 2, 3], &server, &net, &mut stats);
+        assert_eq!(store.len(), 3, "read resolves everything even past capacity");
+        assert_eq!(client.cache().len(), 3, "temporary overflow allowed");
+        client.write(&grads_for(&[1, 2, 3], 1.0), &server, &net, &mut stats);
+        assert_eq!(client.cache().len(), 2, "write's Evict() trims to capacity");
+    }
+
+    #[test]
+    fn direct_client_round_trips_and_costs() {
+        let client = DirectPsClient::new(2);
+        let server = PsServer::new(PsConfig { dim: 2, n_shards: 2, lr: 0.5, seed: 7, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+        let net = ClusterSpec::cluster_a(4, 1).collectives();
+        let mut stats = CommStats::new();
+        let (store, t_read) = client.read(&[1, 2], &server, &net, &mut stats);
+        assert_eq!(store.len(), 2);
+        assert!(t_read > SimDuration::ZERO);
+        let t_write = client.write(&grads_for(&[1, 2], 1.0), &server, &net, &mut stats);
+        assert!(t_write > SimDuration::ZERO);
+        assert_eq!(server.clock_of(1), 1);
+        assert!(stats.bytes(CommCategory::EmbeddingFetch) > 0);
+        assert!(stats.bytes(CommCategory::EmbeddingPush) > 0);
+        assert_eq!(client.write(&SparseGrads::new(2), &server, &net, &mut stats), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn cached_reads_cost_less_than_direct_reads_on_hot_keys() {
+        // The crux of the paper: hot-key traffic shrinks to clock-only
+        // messages, which are far smaller than embedding vectors at
+        // realistic dimensions (§3.1).
+        let dim = 64;
+        let mut cached = HetClient::new(10, 100, PolicyKind::Lru, dim, 0.5);
+        let direct = DirectPsClient::new(dim);
+        let server_a = PsServer::new(PsConfig { dim, n_shards: 2, lr: 0.5, seed: 7, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+        let server_b = PsServer::new(PsConfig { dim, n_shards: 2, lr: 0.5, seed: 7, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+        let net = ClusterSpec::cluster_a(4, 1).collectives();
+
+        let mut stats_cached = CommStats::new();
+        let mut stats_direct = CommStats::new();
+        for _ in 0..20 {
+            let _ = cached.read(&[1, 2, 3], &server_a, &net, &mut stats_cached);
+            let _ = direct.read(&[1, 2, 3], &server_b, &net, &mut stats_direct);
+        }
+        assert!(
+            stats_cached.embedding_bytes() < stats_direct.embedding_bytes() / 2,
+            "cached {} vs direct {}",
+            stats_cached.embedding_bytes(),
+            stats_direct.embedding_bytes()
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Experiment output: convergence curves, time breakdowns, and the
+//! communication/cache statistics the paper's tables and figures report.
+
+use het_cache::CacheStats;
+use het_simnet::{CommStats, SimDuration, SimTime};
+use serde::Serialize;
+
+/// One point on a convergence curve.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ConvergencePoint {
+    /// Simulated wall-clock time of the evaluation.
+    #[serde(serialize_with = "ser_time")]
+    pub sim_time: SimTime,
+    /// Global iterations completed (summed over workers).
+    pub iteration: u64,
+    /// The workload metric (AUC or accuracy).
+    pub metric: f64,
+    /// Mean training loss since the previous evaluation.
+    pub train_loss: f64,
+}
+
+fn ser_time<S: serde::Serializer>(t: &SimTime, s: S) -> Result<S::Ok, S::Error> {
+    s.serialize_f64(t.as_secs_f64())
+}
+
+fn ser_dur<S: serde::Serializer>(d: &SimDuration, s: S) -> Result<S::Ok, S::Error> {
+    s.serialize_f64(d.as_secs_f64())
+}
+
+/// Where simulated time went, summed over workers (Fig. 2 / Fig. 7's
+/// decomposition into transfer vs computation).
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct TimeBreakdown {
+    /// Sparse read communication (fetches, clock checks).
+    #[serde(serialize_with = "ser_dur")]
+    pub sparse_read: SimDuration,
+    /// Model forward/backward compute.
+    #[serde(serialize_with = "ser_dur")]
+    pub compute: SimDuration,
+    /// Sparse write communication (pushes, evictions, AllGather).
+    #[serde(serialize_with = "ser_dur")]
+    pub sparse_write: SimDuration,
+    /// Dense synchronisation (AllReduce or dense PS).
+    #[serde(serialize_with = "ser_dur")]
+    pub dense_sync: SimDuration,
+}
+
+impl TimeBreakdown {
+    /// Total accounted time.
+    pub fn total(&self) -> SimDuration {
+        self.sparse_read + self.compute + self.sparse_write + self.dense_sync
+    }
+
+    /// All communication components.
+    pub fn communication(&self) -> SimDuration {
+        self.sparse_read + self.sparse_write + self.dense_sync
+    }
+
+    /// Fraction of accounted time spent communicating (the paper's
+    /// Fig. 2 observation: up to 86 % for TF PS).
+    pub fn communication_fraction(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.communication().as_secs_f64() / total
+        }
+    }
+}
+
+/// The result of one training run.
+#[derive(Clone, Debug, Serialize)]
+pub struct TrainReport {
+    /// The system's display name.
+    pub system: String,
+    /// Convergence curve sampled every `eval_every` iterations.
+    pub curve: Vec<ConvergencePoint>,
+    /// Total simulated time (latest worker clock at termination).
+    #[serde(serialize_with = "ser_time")]
+    pub total_sim_time: SimTime,
+    /// Total iterations summed over workers.
+    pub total_iterations: u64,
+    /// Training examples processed.
+    pub examples_processed: u64,
+    /// Epochs completed (examples / epoch size).
+    pub epochs: f64,
+    /// First simulated time at which the target metric was reached.
+    #[serde(skip)]
+    pub converged_at: Option<SimTime>,
+    /// Metric at the last evaluation.
+    pub final_metric: f64,
+    /// Per-category communication bytes/messages (merged over workers).
+    pub comm: CommStats,
+    /// Cache statistics (zeroed for cache-less systems).
+    #[serde(skip)]
+    pub cache: CacheStats,
+    /// Where simulated time went.
+    pub breakdown: TimeBreakdown,
+    /// The embedding keys resident in each worker's cache at the end of
+    /// training, snapshotted *before* the final flush (empty for
+    /// cache-less systems). This is the "stale path" set: predictions
+    /// for these keys were served from cached values during training.
+    #[serde(skip)]
+    pub resident_keys_per_worker: Vec<Vec<u64>>,
+}
+
+impl TrainReport {
+    /// Simulated seconds per epoch (∞ if less than one epoch ran).
+    pub fn epoch_time(&self) -> f64 {
+        if self.epochs > 0.0 {
+            self.total_sim_time.as_secs_f64() / self.epochs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Throughput in examples per simulated second.
+    pub fn throughput(&self) -> f64 {
+        let t = self.total_sim_time.as_secs_f64();
+        if t > 0.0 {
+            self.examples_processed as f64 / t
+        } else {
+            0.0
+        }
+    }
+
+    /// Time to the target metric in simulated seconds, if reached.
+    pub fn convergence_time(&self) -> Option<f64> {
+        self.converged_at.map(|t| t.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_fractions() {
+        let b = TimeBreakdown {
+            sparse_read: SimDuration::from_millis(60),
+            compute: SimDuration::from_millis(20),
+            sparse_write: SimDuration::from_millis(10),
+            dense_sync: SimDuration::from_millis(10),
+        };
+        assert_eq!(b.total(), SimDuration::from_millis(100));
+        assert_eq!(b.communication(), SimDuration::from_millis(80));
+        assert!((b.communication_fraction() - 0.8).abs() < 1e-9);
+        assert_eq!(TimeBreakdown::default().communication_fraction(), 0.0);
+    }
+
+    fn report() -> TrainReport {
+        TrainReport {
+            system: "test".into(),
+            curve: vec![],
+            total_sim_time: SimTime::from_nanos(2_000_000_000),
+            total_iterations: 100,
+            examples_processed: 1_000,
+            epochs: 4.0,
+            converged_at: Some(SimTime::from_nanos(1_000_000_000)),
+            final_metric: 0.8,
+            comm: CommStats::new(),
+            cache: CacheStats::default(),
+            breakdown: TimeBreakdown::default(),
+            resident_keys_per_worker: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn derived_rates() {
+        let r = report();
+        assert!((r.epoch_time() - 0.5).abs() < 1e-9);
+        assert!((r.throughput() - 500.0).abs() < 1e-6);
+        assert_eq!(r.convergence_time(), Some(1.0));
+    }
+
+    #[test]
+    fn zero_epoch_edge_cases() {
+        let mut r = report();
+        r.epochs = 0.0;
+        assert!(r.epoch_time().is_infinite());
+        r.total_sim_time = SimTime::ZERO;
+        assert_eq!(r.throughput(), 0.0);
+    }
+
+    #[test]
+    fn report_serialises_to_json() {
+        let r = report();
+        let json = serde_json::to_string(&r).expect("serialisable");
+        assert!(json.contains("\"system\":\"test\""));
+    }
+}

@@ -1,0 +1,135 @@
+//! Evaluation metrics: ROC AUC (the paper's Criteo quality metric,
+//! thresholds around 0.80 in §5) and log loss.
+
+/// Area under the ROC curve for scores against {0,1} labels, computed by
+/// the rank-sum (Mann–Whitney U) method with average ranks for ties.
+/// Returns 0.5 when either class is absent.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn auc(scores: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let n = scores.len();
+    let n_pos = labels.iter().filter(|&&y| y > 0.5).count();
+    let n_neg = n - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // Average ranks over tied score groups.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based; all of i..=j share the average rank.
+        let avg_rank = (i + j + 2) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            if labels[idx] > 0.5 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Mean binary log loss of probability scores against {0,1} labels, with
+/// probability clamping for numerical safety.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn log_loss(probs: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(probs.len(), labels.len(), "probs/labels length mismatch");
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-7f64;
+    let total: f64 = probs
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let p = (p as f64).clamp(eps, 1.0 - eps);
+            if y > 0.5 {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    total / probs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_gives_one() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        assert!((auc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_gives_zero() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        assert!(auc(&scores, &labels).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_scores_give_half() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [0.0, 1.0, 0.0, 1.0];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_gives_half() {
+        assert_eq!(auc(&[0.3, 0.7], &[1.0, 1.0]), 0.5);
+        assert_eq!(auc(&[0.3, 0.7], &[0.0, 0.0]), 0.5);
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+        // Pairs: (0.8>0.6) (0.8>0.2) (0.4<0.6) (0.4>0.2) -> 3/4.
+        let scores = [0.8, 0.4, 0.6, 0.2];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert!((auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_between_classes_count_half() {
+        // One pos and one neg with identical scores -> AUC 0.5.
+        let scores = [0.5, 0.5];
+        let labels = [1.0, 0.0];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_confident_correct_is_small() {
+        let l = log_loss(&[0.999, 0.001], &[1.0, 0.0]);
+        assert!(l < 0.01);
+        let bad = log_loss(&[0.001, 0.999], &[1.0, 0.0]);
+        assert!(bad > 4.0);
+    }
+
+    #[test]
+    fn log_loss_clamps_extremes() {
+        let l = log_loss(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!(l.is_finite());
+    }
+
+    #[test]
+    fn log_loss_empty_is_zero() {
+        assert_eq!(log_loss(&[], &[]), 0.0);
+    }
+}

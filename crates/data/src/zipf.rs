@@ -1,0 +1,164 @@
+//! Zipf-distributed sampling over `{0, 1, …, n−1}`.
+//!
+//! `P(k) ∝ 1/(k+1)^s`. The paper observes that embedding updates follow
+//! power-law distributions (Fig. 3: the top 10 % of Criteo embeddings
+//! receive ~90 % of updates); this sampler is how the CTR generator
+//! reproduces that skew. Implementation: inverse-CDF over a precomputed
+//! cumulative table with binary search — O(n) setup, O(log n) per draw,
+//! exact for any exponent including s = 0 (uniform).
+
+use rand::Rng;
+
+/// Samples ranks from a Zipf distribution with exponent `s` over `n`
+/// items, rank 0 being the most popular.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` items with exponent `exponent ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or the exponent is negative/non-finite.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(
+            exponent >= 0.0 && exponent.is_finite(),
+            "Zipf exponent must be a non-negative finite number"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point round-off leaving the last entry
+        // fractionally below 1.0.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of items in the support.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Cumulative mass of the top `k` ranks (the paper's Fig. 3 x-axis is
+    /// "top x % of embeddings", its y-axis is this value).
+    pub fn top_k_mass(&self, k: usize) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.cdf[(k - 1).min(self.cdf.len() - 1)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_exponent_zero() {
+        let z = ZipfSampler::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mass_is_monotone_decreasing_in_rank() {
+        let z = ZipfSampler::new(100, 1.1);
+        for k in 1..100 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn cdf_terminates_at_one() {
+        let z = ZipfSampler::new(10, 1.5);
+        assert!((z.top_k_mass(10) - 1.0).abs() < 1e-12);
+        assert_eq!(z.pmf(10), 0.0);
+        assert_eq!(z.top_k_mass(0), 0.0);
+    }
+
+    #[test]
+    fn empirical_distribution_matches_pmf() {
+        let z = ZipfSampler::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0usize; 50];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in [0usize, 1, 5, 20] {
+            let emp = counts[k] as f64 / draws as f64;
+            let expect = z.pmf(k);
+            assert!(
+                (emp - expect).abs() < 0.01,
+                "rank {k}: empirical {emp} vs pmf {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn skew_matches_paper_figure3_shape() {
+        // With ~10^5 keys and exponent ≈ 1.1, the top 10 % of keys should
+        // hold the large majority of the mass — the paper's Criteo
+        // observation (top 10 % ≈ 90 % of updates).
+        let n = 100_000;
+        let z = ZipfSampler::new(n, 1.1);
+        let top10 = z.top_k_mass(n / 10);
+        assert!(top10 > 0.8, "top-10% mass {top10} should dominate");
+    }
+
+    #[test]
+    #[should_panic(expected = "support must be non-empty")]
+    fn empty_support_rejected() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be")]
+    fn negative_exponent_rejected() {
+        let _ = ZipfSampler::new(4, -1.0);
+    }
+
+    #[test]
+    fn samples_cover_support_edges() {
+        let z = ZipfSampler::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..10_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all ranks should eventually appear");
+    }
+}

@@ -1,0 +1,70 @@
+//! # HET — cache-enabled distributed framework for huge embedding models
+//!
+//! A from-scratch Rust reproduction of *"HET: Scaling out Huge Embedding
+//! Model Training via Cache-enabled Distributed Framework"* (Miao, Zhang,
+//! Shi, Nie, Yang, Tao, Cui — PVLDB 15(2), 2022).
+//!
+//! HET accelerates data-parallel training of models dominated by huge
+//! embedding tables by giving every worker a **cache of hot embeddings**
+//! governed by a **per-embedding clock-bounded consistency model** that
+//! tolerates staleness on *both reads and writes*. This crate is the
+//! one-stop facade: it re-exports the whole stack.
+//!
+//! | Layer | Crate | What it provides |
+//! |---|---|---|
+//! | simulation | [`simnet`] | simulated links, collectives, byte accounting |
+//! | math | [`tensor`] | matrices, layers, losses, SGD |
+//! | workloads | [`data`] | Zipf CTR streams, power-law graphs, metrics |
+//! | substrate | [`ps`] | sharded versioned embedding parameter server |
+//! | substrate | [`cache`] | the cache table, clocks, LRU/LFU/LightLFU |
+//! | framework | [`core`] | HET client, consistency model, trainer |
+//! | models | [`models`] | WDL, DeepFM, DCN, GraphSAGE |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use het::prelude::*;
+//!
+//! // A small Criteo-like CTR workload.
+//! let dataset = CtrDataset::new(CtrConfig::tiny(42));
+//! // Full HET: hybrid architecture + cache, staleness s = 10.
+//! let config = TrainerConfig::tiny(SystemPreset::HetCache { staleness: 10 });
+//! let mut trainer = Trainer::new(config, dataset, |rng| {
+//!     WideDeep::new(rng, 4, 8, &[16])
+//! });
+//! let report = trainer.run();
+//! println!(
+//!     "{}: {:.3} metric after {} iterations, {:.1}% comm reduction possible",
+//!     report.system, report.final_metric, report.total_iterations,
+//!     100.0 * report.cache.hit_rate()
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub use het_cache as cache;
+pub use het_core as core;
+pub use het_data as data;
+pub use het_models as models;
+pub use het_ps as ps;
+pub use het_simnet as simnet;
+pub use het_tensor as tensor;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use het_cache::{CacheStats, PolicyKind};
+    pub use het_core::config::{
+        Backbone, DenseSync, SparseMode, SyncMode, SystemConfig, SystemPreset, TrainerConfig,
+    };
+    pub use het_core::{HetClient, Trainer, TrainReport};
+    pub use het_data::{
+        auc, CtrBatch, CtrConfig, CtrDataset, GnnBatch, Graph, GraphConfig, Key, NeighborSampler,
+        ZipfSampler,
+    };
+    pub use het_models::{
+        Dataset, DeepCross, DeepFm, EmbeddingModel, EmbeddingStore, GnnDataset, GraphSage,
+        MetricKind, SparseGrads, WideDeep, XDeepFm,
+    };
+    pub use het_ps::{CheckpointRow, PsConfig, PsServer, ServerOptimizer};
+    pub use het_simnet::{ClusterSpec, CommCategory, CommStats, LinkSpec, SimDuration, SimTime};
+}

@@ -1,0 +1,121 @@
+//! A uniform dataset interface so the trainer is generic over CTR and
+//! GNN workloads.
+
+use crate::ModelBatch;
+use het_data::{CtrBatch, CtrDataset, GnnBatch, Graph, NeighborSampler};
+
+/// A deterministic mini-batch source with train/test splits.
+pub trait Dataset: Send + Sync {
+    /// The batch type produced.
+    type Batch: ModelBatch;
+
+    /// The `cursor`-th training batch (cursors advance by batch size;
+    /// implementations wrap at the epoch boundary).
+    fn train_batch(&self, cursor: u64, batch_size: usize) -> Self::Batch;
+
+    /// The `cursor`-th test batch.
+    fn test_batch(&self, cursor: u64, batch_size: usize) -> Self::Batch;
+
+    /// Number of training examples in one epoch.
+    fn epoch_examples(&self) -> u64;
+
+    /// Number of test examples.
+    fn test_examples(&self) -> u64;
+
+    /// Total number of distinct embedding keys the workload can touch.
+    fn n_keys(&self) -> usize;
+}
+
+impl Dataset for CtrDataset {
+    type Batch = CtrBatch;
+
+    fn train_batch(&self, cursor: u64, batch_size: usize) -> CtrBatch {
+        CtrDataset::train_batch(self, cursor, batch_size)
+    }
+
+    fn test_batch(&self, cursor: u64, batch_size: usize) -> CtrBatch {
+        CtrDataset::test_batch(self, cursor, batch_size)
+    }
+
+    fn epoch_examples(&self) -> u64 {
+        self.config().n_train as u64
+    }
+
+    fn test_examples(&self) -> u64 {
+        self.config().n_test as u64
+    }
+
+    fn n_keys(&self) -> usize {
+        self.total_keys()
+    }
+}
+
+/// A graph plus its neighbour sampler, packaged as a [`Dataset`].
+pub struct GnnDataset {
+    graph: Graph,
+    sampler: NeighborSampler,
+}
+
+impl GnnDataset {
+    /// Bundles a generated graph with a sampler.
+    pub fn new(graph: Graph, sampler: NeighborSampler) -> Self {
+        GnnDataset { graph, sampler }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+impl Dataset for GnnDataset {
+    type Batch = GnnBatch;
+
+    fn train_batch(&self, cursor: u64, batch_size: usize) -> GnnBatch {
+        self.sampler.train_batch(&self.graph, cursor, batch_size)
+    }
+
+    fn test_batch(&self, cursor: u64, batch_size: usize) -> GnnBatch {
+        self.sampler.test_batch(&self.graph, cursor, batch_size)
+    }
+
+    fn epoch_examples(&self) -> u64 {
+        self.graph.train_nodes().len() as u64
+    }
+
+    fn test_examples(&self) -> u64 {
+        self.graph.test_nodes().len() as u64
+    }
+
+    fn n_keys(&self) -> usize {
+        self.graph.n_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use het_data::{CtrConfig, GraphConfig};
+
+    #[test]
+    fn ctr_dataset_implements_interface() {
+        let ds = CtrDataset::new(CtrConfig::tiny(1));
+        let b = Dataset::train_batch(&ds, 0, 8);
+        assert_eq!(b.n_examples(), 8);
+        assert_eq!(ds.epoch_examples(), 2_000);
+        assert_eq!(ds.test_examples(), 500);
+        assert_eq!(Dataset::n_keys(&ds), 200);
+    }
+
+    #[test]
+    fn gnn_dataset_implements_interface() {
+        let g = Graph::generate(GraphConfig::tiny(1));
+        let ds = GnnDataset::new(g, NeighborSampler::new(3, 2));
+        let b = ds.train_batch(0, 8);
+        assert_eq!(b.n_examples(), 8);
+        assert!(ds.epoch_examples() > 0);
+        assert!(ds.test_examples() > 0);
+        assert_eq!(ds.n_keys(), 300);
+        assert_eq!(ds.graph().n_nodes(), 300);
+    }
+}

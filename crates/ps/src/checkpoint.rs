@@ -1,0 +1,178 @@
+//! Embedding-table checkpointing.
+//!
+//! Production embedding-model training checkpoints the server state
+//! (tables this large cannot be retrained casually). The format is a
+//! simple self-describing text format — one row per line — which keeps
+//! this crate dependency-free and the files diffable:
+//!
+//! ```text
+//! HET-CKPT v1 dim=<D>
+//! <key> <clock> <v0> <v1> … <vD-1>
+//! ```
+
+use crate::server::{PsConfig, PsServer};
+use crate::Key;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// One exported embedding row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointRow {
+    /// The embedding key.
+    pub key: Key,
+    /// The global clock `c_g`.
+    pub clock: u64,
+    /// The embedding vector.
+    pub vector: Vec<f32>,
+}
+
+/// Writes a checkpoint of `rows` (any order; keys should be unique).
+pub fn write_checkpoint<W: Write>(w: W, dim: usize, rows: &[CheckpointRow]) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "HET-CKPT v1 dim={dim}")?;
+    for row in rows {
+        if row.vector.len() != dim {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("row {} has dim {} != {}", row.key, row.vector.len(), dim),
+            ));
+        }
+        write!(w, "{} {}", row.key, row.clock)?;
+        for v in &row.vector {
+            write!(w, " {v}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Reads a checkpoint, returning `(dim, rows)`.
+pub fn read_checkpoint<R: Read>(r: R) -> io::Result<(usize, Vec<CheckpointRow>)> {
+    let mut lines = BufReader::new(r).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty checkpoint"))??;
+    let dim = header
+        .strip_prefix("HET-CKPT v1 dim=")
+        .and_then(|d| d.parse::<usize>().ok())
+        .ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad header: {header}"))
+        })?;
+    let mut rows = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let parse_err = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: bad {what}", lineno + 2),
+            )
+        };
+        let key: Key =
+            parts.next().ok_or_else(|| parse_err("key"))?.parse().map_err(|_| parse_err("key"))?;
+        let clock: u64 = parts
+            .next()
+            .ok_or_else(|| parse_err("clock"))?
+            .parse()
+            .map_err(|_| parse_err("clock"))?;
+        let vector: Vec<f32> = parts
+            .map(|p| p.parse::<f32>().map_err(|_| parse_err("value")))
+            .collect::<Result<_, _>>()?;
+        if vector.len() != dim {
+            return Err(parse_err("vector length"));
+        }
+        rows.push(CheckpointRow { key, clock, vector });
+    }
+    Ok((dim, rows))
+}
+
+/// Restores a server from checkpoint rows (fresh server with `config`;
+/// `config.dim` must match).
+///
+/// # Panics
+/// Panics on a dimension mismatch.
+pub fn restore_server(config: PsConfig, dim: usize, rows: &[CheckpointRow]) -> PsServer {
+    assert_eq!(config.dim, dim, "checkpoint dim {dim} != config dim {}", config.dim);
+    let server = PsServer::new(config);
+    for row in rows {
+        server.restore_entry(row.key, row.vector.clone(), row.clock);
+    }
+    server
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_rows() -> Vec<CheckpointRow> {
+        vec![
+            CheckpointRow { key: 3, clock: 7, vector: vec![1.5, -0.25] },
+            CheckpointRow { key: 9, clock: 0, vector: vec![0.0, 42.0] },
+        ]
+    }
+
+    #[test]
+    fn round_trip_through_buffer() {
+        let rows = demo_rows();
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, 2, &rows).unwrap();
+        let (dim, restored) = read_checkpoint(buf.as_slice()).unwrap();
+        assert_eq!(dim, 2);
+        assert_eq!(restored, rows);
+    }
+
+    #[test]
+    fn server_export_restore_round_trip() {
+        let config = PsConfig { dim: 2, n_shards: 4, lr: 0.5, seed: 3, ..PsConfig::new(2) };
+        let server = PsServer::new(config);
+        server.push_inc(3, &[1.0, 2.0]);
+        server.push_inc(3, &[1.0, 2.0]);
+        server.push_inc(9, &[0.5, 0.5]);
+        let rows = server.export_rows();
+        assert_eq!(rows.len(), 2);
+
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, 2, &rows).unwrap();
+        let (dim, restored_rows) = read_checkpoint(buf.as_slice()).unwrap();
+        let restored = restore_server(config, dim, &restored_rows);
+
+        assert_eq!(restored.pull(3), server.pull(3));
+        assert_eq!(restored.pull(9), server.pull(9));
+        assert_eq!(restored.clock_of(3), 2);
+    }
+
+    #[test]
+    fn export_rows_are_key_sorted() {
+        let server = PsServer::new(PsConfig::new(1));
+        for k in [9u64, 1, 5] {
+            server.push_inc(k, &[1.0]);
+        }
+        let keys: Vec<Key> = server.export_rows().iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = read_checkpoint("garbage\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = read_checkpoint("".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bad_row_rejected() {
+        let text = "HET-CKPT v1 dim=2\n1 0 0.5\n"; // short vector
+        assert!(read_checkpoint(text.as_bytes()).is_err());
+        let text = "HET-CKPT v1 dim=2\nnotakey 0 0.5 0.5\n";
+        assert!(read_checkpoint(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn wrong_dim_write_rejected() {
+        let rows = vec![CheckpointRow { key: 1, clock: 0, vector: vec![0.0; 3] }];
+        let mut buf = Vec::new();
+        assert!(write_checkpoint(&mut buf, 2, &rows).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Dense parameter store for the pure-PS baselines.
+//!
+//! TF PS and HET PS keep *all* parameters — dense layers included — on
+//! the server (§2.1). The hybrid architectures replace this path with
+//! AllReduce, which is exactly the difference Fig. 7 measures. The store
+//! is a flat f32 buffer matching a model's `FlatGrads` layout.
+
+use parking_lot::RwLock;
+
+/// A flat dense parameter vector on the server with SGD application.
+pub struct DenseStore {
+    inner: RwLock<DenseInner>,
+    lr: f32,
+}
+
+struct DenseInner {
+    params: Vec<f32>,
+    version: u64,
+}
+
+impl DenseStore {
+    /// Creates the store holding `initial` parameters, updated with
+    /// learning rate `lr`.
+    pub fn new(initial: Vec<f32>, lr: f32) -> Self {
+        DenseStore { inner: RwLock::new(DenseInner { params: initial, version: 0 }), lr }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.inner.read().params.len()
+    }
+
+    /// True when the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pulls the full parameter vector and its version.
+    pub fn pull(&self) -> (Vec<f32>, u64) {
+        let g = self.inner.read();
+        (g.params.clone(), g.version)
+    }
+
+    /// Pushes a gradient: `params -= lr * grad`, bumping the version.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn push(&self, grad: &[f32]) {
+        let mut g = self.inner.write();
+        assert_eq!(grad.len(), g.params.len(), "dense gradient length mismatch");
+        for (p, &d) in g.params.iter_mut().zip(grad) {
+            *p -= self.lr * d;
+        }
+        g.version += 1;
+    }
+
+    /// The current version (number of pushes applied).
+    pub fn version(&self) -> u64 {
+        self.inner.read().version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_applies_sgd_and_versions() {
+        let s = DenseStore::new(vec![1.0, 2.0], 0.1);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        s.push(&[1.0, -1.0]);
+        let (p, v) = s.pull();
+        assert!((p[0] - 0.9).abs() < 1e-7);
+        assert!((p[1] - 2.1).abs() < 1e-7);
+        assert_eq!(v, 1);
+        assert_eq!(s.version(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_rejected() {
+        let s = DenseStore::new(vec![0.0; 3], 0.1);
+        s.push(&[0.0; 2]);
+    }
+
+    #[test]
+    fn concurrent_pushes_serialize() {
+        use std::sync::Arc;
+        let s = Arc::new(DenseStore::new(vec![0.0], 1.0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        s.push(&[1.0]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (p, v) = s.pull();
+        assert_eq!(v, 400);
+        assert!((p[0] + 400.0).abs() < 1e-3);
+    }
+}

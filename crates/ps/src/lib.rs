@@ -1,0 +1,30 @@
+//! Parameter-server substrate for the HET reproduction.
+//!
+//! Plays the role PS-Lite plays in the original system: a sharded
+//! key→embedding store with per-embedding **global Lamport clocks**
+//! (paper §3.1 — `x_k.c_g` counts the total updates applied to
+//! embedding `k`), sparse pull/push, and server-side SGD application of
+//! pushed gradients. A small dense store backs the pure-PS baselines'
+//! dense parameters (TF PS / HET PS).
+//!
+//! The store is thread-safe (one `parking_lot::RwLock` per shard) so it
+//! can serve both the deterministic discrete-event trainer and any
+//! multi-threaded executor. Embeddings are lazily initialised from a
+//! hash of `(seed, key)`, so every replica observes the same initial
+//! vector no matter which worker touches the key first — a property the
+//! convergence tests rely on.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod dense;
+pub mod optimizer;
+pub mod server;
+
+pub use checkpoint::{read_checkpoint, restore_server, write_checkpoint, CheckpointRow};
+pub use dense::DenseStore;
+pub use optimizer::ServerOptimizer;
+pub use server::{PsConfig, PsServer, PullResult};
+
+/// An embedding key (feature ID).
+pub type Key = u64;

@@ -1,0 +1,387 @@
+//! The sharded embedding parameter server.
+
+use crate::optimizer::ServerOptimizer;
+use crate::Key;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Configuration of the embedding server.
+#[derive(Clone, Copy, Debug)]
+pub struct PsConfig {
+    /// Embedding dimension D.
+    pub dim: usize,
+    /// Number of shards (lock granularity; also models the paper's
+    /// multiple server machines).
+    pub n_shards: usize,
+    /// Server-side SGD learning rate applied to pushed gradients.
+    pub lr: f32,
+    /// Seed for deterministic lazy initialisation.
+    pub seed: u64,
+    /// How pushed gradients are applied (the paper uses SGD; Adagrad is
+    /// provided for the cache-less paths).
+    pub optimizer: ServerOptimizer,
+    /// Optional L2 clip applied to each pushed gradient. HET's stale
+    /// writes arrive as *accumulated* gradients (up to `s` batches in
+    /// one push); for models with multiplicative interactions (DeepFM's
+    /// FM term) an unclipped burst can destabilise training, so
+    /// production embedding servers clip pushes. `None` disables.
+    pub grad_clip: Option<f32>,
+}
+
+impl PsConfig {
+    /// A server for `dim`-dimensional embeddings with sensible defaults.
+    pub fn new(dim: usize) -> Self {
+        PsConfig {
+            dim,
+            n_shards: 8,
+            lr: 0.1,
+            seed: 0x5EED,
+            optimizer: ServerOptimizer::Sgd,
+            grad_clip: None,
+        }
+    }
+}
+
+/// The result of pulling one embedding: its current vector and global
+/// clock.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PullResult {
+    /// The embedding vector (length = `dim`).
+    pub vector: Vec<f32>,
+    /// The global Lamport clock `c_g` — total updates applied so far.
+    pub clock: u64,
+}
+
+struct Entry {
+    vector: Vec<f32>,
+    clock: u64,
+    /// Optimiser state (empty for SGD, the Adagrad accumulator
+    /// otherwise).
+    opt_state: Vec<f32>,
+}
+
+struct Shard {
+    table: HashMap<Key, Entry>,
+}
+
+/// The global embedding table: sharded, versioned, thread-safe.
+pub struct PsServer {
+    config: PsConfig,
+    shards: Vec<RwLock<Shard>>,
+}
+
+/// Scales `grad` down to L2 norm `clip` if it exceeds it, returning the
+/// (possibly borrowed) gradient to apply.
+fn clipped<'a>(grad: &'a [f32], clip: Option<f32>, scratch: &'a mut Vec<f32>) -> &'a [f32] {
+    let Some(clip) = clip else { return grad };
+    let norm = grad.iter().map(|g| (*g as f64) * (*g as f64)).sum::<f64>().sqrt() as f32;
+    if norm <= clip || norm == 0.0 {
+        return grad;
+    }
+    let scale = clip / norm;
+    scratch.clear();
+    scratch.extend(grad.iter().map(|g| g * scale));
+    scratch
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl PsServer {
+    /// Creates an empty server.
+    ///
+    /// # Panics
+    /// Panics on a zero dimension or zero shard count.
+    pub fn new(config: PsConfig) -> Self {
+        assert!(config.dim > 0, "embedding dimension must be positive");
+        assert!(config.n_shards > 0, "need at least one shard");
+        let shards = (0..config.n_shards)
+            .map(|_| RwLock::new(Shard { table: HashMap::new() }))
+            .collect();
+        PsServer { config, shards }
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &PsConfig {
+        &self.config
+    }
+
+    /// Embedding dimension D.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    fn shard_of(&self, key: Key) -> &RwLock<Shard> {
+        let idx = (splitmix64(key) % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Deterministic initial vector for a key: uniform in
+    /// `[−1/√D, +1/√D]`, derived only from `(seed, key)`.
+    fn initial_vector(&self, key: Key) -> Vec<f32> {
+        let dim = self.config.dim;
+        let bound = 1.0 / (dim as f64).sqrt();
+        (0..dim)
+            .map(|i| {
+                let h = splitmix64(self.config.seed ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64) << 1);
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+                ((u * 2.0 - 1.0) * bound) as f32
+            })
+            .collect()
+    }
+
+    /// Pulls one embedding, lazily initialising it on first touch.
+    pub fn pull(&self, key: Key) -> PullResult {
+        let shard = self.shard_of(key);
+        {
+            let guard = shard.read();
+            if let Some(e) = guard.table.get(&key) {
+                return PullResult { vector: e.vector.clone(), clock: e.clock };
+            }
+        }
+        let mut guard = shard.write();
+        let e = guard.table.entry(key).or_insert_with(|| Entry {
+            vector: self.initial_vector(key),
+            clock: 0,
+            opt_state: Vec::new(),
+        });
+        PullResult { vector: e.vector.clone(), clock: e.clock }
+    }
+
+    /// Pulls a batch of embeddings.
+    pub fn pull_many(&self, keys: &[Key]) -> Vec<PullResult> {
+        keys.iter().map(|&k| self.pull(k)).collect()
+    }
+
+    /// HET eviction write-back (paper §3.1, `Het.Cache.Evict`): applies
+    /// the accumulated gradient with the server's SGD rule and
+    /// synchronises the global clock to `max(c_g, candidate_clock)`.
+    ///
+    /// # Panics
+    /// Panics if the gradient length differs from the configured dim.
+    pub fn push_with_clock(&self, key: Key, grad: &[f32], candidate_clock: u64) {
+        assert_eq!(grad.len(), self.config.dim, "gradient dimension mismatch");
+        let (lr, opt) = (self.config.lr, self.config.optimizer);
+        let mut scratch = Vec::new();
+        let grad = clipped(grad, self.config.grad_clip, &mut scratch);
+        let mut guard = self.shard_of(key).write();
+        let init =
+            || Entry { vector: self.initial_vector(key), clock: 0, opt_state: Vec::new() };
+        let e = guard.table.entry(key).or_insert_with(init);
+        opt.apply(&mut e.vector, &mut e.opt_state, grad, lr);
+        e.clock = e.clock.max(candidate_clock);
+    }
+
+    /// Plain-PS push (the no-cache baselines): applies the gradient and
+    /// increments the global clock by one update.
+    ///
+    /// # Panics
+    /// Panics if the gradient length differs from the configured dim.
+    pub fn push_inc(&self, key: Key, grad: &[f32]) {
+        assert_eq!(grad.len(), self.config.dim, "gradient dimension mismatch");
+        let (lr, opt) = (self.config.lr, self.config.optimizer);
+        let mut scratch = Vec::new();
+        let grad = clipped(grad, self.config.grad_clip, &mut scratch);
+        let mut guard = self.shard_of(key).write();
+        let init =
+            || Entry { vector: self.initial_vector(key), clock: 0, opt_state: Vec::new() };
+        let e = guard.table.entry(key).or_insert_with(init);
+        opt.apply(&mut e.vector, &mut e.opt_state, grad, lr);
+        e.clock += 1;
+    }
+
+    /// The global clock of a key (0 for never-touched keys). This is the
+    /// clock-only query behind `CheckValid` condition (2).
+    pub fn clock_of(&self, key: Key) -> u64 {
+        self.shard_of(key).read().table.get(&key).map_or(0, |e| e.clock)
+    }
+
+    /// Batched [`PsServer::clock_of`].
+    pub fn clocks_of(&self, keys: &[Key]) -> Vec<u64> {
+        keys.iter().map(|&k| self.clock_of(k)).collect()
+    }
+
+    /// Number of materialised embeddings across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().table.len()).sum()
+    }
+
+    /// True when no embedding has been touched yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read-only snapshot of one vector without affecting clocks — a test
+    /// oracle helper.
+    pub fn snapshot(&self, key: Key) -> Option<Vec<f32>> {
+        self.shard_of(key).read().table.get(&key).map(|e| e.vector.clone())
+    }
+
+    /// Exports every materialised row, key-sorted, for checkpointing.
+    pub fn export_rows(&self) -> Vec<crate::checkpoint::CheckpointRow> {
+        let mut rows = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let guard = shard.read();
+            for (&key, e) in &guard.table {
+                rows.push(crate::checkpoint::CheckpointRow {
+                    key,
+                    clock: e.clock,
+                    vector: e.vector.clone(),
+                });
+            }
+        }
+        rows.sort_unstable_by_key(|r| r.key);
+        rows
+    }
+
+    /// Installs a checkpointed row verbatim (used by restore; overwrites
+    /// any existing entry, resetting optimiser state).
+    pub fn restore_entry(&self, key: Key, vector: Vec<f32>, clock: u64) {
+        assert_eq!(vector.len(), self.config.dim, "row dimension mismatch");
+        let mut guard = self.shard_of(key).write();
+        guard.table.insert(key, Entry { vector, clock, opt_state: Vec::new() });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(dim: usize) -> PsServer {
+        PsServer::new(PsConfig {
+            dim,
+            n_shards: 4,
+            lr: 0.5,
+            seed: 99,
+            optimizer: ServerOptimizer::Sgd,
+            grad_clip: None,
+        })
+    }
+
+    #[test]
+    fn lazy_init_is_deterministic_and_bounded() {
+        let a = server(8);
+        let b = server(8);
+        let pa = a.pull(123);
+        let pb = b.pull(123);
+        assert_eq!(pa, pb, "same seed → same init regardless of instance");
+        assert_eq!(pa.clock, 0);
+        let bound = 1.0 / (8.0f32).sqrt() + 1e-6;
+        assert!(pa.vector.iter().all(|v| v.abs() <= bound));
+        // Different keys get different vectors.
+        assert_ne!(a.pull(124).vector, pa.vector);
+    }
+
+    #[test]
+    fn init_does_not_depend_on_touch_order() {
+        let a = server(4);
+        let b = server(4);
+        let _ = a.pull(1);
+        let _ = a.pull(2);
+        let _ = b.pull(2);
+        let _ = b.pull(1);
+        assert_eq!(a.pull(1), b.pull(1));
+        assert_eq!(a.pull(2), b.pull(2));
+    }
+
+    #[test]
+    fn push_inc_applies_sgd_and_bumps_clock() {
+        let s = server(2);
+        let before = s.pull(7).vector;
+        s.push_inc(7, &[1.0, -2.0]);
+        let after = s.pull(7);
+        assert!((after.vector[0] - (before[0] - 0.5)).abs() < 1e-6);
+        assert!((after.vector[1] - (before[1] + 1.0)).abs() < 1e-6);
+        assert_eq!(after.clock, 1);
+        s.push_inc(7, &[0.0, 0.0]);
+        assert_eq!(s.clock_of(7), 2);
+    }
+
+    #[test]
+    fn push_with_clock_takes_max() {
+        let s = server(2);
+        s.push_with_clock(3, &[0.0, 0.0], 5);
+        assert_eq!(s.clock_of(3), 5);
+        s.push_with_clock(3, &[0.0, 0.0], 2);
+        assert_eq!(s.clock_of(3), 5, "older candidate clock must not regress c_g");
+        s.push_with_clock(3, &[0.0, 0.0], 9);
+        assert_eq!(s.clock_of(3), 9);
+    }
+
+    #[test]
+    fn push_on_untouched_key_initialises_first() {
+        let s = server(2);
+        s.push_inc(42, &[1.0, 1.0]);
+        let p = s.pull(42);
+        // vector = init - 0.5 * grad; recompute init via a fresh server.
+        let init = server(2).pull(42).vector;
+        assert!((p.vector[0] - (init[0] - 0.5)).abs() < 1e-6);
+        assert_eq!(p.clock, 1);
+    }
+
+    #[test]
+    fn clock_of_untouched_key_is_zero() {
+        let s = server(2);
+        assert_eq!(s.clock_of(1000), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.snapshot(1000), None);
+    }
+
+    #[test]
+    fn len_counts_across_shards() {
+        let s = server(2);
+        for k in 0..100 {
+            let _ = s.pull(k);
+        }
+        assert_eq!(s.len(), 100);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn pull_many_and_clocks_of_align() {
+        let s = server(2);
+        s.push_inc(1, &[0.0, 0.0]);
+        s.push_inc(1, &[0.0, 0.0]);
+        s.push_inc(2, &[0.0, 0.0]);
+        let keys = [1, 2, 3];
+        let pulls = s.pull_many(&keys);
+        let clocks = s.clocks_of(&keys);
+        assert_eq!(clocks, vec![2, 1, 0]);
+        for (p, c) in pulls.iter().zip(&clocks) {
+            assert_eq!(p.clock, *c);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_grad_dim_rejected() {
+        let s = server(4);
+        s.push_inc(1, &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn concurrent_pushes_all_apply() {
+        use std::sync::Arc;
+        let s = Arc::new(server(1));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..250 {
+                    s.push_inc(77, &[1.0]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.clock_of(77), 1000);
+        let init = server(1).pull(77).vector[0];
+        let v = s.pull(77).vector[0];
+        assert!((v - (init - 0.5 * 1000.0)).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,44 @@
+//! Simulated-network substrate for the HET reproduction.
+//!
+//! The original HET system ran on GPU clusters connected by 1/10 Gbit
+//! Ethernet (workers ↔ parameter servers) and PCIe/NVLink (worker ↔ worker
+//! AllReduce). None of that hardware is available here, so this crate
+//! models it: simulated clocks, link bandwidth/latency cost models,
+//! analytic costs for the collectives the paper uses (PS pull/push, ring
+//! AllReduce, AllGather), and per-category byte accounting.
+//!
+//! Everything the paper measures about *communication* — epoch time
+//! breakdowns (Fig. 2, Fig. 7), communication reduction (§5.1),
+//! scalability (Fig. 9) — is a function of bytes moved over links of a
+//! given bandwidth. This crate computes those quantities from first
+//! principles, which is what makes the reproduction's *shape* faithful
+//! even though absolute seconds differ from the authors' testbed.
+//!
+//! # Example
+//!
+//! ```
+//! use het_simnet::{LinkSpec, SimDuration, wire};
+//!
+//! // A 1 Gbit/s Ethernet link with 100 µs latency, as in the paper's
+//! // cluster A.
+//! let link = LinkSpec::ethernet_1gbit();
+//! // Fetching one D=128 embedding: key + clock + vector + header.
+//! let bytes = wire::embedding_fetch_response_bytes(128);
+//! let t = link.transfer_time(bytes);
+//! assert!(t > SimDuration::ZERO);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod link;
+pub mod stats;
+pub mod time;
+pub mod topology;
+pub mod wire;
+
+pub use event::EventQueue;
+pub use link::LinkSpec;
+pub use stats::{CommCategory, CommStats, Direction};
+pub use time::{SimDuration, SimTime};
+pub use topology::{ClusterSpec, Collectives};

@@ -1,0 +1,141 @@
+//! Point-to-point link cost model.
+//!
+//! A link is characterised by bandwidth (bits per second) and a fixed
+//! per-message latency, the classic α–β model: transferring `n` bytes
+//! costs `α + n·8/β`. The paper's two clusters give us the reference
+//! configurations: 1 Gbit Ethernet (cluster A, worker ↔ server),
+//! 10 Gbit Ethernet (cluster B), and PCIe 3.0 (worker ↔ worker, used by
+//! the AllReduce path of HET AR / HET Hybrid).
+
+use crate::time::SimDuration;
+
+/// Bandwidth + latency description of a network link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// Usable bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way latency added to every message.
+    pub latency: SimDuration,
+}
+
+impl LinkSpec {
+    /// Creates a link from bandwidth (bits/s) and latency.
+    ///
+    /// # Panics
+    /// Panics if `bandwidth_bps` is not strictly positive and finite.
+    pub fn new(bandwidth_bps: f64, latency: SimDuration) -> Self {
+        assert!(
+            bandwidth_bps > 0.0 && bandwidth_bps.is_finite(),
+            "link bandwidth must be positive and finite, got {bandwidth_bps}"
+        );
+        LinkSpec { bandwidth_bps, latency }
+    }
+
+    /// The paper's cluster A inter-machine link: 1 Gbit Ethernet.
+    pub fn ethernet_1gbit() -> Self {
+        LinkSpec::new(1e9, SimDuration::from_micros(100))
+    }
+
+    /// The paper's cluster B inter-machine link: 10 Gbit Ethernet.
+    pub fn ethernet_10gbit() -> Self {
+        LinkSpec::new(1e10, SimDuration::from_micros(50))
+    }
+
+    /// Intra-cluster worker ↔ worker link: PCIe 3.0 x16 (~128 Gbit/s
+    /// usable), the intra-node segment of the collective path.
+    pub fn pcie3() -> Self {
+        LinkSpec::new(1.28e11, SimDuration::from_micros(5))
+    }
+
+    /// Effective worker ↔ worker *collective* link: a hierarchical NCCL
+    /// ring rides PCIe inside a node but crosses Ethernet between nodes,
+    /// so its end-to-end effective bandwidth sits between the two. This
+    /// is what makes the paper's HET AR competitive on the 1 GbE cluster
+    /// (§5.1, "utilization of the PCIe bandwidth cross GPUs") yet the
+    /// slowest system on the 10 GbE cluster.
+    pub fn collective_effective() -> Self {
+        LinkSpec::new(6e9, SimDuration::from_micros(20))
+    }
+
+    /// Time to move `bytes` over this link, including latency.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        self.latency + self.payload_time(bytes)
+    }
+
+    /// Pure serialisation time for `bytes`, without latency. Used by the
+    /// collective cost models, which account latency per round instead of
+    /// per fragment.
+    pub fn payload_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps)
+    }
+
+    /// Effective achievable throughput in bytes/second for messages of a
+    /// given size (latency amortised in).
+    pub fn effective_bytes_per_sec(&self, message_bytes: u64) -> f64 {
+        let t = self.transfer_time(message_bytes).as_secs_f64();
+        if t <= 0.0 {
+            f64::INFINITY
+        } else {
+            message_bytes as f64 / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gigabit_moves_a_gigabit_per_second() {
+        let link = LinkSpec::new(1e9, SimDuration::ZERO);
+        // 125 MB = 1 Gbit -> exactly 1 s.
+        let t = link.transfer_time(125_000_000);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let link = LinkSpec::ethernet_1gbit();
+        let t = link.transfer_time(16); // a clock-validation message
+        // 16 bytes at 1 Gbit/s is 128 ns; latency is 100 µs.
+        assert!(t.as_secs_f64() > 0.99e-4);
+        assert!(t.as_secs_f64() < 1.01e-4 + 1e-6);
+    }
+
+    #[test]
+    fn ten_gbe_is_ten_times_faster_on_payload() {
+        let b = 10_000_000u64;
+        let t1 = LinkSpec::ethernet_1gbit().payload_time(b).as_secs_f64();
+        let t10 = LinkSpec::ethernet_10gbit().payload_time(b).as_secs_f64();
+        assert!((t1 / t10 - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pcie_is_faster_than_ethernet() {
+        let b = 1_000_000u64;
+        assert!(LinkSpec::pcie3().transfer_time(b) < LinkSpec::ethernet_10gbit().transfer_time(b));
+    }
+
+    #[test]
+    fn effective_throughput_increases_with_message_size() {
+        let link = LinkSpec::ethernet_1gbit();
+        assert!(link.effective_bytes_per_sec(1_000_000) > link.effective_bytes_per_sec(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = LinkSpec::new(0.0, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_bytes() {
+        let link = LinkSpec::ethernet_1gbit();
+        let mut prev = SimDuration::ZERO;
+        for bytes in [0u64, 1, 100, 10_000, 1_000_000] {
+            let t = link.transfer_time(bytes);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+}

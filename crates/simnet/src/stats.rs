@@ -1,0 +1,231 @@
+//! Per-category communication accounting.
+//!
+//! The paper's headline "up to 88 % embedding communication reduction"
+//! is a statement about bytes; this module is where those bytes are
+//! counted. Every protocol action records (category, direction, bytes,
+//! messages) so the benches can break epoch time into the same components
+//! the paper plots (Fig. 2, Fig. 7).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a message was for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommCategory {
+    /// Embedding vector fetch (server → worker) and its request.
+    EmbeddingFetch,
+    /// Embedding gradient write-back on eviction (worker → server).
+    EmbeddingPush,
+    /// Clock-only validation round trips (CheckValid condition 2).
+    ClockSync,
+    /// Dense parameter/gradient transfer via the PS path.
+    DensePs,
+    /// Dense gradient AllReduce between workers.
+    DenseAllReduce,
+    /// Sparse gradient AllGather between workers (HET AR baseline).
+    SparseAllGather,
+}
+
+impl CommCategory {
+    /// All categories, for iteration in reports.
+    pub const ALL: [CommCategory; 6] = [
+        CommCategory::EmbeddingFetch,
+        CommCategory::EmbeddingPush,
+        CommCategory::ClockSync,
+        CommCategory::DensePs,
+        CommCategory::DenseAllReduce,
+        CommCategory::SparseAllGather,
+    ];
+
+    /// True for the categories that carry *embedding* traffic — the ones
+    /// the paper's communication-reduction numbers are computed over.
+    pub fn is_embedding_traffic(self) -> bool {
+        matches!(
+            self,
+            CommCategory::EmbeddingFetch
+                | CommCategory::EmbeddingPush
+                | CommCategory::ClockSync
+                | CommCategory::SparseAllGather
+        )
+    }
+
+    fn index(self) -> usize {
+        match self {
+            CommCategory::EmbeddingFetch => 0,
+            CommCategory::EmbeddingPush => 1,
+            CommCategory::ClockSync => 2,
+            CommCategory::DensePs => 3,
+            CommCategory::DenseAllReduce => 4,
+            CommCategory::SparseAllGather => 5,
+        }
+    }
+}
+
+impl fmt::Display for CommCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CommCategory::EmbeddingFetch => "embedding-fetch",
+            CommCategory::EmbeddingPush => "embedding-push",
+            CommCategory::ClockSync => "clock-sync",
+            CommCategory::DensePs => "dense-ps",
+            CommCategory::DenseAllReduce => "dense-allreduce",
+            CommCategory::SparseAllGather => "sparse-allgather",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Direction of a transfer relative to the worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Worker → server (or worker → peer).
+    Send,
+    /// Server → worker (or peer → worker).
+    Recv,
+}
+
+/// Byte/message counters, one slot per category.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommStats {
+    bytes: [u64; 6],
+    messages: [u64; 6],
+}
+
+impl CommStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        CommStats::default()
+    }
+
+    /// Records one message of `bytes` in `category`.
+    pub fn record(&mut self, category: CommCategory, bytes: u64) {
+        let i = category.index();
+        self.bytes[i] = self.bytes[i].saturating_add(bytes);
+        self.messages[i] = self.messages[i].saturating_add(1);
+    }
+
+    /// Bytes recorded in one category.
+    pub fn bytes(&self, category: CommCategory) -> u64 {
+        self.bytes[category.index()]
+    }
+
+    /// Messages recorded in one category.
+    pub fn messages(&self, category: CommCategory) -> u64 {
+        self.messages[category.index()]
+    }
+
+    /// Total bytes across all categories.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total messages across all categories.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().sum()
+    }
+
+    /// Bytes in embedding-carrying categories only — the denominator of
+    /// the paper's communication-reduction claim.
+    pub fn embedding_bytes(&self) -> u64 {
+        CommCategory::ALL
+            .iter()
+            .filter(|c| c.is_embedding_traffic())
+            .map(|c| self.bytes(*c))
+            .sum()
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &CommStats) {
+        for i in 0..6 {
+            self.bytes[i] = self.bytes[i].saturating_add(other.bytes[i]);
+            self.messages[i] = self.messages[i].saturating_add(other.messages[i]);
+        }
+    }
+
+    /// Fractional reduction of embedding bytes relative to a baseline:
+    /// `1 − self/baseline`. Returns 0 when the baseline recorded nothing.
+    pub fn embedding_reduction_vs(&self, baseline: &CommStats) -> f64 {
+        let base = baseline.embedding_bytes();
+        if base == 0 {
+            0.0
+        } else {
+            1.0 - self.embedding_bytes() as f64 / base as f64
+        }
+    }
+}
+
+impl fmt::Display for CommStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in CommCategory::ALL {
+            if self.messages(c) > 0 {
+                writeln!(
+                    f,
+                    "  {:<18} {:>14} bytes in {:>10} msgs",
+                    c.to_string(),
+                    self.bytes(c),
+                    self.messages(c)
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_bytes_and_messages() {
+        let mut s = CommStats::new();
+        s.record(CommCategory::EmbeddingFetch, 100);
+        s.record(CommCategory::EmbeddingFetch, 50);
+        s.record(CommCategory::DensePs, 7);
+        assert_eq!(s.bytes(CommCategory::EmbeddingFetch), 150);
+        assert_eq!(s.messages(CommCategory::EmbeddingFetch), 2);
+        assert_eq!(s.total_bytes(), 157);
+        assert_eq!(s.total_messages(), 3);
+    }
+
+    #[test]
+    fn embedding_bytes_excludes_dense_traffic() {
+        let mut s = CommStats::new();
+        s.record(CommCategory::EmbeddingFetch, 10);
+        s.record(CommCategory::EmbeddingPush, 20);
+        s.record(CommCategory::ClockSync, 5);
+        s.record(CommCategory::SparseAllGather, 40);
+        s.record(CommCategory::DensePs, 1000);
+        s.record(CommCategory::DenseAllReduce, 2000);
+        assert_eq!(s.embedding_bytes(), 75);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = CommStats::new();
+        a.record(CommCategory::ClockSync, 8);
+        let mut b = CommStats::new();
+        b.record(CommCategory::ClockSync, 4);
+        b.record(CommCategory::EmbeddingPush, 12);
+        a.merge(&b);
+        assert_eq!(a.bytes(CommCategory::ClockSync), 12);
+        assert_eq!(a.messages(CommCategory::ClockSync), 2);
+        assert_eq!(a.bytes(CommCategory::EmbeddingPush), 12);
+    }
+
+    #[test]
+    fn reduction_computation() {
+        let mut cached = CommStats::new();
+        cached.record(CommCategory::EmbeddingFetch, 12);
+        let mut baseline = CommStats::new();
+        baseline.record(CommCategory::EmbeddingFetch, 100);
+        let red = cached.embedding_reduction_vs(&baseline);
+        assert!((red - 0.88).abs() < 1e-12, "12 vs 100 bytes is an 88% reduction");
+    }
+
+    #[test]
+    fn reduction_against_empty_baseline_is_zero() {
+        let cached = CommStats::new();
+        let baseline = CommStats::new();
+        assert_eq!(cached.embedding_reduction_vs(&baseline), 0.0);
+    }
+}

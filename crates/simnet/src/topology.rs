@@ -1,0 +1,248 @@
+//! Cluster topology and collective-communication cost models.
+//!
+//! The paper's deployment (§5) is a worker cluster (GPUs, fast
+//! interconnect) plus a separate CPU server cluster, joined by Ethernet.
+//! `ClusterSpec` captures that shape; `Collectives` provides the analytic
+//! time costs for the operations built on it:
+//!
+//! * PS pull/push over the worker ↔ server Ethernet link, with servers
+//!   sharded so `n_servers` links serve in parallel;
+//! * ring AllReduce over the worker ↔ worker link — each worker sends and
+//!   receives `2(N−1)/N · bytes`;
+//! * AllGather (the primitive AllReduce degenerates to for sparse data,
+//!   §2.3) — each worker receives `(N−1)` blocks.
+
+use crate::link::LinkSpec;
+use crate::time::SimDuration;
+
+/// Static description of the simulated cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterSpec {
+    /// Number of training workers.
+    pub n_workers: usize,
+    /// Number of parameter-server shards (machines).
+    pub n_servers: usize,
+    /// Worker ↔ server link (Ethernet in the paper).
+    pub worker_server: LinkSpec,
+    /// Worker ↔ worker link (PCIe/NVLink class in the paper).
+    pub worker_worker: LinkSpec,
+    /// Per-worker compute throughput in FLOP/s, used to convert model
+    /// FLOPs into simulated compute time.
+    pub worker_flops: f64,
+    /// Model the parameter-server NIC as *shared*: when more workers
+    /// than server machines transfer simultaneously, each worker sees
+    /// `worker_server` bandwidth divided by `n_workers / n_servers`.
+    /// This is what makes PS architectures flatten as workers grow
+    /// (the paper's Fig. 9); off by default so per-pair experiments
+    /// (Figs. 2, 6, 7) stay in the paper's per-link cost model.
+    pub shared_server_bandwidth: bool,
+}
+
+impl ClusterSpec {
+    /// The paper's cluster A: RTX TITAN workers, 1 Gbit Ethernet to the
+    /// servers. The FLOP rate models the *achieved* throughput of the
+    /// small dense kernels of embedding models at batch 128 — dominated
+    /// by kernel-launch and memory overheads, far below the card's peak
+    /// (calibrated so Fig. 2's transfer/compute split lands near the
+    /// paper's 60–86 % transfer share).
+    pub fn cluster_a(n_workers: usize, n_servers: usize) -> Self {
+        ClusterSpec {
+            n_workers,
+            n_servers,
+            worker_server: LinkSpec::ethernet_1gbit(),
+            worker_worker: LinkSpec::collective_effective(),
+            worker_flops: 1.0e11,
+            shared_server_bandwidth: false,
+        }
+    }
+
+    /// The paper's cluster B: V100 workers, 10 Gbit Ethernet.
+    pub fn cluster_b(n_workers: usize, n_servers: usize) -> Self {
+        ClusterSpec {
+            n_workers,
+            n_servers,
+            worker_server: LinkSpec::ethernet_10gbit(),
+            worker_worker: LinkSpec::collective_effective(),
+            worker_flops: 2.0e11,
+            shared_server_bandwidth: false,
+        }
+    }
+
+    /// Compute time for `flops` floating point operations on one worker.
+    pub fn compute_time(&self, flops: f64) -> SimDuration {
+        SimDuration::from_secs_f64(flops / self.worker_flops)
+    }
+
+    /// Collective cost models over this cluster.
+    pub fn collectives(&self) -> Collectives {
+        Collectives { spec: *self }
+    }
+}
+
+/// Analytic cost models for the collectives used by HET and its baselines.
+#[derive(Clone, Copy, Debug)]
+pub struct Collectives {
+    spec: ClusterSpec,
+}
+
+impl Collectives {
+    /// Time for one worker to move `bytes` to/from the parameter servers.
+    /// Traffic is sharded across servers, so the per-link payload is
+    /// `bytes / n_servers` (plus one latency). With
+    /// [`ClusterSpec::shared_server_bandwidth`] the server NICs are a
+    /// shared resource: the payload time additionally scales with the
+    /// worker-to-server ratio (every worker transfers each iteration, so
+    /// in steady state the server links divide among them).
+    pub fn ps_transfer(&self, bytes: u64) -> SimDuration {
+        let shards = self.spec.n_servers.max(1) as u64;
+        let per_shard = bytes.div_ceil(shards);
+        let contention = if self.spec.shared_server_bandwidth {
+            (self.spec.n_workers as u64).div_ceil(shards).max(1)
+        } else {
+            1
+        };
+        self.spec.worker_server.latency
+            + self.spec.worker_server.payload_time(per_shard.saturating_mul(contention))
+    }
+
+    /// AllReduce of a dense buffer of `bytes` across all workers,
+    /// modelling NCCL's algorithm selection: the bandwidth-optimal ring
+    /// (`2(N−1)` rounds of `bytes/N`) for large payloads, the
+    /// latency-optimal double binary tree (`2·⌈log₂N⌉` rounds of the
+    /// full payload) for small ones — whichever is cheaper.
+    pub fn ring_allreduce(&self, bytes: u64) -> SimDuration {
+        let n = self.spec.n_workers.max(1) as u64;
+        if n == 1 {
+            return SimDuration::ZERO;
+        }
+        let link = self.spec.worker_worker;
+        let ring_rounds = 2 * (n - 1);
+        let chunk = bytes.div_ceil(n);
+        let ring = (link.latency + link.payload_time(chunk)) * ring_rounds;
+        let tree_rounds = 2 * (64 - (n - 1).leading_zeros() as u64).max(1);
+        let tree = (link.latency + link.payload_time(bytes)) * tree_rounds;
+        ring.min(tree)
+    }
+
+    /// AllGather: every worker ends up with all `N` blocks of
+    /// `block_bytes`. Each worker receives `N−1` blocks in `N−1` rounds.
+    pub fn allgather(&self, block_bytes: u64) -> SimDuration {
+        let n = self.spec.n_workers.max(1) as u64;
+        if n == 1 {
+            return SimDuration::ZERO;
+        }
+        let rounds = n - 1;
+        let link = self.spec.worker_worker;
+        (link.latency + link.payload_time(block_bytes)) * rounds
+    }
+
+    /// Total bytes one worker sends during a ring AllReduce of `bytes`
+    /// (for the byte counters): `2(N−1)/N · bytes`.
+    pub fn ring_allreduce_bytes_per_worker(&self, bytes: u64) -> u64 {
+        let n = self.spec.n_workers.max(1) as u64;
+        if n == 1 {
+            return 0;
+        }
+        2 * (n - 1) * bytes.div_ceil(n)
+    }
+
+    /// Total bytes one worker receives during an AllGather of blocks of
+    /// `block_bytes`: `(N−1) · block_bytes`.
+    pub fn allgather_bytes_per_worker(&self, block_bytes: u64) -> u64 {
+        let n = self.spec.n_workers.max(1) as u64;
+        (n - 1) * block_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(n_workers: usize, n_servers: usize) -> ClusterSpec {
+        ClusterSpec::cluster_a(n_workers, n_servers)
+    }
+
+    #[test]
+    fn ps_transfer_scales_down_with_servers() {
+        let one = spec(8, 1).collectives().ps_transfer(1_000_000);
+        let four = spec(8, 4).collectives().ps_transfer(1_000_000);
+        assert!(four < one);
+    }
+
+    #[test]
+    fn allreduce_is_zero_for_single_worker() {
+        assert_eq!(spec(1, 1).collectives().ring_allreduce(1 << 20), SimDuration::ZERO);
+        assert_eq!(spec(1, 1).collectives().allgather(1 << 20), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn allreduce_tree_wins_for_tiny_payloads() {
+        // At 32 workers a small buffer should ride the logarithmic tree,
+        // far below the 62-round ring latency floor.
+        let c = spec(32, 1).collectives();
+        let small = c.ring_allreduce(1_000);
+        let ring_floor = LinkSpec::collective_effective().latency * 62;
+        assert!(small < ring_floor, "{small:?} should beat ring floor {ring_floor:?}");
+    }
+
+    #[test]
+    fn allreduce_bandwidth_term_is_nearly_constant_in_n() {
+        // The 2(N-1)/N factor approaches 2: doubling workers should not
+        // double AllReduce time for large payloads.
+        let t8 = spec(8, 1).collectives().ring_allreduce(100 << 20).as_secs_f64();
+        let t16 = spec(16, 1).collectives().ring_allreduce(100 << 20).as_secs_f64();
+        assert!(t16 / t8 < 1.25, "t16={t16} t8={t8}");
+    }
+
+    #[test]
+    fn allgather_grows_linearly_with_workers() {
+        let t4 = spec(4, 1).collectives().allgather(10 << 20).as_secs_f64();
+        let t8 = spec(8, 1).collectives().allgather(10 << 20).as_secs_f64();
+        let ratio = t8 / t4;
+        assert!((ratio - 7.0 / 3.0).abs() < 0.05, "ratio={ratio}");
+    }
+
+    #[test]
+    fn byte_accounting_formulas() {
+        let c = spec(4, 1).collectives();
+        assert_eq!(c.ring_allreduce_bytes_per_worker(400), 2 * 3 * 100);
+        assert_eq!(c.allgather_bytes_per_worker(400), 3 * 400);
+        assert_eq!(spec(1, 1).collectives().ring_allreduce_bytes_per_worker(400), 0);
+    }
+
+    #[test]
+    fn shared_server_bandwidth_scales_with_worker_ratio() {
+        let mut shared = spec(8, 2);
+        shared.shared_server_bandwidth = true;
+        let exclusive = spec(8, 2);
+        let bytes = 1_000_000u64;
+        let t_shared = shared.collectives().ps_transfer(bytes).as_secs_f64();
+        let t_excl = exclusive.collectives().ps_transfer(bytes).as_secs_f64();
+        // 8 workers over 2 servers -> 4x contention on the payload term.
+        assert!(t_shared > 3.0 * t_excl, "shared {t_shared} vs exclusive {t_excl}");
+        // More servers relieve contention.
+        let mut more = spec(8, 8);
+        more.shared_server_bandwidth = true;
+        let t_more = more.collectives().ps_transfer(bytes).as_secs_f64();
+        assert!(t_more < t_shared);
+    }
+
+    #[test]
+    fn compute_time_inversely_proportional_to_flops() {
+        let a = spec(1, 1);
+        let mut b = a;
+        b.worker_flops *= 2.0;
+        let ta = a.compute_time(1e9).as_secs_f64();
+        let tb = b.compute_time(1e9).as_secs_f64();
+        assert!((ta / tb - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allreduce_over_pcie_beats_ps_over_ethernet_for_dense() {
+        // The paper's observation: HET AR outperforms HET PS on the
+        // 1 GbE cluster because AllReduce rides the PCIe bandwidth.
+        let c = spec(8, 1).collectives();
+        let dense = 10 << 20; // 10 MB of dense gradients
+        assert!(c.ring_allreduce(dense) < c.ps_transfer(dense) * 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Wire-format size accounting for every message the HET protocols send.
+//!
+//! The reproduction charges simulated time for exactly the bytes each
+//! protocol step would put on the wire: embedding keys, f32 vectors,
+//! Lamport clocks, and a fixed per-message framing overhead (Ethernet +
+//! IP + TCP headers plus the PS-Lite-style message header). Keeping the
+//! formulas in one module means the trainer, the baselines, and the
+//! benches all agree on costs.
+
+/// Bytes of one embedding key (u64 feature ID).
+pub const KEY_BYTES: u64 = 8;
+/// Bytes of one Lamport clock (u64).
+pub const CLOCK_BYTES: u64 = 8;
+/// Bytes of one f32 embedding component.
+pub const F32_BYTES: u64 = 4;
+/// Fixed framing overhead per message (headers, routing metadata).
+pub const MSG_OVERHEAD_BYTES: u64 = 64;
+
+/// Bytes of a fetch *request* for `n_keys` embeddings.
+pub fn embedding_fetch_request_bytes(n_keys: usize) -> u64 {
+    MSG_OVERHEAD_BYTES + n_keys as u64 * KEY_BYTES
+}
+
+/// Bytes of a fetch *response* carrying one embedding of dimension `dim`
+/// (vector + key echo + global clock).
+pub fn embedding_fetch_response_bytes(dim: usize) -> u64 {
+    MSG_OVERHEAD_BYTES + KEY_BYTES + CLOCK_BYTES + dim as u64 * F32_BYTES
+}
+
+/// Bytes of a batched fetch response for `n_keys` embeddings of `dim`.
+pub fn batched_fetch_response_bytes(n_keys: usize, dim: usize) -> u64 {
+    MSG_OVERHEAD_BYTES + n_keys as u64 * (KEY_BYTES + CLOCK_BYTES + dim as u64 * F32_BYTES)
+}
+
+/// Bytes of a push (eviction write-back) of `n_keys` accumulated
+/// gradients of `dim` with their local clocks.
+pub fn embedding_push_bytes(n_keys: usize, dim: usize) -> u64 {
+    MSG_OVERHEAD_BYTES + n_keys as u64 * (KEY_BYTES + CLOCK_BYTES + dim as u64 * F32_BYTES)
+}
+
+/// Bytes of a clock-validation round trip for `n_keys` keys: the client
+/// sends (key, local clock) pairs; the server answers with (key, global
+/// clock) pairs. This is the cheap message HET §3.1 relies on: "we only
+/// send the clocks, rather than the embedding vectors".
+pub fn clock_check_bytes(n_keys: usize) -> u64 {
+    2 * (MSG_OVERHEAD_BYTES + n_keys as u64 * (KEY_BYTES + CLOCK_BYTES))
+}
+
+/// Bytes of one dense-gradient push or dense-parameter pull covering
+/// `n_params` f32 values (used by the pure-PS baselines for the dense
+/// part of the model).
+pub fn dense_transfer_bytes(n_params: usize) -> u64 {
+    MSG_OVERHEAD_BYTES + n_params as u64 * F32_BYTES
+}
+
+/// Bytes one worker contributes to an AllGather of its sparse gradient
+/// set (`n_keys` keys of `dim`): its own block is sent to every peer.
+pub fn sparse_allgather_block_bytes(n_keys: usize, dim: usize) -> u64 {
+    MSG_OVERHEAD_BYTES + n_keys as u64 * (KEY_BYTES + dim as u64 * F32_BYTES)
+}
+
+/// Unfused variants: one message (and one header) per key, the cost a
+/// runtime pays without the paper's §4.2 message-fusion optimisation.
+pub mod unfused {
+    use super::*;
+
+    /// Per-key fetch requests.
+    pub fn embedding_fetch_request_bytes(n_keys: usize) -> u64 {
+        n_keys as u64 * (MSG_OVERHEAD_BYTES + KEY_BYTES)
+    }
+
+    /// Per-key fetch responses.
+    pub fn batched_fetch_response_bytes(n_keys: usize, dim: usize) -> u64 {
+        n_keys as u64 * super::embedding_fetch_response_bytes(dim)
+    }
+
+    /// Per-key pushes.
+    pub fn embedding_push_bytes(n_keys: usize, dim: usize) -> u64 {
+        n_keys as u64 * (MSG_OVERHEAD_BYTES + KEY_BYTES + CLOCK_BYTES + dim as u64 * F32_BYTES)
+    }
+
+    /// Per-key clock-validation round trips.
+    pub fn clock_check_bytes(n_keys: usize) -> u64 {
+        n_keys as u64 * 2 * (MSG_OVERHEAD_BYTES + KEY_BYTES + CLOCK_BYTES)
+    }
+}
+
+/// Dispatches between fused (§4.2) and per-key message costs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MessageCosts {
+    /// Whether pulls/pushes are fused into one message per protocol step.
+    pub fused: bool,
+}
+
+impl MessageCosts {
+    /// Fetch-request bytes for `n_keys`.
+    pub fn fetch_request(&self, n_keys: usize) -> u64 {
+        if self.fused {
+            embedding_fetch_request_bytes(n_keys)
+        } else {
+            unfused::embedding_fetch_request_bytes(n_keys)
+        }
+    }
+
+    /// Fetch-response bytes for `n_keys` of `dim`.
+    pub fn fetch_response(&self, n_keys: usize, dim: usize) -> u64 {
+        if self.fused {
+            batched_fetch_response_bytes(n_keys, dim)
+        } else {
+            unfused::batched_fetch_response_bytes(n_keys, dim)
+        }
+    }
+
+    /// Push bytes for `n_keys` of `dim`.
+    pub fn push(&self, n_keys: usize, dim: usize) -> u64 {
+        if self.fused {
+            embedding_push_bytes(n_keys, dim)
+        } else {
+            unfused::embedding_push_bytes(n_keys, dim)
+        }
+    }
+
+    /// Clock round-trip bytes for `n_keys`.
+    pub fn clock_check(&self, n_keys: usize) -> u64 {
+        if self.fused {
+            clock_check_bytes(n_keys)
+        } else {
+            unfused::clock_check_bytes(n_keys)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_response_scales_with_dim() {
+        let small = embedding_fetch_response_bytes(32);
+        let large = embedding_fetch_response_bytes(128);
+        assert_eq!(large - small, (128 - 32) * F32_BYTES);
+    }
+
+    #[test]
+    fn clock_check_is_much_cheaper_than_vector_transfer() {
+        // The premise of CheckValid: clocks are cheap relative to vectors.
+        let check = clock_check_bytes(1);
+        let fetch = embedding_fetch_response_bytes(128);
+        assert!(check < fetch);
+    }
+
+    #[test]
+    fn batched_fetch_amortises_overhead() {
+        let one_by_one: u64 = (0..10).map(|_| embedding_fetch_response_bytes(64)).sum();
+        let batched = batched_fetch_response_bytes(10, 64);
+        assert!(batched < one_by_one);
+        // Payload bytes identical; difference is exactly 9 saved headers.
+        assert_eq!(one_by_one - batched, 9 * MSG_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn push_and_fetch_are_symmetric() {
+        assert_eq!(embedding_push_bytes(5, 16), batched_fetch_response_bytes(5, 16));
+    }
+
+    #[test]
+    fn zero_keys_still_costs_a_header() {
+        assert_eq!(embedding_fetch_request_bytes(0), MSG_OVERHEAD_BYTES);
+        assert_eq!(dense_transfer_bytes(0), MSG_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn unfused_always_costs_at_least_fused() {
+        let fused = MessageCosts { fused: true };
+        let raw = MessageCosts { fused: false };
+        for n in [1usize, 4, 64, 1000] {
+            assert!(raw.fetch_request(n) >= fused.fetch_request(n));
+            assert!(raw.fetch_response(n, 32) >= fused.fetch_response(n, 32));
+            assert!(raw.push(n, 32) >= fused.push(n, 32));
+            assert!(raw.clock_check(n) >= fused.clock_check(n));
+        }
+        // The gap is exactly the saved headers.
+        assert_eq!(
+            raw.push(10, 8) - fused.push(10, 8),
+            9 * MSG_OVERHEAD_BYTES
+        );
+    }
+
+    #[test]
+    fn unfused_zero_keys_costs_nothing() {
+        let raw = MessageCosts { fused: false };
+        assert_eq!(raw.fetch_request(0), 0);
+        assert_eq!(raw.push(0, 16), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests of the network cost models: monotonicity,
+//! scaling laws, and accounting consistency.
+
+use het_simnet::{ClusterSpec, CommCategory, CommStats, LinkSpec, SimDuration};
+use proptest::prelude::*;
+
+proptest! {
+    /// Transfer time is monotone in bytes on any sane link.
+    #[test]
+    fn transfer_time_monotone(
+        bw_mbps in 1.0f64..100_000.0,
+        lat_us in 0u64..10_000,
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+    ) {
+        let link = LinkSpec::new(bw_mbps * 1e6, SimDuration::from_micros(lat_us));
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(link.transfer_time(lo) <= link.transfer_time(hi));
+    }
+
+    /// Doubling bandwidth never makes a transfer slower.
+    #[test]
+    fn more_bandwidth_never_hurts(bytes in 0u64..10_000_000, bw_mbps in 1.0f64..1_000.0) {
+        let slow = LinkSpec::new(bw_mbps * 1e6, SimDuration::from_micros(50));
+        let fast = LinkSpec::new(bw_mbps * 2e6, SimDuration::from_micros(50));
+        prop_assert!(fast.transfer_time(bytes) <= slow.transfer_time(bytes));
+    }
+
+    /// PS transfer time decreases (weakly) with more server shards.
+    #[test]
+    fn more_servers_never_hurt(bytes in 1u64..10_000_000, servers in 1usize..16) {
+        let few = ClusterSpec::cluster_a(8, servers).collectives().ps_transfer(bytes);
+        let more = ClusterSpec::cluster_a(8, servers * 2).collectives().ps_transfer(bytes);
+        prop_assert!(more <= few);
+    }
+
+    /// Ring AllReduce byte accounting: each worker moves strictly less
+    /// than 2× the payload, approaching it from below as N grows.
+    #[test]
+    fn allreduce_bytes_bounded(bytes in 8u64..1_000_000, workers in 2usize..64) {
+        let c = ClusterSpec::cluster_a(workers, 1).collectives();
+        let per_worker = c.ring_allreduce_bytes_per_worker(bytes);
+        // 2(N-1)/N * ceil-per-chunk overhead can add at most N bytes.
+        prop_assert!(per_worker <= 2 * (bytes + workers as u64));
+        prop_assert!(per_worker >= bytes, "must move at least the payload for N≥2");
+    }
+
+    /// AllGather cost grows with worker count.
+    #[test]
+    fn allgather_monotone_in_workers(block in 1u64..1_000_000, n in 2usize..32) {
+        let small = ClusterSpec::cluster_a(n, 1).collectives().allgather(block);
+        let large = ClusterSpec::cluster_a(n + 1, 1).collectives().allgather(block);
+        prop_assert!(large >= small);
+    }
+
+    /// CommStats merge is associative-by-value with record.
+    #[test]
+    fn stats_merge_matches_sequential_record(
+        sizes in proptest::collection::vec(0u64..100_000, 0..50),
+    ) {
+        let mut merged = CommStats::new();
+        let mut split_a = CommStats::new();
+        let mut split_b = CommStats::new();
+        for (i, &s) in sizes.iter().enumerate() {
+            merged.record(CommCategory::EmbeddingFetch, s);
+            if i % 2 == 0 {
+                split_a.record(CommCategory::EmbeddingFetch, s);
+            } else {
+                split_b.record(CommCategory::EmbeddingFetch, s);
+            }
+        }
+        split_a.merge(&split_b);
+        prop_assert_eq!(merged, split_a);
+    }
+}

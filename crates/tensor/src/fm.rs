@@ -1,0 +1,189 @@
+//! The factorization-machine second-order interaction, used by the
+//! paper's DeepFM workload.
+//!
+//! For one example with field embeddings `v_1..v_F` (each of dimension
+//! D), the FM term is `0.5 Σ_d [(Σ_f v_{f,d})² − Σ_f v_{f,d}²]` — the
+//! classic O(F·D) rewriting of all pairwise dot products. The layer is
+//! parameter-free; its gradient flows back into the embeddings, which is
+//! exactly what makes DeepFM embedding-communication heavy.
+
+use crate::matrix::Matrix;
+
+/// Parameter-free FM pairwise-interaction layer over `fields` embeddings
+/// of dimension `dim`, laid out as a `(batch × fields·dim)` matrix with
+/// fields concatenated (the same layout the deep MLP consumes).
+pub struct FmInteraction {
+    fields: usize,
+    dim: usize,
+    last_input: Option<Matrix>,
+    last_sums: Option<Matrix>,
+}
+
+impl FmInteraction {
+    /// Creates the layer for `fields` fields of `dim`-dimensional
+    /// embeddings.
+    pub fn new(fields: usize, dim: usize) -> Self {
+        assert!(fields >= 2, "FM needs at least two fields to interact");
+        assert!(dim >= 1, "embedding dimension must be positive");
+        FmInteraction { fields, dim, last_input: None, last_sums: None }
+    }
+
+    /// Number of interacting fields.
+    pub fn fields(&self) -> usize {
+        self.fields
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Forward pass: `(batch × fields·dim) → (batch × 1)` FM scores.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let y = self.forward_inference_with_sums(x, true);
+        self.last_input = Some(x.clone());
+        y
+    }
+
+    /// Inference-only forward pass.
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.fields * self.dim, "input width must be fields*dim");
+        let mut out = Matrix::zeros(x.rows(), 1);
+        for r in 0..x.rows() {
+            out.set(r, 0, self.fm_row(x.row(r), None));
+        }
+        out
+    }
+
+    fn forward_inference_with_sums(&mut self, x: &Matrix, store: bool) -> Matrix {
+        assert_eq!(x.cols(), self.fields * self.dim, "input width must be fields*dim");
+        let mut out = Matrix::zeros(x.rows(), 1);
+        let mut sums = Matrix::zeros(x.rows(), self.dim);
+        for r in 0..x.rows() {
+            let score = self.fm_row(x.row(r), Some(sums.row_mut(r)));
+            out.set(r, 0, score);
+        }
+        if store {
+            self.last_sums = Some(sums);
+        }
+        out
+    }
+
+    /// FM score of one example row; optionally writes the per-dimension
+    /// field sums into `sums_out`.
+    fn fm_row(&self, row: &[f32], sums_out: Option<&mut [f32]>) -> f32 {
+        let d = self.dim;
+        let mut sum = vec![0.0f32; d];
+        let mut sum_sq = vec![0.0f32; d];
+        for f in 0..self.fields {
+            let v = &row[f * d..(f + 1) * d];
+            for (k, &x) in v.iter().enumerate() {
+                sum[k] += x;
+                sum_sq[k] += x * x;
+            }
+        }
+        let score = 0.5 * sum.iter().zip(&sum_sq).map(|(&s, &q)| s * s - q).sum::<f32>();
+        if let Some(out) = sums_out {
+            out.copy_from_slice(&sum);
+        }
+        score
+    }
+
+    /// Backward pass: `dy` is `(batch × 1)`; returns the gradient with
+    /// the input layout. `∂score/∂v_{f,d} = S_d − v_{f,d}`.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let x = self.last_input.as_ref().expect("FmInteraction::backward before forward");
+        let sums = self.last_sums.as_ref().expect("FmInteraction::backward before forward");
+        assert_eq!(dy.rows(), x.rows(), "dy batch mismatch");
+        let d = self.dim;
+        let mut dx = Matrix::zeros(x.rows(), x.cols());
+        for r in 0..x.rows() {
+            let g = dy.get(r, 0);
+            let s = sums.row(r);
+            let xr = x.row(r);
+            let dr = dx.row_mut(r);
+            for f in 0..self.fields {
+                for k in 0..d {
+                    let idx = f * d + k;
+                    dr[idx] = g * (s[k] - xr[idx]);
+                }
+            }
+        }
+        dx
+    }
+
+    /// Forward+backward FLOPs per batch.
+    pub fn flops(&self, batch: usize) -> f64 {
+        8.0 * batch as f64 * self.fields as f64 * self.dim as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_explicit_pairwise_sum() {
+        // Two fields, D=2: FM = v1 · v2.
+        let mut fm = FmInteraction::new(2, 2);
+        let x = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        let y = fm.forward(&x);
+        assert!((y.get(0, 0) - 11.0).abs() < 1e-6, "1*3 + 2*4 = 11");
+    }
+
+    #[test]
+    fn three_fields_all_pairs() {
+        // Three fields, D=1, values a=1,b=2,c=3: FM = ab+ac+bc = 11.
+        let mut fm = FmInteraction::new(3, 1);
+        let x = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        assert!((fm.forward(&x).get(0, 0) - 11.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut fm = FmInteraction::new(3, 2);
+        let vals = vec![0.5f32, -0.3, 0.8, 0.1, -0.6, 0.4];
+        let x = Matrix::from_vec(1, 6, vals.clone());
+        let y = fm.forward(&x);
+        assert_eq!(y.rows(), 1);
+        let dy = Matrix::from_vec(1, 1, vec![1.0]);
+        let dx = fm.backward(&dy);
+
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut p = vals.clone();
+            p[i] += eps;
+            let mut m = vals.clone();
+            m[i] -= eps;
+            let fp = fm.forward_inference(&Matrix::from_vec(1, 6, p)).get(0, 0);
+            let fmv = fm.forward_inference(&Matrix::from_vec(1, 6, m)).get(0, 0);
+            let num = (fp - fmv) / (2.0 * eps);
+            assert!((num - dx.get(0, 0 + i)).abs() < 1e-2, "dx[{i}]");
+        }
+    }
+
+    #[test]
+    fn forward_and_inference_agree() {
+        let mut fm = FmInteraction::new(4, 3);
+        let x = Matrix::from_vec(2, 12, (0..24).map(|i| (i as f32) * 0.1 - 1.0).collect());
+        let a = fm.forward(&x);
+        let b = fm.forward_inference(&x);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two fields")]
+    fn single_field_rejected() {
+        let _ = FmInteraction::new(1, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "fields*dim")]
+    fn wrong_width_rejected() {
+        let mut fm = FmInteraction::new(2, 2);
+        let _ = fm.forward(&Matrix::zeros(1, 5));
+    }
+}

@@ -1,0 +1,59 @@
+//! Parameter initialisation.
+//!
+//! Xavier/Glorot-uniform for dense layers and scaled-uniform for
+//! embeddings, both driven by a caller-supplied RNG so every worker
+//! replica initialises identically from the same seed (data-parallel
+//! replicas must start from the same point, §2.1).
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Xavier/Glorot-uniform initialisation for a `fan_in × fan_out` weight
+/// matrix: `U(−√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
+pub fn xavier_uniform<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Matrix {
+    let bound = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-bound..bound))
+}
+
+/// Uniform embedding initialisation in `[−1/√dim, +1/√dim]`, the common
+/// scheme for embedding tables (keeps the interaction terms of FM/cross
+/// layers at unit scale).
+pub fn embedding_uniform<R: Rng>(rng: &mut R, dim: usize) -> Vec<f32> {
+    let bound = 1.0 / (dim.max(1) as f64).sqrt() as f32;
+    (0..dim).map(|_| rng.gen_range(-bound..bound)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound_and_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = xavier_uniform(&mut rng, 64, 32);
+        assert_eq!((w.rows(), w.cols()), (64, 32));
+        let bound = (6.0f64 / 96.0).sqrt() as f32;
+        assert!(w.as_slice().iter().all(|v| v.abs() <= bound));
+        // Not all zero.
+        assert!(w.frob_norm() > 0.0);
+    }
+
+    #[test]
+    fn xavier_is_deterministic_per_seed() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(1), 8, 8);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(1), 8, 8);
+        let c = xavier_uniform(&mut StdRng::seed_from_u64(2), 8, 8);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn embedding_init_scales_with_dim() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = embedding_uniform(&mut rng, 16);
+        assert_eq!(e.len(), 16);
+        assert!(e.iter().all(|v| v.abs() <= 0.25));
+    }
+}

@@ -1,0 +1,379 @@
+//! Row-major f32 matrices and the handful of BLAS-level operations the
+//! embedding models need.
+//!
+//! The batch sizes and layer widths in the reproduction are small
+//! (batch 128, hidden ≤ 512), so straightforward loop nests are fast
+//! enough; the inner loops are written so LLVM can vectorise them
+//! (contiguous slices, no bounds checks in the hot path via chunking).
+
+use std::fmt;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a generator `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The underlying row-major buffer, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Fills the matrix with zeros, keeping its allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// `self @ rhs` — matrix product `(m×k) @ (k×n) = (m×n)`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul inner dimensions must match");
+        let (m, n) = (self.rows, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        // i-k-j order: the inner loop runs over contiguous memory in both
+        // `rhs` and `out`, which LLVM vectorises.
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(p);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ @ rhs` — used for weight gradients: `gW = xᵀ @ dy`.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "matmul_tn outer dimensions must match");
+        let (k, m, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let a_row = self.row(p);
+            let b_row = rhs.row(p);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ rhsᵀ` — used for input gradients: `dx = dy @ Wᵀ`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt inner dimensions must match");
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a_row[p] * b_row[p];
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Adds a row vector (broadcast over rows), e.g. a bias.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()`.
+    pub fn add_row_broadcast(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.cols, "broadcast vector must match column count");
+        for r in 0..self.rows {
+            for (o, &b) in self.row_mut(r).iter_mut().zip(v) {
+                *o += b;
+            }
+        }
+    }
+
+    /// Element-wise `self += alpha * other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Element-wise (Hadamard) product into a new matrix.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "hadamard shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Sum of each column, e.g. a bias gradient.
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Sum of each row.
+    pub fn row_sums(&self) -> Vec<f32> {
+        self.data.chunks_exact(self.cols.max(1)).map(|row| row.iter().sum()).collect()
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    ///
+    /// # Panics
+    /// Panics if row counts differ.
+    pub fn hcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hcat row counts must match");
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
+        }
+        Matrix { rows: self.rows, cols, data }
+    }
+
+    /// Splits columns at `at`, the inverse of [`Matrix::hcat`].
+    pub fn hsplit(&self, at: usize) -> (Matrix, Matrix) {
+        assert!(at <= self.cols, "split point beyond column count");
+        let mut left = Matrix::zeros(self.rows, at);
+        let mut right = Matrix::zeros(self.rows, self.cols - at);
+        for r in 0..self.rows {
+            left.row_mut(r).copy_from_slice(&self.row(r)[..at]);
+            right.row_mut(r).copy_from_slice(&self.row(r)[at..]);
+        }
+        (left, right)
+    }
+
+    /// Vertical concatenation `[self; other]`.
+    ///
+    /// # Panics
+    /// Panics if column counts differ.
+    pub fn vcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vcat column counts must match");
+        let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// Splits rows at `at`, the inverse of [`Matrix::vcat`].
+    pub fn vsplit(&self, at: usize) -> (Matrix, Matrix) {
+        assert!(at <= self.rows, "split point beyond row count");
+        let top = Matrix::from_vec(at, self.cols, self.data[..at * self.cols].to_vec());
+        let bottom = Matrix::from_vec(
+            self.rows - at,
+            self.cols,
+            self.data[at * self.cols..].to_vec(),
+        );
+        (top, bottom)
+    }
+
+    /// FLOPs of `a.matmul(b)` for cost accounting (2·m·k·n).
+    pub fn matmul_flops(m: usize, k: usize, n: usize) -> f64 {
+        2.0 * m as f64 * k as f64 * n as f64
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, vals: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, vals.to_vec())
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // 3x2
+        let b = m(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]); // 3x2
+        // aT (2x3) @ b (3x2) = 2x2
+        let c = a.matmul_tn(&b);
+        let at = Matrix::from_fn(2, 3, |r, c2| a.get(c2, r));
+        let expect = at.matmul(&b);
+        assert_eq!(c.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // 2x3
+        let b = m(4, 3, &[1.0; 12]); // 4x3
+        let c = a.matmul_nt(&b); // 2x4
+        let bt = Matrix::from_fn(3, 4, |r, c2| b.get(c2, r));
+        let expect = a.matmul(&bt);
+        assert_eq!(c.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn broadcast_and_axpy() {
+        let mut a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        a.add_row_broadcast(&[10.0, 20.0]);
+        assert_eq!(a.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+        let b = m(2, 2, &[1.0; 4]);
+        a.axpy(-1.0, &b);
+        assert_eq!(a.as_slice(), &[10.0, 21.0, 12.0, 23.0]);
+    }
+
+    #[test]
+    fn sums_and_norm() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.col_sums(), vec![5.0, 7.0, 9.0]);
+        assert_eq!(a.row_sums(), vec![6.0, 15.0]);
+        let b = m(1, 2, &[3.0, 4.0]);
+        assert!((b.frob_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hcat_then_hsplit_round_trips() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(2, 1, &[9.0, 8.0]);
+        let c = a.hcat(&b);
+        assert_eq!(c.cols(), 3);
+        assert_eq!(c.row(0), &[1.0, 2.0, 9.0]);
+        let (l, r) = c.hsplit(2);
+        assert_eq!(l.as_slice(), a.as_slice());
+        assert_eq!(r.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn vcat_then_vsplit_round_trips() {
+        let a = m(1, 2, &[1.0, 2.0]);
+        let b = m(2, 2, &[3.0, 4.0, 5.0, 6.0]);
+        let c = a.vcat(&b);
+        assert_eq!((c.rows(), c.cols()), (3, 2));
+        assert_eq!(c.row(2), &[5.0, 6.0]);
+        let (t, bt) = c.vsplit(1);
+        assert_eq!(t.as_slice(), a.as_slice());
+        assert_eq!(bt.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn hadamard_elementwise() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(2, 2, &[2.0, 2.0, 0.5, 0.0]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[2.0, 4.0, 1.5, 0.0]);
+    }
+
+    #[test]
+    fn fill_zero_keeps_shape() {
+        let mut a = m(2, 2, &[1.0; 4]);
+        a.fill_zero();
+        assert_eq!(a.as_slice(), &[0.0; 4]);
+        assert_eq!((a.rows(), a.cols()), (2, 2));
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(Matrix::matmul_flops(2, 3, 4), 48.0);
+    }
+}

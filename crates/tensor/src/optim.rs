@@ -1,0 +1,98 @@
+//! Optimisers. The paper's experiments use plain SGD (§5), which is also
+//! what the HET server applies to evicted embedding gradients, so SGD is
+//! the only optimiser the reproduction needs. It is written as a
+//! `ParamVisitor` so one `visit_params` walk applies the whole step.
+
+use crate::params::{HasParams, ParamVisitor};
+
+/// Plain SGD with an optional L2 weight decay.
+#[derive(Clone, Copy, Debug)]
+pub struct Sgd {
+    /// Learning rate η.
+    pub lr: f32,
+    /// L2 regularisation coefficient (0 disables it).
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate and no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, weight_decay: 0.0 }
+    }
+
+    /// Applies one step to every parameter of `model` and zeroes the
+    /// gradients afterwards.
+    pub fn step(&self, model: &mut dyn HasParams) {
+        struct Step(Sgd);
+        impl ParamVisitor for Step {
+            fn visit(&mut self, param: &mut [f32], grad: &mut [f32]) {
+                let Sgd { lr, weight_decay } = self.0;
+                for (p, g) in param.iter_mut().zip(grad.iter_mut()) {
+                    *p -= lr * (*g + weight_decay * *p);
+                    *g = 0.0;
+                }
+            }
+        }
+        model.visit_params(&mut Step(*self));
+    }
+
+    /// Applies one step to a single dense vector (used by the PS server
+    /// for embedding rows).
+    pub fn step_vec(&self, param: &mut [f32], grad: &[f32]) {
+        debug_assert_eq!(param.len(), grad.len());
+        for (p, &g) in param.iter_mut().zip(grad) {
+            *p -= self.lr * (g + self.weight_decay * *p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct OneTensor {
+        p: Vec<f32>,
+        g: Vec<f32>,
+    }
+
+    impl HasParams for OneTensor {
+        fn visit_params(&mut self, v: &mut dyn ParamVisitor) {
+            v.visit(&mut self.p, &mut self.g);
+        }
+    }
+
+    #[test]
+    fn step_moves_against_gradient_and_clears_it() {
+        let mut m = OneTensor { p: vec![1.0, 2.0], g: vec![0.5, -0.5] };
+        Sgd::new(0.1).step(&mut m);
+        assert!((m.p[0] - 0.95).abs() < 1e-7);
+        assert!((m.p[1] - 2.05).abs() < 1e-7);
+        assert_eq!(m.g, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut m = OneTensor { p: vec![1.0], g: vec![0.0] };
+        let opt = Sgd { lr: 0.1, weight_decay: 0.1 };
+        opt.step(&mut m);
+        assert!((m.p[0] - 0.99).abs() < 1e-7);
+    }
+
+    #[test]
+    fn step_vec_matches_step() {
+        let mut p = vec![1.0f32, -1.0];
+        Sgd::new(0.5).step_vec(&mut p, &[2.0, 2.0]);
+        assert_eq!(p, vec![0.0, -2.0]);
+    }
+
+    #[test]
+    fn minimises_a_quadratic() {
+        // f(p) = (p-3)^2, grad = 2(p-3); SGD should converge to 3.
+        let mut m = OneTensor { p: vec![0.0], g: vec![0.0] };
+        for _ in 0..200 {
+            m.g[0] = 2.0 * (m.p[0] - 3.0);
+            Sgd::new(0.1).step(&mut m);
+        }
+        assert!((m.p[0] - 3.0).abs() < 1e-4);
+    }
+}

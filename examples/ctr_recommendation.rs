@@ -1,0 +1,73 @@
+//! CTR recommendation: trains the paper's three DLRM workloads (WDL,
+//! DeepFM, Deep&Cross) on a Criteo-like stream with HET and prints a
+//! side-by-side comparison — the scenario the paper's introduction
+//! motivates (recommender systems at web companies).
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example ctr_recommendation
+//! ```
+
+use het::prelude::*;
+
+const FIELDS: usize = 26;
+const DIM: usize = 16;
+
+fn dataset() -> CtrDataset {
+    let mut ctr = CtrConfig::criteo_like(1234);
+    ctr.n_train = 30_000;
+    ctr.n_test = 3_000;
+    CtrDataset::new(ctr)
+}
+
+fn config() -> TrainerConfig {
+    let mut config = TrainerConfig::cluster_a(SystemPreset::HetCache { staleness: 100 });
+    config.dim = DIM;
+    config.max_iterations = 3_000;
+    config.eval_every = 600;
+    config
+}
+
+fn main() {
+    println!("== HET on the three DLRM workloads (8 workers, 1 GbE, cache 10%, s=100) ==\n");
+    println!(
+        "{:<6} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "model", "AUC", "sim time", "hit rate", "fetch MB", "push MB"
+    );
+
+    let wdl = {
+        let mut t = Trainer::new(config(), dataset(), |rng| WideDeep::new(rng, FIELDS, DIM, &[64, 32]));
+        t.run()
+    };
+    let dfm = {
+        let mut t = Trainer::new(config(), dataset(), |rng| DeepFm::new(rng, FIELDS, DIM, &[64, 32]));
+        t.run()
+    };
+    let dcn = {
+        let mut t =
+            Trainer::new(config(), dataset(), |rng| DeepCross::new(rng, FIELDS, DIM, 3, &[64, 32]));
+        t.run()
+    };
+
+    for (name, r) in [("WDL", &wdl), ("DFM", &dfm), ("DCN", &dcn)] {
+        println!(
+            "{:<6} {:>10.4} {:>9.2}s {:>11.1}% {:>12.2} {:>12.2}",
+            name,
+            r.final_metric,
+            r.total_sim_time.as_secs_f64(),
+            100.0 * r.cache.hit_rate(),
+            r.comm.bytes(CommCategory::EmbeddingFetch) as f64 / 1e6,
+            r.comm.bytes(CommCategory::EmbeddingPush) as f64 / 1e6,
+        );
+    }
+
+    println!("\nConvergence curves (AUC over simulated time):");
+    for (name, r) in [("WDL", &wdl), ("DFM", &dfm), ("DCN", &dcn)] {
+        let curve: Vec<String> = r
+            .curve
+            .iter()
+            .map(|p| format!("({:.1}s, {:.3})", p.sim_time.as_secs_f64(), p.metric))
+            .collect();
+        println!("  {:<4} {}", name, curve.join(" "));
+    }
+}

@@ -1,0 +1,74 @@
+//! Checkpoint/restore integration: train, export the embedding table,
+//! restore it into a fresh server, and verify the deployed model is
+//! bit-identical.
+
+use het::prelude::*;
+use het::ps::{read_checkpoint, restore_server, write_checkpoint};
+
+fn trained_trainer() -> Trainer<WideDeep, CtrDataset> {
+    let dataset = CtrDataset::new(CtrConfig::tiny(71));
+    let mut config = TrainerConfig::tiny(SystemPreset::HetCache { staleness: 10 });
+    config.max_iterations = 240;
+    let mut trainer = Trainer::new(config, dataset, |rng| WideDeep::new(rng, 4, 8, &[16]));
+    let _ = trainer.run();
+    trainer
+}
+
+#[test]
+fn export_restore_preserves_every_row() {
+    let trainer = trained_trainer();
+    let server = trainer.server();
+    let rows = server.export_rows();
+    assert!(!rows.is_empty(), "training must have materialised embeddings");
+
+    // Round-trip through the wire format.
+    let mut buf = Vec::new();
+    write_checkpoint(&mut buf, 8, &rows).expect("write");
+    let (dim, restored_rows) = read_checkpoint(buf.as_slice()).expect("read");
+    assert_eq!(dim, 8);
+    assert_eq!(restored_rows.len(), rows.len());
+
+    let restored = restore_server(*server.config(), dim, &restored_rows);
+    for row in &rows {
+        let a = server.pull(row.key);
+        let b = restored.pull(row.key);
+        assert_eq!(a.vector, b.vector, "key {} vector drifted", row.key);
+        assert_eq!(a.clock, b.clock, "key {} clock drifted", row.key);
+    }
+}
+
+#[test]
+fn restored_model_predicts_identically() {
+    let trainer = trained_trainer();
+    let rows = trainer.server().export_rows();
+    let restored = restore_server(*trainer.server().config(), 8, &rows);
+
+    let ds = trainer.dataset();
+    let batch = ds.test_batch(0, 64);
+    let mut store_a = EmbeddingStore::new(8);
+    let mut store_b = EmbeddingStore::new(8);
+    for k in batch.unique_keys() {
+        store_a.insert(k, trainer.server().pull(k).vector);
+        store_b.insert(k, restored.pull(k).vector);
+    }
+    let model = trainer.worker_model(0);
+    let a = model.evaluate(&batch, &store_a);
+    let b = model.evaluate(&batch, &store_b);
+    assert_eq!(a.scores, b.scores, "restored table must give identical predictions");
+}
+
+#[test]
+fn checkpoint_file_round_trips_on_disk() {
+    let trainer = trained_trainer();
+    let rows = trainer.server().export_rows();
+    let path = std::env::temp_dir().join(format!("het-ckpt-test-{}.txt", std::process::id()));
+    {
+        let file = std::fs::File::create(&path).expect("create");
+        write_checkpoint(file, 8, &rows).expect("write");
+    }
+    let file = std::fs::File::open(&path).expect("open");
+    let (dim, restored) = read_checkpoint(file).expect("read");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(dim, 8);
+    assert_eq!(restored, rows);
+}

@@ -1,0 +1,124 @@
+//! Communication-volume integration tests: the headline claims of the
+//! paper expressed as assertions over the byte counters.
+
+use het::prelude::*;
+
+fn criteo_small(seed: u64) -> CtrDataset {
+    let mut cfg = CtrConfig::criteo_like(seed);
+    cfg.n_train = 8_000;
+    cfg.n_test = 1_000;
+    // Keep the paper's regime: embedding table ≫ one batch's unique keys
+    // (the 10% cache must comfortably hold the hot set).
+    cfg.vocab_sizes = Some(het::data::ctr::scaled_criteo_vocabs(26 * 2_000));
+    CtrDataset::new(cfg)
+}
+
+fn run(preset: SystemPreset, iters: u64) -> TrainReport {
+    let mut config = TrainerConfig::cluster_a(preset);
+    config.dim = 32;
+    config.max_iterations = iters;
+    config.eval_every = iters; // only the final eval
+    let mut trainer =
+        Trainer::new(config, criteo_small(5), |rng| WideDeep::new(rng, 26, 32, &[32]));
+    trainer.run()
+}
+
+#[test]
+fn cache_cuts_embedding_communication_substantially() {
+    let hybrid = run(SystemPreset::HetHybrid, 400);
+    let cached = run(SystemPreset::HetCache { staleness: 100 }, 400);
+    let reduction = cached.comm.embedding_reduction_vs(&hybrid.comm);
+    assert!(
+        reduction > 0.5,
+        "expected a large communication reduction, got {:.1}% (cached {} vs hybrid {})",
+        100.0 * reduction,
+        cached.comm.embedding_bytes(),
+        hybrid.comm.embedding_bytes()
+    );
+}
+
+#[test]
+fn larger_staleness_reduces_communication() {
+    let s10 = run(SystemPreset::HetCache { staleness: 10 }, 400);
+    let s100 = run(SystemPreset::HetCache { staleness: 100 }, 400);
+    assert!(
+        s100.comm.embedding_bytes() <= s10.comm.embedding_bytes(),
+        "s=100 ({}) should communicate no more than s=10 ({})",
+        s100.comm.embedding_bytes(),
+        s10.comm.embedding_bytes()
+    );
+    assert!(s100.total_sim_time <= s10.total_sim_time);
+}
+
+#[test]
+fn clock_messages_are_a_small_fraction_of_saved_traffic() {
+    // The validation traffic the cache adds must be far smaller than the
+    // fetch traffic it removes — otherwise CheckValid wouldn't pay off.
+    let hybrid = run(SystemPreset::HetHybrid, 300);
+    let cached = run(SystemPreset::HetCache { staleness: 100 }, 300);
+    let clock_bytes = cached.comm.bytes(CommCategory::ClockSync);
+    let saved_fetch = hybrid
+        .comm
+        .bytes(CommCategory::EmbeddingFetch)
+        .saturating_sub(cached.comm.bytes(CommCategory::EmbeddingFetch));
+    assert!(
+        clock_bytes < saved_fetch,
+        "clock traffic {clock_bytes} should be below saved fetch traffic {saved_fetch}"
+    );
+}
+
+#[test]
+fn dense_traffic_is_identical_between_hybrid_and_cached() {
+    // The cache only touches the sparse path.
+    let hybrid = run(SystemPreset::HetHybrid, 200);
+    let cached = run(SystemPreset::HetCache { staleness: 100 }, 200);
+    assert_eq!(
+        hybrid.comm.bytes(CommCategory::DenseAllReduce),
+        cached.comm.bytes(CommCategory::DenseAllReduce)
+    );
+}
+
+#[test]
+fn ps_systems_pay_dense_ps_traffic_hybrids_do_not() {
+    let ps = run(SystemPreset::HetPs, 200);
+    let hybrid = run(SystemPreset::HetHybrid, 200);
+    assert!(ps.comm.bytes(CommCategory::DensePs) > 0);
+    assert_eq!(ps.comm.bytes(CommCategory::DenseAllReduce), 0);
+    assert!(hybrid.comm.bytes(CommCategory::DenseAllReduce) > 0);
+    assert_eq!(hybrid.comm.bytes(CommCategory::DensePs), 0);
+}
+
+#[test]
+fn ten_gbe_shrinks_the_gap_but_not_the_bytes() {
+    // Paper Fig. 7b: on 10 GbE the speedups shrink (time) while the
+    // byte counts are bandwidth-independent.
+    let run_on = |cluster: ClusterSpec| {
+        let mut config = TrainerConfig::cluster_a(SystemPreset::HetHybrid);
+        config.cluster = cluster;
+        config.dim = 32;
+        config.max_iterations = 200;
+        config.eval_every = 200;
+        let mut t =
+            Trainer::new(config, criteo_small(9), |rng| WideDeep::new(rng, 26, 32, &[32]));
+        t.run()
+    };
+    let slow = run_on(ClusterSpec::cluster_a(8, 1));
+    let fast = run_on(ClusterSpec::cluster_b(8, 1));
+    assert_eq!(slow.comm.embedding_bytes(), fast.comm.embedding_bytes());
+    assert!(fast.total_sim_time < slow.total_sim_time);
+}
+
+#[test]
+fn het_ar_rides_the_fast_worker_link() {
+    // Paper §5.1: HET AR beats HET PS on the 1 GbE cluster because
+    // AllReduce/AllGather run over PCIe while the PS path crosses
+    // Ethernet.
+    let ar = run(SystemPreset::HetAr, 200);
+    let ps = run(SystemPreset::HetPs, 200);
+    assert!(
+        ar.total_sim_time < ps.total_sim_time,
+        "HET AR {:?} should beat HET PS {:?} on 1 GbE",
+        ar.total_sim_time,
+        ps.total_sim_time
+    );
+}

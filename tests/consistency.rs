@@ -1,0 +1,142 @@
+//! Consistency integration tests: Lemma 1 clock bounds under real
+//! training, read-my-updates, and the SSP comparison — plus
+//! property-based tests of the clock algebra under arbitrary operation
+//! interleavings.
+
+use het::core::consistency::{lemma1_holds_any_time, max_divergence};
+use het::core::HetClient;
+use het::prelude::*;
+use proptest::prelude::*;
+
+fn new_client(staleness: u64, dim: usize) -> HetClient {
+    HetClient::new(256, staleness, PolicyKind::Lru, dim, 0.1)
+}
+
+fn new_server(dim: usize) -> PsServer {
+    PsServer::new(PsConfig { dim, n_shards: 2, lr: 0.1, seed: 77, optimizer: ServerOptimizer::Sgd, grad_clip: None })
+}
+
+fn one_grad(dim: usize, key: Key) -> SparseGrads {
+    let mut g = SparseGrads::new(dim);
+    g.accumulate(key, &vec![0.1; dim]);
+    g
+}
+
+#[test]
+fn read_my_updates_holds() {
+    // Paper §3.2: "the data read by a client contains all its own
+    // updates" even though the server hasn't seen them.
+    let dim = 4;
+    let server = new_server(dim);
+    let net = ClusterSpec::cluster_a(2, 1).collectives();
+    let mut stats = CommStats::new();
+    let mut client = new_client(100, dim);
+
+    let (before, _) = client.read(&[9], &server, &net, &mut stats);
+    let v0 = before.get(9).to_vec();
+    client.write(&one_grad(dim, 9), &server, &net, &mut stats);
+    let (after, _) = client.read(&[9], &server, &net, &mut stats);
+    let v1 = after.get(9).to_vec();
+    for (a, b) in v0.iter().zip(&v1) {
+        assert!((a - 0.1 * 0.1 - b).abs() < 1e-6, "local read must reflect the update");
+    }
+    // Server still has the original.
+    assert_eq!(server.pull(9).vector, v0);
+}
+
+#[test]
+fn lemma1_bound_holds_during_real_training() {
+    // Run a cached training and sample divergence after each round via
+    // the public accessors.
+    let s = 5;
+    let dataset = CtrDataset::new(CtrConfig::tiny(41));
+    let mut config = TrainerConfig::tiny(SystemPreset::HetCache { staleness: s });
+    config.max_iterations = 400;
+    let mut trainer = Trainer::new(config, dataset, |rng| WideDeep::new(rng, 4, 8, &[16]));
+    let _ = trainer.run();
+    let clients: Vec<&HetClient> =
+        (0..trainer.n_workers()).filter_map(|w| trainer.worker_client(w)).collect();
+    assert_eq!(clients.len(), 4);
+    assert!(
+        lemma1_holds_any_time(&clients, s),
+        "divergence {} exceeds any-time bound 2s+2={}",
+        max_divergence(&clients),
+        2 * s + 2
+    );
+}
+
+#[test]
+fn unbounded_staleness_violates_tight_bound_eventually() {
+    // With effectively infinite s the clocks are free to diverge far
+    // beyond what small-s HET permits — the cache never invalidates.
+    let dim = 2;
+    let server = new_server(dim);
+    let net = ClusterSpec::cluster_a(2, 1).collectives();
+    let mut stats = CommStats::new();
+    let mut fast = new_client(u64::MAX, dim);
+    let mut slow = new_client(u64::MAX, dim);
+    let _ = fast.read(&[1], &server, &net, &mut stats);
+    let _ = slow.read(&[1], &server, &net, &mut stats);
+    for _ in 0..50 {
+        fast.write(&one_grad(dim, 1), &server, &net, &mut stats);
+    }
+    assert_eq!(max_divergence(&[&fast, &slow]), 50);
+    assert!(!lemma1_holds_any_time(&[&fast, &slow], 5));
+}
+
+proptest! {
+    /// Under any interleaving of reads/writes by two workers on one key,
+    /// validated clock state never exceeds the any-time bound, provided
+    /// both workers validate (read) regularly.
+    #[test]
+    fn prop_clock_bounds_under_interleavings(
+        ops in proptest::collection::vec((0..2usize, 0..3usize), 1..120),
+        s in 0u64..6,
+    ) {
+        let dim = 2;
+        let server = new_server(dim);
+        let net = ClusterSpec::cluster_a(2, 1).collectives();
+        let mut stats = CommStats::new();
+        let mut clients = [new_client(s, dim), new_client(s, dim)];
+        let key: Key = 3;
+
+        for (who, what) in ops {
+            let c = &mut clients[who];
+            match what {
+                // read (validates)
+                0 | 2 => { let _ = c.read(&[key], &server, &net, &mut stats); }
+                // write — protocol requires the key resident, so read
+                // first if it is not.
+                _ => {
+                    if !c.cache().find(key) {
+                        let _ = c.read(&[key], &server, &net, &mut stats);
+                    }
+                    c.write(&one_grad(dim, key), &server, &net, &mut stats);
+                }
+            }
+            // After every step both sides re-validate, then the tight
+            // Lemma 1 bound must hold.
+            let _ = clients[0].read(&[key], &server, &net, &mut stats);
+            let _ = clients[1].read(&[key], &server, &net, &mut stats);
+            let refs: Vec<&HetClient> = clients.iter().collect();
+            prop_assert!(
+                max_divergence(&refs) <= 2 * s + 2,
+                "divergence {} > 2s+2 with s={}",
+                max_divergence(&refs), s
+            );
+        }
+    }
+
+    /// The server clock never regresses, and equals the max local clock
+    /// pushed so far.
+    #[test]
+    fn prop_server_clock_monotone(pushes in proptest::collection::vec(0u64..50, 1..40)) {
+        let server = new_server(1);
+        let mut high = 0u64;
+        for c in pushes {
+            server.push_with_clock(1, &[0.0], c);
+            high = high.max(c);
+            prop_assert_eq!(server.clock_of(1), high);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Convergence-quality integration tests: the paper's Table 2 claims —
+//! moderate staleness preserves model quality, unbounded staleness
+//! degrades it — plus cache-policy effects on the miss rate (Fig. 8's
+//! qualitative ordering).
+
+use het::prelude::*;
+
+fn run_with_staleness(s: u64, iters: u64) -> TrainReport {
+    let mut cfg = CtrConfig::criteo_like(17);
+    cfg.n_train = 10_000;
+    cfg.n_test = 1_500;
+    cfg.vocab_sizes = Some(het::data::ctr::scaled_criteo_vocabs(26 * 400));
+    let dataset = CtrDataset::new(cfg);
+    let mut config = TrainerConfig::cluster_a(SystemPreset::HetCache { staleness: s });
+    config.dim = 16;
+    config.lr = 0.1;
+    config.max_iterations = iters;
+    config.eval_every = iters;
+    let mut trainer =
+        Trainer::new(config, dataset, |rng| WideDeep::new(rng, 26, 16, &[32]));
+    trainer.run()
+}
+
+#[test]
+fn moderate_staleness_preserves_quality() {
+    // Table 2 (left): s=100 final AUC ≈ s=0 final AUC.
+    let s0 = run_with_staleness(0, 1_600);
+    let s100 = run_with_staleness(100, 1_600);
+    assert!(s0.final_metric > 0.55, "baseline should learn, got {}", s0.final_metric);
+    assert!(
+        (s0.final_metric - s100.final_metric).abs() < 0.05,
+        "s=100 ({:.4}) should match s=0 ({:.4})",
+        s100.final_metric,
+        s0.final_metric
+    );
+}
+
+#[test]
+fn unbounded_staleness_costs_quality_or_never_exceeds_bounded() {
+    // Table 2 (left): s=∞ visibly degrades. With unbounded staleness the
+    // cache never revalidates, so cross-worker updates are invisible.
+    let s100 = run_with_staleness(100, 1_600);
+    let s_inf = run_with_staleness(u64::MAX, 1_600);
+    assert!(
+        s_inf.final_metric <= s100.final_metric + 0.01,
+        "unbounded staleness ({:.4}) should not beat bounded ({:.4})",
+        s_inf.final_metric,
+        s100.final_metric
+    );
+    // And it must save at least as much communication.
+    assert!(s_inf.comm.embedding_bytes() <= s100.comm.embedding_bytes());
+}
+
+#[test]
+fn lfu_beats_lru_on_skewed_access() {
+    // Fig. 8: LFU tracks long-term popularity better than LRU.
+    let run_policy = |policy: PolicyKind| {
+        let graph = Graph::generate(GraphConfig {
+            n_nodes: 4_000,
+            ..GraphConfig::ogbn_mag_like(23)
+        });
+        let classes = graph.config().n_classes;
+        let dataset = GnnDataset::new(graph, NeighborSampler::new(6, 4));
+        let mut config = TrainerConfig::cluster_a(SystemPreset::HetCache { staleness: 100 })
+            .with_cache(0.05, policy);
+        config.dim = 8;
+        config.max_iterations = 400;
+        config.eval_every = 400;
+        let mut trainer =
+            Trainer::new(config, dataset, move |rng| GraphSage::new(rng, 8, 16, classes));
+        trainer.run()
+    };
+    let lru = run_policy(PolicyKind::Lru);
+    let lfu = run_policy(PolicyKind::Lfu);
+    assert!(
+        lfu.cache.miss_rate() <= lru.cache.miss_rate() + 0.02,
+        "LFU miss rate {:.3} should be at or below LRU {:.3}",
+        lfu.cache.miss_rate(),
+        lru.cache.miss_rate()
+    );
+}
+
+#[test]
+fn bigger_cache_lower_miss_rate() {
+    // Fig. 8: miss rate falls as the cache grows.
+    let run_frac = |frac: f64| {
+        let graph = Graph::generate(GraphConfig {
+            n_nodes: 4_000,
+            ..GraphConfig::reddit_like(29)
+        });
+        let classes = graph.config().n_classes;
+        let dataset = GnnDataset::new(graph, NeighborSampler::new(6, 4));
+        let mut config = TrainerConfig::cluster_a(SystemPreset::HetCache { staleness: 100 })
+            .with_cache(frac, PolicyKind::Lfu);
+        config.dim = 8;
+        config.max_iterations = 300;
+        config.eval_every = 300;
+        let mut trainer =
+            Trainer::new(config, dataset, move |rng| GraphSage::new(rng, 8, 16, classes));
+        trainer.run().cache.miss_rate()
+    };
+    let small = run_frac(0.03);
+    let large = run_frac(0.15);
+    assert!(
+        large < small,
+        "15% cache miss rate {large:.3} should be below 3% cache {small:.3}"
+    );
+}
+
+#[test]
+fn recency_policies_catch_up_under_popularity_drift() {
+    // Extension beyond the paper: under a drifting hot set, pure
+    // frequency (LFU) keeps stale history alive, while recency-aware
+    // policies adapt. The gap between LFU and LRU must shrink (or
+    // invert) relative to the stationary workload of
+    // `lfu_beats_lru_on_skewed_access`.
+    let run_policy = |policy: PolicyKind, drift: u64| {
+        let mut cfg = CtrConfig::criteo_like(77);
+        cfg.n_train = 20_000;
+        cfg.n_test = 1_000;
+        cfg.vocab_sizes = Some(het::data::ctr::scaled_criteo_vocabs(26 * 400));
+        cfg.drift_period = drift;
+        let dataset = CtrDataset::new(cfg);
+        let mut config = TrainerConfig::cluster_a(SystemPreset::HetCache { staleness: 100 })
+            .with_cache(0.10, policy);
+        config.dim = 8;
+        config.max_iterations = 600;
+        config.eval_every = 600;
+        let mut trainer =
+            Trainer::new(config, dataset, |rng| WideDeep::new(rng, 26, 8, &[16]));
+        trainer.run().cache.miss_rate()
+    };
+    // Stationary: LFU at or below LRU (the paper's Fig. 8 finding).
+    let lru_stationary = run_policy(PolicyKind::Lru, 0);
+    let lfu_stationary = run_policy(PolicyKind::Lfu, 0);
+    assert!(lfu_stationary <= lru_stationary + 0.02);
+
+    // Fast drift: LRU must not be (meaningfully) worse than LFU — the
+    // stale frequency history stops paying off.
+    let lru_drift = run_policy(PolicyKind::Lru, 2_000);
+    let lfu_drift = run_policy(PolicyKind::Lfu, 2_000);
+    let stationary_gap = lru_stationary - lfu_stationary;
+    let drift_gap = lru_drift - lfu_drift;
+    assert!(
+        drift_gap <= stationary_gap + 0.02,
+        "drift should erode LFU's advantage: stationary gap {stationary_gap:.3}, drift gap {drift_gap:.3}"
+    );
+}
+
+#[test]
+fn staleness_sweep_is_monotone_in_communication() {
+    let mut prev_bytes = u64::MAX;
+    for s in [0u64, 10, 100, 1_000] {
+        let r = run_with_staleness(s, 600);
+        assert!(
+            r.comm.embedding_bytes() <= prev_bytes,
+            "s={s}: bytes should not grow with staleness"
+        );
+        prev_bytes = r.comm.embedding_bytes();
+    }
+}

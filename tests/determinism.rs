@@ -1,0 +1,78 @@
+//! Reproducibility: the entire simulation — training math, clock
+//! algebra, byte counters, convergence curves — is a deterministic
+//! function of the seed.
+
+use het::prelude::*;
+
+fn run(seed: u64, preset: SystemPreset) -> TrainReport {
+    let dataset = CtrDataset::new(CtrConfig::tiny(seed));
+    let mut config = TrainerConfig::tiny(preset);
+    config.seed = seed;
+    config.max_iterations = 240;
+    let mut trainer = Trainer::new(config, dataset, |rng| WideDeep::new(rng, 4, 8, &[16]));
+    trainer.run()
+}
+
+#[test]
+fn identical_seeds_identical_reports_bsp() {
+    let a = run(7, SystemPreset::HetCache { staleness: 10 });
+    let b = run(7, SystemPreset::HetCache { staleness: 10 });
+    assert_eq!(a.total_sim_time, b.total_sim_time);
+    assert_eq!(a.total_iterations, b.total_iterations);
+    assert_eq!(a.comm, b.comm);
+    assert_eq!(a.cache, b.cache);
+    assert_eq!(a.final_metric, b.final_metric);
+    assert_eq!(
+        a.curve.iter().map(|p| p.metric).collect::<Vec<_>>(),
+        b.curve.iter().map(|p| p.metric).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn identical_seeds_identical_reports_asp() {
+    // The asynchronous event queue must also be deterministic.
+    let a = run(9, SystemPreset::HetPs);
+    let b = run(9, SystemPreset::HetPs);
+    assert_eq!(a.total_sim_time, b.total_sim_time);
+    assert_eq!(a.comm, b.comm);
+    assert_eq!(a.final_metric, b.final_metric);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run(1, SystemPreset::HetCache { staleness: 10 });
+    let b = run(2, SystemPreset::HetCache { staleness: 10 });
+    // Different data & init ⇒ different learning trajectory.
+    assert_ne!(a.final_metric, b.final_metric);
+}
+
+#[test]
+fn dataset_generation_is_stable_across_instances() {
+    let a = CtrDataset::new(CtrConfig::criteo_like(3));
+    let b = CtrDataset::new(CtrConfig::criteo_like(3));
+    for i in 0..50 {
+        assert_eq!(a.example(i, false), b.example(i, false));
+        assert_eq!(a.example(i, true), b.example(i, true));
+    }
+    let ga = Graph::generate(GraphConfig::tiny(3));
+    let gb = Graph::generate(GraphConfig::tiny(3));
+    for v in 0..ga.n_nodes() as u32 {
+        assert_eq!(ga.neighbors_of(v), gb.neighbors_of(v));
+    }
+}
+
+#[test]
+fn server_lazy_init_is_order_independent() {
+    let a = PsServer::new(PsConfig { dim: 8, n_shards: 4, lr: 0.1, seed: 5, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+    let b = PsServer::new(PsConfig { dim: 8, n_shards: 4, lr: 0.1, seed: 5, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+    // Touch in opposite orders.
+    for k in 0..100u64 {
+        let _ = a.pull(k);
+    }
+    for k in (0..100u64).rev() {
+        let _ = b.pull(k);
+    }
+    for k in 0..100u64 {
+        assert_eq!(a.pull(k).vector, b.pull(k).vector);
+    }
+}
