@@ -1,0 +1,20 @@
+#!/bin/sh
+# Repository CI gate: formatting, lints, tier-1 build + tests.
+# Everything runs offline against vendored/in-tree dependencies.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release (tier-1)"
+cargo build --release
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "CI green."

@@ -11,14 +11,19 @@
 
 use het_bench::{out, run_workload, Workload};
 use het_core::config::{Backbone, SystemPreset};
-use serde::Serialize;
+use het_json::impl_to_json;
 
-#[derive(Serialize)]
 struct Row {
     variant: String,
     epoch_time_s: f64,
     embedding_bytes: u64,
 }
+
+impl_to_json!(Row {
+    variant,
+    epoch_time_s,
+    embedding_bytes
+});
 
 fn main() {
     out::banner("Ablation: backbone optimisations on the cache-less hybrid (WDL, 1 GbE)");
@@ -27,20 +32,32 @@ fn main() {
         ("full HET backbone", Backbone::het()),
         (
             "- overlap",
-            Backbone { overlap: false, ..Backbone::het() },
+            Backbone {
+                overlap: false,
+                ..Backbone::het()
+            },
         ),
         (
             "- message fusion",
-            Backbone { fuse_messages: false, ..Backbone::het() },
+            Backbone {
+                fuse_messages: false,
+                ..Backbone::het()
+            },
         ),
         (
             "- kernel efficiency",
-            Backbone { compute_factor: 1.5, ..Backbone::het() },
+            Backbone {
+                compute_factor: 1.5,
+                ..Backbone::het()
+            },
         ),
         ("TF backbone (none)", Backbone::tensorflow()),
     ];
 
-    println!("{:<22} {:>14} {:>18} {:>12}", "variant", "epoch time", "embedding bytes", "slowdown");
+    println!(
+        "{:<22} {:>14} {:>18} {:>12}",
+        "variant", "epoch time", "embedding bytes", "slowdown"
+    );
     let mut rows = Vec::new();
     let mut reference: Option<f64> = None;
     for (name, backbone) in variants {

@@ -7,15 +7,21 @@
 
 use het_bench::{out, run_workload, Workload};
 use het_core::config::SystemPreset;
-use serde::Serialize;
+use het_json::impl_to_json;
 
-#[derive(Serialize)]
 struct Row {
     model: String,
     final_metric: f64,
     sim_time_s: f64,
     embedding_bytes: u64,
 }
+
+impl_to_json!(Row {
+    model,
+    final_metric,
+    sim_time_s,
+    embedding_bytes
+});
 
 fn main() {
     out::banner("Ablation: consistency models on WDL-Criteo (8 workers, 1 GbE)");
@@ -26,7 +32,10 @@ fn main() {
         ("SSP s=3".into(), SystemPreset::Ssp { staleness: 3 }),
         ("SSP s=10".into(), SystemPreset::Ssp { staleness: 10 }),
         ("HET s=10".into(), SystemPreset::HetCache { staleness: 10 }),
-        ("HET s=100".into(), SystemPreset::HetCache { staleness: 100 }),
+        (
+            "HET s=100".into(),
+            SystemPreset::HetCache { staleness: 100 },
+        ),
     ];
 
     println!(

@@ -1,0 +1,162 @@
+//! Fault sweep — convergence under injected failures.
+//!
+//! Trains WDL-Criteo on HET Cache (s = 100) under increasing fault
+//! intensity — worker crashes, PS-shard outages with checkpoint
+//! failover, straggler windows, degraded links, message drops — and
+//! reports how gracefully quality and epoch time degrade. A cache-less
+//! HET Hybrid run at the heaviest level shows the contrast: without a
+//! cache there is no degraded-read path, so every outage stalls the
+//! reads it covers.
+//!
+//! The schedule is derived deterministically from the config seed;
+//! rerunning this bench reproduces every crash, failover, and retry
+//! bit-for-bit.
+
+use het_bench::{out, run_workload, Workload};
+use het_core::config::SystemPreset;
+use het_core::{FaultConfig, TrainReport};
+use het_json::impl_to_json;
+use het_simnet::SimDuration;
+
+const ITERS: u64 = 1_200;
+const WORKERS: usize = 4;
+
+struct SweepRow {
+    level: String,
+    system: String,
+    final_metric: f64,
+    sim_time_s: f64,
+    worker_crashes: u64,
+    shard_failovers: u64,
+    degraded_reads: u64,
+    blocked_ops: u64,
+    retries: u64,
+    straggler_slow_iters: u64,
+    lost_updates: u64,
+}
+
+impl_to_json!(SweepRow {
+    level,
+    system,
+    final_metric,
+    sim_time_s,
+    worker_crashes,
+    shard_failovers,
+    degraded_reads,
+    blocked_ops,
+    retries,
+    straggler_slow_iters,
+    lost_updates,
+});
+
+/// (level name, crashes, outages, stragglers, degradations, drop prob).
+const LEVELS: [(&str, usize, usize, usize, usize, f64); 4] = [
+    ("none", 0, 0, 0, 0, 0.0),
+    ("light", 1, 1, 1, 0, 0.0),
+    ("medium", 2, 2, 2, 1, 0.01),
+    ("heavy", 4, 4, 3, 2, 0.05),
+];
+
+fn faults_at(level: &(&str, usize, usize, usize, usize, f64), horizon: SimDuration) -> FaultConfig {
+    let &(_, crashes, outages, stragglers, degradations, drop) = level;
+    let mut cfg = FaultConfig::disabled();
+    if crashes == 0 && outages == 0 && stragglers == 0 && degradations == 0 && drop <= 0.0 {
+        return cfg;
+    }
+    cfg.enabled = true;
+    cfg.spec.worker_crashes = crashes;
+    cfg.spec.shard_outages = outages;
+    cfg.spec.stragglers = stragglers;
+    cfg.spec.link_degradations = degradations;
+    cfg.spec.message_drop_prob = drop;
+    cfg.spec.horizon = horizon;
+    cfg
+}
+
+fn run(preset: SystemPreset, faults: FaultConfig) -> TrainReport {
+    run_workload(Workload::WdlCriteo, preset, &move |c| {
+        c.cluster = het_simnet::ClusterSpec::cluster_a(WORKERS, 1);
+        c.max_iterations = ITERS;
+        c.eval_every = ITERS / 4;
+        c.faults = faults.clone();
+    })
+}
+
+fn row(level: &str, system: &str, r: &TrainReport) -> SweepRow {
+    SweepRow {
+        level: level.into(),
+        system: system.into(),
+        final_metric: r.final_metric,
+        sim_time_s: r.total_sim_time.as_secs_f64(),
+        worker_crashes: r.faults.worker_crashes,
+        shard_failovers: r.faults.shard_failovers,
+        degraded_reads: r.faults.degraded_reads,
+        blocked_ops: r.faults.blocked_ops,
+        retries: r.faults.retries,
+        straggler_slow_iters: r.faults.straggler_slow_iters,
+        lost_updates: r.faults.lost_updates,
+    }
+}
+
+fn main() {
+    out::banner("Fault sweep: convergence under crashes, failovers, stragglers, drops");
+
+    let cached = SystemPreset::HetCache { staleness: 100 };
+
+    // Calibrate the fault horizon to the fault-free run so every
+    // scheduled event (placed in [5%, 85%] of the horizon) fires inside
+    // the run and its recovery window completes before the end.
+    let baseline = run(cached, FaultConfig::disabled());
+    let horizon = SimDuration::from_secs_f64(baseline.total_sim_time.as_secs_f64() * 0.8);
+
+    println!(
+        "{:<8} {:<14} {:>8} {:>10} {:>7} {:>9} {:>9} {:>8} {:>8}",
+        "level", "system", "AUC", "time (s)", "crash", "failover", "degraded", "blocked", "retries"
+    );
+    let mut rows = Vec::new();
+    for level in &LEVELS {
+        let report = run(cached, faults_at(level, horizon));
+        let r = row(level.0, "HET Cache s=100", &report);
+        println!(
+            "{:<8} {:<14} {:>8.4} {:>10.3} {:>7} {:>9} {:>9} {:>8} {:>8}",
+            r.level,
+            r.system,
+            r.final_metric,
+            r.sim_time_s,
+            r.worker_crashes,
+            r.shard_failovers,
+            r.degraded_reads,
+            r.blocked_ops,
+            r.retries
+        );
+        if level.0 == "heavy" {
+            for ev in &report.fault_events {
+                println!("    event {:?} {}", ev.at, ev.description);
+            }
+        }
+        rows.push(r);
+    }
+
+    // The cache-less contrast at the heaviest level.
+    let hybrid_report = run(SystemPreset::HetHybrid, faults_at(&LEVELS[3], horizon));
+    let hr = row("heavy", "HET Hybrid", &hybrid_report);
+    println!(
+        "{:<8} {:<14} {:>8.4} {:>10.3} {:>7} {:>9} {:>9} {:>8} {:>8}",
+        hr.level,
+        hr.system,
+        hr.final_metric,
+        hr.sim_time_s,
+        hr.worker_crashes,
+        hr.shard_failovers,
+        hr.degraded_reads,
+        hr.blocked_ops,
+        hr.retries
+    );
+    rows.push(hr);
+
+    out::write_json("fault_sweep", &rows);
+
+    println!("\nexpected shape: AUC declines gently with fault intensity (clock-bounded");
+    println!("degraded reads absorb outages); the cache-less baseline has zero degraded");
+    println!("reads — every outage it touches becomes a blocked read.");
+}

@@ -8,15 +8,21 @@
 
 use het_bench::{out, run_workload, Workload};
 use het_core::config::SystemPreset;
-use serde::Serialize;
+use het_json::impl_to_json;
 
-#[derive(Serialize)]
 struct Row {
     workload: String,
     transfer_fraction: f64,
     compute_fraction: f64,
     embedding_params: u64,
 }
+
+impl_to_json!(Row {
+    workload,
+    transfer_fraction,
+    compute_fraction,
+    embedding_params
+});
 
 fn main() {
     out::banner("Figure 2: large embedding model workloads on a remote-PS deployment");

@@ -8,22 +8,29 @@
 
 use het_bench::out;
 use het_data::{CtrConfig, CtrDataset, Graph, GraphConfig, NeighborSampler};
-use serde::Serialize;
+use het_json::impl_to_json;
 use std::collections::HashMap;
 
-#[derive(Serialize)]
 struct Row {
     dataset: String,
     top_percent: f64,
     update_share: f64,
 }
 
+impl_to_json!(Row {
+    dataset,
+    top_percent,
+    update_share
+});
+
 fn cdf_points(mut freqs: Vec<u64>) -> Vec<(f64, f64)> {
     freqs.sort_unstable_by(|a, b| b.cmp(a));
     let total: u64 = freqs.iter().sum();
     let mut points = Vec::new();
     for pct in [0.01, 0.05, 0.10, 0.20, 0.50, 1.00] {
-        let k = ((freqs.len() as f64 * pct).ceil() as usize).min(freqs.len()).max(1);
+        let k = ((freqs.len() as f64 * pct).ceil() as usize)
+            .min(freqs.len())
+            .max(1);
         let mass: u64 = freqs.iter().take(k).sum();
         points.push((pct, mass as f64 / total.max(1) as f64));
     }
@@ -63,11 +70,17 @@ fn main() {
         ("Criteo-like", criteo_frequencies()),
         (
             "Amazon-like",
-            graph_frequencies(GraphConfig { n_nodes: 60_000, ..GraphConfig::amazon_like(0xF3) }),
+            graph_frequencies(GraphConfig {
+                n_nodes: 60_000,
+                ..GraphConfig::amazon_like(0xF3)
+            }),
         ),
         (
             "ogbn-mag-like",
-            graph_frequencies(GraphConfig { n_nodes: 50_000, ..GraphConfig::ogbn_mag_like(0xF3) }),
+            graph_frequencies(GraphConfig {
+                n_nodes: 50_000,
+                ..GraphConfig::ogbn_mag_like(0xF3)
+            }),
         ),
     ];
 
@@ -78,8 +91,10 @@ fn main() {
     let mut rows = Vec::new();
     for (name, freqs) in datasets {
         let points = cdf_points(freqs);
-        let cells: Vec<String> =
-            points.iter().map(|(_, share)| format!("{:>7.1}%", 100.0 * share)).collect();
+        let cells: Vec<String> = points
+            .iter()
+            .map(|(_, share)| format!("{:>7.1}%", 100.0 * share))
+            .collect();
         println!("{:<14} {}", name, cells.join(" "));
         for (pct, share) in points {
             rows.push(Row {

@@ -8,14 +8,19 @@
 
 use het_bench::{out, run_workload, RunSummary, Workload};
 use het_core::config::SystemPreset;
-use serde::Serialize;
+use het_json::impl_to_json;
 
-#[derive(Serialize)]
 struct Curve {
     workload: String,
     system: String,
     points: Vec<(f64, f64)>, // (sim seconds, metric)
 }
+
+impl_to_json!(Curve {
+    workload,
+    system,
+    points
+});
 
 fn main() {
     out::banner("Figure 6: convergence (metric vs simulated time), 8 workers, 1 GbE");
@@ -43,8 +48,10 @@ fn main() {
                 .iter()
                 .map(|p| (p.sim_time.as_secs_f64(), p.metric))
                 .collect();
-            let rendered: Vec<String> =
-                points.iter().map(|(t, m)| format!("({t:.1}s,{m:.3})")).collect();
+            let rendered: Vec<String> = points
+                .iter()
+                .map(|(t, m)| format!("({t:.1}s,{m:.3})"))
+                .collect();
             println!("{:<16} {}", name, rendered.join(" "));
             summaries.push(RunSummary::from_report(workload, name, &report));
             curves.push(Curve {

@@ -10,10 +10,9 @@
 
 use het_bench::{out, run_workload, Workload};
 use het_core::config::SystemPreset;
+use het_json::impl_to_json;
 use het_simnet::ClusterSpec;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     cluster: String,
     workload: String,
@@ -22,6 +21,15 @@ struct Row {
     comm_time_s: f64,
     embedding_bytes: u64,
 }
+
+impl_to_json!(Row {
+    cluster,
+    workload,
+    system,
+    epoch_time_s,
+    comm_time_s,
+    embedding_bytes
+});
 
 fn main() {
     out::banner("Figure 7: per-epoch time on DLRM tasks (a: 1 GbE, b: 10 GbE)");
@@ -62,8 +70,7 @@ fn main() {
                 // Per-worker communication time per epoch (the breakdown
                 // sums over all workers).
                 let comm = report.breakdown.communication().as_secs_f64()
-                    / (report.epochs.max(f64::MIN_POSITIVE)
-                        * cluster.n_workers as f64);
+                    / (report.epochs.max(f64::MIN_POSITIVE) * cluster.n_workers as f64);
                 println!(
                     "{:<12} {:<16} {:>13.2}s {:>13.2}s {:>16.2}",
                     workload.name(),

@@ -9,15 +9,21 @@
 use het_bench::{out, run_workload, Workload};
 use het_cache::PolicyKind;
 use het_core::config::SystemPreset;
-use serde::Serialize;
+use het_json::impl_to_json;
 
-#[derive(Serialize)]
 struct Row {
     workload: String,
     policy: String,
     cache_percent: f64,
     miss_rate: f64,
 }
+
+impl_to_json!(Row {
+    workload,
+    policy,
+    cache_percent,
+    miss_rate
+});
 
 fn main() {
     out::banner("Figure 8: cache miss rate vs cache size and policy (GNN tasks)");

@@ -12,10 +12,9 @@
 
 use het_bench::{out, run_workload, Workload};
 use het_core::config::SystemPreset;
+use het_json::impl_to_json;
 use het_simnet::ClusterSpec;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct ScaleRow {
     figure: String,
     workload: String,
@@ -25,12 +24,26 @@ struct ScaleRow {
     speedup_vs_1: f64,
 }
 
-#[derive(Serialize)]
+impl_to_json!(ScaleRow {
+    figure,
+    workload,
+    system,
+    workers,
+    throughput,
+    speedup_vs_1
+});
+
 struct ModelScaleRow {
     dim: usize,
     system: String,
     epoch_time_s: f64,
 }
+
+impl_to_json!(ModelScaleRow {
+    dim,
+    system,
+    epoch_time_s
+});
 
 fn worker_sweep(figure: &str, workload: Workload, rows: &mut Vec<ScaleRow>) {
     let systems: Vec<(&str, SystemPreset)> = vec![
@@ -84,7 +97,10 @@ fn main() {
 
     // (c) model scalability: per-epoch time vs embedding dimension.
     println!("--- fig9c: WDL per-epoch time vs embedding dimension (32 workers) ---");
-    println!("{:<16} {:>10} {:>10} {:>10} {:>10}", "system", "D=64", "D=256", "D=1024", "D=4096");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10}",
+        "system", "D=64", "D=256", "D=1024", "D=4096"
+    );
     let mut crows = Vec::new();
     for (name, preset) in [
         ("TF Parallax", SystemPreset::TfParallax),
@@ -104,7 +120,11 @@ fn main() {
             });
             let epoch = report.epoch_time();
             line.push_str(&format!("{epoch:>9.1}s "));
-            crows.push(ModelScaleRow { dim, system: name.to_string(), epoch_time_s: epoch });
+            crows.push(ModelScaleRow {
+                dim,
+                system: name.to_string(),
+                epoch_time_s: epoch,
+            });
         }
         println!("{line}");
     }

@@ -3,14 +3,15 @@
 //! §4.3 motivation for LightLFU is exactly the "run-time cost" this
 //! measures.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use het_bench::micro::{BatchSize, Criterion};
+use het_bench::{criterion_group, criterion_main};
 use het_cache::{CacheTable, PolicyKind};
 use std::hint::black_box;
 
 fn warm_table(policy: PolicyKind, capacity: usize) -> CacheTable {
     let mut t = CacheTable::new(capacity, policy, 0.1);
     for k in 0..capacity as u64 {
-        t.install(k, vec![0.5; 32], 0);
+        let _ = t.install(k, vec![0.5; 32], 0);
     }
     t
 }
@@ -61,7 +62,7 @@ fn bench_eviction_churn(c: &mut Criterion) {
                 || warm_table(policy, 1024),
                 |mut table| {
                     for k in 2000..2256u64 {
-                        table.install(k, vec![0.5; 32], 0);
+                        let _ = table.install(k, vec![0.5; 32], 0);
                         black_box(table.evict_overflow().len());
                     }
                     table
@@ -73,5 +74,10 @@ fn bench_eviction_churn(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hit_path, bench_update_path, bench_eviction_churn);
+criterion_group!(
+    benches,
+    bench_hit_path,
+    bench_update_path,
+    bench_eviction_churn
+);
 criterion_main!(benches);

@@ -1,9 +1,10 @@
 //! Criterion micro-benchmarks for the simulated-network cost models and
 //! the HET client protocol fast paths (warm read, stale write).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use het_core::HetClient;
+use het_bench::micro::Criterion;
+use het_bench::{criterion_group, criterion_main};
 use het_cache::PolicyKind;
+use het_core::HetClient;
 use het_models::SparseGrads;
 use het_ps::{PsConfig, PsServer, ServerOptimizer};
 use het_simnet::{ClusterSpec, CommStats};
@@ -25,7 +26,14 @@ fn bench_cost_models(c: &mut Criterion) {
 fn bench_client_warm_read(c: &mut Criterion) {
     c.bench_function("het_client_warm_read_256keys", |b| {
         let dim = 32;
-        let server = PsServer::new(PsConfig { dim, n_shards: 8, lr: 0.1, seed: 1, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+        let server = PsServer::new(PsConfig {
+            dim,
+            n_shards: 8,
+            lr: 0.1,
+            seed: 1,
+            optimizer: ServerOptimizer::Sgd,
+            grad_clip: None,
+        });
         let net = ClusterSpec::cluster_a(8, 1).collectives();
         let mut client = HetClient::new(4096, 100, PolicyKind::LightLfu, dim, 0.1);
         let keys: Vec<u64> = (0..256).collect();
@@ -41,7 +49,14 @@ fn bench_client_warm_read(c: &mut Criterion) {
 fn bench_client_stale_write(c: &mut Criterion) {
     c.bench_function("het_client_stale_write_256keys", |b| {
         let dim = 32;
-        let server = PsServer::new(PsConfig { dim, n_shards: 8, lr: 0.1, seed: 1, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+        let server = PsServer::new(PsConfig {
+            dim,
+            n_shards: 8,
+            lr: 0.1,
+            seed: 1,
+            optimizer: ServerOptimizer::Sgd,
+            grad_clip: None,
+        });
         let net = ClusterSpec::cluster_a(8, 1).collectives();
         let mut client = HetClient::new(4096, u64::MAX, PolicyKind::LightLfu, dim, 0.1);
         let keys: Vec<u64> = (0..256).collect();

@@ -1,10 +1,11 @@
 //! Criterion micro-benchmarks for the workload generators: Zipf
 //! sampling, CTR batch generation, and GraphSAGE neighbour sampling.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use het_bench::micro::Criterion;
+use het_bench::{criterion_group, criterion_main};
 use het_data::{CtrConfig, CtrDataset, Graph, GraphConfig, NeighborSampler, ZipfSampler};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use het_rng::rngs::SmallRng;
+use het_rng::SeedableRng;
 use std::hint::black_box;
 
 fn bench_zipf(c: &mut Criterion) {
@@ -36,7 +37,10 @@ fn bench_unique_keys(c: &mut Criterion) {
 
 fn bench_neighbor_sampling(c: &mut Criterion) {
     c.bench_function("sage_sample_batch_128_f8x4", |b| {
-        let graph = Graph::generate(GraphConfig { n_nodes: 12_000, ..GraphConfig::reddit_like(1) });
+        let graph = Graph::generate(GraphConfig {
+            n_nodes: 12_000,
+            ..GraphConfig::reddit_like(1)
+        });
         let sampler = NeighborSampler::new(8, 4);
         let mut cursor = 0u64;
         b.iter(|| {

@@ -1,7 +1,8 @@
 //! Criterion micro-benchmarks for the parameter-server substrate:
 //! pull/push throughput at the dimensions the experiments use.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use het_bench::micro::Criterion;
+use het_bench::{criterion_group, criterion_main};
 use het_ps::{PsConfig, PsServer, ServerOptimizer};
 use std::hint::black_box;
 
@@ -9,7 +10,14 @@ fn bench_pull(c: &mut Criterion) {
     let mut group = c.benchmark_group("ps_pull");
     for dim in [16usize, 128] {
         group.bench_function(format!("dim{dim}"), |b| {
-            let server = PsServer::new(PsConfig { dim, n_shards: 8, lr: 0.1, seed: 1, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+            let server = PsServer::new(PsConfig {
+                dim,
+                n_shards: 8,
+                lr: 0.1,
+                seed: 1,
+                optimizer: ServerOptimizer::Sgd,
+                grad_clip: None,
+            });
             for k in 0..10_000u64 {
                 let _ = server.pull(k);
             }
@@ -27,7 +35,14 @@ fn bench_push(c: &mut Criterion) {
     let mut group = c.benchmark_group("ps_push");
     for dim in [16usize, 128] {
         group.bench_function(format!("dim{dim}"), |b| {
-            let server = PsServer::new(PsConfig { dim, n_shards: 8, lr: 0.1, seed: 1, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+            let server = PsServer::new(PsConfig {
+                dim,
+                n_shards: 8,
+                lr: 0.1,
+                seed: 1,
+                optimizer: ServerOptimizer::Sgd,
+                grad_clip: None,
+            });
             let grad = vec![0.01f32; dim];
             let mut k = 0u64;
             b.iter(|| {
@@ -41,9 +56,16 @@ fn bench_push(c: &mut Criterion) {
 
 fn bench_clock_query(c: &mut Criterion) {
     c.bench_function("ps_clock_of", |b| {
-        let server = PsServer::new(PsConfig { dim: 32, n_shards: 8, lr: 0.1, seed: 1, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+        let server = PsServer::new(PsConfig {
+            dim: 32,
+            n_shards: 8,
+            lr: 0.1,
+            seed: 1,
+            optimizer: ServerOptimizer::Sgd,
+            grad_clip: None,
+        });
         for k in 0..10_000u64 {
-            server.push_inc(k, &vec![0.0; 32]);
+            server.push_inc(k, &[0.0; 32]);
         }
         let mut k = 0u64;
         b.iter(|| {

@@ -2,12 +2,13 @@
 //! model forward/backward kernels that dominate the real compute of the
 //! simulation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use het_models::{EmbeddingModel, EmbeddingStore, WideDeep};
+use het_bench::micro::Criterion;
+use het_bench::{criterion_group, criterion_main};
 use het_data::{CtrConfig, CtrDataset};
+use het_models::{EmbeddingModel, EmbeddingStore, WideDeep};
+use het_rng::rngs::StdRng;
+use het_rng::SeedableRng;
 use het_tensor::{Matrix, Mlp};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_matmul(c: &mut Criterion) {
@@ -49,5 +50,10 @@ fn bench_wdl_batch(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_mlp_forward_backward, bench_wdl_batch);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_mlp_forward_backward,
+    bench_wdl_batch
+);
 criterion_main!(benches);

@@ -9,15 +9,21 @@
 
 use het_bench::{out, run_workload, Workload};
 use het_core::config::SystemPreset;
-use serde::Serialize;
+use het_json::impl_to_json;
 
-#[derive(Serialize)]
 struct Row {
     workload: String,
     system: String,
     time_to_target_s: Option<f64>,
     speedup_vs_het_cache: Option<f64>,
 }
+
+impl_to_json!(Row {
+    workload,
+    system,
+    time_to_target_s,
+    speedup_vs_het_cache
+});
 
 fn main() {
     out::banner("Table 1: end-to-end convergence time to the quality target");

@@ -10,12 +10,12 @@
 //! compared — the paper finds nearly identical distributions, i.e. no
 //! bias from serving stale embeddings.
 
+use het_bench::{out, CTR_FIELDS, CTR_VOCAB};
 use het_core::config::{SystemPreset, TrainerConfig};
 use het_core::Trainer;
-use het_bench::{out, CTR_FIELDS, CTR_VOCAB};
 use het_data::{auc, CtrConfig, CtrDataset};
+use het_json::impl_to_json;
 use het_models::{DeepCross, EmbeddingModel, EmbeddingStore, WideDeep};
-use serde::Serialize;
 
 const DIM: usize = 16;
 const ITERS: u64 = 2_400;
@@ -37,19 +37,29 @@ fn config(s: u64) -> TrainerConfig {
     config
 }
 
-#[derive(Serialize)]
 struct LeftRow {
     model: String,
     staleness: String,
     final_auc: f64,
 }
 
-#[derive(Serialize)]
+impl_to_json!(LeftRow {
+    model,
+    staleness,
+    final_auc
+});
+
 struct RightRow {
     split: String,
     auc_s0: f64,
     auc_s100: f64,
 }
+
+impl_to_json!(RightRow {
+    split,
+    auc_s0,
+    auc_s100
+});
 
 /// Runs WDL at staleness `s` and returns (trainer, end-of-training
 /// resident keys of worker 0, final AUC). The trainer is kept alive so
@@ -99,8 +109,10 @@ fn scored_split(
             // carries at least one tail key, so an all-keys criterion
             // would leave the split empty).
             let keys = batch.example_keys(i);
-            let cached =
-                keys.iter().filter(|&&k| resident_keys.binary_search(&k).is_ok()).count();
+            let cached = keys
+                .iter()
+                .filter(|&&k| resident_keys.binary_search(&k).is_ok())
+                .count();
             resident.push(cached * 10 >= keys.len() * 9);
         }
         scores.extend(chunk.scores);
@@ -113,7 +125,10 @@ fn main() {
     out::banner("Table 2: final test AUC under different staleness thresholds");
 
     println!("left part — final AUC:");
-    println!("{:<6} {:>8} {:>8} {:>8} {:>8}", "model", "s=0", "s=100", "s=10k", "s=inf");
+    println!(
+        "{:<6} {:>8} {:>8} {:>8} {:>8}",
+        "model", "s=0", "s=100", "s=10k", "s=inf"
+    );
     let mut left = Vec::new();
 
     let (t0, resident0, wdl_s0) = run_wdl(0);
@@ -125,8 +140,17 @@ fn main() {
         "{:<6} {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
         "WDL", wdl_s0, wdl_s100, wdl_s10k, wdl_inf
     );
-    for (s, v) in [("0", wdl_s0), ("100", wdl_s100), ("10k", wdl_s10k), ("inf", wdl_inf)] {
-        left.push(LeftRow { model: "WDL".into(), staleness: s.into(), final_auc: v });
+    for (s, v) in [
+        ("0", wdl_s0),
+        ("100", wdl_s100),
+        ("10k", wdl_s10k),
+        ("inf", wdl_inf),
+    ] {
+        left.push(LeftRow {
+            model: "WDL".into(),
+            staleness: s.into(),
+            final_auc: v,
+        });
     }
 
     let dcn_s0 = run_dcn(0);
@@ -137,8 +161,17 @@ fn main() {
         "{:<6} {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
         "DCN", dcn_s0, dcn_s100, dcn_s10k, dcn_inf
     );
-    for (s, v) in [("0", dcn_s0), ("100", dcn_s100), ("10k", dcn_s10k), ("inf", dcn_inf)] {
-        left.push(LeftRow { model: "DCN".into(), staleness: s.into(), final_auc: v });
+    for (s, v) in [
+        ("0", dcn_s0),
+        ("100", dcn_s100),
+        ("10k", dcn_s10k),
+        ("inf", dcn_inf),
+    ] {
+        left.push(LeftRow {
+            model: "DCN".into(),
+            staleness: s.into(),
+            final_auc: v,
+        });
     }
     out::write_json("table2_staleness_left", &left);
 
@@ -149,9 +182,10 @@ fn main() {
     let (s100_scores, s100_labels, s100_resident) = scored_split(&t100, &resident100);
 
     let mut right = Vec::new();
-    for (split_name, want_resident) in
-        [("≥90% cached (stale path)", true), ("mostly uncached", false)]
-    {
+    for (split_name, want_resident) in [
+        ("≥90% cached (stale path)", true),
+        ("mostly uncached", false),
+    ] {
         let idx: Vec<usize> = s100_resident
             .iter()
             .enumerate()
@@ -169,7 +203,11 @@ fn main() {
             "{split_name:<28} s=0 AUC {auc0:.4}   s=100 AUC {auc100:.4}   ({} examples)",
             idx.len()
         );
-        right.push(RightRow { split: split_name.into(), auc_s0: auc0, auc_s100: auc100 });
+        right.push(RightRow {
+            split: split_name.into(),
+            auc_s0: auc0,
+            auc_s100: auc100,
+        });
     }
     out::write_json("table2_staleness_right", &right);
 

@@ -13,7 +13,8 @@
 use het_bench::{run_workload, RunSummary, Workload};
 use het_cache::PolicyKind;
 use het_core::config::SystemPreset;
-use het_simnet::ClusterSpec;
+use het_core::{FaultConfig, TrainReport};
+use het_simnet::{ClusterSpec, SimDuration};
 use std::process::ExitCode;
 
 struct Args {
@@ -28,8 +29,10 @@ impl Args {
             let key = argv[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got '{}'", argv[i]))?;
-            let value =
-                argv.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?.clone();
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?
+                .clone();
             map.push((key.to_string(), value));
             i += 2;
         }
@@ -37,13 +40,18 @@ impl Args {
     }
 
     fn get(&self, key: &str) -> Option<&str> {
-        self.map.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.map
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
         }
     }
 }
@@ -56,7 +64,11 @@ fn workload_of(name: &str) -> Result<Workload, String> {
         "reddit" => Workload::GnnReddit,
         "amazon" => Workload::GnnAmazon,
         "mag" => Workload::GnnOgbnMag,
-        other => return Err(format!("unknown workload '{other}' (try: wdl dfm dcn reddit amazon mag)")),
+        other => {
+            return Err(format!(
+                "unknown workload '{other}' (try: wdl dfm dcn reddit amazon mag)"
+            ))
+        }
     })
 }
 
@@ -84,7 +96,7 @@ fn policy_of(name: &str) -> Result<PolicyKind, String> {
     })
 }
 
-fn print_report(workload: Workload, system: &str, summary: &RunSummary) {
+fn print_report(workload: Workload, system: &str, summary: &RunSummary, report: &TrainReport) {
     println!("workload          {}", workload.name());
     println!("system            {system}");
     println!("final metric      {:.4}", summary.final_metric);
@@ -96,13 +108,58 @@ fn print_report(workload: Workload, system: &str, summary: &RunSummary) {
     if let Some(t) = summary.time_to_target_s {
         println!("time to target    {t:.3} s");
     }
+    let f = &report.faults;
+    if !report.fault_events.is_empty() || f != &het_core::FaultStats::default() {
+        println!("--- faults ---");
+        println!(
+            "worker crashes    {} ({} dirty entries lost, {} pending ticks)",
+            f.worker_crashes, f.dirty_entries_lost, f.pending_updates_lost
+        );
+        println!(
+            "shard failovers   {} ({} rows restored, {} keys lost, {} ticks rolled back)",
+            f.shard_failovers, f.rows_restored, f.keys_lost, f.lost_updates
+        );
+        println!("degraded reads    {}", f.degraded_reads);
+        println!("blocked ops       {}", f.blocked_ops);
+        println!("retries           {}", f.retries);
+        println!("straggler iters   {}", f.straggler_slow_iters);
+        println!("checkpoints       {}", f.checkpoints);
+        for ev in &report.fault_events {
+            println!("event  {:?} {}", ev.at, ev.description);
+        }
+    }
+}
+
+/// Builds the fault-injection config from the `--fault-*` flags; stays
+/// disabled (bit-identical to the fault-free build) when none are given.
+fn fault_config_of(args: &Args) -> Result<FaultConfig, String> {
+    let crashes: usize = args.get_parsed("fault-crashes", 0)?;
+    let outages: usize = args.get_parsed("fault-outages", 0)?;
+    let stragglers: usize = args.get_parsed("fault-stragglers", 0)?;
+    let degradations: usize = args.get_parsed("fault-degradations", 0)?;
+    let drop_prob: f64 = args.get_parsed("fault-drop", 0.0)?;
+    let horizon_s: f64 = args.get_parsed("fault-horizon", 10.0)?;
+    let checkpoint_every: u64 = args.get_parsed("fault-checkpoint-every", 50)?;
+    let mut cfg = FaultConfig::disabled();
+    if crashes == 0 && outages == 0 && stragglers == 0 && degradations == 0 && drop_prob <= 0.0 {
+        return Ok(cfg);
+    }
+    cfg.enabled = true;
+    cfg.checkpoint_every = checkpoint_every;
+    cfg.spec.worker_crashes = crashes;
+    cfg.spec.shard_outages = outages;
+    cfg.spec.stragglers = stragglers;
+    cfg.spec.link_degradations = degradations;
+    cfg.spec.message_drop_prob = drop_prob;
+    cfg.spec.horizon = SimDuration::from_secs_f64(horizon_s.max(0.001));
+    Ok(cfg)
 }
 
 fn run_one(
     workload: Workload,
     preset: SystemPreset,
     args: &Args,
-) -> Result<RunSummary, String> {
+) -> Result<(RunSummary, TrainReport), String> {
     let workers: usize = args.get_parsed("workers", 8)?;
     let servers: usize = args.get_parsed("servers", 1)?;
     let dim: usize = args.get_parsed("dim", 16)?;
@@ -112,6 +169,7 @@ fn run_one(
     let band = args.get("network").unwrap_or("1gbe").to_string();
     let target: f64 = args.get_parsed("target", -1.0)?;
     let lr: f64 = args.get_parsed("lr", -1.0)?;
+    let faults = fault_config_of(args)?;
 
     let report = run_workload(workload, preset, &move |c| {
         c.cluster = match band.as_str() {
@@ -128,8 +186,10 @@ fn run_one(
             c.lr = lr as f32;
         }
         *c = c.clone().with_cache(cache_frac, policy);
+        c.faults = faults.clone();
     });
-    Ok(RunSummary::from_report(workload, report.system.as_str(), &report))
+    let summary = RunSummary::from_report(workload, report.system.as_str(), &report);
+    Ok((summary, report))
 }
 
 fn main() -> ExitCode {
@@ -145,6 +205,9 @@ fn main() -> ExitCode {
             println!("flags:     --workers N --servers N --dim N --iters N --staleness N");
             println!("           --cache-frac F --policy lru|lfu|lightlfu --network 1gbe|10gbe");
             println!("           --target METRIC --lr RATE");
+            println!("           --fault-crashes N --fault-outages N --fault-stragglers N");
+            println!("           --fault-degradations N --fault-drop P --fault-horizon SECS");
+            println!("           --fault-checkpoint-every ITERS");
             Ok(())
         }
         "train" | "compare" => (|| -> Result<(), String> {
@@ -153,14 +216,14 @@ fn main() -> ExitCode {
             let staleness: u64 = args.get_parsed("staleness", 100)?;
             let system_name = args.get("system").unwrap_or("het-cache").to_string();
             let preset = system_of(&system_name, staleness)?;
-            let summary = run_one(workload, preset, &args)?;
-            print_report(workload, &system_name, &summary);
+            let (summary, report) = run_one(workload, preset, &args)?;
+            print_report(workload, &system_name, &summary, &report);
             if command == "compare" {
                 let base_name = args.get("baseline").unwrap_or("het-hybrid").to_string();
                 let base_preset = system_of(&base_name, staleness)?;
-                let base = run_one(workload, base_preset, &args)?;
+                let (base, base_report) = run_one(workload, base_preset, &args)?;
                 println!("\n--- baseline ---");
-                print_report(workload, &base_name, &base);
+                print_report(workload, &base_name, &base, &base_report);
                 println!("\n--- comparison ---");
                 println!(
                     "epoch-time speedup      {:.2}x",
@@ -175,7 +238,9 @@ fn main() -> ExitCode {
             }
             Ok(())
         })(),
-        other => Err(format!("unknown command '{other}' (try: train compare list)")),
+        other => Err(format!(
+            "unknown command '{other}' (try: train compare list)"
+        )),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

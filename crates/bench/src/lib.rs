@@ -14,11 +14,13 @@
 
 #![warn(missing_docs)]
 
+pub mod micro;
+
 use het_core::config::{SystemPreset, TrainerConfig};
 use het_core::{TrainReport, Trainer};
 use het_data::{CtrConfig, CtrDataset, Graph, GraphConfig, NeighborSampler};
+use het_json::{impl_to_json, ToJson};
 use het_models::{DeepCross, DeepFm, GnnDataset, GraphSage, WideDeep};
-use serde::Serialize;
 use std::path::PathBuf;
 
 /// The paper's six evaluated workloads (§5: three DLRM models on Criteo,
@@ -51,8 +53,11 @@ impl Workload {
     ];
 
     /// The three DLRM workloads (used by Fig. 7).
-    pub const DLRM: [Workload; 3] =
-        [Workload::WdlCriteo, Workload::DfmCriteo, Workload::DcnCriteo];
+    pub const DLRM: [Workload; 3] = [
+        Workload::WdlCriteo,
+        Workload::DfmCriteo,
+        Workload::DcnCriteo,
+    ];
 
     /// The paper's display name.
     pub fn name(self) -> &'static str {
@@ -68,7 +73,10 @@ impl Workload {
 
     /// True for the CTR (AUC-metric) workloads.
     pub fn is_ctr(self) -> bool {
-        matches!(self, Workload::WdlCriteo | Workload::DfmCriteo | Workload::DcnCriteo)
+        matches!(
+            self,
+            Workload::WdlCriteo | Workload::DfmCriteo | Workload::DcnCriteo
+        )
     }
 
     /// Number of embedding keys at bench scale (approximate for CTR,
@@ -76,7 +84,9 @@ impl Workload {
     pub fn n_keys(self) -> usize {
         match self {
             Workload::WdlCriteo | Workload::DfmCriteo | Workload::DcnCriteo => {
-                het_data::ctr::scaled_criteo_vocabs(CTR_FIELDS * CTR_VOCAB).iter().sum()
+                het_data::ctr::scaled_criteo_vocabs(CTR_FIELDS * CTR_VOCAB)
+                    .iter()
+                    .sum()
             }
             Workload::GnnReddit => 40_000,
             Workload::GnnAmazon => 60_000,
@@ -224,18 +234,17 @@ pub mod out {
 
     /// The directory experiment records are written to.
     pub fn experiments_dir() -> PathBuf {
-        let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| {
-            format!("{}/../../target", env!("CARGO_MANIFEST_DIR"))
-        });
+        let target = std::env::var("CARGO_TARGET_DIR")
+            .unwrap_or_else(|_| format!("{}/../../target", env!("CARGO_MANIFEST_DIR")));
         let dir = PathBuf::from(target).join("experiments");
         std::fs::create_dir_all(&dir).expect("create experiments dir");
         dir
     }
 
     /// Serialises `value` as `<name>.json` under the experiments dir.
-    pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    pub fn write_json<T: ToJson>(name: &str, value: &T) {
         let path = experiments_dir().join(format!("{name}.json"));
-        let json = serde_json::to_string_pretty(value).expect("serialise experiment");
+        let json = het_json::to_string_pretty(value);
         std::fs::write(&path, json).expect("write experiment json");
         eprintln!("[experiment json] {}", path.display());
     }
@@ -249,7 +258,7 @@ pub mod out {
 }
 
 /// A serialisable summary row used by several benches.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RunSummary {
     /// Workload display name.
     pub workload: String,
@@ -270,6 +279,18 @@ pub struct RunSummary {
     /// Simulated seconds to the workload's target metric, if reached.
     pub time_to_target_s: Option<f64>,
 }
+
+impl_to_json!(RunSummary {
+    workload,
+    system,
+    sim_time_s,
+    epoch_time_s,
+    final_metric,
+    embedding_bytes,
+    cache_hit_rate,
+    comm_fraction,
+    time_to_target_s,
+});
 
 impl RunSummary {
     /// Builds a summary row from a report.

@@ -1,0 +1,218 @@
+//! In-tree micro-benchmark harness.
+//!
+//! Hermetic builds carry no registry dependencies, so this module
+//! replaces the slice of Criterion's API the micro benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], and the
+//! `criterion_group!`/`criterion_main!` entry-point macros (exported at
+//! the crate root). Measurement is deliberately simple — batches are
+//! doubled until a run exceeds a time floor, then the per-iteration
+//! mean of the largest batch is reported — which is plenty to rank the
+//! cache policies and kernels these benches compare.
+
+use std::time::{Duration, Instant};
+
+/// Minimum measured wall time per benchmark before reporting.
+const TARGET: Duration = Duration::from_millis(25);
+/// Hard cap on iterations, for very slow bodies.
+const MAX_ITERS: u64 = 1 << 24;
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; this harness times one setup/routine pair per sample
+/// regardless).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Routine input is cheap to set up.
+    SmallInput,
+    /// Routine input is expensive to set up.
+    LargeInput,
+}
+
+/// Top-level benchmark driver; collects and prints timings.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        body(&mut b);
+        report(name.as_ref(), &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.c.bench_function(full, body);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body to time its hot loop.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, doubling the batch size until the measurement
+    /// window exceeds the harness floor.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            let dt = start.elapsed();
+            if dt >= TARGET || n >= MAX_ITERS {
+                self.iters = n;
+                self.elapsed = dt;
+                return;
+            }
+            n *= 2;
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut n: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            let dt = start.elapsed();
+            if dt >= TARGET || n >= MAX_ITERS {
+                self.iters = n;
+                self.elapsed = dt;
+                return;
+            }
+            n *= 2;
+        }
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.iters == 0 {
+        println!("{name:<44} (no measurement)");
+        return;
+    }
+    let per = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let (value, unit) = if per >= 1e6 {
+        (per / 1e6, "ms")
+    } else if per >= 1e3 {
+        (per / 1e3, "µs")
+    } else {
+        (per, "ns")
+    };
+    println!("{name:<44} {value:>10.2} {unit}/iter  ({} iters)", b.iters);
+}
+
+/// Declares a benchmark-suite function invoking each listed bench
+/// (drop-in for `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::micro::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary
+/// (drop-in for `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(b.iters >= 1);
+        assert!(b.elapsed >= TARGET || b.iters == MAX_ITERS);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        // The batch size doubles until the window exceeds the floor, and
+        // every sizing round builds fresh inputs — so the exact setup
+        // count depends on timing. The invariant is pairing: every
+        // routine call consumed exactly one fresh setup output.
+        let mut b = Bencher::default();
+        let mut built = 0u64;
+        let mut consumed = 0u64;
+        b.iter_batched(
+            || {
+                built += 1;
+                vec![1u8; 16]
+            },
+            |v| {
+                consumed += 1;
+                v.len()
+            },
+            BatchSize::SmallInput,
+        );
+        assert_eq!(built, consumed, "one setup per routine call");
+        assert!(
+            built >= b.iters,
+            "the final batch alone is {} iterations",
+            b.iters
+        );
+    }
+
+    #[test]
+    fn group_names_compose() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("f", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

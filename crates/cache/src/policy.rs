@@ -80,7 +80,11 @@ pub struct LruPolicy {
 impl LruPolicy {
     /// Creates an empty LRU policy.
     pub fn new() -> Self {
-        LruPolicy { tick: 0, last_used: HashMap::new(), order: BTreeSet::new() }
+        LruPolicy {
+            tick: 0,
+            last_used: HashMap::new(),
+            order: BTreeSet::new(),
+        }
     }
 
     fn touch(&mut self, key: Key) {
@@ -128,14 +132,18 @@ impl CachePolicy for LruPolicy {
 /// Exact LFU with LRU tie-breaking.
 pub struct LfuPolicy {
     tick: u64,
-    state: HashMap<Key, (u64, u64)>, // key -> (freq, last tick)
+    state: HashMap<Key, (u64, u64)>,  // key -> (freq, last tick)
     order: BTreeSet<(u64, u64, Key)>, // (freq, tick, key)
 }
 
 impl LfuPolicy {
     /// Creates an empty LFU policy.
     pub fn new() -> Self {
-        LfuPolicy { tick: 0, state: HashMap::new(), order: BTreeSet::new() }
+        LfuPolicy {
+            tick: 0,
+            state: HashMap::new(),
+            order: BTreeSet::new(),
+        }
     }
 
     fn bump(&mut self, key: Key, is_insert: bool) {
@@ -297,7 +305,10 @@ pub struct ClockPolicy {
 impl ClockPolicy {
     /// Creates an empty CLOCK policy.
     pub fn new() -> Self {
-        ClockPolicy { ring: VecDeque::new(), referenced: HashMap::new() }
+        ClockPolicy {
+            ring: VecDeque::new(),
+            referenced: HashMap::new(),
+        }
     }
 }
 
@@ -501,7 +512,12 @@ mod tests {
 
     #[test]
     fn kinds_build_working_policies() {
-        for kind in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::LightLfu, PolicyKind::Clock] {
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Lfu,
+            PolicyKind::LightLfu,
+            PolicyKind::Clock,
+        ] {
             let mut p = kind.build();
             p.on_insert(5);
             p.on_access(5);

@@ -57,7 +57,11 @@ mod tests {
 
     #[test]
     fn rates() {
-        let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
         assert_eq!(s.lookups(), 4);
         assert!((s.miss_rate() - 0.25).abs() < 1e-12);
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
@@ -72,7 +76,13 @@ mod tests {
 
     #[test]
     fn merge_sums_fields() {
-        let mut a = CacheStats { hits: 1, misses: 2, capacity_evictions: 3, invalidations: 4, writebacks: 5 };
+        let mut a = CacheStats {
+            hits: 1,
+            misses: 2,
+            capacity_evictions: 3,
+            invalidations: 4,
+            writebacks: 5,
+        };
         let b = a;
         a.merge(&b);
         assert_eq!(a.hits, 2);

@@ -99,17 +99,40 @@ impl CacheTable {
     /// from the server, setting `c_s = c_c = c_g`.
     ///
     /// Replacing a dirty resident entry would silently drop its pending
-    /// gradient, so the read protocol must `evict` first; this method
-    /// panics if asked to clobber a dirty entry (debug-guard of the
-    /// protocol's correctness).
-    pub fn install(&mut self, key: Key, vector: Vec<f32>, global_clock: u64) {
-        if let Some(old) = self.entries.get(&key) {
-            assert!(!old.dirty, "installing over a dirty entry would lose updates");
-            self.policy.on_access(key);
-        } else {
-            self.policy.on_insert(key);
-        }
-        self.entries.insert(key, CacheEntry::fetched(vector, global_clock));
+    /// gradient, so installing over one *displaces* it: the write-back
+    /// payload is returned (and counted as a writeback) for the caller to
+    /// push to the server, exactly as an explicit `evict` would have.
+    /// Clean or absent entries return `None`.
+    #[must_use = "a displaced dirty entry's pending gradient must be pushed, not dropped"]
+    pub fn install(
+        &mut self,
+        key: Key,
+        vector: Vec<f32>,
+        global_clock: u64,
+    ) -> Option<EvictedEntry> {
+        let displaced = match self.entries.get(&key) {
+            Some(old) if old.dirty => {
+                let e = self.entries.remove(&key).expect("resident entry");
+                self.policy.on_access(key);
+                self.stats.writebacks += 1;
+                Some(EvictedEntry {
+                    pending_grad: e.pending_grad,
+                    current_clock: e.current_clock,
+                    dirty: true,
+                })
+            }
+            Some(_) => {
+                self.policy.on_access(key);
+                None
+            }
+            None => {
+                self.policy.on_insert(key);
+                None
+            }
+        };
+        self.entries
+            .insert(key, CacheEntry::fetched(vector, global_clock));
+        displaced
     }
 
     /// `Het.Cache.Update`: accumulates a raw gradient against the key and
@@ -122,7 +145,10 @@ impl CacheTable {
     /// dimension — both protocol violations.
     pub fn update(&mut self, key: Key, grad: &[f32]) {
         let lr = self.lr;
-        let e = self.entries.get_mut(&key).expect("update of a non-resident key");
+        let e = self
+            .entries
+            .get_mut(&key)
+            .expect("update of a non-resident key");
         assert_eq!(e.vector.len(), grad.len(), "gradient dimension mismatch");
         for ((v, p), &g) in e.vector.iter_mut().zip(e.pending_grad.iter_mut()).zip(grad) {
             *v -= lr * g;
@@ -137,7 +163,10 @@ impl CacheTable {
     /// # Panics
     /// Panics if the key is not resident.
     pub fn bump_clock(&mut self, key: Key) {
-        let e = self.entries.get_mut(&key).expect("clock bump of a non-resident key");
+        let e = self
+            .entries
+            .get_mut(&key)
+            .expect("clock bump of a non-resident key");
         e.current_clock += 1;
     }
 
@@ -187,6 +216,30 @@ impl CacheTable {
         out
     }
 
+    /// Drops every entry *without* write-back accounting — the cache's
+    /// owning process died, so pending gradients are lost, not flushed.
+    /// Returns what was lost so the caller can account the damage.
+    /// Unlike [`CacheTable::evict`], lost dirty entries do not count as
+    /// writebacks (no bytes ever moved).
+    pub fn crash_clear(&mut self) -> Vec<(Key, EvictedEntry)> {
+        let keys: Vec<Key> = self.entries.keys().copied().collect();
+        let mut lost = Vec::with_capacity(keys.len());
+        for k in keys {
+            if let Some(e) = self.entries.remove(&k) {
+                self.policy.on_remove(k);
+                lost.push((
+                    k,
+                    EvictedEntry {
+                        pending_grad: e.pending_grad,
+                        current_clock: e.current_clock,
+                        dirty: e.dirty,
+                    },
+                ));
+            }
+        }
+        lost
+    }
+
     /// Drains every entry (end of training: flush all pending updates).
     pub fn drain_all(&mut self) -> Vec<(Key, EvictedEntry)> {
         let keys: Vec<Key> = self.entries.keys().copied().collect();
@@ -212,7 +265,7 @@ mod tests {
     #[test]
     fn install_get_round_trip() {
         let mut t = table(4);
-        t.install(1, vec![1.0, 2.0], 5);
+        let _ = t.install(1, vec![1.0, 2.0], 5);
         assert!(t.find(1));
         assert_eq!(t.get(1).unwrap(), &[1.0, 2.0]);
         let e = t.peek(1).unwrap();
@@ -223,7 +276,7 @@ mod tests {
     #[test]
     fn update_applies_locally_and_accumulates() {
         let mut t = table(4);
-        t.install(1, vec![1.0, 1.0], 0);
+        let _ = t.install(1, vec![1.0, 1.0], 0);
         t.update(1, &[2.0, -2.0]);
         t.update(1, &[2.0, 0.0]);
         // Local view: 1 - 0.5*2 - 0.5*2 = -1 ; 1 + 0.5*2 = 2
@@ -236,7 +289,7 @@ mod tests {
     #[test]
     fn bump_clock_advances_only_current() {
         let mut t = table(4);
-        t.install(1, vec![0.0], 3);
+        let _ = t.install(1, vec![0.0], 3);
         t.bump_clock(1);
         t.bump_clock(1);
         let e = t.peek(1).unwrap();
@@ -247,7 +300,7 @@ mod tests {
     #[test]
     fn evict_returns_writeback_payload() {
         let mut t = table(4);
-        t.install(1, vec![0.0], 7);
+        let _ = t.install(1, vec![0.0], 7);
         t.update(1, &[3.0]);
         t.bump_clock(1);
         let ev = t.evict(1).unwrap();
@@ -262,7 +315,7 @@ mod tests {
     #[test]
     fn clean_evict_is_not_a_writeback() {
         let mut t = table(4);
-        t.install(1, vec![0.0], 0);
+        let _ = t.install(1, vec![0.0], 0);
         let ev = t.evict(1).unwrap();
         assert!(!ev.dirty);
         assert_eq!(t.stats().writebacks, 0);
@@ -271,10 +324,10 @@ mod tests {
     #[test]
     fn overflow_eviction_respects_capacity_and_policy() {
         let mut t = table(2);
-        t.install(1, vec![0.0], 0);
-        t.install(2, vec![0.0], 0);
+        let _ = t.install(1, vec![0.0], 0);
+        let _ = t.install(2, vec![0.0], 0);
         let _ = t.get(1); // 2 is now LRU
-        t.install(3, vec![0.0], 0);
+        let _ = t.install(3, vec![0.0], 0);
         let evicted = t.evict_overflow();
         assert_eq!(evicted.len(), 1);
         assert_eq!(evicted[0].0, 2);
@@ -287,30 +340,49 @@ mod tests {
     fn never_exceeds_capacity_after_overflow_eviction() {
         let mut t = table(8);
         for k in 0..100u64 {
-            t.install(k, vec![0.0], 0);
+            let _ = t.install(k, vec![0.0], 0);
             t.evict_overflow();
             assert!(t.len() <= 8);
         }
     }
 
     #[test]
-    #[should_panic(expected = "dirty entry")]
-    fn install_over_dirty_entry_panics() {
+    fn install_over_dirty_entry_returns_displaced_writeback() {
         let mut t = table(4);
-        t.install(1, vec![0.0], 0);
+        let _ = t.install(1, vec![0.0], 0);
         t.update(1, &[1.0]);
-        t.install(1, vec![9.0], 2);
+        t.bump_clock(1);
+        let displaced = t
+            .install(1, vec![9.0], 2)
+            .expect("dirty entry must be displaced");
+        assert!(displaced.dirty);
+        assert_eq!(displaced.pending_grad, vec![1.0]);
+        assert_eq!(displaced.current_clock, 1);
+        assert_eq!(
+            t.stats().writebacks,
+            1,
+            "displacement counts as a writeback"
+        );
+        // The fresh install fully replaced the entry.
+        let e = t.peek(1).unwrap();
+        assert_eq!(e.vector, vec![9.0]);
+        assert_eq!(e.start_clock, 2);
+        assert_eq!(e.current_clock, 2);
+        assert!(!e.dirty);
+        assert!(e.pending_grad.iter().all(|&g| g == 0.0));
+        assert_eq!(t.len(), 1);
     }
 
     #[test]
     fn install_over_clean_entry_refreshes() {
         let mut t = table(4);
-        t.install(1, vec![0.0], 0);
-        t.install(1, vec![9.0], 4);
+        assert!(t.install(1, vec![0.0], 0).is_none());
+        assert!(t.install(1, vec![9.0], 4).is_none());
         let e = t.peek(1).unwrap();
         assert_eq!(e.vector, vec![9.0]);
         assert_eq!(e.start_clock, 4);
         assert_eq!(t.len(), 1);
+        assert_eq!(t.stats().writebacks, 0, "clean refresh is not a writeback");
     }
 
     #[test]
@@ -321,10 +393,30 @@ mod tests {
     }
 
     #[test]
+    fn crash_clear_loses_entries_without_writeback_accounting() {
+        let mut t = table(4);
+        let _ = t.install(1, vec![0.0], 0);
+        let _ = t.install(2, vec![0.0], 0);
+        t.update(2, &[1.0]);
+        t.bump_clock(2);
+        let lost = t.crash_clear();
+        assert_eq!(lost.len(), 2);
+        assert!(t.is_empty());
+        assert_eq!(t.stats().writebacks, 0, "a crash moves no bytes");
+        let dirty: Vec<_> = lost.iter().filter(|(_, e)| e.dirty).collect();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[0].0, 2);
+        assert_eq!(dirty[0].1.pending_grad, vec![1.0]);
+        // The policy state was reset too: reinstalls behave like a cold cache.
+        let _ = t.install(3, vec![0.0], 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
     fn drain_returns_everything() {
         let mut t = table(4);
-        t.install(1, vec![0.0], 0);
-        t.install(2, vec![0.0], 0);
+        let _ = t.install(1, vec![0.0], 0);
+        let _ = t.install(2, vec![0.0], 0);
         t.update(2, &[1.0]);
         let drained = t.drain_all();
         assert_eq!(drained.len(), 2);
@@ -352,8 +444,8 @@ mod tests {
     #[test]
     fn keys_iterates_residents() {
         let mut t = table(4);
-        t.install(1, vec![0.0], 0);
-        t.install(2, vec![0.0], 0);
+        let _ = t.install(1, vec![0.0], 0);
+        let _ = t.install(2, vec![0.0], 0);
         let mut ks: Vec<Key> = t.keys().collect();
         ks.sort_unstable();
         assert_eq!(ks, vec![1, 2]);

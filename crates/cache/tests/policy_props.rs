@@ -1,9 +1,15 @@
-//! Property-based tests of the cache table and eviction policies under
-//! arbitrary operation sequences.
+//! Property-style tests of the cache table and eviction policies under
+//! randomised operation sequences, drawn from a seeded in-tree
+//! generator so runs are deterministic and hermetic.
 
-use het_cache::{CachePolicy, CacheTable, ClockPolicy, LfuPolicy, LightLfuPolicy, LruPolicy, PolicyKind};
-use proptest::prelude::*;
+use het_cache::{
+    CachePolicy, CacheTable, ClockPolicy, LfuPolicy, LightLfuPolicy, LruPolicy, PolicyKind,
+};
+use het_rng::rngs::StdRng;
+use het_rng::{Rng, SeedableRng};
 use std::collections::HashSet;
+
+const CASES: usize = 192;
 
 /// An abstract op stream over a small key universe.
 #[derive(Clone, Debug)]
@@ -14,18 +20,21 @@ enum Op {
     PopVictim,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..16).prop_map(Op::Access),
-        (0u64..16).prop_map(Op::Insert),
-        (0u64..16).prop_map(Op::Remove),
-        Just(Op::PopVictim),
-    ]
+fn random_ops(rng: &mut StdRng, max_len: usize) -> Vec<Op> {
+    let len = rng.gen_range(0usize..max_len);
+    (0..len)
+        .map(|_| match rng.gen_range(0u32..4) {
+            0 => Op::Access(rng.gen_range(0u64..16)),
+            1 => Op::Insert(rng.gen_range(0u64..16)),
+            2 => Op::Remove(rng.gen_range(0u64..16)),
+            _ => Op::PopVictim,
+        })
+        .collect()
 }
 
 /// Drives a policy with a reference resident-set model and checks the
 /// bookkeeping never diverges.
-fn check_policy(mut policy: Box<dyn CachePolicy>, ops: Vec<Op>) -> Result<(), TestCaseError> {
+fn check_policy(mut policy: Box<dyn CachePolicy>, ops: Vec<Op>) {
     let mut resident: HashSet<u64> = HashSet::new();
     for op in ops {
         match op {
@@ -49,12 +58,12 @@ fn check_policy(mut policy: Box<dyn CachePolicy>, ops: Vec<Op>) -> Result<(), Te
                 let victim = policy.pop_victim();
                 match victim {
                     Some(k) => {
-                        prop_assert!(
+                        assert!(
                             resident.remove(&k),
                             "policy returned non-resident victim {k}"
                         );
                     }
-                    None => prop_assert!(
+                    None => assert!(
                         resident.is_empty(),
                         "policy claims empty while {} keys resident",
                         resident.len()
@@ -62,38 +71,53 @@ fn check_policy(mut policy: Box<dyn CachePolicy>, ops: Vec<Op>) -> Result<(), Te
                 }
             }
         }
-        prop_assert_eq!(policy.len(), resident.len(), "length diverged");
+        assert_eq!(policy.len(), resident.len(), "length diverged");
     }
-    Ok(())
 }
 
-proptest! {
-    #[test]
-    fn lru_tracks_reference_model(ops in proptest::collection::vec(op_strategy(), 0..200)) {
-        check_policy(Box::new(LruPolicy::new()), ops)?;
+#[test]
+fn lru_tracks_reference_model() {
+    let mut rng = StdRng::seed_from_u64(0xCACE_0001);
+    for _ in 0..CASES {
+        check_policy(Box::new(LruPolicy::new()), random_ops(&mut rng, 200));
     }
+}
 
-    #[test]
-    fn lfu_tracks_reference_model(ops in proptest::collection::vec(op_strategy(), 0..200)) {
-        check_policy(Box::new(LfuPolicy::new()), ops)?;
+#[test]
+fn lfu_tracks_reference_model() {
+    let mut rng = StdRng::seed_from_u64(0xCACE_0002);
+    for _ in 0..CASES {
+        check_policy(Box::new(LfuPolicy::new()), random_ops(&mut rng, 200));
     }
+}
 
-    #[test]
-    fn clock_tracks_reference_model(ops in proptest::collection::vec(op_strategy(), 0..200)) {
-        check_policy(Box::new(ClockPolicy::new()), ops)?;
+#[test]
+fn clock_tracks_reference_model() {
+    let mut rng = StdRng::seed_from_u64(0xCACE_0003);
+    for _ in 0..CASES {
+        check_policy(Box::new(ClockPolicy::new()), random_ops(&mut rng, 200));
     }
+}
 
-    #[test]
-    fn light_lfu_tracks_reference_model(
-        ops in proptest::collection::vec(op_strategy(), 0..200),
-        threshold in 1u64..8,
-    ) {
-        check_policy(Box::new(LightLfuPolicy::new(threshold)), ops)?;
+#[test]
+fn light_lfu_tracks_reference_model() {
+    let mut rng = StdRng::seed_from_u64(0xCACE_0004);
+    for _ in 0..CASES {
+        let threshold = rng.gen_range(1u64..8);
+        check_policy(
+            Box::new(LightLfuPolicy::new(threshold)),
+            random_ops(&mut rng, 200),
+        );
     }
+}
 
-    /// LRU victims come out in exact least-recent order when draining.
-    #[test]
-    fn lru_drain_order_is_recency_order(keys in proptest::collection::vec(0u64..64, 1..40)) {
+/// LRU victims come out in exact least-recent order when draining.
+#[test]
+fn lru_drain_order_is_recency_order() {
+    let mut rng = StdRng::seed_from_u64(0xCACE_0005);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..40);
+        let keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..64)).collect();
         let mut policy = LruPolicy::new();
         let mut last_touch: Vec<u64> = Vec::new();
         for &k in &keys {
@@ -109,39 +133,48 @@ proptest! {
         while let Some(v) = policy.pop_victim() {
             drained.push(v);
         }
-        prop_assert_eq!(drained, last_touch);
+        assert_eq!(drained, last_touch);
     }
+}
 
-    /// The table never exceeds capacity after `evict_overflow`, no matter
-    /// the install/update sequence, for every policy.
-    #[test]
-    fn table_respects_capacity(
-        keys in proptest::collection::vec(0u64..256, 1..120),
-        capacity in 1usize..24,
-        policy_idx in 0usize..4,
-    ) {
-        let policy =
-            [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::LightLfu, PolicyKind::Clock][policy_idx];
+/// The table never exceeds capacity after `evict_overflow`, no matter
+/// the install/update sequence, for every policy.
+#[test]
+fn table_respects_capacity() {
+    let mut rng = StdRng::seed_from_u64(0xCACE_0006);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..120);
+        let keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..256)).collect();
+        let capacity = rng.gen_range(1usize..24);
+        let policy = [
+            PolicyKind::Lru,
+            PolicyKind::Lfu,
+            PolicyKind::LightLfu,
+            PolicyKind::Clock,
+        ][rng.gen_range(0usize..4)];
         let mut table = CacheTable::new(capacity, policy, 0.1);
         for &k in &keys {
             if !table.find(k) {
-                table.install(k, vec![0.0; 4], 0);
+                let _ = table.install(k, vec![0.0; 4], 0);
             }
             table.update(k, &[1.0, 1.0, 1.0, 1.0]);
             table.bump_clock(k);
             table.evict_overflow();
-            prop_assert!(table.len() <= capacity);
+            assert!(table.len() <= capacity);
         }
     }
+}
 
-    /// Eviction returns exactly the accumulated gradient: the sum of all
-    /// updates applied since install, regardless of interleaving.
-    #[test]
-    fn eviction_payload_equals_update_sum(
-        updates in proptest::collection::vec(-10.0f32..10.0, 1..30),
-    ) {
+/// Eviction returns exactly the accumulated gradient: the sum of all
+/// updates applied since install, regardless of interleaving.
+#[test]
+fn eviction_payload_equals_update_sum() {
+    let mut rng = StdRng::seed_from_u64(0xCACE_0007);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..30);
+        let updates: Vec<f32> = (0..n).map(|_| rng.gen_range(-10.0f32..10.0)).collect();
         let mut table = CacheTable::new(8, PolicyKind::Lru, 0.5);
-        table.install(1, vec![0.0; 1], 3);
+        let _ = table.install(1, vec![0.0; 1], 3);
         let mut sum = 0.0f32;
         for &u in &updates {
             table.update(1, &[u]);
@@ -149,26 +182,29 @@ proptest! {
             sum += u;
         }
         let ev = table.evict(1).expect("resident");
-        prop_assert!(ev.dirty);
-        prop_assert!((ev.pending_grad[0] - sum).abs() < 1e-3);
-        prop_assert_eq!(ev.current_clock, 3 + updates.len() as u64);
+        assert!(ev.dirty);
+        assert!((ev.pending_grad[0] - sum).abs() < 1e-3);
+        assert_eq!(ev.current_clock, 3 + updates.len() as u64);
     }
+}
 
-    /// The local view always equals install value − lr · (sum of
-    /// gradients): read-my-updates as arithmetic.
-    #[test]
-    fn local_view_is_install_minus_lr_times_sum(
-        updates in proptest::collection::vec(-5.0f32..5.0, 0..20),
-    ) {
+/// The local view always equals install value − lr · (sum of
+/// gradients): read-my-updates as arithmetic.
+#[test]
+fn local_view_is_install_minus_lr_times_sum() {
+    let mut rng = StdRng::seed_from_u64(0xCACE_0008);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0usize..20);
+        let updates: Vec<f32> = (0..n).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
         let lr = 0.25f32;
         let mut table = CacheTable::new(4, PolicyKind::Lfu, lr);
-        table.install(7, vec![2.0], 0);
+        let _ = table.install(7, vec![2.0], 0);
         let mut sum = 0.0f32;
         for &u in &updates {
             table.update(7, &[u]);
             sum += u;
         }
         let view = table.get(7).unwrap()[0];
-        prop_assert!((view - (2.0 - lr * sum)).abs() < 1e-3);
+        assert!((view - (2.0 - lr * sum)).abs() < 1e-3);
     }
 }

@@ -15,12 +15,38 @@
 //! (stale writes), per-key clocks advance by one, and only capacity
 //! overflow triggers server write-backs.
 
+use crate::fault::FaultContext;
 use het_cache::{CacheTable, PolicyKind};
 use het_data::Key;
 use het_models::{EmbeddingStore, SparseGrads};
 use het_ps::PsServer;
 use het_simnet::wire::MessageCosts;
-use het_simnet::{CommCategory, CommStats, Collectives, SimDuration};
+use het_simnet::{Collectives, CommCategory, CommStats, SimDuration};
+
+/// The longest stall among the given keys' shards that are mid-failover
+/// at the context's clock (each distinct shard counted once). Zero when
+/// no context or no outage — protocol steps that must *touch* a down
+/// shard block until its failover completes.
+fn outage_wait<'a>(
+    keys: impl Iterator<Item = &'a Key>,
+    server: &PsServer,
+    faults: &mut Option<&mut FaultContext<'_>>,
+) -> SimDuration {
+    let mut wait = SimDuration::ZERO;
+    if let Some(f) = faults.as_mut() {
+        let mut seen: Vec<usize> = Vec::new();
+        for &k in keys {
+            let shard = server.shard_index_of(k);
+            if !seen.contains(&shard) {
+                seen.push(shard);
+                if let Some(w) = f.blocked_wait(shard) {
+                    wait = wait.max(w);
+                }
+            }
+        }
+    }
+    wait
+}
 
 /// The cache-enabled embedding client of one worker.
 pub struct HetClient {
@@ -37,7 +63,14 @@ impl HetClient {
     /// server will compute from the pushed gradients), with fused
     /// messages (§4.2).
     pub fn new(capacity: usize, staleness: u64, policy: PolicyKind, dim: usize, lr: f32) -> Self {
-        Self::with_costs(capacity, staleness, policy, dim, lr, MessageCosts { fused: true })
+        Self::with_costs(
+            capacity,
+            staleness,
+            policy,
+            dim,
+            lr,
+            MessageCosts { fused: true },
+        )
     }
 
     /// As [`HetClient::new`] with explicit message-cost semantics (the
@@ -50,7 +83,12 @@ impl HetClient {
         lr: f32,
         costs: MessageCosts,
     ) -> Self {
-        HetClient { cache: CacheTable::new(capacity, policy, lr), staleness, dim, costs }
+        HetClient {
+            cache: CacheTable::new(capacity, policy, lr),
+            staleness,
+            dim,
+            costs,
+        }
     }
 
     /// The staleness threshold `s`.
@@ -83,6 +121,27 @@ impl HetClient {
         net: &Collectives,
         stats: &mut CommStats,
     ) -> (EmbeddingStore, SimDuration) {
+        self.read_faulty(keys, server, net, stats, None)
+    }
+
+    /// [`HetClient::read`] under fault injection. With `faults` present
+    /// the protocol additionally: serves **gracefully degraded** reads
+    /// (a resident entry whose shard is mid-failover is served stale as
+    /// long as condition (1) of `CheckValid` holds — the staleness bound
+    /// the paper already tolerates); blocks on keys that *must* touch a
+    /// down shard until its failover completes; inflates legs crossing
+    /// degraded links; and retries deterministically dropped messages
+    /// with exponential backoff, charging every retransmission real
+    /// simulated time and bytes. `faults: None` (or an empty plan) takes
+    /// byte-for-byte the same path as [`HetClient::read`].
+    pub fn read_faulty(
+        &mut self,
+        keys: &[Key],
+        server: &PsServer,
+        net: &Collectives,
+        stats: &mut CommStats,
+        mut faults: Option<&mut FaultContext<'_>>,
+    ) -> (EmbeddingStore, SimDuration) {
         // Partition the request.
         let mut check_candidates: Vec<Key> = Vec::new(); // hit + cond (1) holds
         let mut resync: Vec<Key> = Vec::new(); // must evict + fetch
@@ -91,7 +150,20 @@ impl HetClient {
             if self.cache.find(k) {
                 let entry = self.cache.peek(k).expect("resident entry");
                 if entry.within_write_bound(self.staleness) {
-                    check_candidates.push(k);
+                    // Graceful degradation: condition (1) already holds
+                    // locally, so if the key's shard is down we serve the
+                    // cached value stale instead of stalling on failover.
+                    let degrade = faults
+                        .as_mut()
+                        .is_some_and(|f| f.shard_down(server.shard_index_of(k)));
+                    if degrade {
+                        if let Some(f) = faults.as_mut() {
+                            f.record_degraded_read();
+                        }
+                        self.cache.record_hit();
+                    } else {
+                        check_candidates.push(k);
+                    }
                 } else {
                     resync.push(k);
                 }
@@ -99,6 +171,10 @@ impl HetClient {
                 missing.push(k);
             }
         }
+
+        // Keys that cannot be served locally block on any mid-failover
+        // shard they must touch.
+        let mut time = outage_wait(resync.iter().chain(missing.iter()), server, &mut faults);
 
         // Phase A — two independent legs issued concurrently (§4.1 async
         // invocation): the clock-only validation round trip for the
@@ -109,6 +185,10 @@ impl HetClient {
             let bytes = self.costs.clock_check(check_candidates.len());
             stats.record(CommCategory::ClockSync, bytes);
             t_clock = net.ps_transfer(bytes);
+            if let Some(f) = faults.as_mut() {
+                t_clock =
+                    f.charge_leg(t_clock, |b| stats.record(CommCategory::ClockSync, b), bytes);
+            }
             for k in std::mem::take(&mut check_candidates) {
                 let global = server.clock_of(k);
                 let entry = self.cache.peek(k).expect("resident entry");
@@ -125,13 +205,20 @@ impl HetClient {
             let resp = self.costs.fetch_response(missing.len(), self.dim);
             stats.record(CommCategory::EmbeddingFetch, req + resp);
             t_missing = net.ps_transfer(req) + net.ps_transfer(resp);
+            if let Some(f) = faults.as_mut() {
+                t_missing = f.charge_leg(
+                    t_missing,
+                    |b| stats.record(CommCategory::EmbeddingFetch, b),
+                    req + resp,
+                );
+            }
             for &k in &missing {
                 self.cache.record_miss();
                 let pulled = server.pull(k);
-                self.cache.install(k, pulled.vector, pulled.clock);
+                self.install_fetched(k, pulled.vector, pulled.clock, server);
             }
         }
-        let mut time = t_clock.max(t_missing);
+        time += t_clock.max(t_missing);
 
         // Phase B — synchronise entries the validation invalidated:
         // evict (write back the pending gradients) then re-fetch. This
@@ -150,26 +237,55 @@ impl HetClient {
         if dirty_pushes > 0 {
             let bytes = self.costs.push(dirty_pushes, self.dim);
             stats.record(CommCategory::EmbeddingPush, bytes);
-            time += net.ps_transfer(bytes);
+            let mut t_push = net.ps_transfer(bytes);
+            if let Some(f) = faults.as_mut() {
+                t_push = f.charge_leg(
+                    t_push,
+                    |b| stats.record(CommCategory::EmbeddingPush, b),
+                    bytes,
+                );
+            }
+            time += t_push;
         }
         if !resync.is_empty() {
             let req = self.costs.fetch_request(resync.len());
             let resp = self.costs.fetch_response(resync.len(), self.dim);
             stats.record(CommCategory::EmbeddingFetch, req + resp);
-            time += net.ps_transfer(req) + net.ps_transfer(resp);
+            let mut t_refetch = net.ps_transfer(req) + net.ps_transfer(resp);
+            if let Some(f) = faults.as_mut() {
+                t_refetch = f.charge_leg(
+                    t_refetch,
+                    |b| stats.record(CommCategory::EmbeddingFetch, b),
+                    req + resp,
+                );
+            }
+            time += t_refetch;
             for &k in &resync {
                 let pulled = server.pull(k);
-                self.cache.install(k, pulled.vector, pulled.clock);
+                self.install_fetched(k, pulled.vector, pulled.clock, server);
             }
         }
 
         // Serve the batch from the cache.
         let mut store = EmbeddingStore::new(self.dim);
         for &k in keys {
-            let v = self.cache.get(k).expect("key resolved by read protocol").to_vec();
+            let v = self
+                .cache
+                .get(k)
+                .expect("key resolved by read protocol")
+                .to_vec();
             store.insert(k, v);
         }
         (store, time)
+    }
+
+    /// Lands a fetched vector in the cache. Unreachable in the read
+    /// protocol's happy path, a dirty resident entry would be displaced;
+    /// its pending gradient is pushed rather than dropped.
+    fn install_fetched(&mut self, key: Key, vector: Vec<f32>, clock: u64, server: &PsServer) {
+        if let Some(ev) = self.cache.install(key, vector, clock) {
+            server.push_with_clock(key, &ev.pending_grad, ev.current_clock);
+        }
     }
 
     /// `Het.Write(keys, grads)`: stale-writes the gradients into the
@@ -183,26 +299,68 @@ impl HetClient {
         net: &Collectives,
         stats: &mut CommStats,
     ) -> SimDuration {
+        self.write_faulty(grads, server, net, stats, None)
+    }
+
+    /// [`HetClient::write`] under fault injection: eviction write-backs
+    /// destined for a mid-failover shard block until it recovers, and
+    /// the push leg is subject to link degradation and message drops.
+    /// Stale writes that stay in the cache are unaffected — that
+    /// absorption is exactly why the cache degrades gracefully.
+    pub fn write_faulty(
+        &mut self,
+        grads: &SparseGrads,
+        server: &PsServer,
+        net: &Collectives,
+        stats: &mut CommStats,
+        mut faults: Option<&mut FaultContext<'_>>,
+    ) -> SimDuration {
         for k in grads.sorted_keys() {
             let g = grads.get(k).expect("key from sorted_keys");
             self.cache.update(k, g);
             self.cache.bump_clock(k);
         }
         let evicted = self.cache.evict_overflow();
-        let mut dirty = 0usize;
+        let mut dirty_keys: Vec<Key> = Vec::new();
         for (k, ev) in &evicted {
             if ev.dirty {
                 server.push_with_clock(*k, &ev.pending_grad, ev.current_clock);
-                dirty += 1;
+                dirty_keys.push(*k);
             }
         }
-        if dirty > 0 {
-            let bytes = self.costs.push(dirty, self.dim);
-            stats.record(CommCategory::EmbeddingPush, bytes);
-            net.ps_transfer(bytes)
-        } else {
-            SimDuration::ZERO
+        if dirty_keys.is_empty() {
+            return SimDuration::ZERO;
         }
+        let wait = outage_wait(dirty_keys.iter(), server, &mut faults);
+        let bytes = self.costs.push(dirty_keys.len(), self.dim);
+        stats.record(CommCategory::EmbeddingPush, bytes);
+        let mut t = net.ps_transfer(bytes);
+        if let Some(f) = faults.as_mut() {
+            t = f.charge_leg(t, |b| stats.record(CommCategory::EmbeddingPush, b), bytes);
+        }
+        wait + t
+    }
+
+    /// Simulates this worker's process dying: the entire cache is lost,
+    /// including dirty entries whose pending gradients never reached the
+    /// server. Returns `(entries_lost, dirty_lost, pending_update_ticks)`
+    /// where the last is the sum over dirty entries of local clock
+    /// advances that are now gone (the recovery ledger's lost-update
+    /// measure). Statistics counters survive — they belong to the
+    /// experiment, not the process.
+    pub fn crash_reset(&mut self) -> (u64, u64, u64) {
+        let mut dirty_lost = 0u64;
+        let mut pending_ticks = 0u64;
+        for k in self.cache.keys() {
+            if let Some(e) = self.cache.peek(k) {
+                if e.dirty {
+                    dirty_lost += 1;
+                    pending_ticks += e.current_clock.saturating_sub(e.start_clock);
+                }
+            }
+        }
+        let lost = self.cache.crash_clear();
+        (lost.len() as u64, dirty_lost, pending_ticks)
     }
 
     /// Flushes every dirty entry to the server (end of training, or the
@@ -258,15 +416,38 @@ impl DirectPsClient {
         net: &Collectives,
         stats: &mut CommStats,
     ) -> (EmbeddingStore, SimDuration) {
+        self.read_faulty(keys, server, net, stats, None)
+    }
+
+    /// [`DirectPsClient::read`] under fault injection. With no cache to
+    /// fall back on there is no graceful degradation: every key on a
+    /// mid-failover shard blocks the pull until recovery — the contrast
+    /// the fault sweep measures against the cached client.
+    pub fn read_faulty(
+        &self,
+        keys: &[Key],
+        server: &PsServer,
+        net: &Collectives,
+        stats: &mut CommStats,
+        mut faults: Option<&mut FaultContext<'_>>,
+    ) -> (EmbeddingStore, SimDuration) {
+        let wait = outage_wait(keys.iter(), server, &mut faults);
         let req = self.costs.fetch_request(keys.len());
         let resp = self.costs.fetch_response(keys.len(), self.dim);
         stats.record(CommCategory::EmbeddingFetch, req + resp);
-        let time = net.ps_transfer(req) + net.ps_transfer(resp);
+        let mut time = net.ps_transfer(req) + net.ps_transfer(resp);
+        if let Some(f) = faults.as_mut() {
+            time = f.charge_leg(
+                time,
+                |b| stats.record(CommCategory::EmbeddingFetch, b),
+                req + resp,
+            );
+        }
         let mut store = EmbeddingStore::new(self.dim);
         for &k in keys {
             store.insert(k, server.pull(k).vector);
         }
-        (store, time)
+        (store, wait + time)
     }
 
     /// Pushes the batch's gradients to the server.
@@ -277,15 +458,35 @@ impl DirectPsClient {
         net: &Collectives,
         stats: &mut CommStats,
     ) -> SimDuration {
+        self.write_faulty(grads, server, net, stats, None)
+    }
+
+    /// [`DirectPsClient::write`] under fault injection: pushes to a
+    /// mid-failover shard block until recovery, and the push leg is
+    /// subject to degradation and drops.
+    pub fn write_faulty(
+        &self,
+        grads: &SparseGrads,
+        server: &PsServer,
+        net: &Collectives,
+        stats: &mut CommStats,
+        mut faults: Option<&mut FaultContext<'_>>,
+    ) -> SimDuration {
         if grads.is_empty() {
             return SimDuration::ZERO;
         }
-        for k in grads.sorted_keys() {
+        let keys = grads.sorted_keys();
+        let wait = outage_wait(keys.iter(), server, &mut faults);
+        for &k in &keys {
             server.push_inc(k, grads.get(k).expect("key from sorted_keys"));
         }
         let bytes = self.costs.push(grads.len(), self.dim);
         stats.record(CommCategory::EmbeddingPush, bytes);
-        net.ps_transfer(bytes)
+        let mut t = net.ps_transfer(bytes);
+        if let Some(f) = faults.as_mut() {
+            t = f.charge_leg(t, |b| stats.record(CommCategory::EmbeddingPush, b), bytes);
+        }
+        wait + t
     }
 }
 
@@ -297,7 +498,14 @@ mod tests {
 
     fn setup(capacity: usize, staleness: u64) -> (HetClient, PsServer, Collectives) {
         let client = HetClient::new(capacity, staleness, PolicyKind::Lru, 2, 0.5);
-        let server = PsServer::new(PsConfig { dim: 2, n_shards: 2, lr: 0.5, seed: 7, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+        let server = PsServer::new(PsConfig {
+            dim: 2,
+            n_shards: 2,
+            lr: 0.5,
+            seed: 7,
+            optimizer: ServerOptimizer::Sgd,
+            grad_clip: None,
+        });
         let net = ClusterSpec::cluster_a(4, 1).collectives();
         (client, server, net)
     }
@@ -320,7 +528,11 @@ mod tests {
         assert_eq!(client.cache().stats().misses, 3);
         assert_eq!(client.cache().stats().hits, 0);
         assert!(stats.bytes(CommCategory::EmbeddingFetch) > 0);
-        assert_eq!(stats.bytes(CommCategory::ClockSync), 0, "no resident keys to check");
+        assert_eq!(
+            stats.bytes(CommCategory::ClockSync),
+            0,
+            "no resident keys to check"
+        );
     }
 
     #[test]
@@ -336,7 +548,10 @@ mod tests {
             fetch_bytes_before,
             "no new vector fetches on a warm validated cache"
         );
-        assert!(stats.bytes(CommCategory::ClockSync) > 0, "validation is clock-only");
+        assert!(
+            stats.bytes(CommCategory::ClockSync) > 0,
+            "validation is clock-only"
+        );
         assert!(time2 > SimDuration::ZERO);
     }
 
@@ -348,7 +563,11 @@ mod tests {
         let server_before = server.pull(1).vector;
         let t = client.write(&grads_for(&[1], 1.0), &server, &net, &mut stats);
         assert_eq!(t, SimDuration::ZERO, "stale write costs nothing");
-        assert_eq!(server.pull(1).vector, server_before, "server unchanged until eviction");
+        assert_eq!(
+            server.pull(1).vector,
+            server_before,
+            "server unchanged until eviction"
+        );
         assert_eq!(stats.bytes(CommCategory::EmbeddingPush), 0);
         // Local view did change (read-my-updates).
         let entry = client.cache().peek(1).unwrap();
@@ -428,7 +647,10 @@ mod tests {
             "condition (1) is local: no clock message for the invalid key"
         );
         assert_eq!(client.cache().stats().invalidations, 1);
-        assert!(stats.bytes(CommCategory::EmbeddingPush) > 0, "dirty eviction pushed");
+        assert!(
+            stats.bytes(CommCategory::EmbeddingPush) > 0,
+            "dirty eviction pushed"
+        );
         // Server received both updates: c_g = 2.
         assert_eq!(server.clock_of(1), 2);
     }
@@ -453,7 +675,11 @@ mod tests {
         let (mut client, server, net) = setup(2, 5);
         let mut stats = CommStats::new();
         let (store, _) = client.read(&[1, 2, 3], &server, &net, &mut stats);
-        assert_eq!(store.len(), 3, "read resolves everything even past capacity");
+        assert_eq!(
+            store.len(),
+            3,
+            "read resolves everything even past capacity"
+        );
         assert_eq!(client.cache().len(), 3, "temporary overflow allowed");
         client.write(&grads_for(&[1, 2, 3], 1.0), &server, &net, &mut stats);
         assert_eq!(client.cache().len(), 2, "write's Evict() trims to capacity");
@@ -462,7 +688,14 @@ mod tests {
     #[test]
     fn direct_client_round_trips_and_costs() {
         let client = DirectPsClient::new(2);
-        let server = PsServer::new(PsConfig { dim: 2, n_shards: 2, lr: 0.5, seed: 7, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+        let server = PsServer::new(PsConfig {
+            dim: 2,
+            n_shards: 2,
+            lr: 0.5,
+            seed: 7,
+            optimizer: ServerOptimizer::Sgd,
+            grad_clip: None,
+        });
         let net = ClusterSpec::cluster_a(4, 1).collectives();
         let mut stats = CommStats::new();
         let (store, t_read) = client.read(&[1, 2], &server, &net, &mut stats);
@@ -473,7 +706,10 @@ mod tests {
         assert_eq!(server.clock_of(1), 1);
         assert!(stats.bytes(CommCategory::EmbeddingFetch) > 0);
         assert!(stats.bytes(CommCategory::EmbeddingPush) > 0);
-        assert_eq!(client.write(&SparseGrads::new(2), &server, &net, &mut stats), SimDuration::ZERO);
+        assert_eq!(
+            client.write(&SparseGrads::new(2), &server, &net, &mut stats),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -484,8 +720,22 @@ mod tests {
         let dim = 64;
         let mut cached = HetClient::new(10, 100, PolicyKind::Lru, dim, 0.5);
         let direct = DirectPsClient::new(dim);
-        let server_a = PsServer::new(PsConfig { dim, n_shards: 2, lr: 0.5, seed: 7, optimizer: ServerOptimizer::Sgd, grad_clip: None });
-        let server_b = PsServer::new(PsConfig { dim, n_shards: 2, lr: 0.5, seed: 7, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+        let server_a = PsServer::new(PsConfig {
+            dim,
+            n_shards: 2,
+            lr: 0.5,
+            seed: 7,
+            optimizer: ServerOptimizer::Sgd,
+            grad_clip: None,
+        });
+        let server_b = PsServer::new(PsConfig {
+            dim,
+            n_shards: 2,
+            lr: 0.5,
+            seed: 7,
+            optimizer: ServerOptimizer::Sgd,
+            grad_clip: None,
+        });
         let net = ClusterSpec::cluster_a(4, 1).collectives();
 
         let mut stats_cached = CommStats::new();

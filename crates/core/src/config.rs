@@ -1,6 +1,7 @@
 //! System and trainer configuration, including the paper's six evaluated
 //! system presets.
 
+use crate::fault::FaultConfig;
 use het_cache::PolicyKind;
 use het_simnet::ClusterSpec;
 
@@ -77,13 +78,21 @@ pub struct Backbone {
 impl Backbone {
     /// The HET runtime: overlapping, fused messages, efficient kernels.
     pub fn het() -> Self {
-        Backbone { overlap: true, fuse_messages: true, compute_factor: 1.0 }
+        Backbone {
+            overlap: true,
+            fuse_messages: true,
+            compute_factor: 1.0,
+        }
     }
 
     /// The TensorFlow 1.15 baseline runtime as characterised in §5.1
     /// (no overlap, no message fusion, slower kernels).
     pub fn tensorflow() -> Self {
-        Backbone { overlap: false, fuse_messages: false, compute_factor: 1.5 }
+        Backbone {
+            overlap: false,
+            fuse_messages: false,
+            compute_factor: 1.5,
+        }
     }
 }
 
@@ -220,6 +229,10 @@ pub struct TrainerConfig {
     pub server_grad_clip: Option<f32>,
     /// Master seed: model init, worker data order.
     pub seed: u64,
+    /// Deterministic fault injection (crashes, outages, stragglers,
+    /// degraded links, message drops). Disabled by default; with an
+    /// empty schedule the run is bit-identical to injection off.
+    pub faults: FaultConfig,
 }
 
 impl TrainerConfig {
@@ -237,6 +250,7 @@ impl TrainerConfig {
             target_metric: None,
             server_grad_clip: Some(1.0),
             seed: 0xBEEF,
+            faults: FaultConfig::disabled(),
         }
     }
 
@@ -255,6 +269,7 @@ impl TrainerConfig {
             target_metric: None,
             server_grad_clip: Some(1.0),
             seed: 0xBEEF,
+            faults: FaultConfig::disabled(),
         }
     }
 
@@ -262,7 +277,11 @@ impl TrainerConfig {
     /// no-op otherwise.
     pub fn with_cache(mut self, capacity_fraction: f64, policy: het_cache::PolicyKind) -> Self {
         if let SparseMode::Cached { staleness, .. } = self.system.sparse {
-            self.system.sparse = SparseMode::Cached { staleness, capacity_fraction, policy };
+            self.system.sparse = SparseMode::Cached {
+                staleness,
+                capacity_fraction,
+                policy,
+            };
         }
         self
     }
@@ -292,7 +311,11 @@ mod tests {
 
         let cache = SystemPreset::HetCache { staleness: 100 }.config();
         match cache.sparse {
-            SparseMode::Cached { staleness, capacity_fraction, .. } => {
+            SparseMode::Cached {
+                staleness,
+                capacity_fraction,
+                ..
+            } => {
                 assert_eq!(staleness, 100);
                 assert!((capacity_fraction - 0.10).abs() < 1e-12);
             }
@@ -311,7 +334,11 @@ mod tests {
         let cfg = TrainerConfig::tiny(SystemPreset::HetCache { staleness: 5 })
             .with_cache(0.25, PolicyKind::Lru);
         match cfg.system.sparse {
-            SparseMode::Cached { capacity_fraction, policy, staleness } => {
+            SparseMode::Cached {
+                capacity_fraction,
+                policy,
+                staleness,
+            } => {
                 assert_eq!(staleness, 5);
                 assert!((capacity_fraction - 0.25).abs() < 1e-12);
                 assert_eq!(policy, PolicyKind::Lru);

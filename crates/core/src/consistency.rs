@@ -40,7 +40,11 @@ pub fn clock_divergence(clients: &[&HetClient]) -> HashMap<Key, u64> {
 /// The single largest divergence across all shared keys (0 if no key is
 /// shared).
 pub fn max_divergence(clients: &[&HetClient]) -> u64 {
-    clock_divergence(clients).values().copied().max().unwrap_or(0)
+    clock_divergence(clients)
+        .values()
+        .copied()
+        .max()
+        .unwrap_or(0)
 }
 
 /// Checks Lemma 1 at validation points: every shared key's divergence is
@@ -75,7 +79,14 @@ mod tests {
 
     #[test]
     fn divergence_empty_without_shared_keys() {
-        let server = PsServer::new(PsConfig { dim: 1, n_shards: 1, lr: 0.1, seed: 1, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+        let server = PsServer::new(PsConfig {
+            dim: 1,
+            n_shards: 1,
+            lr: 0.1,
+            seed: 1,
+            optimizer: ServerOptimizer::Sgd,
+            grad_clip: None,
+        });
         let net = ClusterSpec::cluster_a(2, 1).collectives();
         let mut stats = CommStats::new();
         let mut a = client();
@@ -88,7 +99,14 @@ mod tests {
 
     #[test]
     fn divergence_tracks_local_updates() {
-        let server = PsServer::new(PsConfig { dim: 1, n_shards: 1, lr: 0.1, seed: 1, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+        let server = PsServer::new(PsConfig {
+            dim: 1,
+            n_shards: 1,
+            lr: 0.1,
+            seed: 1,
+            optimizer: ServerOptimizer::Sgd,
+            grad_clip: None,
+        });
         let net = ClusterSpec::cluster_a(2, 1).collectives();
         let mut stats = CommStats::new();
         let mut a = client();
@@ -109,7 +127,14 @@ mod tests {
     fn bound_enforced_by_read_protocol() {
         // With s = 3, a worker hammering one key while another stays idle
         // must stay within 2s at validation points.
-        let server = PsServer::new(PsConfig { dim: 1, n_shards: 1, lr: 0.1, seed: 1, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+        let server = PsServer::new(PsConfig {
+            dim: 1,
+            n_shards: 1,
+            lr: 0.1,
+            seed: 1,
+            optimizer: ServerOptimizer::Sgd,
+            grad_clip: None,
+        });
         let net = ClusterSpec::cluster_a(2, 1).collectives();
         let mut stats = CommStats::new();
         let mut fast = client();

@@ -1,0 +1,384 @@
+//! Fault-injection configuration and accounting for the trainer.
+//!
+//! The schedule itself lives in [`het_simnet::fault`]; this module owns
+//! what the *training stack* does about it: the [`FaultConfig`] knob on
+//! `TrainerConfig`, the per-run [`FaultStats`] and [`FaultRecord`] event
+//! log reported in `TrainReport`, and the [`FaultContext`] the client
+//! protocol threads through each communication leg to apply link
+//! degradation, deterministic message drops with retry/backoff, and
+//! clock-bounded graceful degradation during PS-shard outages.
+//!
+//! The contract that keeps replay exact: every fault effect is applied
+//! *only* when its factor differs from the neutral value, so a run with
+//! an empty [`FaultPlan`] takes byte-for-byte the same arithmetic path
+//! as a run with injection disabled.
+
+use het_json::{Json, ToJson};
+use het_simnet::{FaultPlan, FaultSpec, SimDuration, SimTime};
+
+/// Fault-injection knobs of one training run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Master switch; when false the spec is ignored entirely.
+    pub enabled: bool,
+    /// What to schedule. `n_workers`/`n_shards` are filled in by the
+    /// trainer from the cluster shape, so sweeps only set counts.
+    pub spec: FaultSpec,
+    /// Take a full PS checkpoint every this many global iterations
+    /// (0 = only the initial empty checkpoint). Failovers restore the
+    /// last checkpoint; everything since is lost and accounted.
+    pub checkpoint_every: u64,
+    /// Retries after a dropped message before giving up and proceeding
+    /// (the message is then treated as delivered — training must make
+    /// progress; each retry is charged time and bytes).
+    pub max_retries: u32,
+    /// Base backoff charged before the first resend; doubles per retry.
+    pub retry_backoff: SimDuration,
+}
+
+impl FaultConfig {
+    /// Injection off — the default for every preset configuration.
+    pub fn disabled() -> Self {
+        FaultConfig {
+            enabled: false,
+            spec: FaultSpec::default(),
+            checkpoint_every: 50,
+            max_retries: 4,
+            retry_backoff: SimDuration::from_micros(200),
+        }
+    }
+
+    /// Injection on with the given schedule spec and default recovery
+    /// knobs.
+    pub fn with_spec(spec: FaultSpec) -> Self {
+        FaultConfig {
+            enabled: true,
+            spec,
+            ..FaultConfig::disabled()
+        }
+    }
+
+    /// Materialises the plan for a cluster of `n_workers`/`n_shards`,
+    /// deterministically from `seed`. Disabled or all-zero specs yield
+    /// the empty plan, which the trainer treats as injection-off.
+    pub fn plan(&self, seed: u64, n_workers: usize, n_shards: usize) -> FaultPlan {
+        if !self.enabled || self.spec.is_zero() {
+            return FaultPlan::none();
+        }
+        let mut spec = self.spec.clone();
+        spec.n_workers = n_workers;
+        spec.n_shards = n_shards;
+        FaultPlan::generate(seed, &spec)
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::disabled()
+    }
+}
+
+/// Aggregate fault/recovery counters of one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Worker crash events that fired.
+    pub worker_crashes: u64,
+    /// Dirty cache entries lost to worker crashes (their pending
+    /// gradients never reached the server).
+    pub dirty_entries_lost: u64,
+    /// Accumulated local clock ticks those lost entries carried.
+    pub pending_updates_lost: u64,
+    /// PS-shard failovers performed.
+    pub shard_failovers: u64,
+    /// Rows reinstalled from checkpoints across all failovers.
+    pub rows_restored: u64,
+    /// Keys lost entirely (never checkpointed) across all failovers.
+    pub keys_lost: u64,
+    /// Server updates rolled back by failovers (clock regression).
+    pub lost_updates: u64,
+    /// Reads served stale from cache because the owning shard was down
+    /// but the staleness bound still held (graceful degradation).
+    pub degraded_reads: u64,
+    /// Protocol steps that blocked waiting for a shard to fail over.
+    pub blocked_ops: u64,
+    /// Message retransmissions after deterministic drops.
+    pub retries: u64,
+    /// Iterations whose compute ran inside a straggler window.
+    pub straggler_slow_iters: u64,
+    /// Full PS checkpoints taken.
+    pub checkpoints: u64,
+}
+
+het_json::impl_to_json!(FaultStats {
+    worker_crashes,
+    dirty_entries_lost,
+    pending_updates_lost,
+    shard_failovers,
+    rows_restored,
+    keys_lost,
+    lost_updates,
+    degraded_reads,
+    blocked_ops,
+    retries,
+    straggler_slow_iters,
+    checkpoints,
+});
+
+/// One fault or recovery event as it fired, for the report's event log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultRecord {
+    /// Simulated instant the event took effect.
+    pub at: SimTime,
+    /// Human-readable description ("worker 3 crashed…", "shard 2 failed
+    /// over…").
+    pub description: String,
+}
+
+impl ToJson for FaultRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("at".to_string(), Json::Num(self.at.as_secs_f64())),
+            ("description".to_string(), self.description.to_json()),
+        ])
+    }
+}
+
+/// Per-call fault state a client threads through its protocol legs.
+///
+/// Created by the trainer once per `read`/`write` with the worker's
+/// current clock; holds the plan, the worker's monotone message counter
+/// (drop decisions hash it, so the sequence is replay-stable), and the
+/// run-wide stats to account into.
+pub struct FaultContext<'a> {
+    /// The materialised schedule.
+    pub plan: &'a FaultPlan,
+    /// The worker's simulated clock when the protocol step started.
+    pub now: SimTime,
+    /// The calling worker's index.
+    pub worker: usize,
+    /// Retry budget per message.
+    pub max_retries: u32,
+    /// Base backoff before the first resend; doubles per retry.
+    pub retry_backoff: SimDuration,
+    /// The worker's monotone message counter.
+    pub ops: &'a mut u64,
+    /// Run-wide fault counters.
+    pub stats: &'a mut FaultStats,
+}
+
+impl FaultContext<'_> {
+    /// The next message number for this worker.
+    fn next_op(&mut self) -> u64 {
+        let op = *self.ops;
+        *self.ops += 1;
+        op
+    }
+
+    /// Applies link degradation and message drops to one communication
+    /// leg of base duration `base`. Returns the charged duration; the
+    /// caller has already recorded `bytes` once, and this method records
+    /// it again per retransmission via `record`.
+    ///
+    /// With an empty plan this returns `base` untouched — the
+    /// bit-identity contract.
+    pub fn charge_leg(
+        &mut self,
+        base: SimDuration,
+        mut record: impl FnMut(u64),
+        bytes: u64,
+    ) -> SimDuration {
+        if self.plan.is_empty() {
+            return base;
+        }
+        let mut leg = base;
+        let factors = self.plan.link_factors(self.now);
+        if !factors.is_neutral() {
+            // One multiplier approximates both terms of transfer time
+            // (latency + bytes/bandwidth), each inflated by its factor.
+            leg = leg * factors.latency.max(1.0 / factors.bandwidth);
+        }
+        let mut total = leg;
+        let mut attempt = 0u32;
+        while attempt < self.max_retries {
+            let op = self.next_op();
+            if !self.plan.should_drop(self.worker, op) {
+                break;
+            }
+            self.stats.retries += 1;
+            record(bytes);
+            total += self.retry_backoff * (1u64 << attempt.min(16)) + leg;
+            attempt += 1;
+        }
+        total
+    }
+
+    /// If `shard` is down at this step's clock, the wait until its
+    /// failover completes. The caller blocks (charges the wait) before
+    /// touching the shard.
+    pub fn blocked_wait(&mut self, shard: usize) -> Option<SimDuration> {
+        if self.plan.is_empty() {
+            return None;
+        }
+        let end = self.plan.shard_outage_end(shard, self.now)?;
+        self.stats.blocked_ops += 1;
+        Some(end.since(self.now))
+    }
+
+    /// True when `shard` is down at this step's clock (without touching
+    /// counters — the caller decides whether it degrades or blocks).
+    pub fn shard_down(&self, shard: usize) -> bool {
+        !self.plan.is_empty() && self.plan.shard_down(shard, self.now)
+    }
+
+    /// Counts one gracefully degraded read (stale cache serve during an
+    /// outage).
+    pub fn record_degraded_read(&mut self) {
+        self.stats.degraded_reads += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use het_simnet::FaultEvent;
+
+    #[test]
+    fn disabled_or_zero_spec_plans_are_empty() {
+        let cfg = FaultConfig::disabled();
+        assert!(cfg.plan(1, 4, 8).is_empty());
+        let enabled_zero = FaultConfig {
+            enabled: true,
+            ..FaultConfig::disabled()
+        };
+        assert!(enabled_zero.plan(1, 4, 8).is_empty());
+        let spec = FaultSpec {
+            worker_crashes: 1,
+            ..FaultSpec::default()
+        };
+        assert!(!FaultConfig::with_spec(spec).plan(1, 4, 8).is_empty());
+    }
+
+    #[test]
+    fn plan_fills_cluster_shape() {
+        let spec = FaultSpec {
+            worker_crashes: 8,
+            shard_outages: 8,
+            ..FaultSpec::default()
+        };
+        let plan = FaultConfig::with_spec(spec).plan(3, 2, 3);
+        for e in plan.events() {
+            match e {
+                FaultEvent::WorkerCrash { worker, .. } => assert!(*worker < 2),
+                FaultEvent::PsShardOutage { shard, .. } => assert!(*shard < 3),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn charge_leg_is_identity_on_empty_plan() {
+        let plan = FaultPlan::none();
+        let mut ops = 0;
+        let mut stats = FaultStats::default();
+        let mut ctx = FaultContext {
+            plan: &plan,
+            now: SimTime::ZERO,
+            worker: 0,
+            max_retries: 4,
+            retry_backoff: SimDuration::from_micros(100),
+            ops: &mut ops,
+            stats: &mut stats,
+        };
+        let base = SimDuration::from_nanos(12_345);
+        let mut recorded = 0u64;
+        let t = ctx.charge_leg(base, |b| recorded += b, 100);
+        assert_eq!(t, base, "empty plan must not touch the duration");
+        assert_eq!(recorded, 0);
+        assert_eq!(ops, 0, "empty plan must not consume message numbers");
+    }
+
+    #[test]
+    fn degraded_link_inflates_legs() {
+        let plan = FaultPlan::scripted(vec![FaultEvent::LinkDegradation {
+            from: SimTime::ZERO,
+            until: SimTime::from_nanos(1_000),
+            latency_factor: 4.0,
+            bandwidth_factor: 1.0,
+        }]);
+        let mut ops = 0;
+        let mut stats = FaultStats::default();
+        let mut ctx = FaultContext {
+            plan: &plan,
+            now: SimTime::from_nanos(10),
+            worker: 0,
+            max_retries: 0,
+            retry_backoff: SimDuration::ZERO,
+            ops: &mut ops,
+            stats: &mut stats,
+        };
+        let t = ctx.charge_leg(SimDuration::from_nanos(1_000), |_| {}, 10);
+        assert_eq!(t, SimDuration::from_nanos(4_000));
+        // Outside the window the leg is untouched.
+        ctx.now = SimTime::from_nanos(2_000);
+        let t2 = ctx.charge_leg(SimDuration::from_nanos(1_000), |_| {}, 10);
+        assert_eq!(t2, SimDuration::from_nanos(1_000));
+    }
+
+    #[test]
+    fn drops_charge_retries_and_bytes() {
+        // drop_prob = 1.0 forces every send to drop until the retry
+        // budget runs out.
+        let spec = FaultSpec {
+            message_drop_prob: 1.0,
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::generate(9, &spec);
+        let mut ops = 0;
+        let mut stats = FaultStats::default();
+        let mut ctx = FaultContext {
+            plan: &plan,
+            now: SimTime::ZERO,
+            worker: 1,
+            max_retries: 3,
+            retry_backoff: SimDuration::from_nanos(100),
+            ops: &mut ops,
+            stats: &mut stats,
+        };
+        let base = SimDuration::from_nanos(1_000);
+        let mut extra_bytes = 0u64;
+        let t = ctx.charge_leg(base, |b| extra_bytes += b, 50);
+        // 3 retries: backoffs 100 + 200 + 400, plus 3 resends.
+        assert_eq!(
+            t,
+            SimDuration::from_nanos(1_000 + 100 + 1_000 + 200 + 1_000 + 400 + 1_000)
+        );
+        assert_eq!(extra_bytes, 150);
+        assert_eq!(stats.retries, 3);
+        assert_eq!(ops, 3);
+    }
+
+    #[test]
+    fn blocked_wait_measures_to_failover_end() {
+        let plan = FaultPlan::scripted(vec![FaultEvent::PsShardOutage {
+            shard: 1,
+            at: SimTime::from_nanos(100),
+            failover_delay: SimDuration::from_nanos(400),
+        }]);
+        let mut ops = 0;
+        let mut stats = FaultStats::default();
+        let mut ctx = FaultContext {
+            plan: &plan,
+            now: SimTime::from_nanos(200),
+            worker: 0,
+            max_retries: 0,
+            retry_backoff: SimDuration::ZERO,
+            ops: &mut ops,
+            stats: &mut stats,
+        };
+        assert!(ctx.shard_down(1));
+        assert!(!ctx.shard_down(0));
+        assert_eq!(ctx.blocked_wait(1), Some(SimDuration::from_nanos(300)));
+        assert_eq!(ctx.blocked_wait(0), None);
+        assert_eq!(stats.blocked_ops, 1);
+    }
+}

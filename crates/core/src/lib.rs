@@ -42,10 +42,14 @@
 pub mod client;
 pub mod config;
 pub mod consistency;
+pub mod fault;
 pub mod report;
 pub mod trainer;
 
 pub use client::HetClient;
-pub use config::{Backbone, DenseSync, SparseMode, SyncMode, SystemConfig, SystemPreset, TrainerConfig};
+pub use config::{
+    Backbone, DenseSync, SparseMode, SyncMode, SystemConfig, SystemPreset, TrainerConfig,
+};
+pub use fault::{FaultConfig, FaultRecord, FaultStats};
 pub use report::{ConvergencePoint, TimeBreakdown, TrainReport};
 pub use trainer::Trainer;

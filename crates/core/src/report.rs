@@ -1,15 +1,15 @@
 //! Experiment output: convergence curves, time breakdowns, and the
 //! communication/cache statistics the paper's tables and figures report.
 
+use crate::fault::{FaultRecord, FaultStats};
 use het_cache::CacheStats;
+use het_json::{Json, ToJson};
 use het_simnet::{CommStats, SimDuration, SimTime};
-use serde::Serialize;
 
 /// One point on a convergence curve.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct ConvergencePoint {
     /// Simulated wall-clock time of the evaluation.
-    #[serde(serialize_with = "ser_time")]
     pub sim_time: SimTime,
     /// Global iterations completed (summed over workers).
     pub iteration: u64,
@@ -19,30 +19,52 @@ pub struct ConvergencePoint {
     pub train_loss: f64,
 }
 
-fn ser_time<S: serde::Serializer>(t: &SimTime, s: S) -> Result<S::Ok, S::Error> {
-    s.serialize_f64(t.as_secs_f64())
-}
-
-fn ser_dur<S: serde::Serializer>(d: &SimDuration, s: S) -> Result<S::Ok, S::Error> {
-    s.serialize_f64(d.as_secs_f64())
+impl ToJson for ConvergencePoint {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "sim_time".to_string(),
+                Json::Num(self.sim_time.as_secs_f64()),
+            ),
+            ("iteration".to_string(), Json::UInt(self.iteration)),
+            ("metric".to_string(), Json::Num(self.metric)),
+            ("train_loss".to_string(), Json::Num(self.train_loss)),
+        ])
+    }
 }
 
 /// Where simulated time went, summed over workers (Fig. 2 / Fig. 7's
 /// decomposition into transfer vs computation).
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct TimeBreakdown {
     /// Sparse read communication (fetches, clock checks).
-    #[serde(serialize_with = "ser_dur")]
     pub sparse_read: SimDuration,
     /// Model forward/backward compute.
-    #[serde(serialize_with = "ser_dur")]
     pub compute: SimDuration,
     /// Sparse write communication (pushes, evictions, AllGather).
-    #[serde(serialize_with = "ser_dur")]
     pub sparse_write: SimDuration,
     /// Dense synchronisation (AllReduce or dense PS).
-    #[serde(serialize_with = "ser_dur")]
     pub dense_sync: SimDuration,
+}
+
+impl ToJson for TimeBreakdown {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "sparse_read".to_string(),
+                Json::Num(self.sparse_read.as_secs_f64()),
+            ),
+            ("compute".to_string(), Json::Num(self.compute.as_secs_f64())),
+            (
+                "sparse_write".to_string(),
+                Json::Num(self.sparse_write.as_secs_f64()),
+            ),
+            (
+                "dense_sync".to_string(),
+                Json::Num(self.dense_sync.as_secs_f64()),
+            ),
+        ])
+    }
 }
 
 impl TimeBreakdown {
@@ -69,14 +91,13 @@ impl TimeBreakdown {
 }
 
 /// The result of one training run.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct TrainReport {
     /// The system's display name.
     pub system: String,
     /// Convergence curve sampled every `eval_every` iterations.
     pub curve: Vec<ConvergencePoint>,
     /// Total simulated time (latest worker clock at termination).
-    #[serde(serialize_with = "ser_time")]
     pub total_sim_time: SimTime,
     /// Total iterations summed over workers.
     pub total_iterations: u64,
@@ -85,14 +106,12 @@ pub struct TrainReport {
     /// Epochs completed (examples / epoch size).
     pub epochs: f64,
     /// First simulated time at which the target metric was reached.
-    #[serde(skip)]
     pub converged_at: Option<SimTime>,
     /// Metric at the last evaluation.
     pub final_metric: f64,
     /// Per-category communication bytes/messages (merged over workers).
     pub comm: CommStats,
     /// Cache statistics (zeroed for cache-less systems).
-    #[serde(skip)]
     pub cache: CacheStats,
     /// Where simulated time went.
     pub breakdown: TimeBreakdown,
@@ -100,8 +119,40 @@ pub struct TrainReport {
     /// training, snapshotted *before* the final flush (empty for
     /// cache-less systems). This is the "stale path" set: predictions
     /// for these keys were served from cached values during training.
-    #[serde(skip)]
     pub resident_keys_per_worker: Vec<Vec<u64>>,
+    /// Aggregate fault/recovery counters (all zero when injection was
+    /// disabled or the schedule was empty).
+    pub faults: FaultStats,
+    /// Every fault and recovery event as it fired, in simulated-time
+    /// order.
+    pub fault_events: Vec<FaultRecord>,
+}
+
+impl ToJson for TrainReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("system".to_string(), self.system.to_json()),
+            ("curve".to_string(), self.curve.to_json()),
+            (
+                "total_sim_time".to_string(),
+                Json::Num(self.total_sim_time.as_secs_f64()),
+            ),
+            (
+                "total_iterations".to_string(),
+                Json::UInt(self.total_iterations),
+            ),
+            (
+                "examples_processed".to_string(),
+                Json::UInt(self.examples_processed),
+            ),
+            ("epochs".to_string(), Json::Num(self.epochs)),
+            ("final_metric".to_string(), Json::Num(self.final_metric)),
+            ("comm".to_string(), self.comm.to_json()),
+            ("breakdown".to_string(), self.breakdown.to_json()),
+            ("faults".to_string(), self.faults.to_json()),
+            ("fault_events".to_string(), self.fault_events.to_json()),
+        ])
+    }
 }
 
 impl TrainReport {
@@ -162,6 +213,8 @@ mod tests {
             cache: CacheStats::default(),
             breakdown: TimeBreakdown::default(),
             resident_keys_per_worker: Vec::new(),
+            faults: FaultStats::default(),
+            fault_events: Vec::new(),
         }
     }
 
@@ -185,7 +238,7 @@ mod tests {
     #[test]
     fn report_serialises_to_json() {
         let r = report();
-        let json = serde_json::to_string(&r).expect("serialisable");
+        let json = het_json::to_string(&r);
         assert!(json.contains("\"system\":\"test\""));
     }
 }

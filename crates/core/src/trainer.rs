@@ -15,16 +15,17 @@
 
 use crate::client::{DirectPsClient, HetClient};
 use crate::config::{Backbone, DenseSync, SparseMode, SyncMode, TrainerConfig};
+use crate::fault::{FaultContext, FaultRecord, FaultStats};
 use crate::report::{ConvergencePoint, TimeBreakdown, TrainReport};
 use het_data::Key;
 use het_models::{Dataset, EmbeddingModel, EmbeddingStore, EvalChunk, ModelBatch, SparseGrads};
-use het_ps::{DenseStore, PsConfig, PsServer};
+use het_ps::{DenseStore, PsConfig, PsServer, ShardCheckpointStore};
+use het_rng::rngs::StdRng;
+use het_rng::SeedableRng;
 use het_simnet::{
-    wire, CommCategory, CommStats, Collectives, EventQueue, SimDuration, SimTime,
+    wire, Collectives, CommCategory, CommStats, EventQueue, FaultPlan, SimDuration, SimTime,
 };
 use het_tensor::{FlatGrads, FlatParams, Sgd};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Per-worker sparse path.
 enum SparseEngine {
@@ -77,6 +78,22 @@ pub struct Trainer<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> {
     global_iterations: u64,
     curve: Vec<ConvergencePoint>,
     converged_at: Option<SimTime>,
+    // --- fault injection (all inert when `plan` is empty) ---
+    plan: FaultPlan,
+    ckpt_store: Option<ShardCheckpointStore>,
+    fault_stats: FaultStats,
+    fault_events: Vec<FaultRecord>,
+    /// Shard outages sorted by trigger time; `next_outage` indexes the
+    /// first not yet processed.
+    outages: Vec<(usize, SimTime, SimDuration)>,
+    next_outage: usize,
+    /// Per-worker crash schedule and cursor.
+    pending_crashes: Vec<Vec<(SimTime, SimDuration)>>,
+    next_crash: Vec<usize>,
+    /// Per-worker monotone operation counters feeding the deterministic
+    /// message-drop hash.
+    worker_ops: Vec<u64>,
+    last_checkpoint_iter: u64,
 }
 
 impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
@@ -89,9 +106,10 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         model_factory: impl Fn(&mut StdRng) -> M,
     ) -> Self {
         let net = config.cluster.collectives();
+        let n_shards = config.cluster.n_servers.max(1) * 4;
         let ps_config = PsConfig {
             dim: config.dim,
-            n_shards: config.cluster.n_servers.max(1) * 4,
+            n_shards,
             lr: config.lr,
             seed: config.seed ^ 0x5EED_5EED,
             optimizer: het_ps::ServerOptimizer::Sgd,
@@ -99,8 +117,29 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         };
         let server = PsServer::new(ps_config);
 
+        let plan = config
+            .faults
+            .plan(config.seed, config.cluster.n_workers, n_shards);
+        let mut fault_stats = FaultStats::default();
+        // Failover restores from the last checkpoint, so a baseline
+        // snapshot of the (deterministically initialised) table is taken
+        // before training starts.
+        let ckpt_store = (!plan.is_empty()).then(|| {
+            let mut store = ShardCheckpointStore::new(n_shards, config.dim);
+            store.checkpoint_all(&server).expect("in-memory checkpoint");
+            fault_stats.checkpoints += 1;
+            store
+        });
+        let pending_crashes: Vec<Vec<(SimTime, SimDuration)>> = (0..config.cluster.n_workers)
+            .map(|w| plan.worker_crashes(w))
+            .collect();
+        let mut outages = plan.shard_outages();
+        outages.sort_by_key(|&(shard, at, _)| (at.as_nanos(), shard));
+
         let n_keys = dataset.n_keys();
-        let costs = wire::MessageCosts { fused: config.system.backbone.fuse_messages };
+        let costs = wire::MessageCosts {
+            fused: config.system.backbone.fuse_messages,
+        };
         let mut workers = Vec::with_capacity(config.cluster.n_workers);
         for _ in 0..config.cluster.n_workers {
             let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0DE1_CAFE);
@@ -110,15 +149,14 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
                     SparseEngine::Direct(DirectPsClient::with_costs(config.dim, costs))
                 }
                 SparseMode::AllGather => SparseEngine::Replicated,
-                SparseMode::Cached { staleness, capacity_fraction, policy } => {
+                SparseMode::Cached {
+                    staleness,
+                    capacity_fraction,
+                    policy,
+                } => {
                     let capacity = ((n_keys as f64 * capacity_fraction).ceil() as usize).max(1);
                     SparseEngine::Cached(HetClient::with_costs(
-                        capacity,
-                        staleness,
-                        policy,
-                        config.dim,
-                        config.lr,
-                        costs,
+                        capacity, staleness, policy, config.dim, config.lr, costs,
                     ))
                 }
             };
@@ -143,6 +181,9 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         };
 
         let sgd = Sgd::new(config.lr);
+        let n_workers = config.cluster.n_workers;
+        let next_crash = vec![0usize; n_workers];
+        let worker_ops = vec![0u64; n_workers];
         Trainer {
             config,
             dataset,
@@ -154,6 +195,16 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             global_iterations: 0,
             curve: Vec::new(),
             converged_at: None,
+            plan,
+            ckpt_store,
+            fault_stats,
+            fault_events: Vec::new(),
+            outages,
+            next_outage: 0,
+            pending_crashes,
+            next_crash,
+            worker_ops,
+            last_checkpoint_iter: 0,
         }
     }
 
@@ -196,14 +247,126 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         (iteration * self.workers.len() as u64 + worker as u64) * self.config.batch_size as u64
     }
 
+    /// Fires due fault-plan events at simulated time `now`: periodic
+    /// checkpoints (on the global iteration counter) and PS-shard
+    /// failovers, which roll the shard back to its last checkpoint and
+    /// account every lost clock tick.
+    fn process_fault_events(&mut self, now: SimTime) {
+        let Trainer {
+            server,
+            ckpt_store,
+            fault_stats,
+            fault_events,
+            outages,
+            next_outage,
+            global_iterations,
+            last_checkpoint_iter,
+            config,
+            ..
+        } = self;
+        let Some(store) = ckpt_store else { return };
+        let every = config.faults.checkpoint_every;
+        if every > 0 && *global_iterations >= *last_checkpoint_iter + every {
+            *last_checkpoint_iter = *global_iterations;
+            store.checkpoint_all(server).expect("in-memory checkpoint");
+            fault_stats.checkpoints += 1;
+        }
+        while *next_outage < outages.len() && outages[*next_outage].1 <= now {
+            let (shard, at, failover) = outages[*next_outage];
+            *next_outage += 1;
+            let outcome = store
+                .fail_and_restore(server, shard)
+                .expect("in-memory checkpoint");
+            fault_stats.shard_failovers += 1;
+            fault_stats.rows_restored += outcome.rows_restored as u64;
+            fault_stats.keys_lost += outcome.keys_lost as u64;
+            fault_stats.lost_updates += outcome.lost_updates;
+            fault_events.push(FaultRecord {
+                at,
+                description: format!(
+                    "ps shard {shard} failed; restored {} rows from checkpoint \
+                     ({} keys lost, {} update ticks rolled back, failover {})",
+                    outcome.rows_restored, outcome.keys_lost, outcome.lost_updates, failover
+                ),
+            });
+        }
+    }
+
+    /// If worker `w`'s next scheduled crash is due at `now`, kills and
+    /// restarts it: the whole cache (including dirty, never-pushed
+    /// updates) is lost, the dense replica is re-pulled from the dense PS
+    /// where one exists, and the worker pays the restart delay.
+    fn maybe_crash(&mut self, w: usize, now: SimTime) -> SimDuration {
+        let i = self.next_crash[w];
+        let Some(&(at, restart)) = self.pending_crashes[w].get(i) else {
+            return SimDuration::ZERO;
+        };
+        if at > now {
+            return SimDuration::ZERO;
+        }
+        self.next_crash[w] = i + 1;
+        let Trainer {
+            workers,
+            dense_store,
+            fault_stats,
+            fault_events,
+            ..
+        } = self;
+        let worker = &mut workers[w];
+        let (entries, dirty, ticks) = match &mut worker.sparse {
+            SparseEngine::Cached(c) => c.crash_reset(),
+            _ => (0, 0, 0),
+        };
+        if let Some(store) = dense_store {
+            let (params, _version) = store.pull();
+            FlatParams::from_vec(params).import_into(&mut worker.model);
+            worker.model.zero_grads();
+        }
+        fault_stats.worker_crashes += 1;
+        fault_stats.dirty_entries_lost += dirty;
+        fault_stats.pending_updates_lost += ticks;
+        fault_events.push(FaultRecord {
+            at,
+            description: format!(
+                "worker {w} crashed; {entries} cached entries lost \
+                 ({dirty} dirty, {ticks} pending update ticks), restart {restart}"
+            ),
+        });
+        restart
+    }
+
     /// Phase 1 of an iteration: acquire embeddings.
     fn do_read(&mut self, w: usize, keys: &[Key]) -> (EmbeddingStore, SimDuration) {
+        let max_retries = self.config.faults.max_retries;
+        let retry_backoff = self.config.faults.retry_backoff;
         // Split borrows: the engine needs &mut, the server &.
-        let Trainer { server, net, workers, .. } = self;
+        let Trainer {
+            server,
+            net,
+            workers,
+            plan,
+            fault_stats,
+            worker_ops,
+            ..
+        } = self;
         let worker = &mut workers[w];
+        let now = worker.clock;
+        let mut ctx = (!plan.is_empty()).then(|| FaultContext {
+            plan,
+            now,
+            worker: w,
+            max_retries,
+            retry_backoff,
+            ops: &mut worker_ops[w],
+            stats: fault_stats,
+        });
         match &mut worker.sparse {
-            SparseEngine::Direct(c) => c.read(keys, server, net, &mut worker.comm),
-            SparseEngine::Cached(c) => c.read(keys, server, net, &mut worker.comm),
+            SparseEngine::Direct(c) => {
+                c.read_faulty(keys, server, net, &mut worker.comm, ctx.as_mut())
+            }
+            SparseEngine::Cached(c) => {
+                c.read_faulty(keys, server, net, &mut worker.comm, ctx.as_mut())
+            }
             SparseEngine::Replicated => {
                 let mut store = EmbeddingStore::new(server.dim());
                 for &k in keys {
@@ -229,17 +392,51 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             let worker = &self.workers[w];
             worker.model.flops_per_batch(batch.n_examples())
         };
-        let compute = self.config.cluster.compute_time(flops * compute_factor);
+        let mut compute = self.config.cluster.compute_time(flops * compute_factor);
+        if !self.plan.is_empty() {
+            // Straggler windows slow this worker's compute, not the math.
+            let sf = self.plan.straggler_factor(w, self.workers[w].clock);
+            if sf != 1.0 {
+                compute = compute * sf;
+                self.fault_stats.straggler_slow_iters += 1;
+            }
+        }
+        let max_retries = self.config.faults.max_retries;
+        let retry_backoff = self.config.faults.retry_backoff;
 
-        let Trainer { server, net, workers, .. } = self;
+        let Trainer {
+            server,
+            net,
+            workers,
+            plan,
+            fault_stats,
+            worker_ops,
+            ..
+        } = self;
         let worker = &mut workers[w];
         let (loss, grads) = worker.model.forward_backward(batch, store);
         worker.loss_sum += loss as f64;
         worker.loss_count += 1;
 
+        let now = worker.clock;
+        let mut ctx = (!plan.is_empty()).then(|| FaultContext {
+            plan,
+            now,
+            worker: w,
+            max_retries,
+            retry_backoff,
+            ops: &mut worker_ops[w],
+            stats: fault_stats,
+        });
         let (write, gathered) = match &mut worker.sparse {
-            SparseEngine::Direct(c) => (c.write(&grads, server, net, &mut worker.comm), None),
-            SparseEngine::Cached(c) => (c.write(&grads, server, net, &mut worker.comm), None),
+            SparseEngine::Direct(c) => (
+                c.write_faulty(&grads, server, net, &mut worker.comm, ctx.as_mut()),
+                None,
+            ),
+            SparseEngine::Cached(c) => (
+                c.write_faulty(&grads, server, net, &mut worker.comm, ctx.as_mut()),
+                None,
+            ),
             SparseEngine::Replicated => (SimDuration::ZERO, Some(grads)),
         };
 
@@ -247,13 +444,25 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         worker.breakdown.sparse_read += read_time;
         worker.breakdown.compute += compute;
         worker.breakdown.sparse_write += write;
-        (IterTiming { read: read_time, compute, write }, gathered)
+        (
+            IterTiming {
+                read: read_time,
+                compute,
+                write,
+            },
+            gathered,
+        )
     }
 
     /// ASP dense path: push gradients to the dense store, pull fresh
     /// parameters. Returns the time spent.
     fn dense_ps_sync(&mut self, w: usize) -> SimDuration {
-        let Trainer { dense_store, workers, net, .. } = self;
+        let Trainer {
+            dense_store,
+            workers,
+            net,
+            ..
+        } = self;
         let Some(store) = dense_store else {
             return SimDuration::ZERO;
         };
@@ -294,7 +503,9 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             sum.import_into(&mut worker.model);
             sgd.step(&mut worker.model);
             if per_worker_bytes > 0 {
-                worker.comm.record(CommCategory::DenseAllReduce, per_worker_bytes);
+                worker
+                    .comm
+                    .record(CommCategory::DenseAllReduce, per_worker_bytes);
             }
             worker.breakdown.dense_sync += t;
         }
@@ -366,7 +577,11 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         let metric = self.evaluate_now();
         let loss_sum: f64 = self.workers.iter().map(|w| w.loss_sum).sum();
         let loss_count: u64 = self.workers.iter().map(|w| w.loss_count).sum();
-        let train_loss = if loss_count > 0 { loss_sum / loss_count as f64 } else { 0.0 };
+        let train_loss = if loss_count > 0 {
+            loss_sum / loss_count as f64
+        } else {
+            0.0
+        };
         for w in &mut self.workers {
             w.loss_sum = 0.0;
             w.loss_count = 0;
@@ -403,6 +618,15 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
                 break;
             }
             let round_start = self.workers[0].clock;
+            let mut restart_penalty = SimDuration::ZERO;
+            if !self.plan.is_empty() {
+                self.process_fault_events(round_start);
+                // A crashed worker restarts within the round; under BSP
+                // the barrier makes everyone wait for the longest restart.
+                for w in 0..n {
+                    restart_penalty = restart_penalty.max(self.maybe_crash(w, round_start));
+                }
+            }
             // Phase 1: reads.
             let mut pending: Vec<(M::Batch, EmbeddingStore, SimDuration)> = Vec::with_capacity(n);
             for w in 0..n {
@@ -439,17 +663,15 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
                     barrier_time += max_t;
                 }
             }
-            let round_time = span_max + barrier_time;
+            let round_time = span_max + barrier_time + restart_penalty;
             let now = round_start + round_time;
             for worker in &mut self.workers {
                 worker.clock = now;
             }
             self.global_iterations += n as u64;
 
-            if self.global_iterations % self.config.eval_every < n as u64 {
-                if self.record_eval(now) {
-                    break;
-                }
+            if self.global_iterations % self.config.eval_every < n as u64 && self.record_eval(now) {
+                break;
             }
         }
     }
@@ -478,6 +700,15 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
                     continue;
                 }
             }
+            let mut crash_delay = SimDuration::ZERO;
+            if !self.plan.is_empty() {
+                self.process_fault_events(t);
+                self.workers[w].clock = t;
+                crash_delay = self.maybe_crash(w, t);
+                if crash_delay > SimDuration::ZERO {
+                    self.workers[w].clock = t + crash_delay;
+                }
+            }
             let cursor = self.data_cursor(w, self.workers[w].iterations);
             let batch = self.dataset.train_batch(cursor, self.config.batch_size);
             let keys = batch.unique_keys();
@@ -487,7 +718,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             let mut iter_time = timing.span(&self.config.system.backbone);
             iter_time += self.dense_ps_sync(w);
 
-            let now = t + iter_time;
+            let now = t + crash_delay + iter_time;
             self.workers[w].clock = now;
             queue.push(now, w);
             self.global_iterations += 1;
@@ -514,7 +745,12 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
                 _ => Vec::new(),
             })
             .collect();
-        let Trainer { server, net, workers, .. } = &mut *self;
+        let Trainer {
+            server,
+            net,
+            workers,
+            ..
+        } = &mut *self;
         let (server, net) = (&*server, &*net);
         for worker in workers.iter_mut() {
             if let SparseEngine::Cached(c) = &mut worker.sparse {
@@ -524,8 +760,12 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             }
         }
         let final_metric = self.evaluate_now();
-        let total_sim_time =
-            self.workers.iter().map(|w| w.clock).max().unwrap_or(SimTime::ZERO);
+        let total_sim_time = self
+            .workers
+            .iter()
+            .map(|w| w.clock)
+            .max()
+            .unwrap_or(SimTime::ZERO);
 
         let mut comm = CommStats::new();
         let mut cache = het_cache::CacheStats::default();
@@ -555,6 +795,8 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             cache,
             breakdown,
             resident_keys_per_worker,
+            faults: self.fault_stats.clone(),
+            fault_events: self.fault_events.clone(),
         }
     }
 }
@@ -645,7 +887,10 @@ mod tests {
         let hybrid = ctr_trainer(SystemPreset::HetHybrid).run();
         let t_cached = cached.total_sim_time.as_secs_f64() / cached.total_iterations as f64;
         let t_hybrid = hybrid.total_sim_time.as_secs_f64() / hybrid.total_iterations as f64;
-        assert!(t_cached < t_hybrid, "cached {t_cached} !< hybrid {t_hybrid}");
+        assert!(
+            t_cached < t_hybrid,
+            "cached {t_cached} !< hybrid {t_hybrid}"
+        );
     }
 
     #[test]
@@ -654,8 +899,9 @@ mod tests {
         let n_classes = graph.config().n_classes;
         let dataset = GnnDataset::new(graph, NeighborSampler::new(4, 3));
         let config = TrainerConfig::tiny(SystemPreset::HetCache { staleness: 10 });
-        let mut trainer =
-            Trainer::new(config, dataset, move |rng| GraphSage::new(rng, 8, 16, n_classes));
+        let mut trainer = Trainer::new(config, dataset, move |rng| {
+            GraphSage::new(rng, 8, 16, n_classes)
+        });
         let report = trainer.run();
         assert!(report.total_iterations >= 200);
         assert!(report.final_metric >= 0.0 && report.final_metric <= 1.0);
@@ -699,6 +945,9 @@ mod tests {
         let report = ctr_trainer(SystemPreset::HetAr).run();
         assert_eq!(report.breakdown.sparse_read, SimDuration::ZERO);
         assert!(report.comm.bytes(het_simnet::CommCategory::SparseAllGather) > 0);
-        assert_eq!(report.comm.bytes(het_simnet::CommCategory::EmbeddingFetch), 0);
+        assert_eq!(
+            report.comm.bytes(het_simnet::CommCategory::EmbeddingFetch),
+            0
+        );
     }
 }

@@ -14,8 +14,8 @@
 
 use crate::zipf::ZipfSampler;
 use crate::Key;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use het_rng::rngs::SmallRng;
+use het_rng::SeedableRng;
 
 /// The per-field vocabulary sizes of the Criteo Kaggle dataset (26
 /// categorical fields) — wildly heterogeneous: a few fields have
@@ -98,7 +98,11 @@ impl CtrConfig {
     pub fn criteo_like(seed: u64) -> Self {
         let base = CtrConfig::default();
         let vocab_sizes = Some(scaled_criteo_vocabs(base.n_fields * base.vocab_per_field));
-        CtrConfig { seed, vocab_sizes, ..base }
+        CtrConfig {
+            seed,
+            vocab_sizes,
+            ..base
+        }
     }
 
     /// A tiny configuration for unit tests.
@@ -120,7 +124,11 @@ impl CtrConfig {
     pub fn field_vocabs(&self) -> Vec<usize> {
         match &self.vocab_sizes {
             Some(sizes) => {
-                assert_eq!(sizes.len(), self.n_fields, "vocab_sizes length must equal n_fields");
+                assert_eq!(
+                    sizes.len(),
+                    self.n_fields,
+                    "vocab_sizes length must equal n_fields"
+                );
                 sizes.clone()
             }
             None => vec![self.vocab_per_field; self.n_fields],
@@ -212,7 +220,12 @@ impl CtrDataset {
             .iter()
             .map(|&v| ZipfSampler::new(v, config.zipf_exponent))
             .collect();
-        CtrDataset { config, field_vocabs, offsets, zipfs }
+        CtrDataset {
+            config,
+            field_vocabs,
+            offsets,
+            zipfs,
+        }
     }
 
     /// The configuration this dataset was built with.
@@ -279,9 +292,9 @@ impl CtrDataset {
             keys.push(key);
         }
         let p = 1.0 / (1.0 + (-logit).exp());
-        let label_draw =
-            (splitmix64(self.config.seed ^ LABEL_SALT ^ index ^ split_salt) >> 11) as f64
-                / (1u64 << 53) as f64;
+        let label_draw = (splitmix64(self.config.seed ^ LABEL_SALT ^ index ^ split_salt) >> 11)
+            as f64
+            / (1u64 << 53) as f64;
         let y = if label_draw < p { 1.0 } else { 0.0 };
         (keys, y)
     }
@@ -307,7 +320,11 @@ impl CtrDataset {
             keys.extend_from_slice(&ks);
             labels.push(y);
         }
-        CtrBatch { keys, labels, n_fields: self.config.n_fields }
+        CtrBatch {
+            keys,
+            labels,
+            n_fields: self.config.n_fields,
+        }
     }
 
     /// The Bayes-optimal prediction for a batch under the planted model —
@@ -316,7 +333,11 @@ impl CtrDataset {
         (0..batch.len())
             .map(|i| {
                 let logit: f64 = self.config.bias
-                    + batch.example_keys(i).iter().map(|&k| self.planted_weight(k)).sum::<f64>();
+                    + batch
+                        .example_keys(i)
+                        .iter()
+                        .map(|&k| self.planted_weight(k))
+                        .sum::<f64>();
                 (1.0 / (1.0 + (-logit).exp())) as f32
             })
             .collect()
@@ -348,13 +369,18 @@ mod tests {
 
     #[test]
     fn keys_stay_in_field_ranges() {
-        for ds in [CtrDataset::new(CtrConfig::tiny(3)), CtrDataset::new(CtrConfig::criteo_like(3))]
-        {
+        for ds in [
+            CtrDataset::new(CtrConfig::tiny(3)),
+            CtrDataset::new(CtrConfig::criteo_like(3)),
+        ] {
             for idx in 0..200 {
                 let (keys, _) = ds.example(idx, false);
                 for (f, &k) in keys.iter().enumerate() {
                     let range = ds.field_range(f);
-                    assert!(range.contains(&k), "key {k} outside field {f} range {range:?}");
+                    assert!(
+                        range.contains(&k),
+                        "key {k} outside field {f} range {range:?}"
+                    );
                 }
             }
         }
@@ -365,7 +391,10 @@ mod tests {
         let vocabs = scaled_criteo_vocabs(104_000);
         assert_eq!(vocabs.len(), 26);
         let total: usize = vocabs.iter().sum();
-        assert!((total as i64 - 104_000).abs() < 1_000, "total {total} ≈ requested");
+        assert!(
+            (total as i64 - 104_000).abs() < 1_000,
+            "total {total} ≈ requested"
+        );
         let max = *vocabs.iter().max().unwrap();
         let min = *vocabs.iter().min().unwrap();
         assert!(max > 1_000 * min, "profile must be strongly heterogeneous");
@@ -393,13 +422,19 @@ mod tests {
         assert_eq!(b.keys.len(), 8 * 4);
         assert_eq!(b.example_keys(3).len(), 4);
         let uniq = b.unique_keys();
-        assert!(uniq.windows(2).all(|w| w[0] < w[1]), "unique keys sorted strictly");
+        assert!(
+            uniq.windows(2).all(|w| w[0] < w[1]),
+            "unique keys sorted strictly"
+        );
         assert!(uniq.len() <= b.keys.len());
     }
 
     #[test]
     fn batches_wrap_around_the_epoch() {
-        let cfg = CtrConfig { n_train: 10, ..CtrConfig::tiny(2) };
+        let cfg = CtrConfig {
+            n_train: 10,
+            ..CtrConfig::tiny(2)
+        };
         let ds = CtrDataset::new(cfg);
         let a = ds.train_batch(0, 4);
         let b = ds.train_batch(10, 4); // same indices modulo n_train
@@ -415,7 +450,10 @@ mod tests {
         let batch = ds.test_batch(0, 500);
         let scores = ds.oracle_scores(&batch);
         let oracle_auc = auc(&scores, &batch.labels);
-        assert!(oracle_auc > 0.75, "oracle AUC {oracle_auc} should be far above 0.5");
+        assert!(
+            oracle_auc > 0.75,
+            "oracle AUC {oracle_auc} should be far above 0.5"
+        );
     }
 
     #[test]
@@ -439,8 +477,11 @@ mod tests {
                 }
             }
             let mut v: Vec<(u64, u64)> = counts.into_iter().collect();
-            v.sort_by(|a, b| b.1.cmp(&a.1));
-            v.into_iter().take(8).map(|(k, _)| k).collect::<std::collections::HashSet<_>>()
+            v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+            v.into_iter()
+                .take(8)
+                .map(|(k, _)| k)
+                .collect::<std::collections::HashSet<_>>()
         };
         let phase0 = hot_keys(0, 900);
         let phase1 = hot_keys(1_000, 1_900);
@@ -460,12 +501,18 @@ mod tests {
                 }
             }
             let mut v: Vec<(u64, u64)> = counts.into_iter().collect();
-            v.sort_by(|a, b| b.1.cmp(&a.1));
-            v.into_iter().take(8).map(|(k, _)| k).collect::<std::collections::HashSet<_>>()
+            v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+            v.into_iter()
+                .take(8)
+                .map(|(k, _)| k)
+                .collect::<std::collections::HashSet<_>>()
         };
         let s0 = hot_stable(0, 900);
         let s1 = hot_stable(1_000, 1_900);
-        assert!(s0.intersection(&s1).count() >= 6, "no-drift hot set must be stable");
+        assert!(
+            s0.intersection(&s1).count() >= 6,
+            "no-drift hot set must be stable"
+        );
     }
 
     #[test]

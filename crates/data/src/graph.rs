@@ -11,9 +11,9 @@
 //! like the paper's note about Reddit (§5.1).
 
 use crate::Key;
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use het_rng::rngs::SmallRng;
+use het_rng::seq::SliceRandom;
+use het_rng::{Rng, SeedableRng};
 
 /// Configuration of the synthetic graph.
 #[derive(Clone, Debug)]
@@ -72,23 +72,47 @@ impl Default for GraphConfig {
 impl GraphConfig {
     /// Scaled-down stand-in for Reddit (dense, medium-sized).
     pub fn reddit_like(seed: u64) -> Self {
-        GraphConfig { n_nodes: 24_000, attach_m: 15, n_classes: 16, seed, ..Default::default() }
+        GraphConfig {
+            n_nodes: 24_000,
+            attach_m: 15,
+            n_classes: 16,
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Scaled-down stand-in for the Amazon co-purchasing graph (large,
     /// sparser).
     pub fn amazon_like(seed: u64) -> Self {
-        GraphConfig { n_nodes: 60_000, attach_m: 6, n_classes: 16, seed, ..Default::default() }
+        GraphConfig {
+            n_nodes: 60_000,
+            attach_m: 6,
+            n_classes: 16,
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Scaled-down stand-in for ogbn-mag (large citation graph).
     pub fn ogbn_mag_like(seed: u64) -> Self {
-        GraphConfig { n_nodes: 50_000, attach_m: 5, n_classes: 16, seed, ..Default::default() }
+        GraphConfig {
+            n_nodes: 50_000,
+            attach_m: 5,
+            n_classes: 16,
+            seed,
+            ..Default::default()
+        }
     }
 
     /// A tiny configuration for unit tests.
     pub fn tiny(seed: u64) -> Self {
-        GraphConfig { n_nodes: 300, attach_m: 4, n_classes: 4, seed, ..Default::default() }
+        GraphConfig {
+            n_nodes: 300,
+            attach_m: 4,
+            n_classes: 4,
+            seed,
+            ..Default::default()
+        }
     }
 }
 
@@ -121,7 +145,10 @@ impl Graph {
     /// # Panics
     /// Panics on degenerate configurations (too few nodes/classes).
     pub fn generate(config: GraphConfig) -> Self {
-        assert!(config.n_nodes > config.attach_m + 1, "need more nodes than attach_m");
+        assert!(
+            config.n_nodes > config.attach_m + 1,
+            "need more nodes than attach_m"
+        );
         assert!(config.n_classes >= 2, "need at least two classes");
         assert!(
             (0.0..=1.0).contains(&config.homophily),
@@ -139,14 +166,20 @@ impl Graph {
         let m = config.attach_m;
         // The hub set is the rich-club core: hub-biased edges land inside
         // it (Zipf-ranked), and the core is densely interconnected below.
-        let core = ((n as f64 * config.rich_club_fraction).round() as usize)
-            .clamp(if config.rich_club_fraction > 0.0 { 2 } else { 0 }, n);
-        let hub_sampler =
-            crate::zipf::ZipfSampler::new(core.max(m + 1), config.hub_zipf);
+        let core = ((n as f64 * config.rich_club_fraction).round() as usize).clamp(
+            if config.rich_club_fraction > 0.0 {
+                2
+            } else {
+                0
+            },
+            n,
+        );
+        let hub_sampler = crate::zipf::ZipfSampler::new(core.max(m + 1), config.hub_zipf);
         let mut rng = SmallRng::seed_from_u64(config.seed);
 
-        let labels: Vec<u16> =
-            (0..n).map(|_| rng.gen_range(0..config.n_classes) as u16).collect();
+        let labels: Vec<u16> = (0..n)
+            .map(|_| rng.gen_range(0..config.n_classes) as u16)
+            .collect();
 
         // Per-class views of the core (IDs in popularity order) with
         // matching Zipf samplers, so homophilous hub edges can target the
@@ -175,10 +208,10 @@ impl Graph {
         let mut class_pool: Vec<Vec<u32>> = vec![Vec::new(); config.n_classes];
 
         let add_edge = |adj: &mut Vec<Vec<u32>>,
-                            global_pool: &mut Vec<u32>,
-                            class_pool: &mut Vec<Vec<u32>>,
-                            u: u32,
-                            v: u32| {
+                        global_pool: &mut Vec<u32>,
+                        class_pool: &mut Vec<Vec<u32>>,
+                        u: u32,
+                        v: u32| {
             adj[u as usize].push(v);
             adj[v as usize].push(u);
             global_pool.push(u);
@@ -290,7 +323,15 @@ impl Graph {
         }
         train_nodes.shuffle(&mut rng);
 
-        Graph { config, offsets, neighbors, degree_prefix, labels, train_nodes, test_nodes }
+        Graph {
+            config,
+            offsets,
+            neighbors,
+            degree_prefix,
+            labels,
+            train_nodes,
+            test_nodes,
+        }
     }
 
     /// The configuration this graph was generated from.
@@ -420,12 +461,19 @@ impl NeighborSampler {
     /// Creates a uniform-neighbour sampler with the given fanouts.
     pub fn new(fanout1: usize, fanout2: usize) -> Self {
         assert!(fanout1 > 0 && fanout2 > 0, "fanouts must be positive");
-        NeighborSampler { fanout1, fanout2, degree_biased: false }
+        NeighborSampler {
+            fanout1,
+            fanout2,
+            degree_biased: false,
+        }
     }
 
     /// Creates a degree-biased (importance) sampler.
     pub fn degree_biased(fanout1: usize, fanout2: usize) -> Self {
-        NeighborSampler { degree_biased: true, ..Self::new(fanout1, fanout2) }
+        NeighborSampler {
+            degree_biased: true,
+            ..Self::new(fanout1, fanout2)
+        }
     }
 
     /// Samples a training batch of `batch_size` targets starting at
@@ -490,9 +538,7 @@ impl NeighborSampler {
                     // stay rectangular.
                     out.push(p);
                 } else if self.degree_biased {
-                    out.push(
-                        graph.sample_neighbor_degree_biased(p, rng).unwrap_or(p),
-                    );
+                    out.push(graph.sample_neighbor_degree_biased(p, rng).unwrap_or(p));
                 } else {
                     out.push(nbrs[rng.gen_range(0..nbrs.len())]);
                 }
@@ -556,7 +602,10 @@ mod tests {
 
     #[test]
     fn degree_distribution_is_heavy_tailed() {
-        let g = Graph::generate(GraphConfig { n_nodes: 5_000, ..GraphConfig::tiny(3) });
+        let g = Graph::generate(GraphConfig {
+            n_nodes: 5_000,
+            ..GraphConfig::tiny(3)
+        });
         let mut degrees: Vec<usize> = (0..g.n_nodes() as u32).map(|v| g.degree(v)).collect();
         degrees.sort_unstable_by(|a, b| b.cmp(a));
         let total: usize = degrees.iter().sum();
@@ -590,7 +639,10 @@ mod tests {
         }
         let frac = same as f64 / total as f64;
         // 4 classes, random baseline 0.25.
-        assert!(frac > 0.5, "same-class edge fraction {frac} should beat random 0.25");
+        assert!(
+            frac > 0.5,
+            "same-class edge fraction {frac} should beat random 0.25"
+        );
     }
 
     #[test]
@@ -599,8 +651,12 @@ mod tests {
         assert_eq!(g.train_nodes().len() + g.test_nodes().len(), g.n_nodes());
         assert!(!g.train_nodes().is_empty());
         assert!(!g.test_nodes().is_empty());
-        let mut all: Vec<u32> =
-            g.train_nodes().iter().chain(g.test_nodes()).copied().collect();
+        let mut all: Vec<u32> = g
+            .train_nodes()
+            .iter()
+            .chain(g.test_nodes())
+            .copied()
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), g.n_nodes());

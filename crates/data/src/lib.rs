@@ -26,7 +26,7 @@ pub mod topk;
 pub mod zipf;
 
 pub use ctr::{CtrBatch, CtrConfig, CtrDataset};
-pub use graph::{Graph, GraphConfig, GnnBatch, NeighborSampler};
+pub use graph::{GnnBatch, Graph, GraphConfig, NeighborSampler};
 pub use metrics::{auc, log_loss};
 pub use topk::SpaceSaving;
 pub use zipf::ZipfSampler;

@@ -17,7 +17,9 @@ pub fn auc(scores: &[f32], labels: &[f32]) -> f64 {
     }
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal)
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     // Average ranks over tied score groups.
     let mut rank_sum_pos = 0.0f64;

@@ -83,7 +83,12 @@ impl SpaceSaving {
 
     /// The monitored keys sorted by estimated count, descending.
     pub fn top(&self, n: usize) -> Vec<(Key, u64)> {
-        self.order.iter().rev().take(n).map(|&(count, key)| (key, count)).collect()
+        self.order
+            .iter()
+            .rev()
+            .take(n)
+            .map(|&(count, key)| (key, count))
+            .collect()
     }
 
     /// Keys *guaranteed* to have true frequency above `threshold`
@@ -104,8 +109,8 @@ impl SpaceSaving {
 mod tests {
     use super::*;
     use crate::zipf::ZipfSampler;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use het_rng::rngs::SmallRng;
+    use het_rng::SeedableRng;
 
     #[test]
     fn exact_when_under_capacity() {
@@ -171,7 +176,10 @@ mod tests {
         // The five most popular Zipf ranks must all be monitored in the
         // top 10.
         for hot in 0..5 {
-            assert!(top.contains(&(hot as Key)), "rank {hot} missing from {top:?}");
+            assert!(
+                top.contains(&(hot as Key)),
+                "rank {hot} missing from {top:?}"
+            );
         }
     }
 

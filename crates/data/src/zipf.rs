@@ -7,7 +7,7 @@
 //! cumulative table with binary search — O(n) setup, O(log n) per draw,
 //! exact for any exponent including s = 0 (uniform).
 
-use rand::Rng;
+use het_rng::Rng;
 
 /// Samples ranks from a Zipf distribution with exponent `s` over `n`
 /// items, rank 0 being the most popular.
@@ -82,8 +82,8 @@ impl ZipfSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use het_rng::rngs::StdRng;
+    use het_rng::SeedableRng;
 
     #[test]
     fn uniform_when_exponent_zero() {
@@ -159,6 +159,9 @@ mod tests {
         for _ in 0..10_000 {
             seen[z.sample(&mut rng)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all ranks should eventually appear");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all ranks should eventually appear"
+        );
     }
 }

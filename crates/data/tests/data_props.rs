@@ -1,68 +1,92 @@
-//! Property-based tests of the workload generators.
+//! Property-style tests of the workload generators, driven by a seeded
+//! in-tree generator so runs are deterministic and hermetic.
 
 use het_data::{CtrConfig, CtrDataset, Graph, GraphConfig, NeighborSampler, ZipfSampler};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use het_rng::rngs::{SmallRng, StdRng};
+use het_rng::{Rng, SeedableRng};
 
-proptest! {
-    /// Zipf PMF sums to one and is monotone for any exponent/support.
-    #[test]
-    fn zipf_pmf_is_a_distribution(n in 1usize..500, exp in 0.0f64..3.0) {
+const CASES: usize = 96;
+
+/// Zipf PMF sums to one and is monotone for any exponent/support.
+#[test]
+fn zipf_pmf_is_a_distribution() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A_0001);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..500);
+        let exp = rng.gen_range(0.0f64..3.0);
         let z = ZipfSampler::new(n, exp);
         let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9);
         for k in 1..n {
-            prop_assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
         }
     }
+}
 
-    /// Samples always fall inside the support.
-    #[test]
-    fn zipf_samples_in_support(n in 1usize..200, exp in 0.0f64..2.5, seed in 0u64..1000) {
+/// Samples always fall inside the support.
+#[test]
+fn zipf_samples_in_support() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A_0002);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..200);
+        let exp = rng.gen_range(0.0f64..2.5);
+        let seed = rng.gen_range(0u64..1000);
         let z = ZipfSampler::new(n, exp);
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sample_rng = SmallRng::seed_from_u64(seed);
         for _ in 0..100 {
-            prop_assert!(z.sample(&mut rng) < n);
+            assert!(z.sample(&mut sample_rng) < n);
         }
     }
+}
 
-    /// CTR examples are pure functions of (seed, index, split) and every
-    /// key lands inside its field range.
-    #[test]
-    fn ctr_examples_deterministic_and_ranged(seed in 0u64..1000, idx in 0u64..10_000) {
+/// CTR examples are pure functions of (seed, index, split) and every
+/// key lands inside its field range.
+#[test]
+fn ctr_examples_deterministic_and_ranged() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A_0003);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..1000);
+        let idx = rng.gen_range(0u64..10_000);
         let ds = CtrDataset::new(CtrConfig::tiny(seed));
         let a = ds.example(idx, false);
         let b = ds.example(idx, false);
-        prop_assert_eq!(&a, &b);
+        assert_eq!(&a, &b);
         for (f, &k) in a.0.iter().enumerate() {
-            prop_assert!(ds.field_range(f).contains(&k));
+            assert!(ds.field_range(f).contains(&k));
         }
-        prop_assert!(a.1 == 0.0 || a.1 == 1.0);
+        assert!(a.1 == 0.0 || a.1 == 1.0);
     }
+}
 
-    /// Batch unique keys are sorted, deduplicated, and cover exactly the
-    /// batch's key multiset.
-    #[test]
-    fn ctr_unique_keys_invariants(seed in 0u64..200, start in 0u64..5000, n in 1usize..40) {
+/// Batch unique keys are sorted, deduplicated, and cover exactly the
+/// batch's key multiset.
+#[test]
+fn ctr_unique_keys_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A_0004);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..200);
+        let start = rng.gen_range(0u64..5000);
+        let n = rng.gen_range(1usize..40);
         let ds = CtrDataset::new(CtrConfig::tiny(seed));
         let batch = ds.train_batch(start, n);
         let uniq = batch.unique_keys();
-        prop_assert!(uniq.windows(2).all(|w| w[0] < w[1]));
+        assert!(uniq.windows(2).all(|w| w[0] < w[1]));
         for &k in &batch.keys {
-            prop_assert!(uniq.binary_search(&k).is_ok());
+            assert!(uniq.binary_search(&k).is_ok());
         }
     }
+}
 
-    /// Graph generation yields a simple symmetric graph for any small
-    /// configuration.
-    #[test]
-    fn graph_is_simple_and_symmetric(
-        n in 20usize..120,
-        m in 2usize..6,
-        homophily in 0.0f64..1.0,
-        seed in 0u64..100,
-    ) {
+/// Graph generation yields a simple symmetric graph for any small
+/// configuration.
+#[test]
+fn graph_is_simple_and_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A_0005);
+    for _ in 0..24 {
+        let n = rng.gen_range(20usize..120);
+        let m = rng.gen_range(2usize..6);
+        let homophily = rng.gen_range(0.0f64..1.0);
+        let seed = rng.gen_range(0u64..100);
         let g = Graph::generate(GraphConfig {
             n_nodes: n,
             attach_m: m,
@@ -77,47 +101,59 @@ proptest! {
         });
         for v in 0..n as u32 {
             let nbrs = g.neighbors_of(v);
-            prop_assert!(!nbrs.contains(&v), "self loop at {v}");
+            assert!(!nbrs.contains(&v), "self loop at {v}");
             let mut sorted = nbrs.to_vec();
             sorted.sort_unstable();
             sorted.dedup();
-            prop_assert_eq!(sorted.len(), nbrs.len(), "parallel edge at {}", v);
+            assert_eq!(sorted.len(), nbrs.len(), "parallel edge at {v}");
             for &u in nbrs {
-                prop_assert!(g.neighbors_of(u).contains(&v));
+                assert!(g.neighbors_of(u).contains(&v));
             }
         }
     }
+}
 
-    /// Neighbour samples have exact rectangular shapes and only contain
-    /// real neighbours (or self-loops for isolated nodes).
-    #[test]
-    fn sampler_shapes(f1 in 1usize..6, f2 in 1usize..5, batch in 1usize..20, cursor in 0u64..100) {
-        let g = Graph::generate(GraphConfig::tiny(5));
+/// Neighbour samples have exact rectangular shapes and only contain
+/// real neighbours (or self-loops for isolated nodes).
+#[test]
+fn sampler_shapes() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A_0006);
+    let g = Graph::generate(GraphConfig::tiny(5));
+    for _ in 0..CASES {
+        let f1 = rng.gen_range(1usize..6);
+        let f2 = rng.gen_range(1usize..5);
+        let batch = rng.gen_range(1usize..20);
+        let cursor = rng.gen_range(0u64..100);
         let s = NeighborSampler::new(f1, f2);
         let b = s.train_batch(&g, cursor, batch);
-        prop_assert_eq!(b.targets.len(), batch);
-        prop_assert_eq!(b.hop1.len(), batch * f1);
-        prop_assert_eq!(b.hop2_targets.len(), batch * f2);
-        prop_assert_eq!(b.hop2_hop1.len(), batch * f1 * f2);
+        assert_eq!(b.targets.len(), batch);
+        assert_eq!(b.hop1.len(), batch * f1);
+        assert_eq!(b.hop2_targets.len(), batch * f2);
+        assert_eq!(b.hop2_hop1.len(), batch * f1 * f2);
         for (i, &t) in b.targets.iter().enumerate() {
             for &u in &b.hop1[i * f1..(i + 1) * f1] {
-                prop_assert!(u == t || g.neighbors_of(t).contains(&u));
+                assert!(u == t || g.neighbors_of(t).contains(&u));
             }
         }
     }
+}
 
-    /// AUC is invariant under strictly monotone score transforms.
-    #[test]
-    fn auc_invariant_under_monotone_transform(
-        scores in proptest::collection::vec(-10.0f32..10.0, 2..50),
-        labels_bits in proptest::collection::vec(any::<bool>(), 2..50),
-    ) {
-        let n = scores.len().min(labels_bits.len());
-        let scores = &scores[..n];
-        let labels: Vec<f32> = labels_bits[..n].iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
-        let base = het_data::auc(scores, &labels);
-        let transformed: Vec<f32> = scores.iter().map(|&s| (s * 0.3).tanh() * 5.0 + 1.0).collect();
+/// AUC is invariant under strictly monotone score transforms.
+#[test]
+fn auc_invariant_under_monotone_transform() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A_0007);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..50);
+        let scores: Vec<f32> = (0..n).map(|_| rng.gen_range(-10.0f32..10.0)).collect();
+        let labels: Vec<f32> = (0..n)
+            .map(|_| if rng.gen_bool(0.5) { 1.0 } else { 0.0 })
+            .collect();
+        let base = het_data::auc(&scores, &labels);
+        let transformed: Vec<f32> = scores
+            .iter()
+            .map(|&s| (s * 0.3).tanh() * 5.0 + 1.0)
+            .collect();
         let t = het_data::auc(&transformed, &labels);
-        prop_assert!((base - t).abs() < 1e-9);
+        assert!((base - t).abs() < 1e-9);
     }
 }

@@ -56,7 +56,7 @@ pub mod prelude {
     pub use het_core::config::{
         Backbone, DenseSync, SparseMode, SyncMode, SystemConfig, SystemPreset, TrainerConfig,
     };
-    pub use het_core::{HetClient, Trainer, TrainReport};
+    pub use het_core::{FaultConfig, FaultRecord, FaultStats, HetClient, TrainReport, Trainer};
     pub use het_data::{
         auc, CtrBatch, CtrConfig, CtrDataset, GnnBatch, Graph, GraphConfig, Key, NeighborSampler,
         ZipfSampler,
@@ -65,6 +65,11 @@ pub mod prelude {
         Dataset, DeepCross, DeepFm, EmbeddingModel, EmbeddingStore, GnnDataset, GraphSage,
         MetricKind, SparseGrads, WideDeep, XDeepFm,
     };
-    pub use het_ps::{CheckpointRow, PsConfig, PsServer, ServerOptimizer};
-    pub use het_simnet::{ClusterSpec, CommCategory, CommStats, LinkSpec, SimDuration, SimTime};
+    pub use het_ps::{
+        CheckpointRow, FailoverOutcome, PsConfig, PsServer, ServerOptimizer, ShardCheckpointStore,
+    };
+    pub use het_simnet::{
+        ClusterSpec, CommCategory, CommStats, FaultEvent, FaultPlan, FaultSpec, LinkSpec,
+        SimDuration, SimTime,
+    };
 }

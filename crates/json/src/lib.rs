@@ -1,0 +1,354 @@
+//! Minimal JSON serialisation for experiment output.
+//!
+//! The repo builds hermetically (no crate registry), so this crate
+//! stands in for the slice of `serde`/`serde_json` the workspace used:
+//! turning report and benchmark-row structs into JSON strings. There is
+//! no deserialisation — experiment JSON is consumed by external
+//! plotting tools, never read back.
+//!
+//! Structs opt in by implementing [`ToJson`], usually via the
+//! [`impl_to_json!`] macro which maps named fields 1:1 to object keys
+//! (the same shape `#[derive(Serialize)]` produced).
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer, printed without a decimal point.
+    UInt(u64),
+    /// Signed integer, printed without a decimal point.
+    Int(i64),
+    /// Floating point; non-finite values serialise as `null`
+    /// (JSON has no NaN/Infinity).
+    Num(f64),
+    /// String (escaped on output).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; key order is preserved as inserted.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Compact single-line encoding (matches `serde_json::to_string`).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty encoding with two-space indents
+    /// (matches `serde_json::to_string_pretty`).
+    pub fn encode_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // Rust's shortest round-trip formatting; integral
+                    // values get an explicit ".0" so readers see a float.
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        let _ = write!(out, "{x:.1}");
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1)
+                });
+            }
+            Json::Obj(fields) => {
+                write_seq(out, indent, depth, '{', '}', fields.len(), |out, i| {
+                    let (k, v) = &fields[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            for _ in 0..w * (depth + 1) {
+                out.push(' ');
+            }
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] tree; the analogue of `serde::Serialize`.
+pub trait ToJson {
+    /// Builds the JSON value for `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Compact encoding of any [`ToJson`] value
+/// (drop-in for `serde_json::to_string`).
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().encode()
+}
+
+/// Pretty encoding of any [`ToJson`] value
+/// (drop-in for `serde_json::to_string_pretty`).
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().encode_pretty()
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json { Json::UInt(*self as u64) }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json { Json::Int(*self as i64) }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self as f64)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<V: ToJson> ToJson for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+/// Implements [`ToJson`] for a struct with named fields, mapping each
+/// field to a same-named object key — the replacement for
+/// `#[derive(Serialize)]`.
+///
+/// ```
+/// use het_json::{impl_to_json, to_string};
+/// struct Row { system: String, seconds: f64 }
+/// impl_to_json!(Row { system, seconds });
+/// let row = Row { system: "het".into(), seconds: 1.5 };
+/// assert_eq!(to_string(&row), r#"{"system":"het","seconds":1.5}"#);
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    ($name:ident { $($field:ident),* $(,)? }) => {
+        impl $crate::ToJson for $name {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_string(),
+                       $crate::ToJson::to_json(&self.$field)),)*
+                ])
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_encode() {
+        assert_eq!(to_string(&42u64), "42");
+        assert_eq!(to_string(&-7i32), "-7");
+        assert_eq!(to_string(&true), "true");
+        assert_eq!(to_string(&1.5f64), "1.5");
+        assert_eq!(to_string(&2.0f64), "2.0");
+        assert_eq!(to_string(&f64::NAN), "null");
+        assert_eq!(to_string(&f64::INFINITY), "null");
+        assert_eq!(to_string("hi"), "\"hi\"");
+        assert_eq!(to_string(&Option::<u32>::None), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(to_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(to_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn arrays_and_objects() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(to_string(&v), "[1,2,3]");
+        let obj = Json::Obj(vec![
+            ("a".into(), Json::UInt(1)),
+            ("b".into(), Json::Arr(vec![])),
+        ]);
+        assert_eq!(obj.encode(), r#"{"a":1,"b":[]}"#);
+    }
+
+    #[test]
+    fn macro_matches_serde_shape() {
+        struct Row {
+            system: String,
+            n: usize,
+        }
+        impl_to_json!(Row { system, n });
+        let r = Row {
+            system: "test".into(),
+            n: 3,
+        };
+        assert_eq!(to_string(&r), r#"{"system":"test","n":3}"#);
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let obj = Json::Obj(vec![("xs".into(), Json::Arr(vec![Json::UInt(1)]))]);
+        assert_eq!(obj.encode_pretty(), "{\n  \"xs\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn fixed_arrays_encode() {
+        let a: [u64; 3] = [4, 5, 6];
+        assert_eq!(to_string(&a), "[4,5,6]");
+    }
+}

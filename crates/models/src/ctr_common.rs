@@ -70,7 +70,11 @@ mod tests {
 
     fn batch2() -> CtrBatch {
         // 2 examples, 2 fields.
-        CtrBatch { keys: vec![0, 10, 0, 11], labels: vec![1.0, 0.0], n_fields: 2 }
+        CtrBatch {
+            keys: vec![0, 10, 0, 11],
+            labels: vec![1.0, 0.0],
+            n_fields: 2,
+        }
     }
 
     #[test]

@@ -11,9 +11,9 @@ use crate::ctr_common::{build_inputs, scatter_grads};
 use crate::store::{EmbeddingStore, SparseGrads};
 use crate::{EmbeddingModel, EvalChunk, MetricKind};
 use het_data::CtrBatch;
+use het_rng::Rng;
 use het_tensor::loss::bce_with_logits;
 use het_tensor::{CrossLayer, HasParams, Linear, Matrix, Mlp, ParamVisitor};
-use rand::Rng;
 
 /// The Deep & Cross CTR model.
 pub struct DeepCross {
@@ -38,14 +38,23 @@ impl DeepCross {
         hidden: &[usize],
     ) -> Self {
         assert!(n_cross > 0, "DCN needs at least one cross layer");
-        assert!(!hidden.is_empty(), "DCN needs at least one deep hidden layer");
+        assert!(
+            !hidden.is_empty(),
+            "DCN needs at least one deep hidden layer"
+        );
         let width = n_fields * dim;
         let cross = (0..n_cross).map(|_| CrossLayer::new(rng, width)).collect();
         let mut dims = vec![width];
         dims.extend_from_slice(hidden);
         let deep = Mlp::new(rng, &dims);
         let combine = Linear::new(rng, width + hidden[hidden.len() - 1], 1);
-        DeepCross { n_fields, dim, cross, deep, combine }
+        DeepCross {
+            n_fields,
+            dim,
+            cross,
+            deep,
+            combine,
+        }
     }
 
     /// Number of categorical fields.
@@ -103,7 +112,10 @@ impl EmbeddingModel for DeepCross {
         batch: &CtrBatch,
         embeddings: &EmbeddingStore,
     ) -> (f32, SparseGrads) {
-        assert_eq!(batch.n_fields, self.n_fields, "batch/model field count mismatch");
+        assert_eq!(
+            batch.n_fields, self.n_fields,
+            "batch/model field count mismatch"
+        );
         let (x, _) = build_inputs(batch, embeddings);
         let width = x.cols();
 
@@ -116,7 +128,11 @@ impl EmbeddingModel for DeepCross {
         let deep_hidden = self.deep.forward(&x);
         let mut deep_mask = Matrix::zeros(deep_hidden.rows(), deep_hidden.cols());
         let mut deep_out = deep_hidden;
-        for (v, m) in deep_out.as_mut_slice().iter_mut().zip(deep_mask.as_mut_slice()) {
+        for (v, m) in deep_out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(deep_mask.as_mut_slice())
+        {
             if *v > 0.0 {
                 *m = 1.0;
             } else {
@@ -164,7 +180,10 @@ impl EmbeddingModel for DeepCross {
             .iter()
             .map(|&z| het_tensor::activation::sigmoid(z))
             .collect();
-        EvalChunk { scores, labels: batch.labels.clone() }
+        EvalChunk {
+            scores,
+            labels: batch.labels.clone(),
+        }
     }
 
     fn metric_kind(&self) -> MetricKind {
@@ -181,16 +200,18 @@ impl EmbeddingModel for DeepCross {
 mod tests {
     use super::*;
     use het_data::{CtrConfig, CtrDataset};
+    use het_rng::rngs::StdRng;
+    use het_rng::SeedableRng;
     use het_tensor::Sgd;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn resolve(batch: &CtrBatch, dim: usize) -> EmbeddingStore {
         let mut store = EmbeddingStore::new(dim);
         for k in batch.unique_keys() {
             let v: Vec<f32> = (0..dim)
                 .map(|i| {
-                    let h = k.wrapping_mul(0xBF58476D1CE4E5B9).wrapping_add(i as u64 * 13);
+                    let h = k
+                        .wrapping_mul(0xBF58476D1CE4E5B9)
+                        .wrapping_add(i as u64 * 13);
                     ((h % 991) as f32 / 991.0 - 0.5) * 0.3
                 })
                 .collect();

@@ -10,9 +10,9 @@ use crate::ctr_common::{build_inputs, scatter_grads};
 use crate::store::{EmbeddingStore, SparseGrads};
 use crate::{EmbeddingModel, EvalChunk, MetricKind};
 use het_data::CtrBatch;
+use het_rng::Rng;
 use het_tensor::loss::bce_with_logits;
 use het_tensor::{FmInteraction, HasParams, Linear, Matrix, Mlp, ParamVisitor};
-use rand::Rng;
 
 /// The DeepFM CTR model.
 pub struct DeepFm {
@@ -70,7 +70,10 @@ impl EmbeddingModel for DeepFm {
         batch: &CtrBatch,
         embeddings: &EmbeddingStore,
     ) -> (f32, SparseGrads) {
-        assert_eq!(batch.n_fields, self.n_fields, "batch/model field count mismatch");
+        assert_eq!(
+            batch.n_fields, self.n_fields,
+            "batch/model field count mismatch"
+        );
         let (x, sum) = build_inputs(batch, embeddings);
         let mut logits = self.deep.forward(&x);
         logits.axpy(1.0, &self.fm.forward(&x));
@@ -95,7 +98,10 @@ impl EmbeddingModel for DeepFm {
             .iter()
             .map(|&z| het_tensor::activation::sigmoid(z))
             .collect();
-        EvalChunk { scores, labels: batch.labels.clone() }
+        EvalChunk {
+            scores,
+            labels: batch.labels.clone(),
+        }
     }
 
     fn metric_kind(&self) -> MetricKind {
@@ -111,16 +117,18 @@ impl EmbeddingModel for DeepFm {
 mod tests {
     use super::*;
     use het_data::{CtrConfig, CtrDataset};
+    use het_rng::rngs::StdRng;
+    use het_rng::SeedableRng;
     use het_tensor::Sgd;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn resolve(batch: &CtrBatch, dim: usize) -> EmbeddingStore {
         let mut store = EmbeddingStore::new(dim);
         for k in batch.unique_keys() {
             let v: Vec<f32> = (0..dim)
                 .map(|i| {
-                    let h = k.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(i as u64 * 7);
+                    let h = k
+                        .wrapping_mul(0x2545F4914F6CDD1D)
+                        .wrapping_add(i as u64 * 7);
                     ((h % 997) as f32 / 997.0 - 0.5) * 0.3
                 })
                 .collect();

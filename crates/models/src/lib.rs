@@ -146,7 +146,10 @@ mod tests {
 
     #[test]
     fn eval_chunk_accuracy_reduction() {
-        let chunk = EvalChunk { scores: vec![1.0, 0.0, 1.0, 1.0], labels: vec![0.0; 4] };
+        let chunk = EvalChunk {
+            scores: vec![1.0, 0.0, 1.0, 1.0],
+            labels: vec![0.0; 4],
+        };
         assert!((chunk.metric(MetricKind::Accuracy) - 0.75).abs() < 1e-12);
         let empty = EvalChunk::default();
         assert_eq!(empty.metric(MetricKind::Accuracy), 0.0);
@@ -154,8 +157,14 @@ mod tests {
 
     #[test]
     fn eval_chunk_extend_concatenates() {
-        let mut a = EvalChunk { scores: vec![1.0], labels: vec![1.0] };
-        let b = EvalChunk { scores: vec![0.0, 0.5], labels: vec![0.0, 1.0] };
+        let mut a = EvalChunk {
+            scores: vec![1.0],
+            labels: vec![1.0],
+        };
+        let b = EvalChunk {
+            scores: vec![0.0, 0.5],
+            labels: vec![0.0, 1.0],
+        };
         a.extend(b);
         assert_eq!(a.scores, vec![1.0, 0.0, 0.5]);
         assert_eq!(a.labels, vec![1.0, 0.0, 1.0]);

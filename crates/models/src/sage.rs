@@ -14,9 +14,9 @@
 use crate::store::{EmbeddingStore, SparseGrads};
 use crate::{EmbeddingModel, EvalChunk, MetricKind};
 use het_data::{GnnBatch, Key};
+use het_rng::Rng;
 use het_tensor::loss::{accuracy, softmax_cross_entropy};
 use het_tensor::{HasParams, Linear, Matrix, ParamVisitor};
-use rand::Rng;
 
 /// The 2-layer GraphSAGE node classifier.
 pub struct GraphSage {
@@ -62,7 +62,11 @@ impl GraphSage {
     /// Mean over consecutive groups of `fanout` rows:
     /// `(parents·fanout × c) → (parents × c)`.
     fn group_mean(m: &Matrix, fanout: usize) -> Matrix {
-        assert_eq!(m.rows() % fanout, 0, "row count must be divisible by fanout");
+        assert_eq!(
+            m.rows() % fanout,
+            0,
+            "row count must be divisible by fanout"
+        );
         let parents = m.rows() / fanout;
         let mut out = Matrix::zeros(parents, m.cols());
         let inv = 1.0 / fanout as f32;
@@ -216,7 +220,10 @@ impl EmbeddingModel for GraphSage {
             scores.push(if pred == batch.labels[i] { 1.0 } else { 0.0 });
         }
         let _ = accuracy(&logits, &batch.labels); // sanity: same definition
-        EvalChunk { scores, labels: batch.labels.iter().map(|&l| l as f32).collect() }
+        EvalChunk {
+            scores,
+            labels: batch.labels.iter().map(|&l| l as f32).collect(),
+        }
     }
 
     fn metric_kind(&self) -> MetricKind {
@@ -234,12 +241,15 @@ impl EmbeddingModel for GraphSage {
 mod tests {
     use super::*;
     use het_data::{Graph, GraphConfig, NeighborSampler};
+    use het_rng::rngs::StdRng;
+    use het_rng::SeedableRng;
     use het_tensor::Sgd;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn setup() -> (Graph, NeighborSampler) {
-        (Graph::generate(GraphConfig::tiny(7)), NeighborSampler::new(4, 3))
+        (
+            Graph::generate(GraphConfig::tiny(7)),
+            NeighborSampler::new(4, 3),
+        )
     }
 
     fn resolve(batch: &GnnBatch, dim: usize) -> EmbeddingStore {
@@ -247,7 +257,9 @@ mod tests {
         for k in batch.unique_keys() {
             let v: Vec<f32> = (0..dim)
                 .map(|i| {
-                    let h = k.wrapping_mul(0x94D049BB133111EB).wrapping_add(i as u64 * 3);
+                    let h = k
+                        .wrapping_mul(0x94D049BB133111EB)
+                        .wrapping_add(i as u64 * 3);
                     ((h % 983) as f32 / 983.0 - 0.5) * 0.3
                 })
                 .collect();

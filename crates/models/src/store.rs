@@ -15,7 +15,10 @@ pub struct EmbeddingStore {
 impl EmbeddingStore {
     /// An empty store for `dim`-dimensional embeddings.
     pub fn new(dim: usize) -> Self {
-        EmbeddingStore { dim, map: HashMap::new() }
+        EmbeddingStore {
+            dim,
+            map: HashMap::new(),
+        }
     }
 
     /// Embedding dimension.
@@ -70,7 +73,10 @@ pub struct SparseGrads {
 impl SparseGrads {
     /// An empty gradient set for `dim`-dimensional embeddings.
     pub fn new(dim: usize) -> Self {
-        SparseGrads { dim, map: HashMap::new() }
+        SparseGrads {
+            dim,
+            map: HashMap::new(),
+        }
     }
 
     /// Embedding dimension.

@@ -10,9 +10,9 @@ use crate::ctr_common::{build_inputs, scatter_grads};
 use crate::store::{EmbeddingStore, SparseGrads};
 use crate::{EmbeddingModel, EvalChunk, MetricKind};
 use het_data::CtrBatch;
+use het_rng::Rng;
 use het_tensor::loss::bce_with_logits;
 use het_tensor::{HasParams, Linear, Matrix, Mlp, ParamVisitor};
-use rand::Rng;
 
 /// The Wide & Deep CTR model.
 pub struct WideDeep {
@@ -69,7 +69,10 @@ impl EmbeddingModel for WideDeep {
         batch: &CtrBatch,
         embeddings: &EmbeddingStore,
     ) -> (f32, SparseGrads) {
-        assert_eq!(batch.n_fields, self.n_fields, "batch/model field count mismatch");
+        assert_eq!(
+            batch.n_fields, self.n_fields,
+            "batch/model field count mismatch"
+        );
         let (x, sum) = build_inputs(batch, embeddings);
         let mut logits = self.deep.forward(&x);
         let wide_out = self.wide.forward(&sum);
@@ -93,7 +96,10 @@ impl EmbeddingModel for WideDeep {
             .iter()
             .map(|&z| het_tensor::activation::sigmoid(z))
             .collect();
-        EvalChunk { scores, labels: batch.labels.clone() }
+        EvalChunk {
+            scores,
+            labels: batch.labels.clone(),
+        }
     }
 
     fn metric_kind(&self) -> MetricKind {
@@ -109,9 +115,9 @@ impl EmbeddingModel for WideDeep {
 mod tests {
     use super::*;
     use het_data::{CtrConfig, CtrDataset};
+    use het_rng::rngs::StdRng;
+    use het_rng::SeedableRng;
     use het_tensor::{FlatGrads, Sgd};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn resolve(ds: &CtrDataset, batch: &CtrBatch, dim: usize) -> EmbeddingStore {
         // Deterministic pseudo-embeddings keyed by hash for testing.
@@ -225,7 +231,10 @@ mod tests {
         let _ = model.forward_backward(&batch, &store);
         let mut flat = FlatGrads::new();
         flat.export_from(&mut model);
-        assert!(flat.as_slice().iter().any(|&g| g != 0.0), "dense grads nonzero");
+        assert!(
+            flat.as_slice().iter().any(|&g| g != 0.0),
+            "dense grads nonzero"
+        );
         assert!(model.flops_per_batch(128) > 0.0);
     }
 }

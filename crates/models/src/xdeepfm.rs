@@ -18,9 +18,9 @@ use crate::ctr_common::{build_inputs, scatter_grads};
 use crate::store::{EmbeddingStore, SparseGrads};
 use crate::{EmbeddingModel, EvalChunk, MetricKind};
 use het_data::CtrBatch;
+use het_rng::Rng;
 use het_tensor::loss::bce_with_logits;
 use het_tensor::{HasParams, Linear, Matrix, Mlp, ParamVisitor};
-use rand::Rng;
 
 /// One CIN layer's parameters: `weight[h]` is the `H_prev·F` filter of
 /// output feature map `h`, stored row-major as a Matrix (H × H_prev·F).
@@ -35,7 +35,12 @@ impl CinLayer {
     fn new<R: Rng>(rng: &mut R, fields: usize, h_prev: usize, h_out: usize) -> Self {
         let weight = het_tensor::init::xavier_uniform(rng, h_out, h_prev * fields);
         let grad = Matrix::zeros(h_out, h_prev * fields);
-        CinLayer { weight, grad, h_prev, h_out }
+        CinLayer {
+            weight,
+            grad,
+            h_prev,
+            h_out,
+        }
     }
 }
 
@@ -144,8 +149,7 @@ impl XDeepFm {
         // Sum-pool each layer over D into the pooled feature block.
         let mut col0 = 0usize;
         for (k, layer) in self.cin.iter().enumerate() {
-            for i in 0..batch {
-                let m = &maps[k][i];
+            for (i, m) in maps[k].iter().enumerate().take(batch) {
                 for h in 0..layer.h_out {
                     let s: f32 = (0..self.dim).map(|d| m.get(h, d)).sum();
                     pooled.set(i, col0 + h, s);
@@ -158,12 +162,7 @@ impl XDeepFm {
 
     /// CIN backward: `dpooled` is `(batch × Σ H_k)`; accumulates the
     /// layer weight grads and returns `dX0` per example.
-    fn cin_backward(
-        &mut self,
-        x0: &[Matrix],
-        state: &CinState,
-        dpooled: &Matrix,
-    ) -> Vec<Matrix> {
+    fn cin_backward(&mut self, x0: &[Matrix], state: &CinState, dpooled: &Matrix) -> Vec<Matrix> {
         let batch = x0.len();
         let (dim, n_fields) = (self.dim, self.n_fields);
         let mut dx0: Vec<Matrix> = x0
@@ -204,7 +203,11 @@ impl XDeepFm {
                     }
                 }
 
-                let prev: &Matrix = if k == 0 { &x0[i] } else { &state.maps[k - 1][i] };
+                let prev: &Matrix = if k == 0 {
+                    &x0[i]
+                } else {
+                    &state.maps[k - 1][i]
+                };
                 let mut dprev = Matrix::zeros(h_prev, dim);
                 let x0_i = &x0[i];
                 {
@@ -281,7 +284,10 @@ impl EmbeddingModel for XDeepFm {
         batch: &CtrBatch,
         embeddings: &EmbeddingStore,
     ) -> (f32, SparseGrads) {
-        assert_eq!(batch.n_fields, self.n_fields, "batch/model field count mismatch");
+        assert_eq!(
+            batch.n_fields, self.n_fields,
+            "batch/model field count mismatch"
+        );
         let (x, sum) = build_inputs(batch, embeddings);
         let x0 = self.field_matrices(&x);
 
@@ -318,7 +324,10 @@ impl EmbeddingModel for XDeepFm {
             .iter()
             .map(|&z| het_tensor::activation::sigmoid(z))
             .collect();
-        EvalChunk { scores, labels: batch.labels.clone() }
+        EvalChunk {
+            scores,
+            labels: batch.labels.clone(),
+        }
     }
 
     fn metric_kind(&self) -> MetricKind {
@@ -339,16 +348,18 @@ impl EmbeddingModel for XDeepFm {
 mod tests {
     use super::*;
     use het_data::{CtrConfig, CtrDataset};
+    use het_rng::rngs::StdRng;
+    use het_rng::SeedableRng;
     use het_tensor::Sgd;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn resolve(batch: &CtrBatch, dim: usize) -> EmbeddingStore {
         let mut store = EmbeddingStore::new(dim);
         for k in batch.unique_keys() {
             let v: Vec<f32> = (0..dim)
                 .map(|i| {
-                    let h = k.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i as u64 * 11);
+                    let h = k
+                        .wrapping_mul(0x9E3779B97F4A7C15)
+                        .wrapping_add(i as u64 * 11);
                     ((h % 977) as f32 / 977.0 - 0.5) * 0.4
                 })
                 .collect();

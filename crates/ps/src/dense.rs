@@ -5,7 +5,7 @@
 //! AllReduce, which is exactly the difference Fig. 7 measures. The store
 //! is a flat f32 buffer matching a model's `FlatGrads` layout.
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 
 /// A flat dense parameter vector on the server with SGD application.
 pub struct DenseStore {
@@ -22,7 +22,13 @@ impl DenseStore {
     /// Creates the store holding `initial` parameters, updated with
     /// learning rate `lr`.
     pub fn new(initial: Vec<f32>, lr: f32) -> Self {
-        DenseStore { inner: RwLock::new(DenseInner { params: initial, version: 0 }), lr }
+        DenseStore {
+            inner: RwLock::new(DenseInner {
+                params: initial,
+                version: 0,
+            }),
+            lr,
+        }
     }
 
     /// Number of scalar parameters.

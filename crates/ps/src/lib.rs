@@ -7,7 +7,7 @@
 //! pushed gradients. A small dense store backs the pure-PS baselines'
 //! dense parameters (TF PS / HET PS).
 //!
-//! The store is thread-safe (one `parking_lot::RwLock` per shard) so it
+//! The store is thread-safe (one reader-writer lock per shard) so it
 //! can serve both the deterministic discrete-event trainer and any
 //! multi-threaded executor. Embeddings are lazily initialised from a
 //! hash of `(seed, key)`, so every replica observes the same initial
@@ -19,11 +19,14 @@
 pub mod checkpoint;
 pub mod dense;
 pub mod optimizer;
+pub mod recovery;
 pub mod server;
+pub mod sync;
 
 pub use checkpoint::{read_checkpoint, restore_server, write_checkpoint, CheckpointRow};
 pub use dense::DenseStore;
 pub use optimizer::ServerOptimizer;
+pub use recovery::{FailoverOutcome, ShardCheckpointStore};
 pub use server::{PsConfig, PsServer, PullResult};
 
 /// An embedding key (feature ID).

@@ -88,7 +88,10 @@ mod tests {
         for _ in 0..5 {
             opt.apply(&mut row, &mut state, &[1.0], 0.1);
             let step = (prev - row[0]).abs();
-            assert!(step < last_step + 1e-9, "steps must shrink: {step} vs {last_step}");
+            assert!(
+                step < last_step + 1e-9,
+                "steps must shrink: {step} vs {last_step}"
+            );
             last_step = step;
             prev = row[0];
         }

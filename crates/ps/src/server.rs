@@ -1,8 +1,8 @@
 //! The sharded embedding parameter server.
 
 use crate::optimizer::ServerOptimizer;
+use crate::sync::RwLock;
 use crate::Key;
-use parking_lot::RwLock;
 use std::collections::HashMap;
 
 /// Configuration of the embedding server.
@@ -74,7 +74,11 @@ pub struct PsServer {
 /// (possibly borrowed) gradient to apply.
 fn clipped<'a>(grad: &'a [f32], clip: Option<f32>, scratch: &'a mut Vec<f32>) -> &'a [f32] {
     let Some(clip) = clip else { return grad };
-    let norm = grad.iter().map(|g| (*g as f64) * (*g as f64)).sum::<f64>().sqrt() as f32;
+    let norm = grad
+        .iter()
+        .map(|g| (*g as f64) * (*g as f64))
+        .sum::<f64>()
+        .sqrt() as f32;
     if norm <= clip || norm == 0.0 {
         return grad;
     }
@@ -100,7 +104,11 @@ impl PsServer {
         assert!(config.dim > 0, "embedding dimension must be positive");
         assert!(config.n_shards > 0, "need at least one shard");
         let shards = (0..config.n_shards)
-            .map(|_| RwLock::new(Shard { table: HashMap::new() }))
+            .map(|_| {
+                RwLock::new(Shard {
+                    table: HashMap::new(),
+                })
+            })
             .collect();
         PsServer { config, shards }
     }
@@ -115,9 +123,19 @@ impl PsServer {
         self.config.dim
     }
 
+    /// The shard a key lives on — public so the failover path and the
+    /// client's outage handling can reason about shard placement.
+    pub fn shard_index_of(&self, key: Key) -> usize {
+        (splitmix64(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
     fn shard_of(&self, key: Key) -> &RwLock<Shard> {
-        let idx = (splitmix64(key) % self.shards.len() as u64) as usize;
-        &self.shards[idx]
+        &self.shards[self.shard_index_of(key)]
     }
 
     /// Deterministic initial vector for a key: uniform in
@@ -127,7 +145,9 @@ impl PsServer {
         let bound = 1.0 / (dim as f64).sqrt();
         (0..dim)
             .map(|i| {
-                let h = splitmix64(self.config.seed ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64) << 1);
+                let h = splitmix64(
+                    self.config.seed ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64) << 1,
+                );
                 let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
                 ((u * 2.0 - 1.0) * bound) as f32
             })
@@ -140,7 +160,10 @@ impl PsServer {
         {
             let guard = shard.read();
             if let Some(e) = guard.table.get(&key) {
-                return PullResult { vector: e.vector.clone(), clock: e.clock };
+                return PullResult {
+                    vector: e.vector.clone(),
+                    clock: e.clock,
+                };
             }
         }
         let mut guard = shard.write();
@@ -149,7 +172,10 @@ impl PsServer {
             clock: 0,
             opt_state: Vec::new(),
         });
-        PullResult { vector: e.vector.clone(), clock: e.clock }
+        PullResult {
+            vector: e.vector.clone(),
+            clock: e.clock,
+        }
     }
 
     /// Pulls a batch of embeddings.
@@ -169,8 +195,11 @@ impl PsServer {
         let mut scratch = Vec::new();
         let grad = clipped(grad, self.config.grad_clip, &mut scratch);
         let mut guard = self.shard_of(key).write();
-        let init =
-            || Entry { vector: self.initial_vector(key), clock: 0, opt_state: Vec::new() };
+        let init = || Entry {
+            vector: self.initial_vector(key),
+            clock: 0,
+            opt_state: Vec::new(),
+        };
         let e = guard.table.entry(key).or_insert_with(init);
         opt.apply(&mut e.vector, &mut e.opt_state, grad, lr);
         e.clock = e.clock.max(candidate_clock);
@@ -187,8 +216,11 @@ impl PsServer {
         let mut scratch = Vec::new();
         let grad = clipped(grad, self.config.grad_clip, &mut scratch);
         let mut guard = self.shard_of(key).write();
-        let init =
-            || Entry { vector: self.initial_vector(key), clock: 0, opt_state: Vec::new() };
+        let init = || Entry {
+            vector: self.initial_vector(key),
+            clock: 0,
+            opt_state: Vec::new(),
+        };
         let e = guard.table.entry(key).or_insert_with(init);
         opt.apply(&mut e.vector, &mut e.opt_state, grad, lr);
         e.clock += 1;
@@ -197,7 +229,11 @@ impl PsServer {
     /// The global clock of a key (0 for never-touched keys). This is the
     /// clock-only query behind `CheckValid` condition (2).
     pub fn clock_of(&self, key: Key) -> u64 {
-        self.shard_of(key).read().table.get(&key).map_or(0, |e| e.clock)
+        self.shard_of(key)
+            .read()
+            .table
+            .get(&key)
+            .map_or(0, |e| e.clock)
     }
 
     /// Batched [`PsServer::clock_of`].
@@ -218,7 +254,11 @@ impl PsServer {
     /// Read-only snapshot of one vector without affecting clocks — a test
     /// oracle helper.
     pub fn snapshot(&self, key: Key) -> Option<Vec<f32>> {
-        self.shard_of(key).read().table.get(&key).map(|e| e.vector.clone())
+        self.shard_of(key)
+            .read()
+            .table
+            .get(&key)
+            .map(|e| e.vector.clone())
     }
 
     /// Exports every materialised row, key-sorted, for checkpointing.
@@ -243,7 +283,48 @@ impl PsServer {
     pub fn restore_entry(&self, key: Key, vector: Vec<f32>, clock: u64) {
         assert_eq!(vector.len(), self.config.dim, "row dimension mismatch");
         let mut guard = self.shard_of(key).write();
-        guard.table.insert(key, Entry { vector, clock, opt_state: Vec::new() });
+        guard.table.insert(
+            key,
+            Entry {
+                vector,
+                clock,
+                opt_state: Vec::new(),
+            },
+        );
+    }
+
+    /// Exports the materialised rows of one shard, key-sorted (the unit
+    /// of periodic checkpointing under failover).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range shard index.
+    pub fn export_shard_rows(&self, shard: usize) -> Vec<crate::checkpoint::CheckpointRow> {
+        let guard = self.shards[shard].read();
+        let mut rows: Vec<_> = guard
+            .table
+            .iter()
+            .map(|(&key, e)| crate::checkpoint::CheckpointRow {
+                key,
+                clock: e.clock,
+                vector: e.vector.clone(),
+            })
+            .collect();
+        rows.sort_unstable_by_key(|r| r.key);
+        rows
+    }
+
+    /// Simulates the loss of one shard: drops every entry on it and
+    /// returns the `(key, clock)` pairs that were live, so the failover
+    /// path can account lost updates against the restored checkpoint.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range shard index.
+    pub fn clear_shard(&self, shard: usize) -> Vec<(Key, u64)> {
+        let mut guard = self.shards[shard].write();
+        let mut lost: Vec<(Key, u64)> = guard.table.iter().map(|(&k, e)| (k, e.clock)).collect();
+        guard.table.clear();
+        lost.sort_unstable();
+        lost
     }
 }
 
@@ -307,7 +388,11 @@ mod tests {
         s.push_with_clock(3, &[0.0, 0.0], 5);
         assert_eq!(s.clock_of(3), 5);
         s.push_with_clock(3, &[0.0, 0.0], 2);
-        assert_eq!(s.clock_of(3), 5, "older candidate clock must not regress c_g");
+        assert_eq!(
+            s.clock_of(3),
+            5,
+            "older candidate clock must not regress c_g"
+        );
         s.push_with_clock(3, &[0.0, 0.0], 9);
         assert_eq!(s.clock_of(3), 9);
     }

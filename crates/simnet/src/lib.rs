@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod stats;
 pub mod time;
@@ -38,6 +39,7 @@ pub mod topology;
 pub mod wire;
 
 pub use event::EventQueue;
+pub use fault::{FaultEvent, FaultPlan, FaultSpec, LinkFactors};
 pub use link::LinkSpec;
 pub use stats::{CommCategory, CommStats, Direction};
 pub use time::{SimDuration, SimTime};

@@ -28,7 +28,10 @@ impl LinkSpec {
             bandwidth_bps > 0.0 && bandwidth_bps.is_finite(),
             "link bandwidth must be positive and finite, got {bandwidth_bps}"
         );
-        LinkSpec { bandwidth_bps, latency }
+        LinkSpec {
+            bandwidth_bps,
+            latency,
+        }
     }
 
     /// The paper's cluster A inter-machine link: 1 Gbit Ethernet.
@@ -97,7 +100,7 @@ mod tests {
     fn latency_dominates_small_messages() {
         let link = LinkSpec::ethernet_1gbit();
         let t = link.transfer_time(16); // a clock-validation message
-        // 16 bytes at 1 Gbit/s is 128 ns; latency is 100 µs.
+                                        // 16 bytes at 1 Gbit/s is 128 ns; latency is 100 µs.
         assert!(t.as_secs_f64() > 0.99e-4);
         assert!(t.as_secs_f64() < 1.01e-4 + 1e-6);
     }

@@ -6,11 +6,11 @@
 //! messages) so the benches can break epoch time into the same components
 //! the paper plots (Fig. 2, Fig. 7).
 
-use serde::{Deserialize, Serialize};
+use het_json::{Json, ToJson};
 use std::fmt;
 
 /// What a message was for.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CommCategory {
     /// Embedding vector fetch (server → worker) and its request.
     EmbeddingFetch,
@@ -76,7 +76,7 @@ impl fmt::Display for CommCategory {
 }
 
 /// Direction of a transfer relative to the worker.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Worker → server (or worker → peer).
     Send,
@@ -85,7 +85,7 @@ pub enum Direction {
 }
 
 /// Byte/message counters, one slot per category.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CommStats {
     bytes: [u64; 6],
     messages: [u64; 6],
@@ -154,6 +154,15 @@ impl CommStats {
     }
 }
 
+impl ToJson for CommStats {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("bytes".to_string(), self.bytes.to_json()),
+            ("messages".to_string(), self.messages.to_json()),
+        ])
+    }
+}
+
 impl fmt::Display for CommStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for c in CommCategory::ALL {
@@ -219,7 +228,10 @@ mod tests {
         let mut baseline = CommStats::new();
         baseline.record(CommCategory::EmbeddingFetch, 100);
         let red = cached.embedding_reduction_vs(&baseline);
-        assert!((red - 0.88).abs() < 1e-12, "12 vs 100 bytes is an 88% reduction");
+        assert!(
+            (red - 0.88).abs() < 1e-12,
+            "12 vs 100 bytes is an 88% reduction"
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@ impl SimDuration {
     /// Creates a duration from fractional seconds. Negative and NaN inputs
     /// clamp to zero; overflow saturates.
     pub fn from_secs_f64(secs: f64) -> Self {
-        if !(secs > 0.0) {
+        if secs.is_nan() || secs <= 0.0 {
             return SimDuration::ZERO;
         }
         let nanos = secs * 1e9;
@@ -242,7 +242,11 @@ mod tests {
         assert_eq!((b - a).as_nanos(), 0, "subtraction saturates");
         assert_eq!((a * 3).as_nanos(), 30);
         assert_eq!((a / 2).as_nanos(), 5);
-        assert_eq!((a / 0).as_nanos(), 10, "division by zero clamps divisor to 1");
+        assert_eq!(
+            (a / 0).as_nanos(),
+            10,
+            "division by zero clamps divisor to 1"
+        );
         assert_eq!(a.max(b), a);
         assert_eq!(a.min(b), b);
     }
@@ -264,7 +268,10 @@ mod tests {
 
     #[test]
     fn time_ordering_is_total() {
-        let times: Vec<SimTime> = [5u64, 1, 3, 2].iter().map(|&n| SimTime::from_nanos(n)).collect();
+        let times: Vec<SimTime> = [5u64, 1, 3, 2]
+            .iter()
+            .map(|&n| SimTime::from_nanos(n))
+            .collect();
         let mut sorted = times.clone();
         sorted.sort();
         assert_eq!(

@@ -102,7 +102,10 @@ impl Collectives {
             1
         };
         self.spec.worker_server.latency
-            + self.spec.worker_server.payload_time(per_shard.saturating_mul(contention))
+            + self
+                .spec
+                .worker_server
+                .payload_time(per_shard.saturating_mul(contention))
     }
 
     /// AllReduce of a dense buffer of `bytes` across all workers,
@@ -171,8 +174,14 @@ mod tests {
 
     #[test]
     fn allreduce_is_zero_for_single_worker() {
-        assert_eq!(spec(1, 1).collectives().ring_allreduce(1 << 20), SimDuration::ZERO);
-        assert_eq!(spec(1, 1).collectives().allgather(1 << 20), SimDuration::ZERO);
+        assert_eq!(
+            spec(1, 1).collectives().ring_allreduce(1 << 20),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            spec(1, 1).collectives().allgather(1 << 20),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -182,15 +191,24 @@ mod tests {
         let c = spec(32, 1).collectives();
         let small = c.ring_allreduce(1_000);
         let ring_floor = LinkSpec::collective_effective().latency * 62;
-        assert!(small < ring_floor, "{small:?} should beat ring floor {ring_floor:?}");
+        assert!(
+            small < ring_floor,
+            "{small:?} should beat ring floor {ring_floor:?}"
+        );
     }
 
     #[test]
     fn allreduce_bandwidth_term_is_nearly_constant_in_n() {
         // The 2(N-1)/N factor approaches 2: doubling workers should not
         // double AllReduce time for large payloads.
-        let t8 = spec(8, 1).collectives().ring_allreduce(100 << 20).as_secs_f64();
-        let t16 = spec(16, 1).collectives().ring_allreduce(100 << 20).as_secs_f64();
+        let t8 = spec(8, 1)
+            .collectives()
+            .ring_allreduce(100 << 20)
+            .as_secs_f64();
+        let t16 = spec(16, 1)
+            .collectives()
+            .ring_allreduce(100 << 20)
+            .as_secs_f64();
         assert!(t16 / t8 < 1.25, "t16={t16} t8={t8}");
     }
 
@@ -207,7 +225,12 @@ mod tests {
         let c = spec(4, 1).collectives();
         assert_eq!(c.ring_allreduce_bytes_per_worker(400), 2 * 3 * 100);
         assert_eq!(c.allgather_bytes_per_worker(400), 3 * 400);
-        assert_eq!(spec(1, 1).collectives().ring_allreduce_bytes_per_worker(400), 0);
+        assert_eq!(
+            spec(1, 1)
+                .collectives()
+                .ring_allreduce_bytes_per_worker(400),
+            0
+        );
     }
 
     #[test]
@@ -219,7 +242,10 @@ mod tests {
         let t_shared = shared.collectives().ps_transfer(bytes).as_secs_f64();
         let t_excl = exclusive.collectives().ps_transfer(bytes).as_secs_f64();
         // 8 workers over 2 servers -> 4x contention on the payload term.
-        assert!(t_shared > 3.0 * t_excl, "shared {t_shared} vs exclusive {t_excl}");
+        assert!(
+            t_shared > 3.0 * t_excl,
+            "shared {t_shared} vs exclusive {t_excl}"
+        );
         // More servers relieve contention.
         let mut more = spec(8, 8);
         more.shared_server_bandwidth = true;

@@ -160,7 +160,10 @@ mod tests {
 
     #[test]
     fn push_and_fetch_are_symmetric() {
-        assert_eq!(embedding_push_bytes(5, 16), batched_fetch_response_bytes(5, 16));
+        assert_eq!(
+            embedding_push_bytes(5, 16),
+            batched_fetch_response_bytes(5, 16)
+        );
     }
 
     #[test]
@@ -180,10 +183,7 @@ mod tests {
             assert!(raw.clock_check(n) >= fused.clock_check(n));
         }
         // The gap is exactly the saved headers.
-        assert_eq!(
-            raw.push(10, 8) - fused.push(10, 8),
-            9 * MSG_OVERHEAD_BYTES
-        );
+        assert_eq!(raw.push(10, 8) - fused.push(10, 8), 9 * MSG_OVERHEAD_BYTES);
     }
 
     #[test]

@@ -1,63 +1,99 @@
-//! Property-based tests of the network cost models: monotonicity,
-//! scaling laws, and accounting consistency.
+//! Randomised property tests of the network cost models: monotonicity,
+//! scaling laws, and accounting consistency. Cases are drawn from a
+//! seeded in-tree generator so runs are deterministic and hermetic.
 
+use het_rng::rngs::StdRng;
+use het_rng::{Rng, SeedableRng};
 use het_simnet::{ClusterSpec, CommCategory, CommStats, LinkSpec, SimDuration};
-use proptest::prelude::*;
 
-proptest! {
-    /// Transfer time is monotone in bytes on any sane link.
-    #[test]
-    fn transfer_time_monotone(
-        bw_mbps in 1.0f64..100_000.0,
-        lat_us in 0u64..10_000,
-        a in 0u64..1_000_000,
-        b in 0u64..1_000_000,
-    ) {
+const CASES: usize = 256;
+
+/// Transfer time is monotone in bytes on any sane link.
+#[test]
+fn transfer_time_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xC057_0001);
+    for _ in 0..CASES {
+        let bw_mbps = rng.gen_range(1.0f64..100_000.0);
+        let lat_us = rng.gen_range(0u64..10_000);
+        let a = rng.gen_range(0u64..1_000_000);
+        let b = rng.gen_range(0u64..1_000_000);
         let link = LinkSpec::new(bw_mbps * 1e6, SimDuration::from_micros(lat_us));
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(link.transfer_time(lo) <= link.transfer_time(hi));
+        assert!(link.transfer_time(lo) <= link.transfer_time(hi));
     }
+}
 
-    /// Doubling bandwidth never makes a transfer slower.
-    #[test]
-    fn more_bandwidth_never_hurts(bytes in 0u64..10_000_000, bw_mbps in 1.0f64..1_000.0) {
+/// Doubling bandwidth never makes a transfer slower.
+#[test]
+fn more_bandwidth_never_hurts() {
+    let mut rng = StdRng::seed_from_u64(0xC057_0002);
+    for _ in 0..CASES {
+        let bytes = rng.gen_range(0u64..10_000_000);
+        let bw_mbps = rng.gen_range(1.0f64..1_000.0);
         let slow = LinkSpec::new(bw_mbps * 1e6, SimDuration::from_micros(50));
         let fast = LinkSpec::new(bw_mbps * 2e6, SimDuration::from_micros(50));
-        prop_assert!(fast.transfer_time(bytes) <= slow.transfer_time(bytes));
+        assert!(fast.transfer_time(bytes) <= slow.transfer_time(bytes));
     }
+}
 
-    /// PS transfer time decreases (weakly) with more server shards.
-    #[test]
-    fn more_servers_never_hurt(bytes in 1u64..10_000_000, servers in 1usize..16) {
-        let few = ClusterSpec::cluster_a(8, servers).collectives().ps_transfer(bytes);
-        let more = ClusterSpec::cluster_a(8, servers * 2).collectives().ps_transfer(bytes);
-        prop_assert!(more <= few);
+/// PS transfer time decreases (weakly) with more server shards.
+#[test]
+fn more_servers_never_hurt() {
+    let mut rng = StdRng::seed_from_u64(0xC057_0003);
+    for _ in 0..CASES {
+        let bytes = rng.gen_range(1u64..10_000_000);
+        let servers = rng.gen_range(1usize..16);
+        let few = ClusterSpec::cluster_a(8, servers)
+            .collectives()
+            .ps_transfer(bytes);
+        let more = ClusterSpec::cluster_a(8, servers * 2)
+            .collectives()
+            .ps_transfer(bytes);
+        assert!(more <= few);
     }
+}
 
-    /// Ring AllReduce byte accounting: each worker moves strictly less
-    /// than 2× the payload, approaching it from below as N grows.
-    #[test]
-    fn allreduce_bytes_bounded(bytes in 8u64..1_000_000, workers in 2usize..64) {
+/// Ring AllReduce byte accounting: each worker moves strictly less
+/// than 2× the payload, approaching it from below as N grows.
+#[test]
+fn allreduce_bytes_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xC057_0004);
+    for _ in 0..CASES {
+        let bytes = rng.gen_range(8u64..1_000_000);
+        let workers = rng.gen_range(2usize..64);
         let c = ClusterSpec::cluster_a(workers, 1).collectives();
         let per_worker = c.ring_allreduce_bytes_per_worker(bytes);
         // 2(N-1)/N * ceil-per-chunk overhead can add at most N bytes.
-        prop_assert!(per_worker <= 2 * (bytes + workers as u64));
-        prop_assert!(per_worker >= bytes, "must move at least the payload for N≥2");
+        assert!(per_worker <= 2 * (bytes + workers as u64));
+        assert!(
+            per_worker >= bytes,
+            "must move at least the payload for N≥2"
+        );
     }
+}
 
-    /// AllGather cost grows with worker count.
-    #[test]
-    fn allgather_monotone_in_workers(block in 1u64..1_000_000, n in 2usize..32) {
+/// AllGather cost grows with worker count.
+#[test]
+fn allgather_monotone_in_workers() {
+    let mut rng = StdRng::seed_from_u64(0xC057_0005);
+    for _ in 0..CASES {
+        let block = rng.gen_range(1u64..1_000_000);
+        let n = rng.gen_range(2usize..32);
         let small = ClusterSpec::cluster_a(n, 1).collectives().allgather(block);
-        let large = ClusterSpec::cluster_a(n + 1, 1).collectives().allgather(block);
-        prop_assert!(large >= small);
+        let large = ClusterSpec::cluster_a(n + 1, 1)
+            .collectives()
+            .allgather(block);
+        assert!(large >= small);
     }
+}
 
-    /// CommStats merge is associative-by-value with record.
-    #[test]
-    fn stats_merge_matches_sequential_record(
-        sizes in proptest::collection::vec(0u64..100_000, 0..50),
-    ) {
+/// CommStats merge is associative-by-value with record.
+#[test]
+fn stats_merge_matches_sequential_record() {
+    let mut rng = StdRng::seed_from_u64(0xC057_0006);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0usize..50);
+        let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..100_000)).collect();
         let mut merged = CommStats::new();
         let mut split_a = CommStats::new();
         let mut split_b = CommStats::new();
@@ -70,6 +106,6 @@ proptest! {
             }
         }
         split_a.merge(&split_b);
-        prop_assert_eq!(merged, split_a);
+        assert_eq!(merged, split_a);
     }
 }

@@ -8,7 +8,7 @@
 use crate::init::xavier_uniform;
 use crate::matrix::Matrix;
 use crate::params::{HasParams, ParamVisitor};
-use rand::Rng;
+use het_rng::Rng;
 
 /// One cross layer `y = x0 ⊙ (xl·w) + b + xl`.
 pub struct CrossLayer {
@@ -53,8 +53,10 @@ impl CrossLayer {
         for r in 0..x0.rows() {
             let s: f32 = xl.row(r).iter().zip(&self.w).map(|(&x, &w)| x * w).sum();
             let yr = y.row_mut(r);
-            for ((o, &x0v), (&bv, &xlv)) in
-                yr.iter_mut().zip(x0.row(r)).zip(self.b.iter().zip(xl.row(r)))
+            for ((o, &x0v), (&bv, &xlv)) in yr
+                .iter_mut()
+                .zip(x0.row(r))
+                .zip(self.b.iter().zip(xl.row(r)))
             {
                 *o = x0v * s + bv + xlv;
             }
@@ -76,8 +78,14 @@ impl CrossLayer {
     /// # Panics
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Matrix) -> (Matrix, Matrix) {
-        let x0 = self.last_x0.as_ref().expect("CrossLayer::backward before forward");
-        let xl = self.last_xl.as_ref().expect("CrossLayer::backward before forward");
+        let x0 = self
+            .last_x0
+            .as_ref()
+            .expect("CrossLayer::backward before forward");
+        let xl = self
+            .last_xl
+            .as_ref()
+            .expect("CrossLayer::backward before forward");
         let d = self.dim();
         let mut dx0 = Matrix::zeros(dy.rows(), d);
         let mut dxl = Matrix::zeros(dy.rows(), d);
@@ -114,8 +122,8 @@ impl HasParams for CrossLayer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use het_rng::rngs::StdRng;
+    use het_rng::SeedableRng;
 
     fn scalar_loss(layer: &CrossLayer, x0: &Matrix, xl: &Matrix) -> f32 {
         layer.forward_inference(x0, xl).as_slice().iter().sum()
@@ -154,14 +162,16 @@ mod tests {
                 p.set(r, c, x0.get(r, c) + eps);
                 let mut m2 = x0.clone();
                 m2.set(r, c, x0.get(r, c) - eps);
-                let num = (scalar_loss(&layer, &p, &xl) - scalar_loss(&layer, &m2, &xl)) / (2.0 * eps);
+                let num =
+                    (scalar_loss(&layer, &p, &xl) - scalar_loss(&layer, &m2, &xl)) / (2.0 * eps);
                 assert!((num - dx0.get(r, c)).abs() < 1e-2, "dx0[{r},{c}]");
                 // dxl
                 let mut p = xl.clone();
                 p.set(r, c, xl.get(r, c) + eps);
                 let mut m2 = xl.clone();
                 m2.set(r, c, xl.get(r, c) - eps);
-                let num = (scalar_loss(&layer, &x0, &p) - scalar_loss(&layer, &x0, &m2)) / (2.0 * eps);
+                let num =
+                    (scalar_loss(&layer, &x0, &p) - scalar_loss(&layer, &x0, &m2)) / (2.0 * eps);
                 assert!((num - dxl.get(r, c)).abs() < 1e-2, "dxl[{r},{c}]");
             }
         }
@@ -175,7 +185,11 @@ mod tests {
             let lm = scalar_loss(&layer, &x0, &xl);
             layer.w[j] = orig;
             let num = (lp - lm) / (2.0 * eps);
-            assert!((num - layer.gw[j]).abs() < 1e-2, "gw[{j}]: {num} vs {}", layer.gw[j]);
+            assert!(
+                (num - layer.gw[j]).abs() < 1e-2,
+                "gw[{j}]: {num} vs {}",
+                layer.gw[j]
+            );
         }
     }
 

@@ -25,7 +25,12 @@ impl FmInteraction {
     pub fn new(fields: usize, dim: usize) -> Self {
         assert!(fields >= 2, "FM needs at least two fields to interact");
         assert!(dim >= 1, "embedding dimension must be positive");
-        FmInteraction { fields, dim, last_input: None, last_sums: None }
+        FmInteraction {
+            fields,
+            dim,
+            last_input: None,
+            last_sums: None,
+        }
     }
 
     /// Number of interacting fields.
@@ -47,7 +52,11 @@ impl FmInteraction {
 
     /// Inference-only forward pass.
     pub fn forward_inference(&self, x: &Matrix) -> Matrix {
-        assert_eq!(x.cols(), self.fields * self.dim, "input width must be fields*dim");
+        assert_eq!(
+            x.cols(),
+            self.fields * self.dim,
+            "input width must be fields*dim"
+        );
         let mut out = Matrix::zeros(x.rows(), 1);
         for r in 0..x.rows() {
             out.set(r, 0, self.fm_row(x.row(r), None));
@@ -56,7 +65,11 @@ impl FmInteraction {
     }
 
     fn forward_inference_with_sums(&mut self, x: &Matrix, store: bool) -> Matrix {
-        assert_eq!(x.cols(), self.fields * self.dim, "input width must be fields*dim");
+        assert_eq!(
+            x.cols(),
+            self.fields * self.dim,
+            "input width must be fields*dim"
+        );
         let mut out = Matrix::zeros(x.rows(), 1);
         let mut sums = Matrix::zeros(x.rows(), self.dim);
         for r in 0..x.rows() {
@@ -82,7 +95,12 @@ impl FmInteraction {
                 sum_sq[k] += x * x;
             }
         }
-        let score = 0.5 * sum.iter().zip(&sum_sq).map(|(&s, &q)| s * s - q).sum::<f32>();
+        let score = 0.5
+            * sum
+                .iter()
+                .zip(&sum_sq)
+                .map(|(&s, &q)| s * s - q)
+                .sum::<f32>();
         if let Some(out) = sums_out {
             out.copy_from_slice(&sum);
         }
@@ -95,8 +113,14 @@ impl FmInteraction {
     /// # Panics
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let x = self.last_input.as_ref().expect("FmInteraction::backward before forward");
-        let sums = self.last_sums.as_ref().expect("FmInteraction::backward before forward");
+        let x = self
+            .last_input
+            .as_ref()
+            .expect("FmInteraction::backward before forward");
+        let sums = self
+            .last_sums
+            .as_ref()
+            .expect("FmInteraction::backward before forward");
         assert_eq!(dy.rows(), x.rows(), "dy batch mismatch");
         let d = self.dim;
         let mut dx = Matrix::zeros(x.rows(), x.cols());
@@ -106,9 +130,9 @@ impl FmInteraction {
             let xr = x.row(r);
             let dr = dx.row_mut(r);
             for f in 0..self.fields {
-                for k in 0..d {
+                for (k, &sk) in s.iter().enumerate().take(d) {
                     let idx = f * d + k;
-                    dr[idx] = g * (s[k] - xr[idx]);
+                    dr[idx] = g * (sk - xr[idx]);
                 }
             }
         }
@@ -161,7 +185,7 @@ mod tests {
             let fp = fm.forward_inference(&Matrix::from_vec(1, 6, p)).get(0, 0);
             let fmv = fm.forward_inference(&Matrix::from_vec(1, 6, m)).get(0, 0);
             let num = (fp - fmv) / (2.0 * eps);
-            assert!((num - dx.get(0, 0 + i)).abs() < 1e-2, "dx[{i}]");
+            assert!((num - dx.get(0, i)).abs() < 1e-2, "dx[{i}]");
         }
     }
 

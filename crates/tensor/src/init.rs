@@ -6,7 +6,7 @@
 //! replicas must start from the same point, §2.1).
 
 use crate::matrix::Matrix;
-use rand::Rng;
+use het_rng::Rng;
 
 /// Xavier/Glorot-uniform initialisation for a `fan_in × fan_out` weight
 /// matrix: `U(−√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
@@ -26,8 +26,8 @@ pub fn embedding_uniform<R: Rng>(rng: &mut R, dim: usize) -> Vec<f32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use het_rng::rngs::StdRng;
+    use het_rng::SeedableRng;
 
     #[test]
     fn xavier_respects_bound_and_shape() {

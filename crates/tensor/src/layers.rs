@@ -4,7 +4,7 @@ use crate::activation::{relu_backward, relu_inplace};
 use crate::init::xavier_uniform;
 use crate::matrix::Matrix;
 use crate::params::{HasParams, ParamVisitor};
-use rand::Rng;
+use het_rng::Rng;
 
 /// An affine layer `y = x W + b` with gradient accumulation.
 pub struct Linear {
@@ -63,7 +63,10 @@ impl Linear {
     /// # Panics
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let x = self.last_input.as_ref().expect("Linear::backward called before forward");
+        let x = self
+            .last_input
+            .as_ref()
+            .expect("Linear::backward called before forward");
         let gw = x.matmul_tn(dy);
         self.gw.axpy(1.0, &gw);
         for (g, d) in self.gb.iter_mut().zip(dy.col_sums()) {
@@ -100,9 +103,18 @@ impl Mlp {
     /// # Panics
     /// Panics if fewer than two dimensions are given.
     pub fn new<R: Rng>(rng: &mut R, dims: &[usize]) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
-        let layers = dims.windows(2).map(|w| Linear::new(rng, w[0], w[1])).collect();
-        Mlp { layers, masks: Vec::new() }
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(rng, w[0], w[1]))
+            .collect();
+        Mlp {
+            layers,
+            masks: Vec::new(),
+        }
     }
 
     /// Number of Linear layers.
@@ -178,8 +190,8 @@ impl HasParams for Mlp {
 mod tests {
     use super::*;
     use crate::params::FlatGrads;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use het_rng::rngs::StdRng;
+    use het_rng::SeedableRng;
 
     /// Finite-difference check of Linear gradients w.r.t. both the input
     /// and the weights, using the scalar loss `L = Σ y`.

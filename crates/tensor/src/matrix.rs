@@ -19,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a generator `f(row, col)`.
@@ -38,7 +42,11 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length must equal rows*cols"
+        );
         Matrix { rows, cols, data }
     }
 
@@ -159,7 +167,11 @@ impl Matrix {
     /// # Panics
     /// Panics if `v.len() != self.cols()`.
     pub fn add_row_broadcast(&mut self, v: &[f32]) {
-        assert_eq!(v.len(), self.cols, "broadcast vector must match column count");
+        assert_eq!(
+            v.len(),
+            self.cols,
+            "broadcast vector must match column count"
+        );
         for r in 0..self.rows {
             for (o, &b) in self.row_mut(r).iter_mut().zip(v) {
                 *o += b;
@@ -172,7 +184,11 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "axpy shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "axpy shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += alpha * b;
         }
@@ -180,9 +196,22 @@ impl Matrix {
 
     /// Element-wise (Hadamard) product into a new matrix.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "hadamard shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "hadamard shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Sum of each column, e.g. a bias gradient.
@@ -198,7 +227,10 @@ impl Matrix {
 
     /// Sum of each row.
     pub fn row_sums(&self) -> Vec<f32> {
-        self.data.chunks_exact(self.cols.max(1)).map(|row| row.iter().sum()).collect()
+        self.data
+            .chunks_exact(self.cols.max(1))
+            .map(|row| row.iter().sum())
+            .collect()
     }
 
     /// Horizontal concatenation `[self | other]`.
@@ -213,7 +245,11 @@ impl Matrix {
             data.extend_from_slice(self.row(r));
             data.extend_from_slice(other.row(r));
         }
-        Matrix { rows: self.rows, cols, data }
+        Matrix {
+            rows: self.rows,
+            cols,
+            data,
+        }
     }
 
     /// Splits columns at `at`, the inverse of [`Matrix::hcat`].
@@ -237,7 +273,11 @@ impl Matrix {
         let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Splits rows at `at`, the inverse of [`Matrix::vcat`].
@@ -289,7 +329,7 @@ mod tests {
     fn matmul_tn_equals_explicit_transpose() {
         let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // 3x2
         let b = m(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]); // 3x2
-        // aT (2x3) @ b (3x2) = 2x2
+                                                          // aT (2x3) @ b (3x2) = 2x2
         let c = a.matmul_tn(&b);
         let at = Matrix::from_fn(2, 3, |r, c2| a.get(c2, r));
         let expect = at.matmul(&b);

@@ -17,7 +17,10 @@ pub struct Sgd {
 impl Sgd {
     /// SGD with the given learning rate and no weight decay.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, weight_decay: 0.0 }
+        Sgd {
+            lr,
+            weight_decay: 0.0,
+        }
     }
 
     /// Applies one step to every parameter of `model` and zeroes the
@@ -63,7 +66,10 @@ mod tests {
 
     #[test]
     fn step_moves_against_gradient_and_clears_it() {
-        let mut m = OneTensor { p: vec![1.0, 2.0], g: vec![0.5, -0.5] };
+        let mut m = OneTensor {
+            p: vec![1.0, 2.0],
+            g: vec![0.5, -0.5],
+        };
         Sgd::new(0.1).step(&mut m);
         assert!((m.p[0] - 0.95).abs() < 1e-7);
         assert!((m.p[1] - 2.05).abs() < 1e-7);
@@ -72,8 +78,14 @@ mod tests {
 
     #[test]
     fn weight_decay_shrinks_params() {
-        let mut m = OneTensor { p: vec![1.0], g: vec![0.0] };
-        let opt = Sgd { lr: 0.1, weight_decay: 0.1 };
+        let mut m = OneTensor {
+            p: vec![1.0],
+            g: vec![0.0],
+        };
+        let opt = Sgd {
+            lr: 0.1,
+            weight_decay: 0.1,
+        };
         opt.step(&mut m);
         assert!((m.p[0] - 0.99).abs() < 1e-7);
     }
@@ -88,7 +100,10 @@ mod tests {
     #[test]
     fn minimises_a_quadratic() {
         // f(p) = (p-3)^2, grad = 2(p-3); SGD should converge to 3.
-        let mut m = OneTensor { p: vec![0.0], g: vec![0.0] };
+        let mut m = OneTensor {
+            p: vec![0.0],
+            g: vec![0.0],
+        };
         for _ in 0..200 {
             m.g[0] = 2.0 * (m.p[0] - 3.0);
             Sgd::new(0.1).step(&mut m);

@@ -97,8 +97,15 @@ impl FlatGrads {
                 self.offset = end;
             }
         }
-        assert_eq!(self.buf.len(), model.n_params(), "flat gradient length mismatch");
-        let mut importer = Import { buf: &self.buf, offset: 0 };
+        assert_eq!(
+            self.buf.len(),
+            model.n_params(),
+            "flat gradient length mismatch"
+        );
+        let mut importer = Import {
+            buf: &self.buf,
+            offset: 0,
+        };
         model.visit_params(&mut importer);
     }
 
@@ -112,7 +119,11 @@ impl FlatGrads {
             self.buf = other.buf.clone();
             return;
         }
-        assert_eq!(self.buf.len(), other.buf.len(), "flat gradient length mismatch");
+        assert_eq!(
+            self.buf.len(),
+            other.buf.len(),
+            "flat gradient length mismatch"
+        );
         for (a, &b) in self.buf.iter_mut().zip(&other.buf) {
             *a += b;
         }
@@ -182,7 +193,11 @@ impl FlatParams {
     /// Panics if the buffer length does not match the model's parameter
     /// count.
     pub fn import_into(&self, model: &mut dyn HasParams) {
-        assert_eq!(self.buf.len(), model.n_params(), "flat parameter length mismatch");
+        assert_eq!(
+            self.buf.len(),
+            model.n_params(),
+            "flat parameter length mismatch"
+        );
         struct Import<'a> {
             buf: &'a [f32],
             offset: usize,
@@ -194,7 +209,10 @@ impl FlatParams {
                 self.offset = end;
             }
         }
-        let mut importer = Import { buf: &self.buf, offset: 0 };
+        let mut importer = Import {
+            buf: &self.buf,
+            offset: 0,
+        };
         model.visit_params(&mut importer);
     }
 

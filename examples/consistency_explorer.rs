@@ -21,14 +21,24 @@ fn show(label: &str, client: &HetClient, key: Key, server: &PsServer) {
             e.dirty,
             server.clock_of(key)
         ),
-        None => println!("  {label}: <not cached>  (server c_g={})", server.clock_of(key)),
+        None => println!(
+            "  {label}: <not cached>  (server c_g={})",
+            server.clock_of(key)
+        ),
     }
 }
 
 fn main() {
     println!("== Per-embedding clock-bounded consistency, step by step (s=2) ==\n");
     let dim = 4;
-    let server = PsServer::new(PsConfig { dim, n_shards: 2, lr: 0.1, seed: 3, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+    let server = PsServer::new(PsConfig {
+        dim,
+        n_shards: 2,
+        lr: 0.1,
+        seed: 3,
+        optimizer: ServerOptimizer::Sgd,
+        grad_clip: None,
+    });
     let net = ClusterSpec::cluster_a(2, 1).collectives();
     let mut stats = CommStats::new();
     let mut a = HetClient::new(64, 2, PolicyKind::LightLfu, dim, 0.1);

@@ -36,16 +36,21 @@ fn main() {
     );
 
     let wdl = {
-        let mut t = Trainer::new(config(), dataset(), |rng| WideDeep::new(rng, FIELDS, DIM, &[64, 32]));
+        let mut t = Trainer::new(config(), dataset(), |rng| {
+            WideDeep::new(rng, FIELDS, DIM, &[64, 32])
+        });
         t.run()
     };
     let dfm = {
-        let mut t = Trainer::new(config(), dataset(), |rng| DeepFm::new(rng, FIELDS, DIM, &[64, 32]));
+        let mut t = Trainer::new(config(), dataset(), |rng| {
+            DeepFm::new(rng, FIELDS, DIM, &[64, 32])
+        });
         t.run()
     };
     let dcn = {
-        let mut t =
-            Trainer::new(config(), dataset(), |rng| DeepCross::new(rng, FIELDS, DIM, 3, &[64, 32]));
+        let mut t = Trainer::new(config(), dataset(), |rng| {
+            DeepCross::new(rng, FIELDS, DIM, 3, &[64, 32])
+        });
         t.run()
     };
 

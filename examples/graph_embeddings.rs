@@ -27,8 +27,9 @@ fn main() {
     config.lr = 0.6; // from-scratch node embeddings need an aggressive rate
     config.max_iterations = 3_000;
     config.eval_every = 600;
-    let mut trainer =
-        Trainer::new(config, dataset, move |rng| GraphSage::new(rng, 16, 32, n_classes));
+    let mut trainer = Trainer::new(config, dataset, move |rng| {
+        GraphSage::new(rng, 16, 32, n_classes)
+    });
     let report = trainer.run();
     println!(
         "HET Cache (s=100): accuracy {:.3} after {} iterations, {:.2} simulated s",
@@ -45,7 +46,10 @@ fn main() {
 
     // Policy × capacity sweep (the paper's Fig. 8 in miniature).
     println!("miss rate by cache size and policy (hub-skewed access):");
-    println!("{:>9} {:>10} {:>10} {:>10}", "capacity", "LRU", "LFU", "LightLFU");
+    println!(
+        "{:>9} {:>10} {:>10} {:>10}",
+        "capacity", "LRU", "LFU", "LightLFU"
+    );
     for frac in [0.03, 0.05, 0.10, 0.15] {
         let mut row = format!("{:>8.0}% ", frac * 100.0);
         for policy in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::LightLfu] {
@@ -56,8 +60,9 @@ fn main() {
             config.dim = 16;
             config.max_iterations = 800;
             config.eval_every = 10_000; // skip mid-run evals for speed
-            let mut trainer =
-                Trainer::new(config, dataset, move |rng| GraphSage::new(rng, 16, 32, classes));
+            let mut trainer = Trainer::new(config, dataset, move |rng| {
+                GraphSage::new(rng, 16, 32, classes)
+            });
             let r = trainer.run();
             row.push_str(&format!("{:>9.1}% ", 100.0 * r.cache.miss_rate()));
         }

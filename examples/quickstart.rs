@@ -29,7 +29,10 @@ fn run(preset: SystemPreset) -> TrainReport {
 fn main() {
     println!("== HET quickstart: WDL on a Criteo-like workload, 8 workers ==\n");
     let mut reports = Vec::new();
-    for preset in [SystemPreset::HetHybrid, SystemPreset::HetCache { staleness: 100 }] {
+    for preset in [
+        SystemPreset::HetHybrid,
+        SystemPreset::HetCache { staleness: 100 },
+    ] {
         let report = run(preset);
         println!(
             "{:<12}  sim time {:>8.2}s   AUC {:.4}   epoch time {:>7.2}s   comm fraction {:>5.1}%",

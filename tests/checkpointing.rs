@@ -19,7 +19,10 @@ fn export_restore_preserves_every_row() {
     let trainer = trained_trainer();
     let server = trainer.server();
     let rows = server.export_rows();
-    assert!(!rows.is_empty(), "training must have materialised embeddings");
+    assert!(
+        !rows.is_empty(),
+        "training must have materialised embeddings"
+    );
 
     // Round-trip through the wire format.
     let mut buf = Vec::new();
@@ -54,7 +57,10 @@ fn restored_model_predicts_identically() {
     let model = trainer.worker_model(0);
     let a = model.evaluate(&batch, &store_a);
     let b = model.evaluate(&batch, &store_b);
-    assert_eq!(a.scores, b.scores, "restored table must give identical predictions");
+    assert_eq!(
+        a.scores, b.scores,
+        "restored table must give identical predictions"
+    );
 }
 
 #[test]

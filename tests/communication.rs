@@ -18,8 +18,9 @@ fn run(preset: SystemPreset, iters: u64) -> TrainReport {
     config.dim = 32;
     config.max_iterations = iters;
     config.eval_every = iters; // only the final eval
-    let mut trainer =
-        Trainer::new(config, criteo_small(5), |rng| WideDeep::new(rng, 26, 32, &[32]));
+    let mut trainer = Trainer::new(config, criteo_small(5), |rng| {
+        WideDeep::new(rng, 26, 32, &[32])
+    });
     trainer.run()
 }
 
@@ -98,8 +99,9 @@ fn ten_gbe_shrinks_the_gap_but_not_the_bytes() {
         config.dim = 32;
         config.max_iterations = 200;
         config.eval_every = 200;
-        let mut t =
-            Trainer::new(config, criteo_small(9), |rng| WideDeep::new(rng, 26, 32, &[32]));
+        let mut t = Trainer::new(config, criteo_small(9), |rng| {
+            WideDeep::new(rng, 26, 32, &[32])
+        });
         t.run()
     };
     let slow = run_on(ClusterSpec::cluster_a(8, 1));

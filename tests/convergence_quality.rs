@@ -16,8 +16,7 @@ fn run_with_staleness(s: u64, iters: u64) -> TrainReport {
     config.lr = 0.1;
     config.max_iterations = iters;
     config.eval_every = iters;
-    let mut trainer =
-        Trainer::new(config, dataset, |rng| WideDeep::new(rng, 26, 16, &[32]));
+    let mut trainer = Trainer::new(config, dataset, |rng| WideDeep::new(rng, 26, 16, &[32]));
     trainer.run()
 }
 
@@ -26,7 +25,11 @@ fn moderate_staleness_preserves_quality() {
     // Table 2 (left): s=100 final AUC ≈ s=0 final AUC.
     let s0 = run_with_staleness(0, 1_600);
     let s100 = run_with_staleness(100, 1_600);
-    assert!(s0.final_metric > 0.55, "baseline should learn, got {}", s0.final_metric);
+    assert!(
+        s0.final_metric > 0.55,
+        "baseline should learn, got {}",
+        s0.final_metric
+    );
     assert!(
         (s0.final_metric - s100.final_metric).abs() < 0.05,
         "s=100 ({:.4}) should match s=0 ({:.4})",
@@ -66,8 +69,9 @@ fn lfu_beats_lru_on_skewed_access() {
         config.dim = 8;
         config.max_iterations = 400;
         config.eval_every = 400;
-        let mut trainer =
-            Trainer::new(config, dataset, move |rng| GraphSage::new(rng, 8, 16, classes));
+        let mut trainer = Trainer::new(config, dataset, move |rng| {
+            GraphSage::new(rng, 8, 16, classes)
+        });
         trainer.run()
     };
     let lru = run_policy(PolicyKind::Lru);
@@ -95,8 +99,9 @@ fn bigger_cache_lower_miss_rate() {
         config.dim = 8;
         config.max_iterations = 300;
         config.eval_every = 300;
-        let mut trainer =
-            Trainer::new(config, dataset, move |rng| GraphSage::new(rng, 8, 16, classes));
+        let mut trainer = Trainer::new(config, dataset, move |rng| {
+            GraphSage::new(rng, 8, 16, classes)
+        });
         trainer.run().cache.miss_rate()
     };
     let small = run_frac(0.03);
@@ -126,8 +131,7 @@ fn recency_policies_catch_up_under_popularity_drift() {
         config.dim = 8;
         config.max_iterations = 600;
         config.eval_every = 600;
-        let mut trainer =
-            Trainer::new(config, dataset, |rng| WideDeep::new(rng, 26, 8, &[16]));
+        let mut trainer = Trainer::new(config, dataset, |rng| WideDeep::new(rng, 26, 8, &[16]));
         trainer.run().cache.miss_rate()
     };
     // Stationary: LFU at or below LRU (the paper's Fig. 8 finding).

@@ -33,7 +33,10 @@ fn loss_decreases_monotonically_in_expectation() {
         "training loss must fall: {losses:?}"
     );
     // No catastrophic divergence anywhere along the curve.
-    assert!(losses.iter().all(|l| l.is_finite() && *l < 2.0), "{losses:?}");
+    assert!(
+        losses.iter().all(|l| l.is_finite() && *l < 2.0),
+        "{losses:?}"
+    );
 }
 
 #[test]
@@ -77,5 +80,8 @@ fn smaller_learning_rate_tolerates_more_staleness() {
     // Stability: the small-η run's loss curve never explodes (the
     // theorem guarantees convergence for small enough η at any bounded
     // s; it does not promise the small η wins within a fixed horizon).
-    assert!(small_lr.curve.iter().all(|p| p.train_loss.is_finite() && p.train_loss < 2.0));
+    assert!(small_lr
+        .curve
+        .iter()
+        .all(|p| p.train_loss.is_finite() && p.train_loss < 2.0));
 }

@@ -63,8 +63,22 @@ fn dataset_generation_is_stable_across_instances() {
 
 #[test]
 fn server_lazy_init_is_order_independent() {
-    let a = PsServer::new(PsConfig { dim: 8, n_shards: 4, lr: 0.1, seed: 5, optimizer: ServerOptimizer::Sgd, grad_clip: None });
-    let b = PsServer::new(PsConfig { dim: 8, n_shards: 4, lr: 0.1, seed: 5, optimizer: ServerOptimizer::Sgd, grad_clip: None });
+    let a = PsServer::new(PsConfig {
+        dim: 8,
+        n_shards: 4,
+        lr: 0.1,
+        seed: 5,
+        optimizer: ServerOptimizer::Sgd,
+        grad_clip: None,
+    });
+    let b = PsServer::new(PsConfig {
+        dim: 8,
+        n_shards: 4,
+        lr: 0.1,
+        seed: 5,
+        optimizer: ServerOptimizer::Sgd,
+        grad_clip: None,
+    });
     // Touch in opposite orders.
     for k in 0..100u64 {
         let _ = a.pull(k);

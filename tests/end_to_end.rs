@@ -86,13 +86,14 @@ fn graphsage_trains_under_het_cache() {
 #[test]
 fn het_cache_learns_above_chance() {
     // A longer run on the tiny workload must push AUC clearly above 0.5.
-    let mut config = tiny_config(SystemPreset::HetCache { staleness: 10 })
-        .with_cache(0.6, PolicyKind::LightLfu);
+    let mut config =
+        tiny_config(SystemPreset::HetCache { staleness: 10 }).with_cache(0.6, PolicyKind::LightLfu);
     config.max_iterations = 4_000;
     config.eval_every = 1_000;
     config.lr = 0.1;
-    let mut trainer =
-        Trainer::new(config, ctr_dataset(11), |rng| WideDeep::new(rng, 4, 8, &[16]));
+    let mut trainer = Trainer::new(config, ctr_dataset(11), |rng| {
+        WideDeep::new(rng, 4, 8, &[16])
+    });
     let report = trainer.run();
     assert!(
         report.final_metric > 0.6,
@@ -118,7 +119,9 @@ fn bsp_oracle_equivalence_at_zero_staleness() {
         config.cluster = ClusterSpec::cluster_a(1, 1);
         config.max_iterations = 60;
         config.eval_every = 20;
-        let mut t = Trainer::new(config, ctr_dataset(21), |rng| WideDeep::new(rng, 4, 8, &[16]));
+        let mut t = Trainer::new(config, ctr_dataset(21), |rng| {
+            WideDeep::new(rng, 4, 8, &[16])
+        });
         let report = t.run();
         (report, t)
     };
@@ -153,7 +156,9 @@ fn statistical_efficiency_shared_across_backbones() {
         let mut config = TrainerConfig::tiny(preset);
         config.max_iterations = 120;
         config.eval_every = 40;
-        let mut t = Trainer::new(config, ctr_dataset(31), |rng| WideDeep::new(rng, 4, 8, &[16]));
+        let mut t = Trainer::new(config, ctr_dataset(31), |rng| {
+            WideDeep::new(rng, 4, 8, &[16])
+        });
         t.run()
     };
     let het_hybrid = run(SystemPreset::HetHybrid);
