@@ -14,7 +14,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release (tier-1)"
 cargo build --release
 
-echo "==> cargo test -q (tier-1)"
-cargo test -q
+echo "==> cargo test -q (tier-1, per-package timing)"
+suite_start=$(date +%s)
+for pkg in het-json het-rng het-trace het-simnet het-tensor het-data \
+           het-ps het-cache het-models het-core het-bench het; do
+    pkg_start=$(date +%s)
+    cargo test -q -p "$pkg"
+    echo "    [timing] $pkg: $(($(date +%s) - pkg_start))s"
+done
+echo "    [timing] test suite total: $(($(date +%s) - suite_start))s"
+
+echo "==> trace schema validation (golden fixtures + byte-identity)"
+cargo test -q -p het --test trace_golden
 
 echo "CI green."

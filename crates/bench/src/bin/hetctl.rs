@@ -10,9 +10,9 @@
 //! `compare` additionally runs a baseline and prints speedups — the
 //! quickest way to poke at the paper's claims with custom parameters.
 
-use het_bench::{run_workload, RunSummary, Workload};
+use het_bench::{run_workload, run_workload_traced, RunSummary, Workload};
 use het_cache::PolicyKind;
-use het_core::config::SystemPreset;
+use het_core::config::{SystemPreset, TrainerConfig};
 use het_core::{FaultConfig, TrainReport};
 use het_simnet::{ClusterSpec, SimDuration};
 use std::process::ExitCode;
@@ -159,7 +159,8 @@ fn run_one(
     workload: Workload,
     preset: SystemPreset,
     args: &Args,
-) -> Result<(RunSummary, TrainReport), String> {
+    traced: bool,
+) -> Result<(RunSummary, TrainReport, Option<het_trace::TraceLog>), String> {
     let workers: usize = args.get_parsed("workers", 8)?;
     let servers: usize = args.get_parsed("servers", 1)?;
     let dim: usize = args.get_parsed("dim", 16)?;
@@ -171,7 +172,7 @@ fn run_one(
     let lr: f64 = args.get_parsed("lr", -1.0)?;
     let faults = fault_config_of(args)?;
 
-    let report = run_workload(workload, preset, &move |c| {
+    let tweak = move |c: &mut TrainerConfig| {
         c.cluster = match band.as_str() {
             "10gbe" => ClusterSpec::cluster_b(workers, servers),
             _ => ClusterSpec::cluster_a(workers, servers),
@@ -187,9 +188,15 @@ fn run_one(
         }
         *c = c.clone().with_cache(cache_frac, policy);
         c.faults = faults.clone();
-    });
+    };
+    let (report, log) = if traced {
+        let (report, log) = run_workload_traced(workload, preset, &tweak);
+        (report, Some(log))
+    } else {
+        (run_workload(workload, preset, &tweak), None)
+    };
     let summary = RunSummary::from_report(workload, report.system.as_str(), &report);
-    Ok((summary, report))
+    Ok((summary, report, log))
 }
 
 fn main() -> ExitCode {
@@ -208,6 +215,8 @@ fn main() -> ExitCode {
             println!("           --fault-crashes N --fault-outages N --fault-stragglers N");
             println!("           --fault-degradations N --fault-drop P --fault-horizon SECS");
             println!("           --fault-checkpoint-every ITERS");
+            println!("           --trace OUT.jsonl (structured event trace, het-trace-v1)");
+            println!("           --trace-chrome OUT.json (chrome://tracing view)");
             Ok(())
         }
         "train" | "compare" => (|| -> Result<(), String> {
@@ -216,12 +225,26 @@ fn main() -> ExitCode {
             let staleness: u64 = args.get_parsed("staleness", 100)?;
             let system_name = args.get("system").unwrap_or("het-cache").to_string();
             let preset = system_of(&system_name, staleness)?;
-            let (summary, report) = run_one(workload, preset, &args)?;
+            let trace_path = args.get("trace").map(str::to_string);
+            let chrome_path = args.get("trace-chrome").map(str::to_string);
+            let traced = trace_path.is_some() || chrome_path.is_some();
+            let (summary, report, log) = run_one(workload, preset, &args, traced)?;
             print_report(workload, &system_name, &summary, &report);
+            if let Some(log) = log {
+                if let Some(p) = &trace_path {
+                    std::fs::write(p, log.to_jsonl()).map_err(|e| format!("--trace {p}: {e}"))?;
+                    eprintln!("[trace jsonl] {p}");
+                }
+                if let Some(p) = &chrome_path {
+                    std::fs::write(p, het_trace::chrome::to_chrome_trace(&log))
+                        .map_err(|e| format!("--trace-chrome {p}: {e}"))?;
+                    eprintln!("[trace chrome] {p}");
+                }
+            }
             if command == "compare" {
                 let base_name = args.get("baseline").unwrap_or("het-hybrid").to_string();
                 let base_preset = system_of(&base_name, staleness)?;
-                let (base, base_report) = run_one(workload, base_preset, &args)?;
+                let (base, base_report, _) = run_one(workload, base_preset, &args, false)?;
                 println!("\n--- baseline ---");
                 print_report(workload, &base_name, &base, &base_report);
                 println!("\n--- comparison ---");

@@ -215,6 +215,36 @@ pub fn run_workload(
     }
 }
 
+/// [`run_workload`] with the observability layer switched on: the run
+/// is collected into a [`het_trace::TraceLog`] (JSONL / Chrome
+/// exportable) alongside the normal report. The trace carries the
+/// workload and system names plus the config seed as metadata, so a
+/// fixture file is self-describing. Tracing is scoped to this call —
+/// it is started here and torn down before returning, leaving the
+/// thread's trace state as it was.
+pub fn run_workload_traced(
+    workload: Workload,
+    preset: SystemPreset,
+    tweak: &dyn Fn(&mut TrainerConfig),
+) -> (TrainReport, het_trace::TraceLog) {
+    let mut probe = bench_config(preset);
+    tweak(&mut probe);
+    het_trace::start(vec![
+        (
+            "workload".to_string(),
+            het_json::Json::Str(workload.name().to_string()),
+        ),
+        (
+            "system".to_string(),
+            het_json::Json::Str(probe.system.name.to_string()),
+        ),
+        ("seed".to_string(), het_json::Json::UInt(probe.seed)),
+    ]);
+    let report = run_workload(workload, preset, tweak);
+    let log = het_trace::finish();
+    (report, log)
+}
+
 /// The systems compared throughout §5, in the paper's order.
 pub fn evaluated_systems() -> Vec<(&'static str, SystemPreset)> {
     vec![

@@ -74,11 +74,13 @@ impl CacheTable {
     /// Records a cache hit (the read was served locally).
     pub fn record_hit(&mut self) {
         self.stats.hits += 1;
+        het_trace::count!("cache", "hits");
     }
 
     /// Records a cache miss (the read needed a server fetch).
     pub fn record_miss(&mut self) {
         self.stats.misses += 1;
+        het_trace::count!("cache", "misses");
     }
 
     /// Immutable access to a resident entry.
@@ -115,6 +117,7 @@ impl CacheTable {
                 let e = self.entries.remove(&key).expect("resident entry");
                 self.policy.on_access(key);
                 self.stats.writebacks += 1;
+                het_trace::count!("cache", "writebacks");
                 Some(EvictedEntry {
                     pending_grad: e.pending_grad,
                     current_clock: e.current_clock,
@@ -127,6 +130,7 @@ impl CacheTable {
             }
             None => {
                 self.policy.on_insert(key);
+                het_trace::count!("cache", "installs");
                 None
             }
         };
@@ -175,8 +179,10 @@ impl CacheTable {
     pub fn evict(&mut self, key: Key) -> Option<EvictedEntry> {
         let e = self.entries.remove(&key)?;
         self.policy.on_remove(key);
+        het_trace::count!("cache", "evictions");
         if e.dirty {
             self.stats.writebacks += 1;
+            het_trace::count!("cache", "writebacks");
         }
         Some(EvictedEntry {
             pending_grad: e.pending_grad,
@@ -188,6 +194,7 @@ impl CacheTable {
     /// Marks an invalidation in the stats (failed `CheckValid`).
     pub fn record_invalidation(&mut self) {
         self.stats.invalidations += 1;
+        het_trace::count!("cache", "invalidations");
     }
 
     /// Capacity-pressure `Het.Cache.Evict()`: pops policy victims until
@@ -199,10 +206,13 @@ impl CacheTable {
                 break;
             };
             if let Some(e) = self.entries.remove(&victim) {
+                het_trace::count!("cache", "evictions");
                 if e.dirty {
                     self.stats.writebacks += 1;
+                    het_trace::count!("cache", "writebacks");
                 }
                 self.stats.capacity_evictions += 1;
+                het_trace::count!("cache", "capacity_evictions");
                 out.push((
                     victim,
                     EvictedEntry {
@@ -227,6 +237,10 @@ impl CacheTable {
         for k in keys {
             if let Some(e) = self.entries.remove(&k) {
                 self.policy.on_remove(k);
+                // Counter only (order-independent): this loop walks
+                // HashMap key order, so per-key events would break
+                // trace determinism.
+                het_trace::count!("cache", "crash_drops");
                 lost.push((
                     k,
                     EvictedEntry {

@@ -188,6 +188,84 @@ fn eviction_payload_equals_update_sum() {
     }
 }
 
+/// Trace counters mirror `CacheStats` exactly under randomised
+/// lookup/install/evict/invalidate/crash sequences, and the install
+/// ledger balances: every install is accounted for by an eviction, a
+/// crash drop, or final residency.
+#[test]
+fn trace_counters_reconcile_with_cache_stats() {
+    let mut rng = StdRng::seed_from_u64(0xCACE_0010);
+    for _ in 0..CASES {
+        het_trace::start(Vec::new());
+        let capacity = rng.gen_range(1usize..12);
+        let policy = [
+            PolicyKind::Lru,
+            PolicyKind::Lfu,
+            PolicyKind::LightLfu,
+            PolicyKind::Clock,
+        ][rng.gen_range(0usize..4)];
+        let mut table = CacheTable::new(capacity, policy, 0.1);
+        for _ in 0..rng.gen_range(0usize..160) {
+            let k = rng.gen_range(0u64..24);
+            match rng.gen_range(0u32..8) {
+                // A lookup: hit when resident, miss + fetch-install
+                // (plus capacity eviction) otherwise.
+                0..=2 => {
+                    if table.find(k) {
+                        table.record_hit();
+                        table.update(k, &[1.0; 4]);
+                        table.bump_clock(k);
+                    } else {
+                        table.record_miss();
+                        let displaced = table.install(k, vec![0.0; 4], 0);
+                        assert!(displaced.is_none());
+                        let _ = table.evict_overflow();
+                    }
+                }
+                // Refresh-install over a (possibly dirty) entry.
+                3 | 4 => {
+                    let _ = table.install(k, vec![0.0; 4], 1);
+                    let _ = table.evict_overflow();
+                }
+                5 => {
+                    let _ = table.evict(k);
+                }
+                // Invalidation resync: evict then record.
+                6 => {
+                    if table.find(k) {
+                        let _ = table.evict(k);
+                        table.record_invalidation();
+                    }
+                }
+                _ => {
+                    let _ = table.crash_clear();
+                }
+            }
+        }
+        let log = het_trace::finish();
+        let stats = *table.stats();
+        assert_eq!(log.counter("cache", "hits"), stats.hits);
+        assert_eq!(log.counter("cache", "misses"), stats.misses);
+        assert_eq!(log.counter("cache", "writebacks"), stats.writebacks);
+        assert_eq!(log.counter("cache", "invalidations"), stats.invalidations);
+        assert_eq!(
+            log.counter("cache", "capacity_evictions"),
+            stats.capacity_evictions
+        );
+        assert_eq!(
+            log.counter("cache", "hits") + log.counter("cache", "misses"),
+            stats.lookups()
+        );
+        assert_eq!(
+            log.counter("cache", "installs"),
+            log.counter("cache", "evictions")
+                + log.counter("cache", "crash_drops")
+                + table.len() as u64,
+            "install ledger out of balance"
+        );
+    }
+}
+
 /// The local view always equals install value − lr · (sum of
 /// gradients): read-my-updates as arithmetic.
 #[test]

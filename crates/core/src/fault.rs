@@ -205,6 +205,7 @@ impl FaultContext<'_> {
                 break;
             }
             self.stats.retries += 1;
+            het_trace::count!("trainer", "msg_drops");
             record(bytes);
             total += self.retry_backoff * (1u64 << attempt.min(16)) + leg;
             attempt += 1;
@@ -221,7 +222,12 @@ impl FaultContext<'_> {
         }
         let end = self.plan.shard_outage_end(shard, self.now)?;
         self.stats.blocked_ops += 1;
-        Some(end.since(self.now))
+        let wait = end.since(self.now);
+        // The ambient scope is already (self.now, worker) — the trainer
+        // sets it at the top of each read/write phase.
+        het_trace::event!("trainer", "blocked_wait",
+            "shard" => shard, "wait_ns" => wait.as_nanos());
+        Some(wait)
     }
 
     /// True when `shard` is down at this step's clock (without touching
@@ -234,6 +240,7 @@ impl FaultContext<'_> {
     /// outage).
     pub fn record_degraded_read(&mut self) {
         self.stats.degraded_reads += 1;
+        het_trace::count!("trainer", "degraded_reads");
     }
 }
 

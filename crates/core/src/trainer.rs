@@ -128,6 +128,10 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             let mut store = ShardCheckpointStore::new(n_shards, config.dim);
             store.checkpoint_all(&server).expect("in-memory checkpoint");
             fault_stats.checkpoints += 1;
+            if het_trace::enabled() {
+                het_trace::set_scope(0, None);
+                het_trace::event!("ps", "checkpoint", "iteration" => 0u64);
+            }
             store
         });
         let pending_crashes: Vec<Vec<(SimTime, SimDuration)>> = (0..config.cluster.n_workers)
@@ -270,6 +274,10 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             *last_checkpoint_iter = *global_iterations;
             store.checkpoint_all(server).expect("in-memory checkpoint");
             fault_stats.checkpoints += 1;
+            if het_trace::enabled() {
+                het_trace::set_scope(now.as_nanos(), None);
+                het_trace::event!("ps", "checkpoint", "iteration" => *global_iterations);
+            }
         }
         while *next_outage < outages.len() && outages[*next_outage].1 <= now {
             let (shard, at, failover) = outages[*next_outage];
@@ -281,6 +289,15 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             fault_stats.rows_restored += outcome.rows_restored as u64;
             fault_stats.keys_lost += outcome.keys_lost as u64;
             fault_stats.lost_updates += outcome.lost_updates;
+            if het_trace::enabled() {
+                het_trace::set_scope(at.as_nanos(), None);
+                het_trace::event!("ps", "failover",
+                    "shard" => shard,
+                    "rows_restored" => outcome.rows_restored,
+                    "keys_lost" => outcome.keys_lost,
+                    "lost_updates" => outcome.lost_updates,
+                    "failover_ns" => failover.as_nanos());
+            }
             fault_events.push(FaultRecord {
                 at,
                 description: format!(
@@ -325,6 +342,14 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         fault_stats.worker_crashes += 1;
         fault_stats.dirty_entries_lost += dirty;
         fault_stats.pending_updates_lost += ticks;
+        if het_trace::enabled() {
+            het_trace::set_scope(at.as_nanos(), Some(w as u64));
+            het_trace::event!("trainer", "worker_crash",
+                "entries_lost" => entries,
+                "dirty_lost" => dirty,
+                "ticks_lost" => ticks,
+                "restart_ns" => restart.as_nanos());
+        }
         fault_events.push(FaultRecord {
             at,
             description: format!(
@@ -351,6 +376,9 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         } = self;
         let worker = &mut workers[w];
         let now = worker.clock;
+        if het_trace::enabled() {
+            het_trace::set_scope(now.as_nanos(), Some(w as u64));
+        }
         let mut ctx = (!plan.is_empty()).then(|| FaultContext {
             plan,
             now,
@@ -360,7 +388,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             ops: &mut worker_ops[w],
             stats: fault_stats,
         });
-        match &mut worker.sparse {
+        let (store, t_read) = match &mut worker.sparse {
             SparseEngine::Direct(c) => {
                 c.read_faulty(keys, server, net, &mut worker.comm, ctx.as_mut())
             }
@@ -374,7 +402,9 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
                 }
                 (store, SimDuration::ZERO)
             }
-        }
+        };
+        het_trace::span!("trainer", "read", t_read.as_nanos(), "keys" => keys.len());
+        (store, t_read)
     }
 
     /// Phase 2 of an iteration: compute + sparse write. Returns the
@@ -399,6 +429,10 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             if sf != 1.0 {
                 compute = compute * sf;
                 self.fault_stats.straggler_slow_iters += 1;
+                if het_trace::enabled() {
+                    het_trace::set_scope(self.workers[w].clock.as_nanos(), Some(w as u64));
+                    het_trace::event!("trainer", "straggler_slow", "factor" => sf);
+                }
             }
         }
         let max_retries = self.config.faults.max_retries;
@@ -419,6 +453,9 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         worker.loss_count += 1;
 
         let now = worker.clock;
+        if het_trace::enabled() {
+            het_trace::set_scope(now.as_nanos(), Some(w as u64));
+        }
         let mut ctx = (!plan.is_empty()).then(|| FaultContext {
             plan,
             now,
@@ -444,6 +481,8 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         worker.breakdown.sparse_read += read_time;
         worker.breakdown.compute += compute;
         worker.breakdown.sparse_write += write;
+        het_trace::span!("trainer", "compute", compute.as_nanos(), "loss" => loss as f64);
+        het_trace::span!("trainer", "write", write.as_nanos());
         (
             IterTiming {
                 read: read_time,
@@ -467,6 +506,9 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             return SimDuration::ZERO;
         };
         let worker = &mut workers[w];
+        if het_trace::enabled() {
+            het_trace::set_scope(worker.clock.as_nanos(), Some(w as u64));
+        }
         let mut grads = FlatGrads::new();
         grads.export_from(&mut worker.model);
         store.push(grads.as_slice());
@@ -479,6 +521,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         worker.comm.record(CommCategory::DensePs, bytes);
         let t = net.ps_transfer(bytes) * 2;
         worker.breakdown.dense_sync += t;
+        het_trace::span!("trainer", "dense_sync", t.as_nanos(), "bytes" => bytes * 2);
         t
     }
 
@@ -499,7 +542,10 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         let t = self.net.ring_allreduce(bytes);
         let per_worker_bytes = self.net.ring_allreduce_bytes_per_worker(bytes);
         let sgd = self.sgd;
-        for worker in &mut self.workers {
+        for (i, worker) in self.workers.iter_mut().enumerate() {
+            if het_trace::enabled() {
+                het_trace::set_scope(worker.clock.as_nanos(), Some(i as u64));
+            }
             sum.import_into(&mut worker.model);
             sgd.step(&mut worker.model);
             if per_worker_bytes > 0 {
@@ -519,7 +565,10 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         let net = self.net;
         let mut merged = SparseGrads::new(dim);
         let mut max_block = 0u64;
-        for (grads, worker) in gathered.iter().zip(&mut self.workers) {
+        for (i, (grads, worker)) in gathered.iter().zip(&mut self.workers).enumerate() {
+            if het_trace::enabled() {
+                het_trace::set_scope(worker.clock.as_nanos(), Some(i as u64));
+            }
             let block = wire::sparse_allgather_block_bytes(grads.len(), dim);
             max_block = max_block.max(block);
             let bytes = net.allgather_bytes_per_worker(block);
@@ -585,6 +634,13 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         for w in &mut self.workers {
             w.loss_sum = 0.0;
             w.loss_count = 0;
+        }
+        if het_trace::enabled() {
+            het_trace::set_scope(sim_time.as_nanos(), None);
+            het_trace::event!("trainer", "eval",
+                "iteration" => self.global_iterations,
+                "metric" => metric,
+                "train_loss" => train_loss);
         }
         self.curve.push(ConvergencePoint {
             sim_time,
@@ -665,6 +721,11 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             }
             let round_time = span_max + barrier_time + restart_penalty;
             let now = round_start + round_time;
+            if het_trace::enabled() {
+                het_trace::set_scope((round_start + span_max).as_nanos(), None);
+                het_trace::span!("trainer", "barrier", barrier_time.as_nanos(),
+                    "round_iters" => n, "round_end_ns" => now.as_nanos());
+            }
             for worker in &mut self.workers {
                 worker.clock = now;
             }
@@ -696,6 +757,11 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
                         .peek_time()
                         .map(|pt| pt + SimDuration::from_nanos(1))
                         .unwrap_or(t + SimDuration::from_nanos(1));
+                    if het_trace::enabled() {
+                        het_trace::set_scope(t.as_nanos(), Some(w as u64));
+                        het_trace::event!("trainer", "ssp_block",
+                            "retry_ns" => retry.as_nanos());
+                    }
                     queue.push(retry, w);
                     continue;
                 }
@@ -752,11 +818,15 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             ..
         } = &mut *self;
         let (server, net) = (&*server, &*net);
-        for worker in workers.iter_mut() {
+        for (i, worker) in workers.iter_mut().enumerate() {
             if let SparseEngine::Cached(c) = &mut worker.sparse {
+                if het_trace::enabled() {
+                    het_trace::set_scope(worker.clock.as_nanos(), Some(i as u64));
+                }
                 let t = c.flush(server, net, &mut worker.comm);
                 worker.breakdown.sparse_write += t;
                 worker.clock += t;
+                het_trace::span!("trainer", "flush", t.as_nanos());
             }
         }
         let final_metric = self.evaluate_now();

@@ -19,6 +19,7 @@
 //! | substrate | [`cache`] | the cache table, clocks, LRU/LFU/LightLFU |
 //! | framework | [`core`] | HET client, consistency model, trainer |
 //! | models | [`models`] | WDL, DeepFM, DCN, GraphSAGE |
+//! | observability | [`trace`] | deterministic structured event traces |
 //!
 //! ## Quickstart
 //!
@@ -45,10 +46,12 @@
 pub use het_cache as cache;
 pub use het_core as core;
 pub use het_data as data;
+pub use het_json as json;
 pub use het_models as models;
 pub use het_ps as ps;
 pub use het_simnet as simnet;
 pub use het_tensor as tensor;
+pub use het_trace as trace;
 
 /// The most common imports in one place.
 pub mod prelude {

@@ -2,9 +2,9 @@
 //!
 //! The repo builds hermetically (no crate registry), so this crate
 //! stands in for the slice of `serde`/`serde_json` the workspace used:
-//! turning report and benchmark-row structs into JSON strings. There is
-//! no deserialisation — experiment JSON is consumed by external
-//! plotting tools, never read back.
+//! turning report and benchmark-row structs into JSON strings, plus a
+//! small recursive-descent parser ([`from_str`]) used by the trace
+//! schema validator to read emitted JSONL back.
 //!
 //! Structs opt in by implementing [`ToJson`], usually via the
 //! [`impl_to_json!`] macro which maps named fields 1:1 to object keys
@@ -292,6 +292,284 @@ macro_rules! impl_to_json {
     };
 }
 
+/// Error from [`from_str`]: what went wrong and the byte offset where.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one JSON document. Integers that fit become [`Json::UInt`] /
+/// [`Json::Int`]; anything with a fraction or exponent becomes
+/// [`Json::Num`]. Trailing non-whitespace input is an error.
+pub fn from_str(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null", Json::Null),
+            Some(b't') => self.expect_literal("true", Json::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Json::Bool(false)),
+            Some(b'"') => self.parse_string().map(Json::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require a low surrogate.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.parse_hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.err("unknown escape character")),
+                    }
+                }
+                // Multi-byte UTF-8 continuation: the input is a &str, so
+                // raw bytes are valid UTF-8; copy them through.
+                _ if b < 0x20 => return Err(self.err("raw control character in string")),
+                _ => {
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    // Safe: start..end is a char boundary-to-boundary slice.
+                    out.push_str(std::str::from_utf8(&self.bytes[start..end]).map_err(|_| {
+                        ParseError {
+                            offset: start,
+                            message: "invalid UTF-8".to_string(),
+                        }
+                    })?);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, ParseError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .ok()
+            .and_then(|s| u32::from_str_radix(s, 16).ok());
+        match hex {
+            Some(v) => {
+                self.pos += 4;
+                Ok(v)
+            }
+            None => Err(self.err("invalid \\u escape")),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        if integral {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) => Ok(Json::Num(x)),
+            Err(_) => Err(ParseError {
+                offset: start,
+                message: "invalid number".to_string(),
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,5 +628,93 @@ mod tests {
     fn fixed_arrays_encode() {
         let a: [u64; 3] = [4, 5, 6];
         assert_eq!(to_string(&a), "[4,5,6]");
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(from_str("null").unwrap(), Json::Null);
+        assert_eq!(from_str("true").unwrap(), Json::Bool(true));
+        assert_eq!(from_str(" false ").unwrap(), Json::Bool(false));
+        assert_eq!(from_str("42").unwrap(), Json::UInt(42));
+        assert_eq!(from_str("-7").unwrap(), Json::Int(-7));
+        assert_eq!(from_str("1.5").unwrap(), Json::Num(1.5));
+        assert_eq!(from_str("2.0").unwrap(), Json::Num(2.0));
+        assert_eq!(from_str("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(from_str("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parse_huge_integers_degrade_to_float() {
+        assert_eq!(
+            from_str("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX)
+        );
+        assert!(matches!(
+            from_str("18446744073709551616").unwrap(),
+            Json::Num(_)
+        ));
+        assert_eq!(
+            from_str("-9223372036854775808").unwrap(),
+            Json::Int(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        assert_eq!(
+            from_str(r#""a\"b\\c\nd\u0041""#).unwrap(),
+            Json::Str("a\"b\\c\ndA".into())
+        );
+        assert_eq!(
+            from_str(r#""\ud83d\ude00""#).unwrap(),
+            Json::Str("\u{1F600}".into())
+        );
+        assert_eq!(from_str("\"héllo\"").unwrap(), Json::Str("héllo".into()));
+    }
+
+    #[test]
+    fn parse_nested_structures() {
+        let v = from_str(r#"{"a":[1,2,{"b":null}],"c":true}"#).unwrap();
+        assert_eq!(
+            v,
+            Json::Obj(vec![
+                (
+                    "a".into(),
+                    Json::Arr(vec![
+                        Json::UInt(1),
+                        Json::UInt(2),
+                        Json::Obj(vec![("b".into(), Json::Null)]),
+                    ])
+                ),
+                ("c".into(), Json::Bool(true)),
+            ])
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_encoder_output() {
+        let original = Json::Obj(vec![
+            ("type".into(), Json::Str("event".into())),
+            ("t".into(), Json::UInt(123_456_789)),
+            ("w".into(), Json::Null),
+            ("metric".into(), Json::Num(0.75)),
+            ("neg".into(), Json::Int(-3)),
+            ("fields".into(), Json::Obj(vec![])),
+            ("tags".into(), Json::Arr(vec![Json::Str("a\"b\n".into())])),
+        ]);
+        let encoded = original.encode();
+        assert_eq!(from_str(&encoded).unwrap(), original);
+        let pretty = original.encode_pretty();
+        assert_eq!(from_str(&pretty).unwrap(), original);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "", "{", "[1,", "tru", "\"abc", "{\"a\"}", "1 2", "{'a':1}", "[1 2]", "\"\\x\"",
+            "nulll",
+        ] {
+            assert!(from_str(bad).is_err(), "should reject {bad:?}");
+        }
     }
 }

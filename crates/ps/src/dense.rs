@@ -43,6 +43,7 @@ impl DenseStore {
 
     /// Pulls the full parameter vector and its version.
     pub fn pull(&self) -> (Vec<f32>, u64) {
+        het_trace::count!("ps", "dense_pulls");
         let g = self.inner.read();
         (g.params.clone(), g.version)
     }
@@ -52,6 +53,7 @@ impl DenseStore {
     /// # Panics
     /// Panics on length mismatch.
     pub fn push(&self, grad: &[f32]) {
+        het_trace::count!("ps", "dense_pushes");
         let mut g = self.inner.write();
         assert_eq!(grad.len(), g.params.len(), "dense gradient length mismatch");
         for (p, &d) in g.params.iter_mut().zip(grad) {

@@ -70,6 +70,15 @@ impl ShardCheckpointStore {
         let mut buf = Vec::new();
         write_checkpoint(&mut buf, self.dim, &rows)?;
         self.blobs[shard] = Some(buf);
+        if het_trace::enabled() {
+            het_trace::counter_add_at("ps", "checkpoint_shards", Some(shard as u64), 1);
+            het_trace::counter_add_at(
+                "ps",
+                "checkpoint_rows",
+                Some(shard as u64),
+                rows.len() as u64,
+            );
+        }
         Ok(rows.len())
     }
 
@@ -86,6 +95,7 @@ impl ShardCheckpointStore {
     /// the last checkpoint — or to empty if none was ever taken. The
     /// outcome reports exactly what the failover lost.
     pub fn fail_and_restore(&self, server: &PsServer, shard: usize) -> io::Result<FailoverOutcome> {
+        het_trace::counter_add_at("ps", "failovers", Some(shard as u64), 1);
         let live = server.clear_shard(shard);
         let rows = match &self.blobs[shard] {
             Some(blob) => read_checkpoint(blob.as_slice())?.1,

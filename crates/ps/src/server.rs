@@ -156,6 +156,9 @@ impl PsServer {
 
     /// Pulls one embedding, lazily initialising it on first touch.
     pub fn pull(&self, key: Key) -> PullResult {
+        if het_trace::enabled() {
+            het_trace::counter_add_at("ps", "pulls", Some(self.shard_index_of(key) as u64), 1);
+        }
         let shard = self.shard_of(key);
         {
             let guard = shard.read();
@@ -191,6 +194,9 @@ impl PsServer {
     /// Panics if the gradient length differs from the configured dim.
     pub fn push_with_clock(&self, key: Key, grad: &[f32], candidate_clock: u64) {
         assert_eq!(grad.len(), self.config.dim, "gradient dimension mismatch");
+        if het_trace::enabled() {
+            het_trace::counter_add_at("ps", "pushes", Some(self.shard_index_of(key) as u64), 1);
+        }
         let (lr, opt) = (self.config.lr, self.config.optimizer);
         let mut scratch = Vec::new();
         let grad = clipped(grad, self.config.grad_clip, &mut scratch);
@@ -212,6 +218,9 @@ impl PsServer {
     /// Panics if the gradient length differs from the configured dim.
     pub fn push_inc(&self, key: Key, grad: &[f32]) {
         assert_eq!(grad.len(), self.config.dim, "gradient dimension mismatch");
+        if het_trace::enabled() {
+            het_trace::counter_add_at("ps", "pushes", Some(self.shard_index_of(key) as u64), 1);
+        }
         let (lr, opt) = (self.config.lr, self.config.optimizer);
         let mut scratch = Vec::new();
         let grad = clipped(grad, self.config.grad_clip, &mut scratch);
@@ -229,6 +238,14 @@ impl PsServer {
     /// The global clock of a key (0 for never-touched keys). This is the
     /// clock-only query behind `CheckValid` condition (2).
     pub fn clock_of(&self, key: Key) -> u64 {
+        if het_trace::enabled() {
+            het_trace::counter_add_at(
+                "ps",
+                "clock_queries",
+                Some(self.shard_index_of(key) as u64),
+                1,
+            );
+        }
         self.shard_of(key)
             .read()
             .table

@@ -59,11 +59,16 @@ impl<T> EventQueue<T> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, payload });
+        het_trace::counter_add_at("simnet", "evq_push", None, 1);
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        self.heap.pop().map(|e| (e.time, e.payload))
+        let popped = self.heap.pop().map(|e| (e.time, e.payload));
+        if popped.is_some() {
+            het_trace::counter_add_at("simnet", "evq_pop", None, 1);
+        }
+        popped
     }
 
     /// The time of the earliest event without removing it.

@@ -102,6 +102,26 @@ impl CommStats {
         let i = category.index();
         self.bytes[i] = self.bytes[i].saturating_add(bytes);
         self.messages[i] = self.messages[i].saturating_add(1);
+        if het_trace::enabled() {
+            const BYTE_COUNTERS: [&str; 6] = [
+                "bytes_embedding_fetch",
+                "bytes_embedding_push",
+                "bytes_clock_sync",
+                "bytes_dense_ps",
+                "bytes_dense_allreduce",
+                "bytes_sparse_allgather",
+            ];
+            const MSG_COUNTERS: [&str; 6] = [
+                "msgs_embedding_fetch",
+                "msgs_embedding_push",
+                "msgs_clock_sync",
+                "msgs_dense_ps",
+                "msgs_dense_allreduce",
+                "msgs_sparse_allgather",
+            ];
+            het_trace::counter_add("simnet", BYTE_COUNTERS[i], bytes);
+            het_trace::counter_add("simnet", MSG_COUNTERS[i], 1);
+        }
     }
 
     /// Bytes recorded in one category.

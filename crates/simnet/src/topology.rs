@@ -94,6 +94,7 @@ impl Collectives {
     /// worker-to-server ratio (every worker transfers each iteration, so
     /// in steady state the server links divide among them).
     pub fn ps_transfer(&self, bytes: u64) -> SimDuration {
+        het_trace::counter_add("simnet", "ps_transfers", 1);
         let shards = self.spec.n_servers.max(1) as u64;
         let per_shard = bytes.div_ceil(shards);
         let contention = if self.spec.shared_server_bandwidth {
@@ -114,6 +115,7 @@ impl Collectives {
     /// latency-optimal double binary tree (`2·⌈log₂N⌉` rounds of the
     /// full payload) for small ones — whichever is cheaper.
     pub fn ring_allreduce(&self, bytes: u64) -> SimDuration {
+        het_trace::counter_add_at("simnet", "allreduces", None, 1);
         let n = self.spec.n_workers.max(1) as u64;
         if n == 1 {
             return SimDuration::ZERO;
@@ -130,6 +132,7 @@ impl Collectives {
     /// AllGather: every worker ends up with all `N` blocks of
     /// `block_bytes`. Each worker receives `N−1` blocks in `N−1` rounds.
     pub fn allgather(&self, block_bytes: u64) -> SimDuration {
+        het_trace::counter_add_at("simnet", "allgathers", None, 1);
         let n = self.spec.n_workers.max(1) as u64;
         if n == 1 {
             return SimDuration::ZERO;

@@ -1,0 +1,132 @@
+//! Chrome `trace_event` export.
+//!
+//! Converts a [`TraceLog`](crate::TraceLog) into the JSON object format
+//! consumed by `chrome://tracing` and Perfetto: spans become complete
+//! (`"ph":"X"`) events, instants become `"ph":"i"`, and final counter
+//! values are appended as one `"ph":"C"` sample at the end of the
+//! timeline. Timestamps are microseconds (the format's unit); the
+//! simulated worker index is mapped to the thread id so each worker
+//! gets its own track.
+
+use crate::TraceLog;
+use het_json::Json;
+
+/// Renders the log as a Chrome `trace_event` JSON document
+/// (`{"traceEvents":[...]}`), loadable in `chrome://tracing`.
+pub fn to_chrome_trace(log: &TraceLog) -> String {
+    let mut events = Vec::new();
+    let mut t_end_us = 0.0f64;
+    for e in &log.events {
+        let ts = e.t_ns as f64 / 1_000.0;
+        let tid = e.worker.unwrap_or(u64::MAX); // global events on their own track
+        let mut obj = vec![
+            (
+                "name".to_string(),
+                Json::Str(format!("{}.{}", e.comp, e.name)),
+            ),
+            ("cat".to_string(), Json::Str(e.comp.to_string())),
+            ("pid".to_string(), Json::UInt(0)),
+            ("tid".to_string(), Json::UInt(tid)),
+            ("ts".to_string(), Json::Num(ts)),
+        ];
+        match e.dur_ns {
+            Some(dur) => {
+                let dur_us = dur as f64 / 1_000.0;
+                obj.push(("ph".to_string(), Json::Str("X".to_string())));
+                obj.push(("dur".to_string(), Json::Num(dur_us)));
+                t_end_us = t_end_us.max(ts + dur_us);
+            }
+            None => {
+                obj.push(("ph".to_string(), Json::Str("i".to_string())));
+                obj.push(("s".to_string(), Json::Str("t".to_string())));
+                t_end_us = t_end_us.max(ts);
+            }
+        }
+        if !e.fields.is_empty() {
+            obj.push((
+                "args".to_string(),
+                Json::Obj(
+                    e.fields
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.to_json()))
+                        .collect(),
+                ),
+            ));
+        }
+        events.push(Json::Obj(obj));
+    }
+    for c in &log.counters {
+        let name = match c.idx {
+            Some(idx) => format!("{}.{}[{}]", c.comp, c.name, idx),
+            None => format!("{}.{}", c.comp, c.name),
+        };
+        events.push(Json::Obj(vec![
+            ("name".to_string(), Json::Str(name)),
+            ("cat".to_string(), Json::Str(c.comp.to_string())),
+            ("ph".to_string(), Json::Str("C".to_string())),
+            ("pid".to_string(), Json::UInt(0)),
+            ("tid".to_string(), Json::UInt(0)),
+            ("ts".to_string(), Json::Num(t_end_us)),
+            (
+                "args".to_string(),
+                Json::Obj(vec![("value".to_string(), Json::UInt(c.value))]),
+            ),
+        ]));
+    }
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(events)),
+        ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+    ])
+    .encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CounterEntry, TraceEvent, Value};
+
+    #[test]
+    fn chrome_export_is_parseable_and_shaped() {
+        let log = TraceLog {
+            meta: vec![],
+            events: vec![
+                TraceEvent {
+                    t_ns: 2_000,
+                    worker: Some(1),
+                    comp: "trainer",
+                    name: "read",
+                    dur_ns: Some(1_500),
+                    fields: vec![("keys", Value::UInt(4))],
+                },
+                TraceEvent {
+                    t_ns: 5_000,
+                    worker: None,
+                    comp: "ps",
+                    name: "failover",
+                    dur_ns: None,
+                    fields: vec![],
+                },
+            ],
+            counters: vec![CounterEntry {
+                comp: "cache",
+                name: "hits",
+                idx: Some(0),
+                value: 9,
+            }],
+        };
+        let doc = to_chrome_trace(&log);
+        let parsed = het_json::from_str(&doc).unwrap();
+        let Json::Obj(fields) = parsed else {
+            panic!("expected object")
+        };
+        let Some((_, Json::Arr(events))) = fields.iter().find(|(k, _)| k == "traceEvents") else {
+            panic!("missing traceEvents")
+        };
+        assert_eq!(events.len(), 3);
+        let encoded = doc;
+        assert!(encoded.contains(r#""ph":"X""#));
+        assert!(encoded.contains(r#""ph":"i""#));
+        assert!(encoded.contains(r#""ph":"C""#));
+        assert!(encoded.contains(r#""name":"cache.hits[0]""#));
+    }
+}

@@ -1,0 +1,227 @@
+//! Validator for the `het-trace-v1` JSONL schema.
+//!
+//! Used by the golden-trace regression tests and the CI gate: committed
+//! fixture files and freshly generated traces must both pass. The
+//! validator checks line-level shape (required keys, value types), the
+//! meta header, and cross-line ordering (meta first, counters after the
+//! last event, counters sorted).
+
+use het_json::Json;
+use std::collections::BTreeSet;
+
+/// What a valid trace contained, for coverage assertions.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Number of event lines (spans + instants).
+    pub events: usize,
+    /// Number of span lines (events with a `dur`).
+    pub spans: usize,
+    /// Number of counter lines.
+    pub counters: usize,
+    /// Distinct components seen across events and counters.
+    pub components: BTreeSet<String>,
+    /// Distinct `comp.name` event kinds seen.
+    pub event_kinds: BTreeSet<String>,
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn require_str(obj: &[(String, Json)], key: &str, line: usize) -> Result<String, String> {
+    match get(obj, key) {
+        Some(Json::Str(s)) if !s.is_empty() => Ok(s.clone()),
+        Some(_) => Err(format!(
+            "line {line}: field '{key}' must be a non-empty string"
+        )),
+        None => Err(format!("line {line}: missing field '{key}'")),
+    }
+}
+
+fn require_uint(obj: &[(String, Json)], key: &str, line: usize) -> Result<u64, String> {
+    match get(obj, key) {
+        Some(Json::UInt(n)) => Ok(*n),
+        Some(_) => Err(format!(
+            "line {line}: field '{key}' must be an unsigned integer"
+        )),
+        None => Err(format!("line {line}: missing field '{key}'")),
+    }
+}
+
+fn require_uint_or_null(
+    obj: &[(String, Json)],
+    key: &str,
+    line: usize,
+) -> Result<Option<u64>, String> {
+    match get(obj, key) {
+        Some(Json::UInt(n)) => Ok(Some(*n)),
+        Some(Json::Null) => Ok(None),
+        Some(_) => Err(format!("line {line}: field '{key}' must be uint or null")),
+        None => Err(format!("line {line}: missing field '{key}'")),
+    }
+}
+
+/// Validates a full JSONL trace document against `het-trace-v1`.
+/// Returns a [`TraceSummary`] on success and a message naming the first
+/// offending line on failure.
+pub fn validate_jsonl(input: &str) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    let mut saw_meta = false;
+    let mut in_counter_tail = false;
+    let mut last_counter_key: Option<(String, String, Option<u64>)> = None;
+
+    for (i, raw) in input.lines().enumerate() {
+        let line = i + 1;
+        if raw.trim().is_empty() {
+            return Err(format!("line {line}: blank line in trace"));
+        }
+        let parsed =
+            het_json::from_str(raw).map_err(|e| format!("line {line}: not valid JSON ({e})"))?;
+        let Json::Obj(obj) = parsed else {
+            return Err(format!("line {line}: every trace line must be an object"));
+        };
+        let kind = require_str(&obj, "type", line)?;
+        if line == 1 {
+            if kind != "meta" {
+                return Err("line 1: first line must have type 'meta'".to_string());
+            }
+            let schema = require_str(&obj, "schema", line)?;
+            if schema != crate::SCHEMA_VERSION {
+                return Err(format!(
+                    "line 1: schema '{schema}' != expected '{}'",
+                    crate::SCHEMA_VERSION
+                ));
+            }
+            saw_meta = true;
+            continue;
+        }
+        match kind.as_str() {
+            "meta" => return Err(format!("line {line}: duplicate meta line")),
+            "event" => {
+                if in_counter_tail {
+                    return Err(format!(
+                        "line {line}: event after counter tail (counters must come last)"
+                    ));
+                }
+                require_uint(&obj, "t", line)?;
+                require_uint_or_null(&obj, "w", line)?;
+                let comp = require_str(&obj, "comp", line)?;
+                let name = require_str(&obj, "name", line)?;
+                if let Some(dur) = get(&obj, "dur") {
+                    if !matches!(dur, Json::UInt(_)) {
+                        return Err(format!("line {line}: 'dur' must be an unsigned integer"));
+                    }
+                    summary.spans += 1;
+                }
+                match get(&obj, "fields") {
+                    Some(Json::Obj(_)) => {}
+                    Some(_) => return Err(format!("line {line}: 'fields' must be an object")),
+                    None => return Err(format!("line {line}: missing field 'fields'")),
+                }
+                summary.events += 1;
+                summary.event_kinds.insert(format!("{comp}.{name}"));
+                summary.components.insert(comp);
+            }
+            "counter" => {
+                in_counter_tail = true;
+                let comp = require_str(&obj, "comp", line)?;
+                let name = require_str(&obj, "name", line)?;
+                let idx = require_uint_or_null(&obj, "idx", line)?;
+                require_uint(&obj, "value", line)?;
+                let key = (comp.clone(), name, idx);
+                if let Some(prev) = &last_counter_key {
+                    if *prev >= key {
+                        return Err(format!(
+                            "line {line}: counters out of sorted (comp,name,idx) order"
+                        ));
+                    }
+                }
+                last_counter_key = Some(key);
+                summary.counters += 1;
+                summary.components.insert(comp);
+            }
+            other => return Err(format!("line {line}: unknown line type '{other}'")),
+        }
+    }
+    if !saw_meta {
+        return Err("empty trace: missing meta line".to_string());
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use het_json::Json;
+
+    fn sample_log() -> crate::TraceLog {
+        crate::start(vec![("seed".to_string(), Json::UInt(1))]);
+        crate::set_scope(5, Some(0));
+        crate::emit("trainer", "read", Some(3), vec![]);
+        crate::emit(
+            "ps",
+            "failover",
+            None,
+            vec![("shard", crate::Value::UInt(1))],
+        );
+        crate::counter_add("cache", "hits", 2);
+        crate::counter_add_at("ps", "pull", Some(1), 1);
+        crate::finish()
+    }
+
+    #[test]
+    fn valid_trace_summarises() {
+        let jsonl = sample_log().to_jsonl();
+        let s = validate_jsonl(&jsonl).unwrap();
+        assert_eq!(s.events, 2);
+        assert_eq!(s.spans, 1);
+        assert_eq!(s.counters, 2);
+        assert!(s.components.contains("trainer"));
+        assert!(s.components.contains("cache"));
+        assert!(s.event_kinds.contains("ps.failover"));
+    }
+
+    #[test]
+    fn rejects_missing_meta() {
+        let jsonl = sample_log().to_jsonl();
+        let without_meta: String = jsonl.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        assert!(validate_jsonl(&without_meta).is_err());
+        assert!(validate_jsonl("").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_schema_version() {
+        let jsonl = sample_log()
+            .to_jsonl()
+            .replace("het-trace-v1", "het-trace-v0");
+        assert!(validate_jsonl(&jsonl).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let good = sample_log().to_jsonl();
+        for (needle, replacement) in [
+            (r#""t":5"#, r#""t":-5"#),            // negative timestamp
+            (r#""w":0"#, r#""w":"zero""#),        // wrong worker type
+            (r#""fields":{}"#, r#""fields":[]"#), // fields not an object
+            (r#""value":2"#, r#""value":2.5"#),   // float counter value
+        ] {
+            let bad = good.replace(needle, replacement);
+            assert_ne!(bad, good, "replacement {needle} did not apply");
+            assert!(validate_jsonl(&bad).is_err(), "should reject {needle}");
+        }
+        let truncated = good.replace(r#""type":"event""#, r#""type":"mystery""#);
+        assert!(validate_jsonl(&truncated).is_err());
+    }
+
+    #[test]
+    fn rejects_event_after_counter_tail() {
+        let jsonl = sample_log().to_jsonl();
+        let mut lines: Vec<&str> = jsonl.lines().collect();
+        // Move an event line to the end, after the counters.
+        let event = lines.remove(1);
+        lines.push(event);
+        let shuffled: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        assert!(validate_jsonl(&shuffled).is_err());
+    }
+}
