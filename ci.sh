@@ -17,7 +17,7 @@ cargo build --release
 echo "==> cargo test -q (tier-1, per-package timing)"
 suite_start=$(date +%s)
 for pkg in het-json het-rng het-trace het-simnet het-tensor het-data \
-           het-ps het-cache het-models het-core het-bench het; do
+           het-ps het-cache het-models het-core het-oracle het-bench het; do
     pkg_start=$(date +%s)
     cargo test -q -p "$pkg"
     echo "    [timing] $pkg: $(($(date +%s) - pkg_start))s"
@@ -26,5 +26,11 @@ echo "    [timing] test suite total: $(($(date +%s) - suite_start))s"
 
 echo "==> trace schema validation (golden fixtures + byte-identity)"
 cargo test -q -p het --test trace_golden
+
+echo "==> golden fixtures current (re-derive and byte-diff against committed)"
+cargo test -q -p het --test trace_golden golden_fixtures_are_current
+
+echo "==> consistency oracle (short fuzz campaign, fixed seed range)"
+cargo run -q --release -p het-bench --bin hetctl -- oracle --seeds 0..120 --iters 40
 
 echo "CI green."

@@ -1,0 +1,113 @@
+//! Oracle fuzz campaign — schedule exploration as an experiment.
+//!
+//! Runs the model-based consistency oracle (`het-oracle`) over a batch
+//! of fuzzed schedules — sync mode, cache policy, tie-breaking, fault
+//! timing all sampled per seed — and reports how much behaviour the
+//! campaign covered: iteration completions, staleness-window reads,
+//! BSP barriers, per-mode run counts. A healthy build prints zero
+//! violations; a broken consistency protocol produces a shrunk repro
+//! file under `target/oracle/`.
+//!
+//! Every scenario is a pure function of `(master seed, index)`, so the
+//! campaign is bit-reproducible.
+
+use het_bench::out;
+use het_json::impl_to_json;
+use het_oracle::fuzz::{run_fuzz, FuzzConfig};
+
+const MASTER_SEED: u64 = 0;
+const RUNS: u64 = 200;
+const MAX_ITERS: u64 = 50;
+
+struct CampaignRow {
+    master_seed: u64,
+    runs: u64,
+    bsp_runs: u64,
+    asp_runs: u64,
+    ssp_runs: u64,
+    cached_runs: u64,
+    faulted_runs: u64,
+    computes: u64,
+    window_reads: u64,
+    barriers: u64,
+    violations: u64,
+}
+
+impl_to_json!(CampaignRow {
+    master_seed,
+    runs,
+    bsp_runs,
+    asp_runs,
+    ssp_runs,
+    cached_runs,
+    faulted_runs,
+    computes,
+    window_reads,
+    barriers,
+    violations,
+});
+
+fn main() {
+    println!("== oracle fuzz campaign ==");
+    println!(
+        "{} scenarios, master seed {}, <= {} iterations each\n",
+        RUNS, MASTER_SEED, MAX_ITERS
+    );
+
+    let cfg = FuzzConfig {
+        master_seed: MASTER_SEED,
+        seed_start: 0,
+        seed_end: RUNS,
+        max_iters: MAX_ITERS,
+        extra_staleness: 0,
+        out_dir: Some(out::experiments_dir().join("../oracle")),
+        stop_after: 0,
+    };
+    let outcome = run_fuzz(&cfg);
+
+    println!(
+        "runs      {} (bsp {} / asp {} / ssp {})",
+        outcome.runs, outcome.by_sync[0], outcome.by_sync[1], outcome.by_sync[2]
+    );
+    println!("cached    {}", outcome.cached_runs);
+    println!("faulted   {}", outcome.faulted_runs);
+    println!("computes  {}", outcome.computes);
+    println!("windows   {}", outcome.window_reads);
+    println!("barriers  {}", outcome.barriers);
+
+    for caught in &outcome.violations {
+        println!(
+            "VIOLATION index {} [{}]: {} (shrunk to workers={} iters={})",
+            caught.index,
+            caught.violation.check,
+            caught.violation.message,
+            caught.shrunk.workers,
+            caught.shrunk.iters
+        );
+    }
+
+    let row = CampaignRow {
+        master_seed: MASTER_SEED,
+        runs: outcome.runs,
+        bsp_runs: outcome.by_sync[0],
+        asp_runs: outcome.by_sync[1],
+        ssp_runs: outcome.by_sync[2],
+        cached_runs: outcome.cached_runs,
+        faulted_runs: outcome.faulted_runs,
+        computes: outcome.computes,
+        window_reads: outcome.window_reads,
+        barriers: outcome.barriers,
+        violations: outcome.violations.len() as u64,
+    };
+    out::write_json("oracle_fuzz", &[row]);
+
+    if outcome.violations.is_empty() {
+        println!("\nverdict: PASS — zero violations across the campaign");
+    } else {
+        println!(
+            "\nverdict: FAIL — {} violation(s); see repro files above",
+            outcome.violations.len()
+        );
+        std::process::exit(1);
+    }
+}

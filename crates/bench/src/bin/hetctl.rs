@@ -3,12 +3,17 @@
 //! ```text
 //! hetctl train   --workload wdl --system het-cache --staleness 100 [...]
 //! hetctl compare --workload wdl --baseline het-hybrid --staleness 100 [...]
+//! hetctl oracle  --seeds 0..500 --iters 50
+//! hetctl oracle  --repro target/oracle/repro-0-17.json
 //! hetctl list
 //! ```
 //!
 //! Runs a (workload × system) training simulation and prints the report;
 //! `compare` additionally runs a baseline and prints speedups — the
 //! quickest way to poke at the paper's claims with custom parameters.
+//! `oracle` runs the model-based consistency oracle over a seed range of
+//! fuzzed schedules (see `het-oracle`), shrinking and writing a repro
+//! file for any violation; `--repro` replays such a file.
 
 use het_bench::{run_workload, run_workload_traced, RunSummary, Workload};
 use het_cache::PolicyKind;
@@ -199,10 +204,101 @@ fn run_one(
     Ok((summary, report, log))
 }
 
+/// Parses `"A..B"` into a half-open index range.
+fn seed_range_of(s: &str) -> Result<(u64, u64), String> {
+    let (a, b) = s
+        .split_once("..")
+        .ok_or_else(|| format!("--seeds: expected A..B, got '{s}'"))?;
+    let start: u64 = a.parse().map_err(|_| format!("--seeds: bad start '{a}'"))?;
+    let end: u64 = b.parse().map_err(|_| format!("--seeds: bad end '{b}'"))?;
+    if end <= start {
+        return Err(format!("--seeds: empty range '{s}'"));
+    }
+    Ok((start, end))
+}
+
+fn cmd_oracle(args: &Args) -> Result<(), String> {
+    use het_oracle::fuzz::{read_repro, run_fuzz, run_scenario, FuzzConfig};
+
+    if let Some(path) = args.get("repro") {
+        let scenario = read_repro(std::path::Path::new(path))?;
+        println!("replaying {path}");
+        println!("scenario  {}", het_json::to_string(&scenario));
+        return match run_scenario(&scenario).oracle {
+            Ok(report) => {
+                println!(
+                    "verdict   PASS ({} events, {} computes, {} window reads)",
+                    report.events, report.computes, report.window_reads
+                );
+                Ok(())
+            }
+            Err(v) => Err(format!(
+                "violation reproduced: [{}] t={}ns worker={:?}: {}",
+                v.check, v.t_ns, v.worker, v.message
+            )),
+        };
+    }
+
+    let (seed_start, seed_end) = seed_range_of(args.get("seeds").unwrap_or("0..100"))?;
+    let out_dir = match args.get("out") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            let target = std::env::var("CARGO_TARGET_DIR")
+                .unwrap_or_else(|_| format!("{}/../../target", env!("CARGO_MANIFEST_DIR")));
+            std::path::PathBuf::from(target).join("oracle")
+        }
+    };
+    let cfg = FuzzConfig {
+        master_seed: args.get_parsed("master-seed", 0)?,
+        seed_start,
+        seed_end,
+        max_iters: args.get_parsed("iters", 50)?,
+        extra_staleness: args.get_parsed("sabotage-staleness", 0)?,
+        out_dir: Some(out_dir),
+        stop_after: args.get_parsed("stop-after", 0)?,
+    };
+    let outcome = run_fuzz(&cfg);
+    println!(
+        "oracle: {} runs (bsp {} / asp {} / ssp {}), {} cached, {} faulted",
+        outcome.runs,
+        outcome.by_sync[0],
+        outcome.by_sync[1],
+        outcome.by_sync[2],
+        outcome.cached_runs,
+        outcome.faulted_runs
+    );
+    println!(
+        "checked: {} iteration completions, {} staleness windows, {} barriers",
+        outcome.computes, outcome.window_reads, outcome.barriers
+    );
+    if outcome.violations.is_empty() {
+        println!("verdict: PASS — zero violations");
+        return Ok(());
+    }
+    for caught in &outcome.violations {
+        println!(
+            "VIOLATION at index {} [{}]: {}",
+            caught.index, caught.violation.check, caught.violation.message
+        );
+        println!(
+            "  shrunk to workers={} iters={} ({} shrink runs)",
+            caught.shrunk.workers, caught.shrunk.iters, caught.shrink_runs
+        );
+        if let Some(p) = &caught.repro_path {
+            println!("  repro file: {}", p.display());
+        }
+    }
+    Err(format!(
+        "{} violation(s) found in {} runs",
+        outcome.violations.len(),
+        outcome.runs
+    ))
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first().map(String::as_str) else {
-        eprintln!("usage: hetctl <train|compare|list> [--flag value ...]");
+        eprintln!("usage: hetctl <train|compare|oracle|list> [--flag value ...]");
         return ExitCode::FAILURE;
     };
     let result = match command {
@@ -217,6 +313,8 @@ fn main() -> ExitCode {
             println!("           --fault-checkpoint-every ITERS");
             println!("           --trace OUT.jsonl (structured event trace, het-trace-v1)");
             println!("           --trace-chrome OUT.json (chrome://tracing view)");
+            println!("oracle:    --seeds A..B --iters N --master-seed N --stop-after N");
+            println!("           --sabotage-staleness N --out DIR --repro FILE.json");
             Ok(())
         }
         "train" | "compare" => (|| -> Result<(), String> {
@@ -261,8 +359,9 @@ fn main() -> ExitCode {
             }
             Ok(())
         })(),
+        "oracle" => Args::parse(&argv[1..]).and_then(|args| cmd_oracle(&args)),
         other => Err(format!(
-            "unknown command '{other}' (try: train compare list)"
+            "unknown command '{other}' (try: train compare oracle list)"
         )),
     };
     match result {

@@ -13,6 +13,10 @@ pub struct CacheStats {
     pub invalidations: u64,
     /// Dirty write-backs pushed toward the server.
     pub writebacks: u64,
+    /// Clean→dirty transitions: entries that started accumulating a
+    /// pending gradient. Every dirtied entry must later surface as a
+    /// writeback or an accounted crash loss (gradient conservation).
+    pub dirtied: u64,
 }
 
 impl CacheStats {
@@ -48,6 +52,7 @@ impl CacheStats {
         self.capacity_evictions += other.capacity_evictions;
         self.invalidations += other.invalidations;
         self.writebacks += other.writebacks;
+        self.dirtied += other.dirtied;
     }
 }
 
@@ -82,6 +87,7 @@ mod tests {
             capacity_evictions: 3,
             invalidations: 4,
             writebacks: 5,
+            dirtied: 6,
         };
         let b = a;
         a.merge(&b);
@@ -90,5 +96,6 @@ mod tests {
         assert_eq!(a.capacity_evictions, 6);
         assert_eq!(a.invalidations, 8);
         assert_eq!(a.writebacks, 10);
+        assert_eq!(a.dirtied, 12);
     }
 }

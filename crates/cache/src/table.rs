@@ -158,7 +158,12 @@ impl CacheTable {
             *v -= lr * g;
             *p += g;
         }
+        let was_clean = !e.dirty;
         e.dirty = true;
+        if was_clean {
+            self.stats.dirtied += 1;
+            het_trace::count!("cache", "dirtied");
+        }
         self.policy.on_access(key);
     }
 
@@ -298,6 +303,7 @@ mod tests {
         let e = t.peek(1).unwrap();
         assert_eq!(e.pending_grad, vec![4.0, -2.0]);
         assert!(e.dirty);
+        assert_eq!(t.stats().dirtied, 1, "only the clean→dirty edge counts");
     }
 
     #[test]

@@ -205,6 +205,7 @@ fn trace_counters_reconcile_with_cache_stats() {
             PolicyKind::Clock,
         ][rng.gen_range(0usize..4)];
         let mut table = CacheTable::new(capacity, policy, 0.1);
+        let mut crash_dirty = 0u64;
         for _ in 0..rng.gen_range(0usize..160) {
             let k = rng.gen_range(0u64..24);
             match rng.gen_range(0u32..8) {
@@ -238,7 +239,8 @@ fn trace_counters_reconcile_with_cache_stats() {
                     }
                 }
                 _ => {
-                    let _ = table.crash_clear();
+                    crash_dirty +=
+                        table.crash_clear().iter().filter(|(_, e)| e.dirty).count() as u64;
                 }
             }
         }
@@ -262,6 +264,20 @@ fn trace_counters_reconcile_with_cache_stats() {
                 + log.counter("cache", "crash_drops")
                 + table.len() as u64,
             "install ledger out of balance"
+        );
+        assert_eq!(log.counter("cache", "dirtied"), stats.dirtied);
+        // Gradient conservation: every clean→dirty transition ends as a
+        // write-back, an accounted crash loss, or a still-resident dirty
+        // entry — never a silent drop.
+        let resident_keys: Vec<_> = table.keys().collect();
+        let resident_dirty = resident_keys
+            .iter()
+            .filter(|&&k| table.peek(k).is_some_and(|e| e.dirty))
+            .count() as u64;
+        assert_eq!(
+            stats.dirtied,
+            stats.writebacks + crash_dirty + resident_dirty,
+            "dirty ledger out of balance"
         );
     }
 }

@@ -142,6 +142,19 @@ impl HetClient {
         stats: &mut CommStats,
         mut faults: Option<&mut FaultContext<'_>>,
     ) -> (EmbeddingStore, SimDuration) {
+        // The effective staleness window. `sabotage::extra_staleness()`
+        // is 0 outside the oracle harness, where it deliberately widens
+        // the admitted window to prove the oracle catches the breakage.
+        let eff_staleness = self.staleness + sabotage::extra_staleness();
+        // Oracle hook: per-read admitted-window observations, emitted as
+        // a `client/read_window` event so a trace replay can re-check
+        // every accepted entry against the *configured* bound.
+        let tracing = het_trace::enabled();
+        let mut validated = 0u64; // hits accepted by both CheckValid conditions
+        let mut degraded = 0u64; // hits served on condition (1) alone (shard down)
+        let mut max_lag = 0u64; // max c_c − c_s over served cache hits
+        let mut max_gap = 0u64; // max c_g − c_c over clock-validated hits
+
         // Partition the request.
         let mut check_candidates: Vec<Key> = Vec::new(); // hit + cond (1) holds
         let mut resync: Vec<Key> = Vec::new(); // must evict + fetch
@@ -149,7 +162,7 @@ impl HetClient {
         for &k in keys {
             if self.cache.find(k) {
                 let entry = self.cache.peek(k).expect("resident entry");
-                if entry.within_write_bound(self.staleness) {
+                if entry.within_write_bound(eff_staleness) {
                     // Graceful degradation: condition (1) already holds
                     // locally, so if the key's shard is down we serve the
                     // cached value stale instead of stalling on failover.
@@ -159,6 +172,10 @@ impl HetClient {
                     if degrade {
                         if let Some(f) = faults.as_mut() {
                             f.record_degraded_read();
+                        }
+                        if tracing {
+                            degraded += 1;
+                            max_lag = max_lag.max(entry.current_clock - entry.start_clock);
                         }
                         self.cache.record_hit();
                     } else {
@@ -192,7 +209,12 @@ impl HetClient {
             for k in std::mem::take(&mut check_candidates) {
                 let global = server.clock_of(k);
                 let entry = self.cache.peek(k).expect("resident entry");
-                if entry.within_read_bound(global, self.staleness) {
+                if entry.within_read_bound(global, eff_staleness) {
+                    if tracing {
+                        validated += 1;
+                        max_lag = max_lag.max(entry.current_clock - entry.start_clock);
+                        max_gap = max_gap.max(global.saturating_sub(entry.current_clock));
+                    }
                     self.cache.record_hit();
                 } else {
                     resync.push(k);
@@ -275,6 +297,13 @@ impl HetClient {
                 .expect("key resolved by read protocol")
                 .to_vec();
             store.insert(k, v);
+        }
+        if tracing && validated + degraded > 0 {
+            het_trace::event!("client", "read_window",
+                "validated" => validated,
+                "degraded" => degraded,
+                "max_lag" => max_lag,
+                "max_gap" => max_gap);
         }
         (store, time)
     }
@@ -487,6 +516,34 @@ impl DirectPsClient {
             t = f.charge_leg(t, |b| stats.record(CommCategory::EmbeddingPush, b), bytes);
         }
         wait + t
+    }
+}
+
+/// Deliberate-breakage hooks for the `het-oracle` harness.
+///
+/// The oracle proves it can catch consistency bugs by *introducing*
+/// one: widening the staleness window `CheckValid` admits beyond the
+/// configured `s`, so reads accept entries the protocol should have
+/// resynchronised. The hook is thread-local and defaults to 0 (off),
+/// in which case the protocol is byte-for-byte unchanged. Production
+/// code must never set it — it exists only so correctness tests can
+/// mutate the check without a special build.
+pub mod sabotage {
+    use std::cell::Cell;
+
+    thread_local! {
+        static EXTRA_STALENESS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Widens the admitted staleness window by `extra` clock ticks on
+    /// this thread (0 restores the correct protocol).
+    pub fn set_extra_staleness(extra: u64) {
+        EXTRA_STALENESS.with(|c| c.set(extra));
+    }
+
+    /// The current widening (0 = correct protocol).
+    pub fn extra_staleness() -> u64 {
+        EXTRA_STALENESS.with(|c| c.get())
     }
 }
 

@@ -3,7 +3,7 @@
 
 use crate::fault::FaultConfig;
 use het_cache::PolicyKind;
-use het_simnet::ClusterSpec;
+use het_simnet::{ClusterSpec, TieBreak};
 
 /// How dense (non-embedding) parameters are synchronised.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -233,6 +233,10 @@ pub struct TrainerConfig {
     /// degraded links, message drops). Disabled by default; with an
     /// empty schedule the run is bit-identical to injection off.
     pub faults: FaultConfig,
+    /// Same-time ordering rule for the async event queue (ASP/SSP).
+    /// `Fifo` preserves the historical schedule; the oracle fuzzer
+    /// sweeps the other rules to explore adversarial interleavings.
+    pub tie_break: TieBreak,
 }
 
 impl TrainerConfig {
@@ -251,6 +255,7 @@ impl TrainerConfig {
             server_grad_clip: Some(1.0),
             seed: 0xBEEF,
             faults: FaultConfig::disabled(),
+            tie_break: TieBreak::Fifo,
         }
     }
 
@@ -270,6 +275,7 @@ impl TrainerConfig {
             server_grad_clip: Some(1.0),
             seed: 0xBEEF,
             faults: FaultConfig::disabled(),
+            tie_break: TieBreak::Fifo,
         }
     }
 

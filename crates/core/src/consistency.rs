@@ -7,13 +7,90 @@
 //! validated read and the next one, each worker may apply the current
 //! iteration's single write, so the *any-time* bound observed by an
 //! external sampler is `2s + 2` (each side at most one un-validated
-//! increment ahead). The checkers below expose both forms; the
-//! integration tests sample at read boundaries and assert the tight
-//! bound, the property tests assert the any-time bound.
+//! increment ahead).
+//!
+//! [`ConsistencyBound`] folds all the divergence guarantees this
+//! codebase makes — per-sync-mode worker-clock bounds (BSP 0, SSP ≤ s,
+//! ASP unbounded) and the per-embedding cache-clock Lemma 1 bound —
+//! into one checker shared by the unit tests, `tests/consistency.rs`,
+//! and the `het-oracle` replay checker.
 
 use crate::client::HetClient;
+use crate::config::SyncMode;
 use het_data::Key;
 use std::collections::HashMap;
+
+/// A per-sync-mode divergence bound, checkable both at validation
+/// points (barriers / accepted reads) and at arbitrary sample points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConsistencyBound {
+    /// BSP: workers advance in lock-step rounds; divergence is 0 at
+    /// every barrier and at most 1 mid-round.
+    Bsp,
+    /// SSP worker clocks: the fastest worker leads the slowest by at
+    /// most `s` at iteration start, `s + 1` while its own iteration is
+    /// in flight.
+    Ssp {
+        /// The admitted worker-clock staleness `s`.
+        staleness: u64,
+    },
+    /// ASP: no divergence bound (progress must still be monotone).
+    Asp,
+    /// Per-embedding cache clocks, Lemma 1: divergence at most `2s` at
+    /// validation, `2s + 2` any time.
+    CacheClock {
+        /// The admitted per-embedding staleness `s`.
+        staleness: u64,
+    },
+}
+
+impl ConsistencyBound {
+    /// The worker-clock bound implied by a training sync mode.
+    pub fn for_sync(sync: SyncMode) -> ConsistencyBound {
+        match sync {
+            SyncMode::Bsp => ConsistencyBound::Bsp,
+            SyncMode::Asp => ConsistencyBound::Asp,
+            SyncMode::Ssp { staleness } => ConsistencyBound::Ssp { staleness },
+        }
+    }
+
+    /// The Lemma 1 cache-clock bound for an admitted staleness `s`.
+    pub fn cache_clock(staleness: u64) -> ConsistencyBound {
+        ConsistencyBound::CacheClock { staleness }
+    }
+
+    /// Maximum divergence admitted at a validation point (`None` =
+    /// unbounded).
+    pub fn validation_bound(&self) -> Option<u64> {
+        match *self {
+            ConsistencyBound::Bsp => Some(0),
+            ConsistencyBound::Ssp { staleness } => Some(staleness),
+            ConsistencyBound::Asp => None,
+            ConsistencyBound::CacheClock { staleness } => Some(2 * staleness),
+        }
+    }
+
+    /// Maximum divergence admitted at an arbitrary sample point
+    /// (`None` = unbounded).
+    pub fn any_time_bound(&self) -> Option<u64> {
+        match *self {
+            ConsistencyBound::Bsp => Some(1),
+            ConsistencyBound::Ssp { staleness } => Some(staleness + 1),
+            ConsistencyBound::Asp => None,
+            ConsistencyBound::CacheClock { staleness } => Some(2 * staleness + 2),
+        }
+    }
+
+    /// Does an observed divergence satisfy the validation-point bound?
+    pub fn holds_at_validation(&self, observed: u64) -> bool {
+        self.validation_bound().map_or(true, |b| observed <= b)
+    }
+
+    /// Does an observed divergence satisfy the any-time bound?
+    pub fn holds_any_time(&self, observed: u64) -> bool {
+        self.any_time_bound().map_or(true, |b| observed <= b)
+    }
+}
 
 /// The largest pairwise current-clock divergence per key across a set of
 /// worker caches, considering only keys resident in at least two caches.
@@ -45,18 +122,6 @@ pub fn max_divergence(clients: &[&HetClient]) -> u64 {
         .copied()
         .max()
         .unwrap_or(0)
-}
-
-/// Checks Lemma 1 at validation points: every shared key's divergence is
-/// at most `2s`.
-pub fn lemma1_holds_at_validation(clients: &[&HetClient], staleness: u64) -> bool {
-    max_divergence(clients) <= 2 * staleness
-}
-
-/// Checks the any-time corollary: divergence at most `2s + 2`
-/// (one un-validated in-flight write per side).
-pub fn lemma1_holds_any_time(clients: &[&HetClient], staleness: u64) -> bool {
-    max_divergence(clients) <= 2 * staleness + 2
 }
 
 #[cfg(test)]
@@ -119,8 +184,8 @@ mod tests {
         let d = clock_divergence(&[&a, &b]);
         assert_eq!(d.get(&1), Some(&2));
         assert_eq!(max_divergence(&[&a, &b]), 2);
-        assert!(lemma1_holds_at_validation(&[&a, &b], 3));
-        assert!(lemma1_holds_any_time(&[&a, &b], 0));
+        assert!(ConsistencyBound::cache_clock(3).holds_at_validation(max_divergence(&[&a, &b])));
+        assert!(ConsistencyBound::cache_clock(0).holds_any_time(max_divergence(&[&a, &b])));
     }
 
     #[test]
@@ -147,7 +212,7 @@ mod tests {
             let _ = fast.read(&[1], &server, &net, &mut stats);
             fast.write(&grad(1, 0.1), &server, &net, &mut stats);
             assert!(
-                lemma1_holds_any_time(&[&fast, &slow], 3),
+                ConsistencyBound::cache_clock(3).holds_any_time(max_divergence(&[&fast, &slow])),
                 "divergence {} exceeded any-time bound",
                 max_divergence(&[&fast, &slow])
             );
@@ -156,9 +221,32 @@ mod tests {
         let _ = slow.read(&[1], &server, &net, &mut stats);
         let _ = fast.read(&[1], &server, &net, &mut stats);
         assert!(
-            lemma1_holds_at_validation(&[&fast, &slow], 3),
+            ConsistencyBound::cache_clock(3).holds_at_validation(max_divergence(&[&fast, &slow])),
             "divergence {} exceeded 2s at validation",
             max_divergence(&[&fast, &slow])
         );
+    }
+
+    #[test]
+    fn per_mode_bounds() {
+        use crate::config::SyncMode;
+        let bsp = ConsistencyBound::for_sync(SyncMode::Bsp);
+        assert_eq!(bsp.validation_bound(), Some(0));
+        assert_eq!(bsp.any_time_bound(), Some(1));
+        assert!(bsp.holds_at_validation(0) && !bsp.holds_at_validation(1));
+
+        let ssp = ConsistencyBound::for_sync(SyncMode::Ssp { staleness: 2 });
+        assert_eq!(ssp.validation_bound(), Some(2));
+        assert_eq!(ssp.any_time_bound(), Some(3));
+        assert!(ssp.holds_any_time(3) && !ssp.holds_any_time(4));
+
+        let asp = ConsistencyBound::for_sync(SyncMode::Asp);
+        assert_eq!(asp.validation_bound(), None);
+        assert!(asp.holds_at_validation(u64::MAX) && asp.holds_any_time(u64::MAX));
+
+        let lemma1 = ConsistencyBound::cache_clock(5);
+        assert_eq!(lemma1.validation_bound(), Some(10));
+        assert_eq!(lemma1.any_time_bound(), Some(12));
+        assert!(!lemma1.holds_any_time(13));
     }
 }

@@ -330,6 +330,12 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             ..
         } = self;
         let worker = &mut workers[w];
+        // Scope the trace to the crashing worker *before* clearing its
+        // cache so the crash_drops counters attribute to it, not to
+        // whatever scope the previous event left behind.
+        if het_trace::enabled() {
+            het_trace::set_scope(at.as_nanos(), Some(w as u64));
+        }
         let (entries, dirty, ticks) = match &mut worker.sparse {
             SparseEngine::Cached(c) => c.crash_reset(),
             _ => (0, 0, 0),
@@ -343,7 +349,6 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         fault_stats.dirty_entries_lost += dirty;
         fault_stats.pending_updates_lost += ticks;
         if het_trace::enabled() {
-            het_trace::set_scope(at.as_nanos(), Some(w as u64));
             het_trace::event!("trainer", "worker_crash",
                 "entries_lost" => entries,
                 "dirty_lost" => dirty,
@@ -739,7 +744,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
 
     fn run_async(&mut self, ssp_staleness: Option<u64>) {
         let n = self.workers.len();
-        let mut queue: EventQueue<usize> = EventQueue::new();
+        let mut queue: EventQueue<usize> = EventQueue::with_tie_break(self.config.tie_break);
         for w in 0..n {
             queue.push(SimTime::ZERO, w);
         }
@@ -751,12 +756,22 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             if let Some(s) = ssp_staleness {
                 let min_iter = self.workers.iter().map(|x| x.iterations).min().unwrap_or(0);
                 if self.workers[w].iterations > min_iter + s {
-                    // Requeue just after the next event so the straggler
-                    // gets to run first.
-                    let retry = queue
-                        .peek_time()
-                        .map(|pt| pt + SimDuration::from_nanos(1))
-                        .unwrap_or(t + SimDuration::from_nanos(1));
+                    // Requeue just after the next completion of a
+                    // slowest worker — the earliest point the gate can
+                    // reopen. (A worker's clock is the time of its
+                    // pending event.) Requeuing at peek+1 instead
+                    // degenerates into a 1 ns ping-pong between blocked
+                    // workers whenever the slow worker's event is far
+                    // away, e.g. behind a straggler window or a crash
+                    // restart.
+                    let gate = self
+                        .workers
+                        .iter()
+                        .filter(|x| x.iterations == min_iter)
+                        .map(|x| x.clock)
+                        .min()
+                        .unwrap_or(t);
+                    let retry = gate.max(t) + SimDuration::from_nanos(1);
                     if het_trace::enabled() {
                         het_trace::set_scope(t.as_nanos(), Some(w as u64));
                         het_trace::event!("trainer", "ssp_block",

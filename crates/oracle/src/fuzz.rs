@@ -1,0 +1,681 @@
+//! Deterministic schedule-exploration harness.
+//!
+//! A seed-driven fuzzer samples short training [`Scenario`]s — sync
+//! mode, cache policy and staleness, event-queue tie-breaking, fault
+//! schedule — executes each one with tracing enabled, and feeds the
+//! trace to the oracle ([`crate::check_replay`]). Every scenario is a
+//! pure function of `(master_seed, index)`, so any violation is
+//! replayable from two integers. On violation the harness greedily
+//! shrinks the scenario (fewer iterations, fewer workers, simpler
+//! schedule) while the same check keeps failing, and writes a repro
+//! file under `target/oracle/` that `hetctl oracle --repro` replays.
+
+use crate::{check_replay, OracleReport, OracleSpec, Violation};
+use het_cache::PolicyKind;
+use het_core::client::sabotage;
+use het_core::config::{
+    Backbone, DenseSync, SparseMode, SyncMode, SystemConfig, SystemPreset, TrainerConfig,
+};
+use het_core::{FaultConfig, TrainReport, Trainer};
+use het_data::{CtrConfig, CtrDataset};
+use het_json::{Json, ToJson};
+use het_models::WideDeep;
+use het_rng::rngs::StdRng;
+use het_rng::{Rng, SeedableRng};
+use het_simnet::{ClusterSpec, SimDuration, TieBreak};
+use std::path::{Path, PathBuf};
+
+/// One sampled workload: everything needed to re-execute a run
+/// bit-identically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Trainer + dataset seed.
+    pub seed: u64,
+    /// Number of workers.
+    pub workers: usize,
+    /// Iteration budget.
+    pub iters: u64,
+    /// Worker synchronisation mode.
+    pub sync: SyncMode,
+    /// Dense parameter path (`Ps` for async modes).
+    pub dense: DenseSync,
+    /// Sparse embedding path.
+    pub sparse: SparseMode,
+    /// Event-queue tie-break rule (async modes).
+    pub tie_break: TieBreak,
+    /// Worker crash/restart events to schedule.
+    pub crashes: usize,
+    /// PS-shard outage/failover events to schedule.
+    pub outages: usize,
+    /// Straggler windows to schedule.
+    pub stragglers: usize,
+    /// Per-message drop probability.
+    pub drop_prob: f64,
+    /// Sabotage: widen the client's admitted staleness window by this
+    /// many ticks (0 = correct protocol). Used to prove the oracle
+    /// catches a broken `CheckValid`.
+    pub extra_staleness: u64,
+}
+
+fn mix(master_seed: u64, index: u64) -> u64 {
+    master_seed ^ (index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl Scenario {
+    /// Samples the `index`-th scenario of a fuzz campaign, capping the
+    /// iteration budget at `max_iters`.
+    pub fn sample(master_seed: u64, index: u64, max_iters: u64) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(mix(master_seed, index));
+        let workers = rng.gen_range(2usize..5);
+        let iters = rng.gen_range(4..max_iters.max(4) + 1);
+        let sync = match rng.gen_range(0u32..3) {
+            0 => SyncMode::Bsp,
+            1 => SyncMode::Asp,
+            _ => SyncMode::Ssp {
+                staleness: rng.gen_range(1u64..4),
+            },
+        };
+        let dense = if matches!(sync, SyncMode::Bsp) && rng.gen_bool(0.5) {
+            DenseSync::AllReduce
+        } else {
+            DenseSync::Ps
+        };
+        let sparse = if rng.gen_bool(0.7) {
+            SparseMode::Cached {
+                staleness: rng.gen_range(0u64..5),
+                capacity_fraction: [0.05, 0.10, 0.30][rng.gen_range(0usize..3)],
+                policy: [
+                    PolicyKind::Lru,
+                    PolicyKind::Lfu,
+                    PolicyKind::LightLfu,
+                    PolicyKind::Clock,
+                ][rng.gen_range(0usize..4)],
+            }
+        } else {
+            SparseMode::PsDirect
+        };
+        let tie_break = match rng.gen_range(0u32..3) {
+            0 => TieBreak::Fifo,
+            1 => TieBreak::Lifo,
+            _ => TieBreak::Salted(rng.gen_range(0..u64::MAX)),
+        };
+        let (crashes, outages, stragglers, drop_prob) = if rng.gen_bool(0.4) {
+            (
+                rng.gen_range(0usize..3),
+                rng.gen_range(0usize..2),
+                rng.gen_range(0usize..2),
+                if rng.gen_bool(0.5) { 0.02 } else { 0.0 },
+            )
+        } else {
+            (0, 0, 0, 0.0)
+        };
+        Scenario {
+            seed: rng.gen_range(0u64..1 << 32),
+            workers,
+            iters,
+            sync,
+            dense,
+            sparse,
+            tie_break,
+            crashes,
+            outages,
+            stragglers,
+            drop_prob,
+            extra_staleness: 0,
+        }
+    }
+
+    /// Whether the scenario schedules any fault.
+    pub fn has_faults(&self) -> bool {
+        self.crashes + self.outages + self.stragglers > 0 || self.drop_prob > 0.0
+    }
+
+    /// The trainer configuration this scenario describes (faults are
+    /// attached separately — their horizon needs the clean run time).
+    pub fn trainer_config(&self) -> TrainerConfig {
+        let mut config = TrainerConfig::tiny(SystemPreset::TfPs);
+        config.system = SystemConfig {
+            name: "fuzz",
+            dense: self.dense,
+            sparse: self.sparse,
+            sync: self.sync,
+            backbone: Backbone::het(),
+        };
+        config.cluster = ClusterSpec::cluster_a(self.workers, 1);
+        config.max_iterations = self.iters;
+        config.seed = self.seed;
+        config.tie_break = self.tie_break;
+        config
+    }
+
+    /// The fault schedule, scoped to a horizon derived from the clean
+    /// run's duration.
+    pub fn fault_config(&self, horizon: SimDuration) -> FaultConfig {
+        if !self.has_faults() {
+            return FaultConfig::disabled();
+        }
+        let mut cfg = FaultConfig::disabled();
+        cfg.enabled = true;
+        cfg.spec.worker_crashes = self.crashes;
+        cfg.spec.shard_outages = self.outages;
+        cfg.spec.stragglers = self.stragglers;
+        cfg.spec.message_drop_prob = self.drop_prob;
+        cfg.spec.horizon = horizon;
+        cfg.checkpoint_every = 20;
+        cfg
+    }
+
+    /// What the oracle must check for this scenario.
+    pub fn oracle_spec(&self) -> OracleSpec {
+        OracleSpec::of(&self.trainer_config())
+    }
+}
+
+fn sync_to_json(sync: SyncMode) -> Json {
+    match sync {
+        SyncMode::Bsp => Json::Str("bsp".to_string()),
+        SyncMode::Asp => Json::Str("asp".to_string()),
+        SyncMode::Ssp { staleness } => Json::Obj(vec![("ssp".to_string(), Json::UInt(staleness))]),
+    }
+}
+
+fn policy_name(policy: PolicyKind) -> &'static str {
+    match policy {
+        PolicyKind::Lru => "lru",
+        PolicyKind::Lfu => "lfu",
+        PolicyKind::LightLfu => "light_lfu",
+        PolicyKind::Clock => "clock",
+    }
+}
+
+impl ToJson for Scenario {
+    fn to_json(&self) -> Json {
+        let sparse = match self.sparse {
+            SparseMode::PsDirect => Json::Str("direct".to_string()),
+            SparseMode::AllGather => Json::Str("allgather".to_string()),
+            SparseMode::Cached {
+                staleness,
+                capacity_fraction,
+                policy,
+            } => Json::Obj(vec![
+                ("staleness".to_string(), Json::UInt(staleness)),
+                (
+                    "capacity_fraction".to_string(),
+                    Json::Num(capacity_fraction),
+                ),
+                (
+                    "policy".to_string(),
+                    Json::Str(policy_name(policy).to_string()),
+                ),
+            ]),
+        };
+        let tie_break = match self.tie_break {
+            TieBreak::Fifo => Json::Str("fifo".to_string()),
+            TieBreak::Lifo => Json::Str("lifo".to_string()),
+            TieBreak::Salted(salt) => Json::Obj(vec![("salted".to_string(), Json::UInt(salt))]),
+        };
+        Json::Obj(vec![
+            ("seed".to_string(), Json::UInt(self.seed)),
+            ("workers".to_string(), Json::UInt(self.workers as u64)),
+            ("iters".to_string(), Json::UInt(self.iters)),
+            ("sync".to_string(), sync_to_json(self.sync)),
+            (
+                "dense".to_string(),
+                Json::Str(
+                    match self.dense {
+                        DenseSync::Ps => "ps",
+                        DenseSync::AllReduce => "allreduce",
+                    }
+                    .to_string(),
+                ),
+            ),
+            ("sparse".to_string(), sparse),
+            ("tie_break".to_string(), tie_break),
+            ("crashes".to_string(), Json::UInt(self.crashes as u64)),
+            ("outages".to_string(), Json::UInt(self.outages as u64)),
+            ("stragglers".to_string(), Json::UInt(self.stragglers as u64)),
+            ("drop_prob".to_string(), Json::Num(self.drop_prob)),
+            (
+                "extra_staleness".to_string(),
+                Json::UInt(self.extra_staleness),
+            ),
+        ])
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("scenario: missing field '{key}'"))
+}
+
+fn get_uint(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    match get(obj, key)? {
+        Json::UInt(n) => Ok(*n),
+        other => Err(format!("scenario: '{key}' must be a uint, got {other:?}")),
+    }
+}
+
+fn get_num(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
+    match get(obj, key)? {
+        Json::Num(n) => Ok(*n),
+        Json::UInt(n) => Ok(*n as f64),
+        other => Err(format!("scenario: '{key}' must be a number, got {other:?}")),
+    }
+}
+
+impl Scenario {
+    /// Parses a scenario back from its [`ToJson`] form.
+    pub fn from_json(json: &Json) -> Result<Scenario, String> {
+        let Json::Obj(obj) = json else {
+            return Err("scenario: not an object".to_string());
+        };
+        let sync = match get(obj, "sync")? {
+            Json::Str(s) if s == "bsp" => SyncMode::Bsp,
+            Json::Str(s) if s == "asp" => SyncMode::Asp,
+            Json::Obj(o) => SyncMode::Ssp {
+                staleness: get_uint(o, "ssp")?,
+            },
+            other => return Err(format!("scenario: bad sync {other:?}")),
+        };
+        let dense = match get(obj, "dense")? {
+            Json::Str(s) if s == "ps" => DenseSync::Ps,
+            Json::Str(s) if s == "allreduce" => DenseSync::AllReduce,
+            other => return Err(format!("scenario: bad dense {other:?}")),
+        };
+        let sparse = match get(obj, "sparse")? {
+            Json::Str(s) if s == "direct" => SparseMode::PsDirect,
+            Json::Str(s) if s == "allgather" => SparseMode::AllGather,
+            Json::Obj(o) => SparseMode::Cached {
+                staleness: get_uint(o, "staleness")?,
+                capacity_fraction: get_num(o, "capacity_fraction")?,
+                policy: match get(o, "policy")? {
+                    Json::Str(p) if p == "lru" => PolicyKind::Lru,
+                    Json::Str(p) if p == "lfu" => PolicyKind::Lfu,
+                    Json::Str(p) if p == "light_lfu" => PolicyKind::LightLfu,
+                    Json::Str(p) if p == "clock" => PolicyKind::Clock,
+                    other => return Err(format!("scenario: bad policy {other:?}")),
+                },
+            },
+            other => return Err(format!("scenario: bad sparse {other:?}")),
+        };
+        let tie_break = match get(obj, "tie_break")? {
+            Json::Str(s) if s == "fifo" => TieBreak::Fifo,
+            Json::Str(s) if s == "lifo" => TieBreak::Lifo,
+            Json::Obj(o) => TieBreak::Salted(get_uint(o, "salted")?),
+            other => return Err(format!("scenario: bad tie_break {other:?}")),
+        };
+        Ok(Scenario {
+            seed: get_uint(obj, "seed")?,
+            workers: get_uint(obj, "workers")? as usize,
+            iters: get_uint(obj, "iters")?,
+            sync,
+            dense,
+            sparse,
+            tie_break,
+            crashes: get_uint(obj, "crashes")? as usize,
+            outages: get_uint(obj, "outages")? as usize,
+            stragglers: get_uint(obj, "stragglers")? as usize,
+            drop_prob: get_num(obj, "drop_prob")?,
+            extra_staleness: get_uint(obj, "extra_staleness")?,
+        })
+    }
+}
+
+/// Result of executing one scenario under the oracle.
+pub struct ScenarioOutcome {
+    /// The training report of the (traced) run.
+    pub report: TrainReport,
+    /// The oracle verdict over the run's trace.
+    pub oracle: Result<OracleReport, Violation>,
+}
+
+/// Resets the sabotage hook even on early return.
+struct SabotageGuard;
+impl Drop for SabotageGuard {
+    fn drop(&mut self) {
+        sabotage::set_extra_staleness(0);
+    }
+}
+
+fn train(scenario: &Scenario, faults: FaultConfig) -> TrainReport {
+    let mut config = scenario.trainer_config();
+    config.faults = faults;
+    let dataset = CtrDataset::new(CtrConfig::tiny(scenario.seed));
+    let mut trainer = Trainer::new(config, dataset, |rng| WideDeep::new(rng, 4, 8, &[16]));
+    trainer.run()
+}
+
+/// Executes `scenario` with tracing enabled and replays the trace
+/// through the oracle. Faulted scenarios first run a clean untraced
+/// probe to size the fault horizon (as the golden-trace tests do), so
+/// injected faults actually land inside the run.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+    let faults = if scenario.has_faults() {
+        let probe = train(scenario, FaultConfig::disabled());
+        scenario.fault_config(SimDuration::from_secs_f64(
+            probe.total_sim_time.as_secs_f64() * 0.8,
+        ))
+    } else {
+        FaultConfig::disabled()
+    };
+    let _guard = SabotageGuard;
+    sabotage::set_extra_staleness(scenario.extra_staleness);
+    het_trace::start(vec![
+        ("workload".to_string(), Json::Str("fuzz".to_string())),
+        ("scenario".to_string(), scenario.to_json()),
+    ]);
+    let report = train(scenario, faults);
+    let log = het_trace::finish();
+    sabotage::set_extra_staleness(0);
+    let replay = het_trace::replay::ReplayLog::from(&log);
+    let oracle = check_replay(&replay, &scenario.oracle_spec());
+    ScenarioOutcome { report, oracle }
+}
+
+/// Upper bound on extra runs spent shrinking one violation.
+const SHRINK_BUDGET: usize = 120;
+
+fn shrink_candidates(s: &Scenario) -> Vec<Scenario> {
+    let mut out: Vec<Scenario> = Vec::new();
+    let mut push = |c: Scenario| {
+        if !out.contains(&c) {
+            out.push(c);
+        }
+    };
+    for iters in [1, 2, 4, s.iters / 4, s.iters / 2, s.iters.saturating_sub(1)] {
+        if iters >= 1 && iters < s.iters {
+            push(Scenario { iters, ..s.clone() });
+        }
+    }
+    for workers in [1, 2, s.workers.saturating_sub(1)] {
+        if workers >= 1 && workers < s.workers {
+            push(Scenario {
+                workers,
+                ..s.clone()
+            });
+        }
+    }
+    if s.has_faults() {
+        push(Scenario {
+            crashes: 0,
+            outages: 0,
+            stragglers: 0,
+            drop_prob: 0.0,
+            ..s.clone()
+        });
+    }
+    if s.tie_break != TieBreak::Fifo {
+        push(Scenario {
+            tie_break: TieBreak::Fifo,
+            ..s.clone()
+        });
+    }
+    if let SparseMode::Cached {
+        staleness,
+        capacity_fraction,
+        policy,
+    } = s.sparse
+    {
+        if policy != PolicyKind::Lru {
+            push(Scenario {
+                sparse: SparseMode::Cached {
+                    staleness,
+                    capacity_fraction,
+                    policy: PolicyKind::Lru,
+                },
+                ..s.clone()
+            });
+        }
+    }
+    out
+}
+
+/// Greedily shrinks a violating scenario: each candidate that still
+/// fails the *same* check replaces the current scenario, until no
+/// candidate fails or the run budget is spent. Returns the minimal
+/// scenario, its violation, and the number of shrink runs executed.
+pub fn shrink(scenario: &Scenario, violation: &Violation) -> (Scenario, Violation, usize) {
+    let mut current = scenario.clone();
+    let mut current_v = violation.clone();
+    let mut runs = 0usize;
+    'outer: loop {
+        for cand in shrink_candidates(&current) {
+            if runs >= SHRINK_BUDGET {
+                break 'outer;
+            }
+            runs += 1;
+            if let Err(v) = run_scenario(&cand).oracle {
+                if v.check == current_v.check {
+                    current = cand;
+                    current_v = v;
+                    continue 'outer;
+                }
+            }
+        }
+        break;
+    }
+    (current, current_v, runs)
+}
+
+/// One caught-and-shrunk violation.
+pub struct CaughtViolation {
+    /// Campaign master seed.
+    pub master_seed: u64,
+    /// Run index within the campaign.
+    pub index: u64,
+    /// The scenario as sampled.
+    pub original: Scenario,
+    /// The minimal scenario that still violates.
+    pub shrunk: Scenario,
+    /// The violation reported by the shrunk scenario.
+    pub violation: Violation,
+    /// Extra runs spent shrinking.
+    pub shrink_runs: usize,
+    /// Where the repro file was written (if an output dir was given).
+    pub repro_path: Option<PathBuf>,
+}
+
+/// A fuzz campaign configuration.
+pub struct FuzzConfig {
+    /// Master seed of the campaign (scenario = f(master_seed, index)).
+    pub master_seed: u64,
+    /// First run index (inclusive).
+    pub seed_start: u64,
+    /// Last run index (exclusive).
+    pub seed_end: u64,
+    /// Iteration-budget cap per scenario.
+    pub max_iters: u64,
+    /// Sabotage widening applied to every scenario (0 = correct
+    /// protocol; the campaign then expects zero violations).
+    pub extra_staleness: u64,
+    /// Where to write repro files (`None` = don't write).
+    pub out_dir: Option<PathBuf>,
+    /// Stop after this many violations (0 = never stop early).
+    pub stop_after: usize,
+}
+
+/// Aggregate results of a fuzz campaign.
+#[derive(Default)]
+pub struct FuzzOutcome {
+    /// Scenarios executed.
+    pub runs: u64,
+    /// Runs per sync mode (BSP, ASP, SSP).
+    pub by_sync: [u64; 3],
+    /// Runs with a cached sparse path.
+    pub cached_runs: u64,
+    /// Runs with at least one scheduled fault.
+    pub faulted_runs: u64,
+    /// Total iteration completions checked.
+    pub computes: u64,
+    /// Total staleness-window reads checked.
+    pub window_reads: u64,
+    /// Total BSP barriers checked.
+    pub barriers: u64,
+    /// Caught-and-shrunk violations.
+    pub violations: Vec<CaughtViolation>,
+}
+
+fn write_repro(
+    dir: &Path,
+    caught_master: u64,
+    index: u64,
+    original: &Scenario,
+    shrunk: &Scenario,
+    violation: &Violation,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("repro-{caught_master}-{index}.json"));
+    let doc = Json::Obj(vec![
+        ("master_seed".to_string(), Json::UInt(caught_master)),
+        ("index".to_string(), Json::UInt(index)),
+        ("original".to_string(), original.to_json()),
+        ("shrunk".to_string(), shrunk.to_json()),
+        ("violation".to_string(), violation.to_json()),
+        (
+            "command".to_string(),
+            Json::Str(format!("hetctl oracle --repro {}", path.to_string_lossy())),
+        ),
+    ]);
+    std::fs::write(&path, doc.encode_pretty() + "\n")?;
+    Ok(path)
+}
+
+/// Parses a repro file and returns its shrunk scenario.
+pub fn read_repro(path: &Path) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let json = het_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let Json::Obj(obj) = &json else {
+        return Err("repro file: not an object".to_string());
+    };
+    Scenario::from_json(get(obj, "shrunk")?)
+}
+
+/// Runs a fuzz campaign: samples, executes, and oracle-checks
+/// `seed_end − seed_start` scenarios, shrinking and recording every
+/// violation.
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
+    let mut out = FuzzOutcome::default();
+    for index in cfg.seed_start..cfg.seed_end {
+        let mut scenario = Scenario::sample(cfg.master_seed, index, cfg.max_iters);
+        scenario.extra_staleness = cfg.extra_staleness;
+        out.runs += 1;
+        out.by_sync[match scenario.sync {
+            SyncMode::Bsp => 0,
+            SyncMode::Asp => 1,
+            SyncMode::Ssp { .. } => 2,
+        }] += 1;
+        if matches!(scenario.sparse, SparseMode::Cached { .. }) {
+            out.cached_runs += 1;
+        }
+        if scenario.has_faults() {
+            out.faulted_runs += 1;
+        }
+        match run_scenario(&scenario).oracle {
+            Ok(r) => {
+                out.computes += r.computes;
+                out.window_reads += r.window_reads;
+                out.barriers += r.barriers;
+            }
+            Err(v) => {
+                let (shrunk, violation, shrink_runs) = shrink(&scenario, &v);
+                let repro_path = cfg.out_dir.as_ref().and_then(|dir| {
+                    write_repro(dir, cfg.master_seed, index, &scenario, &shrunk, &violation).ok()
+                });
+                out.violations.push(CaughtViolation {
+                    master_seed: cfg.master_seed,
+                    index,
+                    original: scenario,
+                    shrunk,
+                    violation,
+                    shrink_runs,
+                    repro_path,
+                });
+                if cfg.stop_after > 0 && out.violations.len() >= cfg.stop_after {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic_in_master_seed_and_index() {
+        let a = Scenario::sample(1, 7, 40);
+        let b = Scenario::sample(1, 7, 40);
+        assert_eq!(a, b);
+        assert_ne!(a, Scenario::sample(1, 8, 40));
+        assert_ne!(a, Scenario::sample(2, 7, 40));
+        assert!(a.iters >= 4 && a.iters <= 40);
+        assert!(a.workers >= 2 && a.workers <= 4);
+    }
+
+    #[test]
+    fn scenario_json_round_trips() {
+        for index in 0..40 {
+            let s = Scenario::sample(0xF00D, index, 50);
+            let back = Scenario::from_json(&s.to_json()).unwrap();
+            assert_eq!(s, back, "index {index}");
+        }
+    }
+
+    #[test]
+    fn sampled_scenarios_cover_the_mode_matrix() {
+        let mut bsp = 0;
+        let mut asp = 0;
+        let mut ssp = 0;
+        let mut cached = 0;
+        let mut faulted = 0;
+        for index in 0..200 {
+            let s = Scenario::sample(3, index, 50);
+            match s.sync {
+                SyncMode::Bsp => bsp += 1,
+                SyncMode::Asp => asp += 1,
+                SyncMode::Ssp { .. } => ssp += 1,
+            }
+            if matches!(s.sparse, SparseMode::Cached { .. }) {
+                cached += 1;
+            }
+            if s.has_faults() {
+                faulted += 1;
+            }
+        }
+        assert!(bsp > 20 && asp > 20 && ssp > 20, "{bsp}/{asp}/{ssp}");
+        assert!(cached > 60, "cached only {cached}/200");
+        assert!(faulted > 30, "faulted only {faulted}/200");
+    }
+
+    #[test]
+    fn clean_scenario_passes_the_oracle() {
+        let scenario = Scenario {
+            seed: 11,
+            workers: 3,
+            iters: 24,
+            sync: SyncMode::Bsp,
+            dense: DenseSync::AllReduce,
+            sparse: SparseMode::Cached {
+                staleness: 2,
+                capacity_fraction: 0.10,
+                policy: PolicyKind::LightLfu,
+            },
+            tie_break: TieBreak::Fifo,
+            crashes: 0,
+            outages: 0,
+            stragglers: 0,
+            drop_prob: 0.0,
+            extra_staleness: 0,
+        };
+        let outcome = run_scenario(&scenario);
+        let report = outcome.oracle.expect("clean run must pass");
+        assert!(report.computes >= 24);
+        assert!(report.barriers > 0);
+        assert!(report.window_reads > 0, "cached run must check windows");
+        assert_eq!(report.conservation_workers, 3);
+    }
+}

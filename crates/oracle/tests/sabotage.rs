@@ -1,0 +1,133 @@
+//! End-to-end oracle acceptance tests.
+//!
+//! The oracle is only trustworthy if it (a) stays silent on correct
+//! executions and (b) actually fires when the protocol is broken. The
+//! sabotage hook in `het_core::client` widens the admitted staleness
+//! window at run time without touching the production code path, so we
+//! can plant a real `CheckValid` bug and demand the fuzzer catch it
+//! *and* shrink it to a small repro.
+//!
+//! These tests share one process (cargo runs integration tests in a
+//! single binary, test threads share nothing but the filesystem), and
+//! the sabotage hook is thread-local, so no cross-test interference.
+
+use het_cache::PolicyKind;
+use het_core::config::{DenseSync, SparseMode, SyncMode};
+use het_oracle::fuzz::{read_repro, run_fuzz, run_scenario, FuzzConfig, Scenario};
+use het_simnet::TieBreak;
+
+fn base_scenario() -> Scenario {
+    Scenario {
+        seed: 42,
+        workers: 4,
+        iters: 40,
+        sync: SyncMode::Asp,
+        dense: DenseSync::Ps,
+        sparse: SparseMode::Cached {
+            staleness: 0,
+            capacity_fraction: 0.10,
+            policy: PolicyKind::Lru,
+        },
+        tie_break: TieBreak::Fifo,
+        crashes: 0,
+        outages: 0,
+        stragglers: 0,
+        drop_prob: 0.0,
+        extra_staleness: 0,
+    }
+}
+
+#[test]
+fn clean_fuzz_batch_has_zero_violations() {
+    let cfg = FuzzConfig {
+        master_seed: 0,
+        seed_start: 0,
+        seed_end: 16,
+        max_iters: 30,
+        extra_staleness: 0,
+        out_dir: None,
+        stop_after: 0,
+    };
+    let outcome = run_fuzz(&cfg);
+    assert_eq!(outcome.runs, 16);
+    assert!(
+        outcome.violations.is_empty(),
+        "clean campaign reported violations: {:?}",
+        outcome
+            .violations
+            .iter()
+            .map(|v| (v.index, v.violation.check, v.violation.message.clone()))
+            .collect::<Vec<_>>()
+    );
+    assert!(outcome.computes > 0);
+    assert!(outcome.cached_runs > 0);
+    assert!(
+        outcome.window_reads > 0,
+        "no staleness windows were checked"
+    );
+}
+
+#[test]
+fn sabotaged_staleness_check_is_caught() {
+    // staleness 0 means the client must never serve an entry whose
+    // clock advanced since admission; widening the window by 8 makes
+    // it serve stale hits that the oracle must flag.
+    let mut scenario = base_scenario();
+    scenario.extra_staleness = 8;
+    let outcome = run_scenario(&scenario);
+    let violation = outcome
+        .oracle
+        .expect_err("oracle must catch the widened staleness window");
+    assert_eq!(violation.check, "cache-window", "{violation:?}");
+}
+
+#[test]
+fn sabotaged_fuzz_campaign_catches_and_shrinks() {
+    let out_dir = std::env::temp_dir().join("het-oracle-sabotage-test");
+    let _ = std::fs::remove_dir_all(&out_dir);
+    let cfg = FuzzConfig {
+        master_seed: 7,
+        seed_start: 0,
+        seed_end: 40,
+        max_iters: 40,
+        extra_staleness: 16,
+        out_dir: Some(out_dir.clone()),
+        stop_after: 1,
+    };
+    let outcome = run_fuzz(&cfg);
+    assert!(
+        !outcome.violations.is_empty(),
+        "sabotaged campaign found nothing in {} runs",
+        outcome.runs
+    );
+    let caught = &outcome.violations[0];
+    assert_eq!(
+        caught.violation.check, "cache-window",
+        "{:?}",
+        caught.violation
+    );
+    // Acceptance bar: the shrinker must reduce the repro to at most
+    // 2 workers and 10 iterations.
+    assert!(
+        caught.shrunk.workers <= 2,
+        "shrunk to {} workers (runs spent: {})",
+        caught.shrunk.workers,
+        caught.shrink_runs
+    );
+    assert!(
+        caught.shrunk.iters <= 10,
+        "shrunk to {} iterations (runs spent: {})",
+        caught.shrunk.iters,
+        caught.shrink_runs
+    );
+
+    // The repro file must exist, parse, and reproduce the violation.
+    let path = caught.repro_path.as_ref().expect("repro file written");
+    let shrunk = read_repro(path).expect("repro file parses");
+    assert_eq!(shrunk, caught.shrunk);
+    let replayed = run_scenario(&shrunk)
+        .oracle
+        .expect_err("replayed repro must still violate");
+    assert_eq!(replayed.check, caught.violation.check);
+    let _ = std::fs::remove_dir_all(&out_dir);
+}

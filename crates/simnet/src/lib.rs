@@ -38,7 +38,7 @@ pub mod time;
 pub mod topology;
 pub mod wire;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, TieBreak};
 pub use fault::{FaultEvent, FaultPlan, FaultSpec, LinkFactors};
 pub use link::LinkSpec;
 pub use stats::{CommCategory, CommStats, Direction};

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod replay;
 pub mod schema;
 
 use het_json::Json;

@@ -8,7 +8,7 @@
 //! cargo run --release --example consistency_explorer
 //! ```
 
-use het::core::consistency::{lemma1_holds_any_time, max_divergence};
+use het::core::consistency::{max_divergence, ConsistencyBound};
 use het::core::HetClient;
 use het::prelude::*;
 
@@ -74,7 +74,7 @@ fn main() {
         "\nLemma 1 any-time bound holds: max divergence {} ≤ 2s+2 = {} -> {}",
         max_divergence(&[&a, &b]),
         2 * 2 + 2,
-        lemma1_holds_any_time(&[&a, &b], 2)
+        ConsistencyBound::cache_clock(2).holds_any_time(max_divergence(&[&a, &b]))
     );
 
     // Staleness sweep on a real workload: quality vs communication.

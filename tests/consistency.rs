@@ -3,7 +3,7 @@
 //! property-based tests of the clock algebra under arbitrary operation
 //! interleavings.
 
-use het::core::consistency::{lemma1_holds_any_time, max_divergence};
+use het::core::consistency::{max_divergence, ConsistencyBound};
 use het::core::HetClient;
 use het::prelude::*;
 use het_rng::rngs::StdRng;
@@ -70,7 +70,7 @@ fn lemma1_bound_holds_during_real_training() {
         .collect();
     assert_eq!(clients.len(), 4);
     assert!(
-        lemma1_holds_any_time(&clients, s),
+        ConsistencyBound::cache_clock(s).holds_any_time(max_divergence(&clients)),
         "divergence {} exceeds any-time bound 2s+2={}",
         max_divergence(&clients),
         2 * s + 2
@@ -93,7 +93,7 @@ fn unbounded_staleness_violates_tight_bound_eventually() {
         fast.write(&one_grad(dim, 1), &server, &net, &mut stats);
     }
     assert_eq!(max_divergence(&[&fast, &slow]), 50);
-    assert!(!lemma1_holds_any_time(&[&fast, &slow], 5));
+    assert!(!ConsistencyBound::cache_clock(5).holds_any_time(max_divergence(&[&fast, &slow])));
 }
 
 /// Under any interleaving of reads/writes by two workers on one key,
@@ -137,11 +137,40 @@ fn prop_clock_bounds_under_interleavings() {
             let _ = clients[1].read(&[key], &server, &net, &mut stats);
             let refs: Vec<&HetClient> = clients.iter().collect();
             assert!(
-                max_divergence(&refs) <= 2 * s + 2,
+                ConsistencyBound::cache_clock(s).holds_any_time(max_divergence(&refs)),
                 "divergence {} > 2s+2 with s={}",
                 max_divergence(&refs),
                 s
             );
+        }
+    }
+}
+
+/// Per-sync-mode bounds under real traced training, checked by the
+/// sequential reference oracle: BSP workers agree exactly at every
+/// barrier (bound 0), SSP spread never exceeds s (+1 in flight), ASP
+/// is unbounded but each worker's progress stays monotone.
+#[test]
+fn per_sync_mode_bounds_hold_in_training() {
+    use het_oracle::{check_replay, OracleSpec};
+    for (preset, label) in [
+        (SystemPreset::HetHybrid, "bsp"),
+        (SystemPreset::Ssp { staleness: 2 }, "ssp"),
+        (SystemPreset::HetPs, "asp"),
+        (SystemPreset::HetCache { staleness: 10 }, "bsp-cached"),
+    ] {
+        let mut config = TrainerConfig::tiny(preset);
+        config.max_iterations = 120;
+        let dataset = CtrDataset::new(CtrConfig::tiny(17));
+        het::trace::start(vec![]);
+        let mut trainer = Trainer::new(config.clone(), dataset, |rng| {
+            WideDeep::new(rng, 4, 8, &[16])
+        });
+        let _ = trainer.run();
+        let log = het::trace::finish();
+        let replay = het::trace::replay::ReplayLog::from(&log);
+        if let Err(v) = check_replay(&replay, &OracleSpec::of(&config)) {
+            panic!("{label}: oracle violation [{}]: {}", v.check, v.message);
         }
     }
 }

@@ -1,47 +1,95 @@
 //! Reproducibility: the entire simulation — training math, clock
-//! algebra, byte counters, convergence curves — is a deterministic
-//! function of the seed.
+//! algebra, byte counters, convergence curves, fault schedules — is a
+//! deterministic function of the seed. Checked as a full matrix:
+//! sync mode × {clean, faulted} × seeds, comparing entire reports.
 
+use het::json::ToJson;
 use het::prelude::*;
 
-fn run(seed: u64, preset: SystemPreset) -> TrainReport {
+fn run(seed: u64, preset: SystemPreset, faults: FaultConfig) -> TrainReport {
     let dataset = CtrDataset::new(CtrConfig::tiny(seed));
     let mut config = TrainerConfig::tiny(preset);
     config.seed = seed;
     config.max_iterations = 240;
+    config.faults = faults;
     let mut trainer = Trainer::new(config, dataset, |rng| WideDeep::new(rng, 4, 8, &[16]));
     trainer.run()
 }
 
-#[test]
-fn identical_seeds_identical_reports_bsp() {
-    let a = run(7, SystemPreset::HetCache { staleness: 10 });
-    let b = run(7, SystemPreset::HetCache { staleness: 10 });
-    assert_eq!(a.total_sim_time, b.total_sim_time);
-    assert_eq!(a.total_iterations, b.total_iterations);
-    assert_eq!(a.comm, b.comm);
-    assert_eq!(a.cache, b.cache);
-    assert_eq!(a.final_metric, b.final_metric);
-    assert_eq!(
-        a.curve.iter().map(|p| p.metric).collect::<Vec<_>>(),
-        b.curve.iter().map(|p| p.metric).collect::<Vec<_>>()
-    );
+/// A fault schedule dense enough to exercise crashes, failover, and
+/// stragglers inside a 240-iteration tiny run. The horizon is sized
+/// from a clean run of the same cell so every event lands in-run.
+fn fault_spec(horizon: SimDuration) -> FaultConfig {
+    let mut cfg = FaultConfig::disabled();
+    cfg.enabled = true;
+    cfg.checkpoint_every = 20;
+    cfg.spec.worker_crashes = 2;
+    cfg.spec.shard_outages = 1;
+    cfg.spec.stragglers = 1;
+    cfg.spec.message_drop_prob = 0.01;
+    cfg.spec.horizon = horizon;
+    cfg
 }
 
+/// Two runs of the same configuration must produce JSON-identical
+/// reports — every metric, counter, curve point, and fault event.
+/// Checked across the full sync-mode matrix (BSP / SSP / ASP), clean
+/// and faulted, under several seeds each.
 #[test]
-fn identical_seeds_identical_reports_asp() {
-    // The asynchronous event queue must also be deterministic.
-    let a = run(9, SystemPreset::HetPs);
-    let b = run(9, SystemPreset::HetPs);
-    assert_eq!(a.total_sim_time, b.total_sim_time);
-    assert_eq!(a.comm, b.comm);
-    assert_eq!(a.final_metric, b.final_metric);
+fn seed_matrix_identical_reports() {
+    let presets: [(SystemPreset, &str); 3] = [
+        (SystemPreset::HetCache { staleness: 10 }, "bsp-cached"),
+        (SystemPreset::Ssp { staleness: 2 }, "ssp"),
+        (SystemPreset::HetPs, "asp"),
+    ];
+    for (preset, label) in presets {
+        for seed in [3u64, 7, 9] {
+            let clean_a = run(seed, preset, FaultConfig::disabled());
+            let clean_b = run(seed, preset, FaultConfig::disabled());
+            // The JSON fingerprint covers the whole report: one
+            // diverging byte anywhere fails the matrix cell.
+            assert_eq!(
+                clean_a.to_json().encode(),
+                clean_b.to_json().encode(),
+                "{label} seed {seed} clean: reports diverged"
+            );
+
+            let horizon = SimDuration::from_secs_f64(clean_a.total_sim_time.as_secs_f64() * 0.8);
+            let faulted_a = run(seed, preset, fault_spec(horizon));
+            let faulted_b = run(seed, preset, fault_spec(horizon));
+            assert_eq!(
+                faulted_a.to_json().encode(),
+                faulted_b.to_json().encode(),
+                "{label} seed {seed} faulted: reports diverged"
+            );
+            assert!(
+                faulted_a.faults.worker_crashes > 0 || faulted_a.faults.shard_failovers > 0,
+                "{label} seed {seed}: fault schedule never fired — matrix \
+                 cell is not actually exercising the faulted path"
+            );
+            // Faults must actually perturb the run, or the faulted
+            // half of the matrix degenerates into the clean half.
+            assert_ne!(
+                clean_a.to_json().encode(),
+                faulted_a.to_json().encode(),
+                "{label} seed {seed}: faulted run identical to clean run"
+            );
+        }
+    }
 }
 
 #[test]
 fn different_seeds_differ() {
-    let a = run(1, SystemPreset::HetCache { staleness: 10 });
-    let b = run(2, SystemPreset::HetCache { staleness: 10 });
+    let a = run(
+        1,
+        SystemPreset::HetCache { staleness: 10 },
+        FaultConfig::disabled(),
+    );
+    let b = run(
+        2,
+        SystemPreset::HetCache { staleness: 10 },
+        FaultConfig::disabled(),
+    );
     // Different data & init ⇒ different learning trajectory.
     assert_ne!(a.final_metric, b.final_metric);
 }

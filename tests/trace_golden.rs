@@ -117,7 +117,7 @@ fn traces_are_schema_valid_and_cover_every_component() {
     assert!(report.faults.shard_failovers > 0, "failover never fired");
 
     let summary = trace::schema::validate_jsonl(&log.to_jsonl()).expect("schema-valid");
-    for comp in ["cache", "ps", "simnet", "trainer"] {
+    for comp in ["cache", "client", "ps", "simnet", "trainer"] {
         assert!(
             summary.components.contains(comp),
             "component {comp} missing from {:?}",
@@ -130,6 +130,7 @@ fn traces_are_schema_valid_and_cover_every_component() {
         "trainer.write",
         "trainer.barrier",
         "trainer.worker_crash",
+        "client.read_window",
         "ps.failover",
         "ps.checkpoint",
     ] {
@@ -164,6 +165,15 @@ fn trace_counters_reconcile_with_report_statistics() {
     assert_eq!(log.counter("cache", "hits"), report.cache.hits);
     assert_eq!(log.counter("cache", "misses"), report.cache.misses);
     assert_eq!(log.counter("cache", "writebacks"), report.cache.writebacks);
+    assert_eq!(log.counter("cache", "dirtied"), report.cache.dirtied);
+    // Gradient conservation, run-wide: every clean→dirty transition is
+    // either written back or lost to an injected crash (finalize
+    // flushes the remainder, so nothing stays resident at the end).
+    assert_eq!(
+        report.cache.dirtied,
+        report.cache.writebacks + report.faults.dirty_entries_lost,
+        "dirtied entries neither written back nor accounted as crash loss"
+    );
     assert_eq!(
         log.counter("cache", "invalidations"),
         report.cache.invalidations
@@ -260,6 +270,39 @@ fn committed_golden_fixtures_validate_against_the_schema() {
             );
         }
         assert_eq!(summary.components.contains("cache"), want_cache, "{name}");
+        // The clock-window read events only exist on the cached path;
+        // a DirectPsClient never admits stale state, so it emits none.
+        assert_eq!(summary.components.contains("client"), want_cache, "{name}");
+    }
+}
+
+/// The committed fixtures must be byte-identical to a freshly derived
+/// trace: this catches an instrumentation change that forgot to
+/// regenerate them (the ignored `regenerate_golden_fixtures` test).
+#[test]
+fn golden_fixtures_are_current() {
+    for (name, log) in [
+        ("bsp_cache_faulted.trace.jsonl", fixture_bsp_faulted()),
+        ("asp_ps_clean.trace.jsonl", fixture_asp_clean()),
+    ] {
+        let path = format!("{GOLDEN_DIR}/{name}");
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden fixture {path}: {e}"));
+        let derived = log.to_jsonl();
+        assert_eq!(
+            committed, derived,
+            "{name}: committed fixture is stale — regenerate with \
+             `cargo test -p het --test trace_golden -- --ignored regenerate`"
+        );
+        // The replay API must read back exactly what the writer emits,
+        // from text or from the in-memory log.
+        let parsed = trace::replay::ReplayLog::parse(&committed)
+            .unwrap_or_else(|e| panic!("{name}: replay parse failed: {e}"));
+        assert_eq!(
+            parsed,
+            trace::replay::ReplayLog::from(&log),
+            "{name}: replay-from-text and replay-from-memory disagree"
+        );
     }
 }
 
