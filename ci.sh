@@ -17,7 +17,8 @@ cargo build --release
 echo "==> cargo test -q (tier-1, per-package timing)"
 suite_start=$(date +%s)
 for pkg in het-json het-rng het-trace het-simnet het-tensor het-data \
-           het-ps het-cache het-models het-core het-oracle het-bench het; do
+           het-ps het-cache het-models het-core het-serve het-oracle \
+           het-bench het; do
     pkg_start=$(date +%s)
     cargo test -q -p "$pkg"
     echo "    [timing] $pkg: $(($(date +%s) - pkg_start))s"
@@ -29,6 +30,9 @@ cargo test -q -p het --test trace_golden
 
 echo "==> golden fixtures current (re-derive and byte-diff against committed)"
 cargo test -q -p het --test trace_golden golden_fixtures_are_current
+
+echo "==> serving subsystem (determinism, staleness window, warmup, faults)"
+cargo test -q -p het --test serving
 
 echo "==> consistency oracle (short fuzz campaign, fixed seed range)"
 cargo run -q --release -p het-bench --bin hetctl -- oracle --seeds 0..120 --iters 40

@@ -3,6 +3,7 @@
 //! ```text
 //! hetctl train   --workload wdl --system het-cache --staleness 100 [...]
 //! hetctl compare --workload wdl --baseline het-hybrid --staleness 100 [...]
+//! hetctl serve   --replicas 2 --rate 10000 --cache 10000 --staleness 10 [...]
 //! hetctl oracle  --seeds 0..500 --iters 50
 //! hetctl oracle  --repro target/oracle/repro-0-17.json
 //! hetctl list
@@ -11,9 +12,12 @@
 //! Runs a (workload × system) training simulation and prints the report;
 //! `compare` additionally runs a baseline and prints speedups — the
 //! quickest way to poke at the paper's claims with custom parameters.
-//! `oracle` runs the model-based consistency oracle over a seed range of
-//! fuzzed schedules (see `het-oracle`), shrinking and writing a repro
-//! file for any violation; `--repro` replays such a file.
+//! `serve` runs the online-inference subsystem (`het-serve`): N replicas
+//! with staleness-bounded caches serving Zipf traffic, optionally while
+//! training keeps updating the PS. `oracle` runs the model-based
+//! consistency oracle over a seed range of fuzzed schedules (see
+//! `het-oracle`), shrinking and writing a repro file for any violation;
+//! `--repro` replays such a file.
 
 use het_bench::{run_workload, run_workload_traced, RunSummary, Workload};
 use het_cache::PolicyKind;
@@ -204,6 +208,135 @@ fn run_one(
     Ok((summary, report, log))
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use het_serve::{ServeConfig, ServeSim};
+
+    let mut cfg = ServeConfig::new(args.get_parsed("seed", 42)?);
+    cfg.n_replicas = args.get_parsed("replicas", cfg.n_replicas)?;
+    cfg.dim = args.get_parsed("dim", cfg.dim)?;
+    cfg.n_fields = args.get_parsed("fields", cfg.n_fields)?;
+    cfg.n_keys = args.get_parsed("keys", cfg.n_keys)?;
+    cfg.cache_capacity = args.get_parsed("cache", cfg.cache_capacity)?;
+    cfg.staleness = args.get_parsed("staleness", cfg.staleness)?;
+    cfg.policy = policy_of(args.get("policy").unwrap_or("lightlfu"))?;
+    cfg.arrival_rate = args.get_parsed("rate", cfg.arrival_rate)?;
+    cfg.n_requests = args.get_parsed("requests", cfg.n_requests)?;
+    cfg.zipf_exponent = args.get_parsed("zipf", cfg.zipf_exponent)?;
+    cfg.max_batch = args.get_parsed("max-batch", cfg.max_batch)?;
+    cfg.max_queue_delay = SimDuration::from_micros(args.get_parsed("max-delay-us", 200u64)?);
+    cfg.train_rate = args.get_parsed("train-rate", cfg.train_rate)?;
+    cfg.pretrain_updates = args.get_parsed("pretrain-updates", cfg.pretrain_updates)?;
+    cfg.warmup_requests = args.get_parsed("warmup", cfg.warmup_requests)?;
+    cfg.n_shards = args.get_parsed("servers", cfg.n_shards)?;
+    let drift_ms: f64 = args.get_parsed("drift-period-ms", 0.0)?;
+    if drift_ms > 0.0 {
+        cfg.drift_period = SimDuration::from_secs_f64(drift_ms / 1e3);
+        cfg.drift_step = args.get_parsed("drift-step", 1u64)?;
+    }
+    let flash_at_ms: f64 = args.get_parsed("flash-at-ms", -1.0)?;
+    if flash_at_ms >= 0.0 {
+        cfg.flash_at =
+            Some(het_simnet::SimTime::ZERO + SimDuration::from_secs_f64(flash_at_ms / 1e3));
+        cfg.flash_duration =
+            SimDuration::from_secs_f64(args.get_parsed("flash-dur-ms", 10.0)? / 1e3);
+        cfg.flash_factor = args.get_parsed("flash-x", 4.0)?;
+        cfg.flash_hot_keys = args.get_parsed("flash-hot", 64u64)?;
+    }
+    cfg.faults = fault_config_of(args)?;
+    cfg.cluster = match args.get("network").unwrap_or("1gbe") {
+        "10gbe" => ClusterSpec::cluster_b(cfg.n_replicas, cfg.n_shards),
+        _ => ClusterSpec::cluster_a(cfg.n_replicas, cfg.n_shards),
+    };
+
+    let trace_path = args.get("trace").map(str::to_string);
+    let chrome_path = args.get("trace-chrome").map(str::to_string);
+    let traced = trace_path.is_some() || chrome_path.is_some();
+    if traced {
+        het_trace::start(vec![
+            ("kind".to_string(), het_json::Json::Str("serve".to_string())),
+            ("seed".to_string(), het_json::Json::UInt(cfg.seed)),
+        ]);
+    }
+    let (n_fields, dim) = (cfg.n_fields, cfg.dim);
+    let report = ServeSim::new(cfg, move |rng| {
+        het_models::WideDeep::new(rng, n_fields, dim, &[32])
+    })
+    .run();
+    let log = traced.then(het_trace::finish);
+
+    println!("replicas          {}", report.n_replicas);
+    println!(
+        "cache             {} entries, policy {}, staleness {}",
+        report.cache_capacity, report.policy, report.staleness
+    );
+    println!("requests          {}", report.requests);
+    println!(
+        "batches           {} (mean size {:.2})",
+        report.batches, report.mean_batch_size
+    );
+    println!(
+        "simulated time    {:.3} ms",
+        report.sim_time_ns as f64 / 1e6
+    );
+    println!("throughput        {:.0} req/s", report.throughput_rps);
+    println!(
+        "latency           p50 {:.1} us, p95 {:.1} us, p99 {:.1} us, max {:.1} us",
+        report.latency_p50_ns as f64 / 1e3,
+        report.latency_p95_ns as f64 / 1e3,
+        report.latency_p99_ns as f64 / 1e3,
+        report.latency_max_ns as f64 / 1e3
+    );
+    println!(
+        "cache miss rate   {:.2} % ({} hits / {} misses / {} invalidations)",
+        100.0 * report.cache.miss_rate(),
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.invalidations
+    );
+    if report.warmed_keys > 0 {
+        println!("warmed keys       {} per replica", report.warmed_keys);
+    }
+    if report.train_updates > 0 || report.pretrain_updates > 0 {
+        println!(
+            "training feed     {} pretrain + {} concurrent updates",
+            report.pretrain_updates, report.train_updates
+        );
+    }
+    let f = &report.faults;
+    if f != &het_core::FaultStats::default() {
+        println!("--- faults ---");
+        println!(
+            "replica crashes   {} ({} cached keys dropped cold)",
+            f.worker_crashes, f.keys_lost
+        );
+        println!("shard failovers   {}", f.shard_failovers);
+        println!("degraded reads    {}", f.degraded_reads);
+    }
+    for r in &report.replicas {
+        println!(
+            "replica {}         {} reqs, {} batches, {} crashes, miss {:.2} %, p99 {:.1} us",
+            r.replica,
+            r.requests,
+            r.batches,
+            r.crashes,
+            100.0 * r.cache.miss_rate(),
+            r.p99_ns as f64 / 1e3
+        );
+    }
+    if let Some(log) = log {
+        if let Some(p) = &trace_path {
+            std::fs::write(p, log.to_jsonl()).map_err(|e| format!("--trace {p}: {e}"))?;
+            eprintln!("[trace jsonl] {p}");
+        }
+        if let Some(p) = &chrome_path {
+            std::fs::write(p, het_trace::chrome::to_chrome_trace(&log))
+                .map_err(|e| format!("--trace-chrome {p}: {e}"))?;
+            eprintln!("[trace chrome] {p}");
+        }
+    }
+    Ok(())
+}
+
 /// Parses `"A..B"` into a half-open index range.
 fn seed_range_of(s: &str) -> Result<(u64, u64), String> {
     let (a, b) = s
@@ -298,7 +431,7 @@ fn cmd_oracle(args: &Args) -> Result<(), String> {
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first().map(String::as_str) else {
-        eprintln!("usage: hetctl <train|compare|oracle|list> [--flag value ...]");
+        eprintln!("usage: hetctl <train|compare|serve|oracle|list> [--flag value ...]");
         return ExitCode::FAILURE;
     };
     let result = match command {
@@ -315,6 +448,14 @@ fn main() -> ExitCode {
             println!("           --trace-chrome OUT.json (chrome://tracing view)");
             println!("oracle:    --seeds A..B --iters N --master-seed N --stop-after N");
             println!("           --sabotage-staleness N --out DIR --repro FILE.json");
+            println!("serve:     --replicas N --servers N --dim N --fields N --keys N");
+            println!("           --cache ENTRIES --staleness N --policy lru|lfu|lightlfu");
+            println!("           --rate REQ_PER_S --requests N --zipf EXP --seed N");
+            println!("           --max-batch N --max-delay-us US --network 1gbe|10gbe");
+            println!("           --train-rate UPDATES_PER_S --pretrain-updates N --warmup REQS");
+            println!("           --drift-period-ms MS --drift-step KEYS");
+            println!("           --flash-at-ms MS --flash-dur-ms MS --flash-x F --flash-hot N");
+            println!("           (plus the --fault-* and --trace* flags above)");
             Ok(())
         }
         "train" | "compare" => (|| -> Result<(), String> {
@@ -359,9 +500,10 @@ fn main() -> ExitCode {
             }
             Ok(())
         })(),
+        "serve" => Args::parse(&argv[1..]).and_then(|args| cmd_serve(&args)),
         "oracle" => Args::parse(&argv[1..]).and_then(|args| cmd_oracle(&args)),
         other => Err(format!(
-            "unknown command '{other}' (try: train compare oracle list)"
+            "unknown command '{other}' (try: train compare serve oracle list)"
         )),
     };
     match result {

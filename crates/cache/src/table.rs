@@ -20,6 +20,9 @@ pub struct CacheTable {
     /// (read-my-updates); matches the server's learning rate.
     lr: f32,
     stats: CacheStats,
+    /// Serving mode: the write path (`update`/`bump_clock`) is a
+    /// protocol violation and panics. See [`CacheTable::set_read_only`].
+    read_only: bool,
 }
 
 impl CacheTable {
@@ -36,7 +39,24 @@ impl CacheTable {
             capacity,
             lr,
             stats: CacheStats::default(),
+            read_only: false,
         }
+    }
+
+    /// Switches the table into (or out of) read-only serving mode.
+    ///
+    /// An inference replica only ever installs server-fetched vectors and
+    /// evicts; it must never accumulate pending gradients, or its entries
+    /// would silently go dirty and the replica would start pushing
+    /// garbage on eviction. In read-only mode [`CacheTable::update`] and
+    /// [`CacheTable::bump_clock`] panic instead.
+    pub fn set_read_only(&mut self, read_only: bool) {
+        self.read_only = read_only;
+    }
+
+    /// True when the table rejects the write path.
+    pub fn read_only(&self) -> bool {
+        self.read_only
     }
 
     /// Maximum number of resident embeddings.
@@ -145,9 +165,13 @@ impl CacheTable {
     /// iteration that updated the key (paper `Het.Cache.Clock`).
     ///
     /// # Panics
-    /// Panics if the key is not resident or the gradient has the wrong
-    /// dimension — both protocol violations.
+    /// Panics if the key is not resident, the gradient has the wrong
+    /// dimension, or the table is read-only — all protocol violations.
     pub fn update(&mut self, key: Key, grad: &[f32]) {
+        assert!(
+            !self.read_only,
+            "gradient accumulation against a read-only serving cache"
+        );
         let lr = self.lr;
         let e = self
             .entries
@@ -170,8 +194,12 @@ impl CacheTable {
     /// `Het.Cache.Clock`: increments `c_c` by one.
     ///
     /// # Panics
-    /// Panics if the key is not resident.
+    /// Panics if the key is not resident or the table is read-only.
     pub fn bump_clock(&mut self, key: Key) {
+        assert!(
+            !self.read_only,
+            "clock bump against a read-only serving cache"
+        );
         let e = self
             .entries
             .get_mut(&key)
@@ -475,5 +503,42 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = CacheTable::new(0, PolicyKind::Lru, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only serving cache")]
+    fn read_only_rejects_update() {
+        let mut t = table(4);
+        let _ = t.install(1, vec![0.0], 0);
+        t.set_read_only(true);
+        t.update(1, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only serving cache")]
+    fn read_only_rejects_clock_bump() {
+        let mut t = table(4);
+        let _ = t.install(1, vec![0.0], 0);
+        t.set_read_only(true);
+        t.bump_clock(1);
+    }
+
+    #[test]
+    fn read_only_allows_the_read_protocol() {
+        let mut t = table(2);
+        t.set_read_only(true);
+        assert!(t.read_only());
+        // Fetch-landing, lookup, overflow eviction, and crash-clear are
+        // all part of serving; only gradient state is off limits.
+        let _ = t.install(1, vec![1.0], 0);
+        let _ = t.install(2, vec![2.0], 0);
+        let _ = t.install(3, vec![3.0], 0);
+        assert_eq!(t.get(3).unwrap(), &[3.0]);
+        let evicted = t.evict_overflow();
+        assert_eq!(evicted.len(), 1);
+        assert!(evicted.iter().all(|(_, e)| !e.dirty));
+        let lost = t.crash_clear();
+        assert!(lost.iter().all(|(_, e)| !e.dirty));
+        assert!(t.is_empty());
     }
 }

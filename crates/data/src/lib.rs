@@ -27,7 +27,7 @@ pub mod zipf;
 
 pub use ctr::{CtrBatch, CtrConfig, CtrDataset};
 pub use graph::{GnnBatch, Graph, GraphConfig, NeighborSampler};
-pub use metrics::{auc, log_loss};
+pub use metrics::{auc, log_loss, LatencyHistogram};
 pub use topk::SpaceSaving;
 pub use zipf::ZipfSampler;
 

@@ -1,5 +1,6 @@
 //! Evaluation metrics: ROC AUC (the paper's Criteo quality metric,
-//! thresholds around 0.80 in §5) and log loss.
+//! thresholds around 0.80 in §5), log loss, and a deterministic
+//! streaming latency histogram for the serving path.
 
 /// Area under the ROC curve for scores against {0,1} labels, computed by
 /// the rank-sum (Mann–Whitney U) method with average ranks for ties.
@@ -68,6 +69,130 @@ pub fn log_loss(probs: &[f32], labels: &[f32]) -> f64 {
     total / probs.len() as f64
 }
 
+/// Sub-bucket resolution of [`LatencyHistogram`]: each power-of-two
+/// range is split into `2^SUB_BITS` equal bins, bounding the relative
+/// quantile error by `2^-SUB_BITS` (6.25 %).
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+/// Bucket count covering the full `u64` range at `SUB_BITS` resolution.
+const BUCKETS: usize = (64 - SUB_BITS as usize) * SUB + 1;
+
+/// A deterministic streaming quantile estimator: a fixed-bin log-scale
+/// histogram over `u64` values (latencies in nanoseconds).
+///
+/// Values below `2^SUB_BITS` land in exact unit-width bins; above that,
+/// each power-of-two range is split into `2^SUB_BITS` sub-bins, so a
+/// quantile read back from the histogram overshoots the true sample
+/// quantile by at most one part in `2^SUB_BITS` (6.25 %). Everything is
+/// integer arithmetic over a fixed layout — the same stream of `record`
+/// calls always produces the same bytes, which is what the serving
+/// report's byte-identity contract needs. O(1) per record, O(buckets)
+/// per quantile, ~8 KiB of state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// The bucket index of `v`: exact below `2^SUB_BITS`, log-scale with
+    /// `2^SUB_BITS` sub-bins per octave above.
+    fn bucket_of(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        (shift as usize) * SUB + (v >> shift) as usize
+    }
+
+    /// The largest value that maps to bucket `b` (inclusive upper bound).
+    fn upper_of(b: usize) -> u64 {
+        if b < SUB {
+            return b as u64;
+        }
+        let shift = (b / SUB - 1) as u32;
+        let sub = (b % SUB + SUB) as u128;
+        // The very top bucket's bound exceeds u64; saturate.
+        (((sub + 1) << shift) - 1).min(u64::MAX as u128) as u64
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.total += 1;
+        self.max = self.max.max(v);
+        self.sum += v as u128;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The largest recorded observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded observations (exact, from the running sum).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`): the upper bound of the bucket
+    /// holding the sample of rank `⌈q·n⌉`, capped at the recorded
+    /// maximum. Guaranteed `≥` the true sample quantile and within one
+    /// sub-bin width (`2^-SUB_BITS` relative) above it. Returns 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::upper_of(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +258,105 @@ mod tests {
     #[test]
     fn log_loss_empty_is_zero() {
         assert_eq!(log_loss(&[], &[]), 0.0);
+    }
+
+    /// Exact sample quantile (rank ⌈q·n⌉) from a sorted slice.
+    fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    fn check_against_ground_truth(values: &[u64]) {
+        let mut h = LatencyHistogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(h.count(), values.len() as u64);
+        assert_eq!(h.max(), *sorted.last().unwrap());
+        for q in [0.5, 0.95, 0.99, 1.0] {
+            let truth = true_quantile(&sorted, q);
+            let est = h.quantile(q);
+            // Never below the true quantile, never more than one
+            // sub-bin (1/16 relative) above it.
+            assert!(est >= truth, "q={q}: est {est} < truth {truth}");
+            assert!(
+                est <= truth + truth / 16 + 1,
+                "q={q}: est {est} too far above truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_matches_sorted_sample_small_values() {
+        check_against_ground_truth(&[3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 0, 7, 15, 12]);
+    }
+
+    #[test]
+    fn histogram_matches_sorted_sample_wide_range() {
+        // Latency-like spread: sub-µs to seconds, in nanoseconds.
+        let mut values = Vec::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..5000 {
+            // Cheap deterministic pseudo-random walk over 10 orders
+            // of magnitude.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            values.push(100 + x % 10_000_000_000);
+        }
+        check_against_ground_truth(&values);
+    }
+
+    #[test]
+    fn histogram_matches_sorted_sample_heavy_ties() {
+        let mut values = vec![250_000u64; 900];
+        values.extend(std::iter::repeat_n(4_000_000u64, 95));
+        values.extend(std::iter::repeat_n(60_000_000u64, 5));
+        check_against_ground_truth(&values);
+    }
+
+    #[test]
+    fn histogram_empty_returns_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_stream() {
+        let stream_a = [5u64, 900, 44_000, 1_000_000, 17];
+        let stream_b = [123u64, 123, 9_999_999, 2];
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        for &v in &stream_a {
+            a.record(v);
+            combined.record(v);
+        }
+        for &v in &stream_b {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+        assert_eq!(a.quantile(0.5), combined.quantile(0.5));
+        assert_eq!(a.mean(), combined.mean());
+    }
+
+    #[test]
+    fn histogram_bucket_bounds_are_consistent() {
+        // Every value maps to a bucket whose upper bound contains it
+        // and whose predecessor's upper bound does not.
+        for v in (0u64..4096).chain([u64::MAX, u64::MAX - 1, 1 << 40, (1 << 40) + 1]) {
+            let b = LatencyHistogram::bucket_of(v);
+            assert!(v <= LatencyHistogram::upper_of(b), "v={v} b={b}");
+            if b > 0 {
+                assert!(v > LatencyHistogram::upper_of(b - 1), "v={v} b={b}");
+            }
+        }
     }
 }

@@ -19,6 +19,7 @@
 //! | substrate | [`cache`] | the cache table, clocks, LRU/LFU/LightLFU |
 //! | framework | [`core`] | HET client, consistency model, trainer |
 //! | models | [`models`] | WDL, DeepFM, DCN, GraphSAGE |
+//! | serving | [`serve`] | online inference replicas over the cached store |
 //! | observability | [`trace`] | deterministic structured event traces |
 //!
 //! ## Quickstart
@@ -49,6 +50,7 @@ pub use het_data as data;
 pub use het_json as json;
 pub use het_models as models;
 pub use het_ps as ps;
+pub use het_serve as serve;
 pub use het_simnet as simnet;
 pub use het_tensor as tensor;
 pub use het_trace as trace;
@@ -71,6 +73,7 @@ pub mod prelude {
     pub use het_ps::{
         CheckpointRow, FailoverOutcome, PsConfig, PsServer, ServerOptimizer, ShardCheckpointStore,
     };
+    pub use het_serve::{ServeConfig, ServeReport, ServeSim};
     pub use het_simnet::{
         ClusterSpec, CommCategory, CommStats, FaultEvent, FaultPlan, FaultSpec, LinkSpec,
         SimDuration, SimTime,

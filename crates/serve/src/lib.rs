@@ -1,0 +1,37 @@
+//! Online inference serving over the cached embedding store.
+//!
+//! The paper trains huge embedding models behind a clock-bounded cache
+//! (`CheckValid`, §3.2); this crate points the same machinery at the
+//! *serving* side of the north star — "serving heavy traffic from
+//! millions of users" — as a deterministic simulation on `het-simnet`
+//! time:
+//!
+//! * an **open-loop request generator** — Poisson-like arrivals with
+//!   Zipf key popularity, hot-set drift, and a flash-crowd knob
+//!   ([`workload`]);
+//! * **N inference replicas**, each a trained `het-models` forward pass
+//!   behind a read-mostly embedding cache (any of the LRU/LFU/LightLFU
+//!   policies) doing staleness-bounded reads against the live PS — so
+//!   serving concurrent with training exposes the freshness/latency
+//!   trade-off ([`sim`]);
+//! * **micro-batching** per replica (max batch size + max queue delay)
+//!   with full queueing/latency accounting into a [`ServeReport`]
+//!   (throughput, p50/p95/p99 from a deterministic histogram,
+//!   per-replica cache stats);
+//! * **fault integration**: replica crashes cold-restart the cache,
+//!   PS-shard failover degrades gracefully to stale serving (§3.3), and
+//!   everything lands in the `serve` trace component.
+//!
+//! Same seed ⇒ byte-identical report JSON and byte-identical trace.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod report;
+pub mod sim;
+pub mod workload;
+
+pub use config::ServeConfig;
+pub use report::{ReplicaReport, ServeReport};
+pub use sim::ServeSim;
+pub use workload::{generate_requests, Request, TrainFeed};

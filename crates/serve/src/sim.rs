@@ -1,0 +1,437 @@
+//! The discrete-event serving simulator.
+//!
+//! N replicas, each a [`HetClient`] read path in front of a trained
+//! model, drain an open-loop request schedule under join-shortest-queue
+//! routing and per-replica micro-batching. Everything advances on
+//! `het-simnet` time through one [`EventQueue`], so a run is a pure
+//! function of its [`ServeConfig`].
+
+use crate::config::ServeConfig;
+use crate::report::{ReplicaReport, ServeReport};
+use crate::workload::{generate_requests, key_of, warmup_seed, Request, TrainFeed};
+use het_core::fault::{FaultContext, FaultStats};
+use het_core::HetClient;
+use het_data::{CtrBatch, Key, LatencyHistogram, SpaceSaving, ZipfSampler};
+use het_models::{EmbeddingModel, ModelBatch};
+use het_ps::{PsConfig, PsServer, ServerOptimizer};
+use het_rng::rngs::StdRng;
+use het_rng::SeedableRng;
+use het_simnet::{Collectives, CommStats, EventQueue, FaultPlan, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Serving is forward-only; the models estimate forward+backward FLOPs,
+/// of which the forward pass is roughly a third (one matmul sweep
+/// instead of three). Fixed so reports are comparable across runs.
+const FORWARD_FLOP_FRACTION: f64 = 1.0 / 3.0;
+
+enum Ev {
+    /// Request `i` of the schedule arrives at the balancer.
+    Arrive(usize),
+    /// Replica wakes up (restart finished, batch finished, or the
+    /// oldest queued request hit its queue-delay deadline).
+    Wake(usize),
+}
+
+struct Replica<M> {
+    client: HetClient,
+    model: M,
+    queue: VecDeque<usize>,
+    busy_until: SimTime,
+    /// Crash schedule `(at, restart_delay)`, consumed in order.
+    crashes: Vec<(SimTime, SimDuration)>,
+    next_crash: usize,
+    comm: CommStats,
+    ops: u64,
+    hist: LatencyHistogram,
+    requests: u64,
+    batches: u64,
+    crash_count: u64,
+}
+
+/// A deterministic online-inference run: request generation, replica
+/// micro-batching, staleness-bounded embedding reads against a live PS,
+/// and fault injection, accounted into a [`ServeReport`].
+pub struct ServeSim<M: EmbeddingModel<Batch = CtrBatch>> {
+    cfg: ServeConfig,
+    server: PsServer,
+    net: Collectives,
+    replicas: Vec<Replica<M>>,
+    plan: FaultPlan,
+    fault_stats: FaultStats,
+    feed: TrainFeed,
+    requests: Vec<Request>,
+    hist: LatencyHistogram,
+    queue_wait_ns: u64,
+    lookup_ns: u64,
+    infer_ns: u64,
+    score_sum: f64,
+    score_count: u64,
+    warmed_keys: u64,
+    end_time: SimTime,
+}
+
+impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
+    /// Builds the simulator. `model_fn` constructs one replica's model
+    /// from a seeded RNG; every replica gets an identically seeded RNG,
+    /// so the fleet serves the same model.
+    pub fn new(cfg: ServeConfig, model_fn: impl Fn(&mut StdRng) -> M) -> Self {
+        cfg.validate();
+        let server = PsServer::new(PsConfig {
+            dim: cfg.dim,
+            n_shards: cfg.n_shards,
+            lr: cfg.lr,
+            seed: cfg.seed,
+            optimizer: ServerOptimizer::Sgd,
+            grad_clip: None,
+        });
+        let plan = cfg.faults.plan(cfg.seed, cfg.n_replicas, cfg.n_shards);
+        let replicas = (0..cfg.n_replicas)
+            .map(|r| {
+                let mut client = HetClient::new(
+                    cfg.cache_capacity,
+                    cfg.staleness,
+                    cfg.policy,
+                    cfg.dim,
+                    cfg.lr,
+                );
+                // A serving replica must never dirty an entry — enforce
+                // it at the table level, not by convention.
+                client.cache_mut().set_read_only(true);
+                let mut model_rng = StdRng::seed_from_u64(cfg.seed);
+                let model = model_fn(&mut model_rng);
+                assert_eq!(
+                    model.embedding_dim(),
+                    cfg.dim,
+                    "model embedding dim must match the config"
+                );
+                Replica {
+                    client,
+                    model,
+                    queue: VecDeque::new(),
+                    busy_until: SimTime::ZERO,
+                    crashes: plan.worker_crashes(r),
+                    next_crash: 0,
+                    comm: CommStats::default(),
+                    ops: 0,
+                    hist: LatencyHistogram::new(),
+                    requests: 0,
+                    batches: 0,
+                    crash_count: 0,
+                }
+            })
+            .collect();
+        let feed = TrainFeed::new(&cfg);
+        let requests = generate_requests(&cfg);
+        ServeSim {
+            net: cfg.cluster.collectives(),
+            server,
+            replicas,
+            plan,
+            fault_stats: FaultStats::default(),
+            feed,
+            requests,
+            hist: LatencyHistogram::new(),
+            queue_wait_ns: 0,
+            lookup_ns: 0,
+            infer_ns: 0,
+            score_sum: 0.0,
+            score_count: 0,
+            warmed_keys: 0,
+            end_time: SimTime::ZERO,
+            cfg,
+        }
+    }
+
+    /// SpaceSaving warmup: replays the popularity distribution through
+    /// the sketch offline, then pre-installs its top keys into every
+    /// replica cache before the first request lands.
+    fn warm_replicas(&mut self) {
+        if self.cfg.warmup_requests == 0 {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(warmup_seed(&self.cfg));
+        let zipf = ZipfSampler::new(self.cfg.n_keys as usize, self.cfg.zipf_exponent);
+        let mut sketch = SpaceSaving::new(self.cfg.cache_capacity);
+        for _ in 0..self.cfg.warmup_requests * self.cfg.n_fields {
+            let rank = zipf.sample(&mut rng) as u64;
+            sketch.observe(key_of(rank, SimTime::ZERO, &self.cfg));
+        }
+        let top: Vec<(Key, u64)> = sketch.top(self.cfg.cache_capacity);
+        self.warmed_keys = top.len() as u64;
+        for (r, replica) in self.replicas.iter_mut().enumerate() {
+            het_trace::set_scope(0, Some(r as u64));
+            for &(k, _) in &top {
+                let pulled = self.server.pull(k);
+                let displaced = replica
+                    .client
+                    .cache_mut()
+                    .install(k, pulled.vector, pulled.clock);
+                debug_assert!(displaced.is_none(), "warmup installs into an empty cache");
+            }
+            het_trace::counter_add("serve", "warmed_keys", top.len() as u64);
+        }
+    }
+
+    /// Join-shortest-queue, ties to the earliest-free then lowest index.
+    fn route(&self) -> usize {
+        let mut best = 0usize;
+        for r in 1..self.replicas.len() {
+            let (a, b) = (&self.replicas[r], &self.replicas[best]);
+            if (a.queue.len(), a.busy_until, r) < (b.queue.len(), b.busy_until, best) {
+                best = r;
+            }
+        }
+        best
+    }
+
+    /// Applies any crash scheduled at or before `t` to replica `r`:
+    /// the cache is lost cold and the replica is out until the restart
+    /// delay elapses. Queued requests survive (the balancer holds
+    /// them), which is how the latency cost of a crash surfaces.
+    fn apply_crashes(&mut self, r: usize, t: SimTime) {
+        let replica = &mut self.replicas[r];
+        while replica.next_crash < replica.crashes.len()
+            && replica.crashes[replica.next_crash].0 <= t
+        {
+            let (at, restart) = replica.crashes[replica.next_crash];
+            replica.next_crash += 1;
+            het_trace::set_scope(at.as_nanos(), Some(r as u64));
+            let (lost, dirty_lost, _) = replica.client.crash_reset();
+            debug_assert_eq!(dirty_lost, 0, "read-only caches hold no dirty entries");
+            replica.busy_until = replica.busy_until.max(at + restart);
+            replica.crash_count += 1;
+            self.fault_stats.worker_crashes += 1;
+            self.fault_stats.keys_lost += lost;
+            het_trace::emit_at(
+                "serve",
+                "replica_crash",
+                at.as_nanos(),
+                Some(restart.as_nanos()),
+                vec![("keys_lost", het_trace::Value::from(lost))],
+            );
+        }
+    }
+
+    /// One scheduling step for replica `r` at time `t`: either launch a
+    /// micro-batch, or schedule the wake-up that will.
+    fn step(&mut self, r: usize, t: SimTime, q: &mut EventQueue<Ev>) {
+        self.apply_crashes(r, t);
+        let replica = &self.replicas[r];
+        if replica.queue.is_empty() {
+            return;
+        }
+        if t < replica.busy_until {
+            q.push(replica.busy_until, Ev::Wake(r));
+            return;
+        }
+        let oldest = self.requests[*replica.queue.front().expect("non-empty")].at;
+        let deadline = oldest + self.cfg.max_queue_delay;
+        if replica.queue.len() < self.cfg.max_batch && t < deadline {
+            q.push(deadline, Ev::Wake(r));
+            return;
+        }
+        self.execute_batch(r, t, q);
+    }
+
+    fn execute_batch(&mut self, r: usize, t: SimTime, q: &mut EventQueue<Ev>) {
+        // PS state is a function of simulated time alone: apply every
+        // training update due before this batch touches the server.
+        self.feed.advance(t, &self.server);
+        het_trace::set_scope(t.as_nanos(), Some(r as u64));
+
+        let replica = &mut self.replicas[r];
+        let n_take = replica.queue.len().min(self.cfg.max_batch);
+        let idxs: Vec<usize> = replica.queue.drain(..n_take).collect();
+        let depth_after = replica.queue.len();
+
+        // Staleness-bounded embedding resolution over the batch's
+        // unique keys (the micro-batch analogue of the trainer's read).
+        let mut unique: Vec<Key> = idxs
+            .iter()
+            .flat_map(|&i| self.requests[i].keys.iter().copied())
+            .collect();
+        unique.sort_unstable();
+        unique.dedup();
+        let degraded_before = self.fault_stats.degraded_reads;
+        let mut ctx = (!self.plan.is_empty()).then_some(FaultContext {
+            plan: &self.plan,
+            now: t,
+            worker: r,
+            max_retries: self.cfg.faults.max_retries,
+            retry_backoff: self.cfg.faults.retry_backoff,
+            ops: &mut replica.ops,
+            stats: &mut self.fault_stats,
+        });
+        let (store, t_lookup) = replica.client.read_faulty(
+            &unique,
+            &self.server,
+            &self.net,
+            &mut replica.comm,
+            ctx.as_mut(),
+        );
+        // `Het.Read` installs fetched entries past capacity; training
+        // trims the overflow in `Het.Write`, which serving never calls,
+        // so trim here. Read-only entries are always clean.
+        let evicted = replica.client.cache_mut().evict_overflow();
+        debug_assert!(
+            evicted.iter().all(|(_, e)| !e.dirty),
+            "read-only cache evicted a dirty entry"
+        );
+
+        // Forward pass over the batch.
+        let batch = CtrBatch {
+            keys: idxs
+                .iter()
+                .flat_map(|&i| self.requests[i].keys.iter().copied())
+                .collect(),
+            labels: vec![0.0; idxs.len()],
+            n_fields: self.cfg.n_fields,
+        };
+        let chunk = replica.model.evaluate(&batch, &store);
+        self.score_sum += chunk.scores.iter().map(|&s| s as f64).sum::<f64>();
+        self.score_count += chunk.scores.len() as u64;
+        let t_infer = self.cfg.cluster.compute_time(
+            replica.model.flops_per_batch(batch.n_examples()) * FORWARD_FLOP_FRACTION,
+        );
+        let service = t_lookup + t_infer;
+        let done = t + service;
+        replica.busy_until = done;
+        replica.batches += 1;
+        replica.requests += idxs.len() as u64;
+
+        // Accounting + trace.
+        self.lookup_ns += t_lookup.as_nanos();
+        self.infer_ns += t_infer.as_nanos();
+        het_trace::span!("serve", "lookup", t_lookup.as_nanos(), "keys" => unique.len());
+        het_trace::span!("serve", "infer", t_infer.as_nanos(), "examples" => idxs.len());
+        het_trace::span!("serve", "batch", service.as_nanos(),
+            "n" => idxs.len(), "depth_after" => depth_after);
+        het_trace::count!("serve", "batches");
+        het_trace::count!("serve", "requests", idxs.len() as u64);
+        let degraded_delta = self.fault_stats.degraded_reads - degraded_before;
+        if degraded_delta > 0 {
+            het_trace::count!("serve", "degraded_reads", degraded_delta);
+        }
+        for &i in &idxs {
+            let req = &self.requests[i];
+            let wait = t.since(req.at);
+            let latency = done.since(req.at);
+            self.queue_wait_ns += wait.as_nanos();
+            het_trace::count!("serve", "queue_wait_ns", wait.as_nanos());
+            self.hist.record(latency.as_nanos());
+            replica.hist.record(latency.as_nanos());
+            het_trace::emit_at(
+                "serve",
+                "request",
+                req.at.as_nanos(),
+                Some(latency.as_nanos()),
+                vec![("id", het_trace::Value::from(req.id))],
+            );
+        }
+        self.end_time = self.end_time.max(done);
+
+        if !self.replicas[r].queue.is_empty() {
+            q.push(done, Ev::Wake(r));
+        }
+    }
+
+    /// Runs the schedule to completion and produces the report. Every
+    /// generated request is served — the run only ends once all queues
+    /// drain.
+    pub fn run(mut self) -> ServeReport {
+        self.feed.pretrain(&self.server, self.cfg.pretrain_updates);
+        self.warm_replicas();
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        for (i, req) in self.requests.iter().enumerate() {
+            q.push(req.at, Ev::Arrive(i));
+        }
+        while let Some((t, ev)) = q.pop() {
+            match ev {
+                Ev::Arrive(i) => {
+                    let r = self.route();
+                    self.replicas[r].queue.push_back(i);
+                    self.step(r, t, &mut q);
+                }
+                Ev::Wake(r) => self.step(r, t, &mut q),
+            }
+        }
+        // Crashes scheduled after the last served batch still count.
+        for r in 0..self.replicas.len() {
+            let horizon = self.end_time;
+            self.apply_crashes(r, horizon);
+        }
+        self.fault_stats.shard_failovers = self
+            .plan
+            .shard_outages()
+            .iter()
+            .filter(|&&(_, at, _)| at <= self.end_time)
+            .count() as u64;
+        self.into_report()
+    }
+
+    fn into_report(self) -> ServeReport {
+        let mut cache = het_cache::CacheStats::default();
+        let mut served = 0u64;
+        let mut batches = 0u64;
+        let replicas: Vec<ReplicaReport> = self
+            .replicas
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let stats = *r.client.cache().stats();
+                cache.merge(&stats);
+                served += r.requests;
+                batches += r.batches;
+                ReplicaReport {
+                    replica: i,
+                    requests: r.requests,
+                    batches: r.batches,
+                    crashes: r.crash_count,
+                    cache: stats,
+                    p99_ns: r.hist.quantile(0.99),
+                }
+            })
+            .collect();
+        debug_assert_eq!(served, self.requests.len() as u64, "every request served");
+        let sim_s = self.end_time.as_secs_f64();
+        ServeReport {
+            seed: self.cfg.seed,
+            n_replicas: self.cfg.n_replicas,
+            cache_capacity: self.cfg.cache_capacity,
+            staleness: self.cfg.staleness,
+            policy: self.cfg.policy.to_string(),
+            requests: served,
+            batches,
+            sim_time_ns: self.end_time.as_nanos(),
+            throughput_rps: if sim_s > 0.0 {
+                served as f64 / sim_s
+            } else {
+                0.0
+            },
+            mean_batch_size: if batches > 0 {
+                served as f64 / batches as f64
+            } else {
+                0.0
+            },
+            latency_p50_ns: self.hist.quantile(0.5),
+            latency_p95_ns: self.hist.quantile(0.95),
+            latency_p99_ns: self.hist.quantile(0.99),
+            latency_max_ns: self.hist.max(),
+            latency_mean_ns: self.hist.mean(),
+            queue_wait_ns: self.queue_wait_ns,
+            lookup_ns: self.lookup_ns,
+            infer_ns: self.infer_ns,
+            cache,
+            warmed_keys: self.warmed_keys,
+            pretrain_updates: self.feed.pretrained,
+            train_updates: self.feed.updates,
+            score_mean: if self.score_count > 0 {
+                self.score_sum / self.score_count as f64
+            } else {
+                0.0
+            },
+            faults: self.fault_stats,
+            replicas,
+        }
+    }
+}

@@ -11,10 +11,42 @@
 use crate::TraceLog;
 use het_json::Json;
 
+/// Training-side components render in process 0; the `serve` component
+/// gets its own process lane so request handling reads as a separate
+/// swim-lane next to the training timeline.
+fn pid_of(comp: &str) -> u64 {
+    if comp == "serve" {
+        1
+    } else {
+        0
+    }
+}
+
+fn process_name(pid: u64, name: &str) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str("process_name".to_string())),
+        ("ph".to_string(), Json::Str("M".to_string())),
+        ("pid".to_string(), Json::UInt(pid)),
+        ("tid".to_string(), Json::UInt(0)),
+        (
+            "args".to_string(),
+            Json::Obj(vec![("name".to_string(), Json::Str(name.to_string()))]),
+        ),
+    ])
+}
+
 /// Renders the log as a Chrome `trace_event` JSON document
 /// (`{"traceEvents":[...]}`), loadable in `chrome://tracing`.
 pub fn to_chrome_trace(log: &TraceLog) -> String {
     let mut events = Vec::new();
+    // Only label the process lanes when the serve lane is actually in
+    // use — single-process training traces stay exactly as before.
+    let has_serve = log.events.iter().any(|e| e.comp == "serve")
+        || log.counters.iter().any(|c| c.comp == "serve");
+    if has_serve {
+        events.push(process_name(0, "het-train"));
+        events.push(process_name(1, "het-serve"));
+    }
     let mut t_end_us = 0.0f64;
     for e in &log.events {
         let ts = e.t_ns as f64 / 1_000.0;
@@ -25,7 +57,7 @@ pub fn to_chrome_trace(log: &TraceLog) -> String {
                 Json::Str(format!("{}.{}", e.comp, e.name)),
             ),
             ("cat".to_string(), Json::Str(e.comp.to_string())),
-            ("pid".to_string(), Json::UInt(0)),
+            ("pid".to_string(), Json::UInt(pid_of(e.comp))),
             ("tid".to_string(), Json::UInt(tid)),
             ("ts".to_string(), Json::Num(ts)),
         ];
@@ -64,7 +96,7 @@ pub fn to_chrome_trace(log: &TraceLog) -> String {
             ("name".to_string(), Json::Str(name)),
             ("cat".to_string(), Json::Str(c.comp.to_string())),
             ("ph".to_string(), Json::Str("C".to_string())),
-            ("pid".to_string(), Json::UInt(0)),
+            ("pid".to_string(), Json::UInt(pid_of(c.comp))),
             ("tid".to_string(), Json::UInt(0)),
             ("ts".to_string(), Json::Num(t_end_us)),
             (
@@ -128,5 +160,69 @@ mod tests {
         assert!(encoded.contains(r#""ph":"i""#));
         assert!(encoded.contains(r#""ph":"C""#));
         assert!(encoded.contains(r#""name":"cache.hits[0]""#));
+        // No serve items ⇒ no process metadata, single pid-0 lane.
+        assert!(!encoded.contains(r#""ph":"M""#));
+        assert!(!encoded.contains(r#""pid":1"#));
+    }
+
+    #[test]
+    fn serve_events_get_their_own_process_lane() {
+        let log = TraceLog {
+            meta: vec![],
+            events: vec![
+                TraceEvent {
+                    t_ns: 1_000,
+                    worker: Some(0),
+                    comp: "trainer",
+                    name: "iteration",
+                    dur_ns: Some(500),
+                    fields: vec![],
+                },
+                TraceEvent {
+                    t_ns: 2_000,
+                    worker: Some(1),
+                    comp: "serve",
+                    name: "batch",
+                    dur_ns: Some(700),
+                    fields: vec![("n", Value::UInt(3))],
+                },
+            ],
+            counters: vec![CounterEntry {
+                comp: "serve",
+                name: "requests",
+                idx: Some(1),
+                value: 3,
+            }],
+        };
+        let doc = to_chrome_trace(&log);
+        let parsed = het_json::from_str(&doc).unwrap();
+        let Json::Obj(fields) = parsed else {
+            panic!("expected object")
+        };
+        let Some((_, Json::Arr(events))) = fields.iter().find(|(k, _)| k == "traceEvents") else {
+            panic!("missing traceEvents")
+        };
+        // 2 process_name metadata + 2 events + 1 counter.
+        assert_eq!(events.len(), 5);
+        assert!(doc.contains(r#""name":"het-serve""#));
+        assert!(doc.contains(r#""name":"het-train""#));
+        // The serve span and counter sit in pid 1; the trainer in pid 0.
+        let pid_of_named = |needle: &str| {
+            events
+                .iter()
+                .find_map(|e| {
+                    let Json::Obj(o) = e else { return None };
+                    let name = o.iter().find(|(k, _)| k == "name")?;
+                    if matches!(&name.1, Json::Str(s) if s.contains(needle)) {
+                        o.iter().find(|(k, _)| k == "pid").map(|(_, v)| v.clone())
+                    } else {
+                        None
+                    }
+                })
+                .unwrap()
+        };
+        assert_eq!(pid_of_named("serve.batch"), Json::UInt(1));
+        assert_eq!(pid_of_named("serve.requests"), Json::UInt(1));
+        assert_eq!(pid_of_named("trainer.iteration"), Json::UInt(0));
     }
 }

@@ -9,6 +9,27 @@
 use het_json::Json;
 use std::collections::BTreeSet;
 
+/// The component taxonomy of `het-trace-v1`. Every event and counter
+/// line must name one of these; the validator rejects anything else, so
+/// adding a component is a deliberate schema change, not a typo.
+///
+/// | component | emits |
+/// |-----------|-------|
+/// | `cache`   | counters: hits, misses, installs, writebacks, evictions, capacity_evictions, invalidations, dirtied, crash_drops |
+/// | `client`  | events: `read_window` (staleness-validation outcome per read) |
+/// | `ps`      | events: `failover`; counters: pulls, pushes (per shard) |
+/// | `serve`   | events: `request`, `batch`, `lookup`, `infer`, `replica_crash`; counters: requests, batches, queue_wait_ns, lookup_ns, infer_ns, degraded_reads, warmed_keys (per replica) |
+/// | `simnet`  | events: link/fault schedule milestones |
+/// | `trainer` | events: iteration/fault spans (`blocked_wait`, …); counters: degraded_reads, … |
+///
+/// Kept sorted so membership checks can binary-search.
+pub const KNOWN_COMPONENTS: &[&str] = &["cache", "client", "ps", "serve", "simnet", "trainer"];
+
+/// True when `comp` is part of the registered taxonomy.
+pub fn known_component(comp: &str) -> bool {
+    KNOWN_COMPONENTS.binary_search(&comp).is_ok()
+}
+
 /// What a valid trace contained, for coverage assertions.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TraceSummary {
@@ -106,6 +127,9 @@ pub fn validate_jsonl(input: &str) -> Result<TraceSummary, String> {
                 require_uint(&obj, "t", line)?;
                 require_uint_or_null(&obj, "w", line)?;
                 let comp = require_str(&obj, "comp", line)?;
+                if !known_component(&comp) {
+                    return Err(format!("line {line}: unknown component '{comp}'"));
+                }
                 let name = require_str(&obj, "name", line)?;
                 if let Some(dur) = get(&obj, "dur") {
                     if !matches!(dur, Json::UInt(_)) {
@@ -125,6 +149,9 @@ pub fn validate_jsonl(input: &str) -> Result<TraceSummary, String> {
             "counter" => {
                 in_counter_tail = true;
                 let comp = require_str(&obj, "comp", line)?;
+                if !known_component(&comp) {
+                    return Err(format!("line {line}: unknown component '{comp}'"));
+                }
                 let name = require_str(&obj, "name", line)?;
                 let idx = require_uint_or_null(&obj, "idx", line)?;
                 require_uint(&obj, "value", line)?;
@@ -212,6 +239,35 @@ mod tests {
         }
         let truncated = good.replace(r#""type":"event""#, r#""type":"mystery""#);
         assert!(validate_jsonl(&truncated).is_err());
+    }
+
+    #[test]
+    fn component_registry_is_sorted_and_enforced() {
+        let mut sorted = KNOWN_COMPONENTS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, KNOWN_COMPONENTS, "registry must stay sorted");
+        assert!(known_component("serve"));
+        assert!(!known_component("mystery"));
+
+        let good = sample_log().to_jsonl();
+        let bad = good.replace(r#""comp":"trainer""#, r#""comp":"mystery""#);
+        assert_ne!(bad, good);
+        let err = validate_jsonl(&bad).unwrap_err();
+        assert!(err.contains("unknown component"), "got: {err}");
+        let bad_counter = good.replace(r#""comp":"cache""#, r#""comp":"mystery""#);
+        assert!(validate_jsonl(&bad_counter).is_err());
+    }
+
+    #[test]
+    fn serve_component_is_accepted() {
+        crate::start(vec![]);
+        crate::set_scope(10, Some(0));
+        crate::emit("serve", "request", Some(4), vec![]);
+        crate::counter_add("serve", "requests", 1);
+        let jsonl = crate::finish().to_jsonl();
+        let s = validate_jsonl(&jsonl).unwrap();
+        assert!(s.components.contains("serve"));
+        assert!(s.event_kinds.contains("serve.request"));
     }
 
     #[test]

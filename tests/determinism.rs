@@ -94,6 +94,49 @@ fn different_seeds_differ() {
     assert_ne!(a.final_metric, b.final_metric);
 }
 
+/// The serving subsystem obeys the same contract: same seed ⇒
+/// byte-identical `ServeReport` JSON, clean and under a fault schedule.
+/// (The serve *trace* byte-identity lives in `tests/serving.rs`.)
+#[test]
+fn serve_seed_matrix_identical_reports() {
+    let serve = |seed: u64, faults: FaultConfig| -> ServeReport {
+        let mut cfg = ServeConfig::tiny(seed);
+        cfg.faults = faults;
+        ServeSim::new(cfg, |rng| WideDeep::new(rng, 4, 8, &[16])).run()
+    };
+    let faults = || {
+        let mut cfg = FaultConfig::disabled();
+        cfg.enabled = true;
+        cfg.spec.worker_crashes = 1;
+        cfg.spec.shard_outages = 1;
+        cfg.spec.restart_delay = SimDuration::from_millis(2);
+        cfg.spec.failover_delay = SimDuration::from_millis(4);
+        cfg.spec.horizon = SimDuration::from_millis(40);
+        cfg
+    };
+    for seed in [3u64, 7] {
+        let clean_a = serve(seed, FaultConfig::disabled());
+        let clean_b = serve(seed, FaultConfig::disabled());
+        assert_eq!(
+            clean_a.to_json().encode(),
+            clean_b.to_json().encode(),
+            "serve seed {seed} clean: reports diverged"
+        );
+        let faulted_a = serve(seed, faults());
+        let faulted_b = serve(seed, faults());
+        assert_eq!(
+            faulted_a.to_json().encode(),
+            faulted_b.to_json().encode(),
+            "serve seed {seed} faulted: reports diverged"
+        );
+        assert_ne!(
+            clean_a.to_json().encode(),
+            faulted_a.to_json().encode(),
+            "serve seed {seed}: faulted run identical to clean run"
+        );
+    }
+}
+
 #[test]
 fn dataset_generation_is_stable_across_instances() {
     let a = CtrDataset::new(CtrConfig::criteo_like(3));
