@@ -17,8 +17,8 @@ cargo build --release
 echo "==> cargo test -q (tier-1, per-package timing)"
 suite_start=$(date +%s)
 for pkg in het-json het-rng het-trace het-simnet het-tensor het-data \
-           het-ps het-cache het-models het-core het-serve het-oracle \
-           het-bench het; do
+           het-ps het-cache het-runtime het-models het-core het-serve \
+           het-oracle het-bench het; do
     pkg_start=$(date +%s)
     cargo test -q -p "$pkg"
     echo "    [timing] $pkg: $(($(date +%s) - pkg_start))s"
@@ -33,6 +33,9 @@ cargo test -q -p het --test trace_golden golden_fixtures_are_current
 
 echo "==> serving subsystem (determinism, staleness window, warmup, faults)"
 cargo test -q -p het --test serving
+
+echo "==> colocated train+serve smoke (one runtime, one PS fabric)"
+cargo run -q --release -p het-bench --bin hetctl -- colocate --iters 120 --requests 200
 
 echo "==> consistency oracle (short fuzz campaign, fixed seed range)"
 cargo run -q --release -p het-bench --bin hetctl -- oracle --seeds 0..120 --iters 40

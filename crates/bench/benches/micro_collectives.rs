@@ -38,10 +38,10 @@ fn bench_client_warm_read(c: &mut Criterion) {
         let mut client = HetClient::new(4096, 100, PolicyKind::LightLfu, dim, 0.1);
         let keys: Vec<u64> = (0..256).collect();
         let mut stats = CommStats::new();
-        let _ = client.read(&keys, &server, &net, &mut stats);
+        let _ = client.read(&keys, &server, &net, &mut stats, None);
         b.iter(|| {
             let mut stats = CommStats::new();
-            black_box(client.read(&keys, &server, &net, &mut stats).1)
+            black_box(client.read(&keys, &server, &net, &mut stats, None).1)
         });
     });
 }
@@ -61,14 +61,14 @@ fn bench_client_stale_write(c: &mut Criterion) {
         let mut client = HetClient::new(4096, u64::MAX, PolicyKind::LightLfu, dim, 0.1);
         let keys: Vec<u64> = (0..256).collect();
         let mut stats = CommStats::new();
-        let _ = client.read(&keys, &server, &net, &mut stats);
+        let _ = client.read(&keys, &server, &net, &mut stats, None);
         let mut grads = SparseGrads::new(dim);
         for &k in &keys {
             grads.accumulate(k, &vec![0.01; dim]);
         }
         b.iter(|| {
             let mut stats = CommStats::new();
-            black_box(client.write(&grads, &server, &net, &mut stats))
+            black_box(client.write(&grads, &server, &net, &mut stats, None))
         });
     });
 }

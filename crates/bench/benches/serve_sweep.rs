@@ -1,14 +1,13 @@
-//! Serving sweep — tail latency vs. cache capacity, with and without
-//! concurrent training.
+//! Serving sweep — tail latency vs. cache capacity.
 //!
 //! Runs the `het-serve` subsystem (2 replicas, Zipf-1.1 traffic at
 //! 10 k req/s over 100 k keys on cluster A) across shrinking per-replica
 //! cache capacities, warmed by SpaceSaving each time. The expected shape
 //! mirrors the paper's cache argument from the serving side: as the
 //! cache shrinks, the miss rate rises, every miss pays a PS round trip,
-//! and p99 climbs monotonically. A second pass with a live training
-//! feed shows the freshness tax — invalidations from concurrent updates
-//! depress the hit rate at equal capacity.
+//! and p99 climbs monotonically. (The freshness tax of serving *while
+//! training* is a co-scheduling question now — see `hetctl colocate`
+//! and `het_serve::run_colocated`.)
 
 use het_bench::out;
 use het_json::impl_to_json;
@@ -22,7 +21,6 @@ const CAPACITY_FRACS: [f64; 5] = [0.20, 0.10, 0.05, 0.02, 0.01];
 struct SweepRow {
     capacity: u64,
     capacity_frac: f64,
-    train_rate: f64,
     miss_rate: f64,
     invalidations: u64,
     throughput_rps: f64,
@@ -36,7 +34,6 @@ struct SweepRow {
 impl_to_json!(SweepRow {
     capacity,
     capacity_frac,
-    train_rate,
     miss_rate,
     invalidations,
     throughput_rps,
@@ -47,21 +44,19 @@ impl_to_json!(SweepRow {
     max_us,
 });
 
-fn run(capacity: usize, train_rate: f64) -> ServeReport {
+fn run(capacity: usize) -> ServeReport {
     let mut cfg = ServeConfig::new(SEED);
     cfg.cache_capacity = capacity;
-    cfg.train_rate = train_rate;
     cfg.pretrain_updates = 2_000;
     cfg.warmup_requests = 4_000;
     let (n_fields, dim) = (cfg.n_fields, cfg.dim);
     ServeSim::new(cfg, move |rng| WideDeep::new(rng, n_fields, dim, &[32])).run()
 }
 
-fn row(capacity: usize, frac: f64, train_rate: f64, r: &ServeReport) -> SweepRow {
+fn row(capacity: usize, frac: f64, r: &ServeReport) -> SweepRow {
     SweepRow {
         capacity: capacity as u64,
         capacity_frac: frac,
-        train_rate,
         miss_rate: r.cache.miss_rate(),
         invalidations: r.cache.invalidations,
         throughput_rps: r.throughput_rps,
@@ -78,42 +73,38 @@ fn main() {
 
     let n_keys = ServeConfig::new(SEED).n_keys;
     println!(
-        "{:>9} {:>6} {:>11} {:>9} {:>7} {:>9} {:>9} {:>9} {:>9}",
-        "capacity", "frac", "train (u/s)", "miss", "inval", "thru", "p50 (us)", "p99 (us)", "max"
+        "{:>9} {:>6} {:>9} {:>7} {:>9} {:>9} {:>9} {:>9}",
+        "capacity", "frac", "miss", "inval", "thru", "p50 (us)", "p99 (us)", "max"
     );
     let mut rows = Vec::new();
-    for train_rate in [0.0, 50_000.0] {
-        let mut prev_p99 = 0u64;
-        for frac in CAPACITY_FRACS {
-            let capacity = ((n_keys as f64 * frac) as usize).max(1);
-            let report = run(capacity, train_rate);
-            let r = row(capacity, frac, train_rate, &report);
-            println!(
-                "{:>9} {:>6.2} {:>11.0} {:>9.4} {:>7} {:>9.0} {:>9.1} {:>9.1} {:>9.1}",
-                r.capacity,
-                r.capacity_frac,
-                r.train_rate,
-                r.miss_rate,
-                r.invalidations,
-                r.throughput_rps,
-                r.p50_us,
-                r.p99_us,
-                r.max_us
-            );
-            assert!(
-                report.latency_p99_ns >= prev_p99,
-                "p99 must not improve as the cache shrinks \
-                 (capacity {capacity}: {} < {prev_p99})",
-                report.latency_p99_ns
-            );
-            prev_p99 = report.latency_p99_ns;
-            rows.push(r);
-        }
+    let mut prev_p99 = 0u64;
+    for frac in CAPACITY_FRACS {
+        let capacity = ((n_keys as f64 * frac) as usize).max(1);
+        let report = run(capacity);
+        let r = row(capacity, frac, &report);
+        println!(
+            "{:>9} {:>6.2} {:>9.4} {:>7} {:>9.0} {:>9.1} {:>9.1} {:>9.1}",
+            r.capacity,
+            r.capacity_frac,
+            r.miss_rate,
+            r.invalidations,
+            r.throughput_rps,
+            r.p50_us,
+            r.p99_us,
+            r.max_us
+        );
+        assert!(
+            report.latency_p99_ns >= prev_p99,
+            "p99 must not improve as the cache shrinks \
+             (capacity {capacity}: {} < {prev_p99})",
+            report.latency_p99_ns
+        );
+        prev_p99 = report.latency_p99_ns;
+        rows.push(r);
     }
 
     out::write_json("serve_sweep", &rows);
 
     println!("\nexpected shape: miss rate and p99 rise monotonically as the cache");
-    println!("shrinks; the concurrent-training pass shows extra invalidations and a");
-    println!("higher miss rate at equal capacity — the freshness/latency trade-off.");
+    println!("shrinks — every miss pays a staleness-validated PS round trip.");
 }

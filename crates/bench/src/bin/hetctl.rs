@@ -1,11 +1,12 @@
 //! `hetctl` — command-line driver for the HET reproduction.
 //!
 //! ```text
-//! hetctl train   --workload wdl --system het-cache --staleness 100 [...]
-//! hetctl compare --workload wdl --baseline het-hybrid --staleness 100 [...]
-//! hetctl serve   --replicas 2 --rate 10000 --cache 10000 --staleness 10 [...]
-//! hetctl oracle  --seeds 0..500 --iters 50
-//! hetctl oracle  --repro target/oracle/repro-0-17.json
+//! hetctl train    --workload wdl --system het-cache --staleness 100 [...]
+//! hetctl compare  --workload wdl --baseline het-hybrid --staleness 100 [...]
+//! hetctl serve    --replicas 2 --rate 10000 --cache 10000 --staleness 10 [...]
+//! hetctl colocate --workers 4 --replicas 2 --iters 400 --rate 8000 [...]
+//! hetctl oracle   --seeds 0..500 --iters 50
+//! hetctl oracle   --repro target/oracle/repro-0-17.json
 //! hetctl list
 //! ```
 //!
@@ -13,8 +14,10 @@
 //! `compare` additionally runs a baseline and prints speedups — the
 //! quickest way to poke at the paper's claims with custom parameters.
 //! `serve` runs the online-inference subsystem (`het-serve`): N replicas
-//! with staleness-bounded caches serving Zipf traffic, optionally while
-//! training keeps updating the PS. `oracle` runs the model-based
+//! with staleness-bounded caches serving Zipf traffic over a pretrained
+//! table. `colocate` co-schedules a *live* trainer and a serving fleet
+//! on one cluster runtime and one PS fabric — the "serving heavy
+//! traffic while training" configuration. `oracle` runs the model-based
 //! consistency oracle over a seed range of fuzzed schedules (see
 //! `het-oracle`), shrinking and writing a repro file for any violation;
 //! `--repro` replays such a file.
@@ -62,6 +65,53 @@ impl Args {
                 .parse()
                 .map_err(|_| format!("--{key}: cannot parse '{v}'")),
         }
+    }
+}
+
+/// The `--trace OUT.jsonl` / `--trace-chrome OUT.json` flags, handled
+/// identically by every subcommand: check [`TraceArgs::requested`],
+/// start/finish the collector around the run, then [`TraceArgs::write`]
+/// the log to every requested output.
+struct TraceArgs {
+    jsonl: Option<String>,
+    chrome: Option<String>,
+}
+
+impl TraceArgs {
+    fn of(args: &Args) -> TraceArgs {
+        TraceArgs {
+            jsonl: args.get("trace").map(str::to_string),
+            chrome: args.get("trace-chrome").map(str::to_string),
+        }
+    }
+
+    fn requested(&self) -> bool {
+        self.jsonl.is_some() || self.chrome.is_some()
+    }
+
+    /// Starts the trace collector (when any output was requested) with
+    /// the run's metadata; returns whether tracing is on.
+    fn begin(&self, kind: &str, seed: u64) -> bool {
+        if self.requested() {
+            het_trace::start(vec![
+                ("kind".to_string(), het_json::Json::Str(kind.to_string())),
+                ("seed".to_string(), het_json::Json::UInt(seed)),
+            ]);
+        }
+        self.requested()
+    }
+
+    fn write(&self, log: &het_trace::TraceLog) -> Result<(), String> {
+        if let Some(p) = &self.jsonl {
+            std::fs::write(p, log.to_jsonl()).map_err(|e| format!("--trace {p}: {e}"))?;
+            eprintln!("[trace jsonl] {p}");
+        }
+        if let Some(p) = &self.chrome {
+            std::fs::write(p, het_trace::chrome::to_chrome_trace(log))
+                .map_err(|e| format!("--trace-chrome {p}: {e}"))?;
+            eprintln!("[trace chrome] {p}");
+        }
+        Ok(())
     }
 }
 
@@ -224,7 +274,6 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     cfg.zipf_exponent = args.get_parsed("zipf", cfg.zipf_exponent)?;
     cfg.max_batch = args.get_parsed("max-batch", cfg.max_batch)?;
     cfg.max_queue_delay = SimDuration::from_micros(args.get_parsed("max-delay-us", 200u64)?);
-    cfg.train_rate = args.get_parsed("train-rate", cfg.train_rate)?;
     cfg.pretrain_updates = args.get_parsed("pretrain-updates", cfg.pretrain_updates)?;
     cfg.warmup_requests = args.get_parsed("warmup", cfg.warmup_requests)?;
     cfg.n_shards = args.get_parsed("servers", cfg.n_shards)?;
@@ -248,22 +297,21 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         _ => ClusterSpec::cluster_a(cfg.n_replicas, cfg.n_shards),
     };
 
-    let trace_path = args.get("trace").map(str::to_string);
-    let chrome_path = args.get("trace-chrome").map(str::to_string);
-    let traced = trace_path.is_some() || chrome_path.is_some();
-    if traced {
-        het_trace::start(vec![
-            ("kind".to_string(), het_json::Json::Str("serve".to_string())),
-            ("seed".to_string(), het_json::Json::UInt(cfg.seed)),
-        ]);
-    }
+    let trace = TraceArgs::of(args);
+    let traced = trace.begin("serve", cfg.seed);
     let (n_fields, dim) = (cfg.n_fields, cfg.dim);
     let report = ServeSim::new(cfg, move |rng| {
         het_models::WideDeep::new(rng, n_fields, dim, &[32])
     })
     .run();
-    let log = traced.then(het_trace::finish);
+    print_serve_report(&report);
+    if traced {
+        trace.write(&het_trace::finish())?;
+    }
+    Ok(())
+}
 
+fn print_serve_report(report: &het_serve::ServeReport) {
     println!("replicas          {}", report.n_replicas);
     println!(
         "cache             {} entries, policy {}, staleness {}",
@@ -296,11 +344,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if report.warmed_keys > 0 {
         println!("warmed keys       {} per replica", report.warmed_keys);
     }
-    if report.train_updates > 0 || report.pretrain_updates > 0 {
-        println!(
-            "training feed     {} pretrain + {} concurrent updates",
-            report.pretrain_updates, report.train_updates
-        );
+    if report.pretrain_updates > 0 {
+        println!("pretrain updates  {}", report.pretrain_updates);
     }
     let f = &report.faults;
     if f != &het_core::FaultStats::default() {
@@ -323,16 +368,81 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             r.p99_ns as f64 / 1e3
         );
     }
-    if let Some(log) = log {
-        if let Some(p) = &trace_path {
-            std::fs::write(p, log.to_jsonl()).map_err(|e| format!("--trace {p}: {e}"))?;
-            eprintln!("[trace jsonl] {p}");
-        }
-        if let Some(p) = &chrome_path {
-            std::fs::write(p, het_trace::chrome::to_chrome_trace(&log))
-                .map_err(|e| format!("--trace-chrome {p}: {e}"))?;
-            eprintln!("[trace chrome] {p}");
-        }
+}
+
+/// Co-schedules a live CTR trainer and a serving fleet on one cluster
+/// runtime and one PS fabric (`het_serve::run_colocated`).
+fn cmd_colocate(args: &Args) -> Result<(), String> {
+    use het_core::Trainer;
+    use het_data::{CtrConfig, CtrDataset};
+    use het_serve::{run_colocated, ServeConfig};
+
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let workers: usize = args.get_parsed("workers", 4)?;
+    let servers: usize = args.get_parsed("servers", 2)?;
+    let iters: u64 = args.get_parsed("iters", 400)?;
+    let staleness: u64 = args.get_parsed("staleness", 10)?;
+    let preset = system_of(args.get("system").unwrap_or("het-cache"), staleness)?;
+
+    let mut train_cfg = TrainerConfig::tiny(preset);
+    train_cfg.cluster = ClusterSpec::cluster_a(workers, servers);
+    train_cfg.max_iterations = iters;
+    train_cfg.eval_every = (iters / 4).max(1);
+    train_cfg.seed = seed;
+    train_cfg.faults = fault_config_of(args)?;
+
+    // The fleet shares the trainer's PS fabric, so its dim comes from
+    // the trainer; shard count is synced inside `run_colocated`.
+    let mut serve_cfg = ServeConfig::tiny(seed);
+    serve_cfg.dim = train_cfg.dim;
+    serve_cfg.n_replicas = args.get_parsed("replicas", serve_cfg.n_replicas)?;
+    serve_cfg.cache_capacity = args.get_parsed("cache", serve_cfg.cache_capacity)?;
+    serve_cfg.staleness = args.get_parsed("serve-staleness", serve_cfg.staleness)?;
+    serve_cfg.policy = policy_of(args.get("policy").unwrap_or("lru"))?;
+    serve_cfg.arrival_rate = args.get_parsed("rate", serve_cfg.arrival_rate)?;
+    serve_cfg.n_requests = args.get_parsed("requests", serve_cfg.n_requests)?;
+    serve_cfg.pretrain_updates = args.get_parsed("pretrain-updates", serve_cfg.pretrain_updates)?;
+    serve_cfg.warmup_requests = args.get_parsed("warmup", serve_cfg.warmup_requests)?;
+
+    let trainer = Trainer::with_shared_members(
+        train_cfg,
+        CtrDataset::new(CtrConfig::tiny(seed)),
+        |rng| het_models::WideDeep::new(rng, 4, 8, &[16]),
+        serve_cfg.n_replicas,
+    );
+    let (n_fields, dim) = (serve_cfg.n_fields, serve_cfg.dim);
+
+    let trace = TraceArgs::of(args);
+    let traced = trace.begin("colocate", seed);
+    let report = run_colocated(trainer, serve_cfg, move |rng| {
+        het_models::WideDeep::new(rng, n_fields, dim, &[16])
+    });
+    println!("--- train ---");
+    println!("system            {}", report.train.system);
+    println!("final metric      {:.4}", report.train.final_metric);
+    println!("iterations        {}", report.train.total_iterations);
+    println!(
+        "simulated time    {:.3} ms",
+        report.train.total_sim_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "cache hit rate    {:.1} %",
+        100.0 * report.train.cache.hit_rate()
+    );
+    let tf = &report.train.faults;
+    if tf != &het_core::FaultStats::default() {
+        println!("--- train faults ---");
+        println!(
+            "worker crashes    {} ({} dirty entries lost)",
+            tf.worker_crashes, tf.dirty_entries_lost
+        );
+        println!("shard failovers   {}", tf.shard_failovers);
+        println!("degraded reads    {}", tf.degraded_reads);
+    }
+    println!("--- serve ---");
+    print_serve_report(&report.serve);
+    if traced {
+        trace.write(&het_trace::finish())?;
     }
     Ok(())
 }
@@ -431,7 +541,7 @@ fn cmd_oracle(args: &Args) -> Result<(), String> {
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first().map(String::as_str) else {
-        eprintln!("usage: hetctl <train|compare|serve|oracle|list> [--flag value ...]");
+        eprintln!("usage: hetctl <train|compare|serve|colocate|oracle|list> [--flag value ...]");
         return ExitCode::FAILURE;
     };
     let result = match command {
@@ -452,9 +562,15 @@ fn main() -> ExitCode {
             println!("           --cache ENTRIES --staleness N --policy lru|lfu|lightlfu");
             println!("           --rate REQ_PER_S --requests N --zipf EXP --seed N");
             println!("           --max-batch N --max-delay-us US --network 1gbe|10gbe");
-            println!("           --train-rate UPDATES_PER_S --pretrain-updates N --warmup REQS");
+            println!("           --pretrain-updates N --warmup REQS");
             println!("           --drift-period-ms MS --drift-step KEYS");
             println!("           --flash-at-ms MS --flash-dur-ms MS --flash-x F --flash-hot N");
+            println!("           (plus the --fault-* and --trace* flags above)");
+            println!("colocate:  --workers N --servers N --iters N --system NAME --staleness N");
+            println!(
+                "           --replicas N --cache ENTRIES --serve-staleness N --rate REQ_PER_S"
+            );
+            println!("           --requests N --pretrain-updates N --warmup REQS --seed N");
             println!("           (plus the --fault-* and --trace* flags above)");
             Ok(())
         }
@@ -464,21 +580,11 @@ fn main() -> ExitCode {
             let staleness: u64 = args.get_parsed("staleness", 100)?;
             let system_name = args.get("system").unwrap_or("het-cache").to_string();
             let preset = system_of(&system_name, staleness)?;
-            let trace_path = args.get("trace").map(str::to_string);
-            let chrome_path = args.get("trace-chrome").map(str::to_string);
-            let traced = trace_path.is_some() || chrome_path.is_some();
-            let (summary, report, log) = run_one(workload, preset, &args, traced)?;
+            let trace = TraceArgs::of(&args);
+            let (summary, report, log) = run_one(workload, preset, &args, trace.requested())?;
             print_report(workload, &system_name, &summary, &report);
             if let Some(log) = log {
-                if let Some(p) = &trace_path {
-                    std::fs::write(p, log.to_jsonl()).map_err(|e| format!("--trace {p}: {e}"))?;
-                    eprintln!("[trace jsonl] {p}");
-                }
-                if let Some(p) = &chrome_path {
-                    std::fs::write(p, het_trace::chrome::to_chrome_trace(&log))
-                        .map_err(|e| format!("--trace-chrome {p}: {e}"))?;
-                    eprintln!("[trace chrome] {p}");
-                }
+                trace.write(&log)?;
             }
             if command == "compare" {
                 let base_name = args.get("baseline").unwrap_or("het-hybrid").to_string();
@@ -501,9 +607,10 @@ fn main() -> ExitCode {
             Ok(())
         })(),
         "serve" => Args::parse(&argv[1..]).and_then(|args| cmd_serve(&args)),
+        "colocate" => Args::parse(&argv[1..]).and_then(|args| cmd_colocate(&args)),
         "oracle" => Args::parse(&argv[1..]).and_then(|args| cmd_oracle(&args)),
         other => Err(format!(
-            "unknown command '{other}' (try: train compare serve oracle list)"
+            "unknown command '{other}' (try: train compare serve colocate oracle list)"
         )),
     };
     match result {

@@ -54,6 +54,13 @@ pub struct HetClient {
     staleness: u64,
     dim: usize,
     costs: MessageCosts,
+    /// Deliberate-breakage knob for the `het-oracle` harness: extra
+    /// clock ticks added to the staleness window `CheckValid` admits,
+    /// so reads accept entries the protocol should have resynchronised.
+    /// 0 (the only value production code ever sets) leaves the protocol
+    /// byte-for-byte unchanged. Injected from the harness configuration
+    /// — there is no process-global way to flip it.
+    extra_staleness: u64,
 }
 
 impl HetClient {
@@ -88,12 +95,22 @@ impl HetClient {
             staleness,
             dim,
             costs,
+            extra_staleness: 0,
         }
     }
 
     /// The staleness threshold `s`.
     pub fn staleness(&self) -> u64 {
         self.staleness
+    }
+
+    /// Widens the staleness window `CheckValid` admits by `extra` clock
+    /// ticks — the oracle harness's deliberate consistency breakage,
+    /// proving the oracle catches a widened window. 0 (the default)
+    /// restores the correct protocol. Never set this outside a
+    /// correctness harness.
+    pub fn set_extra_staleness(&mut self, extra: u64) {
+        self.extra_staleness = extra;
     }
 
     /// The underlying cache table (stats, inspection).
@@ -114,27 +131,18 @@ impl HetClient {
     /// capacity (Algorithm 2 line 8); the overflow is trimmed by the
     /// `Evict()` pass at the end of the next `Het.Write` (Algorithm 3
     /// line 5), exactly as in the paper.
+    ///
+    /// With `faults` present the protocol additionally: serves
+    /// **gracefully degraded** reads (a resident entry whose shard is
+    /// mid-failover is served stale as long as condition (1) of
+    /// `CheckValid` holds — the staleness bound the paper already
+    /// tolerates); blocks on keys that *must* touch a down shard until
+    /// its failover completes; inflates legs crossing degraded links;
+    /// and retries deterministically dropped messages with exponential
+    /// backoff, charging every retransmission real simulated time and
+    /// bytes. `faults: None` (or an empty plan) is the fault-free path
+    /// and allocates nothing for fault bookkeeping.
     pub fn read(
-        &mut self,
-        keys: &[Key],
-        server: &PsServer,
-        net: &Collectives,
-        stats: &mut CommStats,
-    ) -> (EmbeddingStore, SimDuration) {
-        self.read_faulty(keys, server, net, stats, None)
-    }
-
-    /// [`HetClient::read`] under fault injection. With `faults` present
-    /// the protocol additionally: serves **gracefully degraded** reads
-    /// (a resident entry whose shard is mid-failover is served stale as
-    /// long as condition (1) of `CheckValid` holds — the staleness bound
-    /// the paper already tolerates); blocks on keys that *must* touch a
-    /// down shard until its failover completes; inflates legs crossing
-    /// degraded links; and retries deterministically dropped messages
-    /// with exponential backoff, charging every retransmission real
-    /// simulated time and bytes. `faults: None` (or an empty plan) takes
-    /// byte-for-byte the same path as [`HetClient::read`].
-    pub fn read_faulty(
         &mut self,
         keys: &[Key],
         server: &PsServer,
@@ -142,10 +150,10 @@ impl HetClient {
         stats: &mut CommStats,
         mut faults: Option<&mut FaultContext<'_>>,
     ) -> (EmbeddingStore, SimDuration) {
-        // The effective staleness window. `sabotage::extra_staleness()`
-        // is 0 outside the oracle harness, where it deliberately widens
-        // the admitted window to prove the oracle catches the breakage.
-        let eff_staleness = self.staleness + sabotage::extra_staleness();
+        // The effective staleness window. `extra_staleness` is 0 outside
+        // the oracle harness, where it deliberately widens the admitted
+        // window to prove the oracle catches the breakage.
+        let eff_staleness = self.staleness + self.extra_staleness;
         // Oracle hook: per-read admitted-window observations, emitted as
         // a `client/read_window` event so a trace replay can re-check
         // every accepted entry against the *configured* bound.
@@ -321,22 +329,13 @@ impl HetClient {
     /// cache, bumps per-key clocks, and handles capacity eviction.
     /// Returns the simulated communication time (only evictions cost
     /// anything — this is where the cache wins).
-    pub fn write(
-        &mut self,
-        grads: &SparseGrads,
-        server: &PsServer,
-        net: &Collectives,
-        stats: &mut CommStats,
-    ) -> SimDuration {
-        self.write_faulty(grads, server, net, stats, None)
-    }
-
-    /// [`HetClient::write`] under fault injection: eviction write-backs
+    ///
+    /// Under fault injection (`faults` present): eviction write-backs
     /// destined for a mid-failover shard block until it recovers, and
     /// the push leg is subject to link degradation and message drops.
     /// Stale writes that stay in the cache are unaffected — that
     /// absorption is exactly why the cache degrades gracefully.
-    pub fn write_faulty(
+    pub fn write(
         &mut self,
         grads: &SparseGrads,
         server: &PsServer,
@@ -438,21 +437,12 @@ impl DirectPsClient {
     }
 
     /// Pulls the batch's embeddings from the server.
-    pub fn read(
-        &self,
-        keys: &[Key],
-        server: &PsServer,
-        net: &Collectives,
-        stats: &mut CommStats,
-    ) -> (EmbeddingStore, SimDuration) {
-        self.read_faulty(keys, server, net, stats, None)
-    }
-
-    /// [`DirectPsClient::read`] under fault injection. With no cache to
-    /// fall back on there is no graceful degradation: every key on a
+    ///
+    /// Under fault injection (`faults` present), with no cache to fall
+    /// back on there is no graceful degradation: every key on a
     /// mid-failover shard blocks the pull until recovery — the contrast
     /// the fault sweep measures against the cached client.
-    pub fn read_faulty(
+    pub fn read(
         &self,
         keys: &[Key],
         server: &PsServer,
@@ -480,20 +470,11 @@ impl DirectPsClient {
     }
 
     /// Pushes the batch's gradients to the server.
-    pub fn write(
-        &self,
-        grads: &SparseGrads,
-        server: &PsServer,
-        net: &Collectives,
-        stats: &mut CommStats,
-    ) -> SimDuration {
-        self.write_faulty(grads, server, net, stats, None)
-    }
-
-    /// [`DirectPsClient::write`] under fault injection: pushes to a
+    ///
+    /// Under fault injection (`faults` present): pushes to a
     /// mid-failover shard block until recovery, and the push leg is
     /// subject to degradation and drops.
-    pub fn write_faulty(
+    pub fn write(
         &self,
         grads: &SparseGrads,
         server: &PsServer,
@@ -516,34 +497,6 @@ impl DirectPsClient {
             t = f.charge_leg(t, |b| stats.record(CommCategory::EmbeddingPush, b), bytes);
         }
         wait + t
-    }
-}
-
-/// Deliberate-breakage hooks for the `het-oracle` harness.
-///
-/// The oracle proves it can catch consistency bugs by *introducing*
-/// one: widening the staleness window `CheckValid` admits beyond the
-/// configured `s`, so reads accept entries the protocol should have
-/// resynchronised. The hook is thread-local and defaults to 0 (off),
-/// in which case the protocol is byte-for-byte unchanged. Production
-/// code must never set it — it exists only so correctness tests can
-/// mutate the check without a special build.
-pub mod sabotage {
-    use std::cell::Cell;
-
-    thread_local! {
-        static EXTRA_STALENESS: Cell<u64> = const { Cell::new(0) };
-    }
-
-    /// Widens the admitted staleness window by `extra` clock ticks on
-    /// this thread (0 restores the correct protocol).
-    pub fn set_extra_staleness(extra: u64) {
-        EXTRA_STALENESS.with(|c| c.set(extra));
-    }
-
-    /// The current widening (0 = correct protocol).
-    pub fn extra_staleness() -> u64 {
-        EXTRA_STALENESS.with(|c| c.get())
     }
 }
 
@@ -579,7 +532,7 @@ mod tests {
     fn first_read_fetches_everything() {
         let (mut client, server, net) = setup(10, 5);
         let mut stats = CommStats::new();
-        let (store, time) = client.read(&[1, 2, 3], &server, &net, &mut stats);
+        let (store, time) = client.read(&[1, 2, 3], &server, &net, &mut stats, None);
         assert_eq!(store.len(), 3);
         assert!(time > SimDuration::ZERO);
         assert_eq!(client.cache().stats().misses, 3);
@@ -596,9 +549,9 @@ mod tests {
     fn second_read_hits_with_only_clock_traffic() {
         let (mut client, server, net) = setup(10, 5);
         let mut stats = CommStats::new();
-        let _ = client.read(&[1, 2], &server, &net, &mut stats);
+        let _ = client.read(&[1, 2], &server, &net, &mut stats, None);
         let fetch_bytes_before = stats.bytes(CommCategory::EmbeddingFetch);
-        let (_, time2) = client.read(&[1, 2], &server, &net, &mut stats);
+        let (_, time2) = client.read(&[1, 2], &server, &net, &mut stats, None);
         assert_eq!(client.cache().stats().hits, 2);
         assert_eq!(
             stats.bytes(CommCategory::EmbeddingFetch),
@@ -616,9 +569,9 @@ mod tests {
     fn writes_are_stale_until_eviction() {
         let (mut client, server, net) = setup(10, 5);
         let mut stats = CommStats::new();
-        let _ = client.read(&[1], &server, &net, &mut stats);
+        let _ = client.read(&[1], &server, &net, &mut stats, None);
         let server_before = server.pull(1).vector;
-        let t = client.write(&grads_for(&[1], 1.0), &server, &net, &mut stats);
+        let t = client.write(&grads_for(&[1], 1.0), &server, &net, &mut stats, None);
         assert_eq!(t, SimDuration::ZERO, "stale write costs nothing");
         assert_eq!(
             server.pull(1).vector,
@@ -636,10 +589,10 @@ mod tests {
     fn flush_applies_accumulated_updates_exactly_once() {
         let (mut client, server, net) = setup(10, 100);
         let mut stats = CommStats::new();
-        let _ = client.read(&[1], &server, &net, &mut stats);
+        let _ = client.read(&[1], &server, &net, &mut stats, None);
         let before = server.pull(1).vector;
-        client.write(&grads_for(&[1], 1.0), &server, &net, &mut stats);
-        client.write(&grads_for(&[1], 2.0), &server, &net, &mut stats);
+        client.write(&grads_for(&[1], 1.0), &server, &net, &mut stats, None);
+        client.write(&grads_for(&[1], 2.0), &server, &net, &mut stats, None);
         let t = client.flush(&server, &net, &mut stats);
         assert!(t > SimDuration::ZERO);
         let after = server.pull(1);
@@ -653,13 +606,13 @@ mod tests {
     fn capacity_overflow_writes_back_dirty_victims() {
         let (mut client, server, net) = setup(2, 100);
         let mut stats = CommStats::new();
-        let _ = client.read(&[1, 2], &server, &net, &mut stats);
-        client.write(&grads_for(&[1, 2], 1.0), &server, &net, &mut stats);
+        let _ = client.read(&[1, 2], &server, &net, &mut stats, None);
+        client.write(&grads_for(&[1, 2], 1.0), &server, &net, &mut stats, None);
         let before1 = server.pull(1).vector;
         // Reading key 3 exceeds capacity after the write's overflow pass:
         // read installs it, the *next write* evicts the LRU victim.
-        let (_, _) = client.read(&[3], &server, &net, &mut stats);
-        let t = client.write(&grads_for(&[3], 1.0), &server, &net, &mut stats);
+        let (_, _) = client.read(&[3], &server, &net, &mut stats, None);
+        let t = client.write(&grads_for(&[3], 1.0), &server, &net, &mut stats, None);
         assert!(t > SimDuration::ZERO, "eviction write-back costs time");
         assert_eq!(client.cache().len(), 2);
         // Key 1 (least recently used) was evicted; its update landed.
@@ -672,13 +625,13 @@ mod tests {
     fn stale_entry_resyncs_after_other_worker_updates() {
         let (mut client, server, net) = setup(10, 2);
         let mut stats = CommStats::new();
-        let _ = client.read(&[1], &server, &net, &mut stats);
+        let _ = client.read(&[1], &server, &net, &mut stats, None);
         // Another worker pushes 5 updates: c_g = 5, our c_c = 0, s = 2 →
         // condition (2) violated.
         for _ in 0..5 {
             server.push_inc(1, &[1.0, 1.0]);
         }
-        let (store, _) = client.read(&[1], &server, &net, &mut stats);
+        let (store, _) = client.read(&[1], &server, &net, &mut stats, None);
         assert_eq!(client.cache().stats().invalidations, 1);
         // The resynced entry matches the server.
         assert_eq!(store.get(1), server.pull(1).vector.as_slice());
@@ -691,13 +644,13 @@ mod tests {
     fn local_write_bound_forces_resync_without_clock_message() {
         let (mut client, server, net) = setup(10, 1);
         let mut stats = CommStats::new();
-        let _ = client.read(&[1], &server, &net, &mut stats);
+        let _ = client.read(&[1], &server, &net, &mut stats, None);
         // Two local updates: c_c = c_s + 2 > c_s + 1 → condition (1)
         // violated locally.
-        client.write(&grads_for(&[1], 1.0), &server, &net, &mut stats);
-        client.write(&grads_for(&[1], 1.0), &server, &net, &mut stats);
+        client.write(&grads_for(&[1], 1.0), &server, &net, &mut stats, None);
+        client.write(&grads_for(&[1], 1.0), &server, &net, &mut stats, None);
         let clock_bytes_before = stats.bytes(CommCategory::ClockSync);
-        let _ = client.read(&[1], &server, &net, &mut stats);
+        let _ = client.read(&[1], &server, &net, &mut stats, None);
         assert_eq!(
             stats.bytes(CommCategory::ClockSync),
             clock_bytes_before,
@@ -716,13 +669,13 @@ mod tests {
     fn staleness_zero_behaves_like_write_through_reads() {
         let (mut client, server, net) = setup(10, 0);
         let mut stats = CommStats::new();
-        let _ = client.read(&[1], &server, &net, &mut stats);
+        let _ = client.read(&[1], &server, &net, &mut stats, None);
         // s = 0 and no updates anywhere: entry still valid (c_g = c_c).
-        let _ = client.read(&[1], &server, &net, &mut stats);
+        let _ = client.read(&[1], &server, &net, &mut stats, None);
         assert_eq!(client.cache().stats().hits, 1);
         // One local update at s=0 violates condition (1) immediately.
-        client.write(&grads_for(&[1], 1.0), &server, &net, &mut stats);
-        let _ = client.read(&[1], &server, &net, &mut stats);
+        client.write(&grads_for(&[1], 1.0), &server, &net, &mut stats, None);
+        let _ = client.read(&[1], &server, &net, &mut stats, None);
         assert_eq!(client.cache().stats().invalidations, 1);
         assert_eq!(server.clock_of(1), 1, "update reached the server at once");
     }
@@ -731,14 +684,14 @@ mod tests {
     fn oversized_batch_overflows_temporarily_then_trims() {
         let (mut client, server, net) = setup(2, 5);
         let mut stats = CommStats::new();
-        let (store, _) = client.read(&[1, 2, 3], &server, &net, &mut stats);
+        let (store, _) = client.read(&[1, 2, 3], &server, &net, &mut stats, None);
         assert_eq!(
             store.len(),
             3,
             "read resolves everything even past capacity"
         );
         assert_eq!(client.cache().len(), 3, "temporary overflow allowed");
-        client.write(&grads_for(&[1, 2, 3], 1.0), &server, &net, &mut stats);
+        client.write(&grads_for(&[1, 2, 3], 1.0), &server, &net, &mut stats, None);
         assert_eq!(client.cache().len(), 2, "write's Evict() trims to capacity");
     }
 
@@ -755,16 +708,16 @@ mod tests {
         });
         let net = ClusterSpec::cluster_a(4, 1).collectives();
         let mut stats = CommStats::new();
-        let (store, t_read) = client.read(&[1, 2], &server, &net, &mut stats);
+        let (store, t_read) = client.read(&[1, 2], &server, &net, &mut stats, None);
         assert_eq!(store.len(), 2);
         assert!(t_read > SimDuration::ZERO);
-        let t_write = client.write(&grads_for(&[1, 2], 1.0), &server, &net, &mut stats);
+        let t_write = client.write(&grads_for(&[1, 2], 1.0), &server, &net, &mut stats, None);
         assert!(t_write > SimDuration::ZERO);
         assert_eq!(server.clock_of(1), 1);
         assert!(stats.bytes(CommCategory::EmbeddingFetch) > 0);
         assert!(stats.bytes(CommCategory::EmbeddingPush) > 0);
         assert_eq!(
-            client.write(&SparseGrads::new(2), &server, &net, &mut stats),
+            client.write(&SparseGrads::new(2), &server, &net, &mut stats, None),
             SimDuration::ZERO
         );
     }
@@ -798,8 +751,8 @@ mod tests {
         let mut stats_cached = CommStats::new();
         let mut stats_direct = CommStats::new();
         for _ in 0..20 {
-            let _ = cached.read(&[1, 2, 3], &server_a, &net, &mut stats_cached);
-            let _ = direct.read(&[1, 2, 3], &server_b, &net, &mut stats_direct);
+            let _ = cached.read(&[1, 2, 3], &server_a, &net, &mut stats_cached, None);
+            let _ = direct.read(&[1, 2, 3], &server_b, &net, &mut stats_direct, None);
         }
         assert!(
             stats_cached.embedding_bytes() < stats_direct.embedding_bytes() / 2,

@@ -237,6 +237,12 @@ pub struct TrainerConfig {
     /// `Fifo` preserves the historical schedule; the oracle fuzzer
     /// sweeps the other rules to explore adversarial interleavings.
     pub tie_break: TieBreak,
+    /// Deliberate consistency-protocol sabotage: widens every cache
+    /// client's admitted staleness bound by this much *without*
+    /// updating the oracle's model. Zero (the default) is a strict
+    /// no-op. Only the oracle's self-tests set this — it exists to
+    /// prove the checker catches a broken `CheckValid`.
+    pub sabotage_extra_staleness: u64,
 }
 
 impl TrainerConfig {
@@ -256,6 +262,7 @@ impl TrainerConfig {
             seed: 0xBEEF,
             faults: FaultConfig::disabled(),
             tie_break: TieBreak::Fifo,
+            sabotage_extra_staleness: 0,
         }
     }
 
@@ -276,6 +283,7 @@ impl TrainerConfig {
             seed: 0xBEEF,
             faults: FaultConfig::disabled(),
             tie_break: TieBreak::Fifo,
+            sabotage_extra_staleness: 0,
         }
     }
 

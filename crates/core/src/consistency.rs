@@ -156,8 +156,8 @@ mod tests {
         let mut stats = CommStats::new();
         let mut a = client();
         let mut b = client();
-        let _ = a.read(&[1], &server, &net, &mut stats);
-        let _ = b.read(&[2], &server, &net, &mut stats);
+        let _ = a.read(&[1], &server, &net, &mut stats, None);
+        let _ = b.read(&[2], &server, &net, &mut stats, None);
         assert!(clock_divergence(&[&a, &b]).is_empty());
         assert_eq!(max_divergence(&[&a, &b]), 0);
     }
@@ -176,11 +176,11 @@ mod tests {
         let mut stats = CommStats::new();
         let mut a = client();
         let mut b = client();
-        let _ = a.read(&[1], &server, &net, &mut stats);
-        let _ = b.read(&[1], &server, &net, &mut stats);
+        let _ = a.read(&[1], &server, &net, &mut stats, None);
+        let _ = b.read(&[1], &server, &net, &mut stats, None);
         // Worker a updates key 1 twice; b never does.
-        a.write(&grad(1, 1.0), &server, &net, &mut stats);
-        a.write(&grad(1, 1.0), &server, &net, &mut stats);
+        a.write(&grad(1, 1.0), &server, &net, &mut stats, None);
+        a.write(&grad(1, 1.0), &server, &net, &mut stats, None);
         let d = clock_divergence(&[&a, &b]);
         assert_eq!(d.get(&1), Some(&2));
         assert_eq!(max_divergence(&[&a, &b]), 2);
@@ -208,9 +208,9 @@ mod tests {
             // Both workers validate the key every round (Lemma 1 speaks
             // about *observable* embeddings — a replica no worker reads
             // again is exempted by the paper's §3.3 corner-case note).
-            let _ = slow.read(&[1], &server, &net, &mut stats);
-            let _ = fast.read(&[1], &server, &net, &mut stats);
-            fast.write(&grad(1, 0.1), &server, &net, &mut stats);
+            let _ = slow.read(&[1], &server, &net, &mut stats, None);
+            let _ = fast.read(&[1], &server, &net, &mut stats, None);
+            fast.write(&grad(1, 0.1), &server, &net, &mut stats, None);
             assert!(
                 ConsistencyBound::cache_clock(3).holds_any_time(max_divergence(&[&fast, &slow])),
                 "divergence {} exceeded any-time bound",
@@ -218,8 +218,8 @@ mod tests {
             );
         }
         // Right after both validate, the tight bound applies.
-        let _ = slow.read(&[1], &server, &net, &mut stats);
-        let _ = fast.read(&[1], &server, &net, &mut stats);
+        let _ = slow.read(&[1], &server, &net, &mut stats, None);
+        let _ = fast.read(&[1], &server, &net, &mut stats, None);
         assert!(
             ConsistencyBound::cache_clock(3).holds_at_validation(max_divergence(&[&fast, &slow])),
             "divergence {} exceeded 2s at validation",

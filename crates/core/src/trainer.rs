@@ -9,9 +9,18 @@
 //! Synchronous systems (the hybrids, HET AR) run in two-phase BSP
 //! rounds: all workers read, then all compute and write, then the dense
 //! AllReduce (and, for HET AR, the sparse AllGather) closes the round at
-//! the barrier. Asynchronous systems (TF PS, HET PS) interleave by an
-//! event queue ordered on worker clocks; SSP additionally blocks workers
-//! that run more than `s` iterations ahead of the slowest.
+//! the barrier. Asynchronous systems (TF PS, HET PS) interleave worker
+//! iterations; SSP additionally blocks workers that run more than `s`
+//! iterations ahead of the slowest.
+//!
+//! Both shapes are [`Process`] implementations scheduled by the shared
+//! [`ClusterRuntime`] event loop: a BSP trainer is a *barrier process*
+//! (one event per round), an ASP/SSP trainer schedules one event per
+//! worker iteration, and the SSP staleness gate is expressed as a
+//! runtime wait condition ([`Ctx::wait_until`]). Crashes and PS-shard
+//! outages are routed to the trainer by the runtime's centralized fault
+//! delivery, so a co-scheduled job (e.g. a serving fleet on the same PS
+//! fabric) shares one plan, one queue, and one clock domain.
 
 use crate::client::{DirectPsClient, HetClient};
 use crate::config::{Backbone, DenseSync, SparseMode, SyncMode, TrainerConfig};
@@ -19,11 +28,12 @@ use crate::fault::{FaultContext, FaultRecord, FaultStats};
 use crate::report::{ConvergencePoint, TimeBreakdown, TrainReport};
 use het_data::Key;
 use het_models::{Dataset, EmbeddingModel, EmbeddingStore, EvalChunk, ModelBatch, SparseGrads};
-use het_ps::{DenseStore, PsConfig, PsServer, ShardCheckpointStore};
+use het_ps::{DenseStore, PsConfig, PsServer, ServerHandle, ShardCheckpointStore};
 use het_rng::rngs::StdRng;
 use het_rng::SeedableRng;
+use het_runtime::{ClusterRuntime, Ctx, Event, Process, ProcessId};
 use het_simnet::{
-    wire, Collectives, CommCategory, CommStats, EventQueue, FaultPlan, SimDuration, SimTime,
+    wire, Collectives, CommCategory, CommStats, FaultPlan, SimDuration, SimTime, TieBreak,
 };
 use het_tensor::{FlatGrads, FlatParams, Sgd};
 
@@ -70,7 +80,7 @@ impl IterTiming {
 pub struct Trainer<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> {
     config: TrainerConfig,
     dataset: D,
-    server: PsServer,
+    server: ServerHandle,
     dense_store: Option<DenseStore>,
     workers: Vec<Worker<M>>,
     net: Collectives,
@@ -79,17 +89,13 @@ pub struct Trainer<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> {
     curve: Vec<ConvergencePoint>,
     converged_at: Option<SimTime>,
     // --- fault injection (all inert when `plan` is empty) ---
+    // Crash and outage *schedules* live in the runtime's centralized
+    // fault delivery; the trainer keeps the plan only for the effects the
+    // runtime does not cursor (stragglers, degraded links, drops).
     plan: FaultPlan,
     ckpt_store: Option<ShardCheckpointStore>,
     fault_stats: FaultStats,
     fault_events: Vec<FaultRecord>,
-    /// Shard outages sorted by trigger time; `next_outage` indexes the
-    /// first not yet processed.
-    outages: Vec<(usize, SimTime, SimDuration)>,
-    next_outage: usize,
-    /// Per-worker crash schedule and cursor.
-    pending_crashes: Vec<Vec<(SimTime, SimDuration)>>,
-    next_crash: Vec<usize>,
     /// Per-worker monotone operation counters feeding the deterministic
     /// message-drop hash.
     worker_ops: Vec<u64>,
@@ -105,6 +111,20 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         dataset: D,
         model_factory: impl Fn(&mut StdRng) -> M,
     ) -> Self {
+        Self::with_shared_members(config, dataset, model_factory, 0)
+    }
+
+    /// Like [`Trainer::new`], but generates the fault plan over
+    /// `config.cluster.n_workers + extra_members` cluster members, so a
+    /// job co-scheduled after this trainer on the same [`ClusterRuntime`]
+    /// (which then owns members `n_workers..n_workers + extra_members`)
+    /// draws its crash schedule from the same plan.
+    pub fn with_shared_members(
+        config: TrainerConfig,
+        dataset: D,
+        model_factory: impl Fn(&mut StdRng) -> M,
+        extra_members: usize,
+    ) -> Self {
         let net = config.cluster.collectives();
         let n_shards = config.cluster.n_servers.max(1) * 4;
         let ps_config = PsConfig {
@@ -115,11 +135,13 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             optimizer: het_ps::ServerOptimizer::Sgd,
             grad_clip: config.server_grad_clip,
         };
-        let server = PsServer::new(ps_config);
+        let server = ServerHandle::new(PsServer::new(ps_config));
 
-        let plan = config
-            .faults
-            .plan(config.seed, config.cluster.n_workers, n_shards);
+        let plan = config.faults.plan(
+            config.seed,
+            config.cluster.n_workers + extra_members,
+            n_shards,
+        );
         let mut fault_stats = FaultStats::default();
         // Failover restores from the last checkpoint, so a baseline
         // snapshot of the (deterministically initialised) table is taken
@@ -134,11 +156,6 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             }
             store
         });
-        let pending_crashes: Vec<Vec<(SimTime, SimDuration)>> = (0..config.cluster.n_workers)
-            .map(|w| plan.worker_crashes(w))
-            .collect();
-        let mut outages = plan.shard_outages();
-        outages.sort_by_key(|&(shard, at, _)| (at.as_nanos(), shard));
 
         let n_keys = dataset.n_keys();
         let costs = wire::MessageCosts {
@@ -159,9 +176,13 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
                     policy,
                 } => {
                     let capacity = ((n_keys as f64 * capacity_fraction).ceil() as usize).max(1);
-                    SparseEngine::Cached(HetClient::with_costs(
+                    let mut client = HetClient::with_costs(
                         capacity, staleness, policy, config.dim, config.lr, costs,
-                    ))
+                    );
+                    if config.sabotage_extra_staleness > 0 {
+                        client.set_extra_staleness(config.sabotage_extra_staleness);
+                    }
+                    SparseEngine::Cached(client)
                 }
             };
             workers.push(Worker {
@@ -185,9 +206,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         };
 
         let sgd = Sgd::new(config.lr);
-        let n_workers = config.cluster.n_workers;
-        let next_crash = vec![0usize; n_workers];
-        let worker_ops = vec![0u64; n_workers];
+        let worker_ops = vec![0u64; config.cluster.n_workers];
         Trainer {
             config,
             dataset,
@@ -203,10 +222,6 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             ckpt_store,
             fault_stats,
             fault_events: Vec::new(),
-            outages,
-            next_outage: 0,
-            pending_crashes,
-            next_crash,
             worker_ops,
             last_checkpoint_iter: 0,
         }
@@ -220,6 +235,24 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
     /// The global embedding server (for test oracles and benches).
     pub fn server(&self) -> &PsServer {
         &self.server
+    }
+
+    /// A clone of the shared PS-fabric handle, for co-scheduling another
+    /// job (e.g. a serving fleet) against the same table.
+    pub fn server_handle(&self) -> ServerHandle {
+        self.server.clone()
+    }
+
+    /// The cluster's fault plan. The trainer's workers are cluster
+    /// members `0..n_workers`; any extra members requested at
+    /// construction follow.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The same-time ordering rule the trainer's runtime must use.
+    pub fn tie_break(&self) -> TieBreak {
+        self.config.tie_break
     }
 
     /// A worker's HET client, if the system is cached.
@@ -254,41 +287,33 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
     /// Fires due fault-plan events at simulated time `now`: periodic
     /// checkpoints (on the global iteration counter) and PS-shard
     /// failovers, which roll the shard back to its last checkpoint and
-    /// account every lost clock tick.
-    fn process_fault_events(&mut self, now: SimTime) {
-        let Trainer {
-            server,
-            ckpt_store,
-            fault_stats,
-            fault_events,
-            outages,
-            next_outage,
-            global_iterations,
-            last_checkpoint_iter,
-            config,
-            ..
-        } = self;
-        let Some(store) = ckpt_store else { return };
-        let every = config.faults.checkpoint_every;
-        if every > 0 && *global_iterations >= *last_checkpoint_iter + every {
-            *last_checkpoint_iter = *global_iterations;
-            store.checkpoint_all(server).expect("in-memory checkpoint");
-            fault_stats.checkpoints += 1;
+    /// account every lost clock tick. Outages are drained from the
+    /// runtime's cluster-global cursor, so a co-scheduled job never
+    /// replays a failover this trainer already performed.
+    fn process_fault_events(&mut self, now: SimTime, ctx: &mut Ctx<'_>) {
+        let Some(store) = &mut self.ckpt_store else {
+            return;
+        };
+        let every = self.config.faults.checkpoint_every;
+        if every > 0 && self.global_iterations >= self.last_checkpoint_iter + every {
+            self.last_checkpoint_iter = self.global_iterations;
+            store
+                .checkpoint_all(&self.server)
+                .expect("in-memory checkpoint");
+            self.fault_stats.checkpoints += 1;
             if het_trace::enabled() {
                 het_trace::set_scope(now.as_nanos(), None);
-                het_trace::event!("ps", "checkpoint", "iteration" => *global_iterations);
+                het_trace::event!("ps", "checkpoint", "iteration" => self.global_iterations);
             }
         }
-        while *next_outage < outages.len() && outages[*next_outage].1 <= now {
-            let (shard, at, failover) = outages[*next_outage];
-            *next_outage += 1;
+        while let Some((shard, at, failover)) = ctx.take_due_outage(now) {
             let outcome = store
-                .fail_and_restore(server, shard)
+                .fail_and_restore(&self.server, shard)
                 .expect("in-memory checkpoint");
-            fault_stats.shard_failovers += 1;
-            fault_stats.rows_restored += outcome.rows_restored as u64;
-            fault_stats.keys_lost += outcome.keys_lost as u64;
-            fault_stats.lost_updates += outcome.lost_updates;
+            self.fault_stats.shard_failovers += 1;
+            self.fault_stats.rows_restored += outcome.rows_restored as u64;
+            self.fault_stats.keys_lost += outcome.keys_lost as u64;
+            self.fault_stats.lost_updates += outcome.lost_updates;
             if het_trace::enabled() {
                 het_trace::set_scope(at.as_nanos(), None);
                 het_trace::event!("ps", "failover",
@@ -298,7 +323,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
                     "lost_updates" => outcome.lost_updates,
                     "failover_ns" => failover.as_nanos());
             }
-            fault_events.push(FaultRecord {
+            self.fault_events.push(FaultRecord {
                 at,
                 description: format!(
                     "ps shard {shard} failed; restored {} rows from checkpoint \
@@ -309,19 +334,15 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         }
     }
 
-    /// If worker `w`'s next scheduled crash is due at `now`, kills and
-    /// restarts it: the whole cache (including dirty, never-pushed
-    /// updates) is lost, the dense replica is re-pulled from the dense PS
-    /// where one exists, and the worker pays the restart delay.
-    fn maybe_crash(&mut self, w: usize, now: SimTime) -> SimDuration {
-        let i = self.next_crash[w];
-        let Some(&(at, restart)) = self.pending_crashes[w].get(i) else {
+    /// If worker `w`'s next scheduled crash (routed by the runtime's
+    /// fault delivery) is due at `now`, kills and restarts it: the whole
+    /// cache (including dirty, never-pushed updates) is lost, the dense
+    /// replica is re-pulled from the dense PS where one exists, and the
+    /// worker pays the restart delay.
+    fn maybe_crash(&mut self, w: usize, now: SimTime, ctx: &mut Ctx<'_>) -> SimDuration {
+        let Some((at, restart)) = ctx.take_crash(w, now) else {
             return SimDuration::ZERO;
         };
-        if at > now {
-            return SimDuration::ZERO;
-        }
-        self.next_crash[w] = i + 1;
         let Trainer {
             workers,
             dense_store,
@@ -394,12 +415,8 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             stats: fault_stats,
         });
         let (store, t_read) = match &mut worker.sparse {
-            SparseEngine::Direct(c) => {
-                c.read_faulty(keys, server, net, &mut worker.comm, ctx.as_mut())
-            }
-            SparseEngine::Cached(c) => {
-                c.read_faulty(keys, server, net, &mut worker.comm, ctx.as_mut())
-            }
+            SparseEngine::Direct(c) => c.read(keys, server, net, &mut worker.comm, ctx.as_mut()),
+            SparseEngine::Cached(c) => c.read(keys, server, net, &mut worker.comm, ctx.as_mut()),
             SparseEngine::Replicated => {
                 let mut store = EmbeddingStore::new(server.dim());
                 for &k in keys {
@@ -472,11 +489,11 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         });
         let (write, gathered) = match &mut worker.sparse {
             SparseEngine::Direct(c) => (
-                c.write_faulty(&grads, server, net, &mut worker.comm, ctx.as_mut()),
+                c.write(&grads, server, net, &mut worker.comm, ctx.as_mut()),
                 None,
             ),
             SparseEngine::Cached(c) => (
-                c.write_faulty(&grads, server, net, &mut worker.comm, ctx.as_mut()),
+                c.write(&grads, server, net, &mut worker.comm, ctx.as_mut()),
                 None,
             ),
             SparseEngine::Replicated => (SimDuration::ZERO, Some(grads)),
@@ -662,155 +679,187 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         false
     }
 
-    /// Runs the full simulation and returns the report.
+    /// Runs the full simulation on a private [`ClusterRuntime`] and
+    /// returns the report. Co-scheduled setups (training + serving on
+    /// one cluster) build the runtime themselves, register every job,
+    /// call [`Trainer::prime`], run, then [`Trainer::finalize`].
     pub fn run(&mut self) -> TrainReport {
-        match self.config.system.sync {
-            SyncMode::Bsp => self.run_bsp(),
-            SyncMode::Asp => self.run_async(None),
-            SyncMode::Ssp { staleness } => self.run_async(Some(staleness)),
+        let mut rt = ClusterRuntime::new(self.config.tie_break, self.plan.clone());
+        let pid = rt.register(self.workers.len());
+        self.prime(&mut rt, pid);
+        {
+            let this: &mut dyn Process = self;
+            rt.run(&mut [this]);
         }
         self.finalize()
     }
 
-    fn run_bsp(&mut self) {
-        let n = self.workers.len();
-        loop {
-            if self.global_iterations >= self.config.max_iterations {
-                break;
-            }
-            let round_start = self.workers[0].clock;
-            let mut restart_penalty = SimDuration::ZERO;
-            if !self.plan.is_empty() {
-                self.process_fault_events(round_start);
-                // A crashed worker restarts within the round; under BSP
-                // the barrier makes everyone wait for the longest restart.
-                for w in 0..n {
-                    restart_penalty = restart_penalty.max(self.maybe_crash(w, round_start));
+    /// Schedules this trainer's initial events on `rt`: one round event
+    /// for BSP, one event per worker for ASP/SSP.
+    pub fn prime(&self, rt: &mut ClusterRuntime, pid: ProcessId) {
+        match self.config.system.sync {
+            SyncMode::Bsp => rt.prime(pid, SimTime::ZERO, Event::Wake(0)),
+            SyncMode::Asp | SyncMode::Ssp { .. } => {
+                for w in 0..self.workers.len() {
+                    rt.prime(pid, SimTime::ZERO, Event::Wake(w as u64));
                 }
-            }
-            // Phase 1: reads.
-            let mut pending: Vec<(M::Batch, EmbeddingStore, SimDuration)> = Vec::with_capacity(n);
-            for w in 0..n {
-                let cursor = self.data_cursor(w, self.workers[w].iterations);
-                let batch = self.dataset.train_batch(cursor, self.config.batch_size);
-                let keys = batch.unique_keys();
-                let (store, t_read) = self.do_read(w, &keys);
-                pending.push((batch, store, t_read));
-            }
-            // Phase 2: compute + write.
-            let mut span_max = SimDuration::ZERO;
-            let mut gathered = Vec::new();
-            for (w, (batch, store, t_read)) in pending.into_iter().enumerate() {
-                let (timing, g) = self.do_compute_write(w, &batch, &store, t_read);
-                span_max = span_max.max(timing.span(&self.config.system.backbone));
-                if let Some(g) = g {
-                    gathered.push(g);
-                }
-            }
-            // Barrier: collectives.
-            let mut barrier_time = SimDuration::ZERO;
-            if !gathered.is_empty() {
-                barrier_time += self.sparse_allgather(gathered);
-            }
-            match self.config.system.dense {
-                DenseSync::AllReduce => barrier_time += self.dense_allreduce(),
-                DenseSync::Ps => {
-                    // BSP over a dense PS (not used by the presets but
-                    // supported): each worker syncs; charge the max.
-                    let mut max_t = SimDuration::ZERO;
-                    for w in 0..n {
-                        max_t = max_t.max(self.dense_ps_sync(w));
-                    }
-                    barrier_time += max_t;
-                }
-            }
-            let round_time = span_max + barrier_time + restart_penalty;
-            let now = round_start + round_time;
-            if het_trace::enabled() {
-                het_trace::set_scope((round_start + span_max).as_nanos(), None);
-                het_trace::span!("trainer", "barrier", barrier_time.as_nanos(),
-                    "round_iters" => n, "round_end_ns" => now.as_nanos());
-            }
-            for worker in &mut self.workers {
-                worker.clock = now;
-            }
-            self.global_iterations += n as u64;
-
-            if self.global_iterations % self.config.eval_every < n as u64 && self.record_eval(now) {
-                break;
             }
         }
     }
 
-    fn run_async(&mut self, ssp_staleness: Option<u64>) {
-        let n = self.workers.len();
-        let mut queue: EventQueue<usize> = EventQueue::with_tie_break(self.config.tie_break);
-        for w in 0..n {
-            queue.push(SimTime::ZERO, w);
+    /// One BSP round, dispatched as a single barrier-process event: all
+    /// workers read, all compute and write, then the collectives close
+    /// the round and the next round is scheduled at the barrier's exit.
+    fn on_round(&mut self, ctx: &mut Ctx<'_>) {
+        if self.global_iterations >= self.config.max_iterations {
+            ctx.stop();
+            return;
         }
-        while self.global_iterations < self.config.max_iterations {
-            let Some((t, w)) = queue.pop() else {
-                break;
-            };
-            // SSP: block workers too far ahead of the slowest.
-            if let Some(s) = ssp_staleness {
-                let min_iter = self.workers.iter().map(|x| x.iterations).min().unwrap_or(0);
-                if self.workers[w].iterations > min_iter + s {
-                    // Requeue just after the next completion of a
-                    // slowest worker — the earliest point the gate can
-                    // reopen. (A worker's clock is the time of its
-                    // pending event.) Requeuing at peek+1 instead
-                    // degenerates into a 1 ns ping-pong between blocked
-                    // workers whenever the slow worker's event is far
-                    // away, e.g. behind a straggler window or a crash
-                    // restart.
-                    let gate = self
-                        .workers
-                        .iter()
-                        .filter(|x| x.iterations == min_iter)
-                        .map(|x| x.clock)
-                        .min()
-                        .unwrap_or(t);
-                    let retry = gate.max(t) + SimDuration::from_nanos(1);
-                    if het_trace::enabled() {
-                        het_trace::set_scope(t.as_nanos(), Some(w as u64));
-                        het_trace::event!("trainer", "ssp_block",
-                            "retry_ns" => retry.as_nanos());
-                    }
-                    queue.push(retry, w);
-                    continue;
-                }
+        let n = self.workers.len();
+        let round_start = self.workers[0].clock;
+        let mut restart_penalty = SimDuration::ZERO;
+        if !self.plan.is_empty() {
+            self.process_fault_events(round_start, ctx);
+            // A crashed worker restarts within the round; under BSP
+            // the barrier makes everyone wait for the longest restart.
+            for w in 0..n {
+                restart_penalty = restart_penalty.max(self.maybe_crash(w, round_start, ctx));
             }
-            let mut crash_delay = SimDuration::ZERO;
-            if !self.plan.is_empty() {
-                self.process_fault_events(t);
-                self.workers[w].clock = t;
-                crash_delay = self.maybe_crash(w, t);
-                if crash_delay > SimDuration::ZERO {
-                    self.workers[w].clock = t + crash_delay;
-                }
-            }
+        }
+        // Phase 1: reads.
+        let mut pending: Vec<(M::Batch, EmbeddingStore, SimDuration)> = Vec::with_capacity(n);
+        for w in 0..n {
             let cursor = self.data_cursor(w, self.workers[w].iterations);
             let batch = self.dataset.train_batch(cursor, self.config.batch_size);
             let keys = batch.unique_keys();
             let (store, t_read) = self.do_read(w, &keys);
-            let (timing, gathered) = self.do_compute_write(w, &batch, &store, t_read);
-            debug_assert!(gathered.is_none(), "replicated sparse requires BSP");
-            let mut iter_time = timing.span(&self.config.system.backbone);
-            iter_time += self.dense_ps_sync(w);
-
-            let now = t + crash_delay + iter_time;
-            self.workers[w].clock = now;
-            queue.push(now, w);
-            self.global_iterations += 1;
-
-            if self.global_iterations % self.config.eval_every == 0 && self.record_eval(now) {
-                break;
+            pending.push((batch, store, t_read));
+        }
+        // Phase 2: compute + write.
+        let mut span_max = SimDuration::ZERO;
+        let mut gathered = Vec::new();
+        for (w, (batch, store, t_read)) in pending.into_iter().enumerate() {
+            let (timing, g) = self.do_compute_write(w, &batch, &store, t_read);
+            span_max = span_max.max(timing.span(&self.config.system.backbone));
+            if let Some(g) = g {
+                gathered.push(g);
             }
+        }
+        // Barrier: collectives.
+        let mut barrier_time = SimDuration::ZERO;
+        if !gathered.is_empty() {
+            barrier_time += self.sparse_allgather(gathered);
+        }
+        match self.config.system.dense {
+            DenseSync::AllReduce => barrier_time += self.dense_allreduce(),
+            DenseSync::Ps => {
+                // BSP over a dense PS (not used by the presets but
+                // supported): each worker syncs; charge the max.
+                let mut max_t = SimDuration::ZERO;
+                for w in 0..n {
+                    max_t = max_t.max(self.dense_ps_sync(w));
+                }
+                barrier_time += max_t;
+            }
+        }
+        let round_time = span_max + barrier_time + restart_penalty;
+        let now = round_start + round_time;
+        if het_trace::enabled() {
+            het_trace::set_scope((round_start + span_max).as_nanos(), None);
+            het_trace::span!("trainer", "barrier", barrier_time.as_nanos(),
+                "round_iters" => n, "round_end_ns" => now.as_nanos());
+        }
+        for worker in &mut self.workers {
+            worker.clock = now;
+        }
+        self.global_iterations += n as u64;
+
+        if self.global_iterations % self.config.eval_every < n as u64 && self.record_eval(now) {
+            ctx.stop();
+            return;
+        }
+        if self.global_iterations >= self.config.max_iterations {
+            ctx.stop();
+        } else {
+            ctx.schedule(now, Event::Wake(0));
         }
     }
 
-    fn finalize(&mut self) -> TrainReport {
+    /// One ASP/SSP worker iteration, dispatched as a per-worker event.
+    fn on_worker_event(
+        &mut self,
+        t: SimTime,
+        w: usize,
+        ssp_staleness: Option<u64>,
+        ctx: &mut Ctx<'_>,
+    ) {
+        if self.global_iterations >= self.config.max_iterations {
+            ctx.stop();
+            return;
+        }
+        // SSP: block workers too far ahead of the slowest.
+        if let Some(s) = ssp_staleness {
+            let min_iter = self.workers.iter().map(|x| x.iterations).min().unwrap_or(0);
+            if self.workers[w].iterations > min_iter + s {
+                // Retry just after the next completion of a slowest
+                // worker — the earliest point the gate can reopen. (A
+                // worker's clock is the time of its pending event.)
+                // Retrying at peek+1 instead degenerates into a 1 ns
+                // ping-pong between blocked workers whenever the slow
+                // worker's event is far away, e.g. behind a straggler
+                // window or a crash restart.
+                let gate = self
+                    .workers
+                    .iter()
+                    .filter(|x| x.iterations == min_iter)
+                    .map(|x| x.clock)
+                    .min()
+                    .unwrap_or(t);
+                let retry = ctx.wait_until(gate, Event::Wake(w as u64));
+                if het_trace::enabled() {
+                    het_trace::set_scope(t.as_nanos(), Some(w as u64));
+                    het_trace::event!("trainer", "ssp_block",
+                        "retry_ns" => retry.as_nanos());
+                }
+                return;
+            }
+        }
+        let mut crash_delay = SimDuration::ZERO;
+        if !self.plan.is_empty() {
+            self.process_fault_events(t, ctx);
+            self.workers[w].clock = t;
+            crash_delay = self.maybe_crash(w, t, ctx);
+            if crash_delay > SimDuration::ZERO {
+                self.workers[w].clock = t + crash_delay;
+            }
+        }
+        let cursor = self.data_cursor(w, self.workers[w].iterations);
+        let batch = self.dataset.train_batch(cursor, self.config.batch_size);
+        let keys = batch.unique_keys();
+        let (store, t_read) = self.do_read(w, &keys);
+        let (timing, gathered) = self.do_compute_write(w, &batch, &store, t_read);
+        debug_assert!(gathered.is_none(), "replicated sparse requires BSP");
+        let mut iter_time = timing.span(&self.config.system.backbone);
+        iter_time += self.dense_ps_sync(w);
+
+        let now = t + crash_delay + iter_time;
+        self.workers[w].clock = now;
+        ctx.schedule(now, Event::Wake(w as u64));
+        self.global_iterations += 1;
+
+        if self.global_iterations % self.config.eval_every == 0 && self.record_eval(now) {
+            ctx.stop();
+            return;
+        }
+        if self.global_iterations >= self.config.max_iterations {
+            ctx.stop();
+        }
+    }
+
+    /// Drains the caches and assembles the [`TrainReport`]. Called by
+    /// [`Trainer::run`]; co-scheduled setups call it directly after the
+    /// shared runtime's loop returns.
+    pub fn finalize(&mut self) -> TrainReport {
         // Snapshot cache residency (the "stale path" key sets), then
         // flush so every pending update reaches the server (the paper's
         // end-of-training write-back).
@@ -882,6 +931,26 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             resident_keys_per_worker,
             faults: self.fault_stats.clone(),
             fault_events: self.fault_events.clone(),
+        }
+    }
+}
+
+impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Process for Trainer<M, D> {
+    fn on_event(&mut self, t: SimTime, ev: Event, ctx: &mut Ctx<'_>) {
+        // Trace scopes and fault-context worker indices use raw worker
+        // numbers, so the trainer must own the first member block.
+        debug_assert_eq!(
+            ctx.member_offset(),
+            0,
+            "register the trainer before any co-scheduled job"
+        );
+        let Event::Wake(w) = ev else { return };
+        match self.config.system.sync {
+            SyncMode::Bsp => self.on_round(ctx),
+            SyncMode::Asp => self.on_worker_event(t, w as usize, None, ctx),
+            SyncMode::Ssp { staleness } => {
+                self.on_worker_event(t, w as usize, Some(staleness), ctx)
+            }
         }
     }
 }

@@ -17,6 +17,7 @@
 //! | workloads | [`data`] | Zipf CTR streams, power-law graphs, metrics |
 //! | substrate | [`ps`] | sharded versioned embedding parameter server |
 //! | substrate | [`cache`] | the cache table, clocks, LRU/LFU/LightLFU |
+//! | runtime | [`runtime`] | the cluster event loop: processes, faults, clocks |
 //! | framework | [`core`] | HET client, consistency model, trainer |
 //! | models | [`models`] | WDL, DeepFM, DCN, GraphSAGE |
 //! | serving | [`serve`] | online inference replicas over the cached store |
@@ -50,6 +51,7 @@ pub use het_data as data;
 pub use het_json as json;
 pub use het_models as models;
 pub use het_ps as ps;
+pub use het_runtime as runtime;
 pub use het_serve as serve;
 pub use het_simnet as simnet;
 pub use het_tensor as tensor;
@@ -73,7 +75,8 @@ pub mod prelude {
     pub use het_ps::{
         CheckpointRow, FailoverOutcome, PsConfig, PsServer, ServerOptimizer, ShardCheckpointStore,
     };
-    pub use het_serve::{ServeConfig, ServeReport, ServeSim};
+    pub use het_runtime::{ClusterRuntime, Ctx, Event, Process, ProcessId};
+    pub use het_serve::{run_colocated, ColocatedReport, ServeConfig, ServeReport, ServeSim};
     pub use het_simnet::{
         ClusterSpec, CommCategory, CommStats, FaultEvent, FaultPlan, FaultSpec, LinkSpec,
         SimDuration, SimTime,

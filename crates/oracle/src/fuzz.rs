@@ -12,7 +12,6 @@
 
 use crate::{check_replay, OracleReport, OracleSpec, Violation};
 use het_cache::PolicyKind;
-use het_core::client::sabotage;
 use het_core::config::{
     Backbone, DenseSync, SparseMode, SyncMode, SystemConfig, SystemPreset, TrainerConfig,
 };
@@ -331,17 +330,10 @@ pub struct ScenarioOutcome {
     pub oracle: Result<OracleReport, Violation>,
 }
 
-/// Resets the sabotage hook even on early return.
-struct SabotageGuard;
-impl Drop for SabotageGuard {
-    fn drop(&mut self) {
-        sabotage::set_extra_staleness(0);
-    }
-}
-
-fn train(scenario: &Scenario, faults: FaultConfig) -> TrainReport {
+fn train(scenario: &Scenario, faults: FaultConfig, extra_staleness: u64) -> TrainReport {
     let mut config = scenario.trainer_config();
     config.faults = faults;
+    config.sabotage_extra_staleness = extra_staleness;
     let dataset = CtrDataset::new(CtrConfig::tiny(scenario.seed));
     let mut trainer = Trainer::new(config, dataset, |rng| WideDeep::new(rng, 4, 8, &[16]));
     trainer.run()
@@ -350,25 +342,24 @@ fn train(scenario: &Scenario, faults: FaultConfig) -> TrainReport {
 /// Executes `scenario` with tracing enabled and replays the trace
 /// through the oracle. Faulted scenarios first run a clean untraced
 /// probe to size the fault horizon (as the golden-trace tests do), so
-/// injected faults actually land inside the run.
+/// injected faults actually land inside the run. The probe always runs
+/// the correct protocol; only the traced run carries the scenario's
+/// sabotage widening.
 pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
     let faults = if scenario.has_faults() {
-        let probe = train(scenario, FaultConfig::disabled());
+        let probe = train(scenario, FaultConfig::disabled(), 0);
         scenario.fault_config(SimDuration::from_secs_f64(
             probe.total_sim_time.as_secs_f64() * 0.8,
         ))
     } else {
         FaultConfig::disabled()
     };
-    let _guard = SabotageGuard;
-    sabotage::set_extra_staleness(scenario.extra_staleness);
     het_trace::start(vec![
         ("workload".to_string(), Json::Str("fuzz".to_string())),
         ("scenario".to_string(), scenario.to_json()),
     ]);
-    let report = train(scenario, faults);
+    let report = train(scenario, faults, scenario.extra_staleness);
     let log = het_trace::finish();
-    sabotage::set_extra_staleness(0);
     let replay = het_trace::replay::ReplayLog::from(&log);
     let oracle = check_replay(&replay, &scenario.oracle_spec());
     ScenarioOutcome { report, oracle }

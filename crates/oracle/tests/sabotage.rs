@@ -1,15 +1,13 @@
 //! End-to-end oracle acceptance tests.
 //!
 //! The oracle is only trustworthy if it (a) stays silent on correct
-//! executions and (b) actually fires when the protocol is broken. The
-//! sabotage hook in `het_core::client` widens the admitted staleness
-//! window at run time without touching the production code path, so we
-//! can plant a real `CheckValid` bug and demand the fuzzer catch it
-//! *and* shrink it to a small repro.
-//!
-//! These tests share one process (cargo runs integration tests in a
-//! single binary, test threads share nothing but the filesystem), and
-//! the sabotage hook is thread-local, so no cross-test interference.
+//! executions and (b) actually fires when the protocol is broken.
+//! `TrainerConfig::sabotage_extra_staleness` widens the admitted
+//! staleness window of every cache client built from that config, so
+//! we can plant a real `CheckValid` bug and demand the fuzzer catch it
+//! *and* shrink it to a small repro. The knob is plain per-run
+//! configuration — no global or thread-local state — so concurrent
+//! tests can't interfere with each other.
 
 use het_cache::PolicyKind;
 use het_core::config::{DenseSync, SparseMode, SyncMode};

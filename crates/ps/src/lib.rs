@@ -31,3 +31,10 @@ pub use server::{PsConfig, PsServer, PullResult};
 
 /// An embedding key (feature ID).
 pub type Key = u64;
+
+/// A shared handle to one PS fabric. Co-scheduled jobs (a trainer and a
+/// serving fleet on one cluster runtime) hold clones of the same handle,
+/// so every pull/push/clock observes one table; standalone jobs wrap a
+/// private server in one. All of [`PsServer`]'s methods take `&self`, so
+/// a handle is as capable as the server itself.
+pub type ServerHandle = std::rc::Rc<PsServer>;

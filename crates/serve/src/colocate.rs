@@ -1,0 +1,109 @@
+//! Co-scheduled training + serving: one cluster runtime, one PS fabric.
+//!
+//! This is the "serving heavy traffic while training" configuration of
+//! the north star, done for real: a [`Trainer`] and a [`ServeSim`] are
+//! both registered on a single `het-runtime` [`ClusterRuntime`], so
+//! training iterations and inference micro-batches interleave in one
+//! global simulated-time order against one live [`het_ps::PsServer`].
+//! Every gradient the trainer pushes advances the per-key server
+//! clocks the serving replicas' `CheckValid` reads are bounded by —
+//! the freshness/latency coupling emerges from actual co-scheduling
+//! instead of a synthetic update feed.
+//!
+//! Fault injection is cluster-wide: the trainer's plan covers the
+//! serving replicas as extra cluster members (see
+//! [`Trainer::with_shared_members`]), and the runtime's centralized
+//! fault delivery routes each crash to the job that owns the member.
+//! The serve config's own `faults` section is ignored here.
+//!
+//! Same seed ⇒ byte-identical combined report JSON and trace.
+
+use crate::config::ServeConfig;
+use crate::report::ServeReport;
+use crate::sim::ServeSim;
+use het_core::{TrainReport, Trainer};
+use het_data::CtrBatch;
+use het_json::{Json, ToJson};
+use het_models::{Dataset, EmbeddingModel};
+use het_rng::rngs::StdRng;
+use het_runtime::{ClusterRuntime, Process};
+
+/// The outcome of one co-scheduled run: the training report and the
+/// serving report, produced by the same event loop over the same PS.
+#[derive(Clone, Debug)]
+pub struct ColocatedReport {
+    /// The trainer's side of the run.
+    pub train: TrainReport,
+    /// The serving fleet's side of the run.
+    pub serve: ServeReport,
+}
+
+impl ToJson for ColocatedReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("train".to_string(), self.train.to_json()),
+            ("serve".to_string(), self.serve.to_json()),
+        ])
+    }
+}
+
+/// Runs a trainer and a serving fleet to completion on one shared
+/// [`ClusterRuntime`] and one PS fabric.
+///
+/// Build the trainer with [`Trainer::with_shared_members`] passing
+/// `serve_cfg.n_replicas` as the extra member count, so the cluster's
+/// fault plan covers the fleet. The serve config's `n_shards` and
+/// `faults` are superseded by the shared fabric and plan; its `dim`
+/// must match the trainer's.
+///
+/// The run ends when the trainer has finished *and* every request has
+/// been served (the loop drains both jobs' events).
+pub fn run_colocated<TM, D, SM>(
+    mut trainer: Trainer<TM, D>,
+    mut serve_cfg: ServeConfig,
+    serve_model_fn: impl Fn(&mut StdRng) -> SM,
+) -> ColocatedReport
+where
+    TM: EmbeddingModel,
+    D: Dataset<Batch = TM::Batch>,
+    SM: EmbeddingModel<Batch = CtrBatch>,
+{
+    let server = trainer.server_handle();
+    assert_eq!(
+        serve_cfg.dim,
+        server.dim(),
+        "serve dim must match the trainer's PS fabric"
+    );
+    // The fleet reads the trainer's live table; its shard count is a
+    // property of that fabric, not of the serve config.
+    serve_cfg.n_shards = server.n_shards();
+    let plan = trainer.plan().clone();
+    let member_offset = trainer.n_workers();
+    let mut sim = ServeSim::with_shared(
+        serve_cfg,
+        server,
+        plan.clone(),
+        member_offset,
+        serve_model_fn,
+    );
+
+    // Pretraining pushes and cache warmup happen before t = 0, exactly
+    // as in a standalone serving run.
+    sim.prepare();
+
+    let mut rt = ClusterRuntime::new(trainer.tie_break(), plan);
+    let train_pid = rt.register(trainer.n_workers());
+    let serve_pid = rt.register(sim.n_replicas());
+    debug_assert_eq!(rt.member_offset(serve_pid), member_offset);
+    trainer.prime(&mut rt, train_pid);
+    sim.prime(&mut rt, serve_pid);
+    {
+        let procs: &mut [&mut dyn Process] = &mut [&mut trainer, &mut sim];
+        rt.run(procs);
+    }
+    sim.epilogue(&mut rt, serve_pid);
+    ColocatedReport {
+        train: trainer.finalize(),
+        serve: sim.into_report(),
+    }
+}

@@ -5,13 +5,14 @@ use het_core::FaultConfig;
 use het_simnet::{ClusterSpec, SimDuration, SimTime};
 
 /// Configuration of a [`ServeSim`](crate::ServeSim) run: the request
-/// workload, the replica fleet, cache/staleness settings, the optional
-/// concurrent-training feed, and fault injection.
+/// workload, the replica fleet, cache/staleness settings, and fault
+/// injection. (Serving alongside *live* training is configured by
+/// co-scheduling a trainer — see [`crate::colocate`] — not here.)
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Master seed. Every random stream (arrivals, key popularity, the
-    /// training feed, fault schedules) derives from it, so equal seeds
-    /// give byte-identical [`ServeReport`](crate::ServeReport)s.
+    /// pretraining stream, fault schedules) derives from it, so equal
+    /// seeds give byte-identical [`ServeReport`](crate::ServeReport)s.
     pub seed: u64,
     /// Number of inference replicas requests are load-balanced over.
     pub n_replicas: usize,
@@ -57,9 +58,6 @@ pub struct ServeConfig {
     /// Micro-batching: maximum time the oldest queued request may wait
     /// before a partial batch is forced out.
     pub max_queue_delay: SimDuration,
-    /// Concurrent-training feed: PS updates per second of simulated
-    /// time (0 disables; serving is then against a frozen PS).
-    pub train_rate: f64,
     /// PS updates applied before serving starts, standing in for the
     /// training history that produced the model being served.
     pub pretrain_updates: u64,
@@ -101,7 +99,6 @@ impl ServeConfig {
             flash_hot_keys: 0,
             max_batch: 8,
             max_queue_delay: SimDuration::from_micros(200),
-            train_rate: 0.0,
             pretrain_updates: 0,
             warmup_requests: 0,
             faults: FaultConfig::disabled(),
@@ -136,7 +133,6 @@ impl ServeConfig {
             flash_hot_keys: 0,
             max_batch: 4,
             max_queue_delay: SimDuration::from_micros(300),
-            train_rate: 0.0,
             pretrain_updates: 200,
             warmup_requests: 0,
             faults: FaultConfig::disabled(),

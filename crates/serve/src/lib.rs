@@ -11,9 +11,11 @@
 //!   ([`workload`]);
 //! * **N inference replicas**, each a trained `het-models` forward pass
 //!   behind a read-mostly embedding cache (any of the LRU/LFU/LightLFU
-//!   policies) doing staleness-bounded reads against the live PS — so
-//!   serving concurrent with training exposes the freshness/latency
-//!   trade-off ([`sim`]);
+//!   policies) doing staleness-bounded reads against the live PS
+//!   ([`sim`]); the fleet is a `het_runtime::Process`, so it can be
+//!   **co-scheduled with a real trainer** on one cluster runtime and
+//!   one PS fabric, exposing the freshness/latency trade-off of
+//!   serving *while training* ([`colocate`]);
 //! * **micro-batching** per replica (max batch size + max queue delay)
 //!   with full queueing/latency accounting into a [`ServeReport`]
 //!   (throughput, p50/p95/p99 from a deterministic histogram,
@@ -26,12 +28,14 @@
 
 #![warn(missing_docs)]
 
+pub mod colocate;
 pub mod config;
 pub mod report;
 pub mod sim;
 pub mod workload;
 
+pub use colocate::{run_colocated, ColocatedReport};
 pub use config::ServeConfig;
 pub use report::{ReplicaReport, ServeReport};
 pub use sim::ServeSim;
-pub use workload::{generate_requests, Request, TrainFeed};
+pub use workload::{generate_requests, pretrain, Request};

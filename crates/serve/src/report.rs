@@ -91,8 +91,6 @@ pub struct ServeReport {
     pub warmed_keys: u64,
     /// PS updates applied before serving started.
     pub pretrain_updates: u64,
-    /// Concurrent-training PS updates applied during serving.
-    pub train_updates: u64,
     /// Mean model score over all served examples (a cheap fingerprint
     /// that the forward pass actually consumed the embeddings).
     pub score_mean: f64,
@@ -160,7 +158,6 @@ impl ToJson for ServeReport {
                 "pretrain_updates".to_string(),
                 Json::UInt(self.pretrain_updates),
             ),
-            ("train_updates".to_string(), Json::UInt(self.train_updates)),
             ("score_mean".to_string(), Json::Num(self.score_mean)),
             ("faults".to_string(), self.faults.to_json()),
             (

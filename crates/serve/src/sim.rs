@@ -2,21 +2,26 @@
 //!
 //! N replicas, each a [`HetClient`] read path in front of a trained
 //! model, drain an open-loop request schedule under join-shortest-queue
-//! routing and per-replica micro-batching. Everything advances on
-//! `het-simnet` time through one [`EventQueue`], so a run is a pure
-//! function of its [`ServeConfig`].
+//! routing and per-replica micro-batching. The fleet is a
+//! [`Process`] scheduled by the shared [`ClusterRuntime`] event loop —
+//! request arrivals are primed as `Arrive` events, replica wake-ups are
+//! self-scheduled `Wake` events, and replica crashes arrive through the
+//! runtime's centralized fault delivery — so a run is a pure function
+//! of its [`ServeConfig`], and the same fleet can be co-scheduled with
+//! a live trainer against one PS fabric (see [`crate::colocate`]).
 
 use crate::config::ServeConfig;
 use crate::report::{ReplicaReport, ServeReport};
-use crate::workload::{generate_requests, key_of, warmup_seed, Request, TrainFeed};
+use crate::workload::{generate_requests, key_of, pretrain, warmup_seed, Request};
 use het_core::fault::{FaultContext, FaultStats};
 use het_core::HetClient;
 use het_data::{CtrBatch, Key, LatencyHistogram, SpaceSaving, ZipfSampler};
 use het_models::{EmbeddingModel, ModelBatch};
-use het_ps::{PsConfig, PsServer, ServerOptimizer};
+use het_ps::{PsConfig, PsServer, ServerHandle, ServerOptimizer};
 use het_rng::rngs::StdRng;
 use het_rng::SeedableRng;
-use het_simnet::{Collectives, CommStats, EventQueue, FaultPlan, SimDuration, SimTime};
+use het_runtime::{ClusterRuntime, Ctx, Event, Process, ProcessId};
+use het_simnet::{Collectives, CommStats, FaultPlan, SimDuration, SimTime, TieBreak};
 use std::collections::VecDeque;
 
 /// Serving is forward-only; the models estimate forward+backward FLOPs,
@@ -24,22 +29,11 @@ use std::collections::VecDeque;
 /// instead of three). Fixed so reports are comparable across runs.
 const FORWARD_FLOP_FRACTION: f64 = 1.0 / 3.0;
 
-enum Ev {
-    /// Request `i` of the schedule arrives at the balancer.
-    Arrive(usize),
-    /// Replica wakes up (restart finished, batch finished, or the
-    /// oldest queued request hit its queue-delay deadline).
-    Wake(usize),
-}
-
 struct Replica<M> {
     client: HetClient,
     model: M,
     queue: VecDeque<usize>,
     busy_until: SimTime,
-    /// Crash schedule `(at, restart_delay)`, consumed in order.
-    crashes: Vec<(SimTime, SimDuration)>,
-    next_crash: usize,
     comm: CommStats,
     ops: u64,
     hist: LatencyHistogram,
@@ -53,12 +47,16 @@ struct Replica<M> {
 /// and fault injection, accounted into a [`ServeReport`].
 pub struct ServeSim<M: EmbeddingModel<Batch = CtrBatch>> {
     cfg: ServeConfig,
-    server: PsServer,
+    server: ServerHandle,
     net: Collectives,
     replicas: Vec<Replica<M>>,
     plan: FaultPlan,
+    /// First cluster-member index of this fleet in the fault plan
+    /// (non-zero when co-scheduled after a trainer).
+    member_offset: usize,
     fault_stats: FaultStats,
-    feed: TrainFeed,
+    /// Updates applied to the PS before serving started.
+    pretrained: u64,
     requests: Vec<Request>,
     hist: LatencyHistogram,
     queue_wait_ns: u64,
@@ -71,22 +69,55 @@ pub struct ServeSim<M: EmbeddingModel<Batch = CtrBatch>> {
 }
 
 impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
-    /// Builds the simulator. `model_fn` constructs one replica's model
-    /// from a seeded RNG; every replica gets an identically seeded RNG,
-    /// so the fleet serves the same model.
+    /// Builds the simulator over a private PS fabric. `model_fn`
+    /// constructs one replica's model from a seeded RNG; every replica
+    /// gets an identically seeded RNG, so the fleet serves the same
+    /// model.
     pub fn new(cfg: ServeConfig, model_fn: impl Fn(&mut StdRng) -> M) -> Self {
         cfg.validate();
-        let server = PsServer::new(PsConfig {
+        let server = ServerHandle::new(PsServer::new(PsConfig {
             dim: cfg.dim,
             n_shards: cfg.n_shards,
             lr: cfg.lr,
             seed: cfg.seed,
             optimizer: ServerOptimizer::Sgd,
             grad_clip: None,
-        });
+        }));
         let plan = cfg.faults.plan(cfg.seed, cfg.n_replicas, cfg.n_shards);
+        Self::assemble(cfg, server, plan, 0, model_fn)
+    }
+
+    /// Builds the simulator over a *shared* PS fabric for co-scheduling
+    /// with another job on one [`ClusterRuntime`]. The cluster's fault
+    /// plan replaces the one `cfg.faults` would generate (the shared
+    /// cluster owns fault injection), and `member_offset` is the
+    /// fleet's first member index within that plan — register the fleet
+    /// on the runtime at the same offset.
+    pub fn with_shared(
+        cfg: ServeConfig,
+        server: ServerHandle,
+        plan: FaultPlan,
+        member_offset: usize,
+        model_fn: impl Fn(&mut StdRng) -> M,
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(
+            server.dim(),
+            cfg.dim,
+            "shared PS fabric dim must match the serve config"
+        );
+        Self::assemble(cfg, server, plan, member_offset, model_fn)
+    }
+
+    fn assemble(
+        cfg: ServeConfig,
+        server: ServerHandle,
+        plan: FaultPlan,
+        member_offset: usize,
+        model_fn: impl Fn(&mut StdRng) -> M,
+    ) -> Self {
         let replicas = (0..cfg.n_replicas)
-            .map(|r| {
+            .map(|_| {
                 let mut client = HetClient::new(
                     cfg.cache_capacity,
                     cfg.staleness,
@@ -109,8 +140,6 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
                     model,
                     queue: VecDeque::new(),
                     busy_until: SimTime::ZERO,
-                    crashes: plan.worker_crashes(r),
-                    next_crash: 0,
                     comm: CommStats::default(),
                     ops: 0,
                     hist: LatencyHistogram::new(),
@@ -120,15 +149,15 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
                 }
             })
             .collect();
-        let feed = TrainFeed::new(&cfg);
         let requests = generate_requests(&cfg);
         ServeSim {
             net: cfg.cluster.collectives(),
             server,
             replicas,
             plan,
+            member_offset,
             fault_stats: FaultStats::default(),
-            feed,
+            pretrained: 0,
             requests,
             hist: LatencyHistogram::new(),
             queue_wait_ns: 0,
@@ -159,7 +188,7 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
         let top: Vec<(Key, u64)> = sketch.top(self.cfg.cache_capacity);
         self.warmed_keys = top.len() as u64;
         for (r, replica) in self.replicas.iter_mut().enumerate() {
-            het_trace::set_scope(0, Some(r as u64));
+            het_trace::set_scope(0, Some((self.member_offset + r) as u64));
             for &(k, _) in &top {
                 let pulled = self.server.pull(k);
                 let displaced = replica
@@ -184,60 +213,58 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
         best
     }
 
-    /// Applies any crash scheduled at or before `t` to replica `r`:
-    /// the cache is lost cold and the replica is out until the restart
-    /// delay elapses. Queued requests survive (the balancer holds
-    /// them), which is how the latency cost of a crash surfaces.
-    fn apply_crashes(&mut self, r: usize, t: SimTime) {
-        let replica = &mut self.replicas[r];
-        while replica.next_crash < replica.crashes.len()
-            && replica.crashes[replica.next_crash].0 <= t
-        {
-            let (at, restart) = replica.crashes[replica.next_crash];
-            replica.next_crash += 1;
-            het_trace::set_scope(at.as_nanos(), Some(r as u64));
-            let (lost, dirty_lost, _) = replica.client.crash_reset();
-            debug_assert_eq!(dirty_lost, 0, "read-only caches hold no dirty entries");
-            replica.busy_until = replica.busy_until.max(at + restart);
-            replica.crash_count += 1;
-            self.fault_stats.worker_crashes += 1;
-            self.fault_stats.keys_lost += lost;
-            het_trace::emit_at(
-                "serve",
-                "replica_crash",
-                at.as_nanos(),
-                Some(restart.as_nanos()),
-                vec![("keys_lost", het_trace::Value::from(lost))],
-            );
+    /// Applies every crash the runtime's fault delivery has due for
+    /// replica `r` at or before `t`.
+    fn apply_crashes(&mut self, r: usize, t: SimTime, ctx: &mut Ctx<'_>) {
+        while let Some((at, restart)) = ctx.take_crash(r, t) {
+            self.apply_one_crash(r, at, restart);
         }
+    }
+
+    /// One crash: the cache is lost cold and the replica is out until
+    /// the restart delay elapses. Queued requests survive (the balancer
+    /// holds them), which is how the latency cost of a crash surfaces.
+    fn apply_one_crash(&mut self, r: usize, at: SimTime, restart: SimDuration) {
+        let replica = &mut self.replicas[r];
+        het_trace::set_scope(at.as_nanos(), Some((self.member_offset + r) as u64));
+        let (lost, dirty_lost, _) = replica.client.crash_reset();
+        debug_assert_eq!(dirty_lost, 0, "read-only caches hold no dirty entries");
+        replica.busy_until = replica.busy_until.max(at + restart);
+        replica.crash_count += 1;
+        self.fault_stats.worker_crashes += 1;
+        self.fault_stats.keys_lost += lost;
+        het_trace::emit_at(
+            "serve",
+            "replica_crash",
+            at.as_nanos(),
+            Some(restart.as_nanos()),
+            vec![("keys_lost", het_trace::Value::from(lost))],
+        );
     }
 
     /// One scheduling step for replica `r` at time `t`: either launch a
     /// micro-batch, or schedule the wake-up that will.
-    fn step(&mut self, r: usize, t: SimTime, q: &mut EventQueue<Ev>) {
-        self.apply_crashes(r, t);
+    fn step(&mut self, r: usize, t: SimTime, ctx: &mut Ctx<'_>) {
+        self.apply_crashes(r, t, ctx);
         let replica = &self.replicas[r];
         if replica.queue.is_empty() {
             return;
         }
         if t < replica.busy_until {
-            q.push(replica.busy_until, Ev::Wake(r));
+            ctx.schedule(replica.busy_until, Event::Wake(r as u64));
             return;
         }
         let oldest = self.requests[*replica.queue.front().expect("non-empty")].at;
         let deadline = oldest + self.cfg.max_queue_delay;
         if replica.queue.len() < self.cfg.max_batch && t < deadline {
-            q.push(deadline, Ev::Wake(r));
+            ctx.schedule(deadline, Event::Wake(r as u64));
             return;
         }
-        self.execute_batch(r, t, q);
+        self.execute_batch(r, t, ctx);
     }
 
-    fn execute_batch(&mut self, r: usize, t: SimTime, q: &mut EventQueue<Ev>) {
-        // PS state is a function of simulated time alone: apply every
-        // training update due before this batch touches the server.
-        self.feed.advance(t, &self.server);
-        het_trace::set_scope(t.as_nanos(), Some(r as u64));
+    fn execute_batch(&mut self, r: usize, t: SimTime, ctx: &mut Ctx<'_>) {
+        het_trace::set_scope(t.as_nanos(), Some((self.member_offset + r) as u64));
 
         let replica = &mut self.replicas[r];
         let n_take = replica.queue.len().min(self.cfg.max_batch);
@@ -253,21 +280,21 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
         unique.sort_unstable();
         unique.dedup();
         let degraded_before = self.fault_stats.degraded_reads;
-        let mut ctx = (!self.plan.is_empty()).then_some(FaultContext {
+        let mut fctx = (!self.plan.is_empty()).then_some(FaultContext {
             plan: &self.plan,
             now: t,
-            worker: r,
+            worker: self.member_offset + r,
             max_retries: self.cfg.faults.max_retries,
             retry_backoff: self.cfg.faults.retry_backoff,
             ops: &mut replica.ops,
             stats: &mut self.fault_stats,
         });
-        let (store, t_lookup) = replica.client.read_faulty(
+        let (store, t_lookup) = replica.client.read(
             &unique,
             &self.server,
             &self.net,
             &mut replica.comm,
-            ctx.as_mut(),
+            fctx.as_mut(),
         );
         // `Het.Read` installs fetched entries past capacity; training
         // trims the overflow in `Het.Write`, which serving never calls,
@@ -331,45 +358,67 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
         self.end_time = self.end_time.max(done);
 
         if !self.replicas[r].queue.is_empty() {
-            q.push(done, Ev::Wake(r));
+            ctx.schedule(done, Event::Wake(r as u64));
         }
     }
 
-    /// Runs the schedule to completion and produces the report. Every
-    /// generated request is served — the run only ends once all queues
-    /// drain.
-    pub fn run(mut self) -> ServeReport {
-        self.feed.pretrain(&self.server, self.cfg.pretrain_updates);
+    /// Number of replicas in the fleet.
+    pub fn n_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Pre-run setup: pretraining pushes and cache warmup, both before
+    /// t = 0. Called by [`ServeSim::run`]; co-scheduled setups call it
+    /// before the shared runtime's loop starts.
+    pub fn prepare(&mut self) {
+        self.pretrained = pretrain(&self.cfg, &self.server, self.cfg.pretrain_updates);
         self.warm_replicas();
-        let mut q: EventQueue<Ev> = EventQueue::new();
+    }
+
+    /// Schedules every request arrival on `rt`.
+    pub fn prime(&self, rt: &mut ClusterRuntime, pid: ProcessId) {
         for (i, req) in self.requests.iter().enumerate() {
-            q.push(req.at, Ev::Arrive(i));
+            rt.prime(pid, req.at, Event::Arrive(i as u64));
         }
-        while let Some((t, ev)) = q.pop() {
-            match ev {
-                Ev::Arrive(i) => {
-                    let r = self.route();
-                    self.replicas[r].queue.push_back(i);
-                    self.step(r, t, &mut q);
-                }
-                Ev::Wake(r) => self.step(r, t, &mut q),
-            }
-        }
-        // Crashes scheduled after the last served batch still count.
+    }
+
+    /// Post-run fault accounting: crashes scheduled after the last
+    /// served batch still count, as do PS-shard outages observed within
+    /// the serving horizon.
+    pub fn epilogue(&mut self, rt: &mut ClusterRuntime, pid: ProcessId) {
+        let horizon = self.end_time;
         for r in 0..self.replicas.len() {
-            let horizon = self.end_time;
-            self.apply_crashes(r, horizon);
+            while let Some((at, restart)) = rt.take_crash(pid, r, horizon) {
+                self.apply_one_crash(r, at, restart);
+            }
         }
         self.fault_stats.shard_failovers = self
             .plan
             .shard_outages()
             .iter()
-            .filter(|&&(_, at, _)| at <= self.end_time)
+            .filter(|&&(_, at, _)| at <= horizon)
             .count() as u64;
+    }
+
+    /// Runs the schedule to completion on a private [`ClusterRuntime`]
+    /// and produces the report. Every generated request is served — the
+    /// run only ends once all queues drain.
+    pub fn run(mut self) -> ServeReport {
+        self.prepare();
+        let mut rt = ClusterRuntime::new(TieBreak::Fifo, self.plan.clone());
+        let pid = rt.register(self.replicas.len());
+        self.prime(&mut rt, pid);
+        {
+            let this: &mut dyn Process = &mut self;
+            rt.run(&mut [this]);
+        }
+        self.epilogue(&mut rt, pid);
         self.into_report()
     }
 
-    fn into_report(self) -> ServeReport {
+    /// Assembles the [`ServeReport`]. Called by [`ServeSim::run`];
+    /// co-scheduled setups call it after [`ServeSim::epilogue`].
+    pub fn into_report(self) -> ServeReport {
         let mut cache = het_cache::CacheStats::default();
         let mut served = 0u64;
         let mut batches = 0u64;
@@ -423,8 +472,7 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
             infer_ns: self.infer_ns,
             cache,
             warmed_keys: self.warmed_keys,
-            pretrain_updates: self.feed.pretrained,
-            train_updates: self.feed.updates,
+            pretrain_updates: self.pretrained,
             score_mean: if self.score_count > 0 {
                 self.score_sum / self.score_count as f64
             } else {
@@ -432,6 +480,24 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
             },
             faults: self.fault_stats,
             replicas,
+        }
+    }
+}
+
+impl<M: EmbeddingModel<Batch = CtrBatch>> Process for ServeSim<M> {
+    fn on_event(&mut self, t: SimTime, ev: Event, ctx: &mut Ctx<'_>) {
+        debug_assert_eq!(
+            ctx.member_offset(),
+            self.member_offset,
+            "register the fleet at its configured member offset"
+        );
+        match ev {
+            Event::Arrive(i) => {
+                let r = self.route();
+                self.replicas[r].queue.push_back(i as usize);
+                self.step(r, t, ctx);
+            }
+            Event::Wake(r) => self.step(r as usize, t, ctx),
         }
     }
 }

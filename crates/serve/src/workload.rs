@@ -1,16 +1,21 @@
-//! The open-loop request generator and the concurrent-training feed.
+//! The open-loop request generator and the pretraining stream.
+//!
+//! Serving *alongside live training* is not modelled here: co-schedule
+//! a real [`het_core::Trainer`] with the fleet on one cluster runtime
+//! (see [`crate::colocate`]). This module only fabricates the training
+//! *history* that produced the served model ([`pretrain`]).
 
 use crate::config::ServeConfig;
 use het_data::{Key, ZipfSampler};
 use het_ps::PsServer;
 use het_rng::rngs::StdRng;
 use het_rng::{Rng, SeedableRng};
-use het_simnet::{SimDuration, SimTime};
+use het_simnet::SimTime;
 
 /// Seed salts: each random stream of a run derives from the master
 /// seed xor a distinct salt, so streams never alias.
 const REQUEST_SALT: u64 = 0x5e72_7665_7265_7131; // arrivals + keys
-const TRAIN_SALT: u64 = 0x5e72_7665_7472_6e32; // training feed
+const TRAIN_SALT: u64 = 0x5e72_7665_7472_6e32; // pretraining stream
 const WARMUP_SALT: u64 = 0x5e72_7665_7761_7233; // warmup sketch
 
 /// One inference request: an arrival instant and the embedding keys of
@@ -78,71 +83,20 @@ pub fn generate_requests(cfg: &ServeConfig) -> Vec<Request> {
     out
 }
 
-/// The concurrent-training side of serving-while-training: a stream of
-/// Zipf-distributed gradient pushes applied directly to the live PS at
-/// a fixed rate, advancing per-key server clocks and thereby aging the
-/// replicas' cached entries toward their staleness bound.
-pub struct TrainFeed {
-    rng: StdRng,
-    zipf: ZipfSampler,
-    interval: SimDuration,
-    next_at: SimTime,
-    dim: usize,
-    /// Updates applied during serving (excludes pretraining).
-    pub updates: u64,
-    /// Updates applied before serving started.
-    pub pretrained: u64,
-}
-
-impl TrainFeed {
-    /// Builds the feed from the run configuration.
-    pub fn new(cfg: &ServeConfig) -> Self {
-        let interval = if cfg.train_rate > 0.0 {
-            SimDuration::from_secs_f64(1.0 / cfg.train_rate)
-        } else {
-            SimDuration::ZERO
-        };
-        TrainFeed {
-            rng: StdRng::seed_from_u64(cfg.seed ^ TRAIN_SALT),
-            zipf: ZipfSampler::new(cfg.n_keys as usize, cfg.zipf_exponent),
-            interval,
-            next_at: SimTime::ZERO + interval,
-            dim: cfg.dim,
-            updates: 0,
-            pretrained: 0,
-        }
-    }
-
-    fn push_one(&mut self, server: &PsServer) {
-        let key = self.zipf.sample(&mut self.rng) as Key;
-        let grad: Vec<f32> = (0..self.dim)
-            .map(|_| (self.rng.gen::<f32>() - 0.5) * 0.2)
+/// Applies `n` Zipf-distributed gradient pushes to the PS before t = 0,
+/// standing in for the training history that produced the served model.
+/// Returns `n` for report accounting.
+pub fn pretrain(cfg: &ServeConfig, server: &PsServer, n: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ TRAIN_SALT);
+    let zipf = ZipfSampler::new(cfg.n_keys as usize, cfg.zipf_exponent);
+    for _ in 0..n {
+        let key = zipf.sample(&mut rng) as Key;
+        let grad: Vec<f32> = (0..cfg.dim)
+            .map(|_| (rng.gen::<f32>() - 0.5) * 0.2)
             .collect();
         server.push_inc(key, &grad);
     }
-
-    /// Applies `n` updates before t = 0, standing in for the training
-    /// history that produced the served model.
-    pub fn pretrain(&mut self, server: &PsServer, n: u64) {
-        for _ in 0..n {
-            self.push_one(server);
-        }
-        self.pretrained += n;
-    }
-
-    /// Applies every update scheduled at or before `until`. Called at
-    /// each batch execution, so PS state is a function of simulated
-    /// time only — independent of replica interleaving.
-    pub fn advance(&mut self, until: SimTime, server: &PsServer) {
-        if self.interval == SimDuration::ZERO {
-            return;
-        }
-        while self.next_at <= until {
-            self.push_one(server);
-            self.next_at += self.interval;
-            self.updates += 1;
-        }
-    }
+    n
 }
 
 /// The warmup sketch's seed for a run configuration.
@@ -153,6 +107,7 @@ pub fn warmup_seed(cfg: &ServeConfig) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use het_simnet::SimDuration;
 
     #[test]
     fn request_schedule_is_deterministic() {
@@ -220,26 +175,24 @@ mod tests {
     }
 
     #[test]
-    fn train_feed_advances_by_wall_clock_only() {
-        let cfg = {
-            let mut c = ServeConfig::tiny(9);
-            c.train_rate = 100_000.0;
-            c
+    fn pretrain_is_deterministic_and_advances_clocks() {
+        let cfg = ServeConfig::tiny(9);
+        let make_server = || {
+            PsServer::new(het_ps::PsConfig {
+                dim: cfg.dim,
+                n_shards: cfg.n_shards,
+                lr: cfg.lr,
+                seed: cfg.seed,
+                optimizer: het_ps::ServerOptimizer::Sgd,
+                grad_clip: None,
+            })
         };
-        let server = PsServer::new(het_ps::PsConfig {
-            dim: cfg.dim,
-            n_shards: cfg.n_shards,
-            lr: cfg.lr,
-            seed: cfg.seed,
-            optimizer: het_ps::ServerOptimizer::Sgd,
-            grad_clip: None,
-        });
-        let mut feed = TrainFeed::new(&cfg);
-        feed.advance(SimTime::from_nanos(1_000_000), &server);
-        let after_1ms = feed.updates;
-        assert_eq!(after_1ms, 100, "100k/s for 1 ms = 100 updates");
-        // Advancing to the same instant again is a no-op.
-        feed.advance(SimTime::from_nanos(1_000_000), &server);
-        assert_eq!(feed.updates, after_1ms);
+        let (a, b) = (make_server(), make_server());
+        assert_eq!(pretrain(&cfg, &a, 100), 100);
+        assert_eq!(pretrain(&cfg, &b, 100), 100);
+        let ticks: u64 = (0..cfg.n_keys).map(|k| a.pull(k).clock).sum();
+        let ticks_b: u64 = (0..cfg.n_keys).map(|k| b.pull(k).clock).sum();
+        assert_eq!(ticks, 100, "every push advances exactly one key clock");
+        assert_eq!(ticks_b, ticks, "same seed, same stream");
     }
 }

@@ -48,26 +48,26 @@ fn main() {
     grad.accumulate(key, &[1.0; 4]);
 
     println!("worker A and B fetch key {key}:");
-    let _ = a.read(&[key], &server, &net, &mut stats);
-    let _ = b.read(&[key], &server, &net, &mut stats);
+    let _ = a.read(&[key], &server, &net, &mut stats, None);
+    let _ = b.read(&[key], &server, &net, &mut stats, None);
     show("A", &a, key, &server);
     show("B", &b, key, &server);
 
     println!("\nworker A writes 3 times (stale writes accumulate locally):");
     for i in 1..=3 {
-        a.write(&grad, &server, &net, &mut stats);
+        a.write(&grad, &server, &net, &mut stats, None);
         println!(" after write {i}:");
         show("A", &a, key, &server);
     }
 
     println!("\nworker A reads again — condition (1) c_c ≤ c_s + s now fails, forcing");
     println!("an evict (write-back) + fetch:");
-    let _ = a.read(&[key], &server, &net, &mut stats);
+    let _ = a.read(&[key], &server, &net, &mut stats, None);
     show("A", &a, key, &server);
 
     println!("\nworker B reads — condition (2) c_g ≤ c_c + s still holds (c_g=3, c_c=0, s=2?");
     println!("no: 3 > 0+2, so B resynchronises too):");
-    let _ = b.read(&[key], &server, &net, &mut stats);
+    let _ = b.read(&[key], &server, &net, &mut stats, None);
     show("B", &b, key, &server);
 
     println!(

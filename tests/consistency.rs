@@ -40,10 +40,10 @@ fn read_my_updates_holds() {
     let mut stats = CommStats::new();
     let mut client = new_client(100, dim);
 
-    let (before, _) = client.read(&[9], &server, &net, &mut stats);
+    let (before, _) = client.read(&[9], &server, &net, &mut stats, None);
     let v0 = before.get(9).to_vec();
-    client.write(&one_grad(dim, 9), &server, &net, &mut stats);
-    let (after, _) = client.read(&[9], &server, &net, &mut stats);
+    client.write(&one_grad(dim, 9), &server, &net, &mut stats, None);
+    let (after, _) = client.read(&[9], &server, &net, &mut stats, None);
     let v1 = after.get(9).to_vec();
     for (a, b) in v0.iter().zip(&v1) {
         assert!(
@@ -87,10 +87,10 @@ fn unbounded_staleness_violates_tight_bound_eventually() {
     let mut stats = CommStats::new();
     let mut fast = new_client(u64::MAX, dim);
     let mut slow = new_client(u64::MAX, dim);
-    let _ = fast.read(&[1], &server, &net, &mut stats);
-    let _ = slow.read(&[1], &server, &net, &mut stats);
+    let _ = fast.read(&[1], &server, &net, &mut stats, None);
+    let _ = slow.read(&[1], &server, &net, &mut stats, None);
     for _ in 0..50 {
-        fast.write(&one_grad(dim, 1), &server, &net, &mut stats);
+        fast.write(&one_grad(dim, 1), &server, &net, &mut stats, None);
     }
     assert_eq!(max_divergence(&[&fast, &slow]), 50);
     assert!(!ConsistencyBound::cache_clock(5).holds_any_time(max_divergence(&[&fast, &slow])));
@@ -120,21 +120,21 @@ fn prop_clock_bounds_under_interleavings() {
             match what {
                 // read (validates)
                 0 | 2 => {
-                    let _ = c.read(&[key], &server, &net, &mut stats);
+                    let _ = c.read(&[key], &server, &net, &mut stats, None);
                 }
                 // write — protocol requires the key resident, so read
                 // first if it is not.
                 _ => {
                     if !c.cache().find(key) {
-                        let _ = c.read(&[key], &server, &net, &mut stats);
+                        let _ = c.read(&[key], &server, &net, &mut stats, None);
                     }
-                    c.write(&one_grad(dim, key), &server, &net, &mut stats);
+                    c.write(&one_grad(dim, key), &server, &net, &mut stats, None);
                 }
             }
             // After every step both sides re-validate, then the tight
             // Lemma 1 bound must hold.
-            let _ = clients[0].read(&[key], &server, &net, &mut stats);
-            let _ = clients[1].read(&[key], &server, &net, &mut stats);
+            let _ = clients[0].read(&[key], &server, &net, &mut stats, None);
+            let _ = clients[1].read(&[key], &server, &net, &mut stats, None);
             let refs: Vec<&HetClient> = clients.iter().collect();
             assert!(
                 ConsistencyBound::cache_clock(s).holds_any_time(max_divergence(&refs)),

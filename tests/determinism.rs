@@ -137,6 +137,103 @@ fn serve_seed_matrix_identical_reports() {
     }
 }
 
+/// Co-scheduled training + serving on one cluster runtime obeys the
+/// same contract: same seed ⇒ byte-identical combined report JSON *and*
+/// byte-identical trace, clean and under a cluster-wide fault plan —
+/// and the shared trace's counters reconcile with *both* jobs' reports
+/// (the cache counters split across the trainer's write-back caches and
+/// the fleet's read-only caches must sum exactly).
+#[test]
+fn colocated_seed_matrix_identical_reports_and_traces() {
+    let colocate = |seed: u64, faults: FaultConfig| -> (ColocatedReport, String) {
+        let mut serve_cfg = ServeConfig::tiny(seed);
+        serve_cfg.pretrain_updates = 200;
+        let mut train_cfg = TrainerConfig::tiny(SystemPreset::HetCache { staleness: 10 });
+        train_cfg.seed = seed;
+        train_cfg.max_iterations = 120;
+        train_cfg.faults = faults;
+        let dataset = CtrDataset::new(CtrConfig::tiny(seed));
+        let trainer = Trainer::with_shared_members(
+            train_cfg,
+            dataset,
+            |rng| WideDeep::new(rng, 4, 8, &[16]),
+            serve_cfg.n_replicas,
+        );
+        het::trace::start(vec![(
+            "kind".to_string(),
+            het::json::Json::Str("colocate".to_string()),
+        )]);
+        let report = run_colocated(trainer, serve_cfg, |rng| WideDeep::new(rng, 4, 8, &[16]));
+        let log = het::trace::finish();
+
+        // Counter ↔ report reconciliation across both jobs: the serve
+        // counters belong to the fleet alone, while the cache counters
+        // aggregate every cache client on the shared runtime.
+        assert_eq!(log.counter("serve", "requests"), report.serve.requests);
+        assert_eq!(log.counter("serve", "batches"), report.serve.batches);
+        assert_eq!(
+            log.counter("cache", "hits"),
+            report.train.cache.hits + report.serve.cache.hits,
+            "seed {seed}: cache hits don't split across trainer + fleet"
+        );
+        assert_eq!(
+            log.counter("cache", "misses"),
+            report.train.cache.misses + report.serve.cache.misses
+        );
+        assert_eq!(
+            log.counter("cache", "invalidations"),
+            report.train.cache.invalidations + report.serve.cache.invalidations
+        );
+        (report, log.to_jsonl())
+    };
+    let faults = |horizon: SimDuration| {
+        let mut cfg = FaultConfig::disabled();
+        cfg.enabled = true;
+        cfg.checkpoint_every = 20;
+        cfg.spec.worker_crashes = 2;
+        cfg.spec.shard_outages = 1;
+        cfg.spec.restart_delay = SimDuration::from_millis(2);
+        cfg.spec.failover_delay = SimDuration::from_millis(4);
+        cfg.spec.horizon = horizon;
+        cfg
+    };
+    for seed in [3u64, 7] {
+        let (clean_a, trace_a) = colocate(seed, FaultConfig::disabled());
+        let (clean_b, trace_b) = colocate(seed, FaultConfig::disabled());
+        assert_eq!(
+            clean_a.to_json().encode(),
+            clean_b.to_json().encode(),
+            "colocate seed {seed} clean: combined reports diverged"
+        );
+        assert_eq!(
+            trace_a, trace_b,
+            "colocate seed {seed} clean: traces diverged"
+        );
+
+        let horizon = SimDuration::from_secs_f64(clean_a.train.total_sim_time.as_secs_f64() * 0.8);
+        let (faulted_a, ftrace_a) = colocate(seed, faults(horizon));
+        let (faulted_b, ftrace_b) = colocate(seed, faults(horizon));
+        assert_eq!(
+            faulted_a.to_json().encode(),
+            faulted_b.to_json().encode(),
+            "colocate seed {seed} faulted: combined reports diverged"
+        );
+        assert_eq!(
+            ftrace_a, ftrace_b,
+            "colocate seed {seed} faulted: traces diverged"
+        );
+        assert!(
+            faulted_a.train.faults.worker_crashes + faulted_a.serve.faults.worker_crashes > 0,
+            "colocate seed {seed}: the cluster-wide crash plan never fired"
+        );
+        assert_ne!(
+            clean_a.to_json().encode(),
+            faulted_a.to_json().encode(),
+            "colocate seed {seed}: faulted run identical to clean run"
+        );
+    }
+}
+
 #[test]
 fn dataset_generation_is_stable_across_instances() {
     let a = CtrDataset::new(CtrConfig::criteo_like(3));
