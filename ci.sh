@@ -37,6 +37,15 @@ cargo test -q -p het --test serving
 echo "==> colocated train+serve smoke (one runtime, one PS fabric)"
 cargo run -q --release -p het-bench --bin hetctl -- colocate --iters 120 --requests 200
 
+echo "==> elasticity (supervised recovery, autoscaler, live split, chaos)"
+cargo test -q -p het --test elasticity
+
+echo "==> chaos smoke (compound failure, SLO/RTO gate, single seed)"
+cargo run -q --release -p het-bench --bin hetctl -- chaos --seed 7
+
+echo "==> chaos recovery campaign (every seed must ride out the storm)"
+cargo run -q --release -p het-bench --bin hetctl -- chaos --seeds 0..120
+
 echo "==> consistency oracle (short fuzz campaign, fixed seed range)"
 cargo run -q --release -p het-bench --bin hetctl -- oracle --seeds 0..120 --iters 40
 

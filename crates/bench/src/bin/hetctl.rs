@@ -5,6 +5,8 @@
 //! hetctl compare  --workload wdl --baseline het-hybrid --staleness 100 [...]
 //! hetctl serve    --replicas 2 --rate 10000 --cache 10000 --staleness 10 [...]
 //! hetctl colocate --workers 4 --replicas 2 --iters 400 --rate 8000 [...]
+//! hetctl chaos    --seed 7 [--slo-p99-us 25000 --rto-us 2000 --trace out.jsonl]
+//! hetctl chaos    --seeds 0..120
 //! hetctl oracle   --seeds 0..500 --iters 50
 //! hetctl oracle   --repro target/oracle/repro-0-17.json
 //! hetctl list
@@ -20,7 +22,16 @@
 //! traffic while training" configuration. `oracle` runs the model-based
 //! consistency oracle over a seed range of fuzzed schedules (see
 //! `het-oracle`), shrinking and writing a repro file for any violation;
-//! `--repro` replays such a file.
+//! `--repro` replays such a file. `chaos` runs the compound-failure
+//! campaign (`het_serve::run_chaos`) — 10× flash crowd + replica
+//! crashes + PS-shard outage + live shard split over a live trainer —
+//! and gates on its SLO/RTO verdicts; with `--seeds A..B` it sweeps a
+//! whole seed range and fails on the first unhealthy run.
+//!
+//! Every fault-capable subcommand also takes `--fault-plan FILE.json`
+//! (replace the derived fault plan with an explicit scripted one) and
+//! `--fault-plan-dump FILE.json` (write the plan actually used, in the
+//! same format — dump, edit, replay).
 
 use het_bench::{run_workload, run_workload_traced, RunSummary, Workload};
 use het_cache::PolicyKind;
@@ -214,6 +225,30 @@ fn fault_config_of(args: &Args) -> Result<FaultConfig, String> {
     Ok(cfg)
 }
 
+/// `--fault-plan FILE.json`: an explicit scripted fault plan to run
+/// instead of the one the `--fault-*` flags would derive.
+fn fault_plan_override(args: &Args) -> Result<Option<het_simnet::FaultPlan>, String> {
+    let Some(path) = args.get("fault-plan") else {
+        return Ok(None);
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("--fault-plan {path}: {e}"))?;
+    let json = het_json::from_str(&text).map_err(|e| format!("--fault-plan {path}: {e:?}"))?;
+    het_simnet::FaultPlan::from_json(&json)
+        .map(Some)
+        .map_err(|e| format!("--fault-plan {path}: {e}"))
+}
+
+/// `--fault-plan-dump FILE.json`: writes the fault plan a run actually
+/// uses, in the format `--fault-plan` reads back.
+fn dump_fault_plan(args: &Args, plan: &het_simnet::FaultPlan) -> Result<(), String> {
+    if let Some(path) = args.get("fault-plan-dump") {
+        std::fs::write(path, plan.to_json().encode_pretty())
+            .map_err(|e| format!("--fault-plan-dump {path}: {e}"))?;
+        eprintln!("[fault plan] {path}");
+    }
+    Ok(())
+}
+
 fn run_one(
     workload: Workload,
     preset: SystemPreset,
@@ -296,11 +331,30 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         "10gbe" => ClusterSpec::cluster_b(cfg.n_replicas, cfg.n_shards),
         _ => ClusterSpec::cluster_a(cfg.n_replicas, cfg.n_shards),
     };
+    if args.get_parsed("supervised", 0u8)? != 0 {
+        cfg.supervision.enabled = true;
+        cfg.supervision.heartbeat_every =
+            SimDuration::from_micros(args.get_parsed("heartbeat-us", 250u64)?);
+    }
+
+    // `--fault-plan` replaces the plan `cfg.faults` would derive;
+    // either way the plan actually used is what `--fault-plan-dump`
+    // writes.
+    let fleet = if cfg.autoscale.enabled {
+        cfg.autoscale.max_replicas
+    } else {
+        cfg.n_replicas
+    };
+    let plan = match fault_plan_override(args)? {
+        Some(plan) => plan,
+        None => cfg.faults.plan(cfg.seed, fleet, cfg.n_shards),
+    };
+    dump_fault_plan(args, &plan)?;
 
     let trace = TraceArgs::of(args);
     let traced = trace.begin("serve", cfg.seed);
     let (n_fields, dim) = (cfg.n_fields, cfg.dim);
-    let report = ServeSim::new(cfg, move |rng| {
+    let report = ServeSim::with_plan(cfg, plan, move |rng| {
         het_models::WideDeep::new(rng, n_fields, dim, &[32])
     })
     .run();
@@ -357,6 +411,30 @@ fn print_serve_report(report: &het_serve::ServeReport) {
         println!("shard failovers   {}", f.shard_failovers);
         println!("degraded reads    {}", f.degraded_reads);
     }
+    let elastic = report.detections
+        + report.respawns
+        + report.retry_waits
+        + report.scale_ups
+        + report.scale_downs
+        + report.migrated_keys;
+    if elastic > 0 || report.split_done {
+        println!("--- elasticity ---");
+        println!(
+            "detections        {} ({} respawns, worst recovery {:.1} us)",
+            report.detections,
+            report.respawns,
+            report.max_recovery_ns as f64 / 1e3
+        );
+        println!("retry waits       {}", report.retry_waits);
+        println!(
+            "autoscaling       {} up / {} down",
+            report.scale_ups, report.scale_downs
+        );
+        println!(
+            "live split        {} keys migrated, done: {}",
+            report.migrated_keys, report.split_done
+        );
+    }
     for r in &report.replicas {
         println!(
             "replica {}         {} reqs, {} batches, {} crashes, miss {:.2} %, p99 {:.1} us",
@@ -404,12 +482,16 @@ fn cmd_colocate(args: &Args) -> Result<(), String> {
     serve_cfg.pretrain_updates = args.get_parsed("pretrain-updates", serve_cfg.pretrain_updates)?;
     serve_cfg.warmup_requests = args.get_parsed("warmup", serve_cfg.warmup_requests)?;
 
-    let trainer = Trainer::with_shared_members(
+    let mut trainer = Trainer::with_shared_members(
         train_cfg,
         CtrDataset::new(CtrConfig::tiny(seed)),
         |rng| het_models::WideDeep::new(rng, 4, 8, &[16]),
         serve_cfg.n_replicas,
     );
+    if let Some(plan) = fault_plan_override(args)? {
+        trainer.override_plan(plan);
+    }
+    dump_fault_plan(args, trainer.plan())?;
     let (n_fields, dim) = (serve_cfg.n_fields, serve_cfg.dim);
 
     let trace = TraceArgs::of(args);
@@ -444,6 +526,100 @@ fn cmd_colocate(args: &Args) -> Result<(), String> {
     if traced {
         trace.write(&het_trace::finish())?;
     }
+    Ok(())
+}
+
+/// Runs the compound-failure chaos campaign (`het_serve::run_chaos`)
+/// and gates on its SLO/RTO verdicts: single seed by default, a whole
+/// sweep with `--seeds A..B`.
+fn cmd_chaos(args: &Args) -> Result<(), String> {
+    use het_serve::{run_chaos, ChaosConfig};
+
+    let mut cfg = ChaosConfig::tiny(args.get_parsed("seed", 42)?);
+    cfg.workers = args.get_parsed("workers", cfg.workers)?;
+    cfg.servers = args.get_parsed("servers", cfg.servers)?;
+    cfg.train_iters = args.get_parsed("iters", cfg.train_iters)?;
+    cfg.requests = args.get_parsed("requests", cfg.requests)?;
+    cfg.arrival_rate = args.get_parsed("rate", cfg.arrival_rate)?;
+    cfg.flash_factor = args.get_parsed("flash-x", cfg.flash_factor)?;
+    cfg.slo_p99 =
+        SimDuration::from_micros(args.get_parsed("slo-p99-us", cfg.slo_p99.as_nanos() / 1_000)?);
+    cfg.rto = SimDuration::from_micros(args.get_parsed("rto-us", cfg.rto.as_nanos() / 1_000)?);
+    dump_fault_plan(args, &cfg.fault_plan())?;
+
+    if let Some(range) = args.get("seeds") {
+        let (start, end) = seed_range_of(range)?;
+        let mut failed = 0u64;
+        for seed in start..end {
+            cfg.seed = seed;
+            let r = run_chaos(&cfg);
+            if !r.healthy() {
+                failed += 1;
+                let s = &r.report.serve;
+                println!(
+                    "seed {seed}: FAIL (slo_ok={} p99={:.1}us, rto_ok={}, recovered_ok={}, split_ok={})",
+                    r.slo_ok,
+                    s.latency_p99_ns as f64 / 1e3,
+                    r.rto_ok,
+                    r.recovered_ok,
+                    r.split_ok
+                );
+            }
+        }
+        println!(
+            "chaos campaign: {} seeds, {} unhealthy",
+            end - start,
+            failed
+        );
+        if failed > 0 {
+            return Err(format!("{failed} seed(s) failed the chaos gate"));
+        }
+        println!("verdict: PASS — every seed rode out the storm");
+        return Ok(());
+    }
+
+    let trace = TraceArgs::of(args);
+    let traced = trace.begin("chaos", cfg.seed);
+    let report = run_chaos(&cfg);
+    if traced {
+        trace.write(&het_trace::finish())?;
+    }
+    println!("--- train ---");
+    println!("system            {}", report.report.train.system);
+    println!("final metric      {:.4}", report.report.train.final_metric);
+    println!("iterations        {}", report.report.train.total_iterations);
+    println!("--- serve ---");
+    print_serve_report(&report.report.serve);
+    println!("--- verdicts ---");
+    let s = &report.report.serve;
+    println!(
+        "slo  p99          {:.1} us vs {:.1} us objective: {}",
+        s.latency_p99_ns as f64 / 1e3,
+        report.slo_p99_ns as f64 / 1e3,
+        if report.slo_ok { "OK" } else { "VIOLATED" }
+    );
+    println!(
+        "rto               {:.1} us vs {:.1} us objective: {}",
+        s.max_recovery_ns as f64 / 1e3,
+        report.rto_ns as f64 / 1e3,
+        if report.rto_ok { "OK" } else { "VIOLATED" }
+    );
+    println!(
+        "recovery          {}",
+        if report.recovered_ok {
+            "OK"
+        } else {
+            "INCOMPLETE"
+        }
+    );
+    println!(
+        "live split        {}",
+        if report.split_ok { "OK" } else { "INCOMPLETE" }
+    );
+    if !report.healthy() {
+        return Err("chaos gate failed".to_string());
+    }
+    println!("verdict: PASS");
     Ok(())
 }
 
@@ -541,7 +717,9 @@ fn cmd_oracle(args: &Args) -> Result<(), String> {
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first().map(String::as_str) else {
-        eprintln!("usage: hetctl <train|compare|serve|colocate|oracle|list> [--flag value ...]");
+        eprintln!(
+            "usage: hetctl <train|compare|serve|colocate|chaos|oracle|list> [--flag value ...]"
+        );
         return ExitCode::FAILURE;
     };
     let result = match command {
@@ -572,6 +750,12 @@ fn main() -> ExitCode {
             );
             println!("           --requests N --pretrain-updates N --warmup REQS --seed N");
             println!("           (plus the --fault-* and --trace* flags above)");
+            println!("chaos:     --seed N | --seeds A..B --workers N --servers N --iters N");
+            println!("           --requests N --rate REQ_PER_S --flash-x F");
+            println!("           --slo-p99-us US --rto-us US");
+            println!("plans:     --fault-plan FILE.json (serve/colocate/chaos: scripted plan)");
+            println!("           --fault-plan-dump FILE.json (write the plan actually used)");
+            println!("           --supervised 1 --heartbeat-us US (serve: heartbeat recovery)");
             Ok(())
         }
         "train" | "compare" => (|| -> Result<(), String> {
@@ -608,9 +792,10 @@ fn main() -> ExitCode {
         })(),
         "serve" => Args::parse(&argv[1..]).and_then(|args| cmd_serve(&args)),
         "colocate" => Args::parse(&argv[1..]).and_then(|args| cmd_colocate(&args)),
+        "chaos" => Args::parse(&argv[1..]).and_then(|args| cmd_chaos(&args)),
         "oracle" => Args::parse(&argv[1..]).and_then(|args| cmd_oracle(&args)),
         other => Err(format!(
-            "unknown command '{other}' (try: train compare serve colocate oracle list)"
+            "unknown command '{other}' (try: train compare serve colocate chaos oracle list)"
         )),
     };
     match result {

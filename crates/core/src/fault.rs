@@ -13,6 +13,7 @@
 //! an empty [`FaultPlan`] takes byte-for-byte the same arithmetic path
 //! as a run with injection disabled.
 
+use crate::retry::RetryPolicy;
 use het_json::{Json, ToJson};
 use het_simnet::{FaultPlan, FaultSpec, SimDuration, SimTime};
 
@@ -69,6 +70,13 @@ impl FaultConfig {
         spec.n_workers = n_workers;
         spec.n_shards = n_shards;
         FaultPlan::generate(seed, &spec)
+    }
+
+    /// The retry schedule these knobs describe: `retry_backoff` doubling
+    /// per attempt for up to `max_retries` attempts, no jitter — the
+    /// policy every client protocol leg has always charged.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy::exponential(self.retry_backoff, self.max_retries)
     }
 }
 
@@ -156,10 +164,8 @@ pub struct FaultContext<'a> {
     pub now: SimTime,
     /// The calling worker's index.
     pub worker: usize,
-    /// Retry budget per message.
-    pub max_retries: u32,
-    /// Base backoff before the first resend; doubles per retry.
-    pub retry_backoff: SimDuration,
+    /// Backoff schedule charged per dropped message.
+    pub retry: RetryPolicy,
     /// The worker's monotone message counter.
     pub ops: &'a mut u64,
     /// Run-wide fault counters.
@@ -199,7 +205,7 @@ impl FaultContext<'_> {
         }
         let mut total = leg;
         let mut attempt = 0u32;
-        while attempt < self.max_retries {
+        while attempt < self.retry.max_attempts {
             let op = self.next_op();
             if !self.plan.should_drop(self.worker, op) {
                 break;
@@ -207,7 +213,7 @@ impl FaultContext<'_> {
             self.stats.retries += 1;
             het_trace::count!("trainer", "msg_drops");
             record(bytes);
-            total += self.retry_backoff * (1u64 << attempt.min(16)) + leg;
+            total += self.retry.delay(attempt) + leg;
             attempt += 1;
         }
         total
@@ -291,8 +297,7 @@ mod tests {
             plan: &plan,
             now: SimTime::ZERO,
             worker: 0,
-            max_retries: 4,
-            retry_backoff: SimDuration::from_micros(100),
+            retry: RetryPolicy::exponential(SimDuration::from_micros(100), 4),
             ops: &mut ops,
             stats: &mut stats,
         };
@@ -318,8 +323,7 @@ mod tests {
             plan: &plan,
             now: SimTime::from_nanos(10),
             worker: 0,
-            max_retries: 0,
-            retry_backoff: SimDuration::ZERO,
+            retry: RetryPolicy::exponential(SimDuration::ZERO, 0),
             ops: &mut ops,
             stats: &mut stats,
         };
@@ -346,8 +350,7 @@ mod tests {
             plan: &plan,
             now: SimTime::ZERO,
             worker: 1,
-            max_retries: 3,
-            retry_backoff: SimDuration::from_nanos(100),
+            retry: RetryPolicy::exponential(SimDuration::from_nanos(100), 3),
             ops: &mut ops,
             stats: &mut stats,
         };
@@ -377,8 +380,7 @@ mod tests {
             plan: &plan,
             now: SimTime::from_nanos(200),
             worker: 0,
-            max_retries: 0,
-            retry_backoff: SimDuration::ZERO,
+            retry: RetryPolicy::exponential(SimDuration::ZERO, 0),
             ops: &mut ops,
             stats: &mut stats,
         };

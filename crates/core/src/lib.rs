@@ -44,6 +44,7 @@ pub mod config;
 pub mod consistency;
 pub mod fault;
 pub mod report;
+pub mod retry;
 pub mod trainer;
 
 pub use client::HetClient;
@@ -52,4 +53,5 @@ pub use config::{
 };
 pub use fault::{FaultConfig, FaultRecord, FaultStats};
 pub use report::{ConvergencePoint, TimeBreakdown, TrainReport};
+pub use retry::RetryPolicy;
 pub use trainer::Trainer;

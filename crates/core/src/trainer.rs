@@ -125,6 +125,21 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         model_factory: impl Fn(&mut StdRng) -> M,
         extra_members: usize,
     ) -> Self {
+        Self::with_shared_members_and_spares(config, dataset, model_factory, extra_members, 0)
+    }
+
+    /// Like [`Trainer::with_shared_members`], but reserves
+    /// `spare_shards` extra physical PS shards as live-split targets
+    /// (see [`het_ps::PsServer::with_spare_shards`]). The fault plan
+    /// still addresses only the base shards — spares receive traffic
+    /// solely through supervised resharding.
+    pub fn with_shared_members_and_spares(
+        config: TrainerConfig,
+        dataset: D,
+        model_factory: impl Fn(&mut StdRng) -> M,
+        extra_members: usize,
+        spare_shards: usize,
+    ) -> Self {
         let net = config.cluster.collectives();
         let n_shards = config.cluster.n_servers.max(1) * 4;
         let ps_config = PsConfig {
@@ -135,7 +150,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             optimizer: het_ps::ServerOptimizer::Sgd,
             grad_clip: config.server_grad_clip,
         };
-        let server = ServerHandle::new(PsServer::new(ps_config));
+        let server = ServerHandle::new(PsServer::with_spare_shards(ps_config, spare_shards));
 
         let plan = config.faults.plan(
             config.seed,
@@ -145,9 +160,10 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         let mut fault_stats = FaultStats::default();
         // Failover restores from the last checkpoint, so a baseline
         // snapshot of the (deterministically initialised) table is taken
-        // before training starts.
+        // before training starts. Sized over the *physical* shard count
+        // so shards populated by a live split stay restorable.
         let ckpt_store = (!plan.is_empty()).then(|| {
-            let mut store = ShardCheckpointStore::new(n_shards, config.dim);
+            let mut store = ShardCheckpointStore::new(server.n_shards(), config.dim);
             store.checkpoint_all(&server).expect("in-memory checkpoint");
             fault_stats.checkpoints += 1;
             if het_trace::enabled() {
@@ -248,6 +264,15 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
     /// construction follow.
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// Replaces the fault plan with a scripted (or file-loaded) one.
+    /// Must be called before the run starts; the caller is responsible
+    /// for handing the same plan to the shared [`ClusterRuntime`].
+    /// Event member indices follow the construction-time layout
+    /// (workers `0..n_workers`, then any extra members).
+    pub fn override_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
     }
 
     /// The same-time ordering rule the trainer's runtime must use.
@@ -388,8 +413,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
 
     /// Phase 1 of an iteration: acquire embeddings.
     fn do_read(&mut self, w: usize, keys: &[Key]) -> (EmbeddingStore, SimDuration) {
-        let max_retries = self.config.faults.max_retries;
-        let retry_backoff = self.config.faults.retry_backoff;
+        let retry = self.config.faults.retry_policy();
         // Split borrows: the engine needs &mut, the server &.
         let Trainer {
             server,
@@ -409,8 +433,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             plan,
             now,
             worker: w,
-            max_retries,
-            retry_backoff,
+            retry,
             ops: &mut worker_ops[w],
             stats: fault_stats,
         });
@@ -457,8 +480,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
                 }
             }
         }
-        let max_retries = self.config.faults.max_retries;
-        let retry_backoff = self.config.faults.retry_backoff;
+        let retry = self.config.faults.retry_policy();
 
         let Trainer {
             server,
@@ -482,8 +504,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             plan,
             now,
             worker: w,
-            max_retries,
-            retry_backoff,
+            retry,
             ops: &mut worker_ops[w],
             stats: fault_stats,
         });

@@ -76,7 +76,10 @@ pub mod prelude {
         CheckpointRow, FailoverOutcome, PsConfig, PsServer, ServerOptimizer, ShardCheckpointStore,
     };
     pub use het_runtime::{ClusterRuntime, Ctx, Event, Process, ProcessId};
-    pub use het_serve::{run_colocated, ColocatedReport, ServeConfig, ServeReport, ServeSim};
+    pub use het_serve::{
+        run_chaos, run_colocated, AutoscaleConfig, ChaosConfig, ChaosReport, ColocatedReport,
+        ReshardPlan, ServeConfig, ServeReport, ServeSim, SupervisionConfig,
+    };
     pub use het_simnet::{
         ClusterSpec, CommCategory, CommStats, FaultEvent, FaultPlan, FaultSpec, LinkSpec,
         SimDuration, SimTime,

@@ -64,10 +64,41 @@ struct Shard {
     table: HashMap<Key, Entry>,
 }
 
+/// One live or completed shard split. While `complete` is false the
+/// split is *migrating*: routing dual-reads (a child-side key lives on
+/// the child iff it has already been moved there), so lookups stay
+/// correct at every point of the migration. Once `complete`, child-side
+/// keys route to the child unconditionally.
+#[derive(Clone, Copy, Debug)]
+struct SplitState {
+    parent: usize,
+    child: usize,
+    salt: u64,
+    complete: bool,
+}
+
+/// True when `key` moves to the child half of a split with this salt.
+/// Deterministic in `(key, salt)` so routing never depends on table
+/// state once a split completes.
+fn child_side(key: Key, salt: u64) -> bool {
+    splitmix64(key ^ salt) & 1 == 1
+}
+
 /// The global embedding table: sharded, versioned, thread-safe.
+///
+/// Physical shards = `config.n_shards` base shards plus any *spare*
+/// shards reserved at construction ([`PsServer::with_spare_shards`]).
+/// Base routing only ever targets base shards; spares receive keys
+/// solely through live splits ([`PsServer::begin_split`]), so a server
+/// with unused spares is byte-identical in behaviour to one without.
 pub struct PsServer {
     config: PsConfig,
+    /// Shards addressed by base routing (`== config.n_shards`).
+    base_shards: usize,
     shards: Vec<RwLock<Shard>>,
+    /// Applied in order by [`PsServer::shard_index_of`]; splits are
+    /// append-only so routing decisions replay deterministically.
+    splits: RwLock<Vec<SplitState>>,
 }
 
 /// Scales `grad` down to L2 norm `clip` if it exceeds it, returning the
@@ -101,16 +132,31 @@ impl PsServer {
     /// # Panics
     /// Panics on a zero dimension or zero shard count.
     pub fn new(config: PsConfig) -> Self {
+        Self::with_spare_shards(config, 0)
+    }
+
+    /// Creates an empty server with `spare_shards` extra physical shards
+    /// reserved as split targets for live resharding. Spares take no
+    /// traffic until [`PsServer::begin_split`] assigns them a parent.
+    ///
+    /// # Panics
+    /// Panics on a zero dimension or zero shard count.
+    pub fn with_spare_shards(config: PsConfig, spare_shards: usize) -> Self {
         assert!(config.dim > 0, "embedding dimension must be positive");
         assert!(config.n_shards > 0, "need at least one shard");
-        let shards = (0..config.n_shards)
+        let shards = (0..config.n_shards + spare_shards)
             .map(|_| {
                 RwLock::new(Shard {
                     table: HashMap::new(),
                 })
             })
             .collect();
-        PsServer { config, shards }
+        PsServer {
+            config,
+            base_shards: config.n_shards,
+            shards,
+            splits: RwLock::new(Vec::new()),
+        }
     }
 
     /// The server configuration.
@@ -125,13 +171,36 @@ impl PsServer {
 
     /// The shard a key lives on — public so the failover path and the
     /// client's outage handling can reason about shard placement.
+    ///
+    /// Starts from the base hash route and walks the split log in
+    /// order: a completed split moves its child-side keys outright; a
+    /// migrating split dual-reads (the child owns a key only once the
+    /// migration has actually moved it there). With no splits this is
+    /// the historical `splitmix64(key) % n_shards`.
     pub fn shard_index_of(&self, key: Key) -> usize {
-        (splitmix64(key) % self.shards.len() as u64) as usize
+        let mut idx = (splitmix64(key) % self.base_shards as u64) as usize;
+        let splits = self.splits.read();
+        for s in splits.iter() {
+            if s.parent == idx
+                && child_side(key, s.salt)
+                && (s.complete || self.shards[s.child].read().table.contains_key(&key))
+            {
+                idx = s.child;
+            }
+        }
+        idx
     }
 
-    /// Number of shards.
+    /// Number of physical shards (base + spares). Checkpoint stores
+    /// size their blob arrays from this so spares are covered too.
     pub fn n_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Number of base shards (targets of the hash route before any
+    /// split applies).
+    pub fn n_base_shards(&self) -> usize {
+        self.base_shards
     }
 
     fn shard_of(&self, key: Key) -> &RwLock<Shard> {
@@ -343,6 +412,119 @@ impl PsServer {
         lost.sort_unstable();
         lost
     }
+
+    /// Starts a live split of `parent` into the spare shard `child`:
+    /// keys whose `child_side(key, salt)` bit is set migrate to the
+    /// child while traffic continues. Routing dual-reads for the whole
+    /// migration, so every key is owned by exactly one shard at every
+    /// instant. Drive the migration with [`PsServer::migrate_batch`]
+    /// and finish with [`PsServer::complete_split`].
+    ///
+    /// # Panics
+    /// Panics if `parent` is not routable, if `child` is not an unused
+    /// spare shard, or if `parent` already has a migration in flight.
+    pub fn begin_split(&self, parent: usize, child: usize, salt: u64) {
+        assert!(parent < self.shards.len(), "split parent out of range");
+        assert!(
+            child >= self.base_shards && child < self.shards.len(),
+            "split child must be a spare shard (index >= n_base_shards)"
+        );
+        assert!(
+            self.shards[child].read().table.is_empty(),
+            "split child shard must be empty"
+        );
+        let mut splits = self.splits.write();
+        for s in splits.iter() {
+            assert!(
+                s.child != child,
+                "spare shard {child} is already a split target"
+            );
+            assert!(
+                s.complete || s.parent != parent,
+                "shard {parent} already has a migration in flight"
+            );
+        }
+        splits.push(SplitState {
+            parent,
+            child,
+            salt,
+            complete: false,
+        });
+    }
+
+    /// The in-flight split whose parent is `parent`, if any.
+    fn active_split(&self, parent: usize) -> Option<SplitState> {
+        self.splits
+            .read()
+            .iter()
+            .find(|s| s.parent == parent && !s.complete)
+            .copied()
+    }
+
+    /// Moves up to `max_keys` child-side keys (in ascending key order,
+    /// so migration is deterministic) from `parent` to its split child,
+    /// wholesale — vector, clock, and optimiser state travel together
+    /// and no push/pull counters fire, so gradient accounting is
+    /// conserved across the move. Returns how many keys moved.
+    ///
+    /// # Panics
+    /// Panics if `parent` has no migration in flight.
+    pub fn migrate_batch(&self, parent: usize, max_keys: usize) -> usize {
+        let split = self
+            .active_split(parent)
+            .expect("migrate_batch: no migration in flight for this shard");
+        let mut src = self.shards[split.parent].write();
+        let mut moving: Vec<Key> = src
+            .table
+            .keys()
+            .copied()
+            .filter(|&k| child_side(k, split.salt))
+            .collect();
+        moving.sort_unstable();
+        moving.truncate(max_keys);
+        if moving.is_empty() {
+            return 0;
+        }
+        let mut dst = self.shards[split.child].write();
+        for key in &moving {
+            let entry = src.table.remove(key).expect("key vanished mid-batch");
+            dst.table.insert(*key, entry);
+        }
+        moving.len()
+    }
+
+    /// Child-side keys still waiting on `parent` (0 once the migration
+    /// has drained; also 0 when no migration is in flight).
+    pub fn remaining_to_migrate(&self, parent: usize) -> usize {
+        let Some(split) = self.active_split(parent) else {
+            return 0;
+        };
+        self.shards[split.parent]
+            .read()
+            .table
+            .keys()
+            .filter(|&&k| child_side(k, split.salt))
+            .count()
+    }
+
+    /// Seals a drained migration: from here on child-side keys route to
+    /// the child unconditionally (lazy initialisation included).
+    ///
+    /// # Panics
+    /// Panics if `parent` has no migration in flight or keys remain.
+    pub fn complete_split(&self, parent: usize) {
+        assert_eq!(
+            self.remaining_to_migrate(parent),
+            0,
+            "complete_split: migration not drained"
+        );
+        let mut splits = self.splits.write();
+        let s = splits
+            .iter_mut()
+            .find(|s| s.parent == parent && !s.complete)
+            .expect("complete_split: no migration in flight for this shard");
+        s.complete = true;
+    }
 }
 
 #[cfg(test)]
@@ -463,6 +645,177 @@ mod tests {
     fn wrong_grad_dim_rejected() {
         let s = server(4);
         s.push_inc(1, &[0.0, 0.0]);
+    }
+
+    /// Asserts every materialised key lives on exactly one physical
+    /// shard and that routing agrees with where the key actually is.
+    fn assert_exactly_one_owner(s: &PsServer) {
+        let mut seen: HashMap<Key, usize> = HashMap::new();
+        for shard in 0..s.n_shards() {
+            for row in s.export_shard_rows(shard) {
+                if let Some(prev) = seen.insert(row.key, shard) {
+                    panic!("key {} on both shard {prev} and {shard}", row.key);
+                }
+            }
+        }
+        for (&key, &shard) in &seen {
+            assert_eq!(
+                s.shard_index_of(key),
+                shard,
+                "routing disagrees with placement for key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn spare_shards_change_nothing_until_split() {
+        let plain = server(4);
+        let spared = PsServer::with_spare_shards(*plain.config(), 2);
+        assert_eq!(spared.n_shards(), 6);
+        assert_eq!(spared.n_base_shards(), 4);
+        for k in 0..200u64 {
+            assert_eq!(plain.pull(k), spared.pull(k));
+            assert_eq!(plain.shard_index_of(k), spared.shard_index_of(k));
+            assert!(spared.shard_index_of(k) < 4, "spares must take no traffic");
+        }
+    }
+
+    #[test]
+    fn live_split_conserves_every_key_and_clock() {
+        let cfg = PsConfig {
+            dim: 2,
+            n_shards: 4,
+            lr: 0.5,
+            seed: 99,
+            optimizer: ServerOptimizer::Sgd,
+            grad_clip: None,
+        };
+        let s = PsServer::with_spare_shards(cfg, 1);
+        let control = PsServer::new(cfg);
+        for k in 0..300u64 {
+            for _ in 0..(k % 3 + 1) {
+                s.push_inc(k, &[1.0, -1.0]);
+                control.push_inc(k, &[1.0, -1.0]);
+            }
+        }
+        let parent = 2;
+        let salt = 0x0D15_EA5E;
+        s.begin_split(parent, 4, salt);
+        let total = s.remaining_to_migrate(parent);
+        assert!(total > 0, "expected some child-side keys");
+        let mut moved = 0;
+        while s.remaining_to_migrate(parent) > 0 {
+            moved += s.migrate_batch(parent, 7);
+            assert_exactly_one_owner(&s);
+            // Mid-migration reads and writes stay correct.
+            for k in 0..300u64 {
+                assert_eq!(s.pull(k), control.pull(k), "key {k} diverged mid-split");
+            }
+        }
+        assert_eq!(moved, total);
+        s.complete_split(parent);
+        assert_exactly_one_owner(&s);
+        let mut on_child = 0;
+        for k in 0..300u64 {
+            assert_eq!(s.pull(k), control.pull(k), "key {k} diverged post-split");
+            if s.shard_index_of(k) == 4 {
+                on_child += 1;
+            }
+        }
+        assert_eq!(on_child, total, "all child-side keys must route to child");
+        assert_eq!(s.len(), control.len());
+    }
+
+    #[test]
+    fn writes_during_migration_land_once_and_survive() {
+        let cfg = PsConfig {
+            dim: 1,
+            n_shards: 2,
+            lr: 0.5,
+            seed: 7,
+            optimizer: ServerOptimizer::Sgd,
+            grad_clip: None,
+        };
+        let s = PsServer::with_spare_shards(cfg, 1);
+        // Materialise enough keys to have several on each side.
+        for k in 0..64u64 {
+            s.push_inc(k, &[1.0]);
+        }
+        s.begin_split(0, 2, 0xABCD);
+        let before = s.remaining_to_migrate(0);
+        s.migrate_batch(0, before / 2);
+        // Writes keep working mid-migration, wherever the key lives.
+        for k in 0..64u64 {
+            s.push_inc(k, &[1.0]);
+        }
+        // A brand-new child-side key lazily initialises on the parent
+        // and is picked up by a later batch.
+        let fresh = (64..u64::MAX)
+            .find(|&k| s.shard_index_of(k) == 0 && child_side(k, 0xABCD))
+            .unwrap();
+        s.push_inc(fresh, &[1.0]);
+        assert_eq!(s.shard_index_of(fresh), 0, "unmigrated key stays on parent");
+        while s.remaining_to_migrate(0) > 0 {
+            s.migrate_batch(0, 5);
+        }
+        s.complete_split(0);
+        assert_eq!(s.shard_index_of(fresh), 2);
+        assert_eq!(s.clock_of(fresh), 1, "clock must survive the move");
+        for k in 0..64u64 {
+            assert_eq!(s.clock_of(k), 2, "key {k} lost an update in the split");
+        }
+        assert_exactly_one_owner(&s);
+    }
+
+    #[test]
+    fn migration_is_deterministic_across_instances() {
+        let cfg = PsConfig {
+            dim: 2,
+            n_shards: 3,
+            lr: 0.1,
+            seed: 1,
+            optimizer: ServerOptimizer::Sgd,
+            grad_clip: None,
+        };
+        let make = || {
+            let s = PsServer::with_spare_shards(cfg, 1);
+            for k in 0..100u64 {
+                s.push_inc(k, &[0.5, -0.5]);
+            }
+            s.begin_split(1, 3, 42);
+            let mut steps = Vec::new();
+            while s.remaining_to_migrate(1) > 0 {
+                steps.push(s.migrate_batch(1, 4));
+            }
+            s.complete_split(1);
+            (steps, s)
+        };
+        let (steps_a, a) = make();
+        let (steps_b, b) = make();
+        assert_eq!(steps_a, steps_b, "batch sizes must replay identically");
+        for k in 0..100u64 {
+            assert_eq!(a.shard_index_of(k), b.shard_index_of(k));
+            assert_eq!(a.pull(k), b.pull(k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spare shard")]
+    fn split_into_base_shard_rejected() {
+        let s = PsServer::with_spare_shards(*server(2).config(), 1);
+        s.begin_split(0, 3, 1); // only shard 4 is the spare
+    }
+
+    #[test]
+    #[should_panic(expected = "not drained")]
+    fn completing_undrained_split_rejected() {
+        let s = PsServer::with_spare_shards(*server(2).config(), 1);
+        for k in 0..64u64 {
+            let _ = s.pull(k);
+        }
+        s.begin_split(0, 4, 9);
+        assert!(s.remaining_to_migrate(0) > 0);
+        s.complete_split(0);
     }
 
     #[test]

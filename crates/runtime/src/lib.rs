@@ -160,6 +160,21 @@ impl Ctx<'_> {
         self.queue.push(at, (self.pid, ev));
     }
 
+    /// Schedules a future event for *another* process. This is the
+    /// cross-process signalling primitive: a supervisor wakes the fleet
+    /// it respawned a replica into, an autoscaler pokes the balancer it
+    /// just resized. Delivery shares the queue's deterministic order
+    /// with every other event.
+    pub fn schedule_for(&mut self, pid: ProcessId, at: SimTime, ev: Event) {
+        self.queue.push(at, (pid, ev));
+    }
+
+    /// This process's id, for handing to peers that signal back via
+    /// [`Ctx::schedule_for`].
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
     /// A wait condition: re-delivers `ev` just after `gate` (or just
     /// after now, if the gate is already behind us) and returns the
     /// retry instant. This is how a process blocks on a predicate over

@@ -1,5 +1,6 @@
 //! Configuration of a serving run.
 
+use crate::supervise::{AutoscaleConfig, SupervisionConfig};
 use het_cache::PolicyKind;
 use het_core::FaultConfig;
 use het_simnet::{ClusterSpec, SimDuration, SimTime};
@@ -70,6 +71,12 @@ pub struct ServeConfig {
     pub n_shards: usize,
     /// The simulated cluster (compute speed, link costs).
     pub cluster: ClusterSpec,
+    /// Heartbeat supervision: failure detection + driven recovery
+    /// (disabled by default — the legacy scripted-fault path).
+    pub supervision: SupervisionConfig,
+    /// Queue-depth autoscaling of the replica pool (disabled by
+    /// default).
+    pub autoscale: AutoscaleConfig,
 }
 
 impl ServeConfig {
@@ -104,6 +111,8 @@ impl ServeConfig {
             faults: FaultConfig::disabled(),
             n_shards,
             cluster: ClusterSpec::cluster_a(n_replicas, n_shards),
+            supervision: SupervisionConfig::disabled(),
+            autoscale: AutoscaleConfig::disabled(),
         }
     }
 
@@ -138,6 +147,8 @@ impl ServeConfig {
             faults: FaultConfig::disabled(),
             n_shards,
             cluster: ClusterSpec::cluster_a(n_replicas, n_shards),
+            supervision: SupervisionConfig::disabled(),
+            autoscale: AutoscaleConfig::disabled(),
         }
     }
 
@@ -161,5 +172,34 @@ impl ServeConfig {
             self.flash_at.is_none() || self.flash_factor >= 1.0,
             "flash_factor must be >= 1 when a flash crowd is scheduled"
         );
+        if self.supervision.enabled {
+            assert!(
+                self.supervision.heartbeat_every > SimDuration::ZERO,
+                "heartbeat_every must be positive"
+            );
+            assert!(
+                self.supervision.miss_threshold > 0,
+                "miss_threshold must be positive"
+            );
+        }
+        if self.autoscale.enabled {
+            assert!(
+                self.autoscale.min_replicas > 0,
+                "min_replicas must be positive"
+            );
+            assert!(
+                self.autoscale.min_replicas <= self.n_replicas
+                    && self.n_replicas <= self.autoscale.max_replicas,
+                "initial n_replicas must lie within [min_replicas, max_replicas]"
+            );
+            assert!(
+                self.autoscale.queue_low < self.autoscale.queue_high,
+                "hysteresis band requires queue_low < queue_high"
+            );
+            assert!(
+                self.autoscale.evaluate_every > SimDuration::ZERO,
+                "evaluate_every must be positive"
+            );
+        }
     }
 }

@@ -22,20 +22,35 @@
 //!   per-replica cache stats);
 //! * **fault integration**: replica crashes cold-restart the cache,
 //!   PS-shard failover degrades gracefully to stale serving (§3.3), and
-//!   everything lands in the `serve` trace component.
+//!   everything lands in the `serve` trace component;
+//! * **self-healing elasticity** ([`supervise`]): a heartbeat-driven
+//!   [`Supervisor`] *detects* crashes (no fault-plan peeking) and
+//!   drives respawns with sketch-warmed caches and checkpoint-restored
+//!   PS shards, an [`Autoscaler`] resizes the admitted replica pool
+//!   under hysteresis, and a [`ReshardPlan`] live-splits a hot PS shard
+//!   while traffic continues — all opt-in, all deterministic;
+//! * a **chaos campaign harness** ([`chaos`]) that co-schedules
+//!   trainer + supervised fleet under a compound fault scenario and
+//!   asserts SLO/RTO outcomes.
 //!
 //! Same seed ⇒ byte-identical report JSON and byte-identical trace.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod colocate;
 pub mod config;
 pub mod report;
 pub mod sim;
+pub mod supervise;
 pub mod workload;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use colocate::{run_colocated, ColocatedReport};
 pub use config::ServeConfig;
 pub use report::{ReplicaReport, ServeReport};
 pub use sim::ServeSim;
+pub use supervise::{
+    AutoscaleConfig, Autoscaler, ControlPlane, ReshardPlan, SupervisionConfig, Supervisor,
+};
 pub use workload::{generate_requests, pretrain, Request};

@@ -96,6 +96,23 @@ pub struct ServeReport {
     pub score_mean: f64,
     /// Fault accounting (replica crashes, degraded reads, …).
     pub faults: FaultStats,
+    /// Supervisor crash detections (0 when supervision is off).
+    pub detections: u64,
+    /// Supervised replica respawns applied by the fleet.
+    pub respawns: u64,
+    /// Batches deferred by the outage-retry schedule.
+    pub retry_waits: u64,
+    /// Autoscaler scale-up actions (0 when autoscaling is off).
+    pub scale_ups: u64,
+    /// Autoscaler scale-down actions.
+    pub scale_downs: u64,
+    /// Keys moved by a supervisor-driven live shard split.
+    pub migrated_keys: u64,
+    /// True once a planned live split fully completed during the run.
+    pub split_done: bool,
+    /// Worst detection→respawn gap, in nanoseconds (recovery-time
+    /// objective).
+    pub max_recovery_ns: u64,
     /// Per-replica breakdown.
     pub replicas: Vec<ReplicaReport>,
 }
@@ -160,6 +177,17 @@ impl ToJson for ServeReport {
             ),
             ("score_mean".to_string(), Json::Num(self.score_mean)),
             ("faults".to_string(), self.faults.to_json()),
+            ("detections".to_string(), Json::UInt(self.detections)),
+            ("respawns".to_string(), Json::UInt(self.respawns)),
+            ("retry_waits".to_string(), Json::UInt(self.retry_waits)),
+            ("scale_ups".to_string(), Json::UInt(self.scale_ups)),
+            ("scale_downs".to_string(), Json::UInt(self.scale_downs)),
+            ("migrated_keys".to_string(), Json::UInt(self.migrated_keys)),
+            ("split_done".to_string(), Json::Bool(self.split_done)),
+            (
+                "max_recovery_ns".to_string(),
+                Json::UInt(self.max_recovery_ns),
+            ),
             (
                 "replicas".to_string(),
                 Json::Arr(self.replicas.iter().map(|r| r.to_json()).collect()),

@@ -12,6 +12,7 @@
 
 use crate::config::ServeConfig;
 use crate::report::{ReplicaReport, ServeReport};
+use crate::supervise::{Autoscaler, ControlPlane, Supervisor, CONTROL_WAKE, HEARTBEAT_WAKE};
 use crate::workload::{generate_requests, key_of, pretrain, warmup_seed, Request};
 use het_core::fault::{FaultContext, FaultStats};
 use het_core::HetClient;
@@ -22,7 +23,9 @@ use het_rng::rngs::StdRng;
 use het_rng::SeedableRng;
 use het_runtime::{ClusterRuntime, Ctx, Event, Process, ProcessId};
 use het_simnet::{Collectives, CommStats, FaultPlan, SimDuration, SimTime, TieBreak};
+use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 /// Serving is forward-only; the models estimate forward+backward FLOPs,
 /// of which the forward pass is roughly a third (one matmul sweep
@@ -66,6 +69,22 @@ pub struct ServeSim<M: EmbeddingModel<Batch = CtrBatch>> {
     score_count: u64,
     warmed_keys: u64,
     end_time: SimTime,
+    // --- supervision / elasticity (all inert when `control` is None) ---
+    /// Shared state with the supervisor/autoscaler; `None` when both
+    /// are disabled, in which case the run takes the legacy path
+    /// byte-for-byte.
+    control: Option<Rc<RefCell<ControlPlane>>>,
+    /// Replicas currently crashed and awaiting a supervised respawn.
+    down: Vec<bool>,
+    /// Replicas that have served at least once (admit-warming skips
+    /// them: their caches are already warm).
+    ever_admitted: Vec<bool>,
+    /// Live popularity sketch over arrived request keys, used to warm
+    /// respawned and newly admitted replicas.
+    sketch: Option<SpaceSaving>,
+    served_total: u64,
+    respawns: u64,
+    retry_waits: u64,
 }
 
 impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
@@ -74,16 +93,39 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
     /// gets an identically seeded RNG, so the fleet serves the same
     /// model.
     pub fn new(cfg: ServeConfig, model_fn: impl Fn(&mut StdRng) -> M) -> Self {
+        let fleet = if cfg.autoscale.enabled {
+            cfg.autoscale.max_replicas
+        } else {
+            cfg.n_replicas
+        };
+        let plan = cfg.faults.plan(cfg.seed, fleet, cfg.n_shards);
+        Self::with_plan(cfg, plan, model_fn)
+    }
+
+    /// Like [`ServeSim::new`], but with an explicit fault plan (e.g.
+    /// scripted, or loaded from a `--fault-plan` file) instead of the
+    /// one `cfg.faults` would generate. Plan member indices address the
+    /// fleet directly (replica `r` is member `r`).
+    pub fn with_plan(
+        cfg: ServeConfig,
+        plan: FaultPlan,
+        model_fn: impl Fn(&mut StdRng) -> M,
+    ) -> Self {
         cfg.validate();
-        let server = ServerHandle::new(PsServer::new(PsConfig {
-            dim: cfg.dim,
-            n_shards: cfg.n_shards,
-            lr: cfg.lr,
-            seed: cfg.seed,
-            optimizer: ServerOptimizer::Sgd,
-            grad_clip: None,
-        }));
-        let plan = cfg.faults.plan(cfg.seed, cfg.n_replicas, cfg.n_shards);
+        // A planned live split needs a spare physical shard to split
+        // into; an unused spare changes nothing about routing.
+        let spares = usize::from(cfg.supervision.reshard.is_some());
+        let server = ServerHandle::new(PsServer::with_spare_shards(
+            PsConfig {
+                dim: cfg.dim,
+                n_shards: cfg.n_shards,
+                lr: cfg.lr,
+                seed: cfg.seed,
+                optimizer: ServerOptimizer::Sgd,
+                grad_clip: None,
+            },
+            spares,
+        ));
         Self::assemble(cfg, server, plan, 0, model_fn)
     }
 
@@ -116,7 +158,15 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
         member_offset: usize,
         model_fn: impl Fn(&mut StdRng) -> M,
     ) -> Self {
-        let replicas = (0..cfg.n_replicas)
+        // Elastic fleets are built at their ceiling; only the admitted
+        // prefix takes traffic until the autoscaler grows the pool.
+        let fleet = if cfg.autoscale.enabled {
+            cfg.autoscale.max_replicas
+        } else {
+            cfg.n_replicas
+        };
+        let supervised = cfg.supervision.enabled || cfg.autoscale.enabled;
+        let replicas = (0..fleet)
             .map(|_| {
                 let mut client = HetClient::new(
                     cfg.cache_capacity,
@@ -150,9 +200,18 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
             })
             .collect();
         let requests = generate_requests(&cfg);
+        let control = supervised.then(|| {
+            let cp = ControlPlane::new(fleet, cfg.n_replicas);
+            cp.borrow_mut().total = requests.len() as u64;
+            cp
+        });
         ServeSim {
             net: cfg.cluster.collectives(),
             server,
+            down: vec![false; fleet],
+            ever_admitted: (0..fleet).map(|r| r < cfg.n_replicas).collect(),
+            sketch: supervised.then(|| SpaceSaving::new(cfg.cache_capacity)),
+            control,
             replicas,
             plan,
             member_offset,
@@ -167,8 +226,19 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
             score_count: 0,
             warmed_keys: 0,
             end_time: SimTime::ZERO,
+            served_total: 0,
+            respawns: 0,
+            retry_waits: 0,
             cfg,
         }
+    }
+
+    /// The shared control plane, present when supervision or
+    /// autoscaling is enabled. Co-scheduled setups hand clones to the
+    /// [`Supervisor`] and [`Autoscaler`] they register alongside the
+    /// fleet.
+    pub fn control_plane(&self) -> Option<Rc<RefCell<ControlPlane>>> {
+        self.control.clone()
     }
 
     /// SpaceSaving warmup: replays the popularity distribution through
@@ -201,16 +271,38 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
         }
     }
 
-    /// Join-shortest-queue, ties to the earliest-free then lowest index.
-    fn route(&self) -> usize {
-        let mut best = 0usize;
-        for r in 1..self.replicas.len() {
-            let (a, b) = (&self.replicas[r], &self.replicas[best]);
-            if (a.queue.len(), a.busy_until, r) < (b.queue.len(), b.busy_until, best) {
-                best = r;
-            }
+    /// Join-shortest-queue over `cand`, ties to the earliest-free then
+    /// lowest index.
+    fn best_of(&self, cand: impl IntoIterator<Item = usize>) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for r in cand {
+            best = Some(match best {
+                None => r,
+                Some(b) => {
+                    let (a, p) = (&self.replicas[r], &self.replicas[b]);
+                    if (a.queue.len(), a.busy_until, r) < (p.queue.len(), p.busy_until, b) {
+                        r
+                    } else {
+                        b
+                    }
+                }
+            });
         }
         best
+    }
+
+    /// Routes a request: JSQ over admitted, live replicas; falls back
+    /// to admitted-but-down replicas (the balancer holds their queues
+    /// through a supervised respawn), then to the whole fleet.
+    fn route(&self) -> usize {
+        let n = self.replicas.len();
+        let Some(cp) = self.control.as_ref() else {
+            return self.best_of(0..n).expect("non-empty fleet");
+        };
+        let cp = cp.borrow();
+        self.best_of((0..n).filter(|&r| cp.admitted[r] && !self.down[r]))
+            .or_else(|| self.best_of((0..n).filter(|&r| cp.admitted[r])))
+            .unwrap_or_else(|| self.best_of(0..n).expect("non-empty fleet"))
     }
 
     /// Applies every crash the runtime's fault delivery has due for
@@ -242,10 +334,75 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
         );
     }
 
+    /// Supervised-mode crash application: the replica goes *down
+    /// indefinitely* — the scripted restart delay is ignored, because
+    /// recovery is now the supervisor's job (detection via heartbeat
+    /// age, respawn via the control plane).
+    fn apply_supervised_crashes(&mut self, r: usize, t: SimTime, ctx: &mut Ctx<'_>) {
+        while let Some((at, _restart)) = ctx.take_crash(r, t) {
+            self.apply_supervised_crash(r, at);
+        }
+    }
+
+    fn apply_supervised_crash(&mut self, r: usize, at: SimTime) {
+        let replica = &mut self.replicas[r];
+        het_trace::set_scope(at.as_nanos(), Some((self.member_offset + r) as u64));
+        let (lost, dirty_lost, _) = replica.client.crash_reset();
+        debug_assert_eq!(dirty_lost, 0, "read-only caches hold no dirty entries");
+        self.down[r] = true;
+        replica.crash_count += 1;
+        self.fault_stats.worker_crashes += 1;
+        self.fault_stats.keys_lost += lost;
+        het_trace::emit_at(
+            "serve",
+            "replica_crash",
+            at.as_nanos(),
+            None,
+            vec![("keys_lost", het_trace::Value::from(lost))],
+        );
+    }
+
+    /// If the batch replica `r` would launch at `t` needs a PS shard
+    /// that is mid-outage, returns the shard and how long the retry
+    /// schedule backs off to outlast the outage. `None` when no needed
+    /// shard is down — or when the retry budget cannot cover the
+    /// outage, in which case the read proceeds on the degraded path
+    /// (resident entries served stale).
+    fn outage_retry_wait(&self, r: usize, t: SimTime) -> Option<(usize, SimDuration)> {
+        if self.plan.is_empty() {
+            return None;
+        }
+        let replica = &self.replicas[r];
+        let n_take = replica.queue.len().min(self.cfg.max_batch);
+        let mut worst: Option<(usize, SimTime)> = None;
+        for &i in replica.queue.iter().take(n_take) {
+            for &k in &self.requests[i].keys {
+                let shard = self.server.shard_index_of(k);
+                if let Some(end) = self.plan.shard_outage_end(shard, t) {
+                    match worst {
+                        Some((_, e)) if end <= e => {}
+                        _ => worst = Some((shard, end)),
+                    }
+                }
+            }
+        }
+        let (shard, end) = worst?;
+        let wait = self.cfg.supervision.retry.time_to_reach(end.since(t))?;
+        Some((shard, wait))
+    }
+
     /// One scheduling step for replica `r` at time `t`: either launch a
     /// micro-batch, or schedule the wake-up that will.
     fn step(&mut self, r: usize, t: SimTime, ctx: &mut Ctx<'_>) {
-        self.apply_crashes(r, t, ctx);
+        if self.cfg.supervision.enabled {
+            self.apply_supervised_crashes(r, t, ctx);
+            if self.down[r] {
+                // Queued requests wait for the supervised respawn.
+                return;
+            }
+        } else {
+            self.apply_crashes(r, t, ctx);
+        }
         let replica = &self.replicas[r];
         if replica.queue.is_empty() {
             return;
@@ -260,7 +417,153 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
             ctx.schedule(deadline, Event::Wake(r as u64));
             return;
         }
+        if self.cfg.supervision.enabled {
+            if let Some((shard, wait)) = self.outage_retry_wait(r, t) {
+                het_trace::set_scope(t.as_nanos(), Some((self.member_offset + r) as u64));
+                self.replicas[r].busy_until = t + wait;
+                self.retry_waits += 1;
+                het_trace::emit_at(
+                    "serve",
+                    "retry_wait",
+                    t.as_nanos(),
+                    Some(wait.as_nanos()),
+                    vec![("shard", het_trace::Value::from(shard))],
+                );
+                het_trace::count!("serve", "retry_waits");
+                ctx.schedule(t + wait, Event::Wake(r as u64));
+                return;
+            }
+        }
         self.execute_batch(r, t, ctx);
+    }
+
+    /// Heartbeat period of the fleet: supervision's heartbeat when
+    /// enabled, otherwise the autoscaler's evaluation period (the
+    /// control plane still needs fresh queue depths).
+    fn heartbeat_period(&self) -> SimDuration {
+        if self.cfg.supervision.enabled {
+            self.cfg.supervision.heartbeat_every
+        } else {
+            self.cfg.autoscale.evaluate_every
+        }
+    }
+
+    /// One heartbeat tick: apply any crashes due (so a crashed replica
+    /// stops heartbeating *from its crash instant*, which is what the
+    /// supervisor detects), then post liveness and queue depth into the
+    /// control plane.
+    fn on_heartbeat(&mut self, t: SimTime, ctx: &mut Ctx<'_>) {
+        if self.cfg.supervision.enabled {
+            for r in 0..self.replicas.len() {
+                self.apply_supervised_crashes(r, t, ctx);
+            }
+        }
+        let done = self.served_total == self.requests.len() as u64;
+        let cp = self.control.clone().expect("heartbeat implies control");
+        {
+            let mut cp = cp.borrow_mut();
+            for r in 0..self.replicas.len() {
+                if !self.down[r] {
+                    cp.last_heartbeat[r] = t;
+                }
+                cp.queue_depth[r] = self.replicas[r].queue.len();
+            }
+            cp.served = self.served_total;
+            cp.done = done;
+        }
+        if !done {
+            ctx.schedule(t + self.heartbeat_period(), Event::Wake(HEARTBEAT_WAKE));
+        }
+    }
+
+    /// Applies control-plane commands that have come due: supervised
+    /// respawns and autoscaler admissions.
+    fn on_control(&mut self, t: SimTime, ctx: &mut Ctx<'_>) {
+        let cp = self.control.clone().expect("control wake implies control");
+        let mut respawn = Vec::new();
+        let mut admit = Vec::new();
+        {
+            let mut cp = cp.borrow_mut();
+            for r in 0..self.replicas.len() {
+                if cp.respawn_at[r].is_some_and(|at| at <= t) {
+                    cp.respawn_at[r] = None;
+                    // Stamp the heartbeat so the supervisor sees the
+                    // replica recover instead of re-detecting it.
+                    cp.last_heartbeat[r] = t;
+                    respawn.push(r);
+                }
+                if cp.admit_at[r].is_some_and(|at| at <= t) {
+                    cp.admit_at[r] = None;
+                    cp.admitted[r] = true;
+                    admit.push(r);
+                }
+            }
+        }
+        for r in respawn {
+            self.respawn_replica(r, t);
+            self.step(r, t, ctx);
+        }
+        for r in admit {
+            self.admit_replica(r, t);
+            self.step(r, t, ctx);
+        }
+    }
+
+    /// Brings a crashed replica back: cache warmed from the live
+    /// popularity sketch, queue intact (the balancer held it).
+    fn respawn_replica(&mut self, r: usize, t: SimTime) {
+        het_trace::set_scope(t.as_nanos(), Some((self.member_offset + r) as u64));
+        self.down[r] = false;
+        self.replicas[r].busy_until = self.replicas[r].busy_until.max(t);
+        let warmed = self.warm_one_from_sketch(r);
+        self.respawns += 1;
+        het_trace::emit_at(
+            "serve",
+            "replica_respawn",
+            t.as_nanos(),
+            None,
+            vec![("keys_warmed", het_trace::Value::from(warmed))],
+        );
+    }
+
+    /// Admits a scaled-up replica into the JSQ pool, warming its cache
+    /// first if it has never served (replicas pre-warmed at startup by
+    /// `warmup_requests` are already hot).
+    fn admit_replica(&mut self, r: usize, t: SimTime) {
+        het_trace::set_scope(t.as_nanos(), Some((self.member_offset + r) as u64));
+        let mut warmed = 0;
+        if !self.ever_admitted[r] {
+            self.ever_admitted[r] = true;
+            if self.cfg.warmup_requests == 0 {
+                warmed = self.warm_one_from_sketch(r);
+            }
+        }
+        het_trace::emit_at(
+            "serve",
+            "replica_admit",
+            t.as_nanos(),
+            None,
+            vec![("keys_warmed", het_trace::Value::from(warmed))],
+        );
+    }
+
+    /// Installs the live sketch's top keys into replica `r`'s (empty)
+    /// cache. Returns the number of keys installed.
+    fn warm_one_from_sketch(&mut self, r: usize) -> u64 {
+        let Some(sketch) = self.sketch.as_ref() else {
+            return 0;
+        };
+        let top: Vec<(Key, u64)> = sketch.top(self.cfg.cache_capacity);
+        let replica = &mut self.replicas[r];
+        for &(k, _) in &top {
+            let pulled = self.server.pull(k);
+            let _ = replica
+                .client
+                .cache_mut()
+                .install(k, pulled.vector, pulled.clock);
+        }
+        het_trace::counter_add("serve", "warmed_keys", top.len() as u64);
+        top.len() as u64
     }
 
     fn execute_batch(&mut self, r: usize, t: SimTime, ctx: &mut Ctx<'_>) {
@@ -284,8 +587,7 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
             plan: &self.plan,
             now: t,
             worker: self.member_offset + r,
-            max_retries: self.cfg.faults.max_retries,
-            retry_backoff: self.cfg.faults.retry_backoff,
+            retry: self.cfg.faults.retry_policy(),
             ops: &mut replica.ops,
             stats: &mut self.fault_stats,
         });
@@ -325,6 +627,7 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
         replica.busy_until = done;
         replica.batches += 1;
         replica.requests += idxs.len() as u64;
+        self.served_total += idxs.len() as u64;
 
         // Accounting + trace.
         self.lookup_ns += t_lookup.as_nanos();
@@ -375,10 +678,14 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
         self.warm_replicas();
     }
 
-    /// Schedules every request arrival on `rt`.
+    /// Schedules every request arrival on `rt`, plus the first
+    /// heartbeat tick when the fleet is supervised.
     pub fn prime(&self, rt: &mut ClusterRuntime, pid: ProcessId) {
         for (i, req) in self.requests.iter().enumerate() {
             rt.prime(pid, req.at, Event::Arrive(i as u64));
+        }
+        if self.control.is_some() {
+            rt.prime(pid, SimTime::ZERO, Event::Wake(HEARTBEAT_WAKE));
         }
     }
 
@@ -389,7 +696,11 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
         let horizon = self.end_time;
         for r in 0..self.replicas.len() {
             while let Some((at, restart)) = rt.take_crash(pid, r, horizon) {
-                self.apply_one_crash(r, at, restart);
+                if self.cfg.supervision.enabled {
+                    self.apply_supervised_crash(r, at);
+                } else {
+                    self.apply_one_crash(r, at, restart);
+                }
             }
         }
         self.fault_stats.shard_failovers = self
@@ -402,15 +713,50 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
 
     /// Runs the schedule to completion on a private [`ClusterRuntime`]
     /// and produces the report. Every generated request is served — the
-    /// run only ends once all queues drain.
+    /// run only ends once all queues drain. A supervised run registers
+    /// the [`Supervisor`] (owning PS restore) and, when autoscaling is
+    /// on, the [`Autoscaler`] as additional runtime members.
     pub fn run(mut self) -> ServeReport {
         self.prepare();
         let mut rt = ClusterRuntime::new(TieBreak::Fifo, self.plan.clone());
         let pid = rt.register(self.replicas.len());
         self.prime(&mut rt, pid);
+        let mut supervisor = self
+            .control
+            .as_ref()
+            .filter(|_| self.cfg.supervision.enabled)
+            .map(|cp| {
+                cp.borrow_mut().serve_pid = pid;
+                let sup_pid = rt.register(1);
+                rt.prime(sup_pid, SimTime::ZERO, Event::Wake(0));
+                Supervisor::with_store(
+                    self.cfg.supervision.clone(),
+                    cp.clone(),
+                    self.server.clone(),
+                    self.plan.clone(),
+                    self.replicas.len(),
+                )
+            });
+        let mut autoscaler = self
+            .control
+            .as_ref()
+            .filter(|_| self.cfg.autoscale.enabled)
+            .map(|cp| {
+                cp.borrow_mut().serve_pid = pid;
+                let auto_pid = rt.register(1);
+                rt.prime(auto_pid, SimTime::ZERO, Event::Wake(0));
+                Autoscaler::new(self.cfg.autoscale, cp.clone())
+            });
         {
-            let this: &mut dyn Process = &mut self;
-            rt.run(&mut [this]);
+            let mut procs: Vec<&mut dyn Process> = Vec::with_capacity(3);
+            procs.push(&mut self);
+            if let Some(sup) = supervisor.as_mut() {
+                procs.push(sup);
+            }
+            if let Some(auto) = autoscaler.as_mut() {
+                procs.push(auto);
+            }
+            rt.run(&mut procs);
         }
         self.epilogue(&mut rt, pid);
         self.into_report()
@@ -442,6 +788,21 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
             })
             .collect();
         debug_assert_eq!(served, self.requests.len() as u64, "every request served");
+        let (detections, scale_ups, scale_downs, migrated_keys, max_recovery_ns, split_done) =
+            match self.control.as_ref() {
+                Some(cp) => {
+                    let cp = cp.borrow();
+                    (
+                        cp.detections,
+                        cp.scale_ups,
+                        cp.scale_downs,
+                        cp.migrated_keys,
+                        cp.max_recovery_ns,
+                        cp.split_done,
+                    )
+                }
+                None => (0, 0, 0, 0, 0, false),
+            };
         let sim_s = self.end_time.as_secs_f64();
         ServeReport {
             seed: self.cfg.seed,
@@ -479,6 +840,14 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
                 0.0
             },
             faults: self.fault_stats,
+            detections,
+            respawns: self.respawns,
+            retry_waits: self.retry_waits,
+            scale_ups,
+            scale_downs,
+            migrated_keys,
+            split_done,
+            max_recovery_ns,
             replicas,
         }
     }
@@ -493,10 +862,17 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> Process for ServeSim<M> {
         );
         match ev {
             Event::Arrive(i) => {
+                if let Some(sketch) = self.sketch.as_mut() {
+                    for &k in &self.requests[i as usize].keys {
+                        sketch.observe(k);
+                    }
+                }
                 let r = self.route();
                 self.replicas[r].queue.push_back(i as usize);
                 self.step(r, t, ctx);
             }
+            Event::Wake(HEARTBEAT_WAKE) => self.on_heartbeat(t, ctx),
+            Event::Wake(CONTROL_WAKE) => self.on_control(t, ctx),
             Event::Wake(r) => self.step(r as usize, t, ctx),
         }
     }

@@ -25,6 +25,7 @@
 //!   a constant factor — the classic BSP tail-latency fault.
 
 use crate::time::{SimDuration, SimTime};
+use het_json::Json;
 use het_rng::SplitMix64;
 
 /// One scheduled fault, with its recovery point in simulated time.
@@ -403,6 +404,151 @@ impl FaultPlan {
     pub fn drop_prob(&self) -> f64 {
         self.drop_prob
     }
+
+    /// Serialises the plan as JSON, so a chaos scenario is a
+    /// reproducible artifact (a file on disk) instead of a flag soup.
+    /// Round-trips exactly through [`FaultPlan::from_json`].
+    pub fn to_json(&self) -> Json {
+        let event_json = |e: &FaultEvent| -> Json {
+            let kv = |k: &str, v: Json| (k.to_string(), v);
+            match e {
+                FaultEvent::WorkerCrash {
+                    worker,
+                    at,
+                    restart_delay,
+                } => Json::Obj(vec![
+                    kv("kind", Json::Str("worker_crash".to_string())),
+                    kv("worker", Json::UInt(*worker as u64)),
+                    kv("at_ns", Json::UInt(at.as_nanos())),
+                    kv("restart_ns", Json::UInt(restart_delay.as_nanos())),
+                ]),
+                FaultEvent::PsShardOutage {
+                    shard,
+                    at,
+                    failover_delay,
+                } => Json::Obj(vec![
+                    kv("kind", Json::Str("ps_shard_outage".to_string())),
+                    kv("shard", Json::UInt(*shard as u64)),
+                    kv("at_ns", Json::UInt(at.as_nanos())),
+                    kv("failover_ns", Json::UInt(failover_delay.as_nanos())),
+                ]),
+                FaultEvent::LinkDegradation {
+                    from,
+                    until,
+                    latency_factor,
+                    bandwidth_factor,
+                } => Json::Obj(vec![
+                    kv("kind", Json::Str("link_degradation".to_string())),
+                    kv("from_ns", Json::UInt(from.as_nanos())),
+                    kv("until_ns", Json::UInt(until.as_nanos())),
+                    kv("latency_factor", Json::Num(*latency_factor)),
+                    kv("bandwidth_factor", Json::Num(*bandwidth_factor)),
+                ]),
+                FaultEvent::Straggler {
+                    worker,
+                    from,
+                    until,
+                    slowdown,
+                } => Json::Obj(vec![
+                    kv("kind", Json::Str("straggler".to_string())),
+                    kv("worker", Json::UInt(*worker as u64)),
+                    kv("from_ns", Json::UInt(from.as_nanos())),
+                    kv("until_ns", Json::UInt(until.as_nanos())),
+                    kv("slowdown", Json::Num(*slowdown)),
+                ]),
+            }
+        };
+        Json::Obj(vec![
+            (
+                "events".to_string(),
+                Json::Arr(self.events.iter().map(event_json).collect()),
+            ),
+            ("drop_prob".to_string(), Json::Num(self.drop_prob)),
+            ("drop_seed".to_string(), Json::UInt(self.drop_seed)),
+        ])
+    }
+
+    /// Parses a plan back from its [`FaultPlan::to_json`] form. Events
+    /// are re-sorted and a zero drop probability normalises the drop
+    /// seed to 0, so a round-trip compares equal even after hand edits.
+    pub fn from_json(json: &Json) -> Result<FaultPlan, String> {
+        fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+            obj.iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("fault plan: missing field '{key}'"))
+        }
+        fn get_uint(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+            match get(obj, key)? {
+                Json::UInt(n) => Ok(*n),
+                other => Err(format!("fault plan: '{key}' must be a uint, got {other:?}")),
+            }
+        }
+        fn get_num(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
+            match get(obj, key)? {
+                Json::Num(x) => Ok(*x),
+                Json::UInt(n) => Ok(*n as f64),
+                Json::Int(n) => Ok(*n as f64),
+                other => Err(format!(
+                    "fault plan: '{key}' must be a number, got {other:?}"
+                )),
+            }
+        }
+        let Json::Obj(obj) = json else {
+            return Err("fault plan: not an object".to_string());
+        };
+        let Json::Arr(raw_events) = get(obj, "events")? else {
+            return Err("fault plan: 'events' must be an array".to_string());
+        };
+        let mut events = Vec::with_capacity(raw_events.len());
+        for (i, raw) in raw_events.iter().enumerate() {
+            let Json::Obj(e) = raw else {
+                return Err(format!("fault plan: event {i} is not an object"));
+            };
+            let kind = match get(e, "kind")? {
+                Json::Str(s) => s.as_str(),
+                other => return Err(format!("fault plan: event {i} kind {other:?}")),
+            };
+            events.push(match kind {
+                "worker_crash" => FaultEvent::WorkerCrash {
+                    worker: get_uint(e, "worker")? as usize,
+                    at: SimTime::from_nanos(get_uint(e, "at_ns")?),
+                    restart_delay: SimDuration::from_nanos(get_uint(e, "restart_ns")?),
+                },
+                "ps_shard_outage" => FaultEvent::PsShardOutage {
+                    shard: get_uint(e, "shard")? as usize,
+                    at: SimTime::from_nanos(get_uint(e, "at_ns")?),
+                    failover_delay: SimDuration::from_nanos(get_uint(e, "failover_ns")?),
+                },
+                "link_degradation" => FaultEvent::LinkDegradation {
+                    from: SimTime::from_nanos(get_uint(e, "from_ns")?),
+                    until: SimTime::from_nanos(get_uint(e, "until_ns")?),
+                    latency_factor: get_num(e, "latency_factor")?,
+                    bandwidth_factor: get_num(e, "bandwidth_factor")?,
+                },
+                "straggler" => FaultEvent::Straggler {
+                    worker: get_uint(e, "worker")? as usize,
+                    from: SimTime::from_nanos(get_uint(e, "from_ns")?),
+                    until: SimTime::from_nanos(get_uint(e, "until_ns")?),
+                    slowdown: get_num(e, "slowdown")?,
+                },
+                other => return Err(format!("fault plan: event {i} unknown kind '{other}'")),
+            });
+        }
+        let drop_prob = get_num(obj, "drop_prob")?.clamp(0.0, 1.0);
+        let drop_seed = if drop_prob > 0.0 {
+            get_uint(obj, "drop_seed")?
+        } else {
+            0
+        };
+        let mut plan = FaultPlan {
+            events,
+            drop_prob,
+            drop_seed,
+        };
+        plan.sort();
+        Ok(plan)
+    }
 }
 
 #[cfg(test)]
@@ -550,6 +696,38 @@ mod tests {
         );
         let none = FaultPlan::none();
         assert!((0..1000).all(|op| !none.should_drop(0, op)));
+    }
+
+    #[test]
+    fn json_round_trips_generated_and_scripted_plans() {
+        for seed in [1u64, 42, 0xFA17] {
+            let plan = FaultPlan::generate(seed, &spec());
+            let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+            assert_eq!(plan, back, "seed {seed}");
+            // Text round-trip through the in-tree parser too.
+            let parsed = het_json::from_str(&plan.to_json().encode()).unwrap();
+            assert_eq!(FaultPlan::from_json(&parsed).unwrap(), plan);
+        }
+        let empty = FaultPlan::none();
+        assert_eq!(FaultPlan::from_json(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn json_rejects_malformed_plans() {
+        assert!(FaultPlan::from_json(&Json::Null).is_err());
+        let no_events = Json::Obj(vec![("drop_prob".to_string(), Json::Num(0.0))]);
+        assert!(FaultPlan::from_json(&no_events).is_err());
+        let bad_kind =
+            het_json::from_str(r#"{"events":[{"kind":"mystery"}],"drop_prob":0.0,"drop_seed":0}"#)
+                .unwrap();
+        assert!(FaultPlan::from_json(&bad_kind).is_err());
+    }
+
+    #[test]
+    fn json_normalises_drop_seed_when_prob_is_zero() {
+        let doc = het_json::from_str(r#"{"events":[],"drop_prob":0.0,"drop_seed":99}"#).unwrap();
+        let plan = FaultPlan::from_json(&doc).unwrap();
+        assert_eq!(plan, FaultPlan::none());
     }
 
     #[test]

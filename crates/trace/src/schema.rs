@@ -15,15 +15,26 @@ use std::collections::BTreeSet;
 ///
 /// | component | emits |
 /// |-----------|-------|
+/// | `autoscaler` | events: `scale_up`, `scale_down` (fleet resize decisions with queue/p99 evidence); counters: evals, scale_ups, scale_downs |
 /// | `cache`   | counters: hits, misses, installs, writebacks, evictions, capacity_evictions, invalidations, dirtied, crash_drops |
 /// | `client`  | events: `read_window` (staleness-validation outcome per read) |
 /// | `ps`      | events: `failover`; counters: pulls, pushes (per shard) |
-/// | `serve`   | events: `request`, `batch`, `lookup`, `infer`, `replica_crash`; counters: requests, batches, queue_wait_ns, lookup_ns, infer_ns, degraded_reads, warmed_keys (per replica) |
+/// | `serve`   | events: `request`, `batch`, `lookup`, `infer`, `replica_crash`, `replica_respawn`, `replica_admit`, `retry_wait`; counters: requests, batches, queue_wait_ns, lookup_ns, infer_ns, degraded_reads, warmed_keys, retry_waits (per replica) |
 /// | `simnet`  | events: link/fault schedule milestones |
+/// | `supervisor` | events: `detect_crash`, `respawn`, `detect_outage`, `shard_restored`, `split_begin`, `migrate`, `split_done` (failure detection + driven recovery + live resharding); counters: heartbeats, detections, respawns, migrated_keys |
 /// | `trainer` | events: iteration/fault spans (`blocked_wait`, …); counters: degraded_reads, … |
 ///
 /// Kept sorted so membership checks can binary-search.
-pub const KNOWN_COMPONENTS: &[&str] = &["cache", "client", "ps", "serve", "simnet", "trainer"];
+pub const KNOWN_COMPONENTS: &[&str] = &[
+    "autoscaler",
+    "cache",
+    "client",
+    "ps",
+    "serve",
+    "simnet",
+    "supervisor",
+    "trainer",
+];
 
 /// True when `comp` is part of the registered taxonomy.
 pub fn known_component(comp: &str) -> bool {
@@ -268,6 +279,27 @@ mod tests {
         let s = validate_jsonl(&jsonl).unwrap();
         assert!(s.components.contains("serve"));
         assert!(s.event_kinds.contains("serve.request"));
+    }
+
+    #[test]
+    fn supervision_components_are_accepted() {
+        crate::start(vec![]);
+        crate::set_scope(20, None);
+        crate::emit(
+            "supervisor",
+            "detect_crash",
+            None,
+            vec![("replica", crate::Value::UInt(1))],
+        );
+        crate::emit("autoscaler", "scale_up", None, vec![]);
+        crate::counter_add("supervisor", "heartbeats", 3);
+        crate::counter_add("autoscaler", "evals", 1);
+        let jsonl = crate::finish().to_jsonl();
+        let s = validate_jsonl(&jsonl).unwrap();
+        assert!(s.components.contains("supervisor"));
+        assert!(s.components.contains("autoscaler"));
+        assert!(s.event_kinds.contains("supervisor.detect_crash"));
+        assert!(s.event_kinds.contains("autoscaler.scale_up"));
     }
 
     #[test]
