@@ -47,6 +47,16 @@ echo "==> chaos recovery campaign (every seed must ride out the storm)"
 cargo run -q --release -p het-bench --bin hetctl -- chaos --seeds 0..120
 
 echo "==> consistency oracle (short fuzz campaign, fixed seed range)"
+# The campaign also exercises the prefetch cell: ~1/3 of sampled
+# scenarios run with nonzero lookahead and are re-checked against the
+# prefetch ledger and staleness-window invariants.
 cargo run -q --release -p het-bench --bin hetctl -- oracle --seeds 0..120 --iters 40
+
+echo "==> lookahead prefetching (exact-lookahead invariant, byte-identity, ledger)"
+cargo test -q -p het --test prefetch
+
+echo "==> prefetch depth sweep (>=30% cut at depth 4, monotone non-increasing)"
+cargo run -q --release -p het-bench --bin hetctl -- prefetch-sweep \
+    --iters 480 --depths 0,1,2,4,8 --gate 0.30
 
 echo "CI green."

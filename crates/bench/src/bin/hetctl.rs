@@ -9,6 +9,7 @@
 //! hetctl chaos    --seeds 0..120
 //! hetctl oracle   --seeds 0..500 --iters 50
 //! hetctl oracle   --repro target/oracle/repro-0-17.json
+//! hetctl prefetch-sweep [--depths 0,1,2,4,8 --iters 600 --gate 0.30]
 //! hetctl list
 //! ```
 //!
@@ -35,7 +36,7 @@
 
 use het_bench::{run_workload, run_workload_traced, RunSummary, Workload};
 use het_cache::PolicyKind;
-use het_core::config::{SystemPreset, TrainerConfig};
+use het_core::config::{SparseMode, SystemPreset, TrainerConfig};
 use het_core::{FaultConfig, TrainReport};
 use het_simnet::{ClusterSpec, SimDuration};
 use std::process::ExitCode;
@@ -264,6 +265,7 @@ fn run_one(
     let band = args.get("network").unwrap_or("1gbe").to_string();
     let target: f64 = args.get_parsed("target", -1.0)?;
     let lr: f64 = args.get_parsed("lr", -1.0)?;
+    let lookahead: u64 = args.get_parsed("lookahead", 0)?;
     let faults = fault_config_of(args)?;
 
     let tweak = move |c: &mut TrainerConfig| {
@@ -281,6 +283,7 @@ fn run_one(
             c.lr = lr as f32;
         }
         *c = c.clone().with_cache(cache_frac, policy);
+        c.lookahead_depth = lookahead;
         c.faults = faults.clone();
     };
     let (report, log) = if traced {
@@ -623,6 +626,111 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the lookahead-depth sweep (`het_bench::prefetch_sweep`) on the
+/// remote-PS CTR workload, prints the cycle-time table, and writes the
+/// rows to `target/experiments/prefetch_sweep.json`. With `--gate F`
+/// the command fails unless cycle time is monotonically non-increasing
+/// in depth *and* the depth-4 row cuts cycle time by at least fraction
+/// `F` vs depth 0 — the CI smoke gate.
+fn cmd_prefetch_sweep(args: &Args) -> Result<(), String> {
+    let iters: u64 = args.get_parsed("iters", 600)?;
+    let depths: Vec<u64> = match args.get("depths") {
+        None => vec![0, 1, 2, 4, 8],
+        Some(s) => s
+            .split(',')
+            .map(|d| {
+                d.trim()
+                    .parse()
+                    .map_err(|_| format!("--depths: cannot parse '{d}'"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let gate: f64 = args.get_parsed("gate", 0.0)?;
+    let dim: usize = args.get_parsed("dim", 0)?;
+    let batch: usize = args.get_parsed("batch", 0)?;
+    let workers: usize = args.get_parsed("workers", 0)?;
+    let cache_frac: f64 = args.get_parsed("cache-frac", 0.0)?;
+    let staleness: u64 = args.get_parsed("staleness", 0)?;
+    let rows = het_bench::prefetch_sweep_with(&depths, iters, &|c| {
+        if dim > 0 {
+            c.dim = dim;
+        }
+        if batch > 0 {
+            c.batch_size = batch;
+        }
+        if workers > 0 {
+            c.cluster = ClusterSpec::cluster_a(workers, 1);
+        }
+        if cache_frac > 0.0 {
+            *c = c.clone().with_cache(cache_frac, PolicyKind::LightLfu);
+        }
+        if staleness > 0 {
+            if let SparseMode::Cached { staleness: s, .. } = &mut c.system.sparse {
+                *s = staleness;
+            }
+        }
+    });
+    println!(
+        "{:>6} {:>12} {:>9} {:>7} {:>10} {:>10} {:>8}",
+        "depth", "cycle(us)", "speedup", "hit%", "installs", "pf-hits", "wasted"
+    );
+    for r in &rows {
+        println!(
+            "{:>6} {:>12.2} {:>8.2}x {:>6.1} {:>10} {:>10} {:>8}",
+            r.depth,
+            r.cycle_time_us,
+            r.speedup_vs_demand,
+            100.0 * r.cache_hit_rate,
+            r.prefetch_installs,
+            r.prefetch_hits,
+            r.prefetch_wasted
+        );
+    }
+    het_bench::out::write_json(
+        "prefetch_sweep",
+        &het_json::Json::Arr(rows.iter().map(het_json::ToJson::to_json).collect()),
+    );
+    let tracing = TraceArgs::of(args);
+    if tracing.requested() {
+        // One extra traced run (default: the deepest swept depth) for
+        // the timeline where prefetch transfers overlap compute.
+        let trace_depth: u64 =
+            args.get_parsed("trace-depth", depths.last().copied().unwrap_or(0))?;
+        let (_, log) = het_bench::prefetch_sweep_traced(trace_depth, iters);
+        tracing.write(&log)?;
+    }
+    if gate > 0.0 {
+        for w in rows.windows(2) {
+            if w[1].cycle_time_us > w[0].cycle_time_us {
+                return Err(format!(
+                    "cycle time is not monotonically non-increasing: depth {} ({:.2} us) > \
+                     depth {} ({:.2} us)",
+                    w[1].depth, w[1].cycle_time_us, w[0].depth, w[0].cycle_time_us
+                ));
+            }
+        }
+        let depth4 = rows
+            .iter()
+            .find(|r| r.depth == 4)
+            .ok_or("--gate needs a depth-4 row in the sweep")?;
+        let reduction = 1.0 - depth4.cycle_time_us / rows[0].cycle_time_us;
+        println!(
+            "depth-4 cycle-time reduction: {:.1} % (gate {:.1} %)",
+            100.0 * reduction,
+            100.0 * gate
+        );
+        if reduction < gate {
+            return Err(format!(
+                "depth-4 cycle-time reduction {:.1} % is below the {:.1} % gate",
+                100.0 * reduction,
+                100.0 * gate
+            ));
+        }
+        println!("verdict: PASS");
+    }
+    Ok(())
+}
+
 /// Parses `"A..B"` into a half-open index range.
 fn seed_range_of(s: &str) -> Result<(u64, u64), String> {
     let (a, b) = s
@@ -678,17 +786,19 @@ fn cmd_oracle(args: &Args) -> Result<(), String> {
     };
     let outcome = run_fuzz(&cfg);
     println!(
-        "oracle: {} runs (bsp {} / asp {} / ssp {}), {} cached, {} faulted",
+        "oracle: {} runs (bsp {} / asp {} / ssp {}), {} cached, {} prefetched, {} faulted",
         outcome.runs,
         outcome.by_sync[0],
         outcome.by_sync[1],
         outcome.by_sync[2],
         outcome.cached_runs,
+        outcome.prefetch_runs,
         outcome.faulted_runs
     );
     println!(
-        "checked: {} iteration completions, {} staleness windows, {} barriers",
-        outcome.computes, outcome.window_reads, outcome.barriers
+        "checked: {} iteration completions, {} staleness windows, {} barriers, \
+         {} prefetch installs",
+        outcome.computes, outcome.window_reads, outcome.barriers, outcome.prefetch_installs
     );
     if outcome.violations.is_empty() {
         println!("verdict: PASS — zero violations");
@@ -718,7 +828,8 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first().map(String::as_str) else {
         eprintln!(
-            "usage: hetctl <train|compare|serve|colocate|chaos|oracle|list> [--flag value ...]"
+            "usage: hetctl <train|compare|serve|colocate|chaos|oracle|prefetch-sweep|list> \
+             [--flag value ...]"
         );
         return ExitCode::FAILURE;
     };
@@ -728,7 +839,7 @@ fn main() -> ExitCode {
             println!("systems:   tf-ps tf-parallax het-ps het-ar het-hybrid het-cache ssp");
             println!("flags:     --workers N --servers N --dim N --iters N --staleness N");
             println!("           --cache-frac F --policy lru|lfu|lightlfu --network 1gbe|10gbe");
-            println!("           --target METRIC --lr RATE");
+            println!("           --target METRIC --lr RATE --lookahead DEPTH (prefetcher)");
             println!("           --fault-crashes N --fault-outages N --fault-stragglers N");
             println!("           --fault-degradations N --fault-drop P --fault-horizon SECS");
             println!("           --fault-checkpoint-every ITERS");
@@ -736,6 +847,7 @@ fn main() -> ExitCode {
             println!("           --trace-chrome OUT.json (chrome://tracing view)");
             println!("oracle:    --seeds A..B --iters N --master-seed N --stop-after N");
             println!("           --sabotage-staleness N --out DIR --repro FILE.json");
+            println!("prefetch-sweep: --depths 0,1,2,4,8 --iters N --gate FRACTION");
             println!("serve:     --replicas N --servers N --dim N --fields N --keys N");
             println!("           --cache ENTRIES --staleness N --policy lru|lfu|lightlfu");
             println!("           --rate REQ_PER_S --requests N --zipf EXP --seed N");
@@ -790,12 +902,14 @@ fn main() -> ExitCode {
             }
             Ok(())
         })(),
+        "prefetch-sweep" => Args::parse(&argv[1..]).and_then(|args| cmd_prefetch_sweep(&args)),
         "serve" => Args::parse(&argv[1..]).and_then(|args| cmd_serve(&args)),
         "colocate" => Args::parse(&argv[1..]).and_then(|args| cmd_colocate(&args)),
         "chaos" => Args::parse(&argv[1..]).and_then(|args| cmd_chaos(&args)),
         "oracle" => Args::parse(&argv[1..]).and_then(|args| cmd_oracle(&args)),
         other => Err(format!(
-            "unknown command '{other}' (try: train compare serve colocate chaos oracle list)"
+            "unknown command '{other}' (try: train compare serve colocate chaos oracle \
+             prefetch-sweep list)"
         )),
     };
     match result {

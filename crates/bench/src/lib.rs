@@ -339,6 +339,128 @@ impl RunSummary {
     }
 }
 
+/// One row of the lookahead-depth sweep (`hetctl prefetch-sweep`): the
+/// remote-PS CTR workload re-run at one prefetch depth, everything else
+/// held fixed.
+#[derive(Clone, Debug)]
+pub struct PrefetchSweepRow {
+    /// Prefetch lookahead depth (0 = the demand-only legacy path).
+    pub depth: u64,
+    /// Total simulated seconds.
+    pub sim_time_s: f64,
+    /// Simulated microseconds per training iteration (cycle time).
+    pub cycle_time_us: f64,
+    /// Cycle-time speedup vs the depth-0 row of the same sweep.
+    pub speedup_vs_demand: f64,
+    /// Cache hit rate of the run.
+    pub cache_hit_rate: f64,
+    /// Lookahead pulls landed in worker caches.
+    pub prefetch_installs: u64,
+    /// Reads served by a not-yet-consumed prefetched entry.
+    pub prefetch_hits: u64,
+    /// Prefetched entries displaced before ever serving a read.
+    pub prefetch_wasted: u64,
+}
+
+impl_to_json!(PrefetchSweepRow {
+    depth,
+    sim_time_s,
+    cycle_time_us,
+    speedup_vs_demand,
+    cache_hit_rate,
+    prefetch_installs,
+    prefetch_hits,
+    prefetch_wasted,
+});
+
+/// Runs the lookahead-depth sweep on the paper's Fig. 2 shape — the
+/// Wide&Deep CTR workload against a remote PS over cluster A's 1 GbE —
+/// one training run per depth. The first depth must be 0: that row is
+/// the demand-only baseline every speedup is measured against. Deeper
+/// lookahead can only add overlap, so cycle time must come out
+/// monotonically non-increasing in depth (the CI smoke gates on it).
+pub fn prefetch_sweep(depths: &[u64], iters: u64) -> Vec<PrefetchSweepRow> {
+    prefetch_sweep_with(depths, iters, &|_| {})
+}
+
+/// The sweep's workload recipe: the Fig. 2 deployment — one worker
+/// with the whole embedding table on a remote PS over 1 GbE — upgraded
+/// to an accelerator-class worker, so compute is fast and the cycle is
+/// transfer-bound (the paper's motivating regime, where the GPU
+/// starves on embedding fetch). The cache is sized small relative to
+/// the Criteo hot set so demand misses dominate the depth-0 baseline,
+/// which is exactly what lookahead can overlap away.
+fn fig2_sweep_config(
+    c: &mut TrainerConfig,
+    iters: u64,
+    depth: u64,
+    extra: &dyn Fn(&mut TrainerConfig),
+) {
+    c.cluster = het_simnet::ClusterSpec::cluster_b(1, 1);
+    c.cluster.worker_server = het_simnet::LinkSpec::ethernet_1gbit();
+    // At D = 128 / batch 128 the dense kernels are large enough to run
+    // near the card's real throughput rather than the
+    // launch-overhead-bound rate cluster A/B model for tiny kernels.
+    c.cluster.worker_flops = 1.0e12;
+    // The huge-embedding-model regime the paper targets: wide rows make
+    // the demand-fetch leg dwarf the clock-validation leg (per key,
+    // (24 + 4 D) fetched bytes vs 32 clock bytes), which is what
+    // lookahead can actually hide.
+    c.dim = 128;
+    *c = c.clone().with_cache(0.05, het_cache::PolicyKind::LightLfu);
+    c.max_iterations = iters;
+    c.eval_every = iters;
+    extra(c);
+    c.lookahead_depth = depth;
+}
+
+/// One traced run of the sweep recipe at a single depth — the source of
+/// the Chrome-exportable timeline where the `prefetch_issue` transfer
+/// spans visibly overlap the `compute` spans.
+pub fn prefetch_sweep_traced(depth: u64, iters: u64) -> (TrainReport, het_trace::TraceLog) {
+    run_workload_traced(
+        Workload::WdlCriteo,
+        SystemPreset::HetCache { staleness: 100 },
+        &|c| fig2_sweep_config(c, iters, depth, &|_| {}),
+    )
+}
+
+/// [`prefetch_sweep`] with an extra config hook applied after the sweep
+/// recipe (exposed so `hetctl prefetch-sweep` can vary dim, batch,
+/// cluster, … without a recompile).
+pub fn prefetch_sweep_with(
+    depths: &[u64],
+    iters: u64,
+    extra: &dyn Fn(&mut TrainerConfig),
+) -> Vec<PrefetchSweepRow> {
+    assert!(
+        depths.first() == Some(&0),
+        "sweep must start at the depth-0 demand-only baseline"
+    );
+    let mut rows: Vec<PrefetchSweepRow> = Vec::new();
+    for &depth in depths {
+        let report = run_workload(
+            Workload::WdlCriteo,
+            SystemPreset::HetCache { staleness: 100 },
+            &|c| fig2_sweep_config(c, iters, depth, extra),
+        );
+        let cycle_time_us =
+            report.total_sim_time.as_secs_f64() * 1e6 / report.total_iterations.max(1) as f64;
+        let base = rows.first().map_or(cycle_time_us, |r| r.cycle_time_us);
+        rows.push(PrefetchSweepRow {
+            depth,
+            sim_time_s: report.total_sim_time.as_secs_f64(),
+            cycle_time_us,
+            speedup_vs_demand: base / cycle_time_us,
+            cache_hit_rate: report.cache.hit_rate(),
+            prefetch_installs: report.cache.prefetch_installs,
+            prefetch_hits: report.cache.prefetch_hits,
+            prefetch_wasted: report.cache.prefetch_wasted,
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

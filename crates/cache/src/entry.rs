@@ -15,6 +15,11 @@ pub struct CacheEntry {
     pub start_clock: u64,
     /// Current clock `c_c`: `c_s` plus this worker's local updates.
     pub current_clock: u64,
+    /// True while the entry is resident because of a lookahead prefetch
+    /// and has not yet served a read. Cleared by the first hit
+    /// ([`crate::CacheTable::consume_prefetch`]); an entry that leaves
+    /// the cache with the flag still set counts as prefetch waste.
+    pub prefetched: bool,
 }
 
 impl CacheEntry {
@@ -28,6 +33,7 @@ impl CacheEntry {
             dirty: false,
             start_clock: global_clock,
             current_clock: global_clock,
+            prefetched: false,
         }
     }
 

@@ -17,6 +17,16 @@ pub struct CacheStats {
     /// pending gradient. Every dirtied entry must later surface as a
     /// writeback or an accounted crash loss (gradient conservation).
     pub dirtied: u64,
+    /// Entries installed by the lookahead prefetcher (as opposed to
+    /// demand fetches). Every prefetch install must later surface as a
+    /// prefetch hit or accounted waste (the prefetch ledger).
+    pub prefetch_installs: u64,
+    /// Hits whose entry was resident because of a prefetch and had not
+    /// been demand-read since. A strict subset of `hits`.
+    pub prefetch_hits: u64,
+    /// Prefetched entries that left the cache (eviction, displacement,
+    /// crash wipe, final drain) without ever serving a read.
+    pub prefetch_wasted: u64,
 }
 
 impl CacheStats {
@@ -53,6 +63,9 @@ impl CacheStats {
         self.invalidations += other.invalidations;
         self.writebacks += other.writebacks;
         self.dirtied += other.dirtied;
+        self.prefetch_installs += other.prefetch_installs;
+        self.prefetch_hits += other.prefetch_hits;
+        self.prefetch_wasted += other.prefetch_wasted;
     }
 }
 
@@ -88,6 +101,9 @@ mod tests {
             invalidations: 4,
             writebacks: 5,
             dirtied: 6,
+            prefetch_installs: 7,
+            prefetch_hits: 8,
+            prefetch_wasted: 9,
         };
         let b = a;
         a.merge(&b);
@@ -97,5 +113,8 @@ mod tests {
         assert_eq!(a.invalidations, 8);
         assert_eq!(a.writebacks, 10);
         assert_eq!(a.dirtied, 12);
+        assert_eq!(a.prefetch_installs, 14);
+        assert_eq!(a.prefetch_hits, 16);
+        assert_eq!(a.prefetch_wasted, 18);
     }
 }

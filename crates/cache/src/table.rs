@@ -20,6 +20,10 @@ pub struct CacheTable {
     /// (read-my-updates); matches the server's learning rate.
     lr: f32,
     stats: CacheStats,
+    /// Number of resident entries whose `prefetched` flag is still set
+    /// (the staging region): they do not count against `capacity` until
+    /// their first hit clears the flag.
+    pinned: usize,
     /// Serving mode: the write path (`update`/`bump_clock`) is a
     /// protocol violation and panics. See [`CacheTable::set_read_only`].
     read_only: bool,
@@ -39,6 +43,7 @@ impl CacheTable {
             capacity,
             lr,
             stats: CacheStats::default(),
+            pinned: 0,
             read_only: false,
         }
     }
@@ -64,9 +69,16 @@ impl CacheTable {
         self.capacity
     }
 
-    /// Current number of resident embeddings.
+    /// Current number of resident embeddings, including the prefetch
+    /// staging region.
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Number of unconsumed prefetched entries (the staging region) —
+    /// these ride outside the capacity bound until their first hit.
+    pub fn pinned_len(&self) -> usize {
+        self.pinned
     }
 
     /// True when nothing is cached.
@@ -132,6 +144,12 @@ impl CacheTable {
         vector: Vec<f32>,
         global_clock: u64,
     ) -> Option<EvictedEntry> {
+        if self.entries.get(&key).is_some_and(|e| e.prefetched) {
+            // A resident prefetch is being overwritten by a demand
+            // fetch before it ever served a read: that is waste.
+            self.record_prefetch_waste();
+            self.pinned -= 1;
+        }
         let displaced = match self.entries.get(&key) {
             Some(old) if old.dirty => {
                 let e = self.entries.remove(&key).expect("resident entry");
@@ -157,6 +175,50 @@ impl CacheTable {
         self.entries
             .insert(key, CacheEntry::fetched(vector, global_clock));
         displaced
+    }
+
+    /// Prefetch landing: like [`CacheTable::install`], but the entry is
+    /// flagged as prefetched until its first hit. The vector and clock
+    /// were captured when the lookahead pull was *issued*, so the entry
+    /// can only be as old as or older than a demand fetch landing at
+    /// the same instant — a prefetch can never let a read observe a
+    /// value newer than `CheckValid` allows.
+    #[must_use = "a displaced dirty entry's pending gradient must be pushed, not dropped"]
+    pub fn install_prefetched(
+        &mut self,
+        key: Key,
+        vector: Vec<f32>,
+        global_clock: u64,
+    ) -> Option<EvictedEntry> {
+        let displaced = self.install(key, vector, global_clock);
+        let e = self.entries.get_mut(&key).expect("entry just installed");
+        e.prefetched = true;
+        self.pinned += 1;
+        self.stats.prefetch_installs += 1;
+        het_trace::count!("cache", "prefetch_installs");
+        displaced
+    }
+
+    /// Clears a resident entry's prefetch flag on its first read,
+    /// counting a prefetch hit. Returns true when this read is the one
+    /// that redeemed the prefetch; subsequent reads of the same entry
+    /// are ordinary demand hits.
+    pub fn consume_prefetch(&mut self, key: Key) -> bool {
+        match self.entries.get_mut(&key) {
+            Some(e) if e.prefetched => {
+                e.prefetched = false;
+                self.pinned -= 1;
+                self.stats.prefetch_hits += 1;
+                het_trace::count!("cache", "prefetch_hits");
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn record_prefetch_waste(&mut self) {
+        self.stats.prefetch_wasted += 1;
+        het_trace::count!("cache", "prefetch_wasted");
     }
 
     /// `Het.Cache.Update`: accumulates a raw gradient against the key and
@@ -213,6 +275,10 @@ impl CacheTable {
         let e = self.entries.remove(&key)?;
         self.policy.on_remove(key);
         het_trace::count!("cache", "evictions");
+        if e.prefetched {
+            self.record_prefetch_waste();
+            self.pinned -= 1;
+        }
         if e.dirty {
             self.stats.writebacks += 1;
             het_trace::count!("cache", "writebacks");
@@ -231,32 +297,65 @@ impl CacheTable {
     }
 
     /// Capacity-pressure `Het.Cache.Evict()`: pops policy victims until
-    /// the table fits its capacity, returning their write-back payloads.
+    /// the capacity-bounded region fits, returning their write-back
+    /// payloads.
+    ///
+    /// Unconsumed prefetched entries are *pinned* in a staging region
+    /// that does not count against capacity (BagPipe's separate
+    /// prefetch buffer): evicting one would throw away a transfer whose
+    /// read is at most `lookahead_depth` batches away, and charging it
+    /// against capacity would let a deep lookahead window evict the
+    /// resident hot set — pollution that grows with depth. The staging
+    /// region is naturally bounded by the lookahead window: the planner
+    /// only pins keys of batches at most `depth` ahead, and each pin is
+    /// consumed at its target read (or removed by resync/crash). A
+    /// pinned entry joins the capacity-bounded region at its first
+    /// touch, when [`CacheTable::consume_prefetch`] clears the flag.
     pub fn evict_overflow(&mut self) -> Vec<(Key, EvictedEntry)> {
         let mut out = Vec::new();
-        while self.entries.len() > self.capacity {
+        let mut repin: Vec<Key> = Vec::new();
+        while self.entries.len() - self.pinned > self.capacity {
             let Some(victim) = self.policy.pop_victim() else {
                 break;
             };
-            if let Some(e) = self.entries.remove(&victim) {
-                het_trace::count!("cache", "evictions");
-                if e.dirty {
-                    self.stats.writebacks += 1;
-                    het_trace::count!("cache", "writebacks");
-                }
-                self.stats.capacity_evictions += 1;
-                het_trace::count!("cache", "capacity_evictions");
-                out.push((
-                    victim,
-                    EvictedEntry {
-                        pending_grad: e.pending_grad,
-                        current_clock: e.current_clock,
-                        dirty: e.dirty,
-                    },
-                ));
+            if self.entries.get(&victim).is_some_and(|e| e.prefetched) {
+                repin.push(victim);
+                continue;
             }
+            self.remove_overflow_victim(victim, &mut out);
+        }
+        // Re-admit popped pins in pop order, so the policy sees the
+        // same deterministic sequence every run.
+        for k in repin {
+            self.policy.on_insert(k);
         }
         out
+    }
+
+    /// Shared bookkeeping for one overflow eviction (the key is already
+    /// out of the policy).
+    fn remove_overflow_victim(&mut self, victim: Key, out: &mut Vec<(Key, EvictedEntry)>) {
+        if let Some(e) = self.entries.remove(&victim) {
+            het_trace::count!("cache", "evictions");
+            if e.prefetched {
+                self.record_prefetch_waste();
+                self.pinned -= 1;
+            }
+            if e.dirty {
+                self.stats.writebacks += 1;
+                het_trace::count!("cache", "writebacks");
+            }
+            self.stats.capacity_evictions += 1;
+            het_trace::count!("cache", "capacity_evictions");
+            out.push((
+                victim,
+                EvictedEntry {
+                    pending_grad: e.pending_grad,
+                    current_clock: e.current_clock,
+                    dirty: e.dirty,
+                },
+            ));
+        }
     }
 
     /// Drops every entry *without* write-back accounting — the cache's
@@ -274,6 +373,10 @@ impl CacheTable {
                 // HashMap key order, so per-key events would break
                 // trace determinism.
                 het_trace::count!("cache", "crash_drops");
+                if e.prefetched {
+                    self.record_prefetch_waste();
+                    self.pinned -= 1;
+                }
                 lost.push((
                     k,
                     EvictedEntry {
@@ -487,6 +590,83 @@ mod tests {
         assert!((t.stats().miss_rate() - 1.0 / 3.0).abs() < 1e-12);
         t.reset_stats();
         assert_eq!(t.stats().lookups(), 0);
+    }
+
+    #[test]
+    fn prefetch_install_hit_clears_the_flag_once() {
+        let mut t = table(4);
+        let _ = t.install_prefetched(1, vec![1.0], 5);
+        assert!(t.peek(1).unwrap().prefetched);
+        assert_eq!(t.stats().prefetch_installs, 1);
+        assert!(t.consume_prefetch(1), "first read redeems the prefetch");
+        assert!(!t.consume_prefetch(1), "second read is a demand hit");
+        assert_eq!(t.stats().prefetch_hits, 1);
+        assert_eq!(t.stats().prefetch_wasted, 0);
+    }
+
+    #[test]
+    fn unhit_prefetch_is_waste_on_every_exit_path() {
+        // Eviction.
+        let mut t = table(4);
+        let _ = t.install_prefetched(1, vec![0.0], 0);
+        let _ = t.evict(1);
+        assert_eq!(t.stats().prefetch_wasted, 1);
+        // Demand install over an unhit prefetch (resync).
+        let _ = t.install_prefetched(2, vec![0.0], 0);
+        let _ = t.install(2, vec![9.0], 3);
+        assert!(
+            !t.peek(2).unwrap().prefetched,
+            "demand fetch clears the flag"
+        );
+        assert_eq!(t.stats().prefetch_wasted, 2);
+        // Crash wipe.
+        let _ = t.install_prefetched(3, vec![0.0], 0);
+        let _ = t.crash_clear();
+        assert_eq!(t.stats().prefetch_wasted, 3);
+        // Ledger: installs == hits + waste.
+        assert_eq!(t.stats().prefetch_installs, 3);
+        assert_eq!(
+            t.stats().prefetch_installs,
+            t.stats().prefetch_hits + t.stats().prefetch_wasted
+        );
+    }
+
+    #[test]
+    fn consumed_prefetch_is_not_waste() {
+        let mut t = table(4);
+        let _ = t.install_prefetched(1, vec![0.0], 0);
+        assert!(t.consume_prefetch(1));
+        let _ = t.evict(1);
+        assert_eq!(t.stats().prefetch_wasted, 0);
+        assert_eq!(
+            t.stats().prefetch_installs,
+            t.stats().prefetch_hits + t.stats().prefetch_wasted
+        );
+    }
+
+    #[test]
+    fn pinned_prefetches_ride_out_overflow_in_the_staging_region() {
+        let mut t = table(1);
+        let _ = t.install_prefetched(1, vec![0.0], 0);
+        let _ = t.install_prefetched(2, vec![0.0], 0);
+        assert_eq!(t.pinned_len(), 2);
+        // Unconsumed prefetches live outside the capacity bound: the
+        // overflow pass never evicts them.
+        assert!(t.evict_overflow().is_empty());
+        assert_eq!(t.len(), 2);
+        // First hits move them into the capacity-bounded region, where
+        // ordinary eviction applies again.
+        assert!(t.consume_prefetch(1));
+        assert!(t.consume_prefetch(2));
+        assert_eq!(t.pinned_len(), 0);
+        let evicted = t.evict_overflow();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            t.stats().prefetch_wasted,
+            0,
+            "consumed prefetches are never waste"
+        );
     }
 
     #[test]

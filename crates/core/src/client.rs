@@ -61,6 +61,14 @@ pub struct HetClient {
     /// byte-for-byte unchanged. Injected from the harness configuration
     /// — there is no process-global way to flip it.
     extra_staleness: u64,
+    /// Write-behind (lookahead runs only): dirty-eviction write-backs
+    /// still reach the server at the same protocol point, but their
+    /// wire time is parked in `deferred_push` for the trainer to drain
+    /// through the prefetch plane's transmit channel instead of
+    /// charging it into the write span. Off (the default) reproduces
+    /// the legacy synchronous push byte-for-byte and cycle-for-cycle.
+    write_behind: bool,
+    deferred_push: SimDuration,
 }
 
 impl HetClient {
@@ -96,7 +104,24 @@ impl HetClient {
             dim,
             costs,
             extra_staleness: 0,
+            write_behind: false,
+            deferred_push: SimDuration::ZERO,
         }
+    }
+
+    /// Enables write-behind: [`HetClient::write`] defers the wire time
+    /// of dirty-eviction pushes (state still applies immediately) and
+    /// the trainer drains it via [`HetClient::take_deferred_push`].
+    /// Only lookahead runs set this — the deferred time must land on a
+    /// background channel or the accounting would simply vanish.
+    pub fn set_write_behind(&mut self, on: bool) {
+        self.write_behind = on;
+    }
+
+    /// Takes (and resets) the wire time of write-backs deferred since
+    /// the last call.
+    pub fn take_deferred_push(&mut self) -> SimDuration {
+        std::mem::replace(&mut self.deferred_push, SimDuration::ZERO)
     }
 
     /// The staleness threshold `s`.
@@ -162,6 +187,8 @@ impl HetClient {
         let mut degraded = 0u64; // hits served on condition (1) alone (shard down)
         let mut max_lag = 0u64; // max c_c − c_s over served cache hits
         let mut max_gap = 0u64; // max c_g − c_c over clock-validated hits
+        let mut prefetch_hits = 0u64; // hits whose entry a prefetch installed
+        let waste_before = self.cache.stats().prefetch_wasted;
 
         // Partition the request.
         let mut check_candidates: Vec<Key> = Vec::new(); // hit + cond (1) holds
@@ -184,6 +211,9 @@ impl HetClient {
                         if tracing {
                             degraded += 1;
                             max_lag = max_lag.max(entry.current_clock - entry.start_clock);
+                        }
+                        if self.cache.consume_prefetch(k) {
+                            prefetch_hits += 1;
                         }
                         self.cache.record_hit();
                     } else {
@@ -222,6 +252,9 @@ impl HetClient {
                         validated += 1;
                         max_lag = max_lag.max(entry.current_clock - entry.start_clock);
                         max_gap = max_gap.max(global.saturating_sub(entry.current_clock));
+                    }
+                    if self.cache.consume_prefetch(k) {
+                        prefetch_hits += 1;
                     }
                     self.cache.record_hit();
                 } else {
@@ -313,6 +346,17 @@ impl HetClient {
                 "max_lag" => max_lag,
                 "max_gap" => max_gap);
         }
+        if tracing {
+            // Both events exist only on prefetch-enabled runs — a
+            // depth-0 trace is byte-identical to the legacy path.
+            if prefetch_hits > 0 {
+                het_trace::event!("prefetcher", "prefetch_hit", "n" => prefetch_hits);
+            }
+            let wasted = self.cache.stats().prefetch_wasted - waste_before;
+            if wasted > 0 {
+                het_trace::event!("prefetcher", "prefetch_waste", "n" => wasted);
+            }
+        }
         (store, time)
     }
 
@@ -325,10 +369,38 @@ impl HetClient {
         }
     }
 
+    /// Lands a landed *prefetch* pull in the cache. Returns `false` —
+    /// and installs nothing — when the key became resident since the
+    /// pull was issued (a demand fetch or an overlapping batch got
+    /// there first): overwriting would clobber newer local state with
+    /// the older issue-time snapshot. The installed entry carries the
+    /// issue-time clocks, so `CheckValid` judges it exactly as strictly
+    /// as any other cached entry on the next read.
+    pub fn install_prefetch_result(
+        &mut self,
+        key: Key,
+        vector: Vec<f32>,
+        clock: u64,
+        server: &PsServer,
+    ) -> bool {
+        if self.cache.find(key) {
+            return false;
+        }
+        if let Some(ev) = self.cache.install_prefetched(key, vector, clock) {
+            if ev.dirty {
+                server.push_with_clock(key, &ev.pending_grad, ev.current_clock);
+            }
+        }
+        true
+    }
+
     /// `Het.Write(keys, grads)`: stale-writes the gradients into the
     /// cache, bumps per-key clocks, and handles capacity eviction.
     /// Returns the simulated communication time (only evictions cost
-    /// anything — this is where the cache wins).
+    /// anything — this is where the cache wins). Under write-behind
+    /// (see [`HetClient::set_write_behind`]) the eviction pushes still
+    /// apply to the server here, but the returned time is zero and the
+    /// wire time accrues in the deferred-push ledger instead.
     ///
     /// Under fault injection (`faults` present): eviction write-backs
     /// destined for a mid-failover shard block until it recovers, and
@@ -343,12 +415,19 @@ impl HetClient {
         stats: &mut CommStats,
         mut faults: Option<&mut FaultContext<'_>>,
     ) -> SimDuration {
+        let waste_before = self.cache.stats().prefetch_wasted;
         for k in grads.sorted_keys() {
             let g = grads.get(k).expect("key from sorted_keys");
             self.cache.update(k, g);
             self.cache.bump_clock(k);
         }
         let evicted = self.cache.evict_overflow();
+        if het_trace::enabled() {
+            let wasted = self.cache.stats().prefetch_wasted - waste_before;
+            if wasted > 0 {
+                het_trace::event!("prefetcher", "prefetch_waste", "n" => wasted);
+            }
+        }
         let mut dirty_keys: Vec<Key> = Vec::new();
         for (k, ev) in &evicted {
             if ev.dirty {
@@ -366,7 +445,12 @@ impl HetClient {
         if let Some(f) = faults.as_mut() {
             t = f.charge_leg(t, |b| stats.record(CommCategory::EmbeddingPush, b), bytes);
         }
-        wait + t
+        if self.write_behind {
+            self.deferred_push += wait + t;
+            SimDuration::ZERO
+        } else {
+            wait + t
+        }
     }
 
     /// Simulates this worker's process dying: the entire cache is lost,

@@ -243,6 +243,14 @@ pub struct TrainerConfig {
     /// no-op. Only the oracle's self-tests set this — it exists to
     /// prove the checker catches a broken `CheckValid`.
     pub sabotage_extra_staleness: u64,
+    /// Lookahead prefetch depth in batches (§4.2's pre-fetching, made
+    /// exact by the deterministic data cursor): each worker's next
+    /// `lookahead_depth` batches have their deduped key sets pulled
+    /// concurrently with the current compute span and installed into
+    /// the cache before the read that needs them. `0` (the default)
+    /// disables the prefetcher entirely and reproduces the legacy path
+    /// byte-for-byte. Only meaningful under `SparseMode::Cached`.
+    pub lookahead_depth: u64,
 }
 
 impl TrainerConfig {
@@ -263,6 +271,7 @@ impl TrainerConfig {
             faults: FaultConfig::disabled(),
             tie_break: TieBreak::Fifo,
             sabotage_extra_staleness: 0,
+            lookahead_depth: 0,
         }
     }
 
@@ -284,6 +293,7 @@ impl TrainerConfig {
             faults: FaultConfig::disabled(),
             tie_break: TieBreak::Fifo,
             sabotage_extra_staleness: 0,
+            lookahead_depth: 0,
         }
     }
 

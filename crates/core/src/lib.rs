@@ -43,6 +43,7 @@ pub mod client;
 pub mod config;
 pub mod consistency;
 pub mod fault;
+pub mod prefetch;
 pub mod report;
 pub mod retry;
 pub mod trainer;
@@ -52,6 +53,7 @@ pub use config::{
     Backbone, DenseSync, SparseMode, SyncMode, SystemConfig, SystemPreset, TrainerConfig,
 };
 pub use fault::{FaultConfig, FaultRecord, FaultStats};
+pub use prefetch::{PrefetchAudit, PrefetchSummary, Prefetcher};
 pub use report::{ConvergencePoint, TimeBreakdown, TrainReport};
 pub use retry::RetryPolicy;
 pub use trainer::Trainer;

@@ -1,0 +1,578 @@
+//! Lookahead prefetching: §4.2's pre-fetching optimisation made *exact*
+//! by the deterministic data cursor.
+//!
+//! Because every worker's batch sequence is a pure function of
+//! `(worker, iteration)` (see `Trainer::data_cursor`), the trainer can
+//! walk the cursor `lookahead_depth` batches ahead of each worker and
+//! know — not guess — the precise key set of a future read. The
+//! [`Prefetcher`] is a first-class [`Process`] on the shared
+//! [`het_runtime::ClusterRuntime`]: the trainer plans per-target
+//! [`PrefetchOrder`]s (deduplicated against resident and in-flight
+//! keys) and wakes the prefetcher at the issuing iteration's start, so
+//! the pulls' transfer time overlaps the compute span instead of
+//! serialising into the read phase. A read that arrives before a needed
+//! pull has landed *waits* for it — the stall is charged into the read
+//! time, which is exactly the "overlap credited only up to the compute
+//! span" rule of the cost model.
+//!
+//! Correctness rides on the unchanged cache protocol: a prefetched
+//! entry is installed with the clocks the server held at pull time, so
+//! it can only be *older* than a demand fetch at the read instant, and
+//! it still passes through `CheckValid` on every read. Prefetching can
+//! therefore never widen the coherence window — it can only turn a
+//! fetch into a (clock-validated) hit. The `het-oracle` prefetch cell
+//! re-checks this on every fuzzed schedule.
+//!
+//! Accounting obeys the **prefetch ledger**: every key a plan issues is
+//! eventually pulled or cancelled; every pulled key is installed or
+//! cancelled (superseded by a demand fetch, dropped on crash, or
+//! stranded at shutdown); every install surfaces as a prefetch hit or
+//! accounted waste ([`het_cache::CacheStats`]).
+//!
+//! Bandwidth honesty rides on two per-worker **background channels**
+//! modelling the full-duplex worker↔PS link: prefetch pulls serialise
+//! on the receive channel (a pull issued while an earlier one is still
+//! streaming queues behind it — `ready_at` reflects the queueing), and
+//! dirty-eviction write-backs serialise on the transmit channel (the
+//! trainer's write-behind: server state updates at the same protocol
+//! point as the legacy path, only the wire time drains concurrently
+//! with later spans). Neither channel can hide more than the link can
+//! actually carry: if background work outruns compute, `ready_at`
+//! slips, reads stall, and the cycle time converges to the link's real
+//! per-iteration byte load. At shutdown the transmit channel is drained
+//! into the final worker clocks, so deferred pushes never make a run
+//! look faster than its wire traffic allows.
+
+use std::cell::RefCell;
+use std::collections::{HashSet, VecDeque};
+use std::rc::Rc;
+
+use het_data::Key;
+use het_json::{Json, ToJson};
+use het_ps::ServerHandle;
+use het_runtime::{Ctx, Event, Process};
+use het_simnet::wire::MessageCosts;
+use het_simnet::{Collectives, FaultPlan, SimDuration, SimTime};
+
+/// One planned pull: the exact deduplicated keys worker `worker` will
+/// read at `target_iteration` that are neither resident nor already in
+/// flight at plan time.
+#[derive(Clone, Debug)]
+pub struct PrefetchOrder {
+    /// The worker whose cache the pull warms.
+    pub worker: usize,
+    /// The iteration whose read this pull serves.
+    pub target_iteration: u64,
+    /// Sorted keys to pull.
+    pub keys: Vec<Key>,
+}
+
+/// A pulled embedding travelling toward a worker's cache: the value and
+/// clock are frozen at issue time, the transfer lands at `ready_at`.
+#[derive(Clone, Debug)]
+pub struct ReadyResult {
+    /// The embedding key.
+    pub key: Key,
+    /// The vector pulled from the server at issue time.
+    pub vector: Vec<f32>,
+    /// The server's global clock for the key at issue time.
+    pub clock: u64,
+    /// When the simulated transfer completes.
+    pub ready_at: SimTime,
+}
+
+/// One plan decision, recorded when audit mode is on (test harnesses):
+/// how the target batch's key set was partitioned.
+#[derive(Clone, Debug)]
+pub struct PrefetchAudit {
+    /// The worker planned for.
+    pub worker: usize,
+    /// The future iteration planned.
+    pub target_iteration: u64,
+    /// The batch's full deduplicated key set.
+    pub planned: Vec<Key>,
+    /// Keys handed to the prefetcher.
+    pub issued: Vec<Key>,
+    /// Keys skipped because they were cache-resident at plan time.
+    pub skipped_resident: Vec<Key>,
+    /// Keys skipped because an earlier order already covers them.
+    pub skipped_inflight: Vec<Key>,
+}
+
+/// Aggregate prefetch accounting for a [`crate::TrainReport`]. `None`
+/// in the report ⇔ the run had no prefetcher (depth 0), keeping the
+/// serialized report byte-identical to the legacy path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrefetchSummary {
+    /// The configured lookahead depth.
+    pub depth: u64,
+    /// Keys actually pulled by the prefetcher.
+    pub issued_keys: u64,
+    /// Pulled keys installed into a worker cache.
+    pub installed_keys: u64,
+    /// Keys that never reached a cache: skipped for a shard outage,
+    /// dropped by a worker crash, superseded by a demand fetch, or
+    /// stranded in flight at shutdown.
+    pub cancelled_keys: u64,
+    /// Total simulated transfer time of issued pulls (what the demand
+    /// path would otherwise have serialised into reads).
+    pub transfer_ns: u64,
+    /// Time reads actually waited on in-flight pulls (the part of the
+    /// transfer the compute span could not hide).
+    pub stall_ns: u64,
+    /// Wire bytes moved by prefetch pulls.
+    pub bytes: u64,
+    /// Wire messages (request + response per order).
+    pub messages: u64,
+    /// Dirty-eviction write-back time drained through the transmit
+    /// channel instead of the write span (the write-behind saving).
+    pub writeback_ns: u64,
+}
+
+impl PrefetchSummary {
+    /// Transfer time hidden behind compute: issued transfer minus the
+    /// stalls reads paid — the overlap saving the bench sweeps report.
+    pub fn hidden_ns(&self) -> u64 {
+        self.transfer_ns.saturating_sub(self.stall_ns)
+    }
+}
+
+impl ToJson for PrefetchSummary {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("depth".to_string(), Json::UInt(self.depth)),
+            ("issued_keys".to_string(), Json::UInt(self.issued_keys)),
+            (
+                "installed_keys".to_string(),
+                Json::UInt(self.installed_keys),
+            ),
+            (
+                "cancelled_keys".to_string(),
+                Json::UInt(self.cancelled_keys),
+            ),
+            ("transfer_ns".to_string(), Json::UInt(self.transfer_ns)),
+            ("stall_ns".to_string(), Json::UInt(self.stall_ns)),
+            ("hidden_ns".to_string(), Json::UInt(self.hidden_ns())),
+            ("bytes".to_string(), Json::UInt(self.bytes)),
+            ("messages".to_string(), Json::UInt(self.messages)),
+            ("writeback_ns".to_string(), Json::UInt(self.writeback_ns)),
+        ])
+    }
+}
+
+/// Shared state between the trainer (planner/consumer) and the
+/// [`Prefetcher`] process (issuer): per-worker order queues, landed
+/// results awaiting install, and the in-flight key sets that make
+/// deduplication exact.
+pub(crate) struct PrefetchPlane {
+    depth: u64,
+    /// Planned orders not yet issued, per worker.
+    orders: Vec<VecDeque<PrefetchOrder>>,
+    /// Issued pulls awaiting install, per worker, in issue order.
+    ready: Vec<Vec<ReadyResult>>,
+    /// Keys planned or issued but not yet installed/cancelled, per
+    /// worker — the "already covered" half of the dedup rule.
+    inflight: Vec<HashSet<Key>>,
+    /// First target iteration not yet planned, per worker.
+    planned_until: Vec<u64>,
+    /// Receive-channel occupancy per worker: when the last queued
+    /// prefetch pull finishes streaming in.
+    busy_rx: Vec<SimTime>,
+    /// Transmit-channel occupancy per worker: when the last deferred
+    /// write-back finishes streaming out.
+    busy_tx: Vec<SimTime>,
+    summary: PrefetchSummary,
+    audit: Option<Vec<PrefetchAudit>>,
+}
+
+impl PrefetchPlane {
+    pub(crate) fn new(n_workers: usize, depth: u64) -> Self {
+        PrefetchPlane {
+            depth,
+            orders: (0..n_workers).map(|_| VecDeque::new()).collect(),
+            ready: (0..n_workers).map(|_| Vec::new()).collect(),
+            inflight: (0..n_workers).map(|_| HashSet::new()).collect(),
+            planned_until: vec![0; n_workers],
+            busy_rx: vec![SimTime::ZERO; n_workers],
+            busy_tx: vec![SimTime::ZERO; n_workers],
+            summary: PrefetchSummary {
+                depth,
+                ..PrefetchSummary::default()
+            },
+            audit: None,
+        }
+    }
+
+    pub(crate) fn depth(&self) -> u64 {
+        self.depth
+    }
+
+    pub(crate) fn planned_until(&self, w: usize) -> u64 {
+        self.planned_until[w]
+    }
+
+    pub(crate) fn set_planned_until(&mut self, w: usize, until: u64) {
+        self.planned_until[w] = until;
+    }
+
+    pub(crate) fn is_inflight(&self, w: usize, key: Key) -> bool {
+        self.inflight[w].contains(&key)
+    }
+
+    /// Queues an order; its keys become in-flight for dedup purposes.
+    pub(crate) fn push_order(&mut self, order: PrefetchOrder) {
+        let w = order.worker;
+        for &k in &order.keys {
+            self.inflight[w].insert(k);
+        }
+        self.orders[w].push_back(order);
+    }
+
+    fn pop_order(&mut self, w: usize) -> Option<PrefetchOrder> {
+        self.orders[w].pop_front()
+    }
+
+    /// Records audit-mode plan decisions.
+    pub(crate) fn record_audit(&mut self, audit: PrefetchAudit) {
+        if let Some(log) = &mut self.audit {
+            log.push(audit);
+        }
+    }
+
+    pub(crate) fn enable_audit(&mut self) {
+        self.audit.get_or_insert_with(Vec::new);
+    }
+
+    pub(crate) fn audit_clone(&self) -> Option<Vec<PrefetchAudit>> {
+        self.audit.clone()
+    }
+
+    pub(crate) fn audit_enabled(&self) -> bool {
+        self.audit.is_some()
+    }
+
+    fn drop_inflight(&mut self, w: usize, key: Key) {
+        self.inflight[w].remove(&key);
+    }
+
+    /// Serialises a pull of duration `dur` onto worker `w`'s receive
+    /// channel: it starts when the channel frees up (never before
+    /// `issue_at`) and occupies it until completion. Returns
+    /// `(start, completion)`.
+    pub(crate) fn rx_transfer(
+        &mut self,
+        w: usize,
+        issue_at: SimTime,
+        dur: SimDuration,
+    ) -> (SimTime, SimTime) {
+        let start = self.busy_rx[w].max(issue_at);
+        let done = start + dur;
+        self.busy_rx[w] = done;
+        (start, done)
+    }
+
+    /// Serialises a deferred write-back of duration `dur` onto worker
+    /// `w`'s transmit channel and records it in the summary. Returns
+    /// `(start, completion)`.
+    pub(crate) fn tx_transfer(
+        &mut self,
+        w: usize,
+        issue_at: SimTime,
+        dur: SimDuration,
+    ) -> (SimTime, SimTime) {
+        let start = self.busy_tx[w].max(issue_at);
+        let done = start + dur;
+        self.busy_tx[w] = done;
+        self.summary.writeback_ns += dur.as_nanos();
+        (start, done)
+    }
+
+    /// When worker `w`'s transmit channel goes idle — the trainer folds
+    /// this into the final worker clock so deferred write-backs are
+    /// fully paid before the run ends.
+    pub(crate) fn tx_drain(&self, w: usize) -> SimTime {
+        self.busy_tx[w]
+    }
+
+    fn note_issue(&mut self, keys: u64, transfer: SimDuration, bytes: u64, messages: u64) {
+        self.summary.issued_keys += keys;
+        self.summary.transfer_ns += transfer.as_nanos();
+        self.summary.bytes += bytes;
+        self.summary.messages += messages;
+    }
+
+    pub(crate) fn note_cancelled(&mut self, keys: u64) {
+        self.summary.cancelled_keys += keys;
+    }
+
+    pub(crate) fn note_install(&mut self, keys: u64, stall: SimDuration) {
+        self.summary.installed_keys += keys;
+        self.summary.stall_ns += stall.as_nanos();
+    }
+
+    /// Takes every landed result for worker `w`'s read at `now`. If the
+    /// read's `batch_keys` (sorted) include pulls still in flight, the
+    /// read waits for the last of them: the returned stall is the part
+    /// of the prefetch transfer the compute span failed to hide, and
+    /// everything landed by `now + stall` is taken along.
+    pub(crate) fn take_for_read(
+        &mut self,
+        w: usize,
+        now: SimTime,
+        batch_keys: &[Key],
+    ) -> (Vec<ReadyResult>, SimDuration) {
+        let mut stall = SimDuration::ZERO;
+        for r in &self.ready[w] {
+            if r.ready_at > now && batch_keys.binary_search(&r.key).is_ok() {
+                stall = stall.max(r.ready_at.since(now));
+            }
+        }
+        let effective = now + stall;
+        let mut landed = Vec::new();
+        let mut pending = Vec::new();
+        for r in self.ready[w].drain(..) {
+            if r.ready_at <= effective {
+                landed.push(r);
+            } else {
+                pending.push(r);
+            }
+        }
+        self.ready[w] = pending;
+        for r in &landed {
+            self.inflight[w].remove(&r.key);
+        }
+        (landed, stall)
+    }
+
+    /// Drops everything queued or in flight for worker `w` (crash
+    /// routing). Returns the number of keys cancelled.
+    pub(crate) fn cancel_worker(&mut self, w: usize) -> u64 {
+        let mut n = 0u64;
+        for order in self.orders[w].drain(..) {
+            n += order.keys.len() as u64;
+        }
+        n += self.ready[w].len() as u64;
+        self.ready[w].clear();
+        self.inflight[w].clear();
+        self.planned_until[w] = 0;
+        // Cancelled pulls stop streaming, so the receive channel frees;
+        // deferred write-backs already reached the server, so the
+        // transmit channel keeps its occupancy — that wire time is
+        // still owed at drain.
+        self.busy_rx[w] = SimTime::ZERO;
+        self.summary.cancelled_keys += n;
+        n
+    }
+
+    /// Drops everything for every worker (trainer shutdown), so
+    /// residual prefetcher wake-ups find empty queues and stay silent.
+    pub(crate) fn cancel_all(&mut self) -> u64 {
+        (0..self.orders.len()).map(|w| self.cancel_worker(w)).sum()
+    }
+
+    /// The run's aggregate accounting.
+    pub(crate) fn summary(&self) -> PrefetchSummary {
+        self.summary
+    }
+}
+
+/// The prefetch process: executes queued [`PrefetchOrder`]s when the
+/// trainer wakes it. Each order is its own request/response exchange
+/// (the asynchronous pipeline of §4.1/§4.2), but the exchanges stream
+/// over the worker's receive channel in issue order — a pull queued
+/// while an earlier one is still in flight starts when the channel
+/// frees. An order issued during iteration `i` for target `i + d` has
+/// `d` compute spans to land before its read.
+pub struct Prefetcher {
+    plane: Rc<RefCell<PrefetchPlane>>,
+    server: ServerHandle,
+    net: Collectives,
+    costs: MessageCosts,
+    dim: usize,
+    plan: FaultPlan,
+}
+
+impl Prefetcher {
+    pub(crate) fn new(
+        plane: Rc<RefCell<PrefetchPlane>>,
+        server: ServerHandle,
+        net: Collectives,
+        costs: MessageCosts,
+        dim: usize,
+        plan: FaultPlan,
+    ) -> Self {
+        Prefetcher {
+            plane,
+            server,
+            net,
+            costs,
+            dim,
+            plan,
+        }
+    }
+
+    fn execute(&mut self, t: SimTime, w: usize) {
+        let tracing = het_trace::enabled();
+        if tracing {
+            // The trainer owns cluster members 0..n_workers, so the
+            // prefetcher attributes its spans to the raw worker index
+            // (deliberately not `Ctx::scope_at`, which would add this
+            // process's member offset).
+            het_trace::set_scope(t.as_nanos(), Some(w as u64));
+        }
+        loop {
+            let Some(order) = self.plane.borrow_mut().pop_order(w) else {
+                break;
+            };
+            // Fault routing: keys on a shard that is mid-failover at
+            // issue time are cancelled, not pulled — the demand path
+            // will resolve them with its own outage handling.
+            let mut live = Vec::with_capacity(order.keys.len());
+            let mut down = 0u64;
+            {
+                let mut plane = self.plane.borrow_mut();
+                for &k in &order.keys {
+                    if !self.plan.is_empty()
+                        && self.plan.shard_down(self.server.shard_index_of(k), t)
+                    {
+                        plane.drop_inflight(w, k);
+                        down += 1;
+                    } else {
+                        live.push(k);
+                    }
+                }
+                if down > 0 {
+                    plane.note_cancelled(down);
+                }
+            }
+            if down > 0 {
+                if tracing {
+                    het_trace::event!("prefetcher", "prefetch_cancel",
+                        "target_iter" => order.target_iteration,
+                        "keys" => down,
+                        "reason" => "shard_outage");
+                }
+                het_trace::counter_add("prefetcher", "cancelled_keys", down);
+            }
+            if live.is_empty() {
+                continue;
+            }
+            let req = self.costs.fetch_request(live.len());
+            let resp = self.costs.fetch_response(live.len(), self.dim);
+            let transfer = self.net.ps_transfer(req) + self.net.ps_transfer(resp);
+            let (start, ready_at) = self.plane.borrow_mut().rx_transfer(w, t, transfer);
+            let n = live.len() as u64;
+            {
+                let mut plane = self.plane.borrow_mut();
+                for &k in &live {
+                    let pulled = self.server.pull(k);
+                    plane.ready[w].push(ReadyResult {
+                        key: k,
+                        vector: pulled.vector,
+                        clock: pulled.clock,
+                        ready_at,
+                    });
+                }
+                plane.note_issue(n, transfer, req + resp, 2);
+            }
+            if tracing {
+                // Scope the span at the queued start, so the Chrome
+                // export shows pulls back-to-back on the channel rather
+                // than stacked at the wake instant.
+                het_trace::set_scope(start.as_nanos(), Some(w as u64));
+            }
+            het_trace::span!("prefetcher", "prefetch_issue", transfer.as_nanos(),
+                "target_iter" => order.target_iteration,
+                "keys" => n);
+            het_trace::counter_add("prefetcher", "issued_keys", n);
+        }
+    }
+}
+
+impl Process for Prefetcher {
+    fn on_event(&mut self, t: SimTime, ev: Event, _ctx: &mut Ctx<'_>) {
+        let Event::Wake(w) = ev else { return };
+        self.execute(t, w as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_for_read_stalls_only_on_needed_inflight_keys() {
+        let mut plane = PrefetchPlane::new(1, 2);
+        plane.push_order(PrefetchOrder {
+            worker: 0,
+            target_iteration: 1,
+            keys: vec![3, 7, 9],
+        });
+        let order = plane.pop_order(0).unwrap();
+        for &k in &order.keys {
+            plane.ready[0].push(ReadyResult {
+                key: k,
+                vector: vec![0.0],
+                clock: 0,
+                ready_at: SimTime::from_nanos(if k == 9 { 500 } else { 100 }),
+            });
+        }
+        // Read at t=200 needing {3, 7}: both landed, no stall; key 9
+        // stays in flight.
+        let (landed, stall) = plane.take_for_read(0, SimTime::from_nanos(200), &[3, 7]);
+        assert_eq!(stall, SimDuration::ZERO);
+        assert_eq!(landed.len(), 2);
+        assert!(plane.is_inflight(0, 9));
+        assert!(!plane.is_inflight(0, 3));
+        // Read at t=300 needing {9}: stalls 200 ns for the transfer.
+        let (landed, stall) = plane.take_for_read(0, SimTime::from_nanos(300), &[9]);
+        assert_eq!(stall, SimDuration::from_nanos(200));
+        assert_eq!(landed.len(), 1);
+        assert!(!plane.is_inflight(0, 9));
+        assert_eq!(plane.summary().cancelled_keys, 0);
+    }
+
+    #[test]
+    fn cancel_worker_clears_orders_ready_and_inflight() {
+        let mut plane = PrefetchPlane::new(2, 4);
+        plane.push_order(PrefetchOrder {
+            worker: 0,
+            target_iteration: 2,
+            keys: vec![1, 2],
+        });
+        plane.push_order(PrefetchOrder {
+            worker: 1,
+            target_iteration: 2,
+            keys: vec![5],
+        });
+        let order = plane.pop_order(0).unwrap();
+        plane.ready[0].push(ReadyResult {
+            key: order.keys[0],
+            vector: vec![0.0],
+            clock: 0,
+            ready_at: SimTime::from_nanos(10),
+        });
+        plane.set_planned_until(0, 6);
+        let n = plane.cancel_worker(0);
+        // One ready result + zero queued orders for worker 0 remain at
+        // cancel time (the popped order's other key was never re-queued).
+        assert_eq!(n, 1);
+        assert_eq!(plane.planned_until(0), 0);
+        assert!(!plane.is_inflight(0, 1));
+        assert!(plane.is_inflight(1, 5), "other workers untouched");
+        assert_eq!(plane.summary().cancelled_keys, 1);
+    }
+
+    #[test]
+    fn summary_hidden_time_is_transfer_minus_stall() {
+        let mut plane = PrefetchPlane::new(1, 1);
+        plane.note_issue(4, SimDuration::from_nanos(1_000), 256, 2);
+        plane.note_install(4, SimDuration::from_nanos(300));
+        let s = plane.summary();
+        assert_eq!(s.transfer_ns, 1_000);
+        assert_eq!(s.stall_ns, 300);
+        assert_eq!(s.hidden_ns(), 700);
+        assert_eq!(s.issued_keys, 4);
+        assert_eq!(s.installed_keys, 4);
+    }
+}

@@ -2,6 +2,7 @@
 //! communication/cache statistics the paper's tables and figures report.
 
 use crate::fault::{FaultRecord, FaultStats};
+use crate::prefetch::PrefetchSummary;
 use het_cache::CacheStats;
 use het_json::{Json, ToJson};
 use het_simnet::{CommStats, SimDuration, SimTime};
@@ -126,11 +127,15 @@ pub struct TrainReport {
     /// Every fault and recovery event as it fired, in simulated-time
     /// order.
     pub fault_events: Vec<FaultRecord>,
+    /// Lookahead-prefetch accounting; `None` when the run had no
+    /// prefetcher (`lookahead_depth = 0`), which also keeps the
+    /// serialized report byte-identical to the legacy path.
+    pub prefetch: Option<PrefetchSummary>,
 }
 
 impl ToJson for TrainReport {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("system".to_string(), self.system.to_json()),
             ("curve".to_string(), self.curve.to_json()),
             (
@@ -151,7 +156,14 @@ impl ToJson for TrainReport {
             ("breakdown".to_string(), self.breakdown.to_json()),
             ("faults".to_string(), self.faults.to_json()),
             ("fault_events".to_string(), self.fault_events.to_json()),
-        ])
+        ];
+        // Emitted only for prefetch-enabled runs so a depth-0 report
+        // stays byte-identical to one from a build without the
+        // prefetcher at all.
+        if let Some(p) = &self.prefetch {
+            fields.push(("prefetch".to_string(), p.to_json()));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -215,6 +227,7 @@ mod tests {
             resident_keys_per_worker: Vec::new(),
             faults: FaultStats::default(),
             fault_events: Vec::new(),
+            prefetch: None,
         }
     }
 

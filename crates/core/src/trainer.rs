@@ -25,6 +25,7 @@
 use crate::client::{DirectPsClient, HetClient};
 use crate::config::{Backbone, DenseSync, SparseMode, SyncMode, TrainerConfig};
 use crate::fault::{FaultContext, FaultRecord, FaultStats};
+use crate::prefetch::{PrefetchAudit, PrefetchOrder, PrefetchPlane, Prefetcher};
 use crate::report::{ConvergencePoint, TimeBreakdown, TrainReport};
 use het_data::Key;
 use het_models::{Dataset, EmbeddingModel, EmbeddingStore, EvalChunk, ModelBatch, SparseGrads};
@@ -36,6 +37,8 @@ use het_simnet::{
     wire, Collectives, CommCategory, CommStats, FaultPlan, SimDuration, SimTime, TieBreak,
 };
 use het_tensor::{FlatGrads, FlatParams, Sgd};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Per-worker sparse path.
 enum SparseEngine {
@@ -100,6 +103,14 @@ pub struct Trainer<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> {
     /// message-drop hash.
     worker_ops: Vec<u64>,
     last_checkpoint_iter: u64,
+    /// Lookahead-prefetch state shared with the [`Prefetcher`] process;
+    /// `None` unless `lookahead_depth > 0` under a cached sparse mode.
+    plane: Option<Rc<RefCell<PrefetchPlane>>>,
+    /// The co-registered prefetcher's process id. Planning is inert
+    /// until this is set — a run without a prefetcher process (e.g. a
+    /// co-scheduled runtime that never registered one) stays on the
+    /// legacy path even when a depth is configured.
+    prefetcher_pid: Option<ProcessId>,
 }
 
 impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
@@ -198,6 +209,12 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
                     if config.sabotage_extra_staleness > 0 {
                         client.set_extra_staleness(config.sabotage_extra_staleness);
                     }
+                    // Lookahead runs push dirty evictions through the
+                    // plane's transmit channel (write-behind); depth 0
+                    // keeps the legacy synchronous push.
+                    if config.lookahead_depth > 0 {
+                        client.set_write_behind(true);
+                    }
                     SparseEngine::Cached(client)
                 }
             };
@@ -223,6 +240,14 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
 
         let sgd = Sgd::new(config.lr);
         let worker_ops = vec![0u64; config.cluster.n_workers];
+        let plane = (config.lookahead_depth > 0
+            && matches!(config.system.sparse, SparseMode::Cached { .. }))
+        .then(|| {
+            Rc::new(RefCell::new(PrefetchPlane::new(
+                config.cluster.n_workers,
+                config.lookahead_depth,
+            )))
+        });
         Trainer {
             config,
             dataset,
@@ -240,6 +265,8 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             fault_events: Vec::new(),
             worker_ops,
             last_checkpoint_iter: 0,
+            plane,
+            prefetcher_pid: None,
         }
     }
 
@@ -309,6 +336,133 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         (iteration * self.workers.len() as u64 + worker as u64) * self.config.batch_size as u64
     }
 
+    /// Public view of the data cursor, so lookahead tests can recompute
+    /// exactly which batch a worker reads at a given iteration.
+    pub fn data_cursor_of(&self, worker: usize, iteration: u64) -> u64 {
+        self.data_cursor(worker, iteration)
+    }
+
+    /// Iterations completed by one worker.
+    pub fn worker_iterations(&self, worker: usize) -> u64 {
+        self.workers[worker].iterations
+    }
+
+    /// Builds the lookahead [`Prefetcher`] process for this trainer, or
+    /// `None` when prefetching is off (`lookahead_depth == 0` or a
+    /// cache-less sparse mode). [`Trainer::run`] wires it up itself;
+    /// co-scheduled setups register it on their shared runtime and hand
+    /// the pid back via [`Trainer::set_prefetcher_pid`].
+    pub fn make_prefetcher(&self) -> Option<Prefetcher> {
+        self.plane.as_ref().map(|plane| {
+            Prefetcher::new(
+                Rc::clone(plane),
+                self.server.clone(),
+                self.net,
+                wire::MessageCosts {
+                    fused: self.config.system.backbone.fuse_messages,
+                },
+                self.config.dim,
+                self.plan.clone(),
+            )
+        })
+    }
+
+    /// Registers the prefetcher's process id; lookahead planning stays
+    /// inert until this is called.
+    pub fn set_prefetcher_pid(&mut self, pid: ProcessId) {
+        self.prefetcher_pid = Some(pid);
+    }
+
+    /// Turns on plan auditing: every plan decision (the target batch's
+    /// full key set and how it was partitioned into issued / resident /
+    /// in-flight) is recorded for [`Trainer::prefetch_audit`]. Test
+    /// harness hook — costs memory proportional to the run length.
+    pub fn enable_prefetch_audit(&mut self) {
+        if let Some(plane) = &self.plane {
+            plane.borrow_mut().enable_audit();
+        }
+    }
+
+    /// The recorded plan audit (see [`Trainer::enable_prefetch_audit`]).
+    pub fn prefetch_audit(&self) -> Option<Vec<PrefetchAudit>> {
+        self.plane.as_ref().and_then(|p| p.borrow().audit_clone())
+    }
+
+    /// Plans lookahead pulls for worker `w` after it finished an
+    /// iteration: targets `next_read..next_read + depth` that are not
+    /// yet planned, deduplicating each batch's key set against resident
+    /// and in-flight keys, then wakes the prefetcher at `issue_at` (the
+    /// start of the *current* iteration's compute span, so transfers
+    /// overlap compute). Exactness comes from the deterministic data
+    /// cursor: the planned key sets are the ones the worker will read.
+    fn plan_prefetch(&self, w: usize, issue_at: SimTime, ctx: &mut Ctx<'_>) {
+        let Some(pf_pid) = self.prefetcher_pid else {
+            return;
+        };
+        let Some(plane_rc) = &self.plane else {
+            return;
+        };
+        let SparseEngine::Cached(client) = &self.workers[w].sparse else {
+            return;
+        };
+        let mut plane = plane_rc.borrow_mut();
+        let next_read = self.workers[w].iterations;
+        let from = plane.planned_until(w).max(next_read);
+        let to = next_read + plane.depth();
+        let mut queued = false;
+        for target in from..to {
+            let cursor = self.data_cursor(w, target);
+            let batch = self.dataset.train_batch(cursor, self.config.batch_size);
+            let keys = batch.unique_keys();
+            let mut issued = Vec::new();
+            let mut skipped_resident = Vec::new();
+            let mut skipped_inflight = Vec::new();
+            for &k in &keys {
+                if client.cache().find(k) {
+                    skipped_resident.push(k);
+                } else if plane.is_inflight(w, k) {
+                    skipped_inflight.push(k);
+                } else {
+                    issued.push(k);
+                }
+            }
+            if plane.audit_enabled() {
+                plane.record_audit(PrefetchAudit {
+                    worker: w,
+                    target_iteration: target,
+                    planned: keys,
+                    issued: issued.clone(),
+                    skipped_resident,
+                    skipped_inflight,
+                });
+            }
+            if !issued.is_empty() {
+                plane.push_order(PrefetchOrder {
+                    worker: w,
+                    target_iteration: target,
+                    keys: issued,
+                });
+                queued = true;
+            }
+        }
+        plane.set_planned_until(w, to);
+        if queued {
+            // Scheduled at the current dispatch's timestamp: the
+            // runtime delivers it after this dispatch completes, so the
+            // prefetcher observes post-iteration server state while its
+            // transfer window still spans the compute phase.
+            ctx.schedule_for(pf_pid, issue_at, Event::Wake(w as u64));
+        }
+    }
+
+    /// Drops every queued or in-flight prefetch at trainer shutdown so
+    /// residual prefetcher wake-ups find empty queues and stay silent.
+    fn stop_prefetch(&self) {
+        if let Some(plane) = &self.plane {
+            plane.borrow_mut().cancel_all();
+        }
+    }
+
     /// Fires due fault-plan events at simulated time `now`: periodic
     /// checkpoints (on the global iteration counter) and PS-shard
     /// failovers, which roll the shard back to its last checkpoint and
@@ -373,6 +527,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             dense_store,
             fault_stats,
             fault_events,
+            plane,
             ..
         } = self;
         let worker = &mut workers[w];
@@ -382,6 +537,18 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         if het_trace::enabled() {
             het_trace::set_scope(at.as_nanos(), Some(w as u64));
         }
+        // A crash invalidates everything the prefetcher queued or has in
+        // flight for this worker: the cache those pulls would install
+        // into is about to be wiped, and the planning cursor restarts
+        // from the worker's post-restart iteration.
+        let mut prefetch_dropped = 0u64;
+        if let Some(p) = plane {
+            prefetch_dropped = p.borrow_mut().cancel_worker(w);
+        }
+        let waste_before = match &worker.sparse {
+            SparseEngine::Cached(c) => c.cache().stats().prefetch_wasted,
+            _ => 0,
+        };
         let (entries, dirty, ticks) = match &mut worker.sparse {
             SparseEngine::Cached(c) => c.crash_reset(),
             _ => (0, 0, 0),
@@ -400,6 +567,19 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
                 "dirty_lost" => dirty,
                 "ticks_lost" => ticks,
                 "restart_ns" => restart.as_nanos());
+            if prefetch_dropped > 0 {
+                het_trace::event!("prefetcher", "prefetch_cancel",
+                    "keys" => prefetch_dropped,
+                    "reason" => "worker_crash");
+                het_trace::counter_add("prefetcher", "cancelled_keys", prefetch_dropped);
+            }
+            let wasted = match &worker.sparse {
+                SparseEngine::Cached(c) => c.cache().stats().prefetch_wasted - waste_before,
+                _ => 0,
+            };
+            if wasted > 0 {
+                het_trace::event!("prefetcher", "prefetch_waste", "n" => wasted);
+            }
         }
         fault_events.push(FaultRecord {
             at,
@@ -422,12 +602,40 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             plan,
             fault_stats,
             worker_ops,
+            plane,
             ..
         } = self;
         let worker = &mut workers[w];
         let now = worker.clock;
         if het_trace::enabled() {
             het_trace::set_scope(now.as_nanos(), Some(w as u64));
+        }
+        // Land every due prefetch first, waiting out (and charging) any
+        // in-flight pull this batch needs — the unhidden remainder of
+        // the transfer is the only part the read ever pays.
+        let mut prefetch_wait = SimDuration::ZERO;
+        if let Some(plane_rc) = plane {
+            if let SparseEngine::Cached(c) = &mut worker.sparse {
+                let (landed, stall) = plane_rc.borrow_mut().take_for_read(w, now, keys);
+                prefetch_wait = stall;
+                let mut installed = 0u64;
+                let mut superseded = 0u64;
+                for r in landed {
+                    if c.install_prefetch_result(r.key, r.vector, r.clock, server) {
+                        installed += 1;
+                    } else {
+                        superseded += 1;
+                    }
+                }
+                let mut plane = plane_rc.borrow_mut();
+                plane.note_install(installed, stall);
+                plane.note_cancelled(superseded);
+                if het_trace::enabled() && (installed > 0 || stall > SimDuration::ZERO) {
+                    het_trace::event!("prefetcher", "prefetch_install",
+                        "installed" => installed,
+                        "waited_ns" => stall.as_nanos());
+                }
+            }
         }
         let mut ctx = (!plan.is_empty()).then(|| FaultContext {
             plan,
@@ -448,6 +656,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
                 (store, SimDuration::ZERO)
             }
         };
+        let t_read = prefetch_wait + t_read;
         het_trace::span!("trainer", "read", t_read.as_nanos(), "keys" => keys.len());
         (store, t_read)
     }
@@ -489,6 +698,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             plan,
             fault_stats,
             worker_ops,
+            plane,
             ..
         } = self;
         let worker = &mut workers[w];
@@ -519,6 +729,26 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             ),
             SparseEngine::Replicated => (SimDuration::ZERO, Some(grads)),
         };
+
+        // Write-behind: the dirty evictions already reached the server
+        // inside `write`, but their wire time was deferred — drain it
+        // onto the plane's transmit channel, where it streams out
+        // concurrently with later spans (and is paid in full at the
+        // shutdown drain if the run ends first).
+        if let Some(plane_rc) = plane {
+            if let SparseEngine::Cached(c) = &mut worker.sparse {
+                let bg = c.take_deferred_push();
+                if bg > SimDuration::ZERO {
+                    let issue_at = now + read_time + compute;
+                    let (start, _) = plane_rc.borrow_mut().tx_transfer(w, issue_at, bg);
+                    if het_trace::enabled() {
+                        het_trace::set_scope(start.as_nanos(), Some(w as u64));
+                        het_trace::span!("prefetcher", "writeback_bg", bg.as_nanos());
+                        het_trace::set_scope(now.as_nanos(), Some(w as u64));
+                    }
+                }
+            }
+        }
 
         worker.iterations += 1;
         worker.breakdown.sparse_read += read_time;
@@ -707,10 +937,22 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
     pub fn run(&mut self) -> TrainReport {
         let mut rt = ClusterRuntime::new(self.config.tie_break, self.plan.clone());
         let pid = rt.register(self.workers.len());
+        // The prefetcher is a separate process with no fault-domain
+        // members of its own: worker crashes and shard outages route to
+        // the trainer, which cancels the affected plane state.
+        let prefetcher = self.make_prefetcher();
         self.prime(&mut rt, pid);
-        {
-            let this: &mut dyn Process = self;
-            rt.run(&mut [this]);
+        match prefetcher {
+            Some(mut pf) => {
+                let pf_pid = rt.register(0);
+                self.set_prefetcher_pid(pf_pid);
+                let this: &mut dyn Process = self;
+                rt.run(&mut [this, &mut pf]);
+            }
+            None => {
+                let this: &mut dyn Process = self;
+                rt.run(&mut [this]);
+            }
         }
         self.finalize()
     }
@@ -733,6 +975,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
     /// the round and the next round is scheduled at the barrier's exit.
     fn on_round(&mut self, ctx: &mut Ctx<'_>) {
         if self.global_iterations >= self.config.max_iterations {
+            self.stop_prefetch();
             ctx.stop();
             return;
         }
@@ -796,13 +1039,24 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         self.global_iterations += n as u64;
 
         if self.global_iterations % self.config.eval_every < n as u64 && self.record_eval(now) {
+            self.stop_prefetch();
             ctx.stop();
             return;
         }
         if self.global_iterations >= self.config.max_iterations {
+            self.stop_prefetch();
             ctx.stop();
         } else {
+            // Keep the legacy wake first so depth-0 runs push events in
+            // the exact order (and thus queue sequence) they always did.
             ctx.schedule(now, Event::Wake(0));
+            // Issue prefetch pulls at the *start* of the round just
+            // charged: they run on the network while the round's compute
+            // span elapses, so by the next read at `now` all but the
+            // unhidden tail of the transfer has already happened.
+            for w in 0..n {
+                self.plan_prefetch(w, round_start, ctx);
+            }
         }
     }
 
@@ -815,6 +1069,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         ctx: &mut Ctx<'_>,
     ) {
         if self.global_iterations >= self.config.max_iterations {
+            self.stop_prefetch();
             ctx.stop();
             return;
         }
@@ -869,11 +1124,18 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         self.global_iterations += 1;
 
         if self.global_iterations % self.config.eval_every == 0 && self.record_eval(now) {
+            self.stop_prefetch();
             ctx.stop();
             return;
         }
         if self.global_iterations >= self.config.max_iterations {
+            self.stop_prefetch();
             ctx.stop();
+        } else {
+            // Issue prefetch pulls at the point this iteration's compute
+            // began — they transfer concurrently with the span just
+            // charged and land (mostly) before the wake at `now`.
+            self.plan_prefetch(w, t + crash_delay, ctx);
         }
     }
 
@@ -881,6 +1143,21 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
     /// [`Trainer::run`]; co-scheduled setups call it directly after the
     /// shared runtime's loop returns.
     pub fn finalize(&mut self) -> TrainReport {
+        // Strand whatever the prefetcher still had queued or in flight
+        // at shutdown: those keys count as cancelled, never installed.
+        if let Some(p) = &self.plane {
+            p.borrow_mut().cancel_all();
+            // Drain the transmit channels: deferred write-backs already
+            // updated the server, but their wire time must finish
+            // streaming before the run counts as over.
+            let plane = p.borrow();
+            for (i, worker) in self.workers.iter_mut().enumerate() {
+                let drain = plane.tx_drain(i);
+                if drain > worker.clock {
+                    worker.clock = drain;
+                }
+            }
+        }
         // Snapshot cache residency (the "stale path" key sets), then
         // flush so every pending update reaches the server (the paper's
         // end-of-training write-back).
@@ -908,10 +1185,17 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
                 if het_trace::enabled() {
                     het_trace::set_scope(worker.clock.as_nanos(), Some(i as u64));
                 }
+                let waste_before = c.cache().stats().prefetch_wasted;
                 let t = c.flush(server, net, &mut worker.comm);
                 worker.breakdown.sparse_write += t;
                 worker.clock += t;
                 het_trace::span!("trainer", "flush", t.as_nanos());
+                if het_trace::enabled() {
+                    let wasted = c.cache().stats().prefetch_wasted - waste_before;
+                    if wasted > 0 {
+                        het_trace::event!("prefetcher", "prefetch_waste", "n" => wasted);
+                    }
+                }
             }
         }
         let final_metric = self.evaluate_now();
@@ -952,6 +1236,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             resident_keys_per_worker,
             faults: self.fault_stats.clone(),
             fault_events: self.fault_events.clone(),
+            prefetch: self.plane.as_ref().map(|p| p.borrow().summary()),
         }
     }
 }

@@ -63,7 +63,10 @@ pub mod prelude {
     pub use het_core::config::{
         Backbone, DenseSync, SparseMode, SyncMode, SystemConfig, SystemPreset, TrainerConfig,
     };
-    pub use het_core::{FaultConfig, FaultRecord, FaultStats, HetClient, TrainReport, Trainer};
+    pub use het_core::{
+        FaultConfig, FaultRecord, FaultStats, HetClient, PrefetchAudit, PrefetchSummary,
+        Prefetcher, TrainReport, Trainer,
+    };
     pub use het_data::{
         auc, CtrBatch, CtrConfig, CtrDataset, GnnBatch, Graph, GraphConfig, Key, NeighborSampler,
         ZipfSampler,

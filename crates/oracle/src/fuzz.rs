@@ -54,6 +54,9 @@ pub struct Scenario {
     /// many ticks (0 = correct protocol). Used to prove the oracle
     /// catches a broken `CheckValid`.
     pub extra_staleness: u64,
+    /// Prefetch lookahead depth (0 = legacy demand-only path; sampled
+    /// only for cached scenarios, where the prefetcher can exist).
+    pub lookahead: u64,
 }
 
 fn mix(master_seed: u64, index: u64) -> u64 {
@@ -93,6 +96,11 @@ impl Scenario {
         } else {
             SparseMode::PsDirect
         };
+        let lookahead = if matches!(sparse, SparseMode::Cached { .. }) && rng.gen_bool(0.5) {
+            [1u64, 2, 4, 8][rng.gen_range(0usize..4)]
+        } else {
+            0
+        };
         let tie_break = match rng.gen_range(0u32..3) {
             0 => TieBreak::Fifo,
             1 => TieBreak::Lifo,
@@ -121,6 +129,7 @@ impl Scenario {
             stragglers,
             drop_prob,
             extra_staleness: 0,
+            lookahead,
         }
     }
 
@@ -144,6 +153,7 @@ impl Scenario {
         config.max_iterations = self.iters;
         config.seed = self.seed;
         config.tie_break = self.tie_break;
+        config.lookahead_depth = self.lookahead;
         config
     }
 
@@ -238,6 +248,7 @@ impl ToJson for Scenario {
                 "extra_staleness".to_string(),
                 Json::UInt(self.extra_staleness),
             ),
+            ("lookahead".to_string(), Json::UInt(self.lookahead)),
         ])
     }
 }
@@ -318,6 +329,8 @@ impl Scenario {
             stragglers: get_uint(obj, "stragglers")? as usize,
             drop_prob: get_num(obj, "drop_prob")?,
             extra_staleness: get_uint(obj, "extra_staleness")?,
+            // Absent in repro files written before prefetching existed.
+            lookahead: get_uint(obj, "lookahead").unwrap_or(0),
         })
     }
 }
@@ -400,6 +413,12 @@ fn shrink_candidates(s: &Scenario) -> Vec<Scenario> {
     if s.tie_break != TieBreak::Fifo {
         push(Scenario {
             tie_break: TieBreak::Fifo,
+            ..s.clone()
+        });
+    }
+    if s.lookahead > 0 {
+        push(Scenario {
+            lookahead: 0,
             ..s.clone()
         });
     }
@@ -496,6 +515,8 @@ pub struct FuzzOutcome {
     pub by_sync: [u64; 3],
     /// Runs with a cached sparse path.
     pub cached_runs: u64,
+    /// Runs with a nonzero prefetch lookahead.
+    pub prefetch_runs: u64,
     /// Runs with at least one scheduled fault.
     pub faulted_runs: u64,
     /// Total iteration completions checked.
@@ -504,6 +525,8 @@ pub struct FuzzOutcome {
     pub window_reads: u64,
     /// Total BSP barriers checked.
     pub barriers: u64,
+    /// Total prefetch installs whose ledger was reconciled.
+    pub prefetch_installs: u64,
     /// Caught-and-shrunk violations.
     pub violations: Vec<CaughtViolation>,
 }
@@ -560,6 +583,9 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
         if matches!(scenario.sparse, SparseMode::Cached { .. }) {
             out.cached_runs += 1;
         }
+        if scenario.lookahead > 0 {
+            out.prefetch_runs += 1;
+        }
         if scenario.has_faults() {
             out.faulted_runs += 1;
         }
@@ -568,6 +594,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
                 out.computes += r.computes;
                 out.window_reads += r.window_reads;
                 out.barriers += r.barriers;
+                out.prefetch_installs += r.prefetch_installs;
             }
             Err(v) => {
                 let (shrunk, violation, shrink_runs) = shrink(&scenario, &v);
@@ -622,6 +649,7 @@ mod tests {
         let mut asp = 0;
         let mut ssp = 0;
         let mut cached = 0;
+        let mut prefetched = 0;
         let mut faulted = 0;
         for index in 0..200 {
             let s = Scenario::sample(3, index, 50);
@@ -632,6 +660,11 @@ mod tests {
             }
             if matches!(s.sparse, SparseMode::Cached { .. }) {
                 cached += 1;
+            } else {
+                assert_eq!(s.lookahead, 0, "prefetch sampled without a cache");
+            }
+            if s.lookahead > 0 {
+                prefetched += 1;
             }
             if s.has_faults() {
                 faulted += 1;
@@ -639,6 +672,7 @@ mod tests {
         }
         assert!(bsp > 20 && asp > 20 && ssp > 20, "{bsp}/{asp}/{ssp}");
         assert!(cached > 60, "cached only {cached}/200");
+        assert!(prefetched > 30, "prefetched only {prefetched}/200");
         assert!(faulted > 30, "faulted only {faulted}/200");
     }
 
@@ -661,6 +695,7 @@ mod tests {
             stragglers: 0,
             drop_prob: 0.0,
             extra_staleness: 0,
+            lookahead: 0,
         };
         let outcome = run_scenario(&scenario);
         let report = outcome.oracle.expect("clean run must pass");
@@ -668,5 +703,19 @@ mod tests {
         assert!(report.barriers > 0);
         assert!(report.window_reads > 0, "cached run must check windows");
         assert_eq!(report.conservation_workers, 3);
+        assert_eq!(report.prefetch_installs, 0, "depth 0 must stay silent");
+
+        // The same scenario with lookahead engages the prefetcher and
+        // still passes every check, now with prefetch coverage.
+        let prefetched = Scenario {
+            lookahead: 4,
+            ..scenario
+        };
+        let outcome = run_scenario(&prefetched);
+        let report = outcome.oracle.expect("clean prefetch run must pass");
+        assert!(
+            report.prefetch_installs > 0,
+            "prefetch run reconciled no installs"
+        );
     }
 }

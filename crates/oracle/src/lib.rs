@@ -17,7 +17,15 @@
 //!    its observed staleness window (`client/read_window`); the lag
 //!    `c_c − c_s` and gap `c_g − c_c` must both stay within the
 //!    *configured* staleness `s`, independently of what the client's
-//!    own `CheckValid` admitted.
+//!    own `CheckValid` admitted. Prefetch-served reads flow through the
+//!    same `read_window` events, so a prefetch install can never let a
+//!    read evade this check.
+//! 4. **Prefetch discipline** — a run with `lookahead_depth = 0` must
+//!    be prefetch-silent (no `prefetcher` events, no prefetch
+//!    counters); with lookahead, the prefetch ledger must close
+//!    (`installs = hits + wasted`, installs ≤ issued pulls, prefetch
+//!    hits ≤ total hits) and the `prefetch_install` / `prefetch_hit`
+//!    event stream must reconcile with the cache counters.
 //!
 //! The oracle is driven either from an in-memory
 //! [`het_trace::TraceLog`] (via `ReplayLog::from`) or from a JSONL
@@ -45,6 +53,9 @@ pub struct OracleSpec {
     /// Check that PS pushes equal cache write-backs — valid only when
     /// the *only* gradient path to the sparse PS is cache eviction.
     pub check_push_parity: bool,
+    /// Configured prefetch lookahead depth (0 = demand-only run, which
+    /// the oracle requires to be prefetch-silent).
+    pub lookahead_depth: u64,
 }
 
 impl OracleSpec {
@@ -59,6 +70,7 @@ impl OracleSpec {
             cache_staleness,
             n_workers: config.cluster.n_workers,
             check_push_parity: cache_staleness.is_some(),
+            lookahead_depth: config.lookahead_depth,
         }
     }
 }
@@ -108,6 +120,8 @@ pub struct OracleReport {
     /// Workers whose dirty-gradient ledger was balanced at end of
     /// trace.
     pub conservation_workers: usize,
+    /// Prefetch installs whose ledger was reconciled at end of trace.
+    pub prefetch_installs: u64,
 }
 
 macro_rules! violation {
@@ -131,6 +145,8 @@ pub fn check_replay(log: &ReplayLog, spec: &OracleSpec) -> Result<OracleReport, 
     let mut iters = vec![0u64; n];
     let mut last_compute_t = vec![0u64; n];
     let mut crash_dirty = vec![0u64; n];
+    let mut prefetch_install_events = 0u64;
+    let mut prefetch_hit_events = 0u64;
 
     let spread = |iters: &[u64]| -> u64 {
         let lo = iters.iter().copied().min().unwrap_or(0);
@@ -234,6 +250,33 @@ pub fn check_replay(log: &ReplayLog, spec: &OracleSpec) -> Result<OracleReport, 
                     "read validated a cache entry with clock gap c_g−c_c = {gap} > s = {s}"
                 );
             }
+        } else if e.comp == "prefetcher" {
+            // Prefetching only exists on the cached sparse path, and a
+            // depth-0 run must reproduce the legacy path byte-for-byte
+            // — any prefetcher event there is a protocol leak.
+            if spec.cache_staleness.is_none() {
+                violation!(
+                    "prefetch-attribution",
+                    e.t_ns,
+                    e.worker,
+                    "prefetcher event '{}' in a run without a cached sparse path",
+                    e.name
+                );
+            }
+            if spec.lookahead_depth == 0 {
+                violation!(
+                    "prefetch-attribution",
+                    e.t_ns,
+                    e.worker,
+                    "prefetcher event '{}' in a run with lookahead_depth = 0",
+                    e.name
+                );
+            }
+            if e.is("prefetcher", "prefetch_install") {
+                prefetch_install_events += e.field_u64("installed").unwrap_or(0);
+            } else if e.is("prefetcher", "prefetch_hit") {
+                prefetch_hit_events += e.field_u64("n").unwrap_or(0);
+            }
         }
     }
 
@@ -292,6 +335,68 @@ pub fn check_replay(log: &ReplayLog, spec: &OracleSpec) -> Result<OracleReport, 
         }
     }
 
+    // Prefetch ledger: after the end-of-run flush, every installed
+    // prefetch has resolved to exactly one hit or one waste, nothing
+    // was installed that was never pulled, and the event stream agrees
+    // with the counters it narrates.
+    let installs = log.counter("cache", "prefetch_installs");
+    let hits = log.counter("cache", "prefetch_hits");
+    let wasted = log.counter("cache", "prefetch_wasted");
+    let issued = log.counter("prefetcher", "issued_keys");
+    if spec.lookahead_depth == 0 && installs + hits + wasted + issued > 0 {
+        violation!(
+            "prefetch-silence",
+            0,
+            None,
+            "depth-0 run touched prefetch counters (issued {issued}, installs {installs}, \
+             hits {hits}, wasted {wasted})"
+        );
+    }
+    if installs != hits + wasted {
+        violation!(
+            "prefetch-ledger",
+            0,
+            None,
+            "{installs} prefetch installs resolved to {hits} hits + {wasted} wasted"
+        );
+    }
+    if installs > issued {
+        violation!(
+            "prefetch-ledger",
+            0,
+            None,
+            "{installs} prefetch installs exceed the {issued} keys ever pulled"
+        );
+    }
+    if hits > log.counter("cache", "hits") {
+        violation!(
+            "prefetch-ledger",
+            0,
+            None,
+            "{hits} prefetch hits exceed the cache's {} total hits",
+            log.counter("cache", "hits")
+        );
+    }
+    if prefetch_install_events != installs {
+        violation!(
+            "prefetch-ledger",
+            0,
+            None,
+            "prefetch_install events account for {prefetch_install_events} installs \
+             but the cache counted {installs}"
+        );
+    }
+    if prefetch_hit_events != hits {
+        violation!(
+            "prefetch-ledger",
+            0,
+            None,
+            "prefetch_hit events account for {prefetch_hit_events} hits \
+             but the cache counted {hits}"
+        );
+    }
+    report.prefetch_installs = installs;
+
     Ok(report)
 }
 
@@ -307,6 +412,14 @@ mod tests {
             cache_staleness,
             n_workers: n,
             check_push_parity: cache_staleness.is_some(),
+            lookahead_depth: 0,
+        }
+    }
+
+    fn prefetch_spec(cache_staleness: u64, depth: u64, n: usize) -> OracleSpec {
+        OracleSpec {
+            lookahead_depth: depth,
+            ..spec(SyncMode::Bsp, Some(cache_staleness), n)
         }
     }
 
@@ -448,6 +561,179 @@ mod tests {
         let v = check_replay(&log, &spec(SyncMode::Bsp, Some(2), 1)).unwrap_err();
         assert_eq!(v.check, "gradient-conservation");
         assert!(v.message.contains("PS applied"));
+    }
+
+    /// A minimal consistent prefetch narrative: 4 keys pulled, 3
+    /// installed (narrated by `prefetch_install` events), 2 consumed as
+    /// hits (narrated by `prefetch_hit`), 1 flushed as waste.
+    fn balanced_prefetch_trace() {
+        het_trace::set_scope(1, Some(0));
+        het_trace::counter_add("prefetcher", "issued_keys", 4);
+        het_trace::counter_add("cache", "prefetch_installs", 3);
+        het_trace::emit(
+            "prefetcher",
+            "prefetch_install",
+            None,
+            vec![("installed", Value::UInt(3)), ("waited_ns", Value::UInt(0))],
+        );
+        het_trace::counter_add("cache", "hits", 5);
+        het_trace::counter_add("cache", "prefetch_hits", 2);
+        het_trace::emit(
+            "prefetcher",
+            "prefetch_hit",
+            None,
+            vec![("n", Value::UInt(2))],
+        );
+        het_trace::counter_add("cache", "prefetch_wasted", 1);
+        het_trace::emit(
+            "prefetcher",
+            "prefetch_waste",
+            None,
+            vec![("n", Value::UInt(1))],
+        );
+    }
+
+    #[test]
+    fn balanced_prefetch_ledger_passes_and_is_reported() {
+        let log = synthetic(balanced_prefetch_trace);
+        let r = check_replay(&log, &prefetch_spec(2, 4, 1)).unwrap();
+        assert_eq!(r.prefetch_installs, 3);
+    }
+
+    #[test]
+    fn unbalanced_prefetch_ledger_is_flagged() {
+        // An install that never resolves to a hit or a waste.
+        let log = synthetic(|| {
+            het_trace::set_scope(1, Some(0));
+            het_trace::counter_add("prefetcher", "issued_keys", 4);
+            het_trace::counter_add("cache", "prefetch_installs", 3);
+            het_trace::emit(
+                "prefetcher",
+                "prefetch_install",
+                None,
+                vec![("installed", Value::UInt(3))],
+            );
+            het_trace::counter_add("cache", "hits", 2);
+            het_trace::counter_add("cache", "prefetch_hits", 2);
+            het_trace::emit(
+                "prefetcher",
+                "prefetch_hit",
+                None,
+                vec![("n", Value::UInt(2))],
+            );
+        });
+        let v = check_replay(&log, &prefetch_spec(2, 4, 1)).unwrap_err();
+        assert_eq!(v.check, "prefetch-ledger");
+        assert!(v.message.contains("resolved to"), "{}", v.message);
+
+        // Installs the prefetcher never pulled.
+        let log = synthetic(|| {
+            het_trace::set_scope(1, Some(0));
+            het_trace::counter_add("cache", "prefetch_installs", 2);
+            het_trace::emit(
+                "prefetcher",
+                "prefetch_install",
+                None,
+                vec![("installed", Value::UInt(2))],
+            );
+            het_trace::counter_add("cache", "hits", 2);
+            het_trace::counter_add("cache", "prefetch_hits", 2);
+            het_trace::emit(
+                "prefetcher",
+                "prefetch_hit",
+                None,
+                vec![("n", Value::UInt(2))],
+            );
+        });
+        let v = check_replay(&log, &prefetch_spec(2, 4, 1)).unwrap_err();
+        assert_eq!(v.check, "prefetch-ledger");
+        assert!(v.message.contains("ever pulled"), "{}", v.message);
+    }
+
+    #[test]
+    fn prefetch_event_stream_must_reconcile_with_counters() {
+        // Counters claim 3 installs but the event stream only narrates 2.
+        let log = synthetic(|| {
+            het_trace::set_scope(1, Some(0));
+            het_trace::counter_add("prefetcher", "issued_keys", 4);
+            het_trace::counter_add("cache", "prefetch_installs", 3);
+            het_trace::emit(
+                "prefetcher",
+                "prefetch_install",
+                None,
+                vec![("installed", Value::UInt(2))],
+            );
+            het_trace::counter_add("cache", "hits", 3);
+            het_trace::counter_add("cache", "prefetch_hits", 3);
+            het_trace::emit(
+                "prefetcher",
+                "prefetch_hit",
+                None,
+                vec![("n", Value::UInt(3))],
+            );
+        });
+        let v = check_replay(&log, &prefetch_spec(2, 4, 1)).unwrap_err();
+        assert_eq!(v.check, "prefetch-ledger");
+        assert!(
+            v.message.contains("prefetch_install events"),
+            "{}",
+            v.message
+        );
+    }
+
+    #[test]
+    fn prefetch_hits_cannot_exceed_total_hits() {
+        let log = synthetic(|| {
+            het_trace::set_scope(1, Some(0));
+            het_trace::counter_add("prefetcher", "issued_keys", 4);
+            het_trace::counter_add("cache", "prefetch_installs", 3);
+            het_trace::emit(
+                "prefetcher",
+                "prefetch_install",
+                None,
+                vec![("installed", Value::UInt(3))],
+            );
+            het_trace::counter_add("cache", "hits", 1);
+            het_trace::counter_add("cache", "prefetch_hits", 3);
+            het_trace::emit(
+                "prefetcher",
+                "prefetch_hit",
+                None,
+                vec![("n", Value::UInt(3))],
+            );
+        });
+        let v = check_replay(&log, &prefetch_spec(2, 4, 1)).unwrap_err();
+        assert_eq!(v.check, "prefetch-ledger");
+        assert!(v.message.contains("total hits"), "{}", v.message);
+    }
+
+    #[test]
+    fn depth_zero_runs_must_stay_prefetch_silent() {
+        // A prefetcher event in a depth-0 spec is an attribution leak.
+        let log = synthetic(balanced_prefetch_trace);
+        let v = check_replay(&log, &prefetch_spec(2, 0, 1)).unwrap_err();
+        assert_eq!(v.check, "prefetch-attribution");
+
+        // Counters alone (no events) still break depth-0 silence.
+        let log = synthetic(|| {
+            het_trace::set_scope(1, Some(0));
+            het_trace::counter_add("prefetcher", "issued_keys", 1);
+        });
+        let v = check_replay(&log, &prefetch_spec(2, 0, 1)).unwrap_err();
+        assert_eq!(v.check, "prefetch-silence");
+
+        // And prefetching without a cached sparse path is impossible.
+        let log = synthetic(balanced_prefetch_trace);
+        let v = check_replay(
+            &log,
+            &OracleSpec {
+                lookahead_depth: 4,
+                ..spec(SyncMode::Bsp, None, 1)
+            },
+        )
+        .unwrap_err();
+        assert_eq!(v.check, "prefetch-attribution");
+        assert!(v.message.contains("cached sparse path"), "{}", v.message);
     }
 
     #[test]

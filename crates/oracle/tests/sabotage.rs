@@ -32,6 +32,7 @@ fn base_scenario() -> Scenario {
         stragglers: 0,
         drop_prob: 0.0,
         extra_staleness: 0,
+        lookahead: 0,
     }
 }
 
@@ -76,6 +77,20 @@ fn sabotaged_staleness_check_is_caught() {
     let violation = outcome
         .oracle
         .expect_err("oracle must catch the widened staleness window");
+    assert_eq!(violation.check, "cache-window", "{violation:?}");
+}
+
+#[test]
+fn sabotaged_staleness_check_is_caught_with_prefetching_enabled() {
+    // Prefetch installs must not launder stale entries past the
+    // coherence window: the same planted CheckValid bug stays visible
+    // to the oracle when the lookahead prefetcher is feeding the cache.
+    let mut scenario = base_scenario();
+    scenario.extra_staleness = 8;
+    scenario.lookahead = 4;
+    let violation = run_scenario(&scenario)
+        .oracle
+        .expect_err("oracle must catch the widened window under prefetching");
     assert_eq!(violation.check, "cache-window", "{violation:?}");
 }
 

@@ -13,12 +13,14 @@ use het_json::Json;
 
 /// Training-side components render in process 0; the `serve` component
 /// gets its own process lane so request handling reads as a separate
-/// swim-lane next to the training timeline.
+/// swim-lane next to the training timeline, and the `prefetcher` gets
+/// one so its in-flight transfer spans visibly overlap the compute
+/// spans on the worker tracks beside it.
 fn pid_of(comp: &str) -> u64 {
-    if comp == "serve" {
-        1
-    } else {
-        0
+    match comp {
+        "serve" => 1,
+        "prefetcher" => 2,
+        _ => 0,
     }
 }
 
@@ -39,13 +41,21 @@ fn process_name(pid: u64, name: &str) -> Json {
 /// (`{"traceEvents":[...]}`), loadable in `chrome://tracing`.
 pub fn to_chrome_trace(log: &TraceLog) -> String {
     let mut events = Vec::new();
-    // Only label the process lanes when the serve lane is actually in
+    // Only label the process lanes when an extra lane is actually in
     // use — single-process training traces stay exactly as before.
-    let has_serve = log.events.iter().any(|e| e.comp == "serve")
-        || log.counters.iter().any(|c| c.comp == "serve");
-    if has_serve {
+    let uses = |comp: &str| {
+        log.events.iter().any(|e| e.comp == comp) || log.counters.iter().any(|c| c.comp == comp)
+    };
+    let has_serve = uses("serve");
+    let has_prefetch = uses("prefetcher");
+    if has_serve || has_prefetch {
         events.push(process_name(0, "het-train"));
+    }
+    if has_serve {
         events.push(process_name(1, "het-serve"));
+    }
+    if has_prefetch {
+        events.push(process_name(2, "het-prefetch"));
     }
     let mut t_end_us = 0.0f64;
     for e in &log.events {

@@ -16,10 +16,11 @@ use std::collections::BTreeSet;
 /// | component | emits |
 /// |-----------|-------|
 /// | `autoscaler` | events: `scale_up`, `scale_down` (fleet resize decisions with queue/p99 evidence); counters: evals, scale_ups, scale_downs |
-/// | `cache`   | counters: hits, misses, installs, writebacks, evictions, capacity_evictions, invalidations, dirtied, crash_drops |
+/// | `cache`   | counters: hits, misses, installs, writebacks, evictions, capacity_evictions, invalidations, dirtied, crash_drops, prefetch_installs, prefetch_hits, prefetch_wasted |
 /// | `client`  | events: `read_window` (staleness-validation outcome per read) |
+/// | `prefetcher` | events: `prefetch_issue` (span: lookahead pull in flight), `prefetch_install` (results landed in a worker cache, with waited_ns), `prefetch_hit` (reads served by unconsumed prefetches), `prefetch_waste`, `prefetch_cancel` (crash/outage invalidation); counters: issued_keys, cancelled_keys (per worker) |
 /// | `ps`      | events: `failover`; counters: pulls, pushes (per shard) |
-/// | `serve`   | events: `request`, `batch`, `lookup`, `infer`, `replica_crash`, `replica_respawn`, `replica_admit`, `retry_wait`; counters: requests, batches, queue_wait_ns, lookup_ns, infer_ns, degraded_reads, warmed_keys, retry_waits (per replica) |
+/// | `serve`   | events: `request`, `batch`, `lookup`, `infer`, `replica_crash`, `replica_respawn`, `replica_admit`, `retry_wait`, `drift_prefetch` (respawn prefetch of recently-hot keys); counters: requests, batches, queue_wait_ns, lookup_ns, infer_ns, degraded_reads, warmed_keys, drift_prefetched_keys, retry_waits (per replica) |
 /// | `simnet`  | events: link/fault schedule milestones |
 /// | `supervisor` | events: `detect_crash`, `respawn`, `detect_outage`, `shard_restored`, `split_begin`, `migrate`, `split_done` (failure detection + driven recovery + live resharding); counters: heartbeats, detections, respawns, migrated_keys |
 /// | `trainer` | events: iteration/fault spans (`blocked_wait`, …); counters: degraded_reads, … |
@@ -29,6 +30,7 @@ pub const KNOWN_COMPONENTS: &[&str] = &[
     "autoscaler",
     "cache",
     "client",
+    "prefetcher",
     "ps",
     "serve",
     "simnet",

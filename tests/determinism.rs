@@ -78,6 +78,62 @@ fn seed_matrix_identical_reports() {
     }
 }
 
+/// The same matrix with the lookahead prefetcher on (depth 4): the
+/// prefetch plane, the extra process on the runtime, and its fault
+/// cancellation paths are all deterministic functions of the seed too.
+#[test]
+fn prefetch_seed_matrix_identical_reports() {
+    let run_prefetch = |seed: u64, sync: SyncMode, faults: FaultConfig| -> TrainReport {
+        let dataset = CtrDataset::new(CtrConfig::tiny(seed));
+        let mut config = TrainerConfig::tiny(SystemPreset::HetCache { staleness: 10 });
+        config.system.sync = sync;
+        config.seed = seed;
+        config.max_iterations = 240;
+        config.lookahead_depth = 4;
+        config.faults = faults;
+        let mut trainer = Trainer::new(config, dataset, |rng| WideDeep::new(rng, 4, 8, &[16]));
+        trainer.run()
+    };
+    let modes: [(SyncMode, &str); 3] = [
+        (SyncMode::Bsp, "bsp-prefetch"),
+        (SyncMode::Asp, "asp-prefetch"),
+        (SyncMode::Ssp { staleness: 2 }, "ssp-prefetch"),
+    ];
+    for (sync, label) in modes {
+        for seed in [3u64, 7] {
+            let clean_a = run_prefetch(seed, sync, FaultConfig::disabled());
+            let clean_b = run_prefetch(seed, sync, FaultConfig::disabled());
+            assert_eq!(
+                clean_a.to_json().encode(),
+                clean_b.to_json().encode(),
+                "{label} seed {seed} clean: reports diverged"
+            );
+            assert!(
+                clean_a.prefetch.is_some(),
+                "{label} seed {seed}: prefetcher never engaged"
+            );
+
+            let horizon = SimDuration::from_secs_f64(clean_a.total_sim_time.as_secs_f64() * 0.8);
+            let faulted_a = run_prefetch(seed, sync, fault_spec(horizon));
+            let faulted_b = run_prefetch(seed, sync, fault_spec(horizon));
+            assert_eq!(
+                faulted_a.to_json().encode(),
+                faulted_b.to_json().encode(),
+                "{label} seed {seed} faulted: reports diverged"
+            );
+            assert!(
+                faulted_a.faults.worker_crashes > 0 || faulted_a.faults.shard_failovers > 0,
+                "{label} seed {seed}: fault schedule never fired"
+            );
+            assert_ne!(
+                clean_a.to_json().encode(),
+                faulted_a.to_json().encode(),
+                "{label} seed {seed}: faulted run identical to clean run"
+            );
+        }
+    }
+}
+
 #[test]
 fn different_seeds_differ() {
     let a = run(

@@ -250,11 +250,34 @@ fn fixture_asp_clean() -> trace::TraceLog {
     .1
 }
 
+/// The prefetch-enabled fixture: BSP HET Cache with lookahead depth 4,
+/// clean schedule — the trace that pins down the `prefetcher`
+/// component's issue/install/hit/waste instrumentation.
+fn fixture_bsp_prefetch() -> (TrainReport, trace::TraceLog) {
+    let preset = SystemPreset::HetCache { staleness: 10 };
+    let mut cfg = config(FIXTURE_SEED, preset, FIXTURE_ITERS, FaultConfig::disabled());
+    cfg.lookahead_depth = 4;
+    trace::start(vec![
+        (
+            "system".to_string(),
+            Json::Str(preset.config().name.to_string()),
+        ),
+        ("seed".to_string(), Json::UInt(FIXTURE_SEED)),
+        ("iters".to_string(), Json::UInt(FIXTURE_ITERS)),
+        ("lookahead_depth".to_string(), Json::UInt(4)),
+    ]);
+    let dataset = CtrDataset::new(CtrConfig::tiny(FIXTURE_SEED));
+    let mut trainer = Trainer::new(cfg, dataset, |rng| WideDeep::new(rng, 4, 8, &[16]));
+    let report = trainer.run();
+    (report, trace::finish())
+}
+
 #[test]
 fn committed_golden_fixtures_validate_against_the_schema() {
-    for (name, want_cache) in [
-        ("bsp_cache_faulted.trace.jsonl", true),
-        ("asp_ps_clean.trace.jsonl", false),
+    for (name, want_cache, want_prefetch) in [
+        ("bsp_cache_faulted.trace.jsonl", true, false),
+        ("asp_ps_clean.trace.jsonl", false, false),
+        ("bsp_cache_prefetch.trace.jsonl", true, true),
     ] {
         let path = format!("{GOLDEN_DIR}/{name}");
         let text = std::fs::read_to_string(&path)
@@ -273,17 +296,97 @@ fn committed_golden_fixtures_validate_against_the_schema() {
         // The clock-window read events only exist on the cached path;
         // a DirectPsClient never admits stale state, so it emits none.
         assert_eq!(summary.components.contains("client"), want_cache, "{name}");
+        // The prefetcher lane appears only in lookahead-enabled runs —
+        // the other fixtures staying prefetcher-free *is* the depth-0
+        // byte-identity guarantee, pinned at fixture granularity.
+        assert_eq!(
+            summary.components.contains("prefetcher"),
+            want_prefetch,
+            "{name}"
+        );
     }
 }
 
 /// The committed fixtures must be byte-identical to a freshly derived
 /// trace: this catches an instrumentation change that forgot to
 /// regenerate them (the ignored `regenerate_golden_fixtures` test).
+/// The prefetch fixture run's trace reconciles with its report — the
+/// prefetcher counters match the `prefetch` summary, the cache's
+/// prefetch ledger closes, and every hit is a prefetch hit or a demand
+/// hit — and its Chrome export shows the overlap: a `prefetch_issue`
+/// span in the dedicated prefetcher lane whose interval overlaps a
+/// trainer span on the same worker track.
+#[test]
+fn prefetch_fixture_reconciles_and_chrome_spans_overlap() {
+    let (report, log) = fixture_bsp_prefetch();
+    let p = report
+        .prefetch
+        .expect("depth-4 fixture must report prefetch");
+    assert!(p.issued_keys > 0, "fixture prefetcher never pulled");
+    assert_eq!(log.counter("prefetcher", "issued_keys"), p.issued_keys);
+    assert_eq!(
+        log.counter("cache", "prefetch_installs"),
+        report.cache.prefetch_installs
+    );
+    assert_eq!(
+        log.counter("cache", "prefetch_hits"),
+        report.cache.prefetch_hits
+    );
+    assert_eq!(
+        log.counter("cache", "prefetch_wasted"),
+        report.cache.prefetch_wasted
+    );
+    assert_eq!(
+        report.cache.prefetch_installs,
+        report.cache.prefetch_hits + report.cache.prefetch_wasted,
+        "fixture cache prefetch ledger does not close"
+    );
+    // Prefetch hits + demand hits account for every hit.
+    assert_eq!(log.counter("cache", "hits"), report.cache.hits);
+    assert!(report.cache.prefetch_hits > 0);
+    assert!(report.cache.prefetch_hits <= report.cache.hits);
+
+    let summary = trace::schema::validate_jsonl(&log.to_jsonl()).expect("schema-valid");
+    assert!(summary.components.contains("prefetcher"));
+    for kind in ["prefetcher.prefetch_issue", "prefetcher.prefetch_install"] {
+        assert!(
+            summary.event_kinds.contains(kind),
+            "event kind {kind} missing from {:?}",
+            summary.event_kinds
+        );
+    }
+
+    // Comm/compute overlap, visible in the raw spans: some issued
+    // transfer's [t, t+dur] intersects a trainer span of the same
+    // worker (the work it hid behind).
+    let overlapping = log
+        .events
+        .iter()
+        .filter(|e| e.comp == "prefetcher" && e.name == "prefetch_issue")
+        .any(|pf| {
+            let (pf_start, pf_end) = (pf.t_ns, pf.t_ns + pf.dur_ns.unwrap_or(0));
+            log.events.iter().any(|tr| {
+                tr.comp == "trainer"
+                    && tr.worker == pf.worker
+                    && tr
+                        .dur_ns
+                        .is_some_and(|d| tr.t_ns < pf_end && pf_start < tr.t_ns + d)
+            })
+        });
+    assert!(overlapping, "no prefetch_issue span overlaps trainer work");
+
+    // And the Chrome export renders the prefetcher as its own lane.
+    let chrome = trace::chrome::to_chrome_trace(&log);
+    assert!(chrome.contains(r#""name":"het-prefetch""#));
+    assert!(chrome.contains("prefetcher.prefetch_issue"));
+}
+
 #[test]
 fn golden_fixtures_are_current() {
     for (name, log) in [
         ("bsp_cache_faulted.trace.jsonl", fixture_bsp_faulted()),
         ("asp_ps_clean.trace.jsonl", fixture_asp_clean()),
+        ("bsp_cache_prefetch.trace.jsonl", fixture_bsp_prefetch().1),
     ] {
         let path = format!("{GOLDEN_DIR}/{name}");
         let committed = std::fs::read_to_string(&path)
@@ -315,6 +418,12 @@ fn regenerate_golden_fixtures() {
     std::fs::create_dir_all(GOLDEN_DIR).expect("create tests/golden");
     let bsp = fixture_bsp_faulted().to_jsonl();
     let asp = fixture_asp_clean().to_jsonl();
+    let prefetch = fixture_bsp_prefetch().1.to_jsonl();
     std::fs::write(format!("{GOLDEN_DIR}/bsp_cache_faulted.trace.jsonl"), bsp).unwrap();
     std::fs::write(format!("{GOLDEN_DIR}/asp_ps_clean.trace.jsonl"), asp).unwrap();
+    std::fs::write(
+        format!("{GOLDEN_DIR}/bsp_cache_prefetch.trace.jsonl"),
+        prefetch,
+    )
+    .unwrap();
 }
