@@ -46,11 +46,21 @@ cargo run -q --release -p het-bench --bin hetctl -- chaos --seed 7
 echo "==> chaos recovery campaign (every seed must ride out the storm)"
 cargo run -q --release -p het-bench --bin hetctl -- chaos --seeds 0..120
 
-echo "==> consistency oracle (short fuzz campaign, fixed seed range)"
+echo "==> eviction-policy model equivalence (naive O(n) references, full zoo)"
+step_start=$(date +%s)
+cargo test -q -p het-cache --test policy_model
+echo "    [timing] policy_model: $(($(date +%s) - step_start))s"
+
+echo "==> consistency oracle (120-seed fuzz campaign over the full policy zoo)"
 # The campaign also exercises the prefetch cell: ~1/3 of sampled
 # scenarios run with nonzero lookahead and are re-checked against the
-# prefetch ledger and staleness-window invariants.
+# prefetch ledger and staleness-window invariants. Policies are drawn
+# from all seven fixed kinds plus three adaptive windows, so coherence,
+# gradient conservation, and the staging-region pin exemption are
+# re-proven per policy — including across mid-run adaptive switches.
+step_start=$(date +%s)
 cargo run -q --release -p het-bench --bin hetctl -- oracle --seeds 0..120 --iters 40
+echo "    [timing] oracle campaign: $(($(date +%s) - step_start))s"
 
 echo "==> lookahead prefetching (exact-lookahead invariant, byte-identity, ledger)"
 cargo test -q -p het --test prefetch
@@ -58,5 +68,11 @@ cargo test -q -p het --test prefetch
 echo "==> prefetch depth sweep (>=30% cut at depth 4, monotone non-increasing)"
 cargo run -q --release -p het-bench --bin hetctl -- prefetch-sweep \
     --iters 480 --depths 0,1,2,4,8 --gate 0.30
+
+echo "==> policy shootout (adaptive within 5 hit-rate points of best fixed, all scenarios)"
+step_start=$(date +%s)
+cargo run -q --release -p het-bench --bin hetctl -- policy-shootout \
+    --iters 240 --requests 2400 --gate 0.05
+echo "    [timing] policy shootout: $(($(date +%s) - step_start))s"
 
 echo "CI green."

@@ -37,7 +37,7 @@ fn main() {
         );
         for frac in [0.03, 0.05, 0.10, 0.15] {
             let mut cells = String::new();
-            for policy in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::LightLfu] {
+            for policy in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::light_lfu()] {
                 let report =
                     run_workload(workload, SystemPreset::HetCache { staleness: 100 }, &|c| {
                         *c = c.clone().with_cache(frac, policy);

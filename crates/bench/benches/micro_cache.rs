@@ -18,7 +18,7 @@ fn warm_table(policy: PolicyKind, capacity: usize) -> CacheTable {
 
 fn bench_hit_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_hit_get");
-    for policy in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::LightLfu] {
+    for policy in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::light_lfu()] {
         group.bench_function(policy.to_string(), |b| {
             let mut table = warm_table(policy, 4096);
             // Warm LightLFU promotions.
@@ -40,7 +40,7 @@ fn bench_hit_path(c: &mut Criterion) {
 fn bench_update_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_update");
     let grad = vec![0.01f32; 32];
-    for policy in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::LightLfu] {
+    for policy in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::light_lfu()] {
         group.bench_function(policy.to_string(), |b| {
             let mut table = warm_table(policy, 4096);
             let mut k = 0u64;
@@ -56,7 +56,7 @@ fn bench_update_path(c: &mut Criterion) {
 
 fn bench_eviction_churn(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_install_evict_churn");
-    for policy in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::LightLfu] {
+    for policy in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::light_lfu()] {
         group.bench_function(policy.to_string(), |b| {
             b.iter_batched(
                 || warm_table(policy, 1024),

@@ -35,7 +35,7 @@ fn bench_client_warm_read(c: &mut Criterion) {
             grad_clip: None,
         });
         let net = ClusterSpec::cluster_a(8, 1).collectives();
-        let mut client = HetClient::new(4096, 100, PolicyKind::LightLfu, dim, 0.1);
+        let mut client = HetClient::new(4096, 100, PolicyKind::light_lfu(), dim, 0.1);
         let keys: Vec<u64> = (0..256).collect();
         let mut stats = CommStats::new();
         let _ = client.read(&keys, &server, &net, &mut stats, None);
@@ -58,7 +58,7 @@ fn bench_client_stale_write(c: &mut Criterion) {
             grad_clip: None,
         });
         let net = ClusterSpec::cluster_a(8, 1).collectives();
-        let mut client = HetClient::new(4096, u64::MAX, PolicyKind::LightLfu, dim, 0.1);
+        let mut client = HetClient::new(4096, u64::MAX, PolicyKind::light_lfu(), dim, 0.1);
         let keys: Vec<u64> = (0..256).collect();
         let mut stats = CommStats::new();
         let _ = client.read(&keys, &server, &net, &mut stats, None);

@@ -159,11 +159,33 @@ fn system_of(name: &str, staleness: u64) -> Result<SystemPreset, String> {
 }
 
 fn policy_of(name: &str) -> Result<PolicyKind, String> {
+    // Parameterised forms: `lightlfu:THRESHOLD`, `adaptive:WINDOW`.
+    if let Some(t) = name.strip_prefix("lightlfu:") {
+        let promote_threshold = t
+            .parse::<u64>()
+            .map_err(|_| format!("bad lightlfu threshold '{t}'"))?;
+        return Ok(PolicyKind::LightLfu { promote_threshold });
+    }
+    if let Some(w) = name.strip_prefix("adaptive:") {
+        let window = w
+            .parse::<u64>()
+            .map_err(|_| format!("bad adaptive window '{w}'"))?;
+        return Ok(PolicyKind::Adaptive { window });
+    }
     Ok(match name {
         "lru" => PolicyKind::Lru,
         "lfu" => PolicyKind::Lfu,
-        "lightlfu" => PolicyKind::LightLfu,
-        other => return Err(format!("unknown policy '{other}' (try: lru lfu lightlfu)")),
+        "lightlfu" => PolicyKind::light_lfu(),
+        "clock" => PolicyKind::Clock,
+        "slru" => PolicyKind::Slru,
+        "lfuda" => PolicyKind::Lfuda,
+        "gdsf" => PolicyKind::Gdsf,
+        "adaptive" => PolicyKind::adaptive(),
+        other => {
+            return Err(format!(
+                "unknown policy '{other}' (try: lru lfu lightlfu[:T] clock slru lfuda gdsf adaptive[:W])"
+            ))
+        }
     })
 }
 
@@ -662,7 +684,7 @@ fn cmd_prefetch_sweep(args: &Args) -> Result<(), String> {
             c.cluster = ClusterSpec::cluster_a(workers, 1);
         }
         if cache_frac > 0.0 {
-            *c = c.clone().with_cache(cache_frac, PolicyKind::LightLfu);
+            *c = c.clone().with_cache(cache_frac, PolicyKind::light_lfu());
         }
         if staleness > 0 {
             if let SparseMode::Cached { staleness: s, .. } = &mut c.system.sparse {
@@ -727,6 +749,48 @@ fn cmd_prefetch_sweep(args: &Args) -> Result<(), String> {
             ));
         }
         println!("verdict: PASS");
+    }
+    Ok(())
+}
+
+/// Runs the eviction-policy shootout (`het_bench::policy_shootout`):
+/// every scenario of the matrix (CTR/GNN training, prefetch on,
+/// faulted, serve with hot-set drift, serve with a flash crowd) ×
+/// every `PolicyKind`, printing the leaderboard and writing it to
+/// `target/experiments/policy_shootout.json`. With `--gate MARGIN` the
+/// command fails if on any scenario the adaptive meta-policy's hit
+/// rate falls more than MARGIN (absolute) below the best fixed policy
+/// — the CI gate proving the switcher tracks the per-workload winner.
+fn cmd_policy_shootout(args: &Args) -> Result<(), String> {
+    let iters: u64 = args.get_parsed("iters", 240)?;
+    let requests: usize = args.get_parsed("requests", 2_400)?;
+    let gate: f64 = args.get_parsed("gate", 0.0)?;
+    let rows = het_bench::policy_shootout(iters, requests);
+    println!(
+        "{:<20} {:<10} {:>7} {:>12} {:>10}",
+        "scenario", "policy", "hit%", "cycle(us)", "p99(us)"
+    );
+    for scenario in het_bench::SHOOTOUT_SCENARIOS {
+        let mut cells: Vec<_> = rows.iter().filter(|r| r.scenario == scenario).collect();
+        cells.sort_by(|a, b| b.hit_rate.total_cmp(&a.hit_rate));
+        for r in cells {
+            println!(
+                "{:<20} {:<10} {:>6.1}% {:>12.2} {:>10.1}",
+                r.scenario,
+                r.policy,
+                100.0 * r.hit_rate,
+                r.cycle_time_us,
+                r.p99_us
+            );
+        }
+    }
+    het_bench::out::write_json(
+        "policy_shootout",
+        &het_json::Json::Arr(rows.iter().map(het_json::ToJson::to_json).collect()),
+    );
+    if gate > 0.0 {
+        het_bench::shootout_gate(&rows, gate)?;
+        println!("verdict: PASS (adaptive within {gate:.2} of best fixed on every scenario)");
     }
     Ok(())
 }
@@ -828,8 +892,8 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first().map(String::as_str) else {
         eprintln!(
-            "usage: hetctl <train|compare|serve|colocate|chaos|oracle|prefetch-sweep|list> \
-             [--flag value ...]"
+            "usage: hetctl <train|compare|serve|colocate|chaos|oracle|prefetch-sweep|\
+             policy-shootout|list> [--flag value ...]"
         );
         return ExitCode::FAILURE;
     };
@@ -838,7 +902,10 @@ fn main() -> ExitCode {
             println!("workloads: wdl dfm dcn reddit amazon mag");
             println!("systems:   tf-ps tf-parallax het-ps het-ar het-hybrid het-cache ssp");
             println!("flags:     --workers N --servers N --dim N --iters N --staleness N");
-            println!("           --cache-frac F --policy lru|lfu|lightlfu --network 1gbe|10gbe");
+            println!(
+                "           --cache-frac F --network 1gbe|10gbe\n           --policy \
+                 lru|lfu|lightlfu[:T]|clock|slru|lfuda|gdsf|adaptive[:W]"
+            );
             println!("           --target METRIC --lr RATE --lookahead DEPTH (prefetcher)");
             println!("           --fault-crashes N --fault-outages N --fault-stragglers N");
             println!("           --fault-degradations N --fault-drop P --fault-horizon SECS");
@@ -848,8 +915,9 @@ fn main() -> ExitCode {
             println!("oracle:    --seeds A..B --iters N --master-seed N --stop-after N");
             println!("           --sabotage-staleness N --out DIR --repro FILE.json");
             println!("prefetch-sweep: --depths 0,1,2,4,8 --iters N --gate FRACTION");
+            println!("policy-shootout: --iters N --requests N --gate HIT_RATE_MARGIN");
             println!("serve:     --replicas N --servers N --dim N --fields N --keys N");
-            println!("           --cache ENTRIES --staleness N --policy lru|lfu|lightlfu");
+            println!("           --cache ENTRIES --staleness N --policy (as above)");
             println!("           --rate REQ_PER_S --requests N --zipf EXP --seed N");
             println!("           --max-batch N --max-delay-us US --network 1gbe|10gbe");
             println!("           --pretrain-updates N --warmup REQS");
@@ -903,13 +971,14 @@ fn main() -> ExitCode {
             Ok(())
         })(),
         "prefetch-sweep" => Args::parse(&argv[1..]).and_then(|args| cmd_prefetch_sweep(&args)),
+        "policy-shootout" => Args::parse(&argv[1..]).and_then(|args| cmd_policy_shootout(&args)),
         "serve" => Args::parse(&argv[1..]).and_then(|args| cmd_serve(&args)),
         "colocate" => Args::parse(&argv[1..]).and_then(|args| cmd_colocate(&args)),
         "chaos" => Args::parse(&argv[1..]).and_then(|args| cmd_chaos(&args)),
         "oracle" => Args::parse(&argv[1..]).and_then(|args| cmd_oracle(&args)),
         other => Err(format!(
             "unknown command '{other}' (try: train compare serve colocate chaos oracle \
-             prefetch-sweep list)"
+             prefetch-sweep policy-shootout list)"
         )),
     };
     match result {

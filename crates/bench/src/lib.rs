@@ -21,6 +21,7 @@ use het_core::{TrainReport, Trainer};
 use het_data::{CtrConfig, CtrDataset, Graph, GraphConfig, NeighborSampler};
 use het_json::{impl_to_json, ToJson};
 use het_models::{DeepCross, DeepFm, GnnDataset, GraphSage, WideDeep};
+use het_simnet::SimDuration;
 use std::path::PathBuf;
 
 /// The paper's six evaluated workloads (§5: three DLRM models on Criteo,
@@ -407,7 +408,9 @@ fn fig2_sweep_config(
     // (24 + 4 D) fetched bytes vs 32 clock bytes), which is what
     // lookahead can actually hide.
     c.dim = 128;
-    *c = c.clone().with_cache(0.05, het_cache::PolicyKind::LightLfu);
+    *c = c
+        .clone()
+        .with_cache(0.05, het_cache::PolicyKind::light_lfu());
     c.max_iterations = iters;
     c.eval_every = iters;
     extra(c);
@@ -459,6 +462,212 @@ pub fn prefetch_sweep_with(
         });
     }
     rows
+}
+
+/// One leaderboard row of the eviction-policy shootout
+/// (`hetctl policy-shootout`): one (scenario × policy) cell. Train
+/// scenarios report cycle time and leave `p99_us` at 0; serve
+/// scenarios report tail latency and leave `cycle_time_us` at 0.
+#[derive(Clone, Debug)]
+pub struct ShootoutRow {
+    /// Scenario name (one of [`SHOOTOUT_SCENARIOS`]).
+    pub scenario: String,
+    /// Policy display name (`PolicyKind` Display).
+    pub policy: String,
+    /// Cache hit rate of the run — the gated metric.
+    pub hit_rate: f64,
+    /// Simulated microseconds per training iteration (train scenarios).
+    pub cycle_time_us: f64,
+    /// 99th-percentile request latency in microseconds (serve
+    /// scenarios).
+    pub p99_us: f64,
+}
+
+impl_to_json!(ShootoutRow {
+    scenario,
+    policy,
+    hit_rate,
+    cycle_time_us,
+    p99_us,
+});
+
+/// The shootout scenario matrix: CTR vs GNN key distributions, the
+/// prefetch staging region on, a faulted run, hot-set drift, and a
+/// flash crowd — the regimes where eviction quality diverges.
+pub const SHOOTOUT_SCENARIOS: [&str; 6] = [
+    "ctr-train",
+    "gnn-train",
+    "ctr-train-prefetch",
+    "ctr-train-faulted",
+    "serve-drift",
+    "serve-flash",
+];
+
+/// The contenders: the seven fixed policies plus the adaptive
+/// meta-policy ([`het_cache::PolicyKind::ALL`]).
+pub fn shootout_policies() -> [het_cache::PolicyKind; 8] {
+    het_cache::PolicyKind::ALL
+}
+
+fn shootout_train_tweak(c: &mut TrainerConfig, iters: u64, policy: het_cache::PolicyKind) {
+    c.cluster = het_simnet::ClusterSpec::cluster_a(2, 1);
+    c.max_iterations = iters;
+    c.eval_every = iters;
+    // Small enough that capacity binds hard and eviction quality shows
+    // up in the hit rate.
+    *c = c.clone().with_cache(0.05, policy);
+}
+
+fn shootout_train(
+    workload: Workload,
+    policy: het_cache::PolicyKind,
+    iters: u64,
+    lookahead: u64,
+    faulted: bool,
+) -> TrainReport {
+    let preset = SystemPreset::HetCache { staleness: 100 };
+    let faults = if faulted {
+        // Size the fault horizon from a clean probe, as the fuzzer and
+        // golden-trace tests do, so the faults land inside the run.
+        let probe = run_workload(workload, preset, &|c| {
+            shootout_train_tweak(c, iters, policy);
+            c.lookahead_depth = lookahead;
+        });
+        let mut f = het_core::FaultConfig::disabled();
+        f.enabled = true;
+        f.spec.worker_crashes = 2;
+        f.spec.shard_outages = 1;
+        f.spec.horizon = SimDuration::from_secs_f64(probe.total_sim_time.as_secs_f64() * 0.8);
+        f.checkpoint_every = 20;
+        f
+    } else {
+        het_core::FaultConfig::disabled()
+    };
+    run_workload(workload, preset, &|c| {
+        shootout_train_tweak(c, iters, policy);
+        c.lookahead_depth = lookahead;
+        c.faults = faults.clone();
+    })
+}
+
+fn shootout_serve(
+    policy: het_cache::PolicyKind,
+    requests: usize,
+    drift: bool,
+    flash: bool,
+) -> het_serve::ServeReport {
+    let mut cfg = het_serve::ServeConfig::tiny(0xD0_1177);
+    cfg.policy = policy;
+    cfg.n_requests = requests;
+    cfg.n_keys = 1_200;
+    cfg.cache_capacity = 150;
+    if drift {
+        // Rotate the Zipf rank→key mapping every 20 ms of simulated
+        // time: the hot set walks and stale-frequency policies pay.
+        cfg.drift_period = SimDuration::from_secs_f64(0.02);
+        cfg.drift_step = 48;
+    }
+    if flash {
+        // A 4× arrival burst over a small uniform hot subset, landing
+        // mid-run.
+        cfg.flash_at = Some(het_simnet::SimTime::ZERO + SimDuration::from_secs_f64(0.08));
+        cfg.flash_duration = SimDuration::from_secs_f64(0.06);
+        cfg.flash_factor = 4.0;
+        cfg.flash_hot_keys = 64;
+    }
+    let (n_fields, dim) = (cfg.n_fields, cfg.dim);
+    het_serve::ServeSim::new(cfg, move |rng| {
+        het_models::WideDeep::new(rng, n_fields, dim, &[32])
+    })
+    .run()
+}
+
+fn shootout_cell(
+    scenario: &str,
+    policy: het_cache::PolicyKind,
+    iters: u64,
+    requests: usize,
+) -> ShootoutRow {
+    let (hit_rate, cycle_time_us, p99_us) = match scenario {
+        "ctr-train" => {
+            let r = shootout_train(Workload::WdlCriteo, policy, iters, 0, false);
+            (r.cache.hit_rate(), cycle_us(&r), 0.0)
+        }
+        "gnn-train" => {
+            let r = shootout_train(Workload::GnnReddit, policy, iters, 0, false);
+            (r.cache.hit_rate(), cycle_us(&r), 0.0)
+        }
+        "ctr-train-prefetch" => {
+            let r = shootout_train(Workload::WdlCriteo, policy, iters, 4, false);
+            (r.cache.hit_rate(), cycle_us(&r), 0.0)
+        }
+        "ctr-train-faulted" => {
+            let r = shootout_train(Workload::WdlCriteo, policy, iters, 0, true);
+            (r.cache.hit_rate(), cycle_us(&r), 0.0)
+        }
+        "serve-drift" => {
+            let r = shootout_serve(policy, requests, true, false);
+            (r.cache.hit_rate(), 0.0, r.latency_p99_ns as f64 / 1e3)
+        }
+        "serve-flash" => {
+            let r = shootout_serve(policy, requests, false, true);
+            (r.cache.hit_rate(), 0.0, r.latency_p99_ns as f64 / 1e3)
+        }
+        other => unreachable!("unknown shootout scenario {other}"),
+    };
+    ShootoutRow {
+        scenario: scenario.to_string(),
+        policy: policy.to_string(),
+        hit_rate,
+        cycle_time_us,
+        p99_us,
+    }
+}
+
+fn cycle_us(report: &TrainReport) -> f64 {
+    report.total_sim_time.as_secs_f64() * 1e6 / report.total_iterations.max(1) as f64
+}
+
+/// Runs the full policy shootout: every scenario in
+/// [`SHOOTOUT_SCENARIOS`] × every policy in [`shootout_policies`],
+/// returning one leaderboard row per cell. `iters` sizes the train
+/// scenarios, `requests` the serve scenarios.
+pub fn policy_shootout(iters: u64, requests: usize) -> Vec<ShootoutRow> {
+    let mut rows = Vec::new();
+    for scenario in SHOOTOUT_SCENARIOS {
+        for policy in shootout_policies() {
+            rows.push(shootout_cell(scenario, policy, iters, requests));
+        }
+    }
+    rows
+}
+
+/// The CI gate over a shootout leaderboard: on every scenario the
+/// adaptive meta-policy's hit rate must come within `margin` (absolute
+/// hit-rate points, default 0.05) of the best fixed policy. A policy
+/// that had to be picked by hand would silently rot as workloads
+/// drift; this bound proves the switcher tracks the winner.
+pub fn shootout_gate(rows: &[ShootoutRow], margin: f64) -> Result<(), String> {
+    for scenario in SHOOTOUT_SCENARIOS {
+        let cells: Vec<&ShootoutRow> = rows.iter().filter(|r| r.scenario == scenario).collect();
+        let adaptive = cells
+            .iter()
+            .find(|r| r.policy == "Adaptive")
+            .ok_or_else(|| format!("gate: no adaptive row for scenario {scenario}"))?;
+        let best_fixed = cells
+            .iter()
+            .filter(|r| r.policy != "Adaptive")
+            .max_by(|a, b| a.hit_rate.total_cmp(&b.hit_rate))
+            .ok_or_else(|| format!("gate: no fixed rows for scenario {scenario}"))?;
+        if adaptive.hit_rate + margin < best_fixed.hit_rate {
+            return Err(format!(
+                "policy-shootout gate: scenario {scenario}: adaptive hit rate {:.4} \
+                 is more than {margin:.2} below best fixed ({} at {:.4})",
+                adaptive.hit_rate, best_fixed.policy, best_fixed.hit_rate
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

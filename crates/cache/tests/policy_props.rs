@@ -111,6 +111,23 @@ fn light_lfu_tracks_reference_model() {
     }
 }
 
+/// The whole zoo — including the adaptive meta-policy with a window
+/// small enough to switch mid-stream — keeps its resident-set
+/// bookkeeping consistent under arbitrary op sequences.
+#[test]
+fn zoo_tracks_reference_model() {
+    let mut rng = StdRng::seed_from_u64(0xCACE_0011);
+    for _ in 0..CASES {
+        let kind = [
+            PolicyKind::Slru,
+            PolicyKind::Lfuda,
+            PolicyKind::Gdsf,
+            PolicyKind::Adaptive { window: 8 },
+        ][rng.gen_range(0usize..4)];
+        check_policy(kind.build(12), random_ops(&mut rng, 200));
+    }
+}
+
 /// LRU victims come out in exact least-recent order when draining.
 #[test]
 fn lru_drain_order_is_recency_order() {
@@ -146,12 +163,7 @@ fn table_respects_capacity() {
         let n = rng.gen_range(1usize..120);
         let keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..256)).collect();
         let capacity = rng.gen_range(1usize..24);
-        let policy = [
-            PolicyKind::Lru,
-            PolicyKind::Lfu,
-            PolicyKind::LightLfu,
-            PolicyKind::Clock,
-        ][rng.gen_range(0usize..4)];
+        let policy = PolicyKind::ALL[rng.gen_range(0usize..PolicyKind::ALL.len())];
         let mut table = CacheTable::new(capacity, policy, 0.1);
         for &k in &keys {
             if !table.find(k) {
@@ -198,12 +210,19 @@ fn trace_counters_reconcile_with_cache_stats() {
     for _ in 0..CASES {
         het_trace::start(Vec::new());
         let capacity = rng.gen_range(1usize..12);
-        let policy = [
+        // Full zoo, with a small-window adaptive so switch boundaries
+        // land inside the op stream for some cases.
+        let zoo = [
             PolicyKind::Lru,
             PolicyKind::Lfu,
-            PolicyKind::LightLfu,
+            PolicyKind::light_lfu(),
             PolicyKind::Clock,
-        ][rng.gen_range(0usize..4)];
+            PolicyKind::Slru,
+            PolicyKind::Lfuda,
+            PolicyKind::Gdsf,
+            PolicyKind::Adaptive { window: 16 },
+        ];
+        let policy = zoo[rng.gen_range(0usize..zoo.len())];
         let mut table = CacheTable::new(capacity, policy, 0.1);
         let mut crash_dirty = 0u64;
         for _ in 0..rng.gen_range(0usize..160) {
@@ -266,6 +285,17 @@ fn trace_counters_reconcile_with_cache_stats() {
             "install ledger out of balance"
         );
         assert_eq!(log.counter("cache", "dirtied"), stats.dirtied);
+        // Adaptive switches are reported identically through the trace
+        // counter and the table accessor (and are zero for fixed
+        // policies, keeping their trace streams byte-stable).
+        assert_eq!(
+            log.counter("cache", "policy_switches"),
+            table.policy_switches(),
+            "policy-switch ledger out of balance"
+        );
+        if !policy.is_adaptive() {
+            assert_eq!(table.policy_switches(), 0);
+        }
         // Gradient conservation: every clean→dirty transition ends as a
         // write-back, an accounted crash loss, or a still-resident dirty
         // entry — never a silent drop.
@@ -280,6 +310,70 @@ fn trace_counters_reconcile_with_cache_stats() {
             "dirty ledger out of balance"
         );
     }
+}
+
+/// Stats/trace reconciliation must hold *across* an adaptive switch
+/// boundary: a skewed lookup stream forces the meta-policy through at
+/// least one switch, and afterwards every counter still matches
+/// `CacheStats`, the install ledger still balances, and the switch
+/// count agrees between the trace log, the `policy_switch` events, and
+/// the table accessor.
+#[test]
+fn adaptive_switch_boundary_preserves_stat_reconciliation() {
+    let mut rng = StdRng::seed_from_u64(0xCACE_0012);
+    het_trace::start(Vec::new());
+    let mut table = CacheTable::new(8, PolicyKind::Adaptive { window: 16 }, 0.1);
+    for i in 0..600u64 {
+        // Heavily skewed head (drives the skew estimate up), uniform
+        // tail in the second half (drives it back down): at least one
+        // switch each way.
+        let k = if i < 300 {
+            if rng.gen_bool(0.8) {
+                rng.gen_range(0u64..3)
+            } else {
+                rng.gen_range(0u64..48)
+            }
+        } else {
+            rng.gen_range(0u64..48)
+        };
+        if table.find(k) {
+            table.record_hit();
+            table.update(k, &[1.0; 4]);
+            table.bump_clock(k);
+        } else {
+            table.record_miss();
+            let _ = table.install(k, vec![0.0; 4], 0);
+            let _ = table.evict_overflow();
+        }
+    }
+    let log = het_trace::finish();
+    let stats = *table.stats();
+    assert!(
+        table.policy_switches() > 0,
+        "skewed-then-flat stream forced no switch"
+    );
+    assert_eq!(
+        log.counter("cache", "policy_switches"),
+        table.policy_switches()
+    );
+    assert_eq!(
+        log.events_of("cache")
+            .filter(|e| e.name == "policy_switch")
+            .count() as u64,
+        table.policy_switches(),
+        "one policy_switch event per switch"
+    );
+    assert_eq!(log.counter("cache", "hits"), stats.hits);
+    assert_eq!(log.counter("cache", "misses"), stats.misses);
+    assert_eq!(
+        log.counter("cache", "capacity_evictions"),
+        stats.capacity_evictions
+    );
+    assert_eq!(
+        log.counter("cache", "installs"),
+        log.counter("cache", "evictions") + table.len() as u64,
+        "install ledger out of balance across switch boundary"
+    );
 }
 
 /// The local view always equals install value − lr · (sum of

@@ -184,7 +184,7 @@ impl SystemPreset {
                 sparse: SparseMode::Cached {
                     staleness,
                     capacity_fraction: 0.10,
-                    policy: PolicyKind::LightLfu,
+                    policy: PolicyKind::light_lfu(),
                 },
                 sync: SyncMode::Bsp,
                 backbone: Backbone::het(),

@@ -1342,7 +1342,7 @@ mod tests {
         // sized capacity as the paper's setups do (cache >> batch).
         let dataset = CtrDataset::new(CtrConfig::tiny(7));
         let config = TrainerConfig::tiny(SystemPreset::HetCache { staleness: 100 })
-            .with_cache(0.6, het_cache::PolicyKind::LightLfu);
+            .with_cache(0.6, het_cache::PolicyKind::light_lfu());
         let cached = Trainer::new(config, dataset, |rng| WideDeep::new(rng, 4, 8, &[16])).run();
         let hybrid = ctr_trainer(SystemPreset::HetHybrid).run();
         let t_cached = cached.total_sim_time.as_secs_f64() / cached.total_iterations as f64;

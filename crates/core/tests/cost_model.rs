@@ -1,0 +1,31 @@
+//! Pins `het_cache`'s α-β refetch-cost model to the simulated wire
+//! format. `het-cache` cannot depend on `het-simnet` (it sits below it
+//! in the crate graph), so it mirrors the message constants locally;
+//! this test is the promised cross-crate check that the mirror and the
+//! wire never drift apart. If a wire-format change breaks it, update
+//! `FETCH_COST_ALPHA_BYTES` / `FETCH_COST_BETA_BYTES` in
+//! `crates/cache/src/policy.rs` to match.
+
+use het_cache::{fetch_cost_bytes, FETCH_COST_ALPHA_BYTES, FETCH_COST_BETA_BYTES};
+use het_simnet::wire;
+
+#[test]
+fn cache_cost_model_matches_wire_format() {
+    assert_eq!(
+        FETCH_COST_ALPHA_BYTES,
+        wire::MSG_OVERHEAD_BYTES + wire::KEY_BYTES + wire::CLOCK_BYTES,
+        "α must equal the per-message fetch-response overhead"
+    );
+    assert_eq!(
+        FETCH_COST_BETA_BYTES,
+        wire::F32_BYTES,
+        "β must equal the per-element payload cost"
+    );
+    for dim in [0usize, 1, 8, 16, 128, 4096] {
+        assert_eq!(
+            fetch_cost_bytes(dim),
+            wire::embedding_fetch_response_bytes(dim),
+            "priced refetch cost diverges from the wire at dim {dim}"
+        );
+    }
+}

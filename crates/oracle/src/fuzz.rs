@@ -86,12 +86,27 @@ impl Scenario {
             SparseMode::Cached {
                 staleness: rng.gen_range(0u64..5),
                 capacity_fraction: [0.05, 0.10, 0.30][rng.gen_range(0usize..3)],
-                policy: [
-                    PolicyKind::Lru,
-                    PolicyKind::Lfu,
-                    PolicyKind::LightLfu,
-                    PolicyKind::Clock,
-                ][rng.gen_range(0usize..4)],
+                policy: {
+                    // The full zoo, with a sweepable LightLFU threshold
+                    // and adaptive windows small enough that short fuzz
+                    // runs hit forced switch points.
+                    let zoo = [
+                        PolicyKind::Lru,
+                        PolicyKind::Lfu,
+                        PolicyKind::light_lfu(),
+                        PolicyKind::LightLfu {
+                            promote_threshold: 4,
+                        },
+                        PolicyKind::Clock,
+                        PolicyKind::Slru,
+                        PolicyKind::Lfuda,
+                        PolicyKind::Gdsf,
+                        PolicyKind::Adaptive { window: 8 },
+                        PolicyKind::Adaptive { window: 32 },
+                        PolicyKind::Adaptive { window: 128 },
+                    ];
+                    zoo[rng.gen_range(0usize..zoo.len())]
+                },
             }
         } else {
             SparseMode::PsDirect
@@ -188,12 +203,41 @@ fn sync_to_json(sync: SyncMode) -> Json {
     }
 }
 
-fn policy_name(policy: PolicyKind) -> &'static str {
+fn policy_to_json(policy: PolicyKind) -> Json {
     match policy {
-        PolicyKind::Lru => "lru",
-        PolicyKind::Lfu => "lfu",
-        PolicyKind::LightLfu => "light_lfu",
-        PolicyKind::Clock => "clock",
+        PolicyKind::Lru => Json::Str("lru".to_string()),
+        PolicyKind::Lfu => Json::Str("lfu".to_string()),
+        PolicyKind::LightLfu { promote_threshold } => Json::Obj(vec![(
+            "light_lfu".to_string(),
+            Json::UInt(promote_threshold),
+        )]),
+        PolicyKind::Clock => Json::Str("clock".to_string()),
+        PolicyKind::Slru => Json::Str("slru".to_string()),
+        PolicyKind::Lfuda => Json::Str("lfuda".to_string()),
+        PolicyKind::Gdsf => Json::Str("gdsf".to_string()),
+        PolicyKind::Adaptive { window } => {
+            Json::Obj(vec![("adaptive".to_string(), Json::UInt(window))])
+        }
+    }
+}
+
+fn policy_from_json(json: &Json) -> Result<PolicyKind, String> {
+    match json {
+        Json::Str(p) if p == "lru" => Ok(PolicyKind::Lru),
+        Json::Str(p) if p == "lfu" => Ok(PolicyKind::Lfu),
+        // Repro files written before the threshold was sweepable.
+        Json::Str(p) if p == "light_lfu" => Ok(PolicyKind::light_lfu()),
+        Json::Str(p) if p == "clock" => Ok(PolicyKind::Clock),
+        Json::Str(p) if p == "slru" => Ok(PolicyKind::Slru),
+        Json::Str(p) if p == "lfuda" => Ok(PolicyKind::Lfuda),
+        Json::Str(p) if p == "gdsf" => Ok(PolicyKind::Gdsf),
+        Json::Obj(o) if o.iter().any(|(k, _)| k == "light_lfu") => Ok(PolicyKind::LightLfu {
+            promote_threshold: get_uint(o, "light_lfu")?,
+        }),
+        Json::Obj(o) if o.iter().any(|(k, _)| k == "adaptive") => Ok(PolicyKind::Adaptive {
+            window: get_uint(o, "adaptive")?,
+        }),
+        other => Err(format!("scenario: bad policy {other:?}")),
     }
 }
 
@@ -212,10 +256,7 @@ impl ToJson for Scenario {
                     "capacity_fraction".to_string(),
                     Json::Num(capacity_fraction),
                 ),
-                (
-                    "policy".to_string(),
-                    Json::Str(policy_name(policy).to_string()),
-                ),
+                ("policy".to_string(), policy_to_json(policy)),
             ]),
         };
         let tie_break = match self.tie_break {
@@ -300,13 +341,7 @@ impl Scenario {
             Json::Obj(o) => SparseMode::Cached {
                 staleness: get_uint(o, "staleness")?,
                 capacity_fraction: get_num(o, "capacity_fraction")?,
-                policy: match get(o, "policy")? {
-                    Json::Str(p) if p == "lru" => PolicyKind::Lru,
-                    Json::Str(p) if p == "lfu" => PolicyKind::Lfu,
-                    Json::Str(p) if p == "light_lfu" => PolicyKind::LightLfu,
-                    Json::Str(p) if p == "clock" => PolicyKind::Clock,
-                    other => return Err(format!("scenario: bad policy {other:?}")),
-                },
+                policy: policy_from_json(get(o, "policy")?)?,
             },
             other => return Err(format!("scenario: bad sparse {other:?}")),
         };
@@ -651,6 +686,8 @@ mod tests {
         let mut cached = 0;
         let mut prefetched = 0;
         let mut faulted = 0;
+        let mut zoo: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        let mut adaptive = 0;
         for index in 0..200 {
             let s = Scenario::sample(3, index, 50);
             match s.sync {
@@ -658,8 +695,12 @@ mod tests {
                 SyncMode::Asp => asp += 1,
                 SyncMode::Ssp { .. } => ssp += 1,
             }
-            if matches!(s.sparse, SparseMode::Cached { .. }) {
+            if let SparseMode::Cached { policy, .. } = s.sparse {
                 cached += 1;
+                zoo.insert(policy.to_string());
+                if policy.is_adaptive() {
+                    adaptive += 1;
+                }
             } else {
                 assert_eq!(s.lookahead, 0, "prefetch sampled without a cache");
             }
@@ -674,6 +715,13 @@ mod tests {
         assert!(cached > 60, "cached only {cached}/200");
         assert!(prefetched > 30, "prefetched only {prefetched}/200");
         assert!(faulted > 30, "faulted only {faulted}/200");
+        // The policy dimension spans the whole zoo, with enough
+        // adaptive runs that forced switch points get exercised.
+        assert_eq!(
+            zoo.into_iter().collect::<Vec<_>>(),
+            ["Adaptive", "CLOCK", "GDSF", "LFU", "LFUDA", "LRU", "LightLFU", "SLRU"],
+        );
+        assert!(adaptive > 10, "adaptive only {adaptive}/200");
     }
 
     #[test]
@@ -687,7 +735,7 @@ mod tests {
             sparse: SparseMode::Cached {
                 staleness: 2,
                 capacity_fraction: 0.10,
-                policy: PolicyKind::LightLfu,
+                policy: PolicyKind::light_lfu(),
             },
             tie_break: TieBreak::Fifo,
             crashes: 0,

@@ -93,7 +93,7 @@ impl ServeConfig {
             n_keys: 100_000,
             cache_capacity: 10_000,
             staleness: 10,
-            policy: PolicyKind::LightLfu,
+            policy: PolicyKind::light_lfu(),
             lr: 0.05,
             arrival_rate: 10_000.0,
             n_requests: 20_000,

@@ -41,8 +41,8 @@ fn main() {
     });
     let net = ClusterSpec::cluster_a(2, 1).collectives();
     let mut stats = CommStats::new();
-    let mut a = HetClient::new(64, 2, PolicyKind::LightLfu, dim, 0.1);
-    let mut b = HetClient::new(64, 2, PolicyKind::LightLfu, dim, 0.1);
+    let mut a = HetClient::new(64, 2, PolicyKind::light_lfu(), dim, 0.1);
+    let mut b = HetClient::new(64, 2, PolicyKind::light_lfu(), dim, 0.1);
     let key: Key = 7;
     let mut grad = SparseGrads::new(dim);
     grad.accumulate(key, &[1.0; 4]);

@@ -52,7 +52,7 @@ fn main() {
     );
     for frac in [0.03, 0.05, 0.10, 0.15] {
         let mut row = format!("{:>8.0}% ", frac * 100.0);
-        for policy in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::LightLfu] {
+        for policy in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::light_lfu()] {
             let dataset = make_dataset();
             let classes = dataset.graph().config().n_classes;
             let mut config = TrainerConfig::cluster_a(SystemPreset::HetCache { staleness: 100 })

@@ -14,7 +14,7 @@ use het::prelude::*;
 fn run(s: u64, iters: u64, lr: f32) -> TrainReport {
     let dataset = CtrDataset::new(CtrConfig::tiny(91));
     let mut config = TrainerConfig::tiny(SystemPreset::HetCache { staleness: s })
-        .with_cache(0.6, PolicyKind::LightLfu);
+        .with_cache(0.6, PolicyKind::light_lfu());
     config.max_iterations = iters;
     config.eval_every = iters / 4;
     config.lr = lr;

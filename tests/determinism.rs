@@ -134,6 +134,71 @@ fn prefetch_seed_matrix_identical_reports() {
     }
 }
 
+/// The eviction-policy zoo joins the matrix: for each new policy
+/// (SLRU, LFUDA, GDSF, and the adaptive meta-policy), same seed ⇒
+/// byte-identical report JSON *and* byte-identical trace, clean and
+/// faulted. Trace identity is the stronger claim for the adaptive
+/// policy — its `policy_switch` events (switch points, replayed
+/// resident sets, skew estimates) must replay exactly.
+#[test]
+fn policy_zoo_seed_matrix_identical_reports_and_traces() {
+    let run_policy = |seed: u64, kind: PolicyKind, faults: FaultConfig| -> (TrainReport, String) {
+        let dataset = CtrDataset::new(CtrConfig::tiny(seed));
+        let mut config = TrainerConfig::tiny(SystemPreset::HetCache { staleness: 10 });
+        config = config.with_cache(0.05, kind);
+        config.seed = seed;
+        config.max_iterations = 240;
+        config.faults = faults;
+        het::trace::start(Vec::new());
+        let mut trainer = Trainer::new(config, dataset, |rng| WideDeep::new(rng, 4, 8, &[16]));
+        let report = trainer.run();
+        (report, het::trace::finish().to_jsonl())
+    };
+    let zoo: [(PolicyKind, &str); 4] = [
+        (PolicyKind::Slru, "slru"),
+        (PolicyKind::Lfuda, "lfuda"),
+        (PolicyKind::Gdsf, "gdsf"),
+        (PolicyKind::Adaptive { window: 32 }, "adaptive"),
+    ];
+    for (kind, label) in zoo {
+        for seed in [3u64, 7] {
+            let (clean_a, trace_a) = run_policy(seed, kind, FaultConfig::disabled());
+            let (clean_b, trace_b) = run_policy(seed, kind, FaultConfig::disabled());
+            assert_eq!(
+                clean_a.to_json().encode(),
+                clean_b.to_json().encode(),
+                "{label} seed {seed} clean: reports diverged"
+            );
+            assert_eq!(
+                trace_a, trace_b,
+                "{label} seed {seed} clean: traces diverged"
+            );
+
+            let horizon = SimDuration::from_secs_f64(clean_a.total_sim_time.as_secs_f64() * 0.8);
+            let (faulted_a, ftrace_a) = run_policy(seed, kind, fault_spec(horizon));
+            let (faulted_b, ftrace_b) = run_policy(seed, kind, fault_spec(horizon));
+            assert_eq!(
+                faulted_a.to_json().encode(),
+                faulted_b.to_json().encode(),
+                "{label} seed {seed} faulted: reports diverged"
+            );
+            assert_eq!(
+                ftrace_a, ftrace_b,
+                "{label} seed {seed} faulted: traces diverged"
+            );
+            assert!(
+                faulted_a.faults.worker_crashes > 0 || faulted_a.faults.shard_failovers > 0,
+                "{label} seed {seed}: fault schedule never fired"
+            );
+            assert_ne!(
+                clean_a.to_json().encode(),
+                faulted_a.to_json().encode(),
+                "{label} seed {seed}: faulted run identical to clean run"
+            );
+        }
+    }
+}
+
 #[test]
 fn different_seeds_differ() {
     let a = run(

@@ -86,8 +86,8 @@ fn graphsage_trains_under_het_cache() {
 #[test]
 fn het_cache_learns_above_chance() {
     // A longer run on the tiny workload must push AUC clearly above 0.5.
-    let mut config =
-        tiny_config(SystemPreset::HetCache { staleness: 10 }).with_cache(0.6, PolicyKind::LightLfu);
+    let mut config = tiny_config(SystemPreset::HetCache { staleness: 10 })
+        .with_cache(0.6, PolicyKind::light_lfu());
     config.max_iterations = 4_000;
     config.eval_every = 1_000;
     config.lr = 0.1;

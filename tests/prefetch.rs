@@ -132,8 +132,9 @@ fn exact_lookahead_invariant_across_sync_and_depth() {
 /// configuration.
 #[test]
 fn lookahead_hides_transfer_time_and_speeds_up_the_run() {
-    let mk =
-        |depth: u64| cached_config(SyncMode::Bsp, depth, 11).with_cache(0.6, PolicyKind::LightLfu);
+    let mk = |depth: u64| {
+        cached_config(SyncMode::Bsp, depth, 11).with_cache(0.6, PolicyKind::light_lfu())
+    };
     let base = trainer_for(mk(0)).run();
     assert!(base.prefetch.is_none(), "depth 0 must not report prefetch");
     let pre = trainer_for(mk(4)).run();
