@@ -17,8 +17,8 @@ cargo build --release
 echo "==> cargo test -q (tier-1, per-package timing)"
 suite_start=$(date +%s)
 for pkg in het-json het-rng het-trace het-simnet het-tensor het-data \
-           het-ps het-cache het-runtime het-models het-core het-serve \
-           het-oracle het-bench het; do
+           het-store het-ps het-cache het-runtime het-models het-core \
+           het-serve het-oracle het-bench het; do
     pkg_start=$(date +%s)
     cargo test -q -p "$pkg"
     echo "    [timing] $pkg: $(($(date +%s) - pkg_start))s"
@@ -58,6 +58,10 @@ echo "==> consistency oracle (120-seed fuzz campaign over the full policy zoo)"
 # from all seven fixed kinds plus three adaptive windows, so coherence,
 # gradient conservation, and the staging-region pin exemption are
 # re-proven per policy — including across mid-run adaptive switches.
+# ~35% of scenarios additionally run every PS shard on the tiered
+# memory/disk store with a tiny hot budget (8/32/128 rows), so the
+# same invariants are re-proven across demotions, cold-log spills, and
+# compactions; the shrinker tries dropping back to the Mem store first.
 step_start=$(date +%s)
 cargo run -q --release -p het-bench --bin hetctl -- oracle --seeds 0..120 --iters 40
 echo "    [timing] oracle campaign: $(($(date +%s) - step_start))s"
@@ -68,6 +72,21 @@ cargo test -q -p het --test prefetch
 echo "==> prefetch depth sweep (>=30% cut at depth 4, monotone non-increasing)"
 cargo run -q --release -p het-bench --bin hetctl -- prefetch-sweep \
     --iters 480 --depths 0,1,2,4,8 --gate 0.30
+
+echo "==> tiered store (page byte-layout pin, compaction, crash recovery)"
+step_start=$(date +%s)
+cargo test -q -p het-store
+echo "    [timing] het-store: $(($(date +%s) - step_start))s"
+
+echo "==> tiered determinism matrix + golden fixture (reports and traces byte-identical)"
+cargo test -q -p het --test determinism tiered_store_seed_matrix
+cargo test -q -p het --test trace_golden tiered_fixture_reconciles_store_counters
+
+echo "==> store sweep smoke (10^7 keys, bounded residency, hit-rate floor, Mem zero-disk)"
+step_start=$(date +%s)
+cargo run -q --release -p het-bench --bin hetctl -- store-sweep \
+    --keys 10000000 --ops 300000 --hot 65536 --gate 0.5
+echo "    [timing] store sweep: $(($(date +%s) - step_start))s"
 
 echo "==> policy shootout (adaptive within 5 hit-rate points of best fixed, all scenarios)"
 step_start=$(date +%s)

@@ -10,6 +10,7 @@
 //! hetctl oracle   --seeds 0..500 --iters 50
 //! hetctl oracle   --repro target/oracle/repro-0-17.json
 //! hetctl prefetch-sweep [--depths 0,1,2,4,8 --iters 600 --gate 0.30]
+//! hetctl store-sweep [--keys 10000000 --ops 1000000 --hot 16384,65536 --gate 0.5]
 //! hetctl list
 //! ```
 //!
@@ -189,6 +190,27 @@ fn policy_of(name: &str) -> Result<PolicyKind, String> {
     })
 }
 
+/// `--store mem | tiered:<hot_rows>`: the PS shard row-store backend.
+fn store_spec_of(name: &str) -> Result<het_ps::StoreSpec, String> {
+    if let Some(h) = name.strip_prefix("tiered:") {
+        let hot_rows: usize = h
+            .parse()
+            .map_err(|_| format!("bad tiered hot-row budget '{h}'"))?;
+        if hot_rows == 0 {
+            return Err("tiered hot-row budget must be positive".to_string());
+        }
+        return Ok(het_ps::StoreSpec::Tiered(het_ps::TieredConfig::new(
+            hot_rows,
+        )));
+    }
+    match name {
+        "mem" => Ok(het_ps::StoreSpec::Mem),
+        other => Err(format!(
+            "unknown store '{other}' (try: mem tiered:<hot_rows>)"
+        )),
+    }
+}
+
 fn print_report(workload: Workload, system: &str, summary: &RunSummary, report: &TrainReport) {
     println!("workload          {}", workload.name());
     println!("system            {system}");
@@ -200,6 +222,28 @@ fn print_report(workload: Workload, system: &str, summary: &RunSummary, report: 
     println!("comm fraction     {:.1} %", 100.0 * summary.comm_fraction);
     if let Some(t) = summary.time_to_target_s {
         println!("time to target    {t:.3} s");
+    }
+    if let Some(s) = &report.store {
+        println!("--- store (tiered) ---");
+        println!(
+            "hot hit rate      {:.2} % ({} hits / {} promotions)",
+            100.0 * s.stats.hot_hit_rate(),
+            s.stats.hot_hits,
+            s.stats.promotions
+        );
+        println!(
+            "residency         {} of {} rows in memory",
+            s.resident_rows, s.total_rows
+        );
+        println!(
+            "cold tier         {} demotions ({} clean drops), {} compactions",
+            s.stats.demotions, s.stats.clean_drops, s.stats.compactions
+        );
+        println!(
+            "disk time         {:.3} ms client + {:.3} ms background",
+            s.client_io_ns as f64 / 1e6,
+            s.background_io_ns as f64 / 1e6
+        );
     }
     let f = &report.faults;
     if !report.fault_events.is_empty() || f != &het_core::FaultStats::default() {
@@ -288,6 +332,7 @@ fn run_one(
     let target: f64 = args.get_parsed("target", -1.0)?;
     let lr: f64 = args.get_parsed("lr", -1.0)?;
     let lookahead: u64 = args.get_parsed("lookahead", 0)?;
+    let store = store_spec_of(args.get("store").unwrap_or("mem"))?;
     let faults = fault_config_of(args)?;
 
     let tweak = move |c: &mut TrainerConfig| {
@@ -306,6 +351,7 @@ fn run_one(
         }
         *c = c.clone().with_cache(cache_frac, policy);
         c.lookahead_depth = lookahead;
+        c.store = store.clone();
         c.faults = faults.clone();
     };
     let (report, log) = if traced {
@@ -337,6 +383,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     cfg.pretrain_updates = args.get_parsed("pretrain-updates", cfg.pretrain_updates)?;
     cfg.warmup_requests = args.get_parsed("warmup", cfg.warmup_requests)?;
     cfg.n_shards = args.get_parsed("servers", cfg.n_shards)?;
+    cfg.store = store_spec_of(args.get("store").unwrap_or("mem"))?;
     let drift_ms: f64 = args.get_parsed("drift-period-ms", 0.0)?;
     if drift_ms > 0.0 {
         cfg.drift_period = SimDuration::from_secs_f64(drift_ms / 1e3);
@@ -753,6 +800,72 @@ fn cmd_prefetch_sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the tiered-store sweep (`het_bench::store_sweep`): one
+/// CTR-shaped Zipf stream at a paper-scale key space against the flat
+/// in-memory baseline and a tiered cell per hot budget, printing the
+/// memory-vs-disk crossover table and writing the rows to
+/// `target/experiments/store_sweep.json`. With `--gate FLOOR` the
+/// command fails unless every tiered cell stayed within its resident
+/// budget, exercised the cold tier, and kept its hot hit rate at or
+/// above FLOOR — the CI smoke gate proving 10⁷-key spaces run in
+/// bounded memory.
+fn cmd_store_sweep(args: &Args) -> Result<(), String> {
+    let n_keys: u64 = args.get_parsed("keys", 10_000_000)?;
+    let ops: u64 = args.get_parsed("ops", 1_000_000)?;
+    let dim: usize = args.get_parsed("dim", 16)?;
+    let gate: f64 = args.get_parsed("gate", 0.0)?;
+    let hot_budgets: Vec<u64> = match args.get("hot") {
+        None => vec![1 << 14, 1 << 16, 1 << 18],
+        Some(s) => s
+            .split(',')
+            .map(|h| {
+                h.trim()
+                    .parse()
+                    .map_err(|_| format!("--hot: cannot parse '{h}'"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    // Cold tiers spill to real segment files under target/experiments
+    // by default, so host memory stays bounded at 10⁷–10⁸-key scale;
+    // `--spill 0` keeps segments in memory (small sweeps only).
+    let spill_dir = if args.get_parsed("spill", 1u8)? != 0 {
+        Some(het_bench::out::experiments_dir().join("store_sweep_cold"))
+    } else {
+        None
+    };
+    let rows = het_bench::store_sweep(n_keys, ops, &hot_budgets, dim, spill_dir.clone());
+    println!(
+        "{:<16} {:>12} {:>12} {:>10} {:>7} {:>10} {:>8} {:>10}",
+        "backend", "distinct", "resident", "res(MiB)", "hit%", "io(ms)", "compact", "wall(ms)"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>12} {:>12} {:>10.1} {:>6.1} {:>10.2} {:>8} {:>10.0}",
+            r.backend,
+            r.distinct_keys,
+            r.resident_rows,
+            r.resident_mb,
+            100.0 * r.hot_hit_rate,
+            r.io_ms,
+            r.compactions,
+            r.wall_ms
+        );
+    }
+    het_bench::out::write_json(
+        "store_sweep",
+        &het_json::Json::Arr(rows.iter().map(het_json::ToJson::to_json).collect()),
+    );
+    if let Some(d) = &spill_dir {
+        // The cold logs are scratch, not an artifact.
+        let _ = std::fs::remove_dir_all(d);
+    }
+    if gate > 0.0 {
+        het_bench::store_sweep_gate(&rows, gate)?;
+        println!("verdict: PASS (every tiered cell bounded, hot hit rate >= {gate:.2})");
+    }
+    Ok(())
+}
+
 /// Runs the eviction-policy shootout (`het_bench::policy_shootout`):
 /// every scenario of the matrix (CTR/GNN training, prefetch on,
 /// faulted, serve with hot-set drift, serve with a flash crowd) ×
@@ -850,13 +963,15 @@ fn cmd_oracle(args: &Args) -> Result<(), String> {
     };
     let outcome = run_fuzz(&cfg);
     println!(
-        "oracle: {} runs (bsp {} / asp {} / ssp {}), {} cached, {} prefetched, {} faulted",
+        "oracle: {} runs (bsp {} / asp {} / ssp {}), {} cached, {} prefetched, {} tiered, \
+         {} faulted",
         outcome.runs,
         outcome.by_sync[0],
         outcome.by_sync[1],
         outcome.by_sync[2],
         outcome.cached_runs,
         outcome.prefetch_runs,
+        outcome.tiered_runs,
         outcome.faulted_runs
     );
     println!(
@@ -893,7 +1008,7 @@ fn main() -> ExitCode {
     let Some(command) = argv.first().map(String::as_str) else {
         eprintln!(
             "usage: hetctl <train|compare|serve|colocate|chaos|oracle|prefetch-sweep|\
-             policy-shootout|list> [--flag value ...]"
+             store-sweep|policy-shootout|list> [--flag value ...]"
         );
         return ExitCode::FAILURE;
     };
@@ -914,7 +1029,9 @@ fn main() -> ExitCode {
             println!("           --trace-chrome OUT.json (chrome://tracing view)");
             println!("oracle:    --seeds A..B --iters N --master-seed N --stop-after N");
             println!("           --sabotage-staleness N --out DIR --repro FILE.json");
+            println!("           --store mem|tiered:HOT_ROWS (PS row-store backend)");
             println!("prefetch-sweep: --depths 0,1,2,4,8 --iters N --gate FRACTION");
+            println!("store-sweep: --keys N --ops N --hot A,B,C --dim N --spill 0|1 --gate FLOOR");
             println!("policy-shootout: --iters N --requests N --gate HIT_RATE_MARGIN");
             println!("serve:     --replicas N --servers N --dim N --fields N --keys N");
             println!("           --cache ENTRIES --staleness N --policy (as above)");
@@ -971,6 +1088,7 @@ fn main() -> ExitCode {
             Ok(())
         })(),
         "prefetch-sweep" => Args::parse(&argv[1..]).and_then(|args| cmd_prefetch_sweep(&args)),
+        "store-sweep" => Args::parse(&argv[1..]).and_then(|args| cmd_store_sweep(&args)),
         "policy-shootout" => Args::parse(&argv[1..]).and_then(|args| cmd_policy_shootout(&args)),
         "serve" => Args::parse(&argv[1..]).and_then(|args| cmd_serve(&args)),
         "colocate" => Args::parse(&argv[1..]).and_then(|args| cmd_colocate(&args)),
@@ -978,7 +1096,7 @@ fn main() -> ExitCode {
         "oracle" => Args::parse(&argv[1..]).and_then(|args| cmd_oracle(&args)),
         other => Err(format!(
             "unknown command '{other}' (try: train compare serve colocate chaos oracle \
-             prefetch-sweep policy-shootout list)"
+             prefetch-sweep store-sweep policy-shootout list)"
         )),
     };
     match result {

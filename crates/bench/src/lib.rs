@@ -464,6 +464,236 @@ pub fn prefetch_sweep_with(
     rows
 }
 
+/// One row of the tiered-store sweep (`hetctl store-sweep`): the same
+/// CTR-shaped Zipf key stream driven against one row-store backend at
+/// paper-scale key spaces (10⁷–10⁸), charting the memory-vs-disk
+/// crossover the tiered store exists for. `modelled_ms` is the
+/// simulated time the stream's PS leg would carry (always 0 for the
+/// flat store, which has no I/O model); `resident_mb` is the estimated
+/// host memory the backend's resident rows pin.
+#[derive(Clone, Debug)]
+pub struct StoreSweepRow {
+    /// Backend label (`mem` or `tiered:<hot_rows>`).
+    pub backend: String,
+    /// Hot-tier row budget (0 for the flat store).
+    pub hot_rows: u64,
+    /// Key-space size the Zipf stream draws from.
+    pub n_keys: u64,
+    /// Operations driven (each is a pull or a read-modify-write push).
+    pub ops: u64,
+    /// Distinct keys materialised by the stream.
+    pub distinct_keys: u64,
+    /// Rows resident in memory at the end of the stream.
+    pub resident_rows: u64,
+    /// Estimated resident-row memory in MiB (rows × per-row bytes).
+    pub resident_mb: f64,
+    /// Fraction of accesses served without touching the cold tier.
+    pub hot_hit_rate: f64,
+    /// Modelled disk milliseconds accrued by the stream.
+    pub io_ms: f64,
+    /// Cold-tier bytes read (promotions + compaction), MiB.
+    pub cold_read_mb: f64,
+    /// Cold-tier bytes written (demotions + compaction), MiB.
+    pub cold_write_mb: f64,
+    /// Completed compaction passes.
+    pub compactions: u64,
+    /// Host wall-clock milliseconds for the stream (honesty metric —
+    /// hardware-dependent, not part of any determinism contract).
+    pub wall_ms: f64,
+}
+
+impl_to_json!(StoreSweepRow {
+    backend,
+    hot_rows,
+    n_keys,
+    ops,
+    distinct_keys,
+    resident_rows,
+    resident_mb,
+    hot_hit_rate,
+    io_ms,
+    cold_read_mb,
+    cold_write_mb,
+    compactions,
+    wall_ms,
+});
+
+/// Estimated resident bytes for one row: vector payload plus map-entry
+/// overhead (key, clock, `Vec` headers, hash bucket).
+fn row_bytes(dim: usize) -> u64 {
+    (dim * 4 + 96) as u64
+}
+
+/// O(1)-memory approximate Zipf rank over `{0, …, n−1}` with exponent
+/// `s > 0, s ≠ 1`: the inverse CDF of the continuous bounded power law
+/// on `[1, n+1]`. The exact tabulated sampler
+/// ([`het_data::ZipfSampler`]) builds an O(n) table — 800 MB at the
+/// sweep's 10⁸-key top end — which would defeat a bench whose point is
+/// bounded memory.
+fn zipf_rank(u: f64, n: u64, s: f64) -> u64 {
+    let top = (n + 1) as f64;
+    let x = (1.0 + u * (top.powf(1.0 - s) - 1.0)).powf(1.0 / (1.0 - s));
+    ((x as u64).saturating_sub(1)).min(n - 1)
+}
+
+/// Drives one backend with the sweep's deterministic CTR-shaped stream:
+/// Zipf-popular keys (the paper's Fig. 3 skew), three read-modify-write
+/// pushes per pull — a training-shaped mix where the working set far
+/// exceeds any sane hot budget.
+fn store_sweep_cell(
+    backend: String,
+    hot_rows: u64,
+    store: &mut dyn het_ps::RowStore,
+    n_keys: u64,
+    ops: u64,
+    dim: usize,
+) -> StoreSweepRow {
+    use het_rng::rngs::StdRng;
+    use het_rng::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(0x0005_702E_0001);
+    let started = std::time::Instant::now();
+    let mut io_ns: u64 = 0;
+    for i in 0..ops {
+        let key = zipf_rank(rng.gen::<f64>(), n_keys, 1.1);
+        if i % 4 == 0 {
+            // A pull: read access, may promote, never dirties.
+            let hit = store.get(key).is_some();
+            if !hit {
+                store.apply(
+                    key,
+                    &mut || het_ps::StoredRow {
+                        vector: vec![0.0; dim],
+                        clock: 0,
+                        opt_state: Vec::new(),
+                    },
+                    &mut |_| {},
+                );
+            }
+        } else {
+            // A push: read-modify-write, dirties the row.
+            store.apply(
+                key,
+                &mut || het_ps::StoredRow {
+                    vector: vec![0.0; dim],
+                    clock: 0,
+                    opt_state: Vec::new(),
+                },
+                &mut |row| {
+                    for v in &mut row.vector {
+                        *v += 0.01;
+                    }
+                    row.clock += 1;
+                },
+            );
+        }
+        io_ns += store.take_io_ns();
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let stats = store.stats();
+    StoreSweepRow {
+        backend,
+        hot_rows,
+        n_keys,
+        ops,
+        distinct_keys: store.len() as u64,
+        resident_rows: store.resident_rows() as u64,
+        resident_mb: (store.resident_rows() as u64 * row_bytes(dim)) as f64 / (1 << 20) as f64,
+        hot_hit_rate: stats.hot_hit_rate(),
+        io_ms: io_ns as f64 / 1e6,
+        cold_read_mb: stats.cold_read_bytes as f64 / (1 << 20) as f64,
+        cold_write_mb: stats.cold_write_bytes as f64 / (1 << 20) as f64,
+        compactions: stats.compactions,
+        wall_ms,
+    }
+}
+
+/// Runs the store sweep: the flat in-memory baseline plus one tiered
+/// cell per hot budget, all fed the identical key stream. `spill_dir`
+/// gives the tiered cells a real on-disk cold tier (`None` keeps
+/// segments in memory — fine for small sweeps, unbounded for 10⁸-key
+/// ones).
+pub fn store_sweep(
+    n_keys: u64,
+    ops: u64,
+    hot_budgets: &[u64],
+    dim: usize,
+    spill_dir: Option<std::path::PathBuf>,
+) -> Vec<StoreSweepRow> {
+    let mut rows = Vec::new();
+    let mut mem = het_ps::StoreSpec::Mem.build_shard(dim, 0, 1);
+    rows.push(store_sweep_cell(
+        "mem".to_string(),
+        0,
+        mem.as_mut(),
+        n_keys,
+        ops,
+        dim,
+    ));
+    drop(mem);
+    for &hot in hot_budgets {
+        let mut cfg = het_ps::TieredConfig::new(hot as usize);
+        // Each cell spills into its own directory so reruns and other
+        // budgets never replay each other's logs.
+        cfg.dir = spill_dir.as_ref().map(|d| d.join(format!("hot-{hot}")));
+        if let Some(d) = &cfg.dir {
+            // A stale cold tier from an earlier sweep would be replayed
+            // as recovery state; the sweep wants a cold start.
+            let _ = std::fs::remove_dir_all(d);
+        }
+        let spec = het_ps::StoreSpec::Tiered(cfg);
+        let mut store = spec.build_shard(dim, 0, 1);
+        rows.push(store_sweep_cell(
+            format!("tiered:{hot}"),
+            hot,
+            store.as_mut(),
+            n_keys,
+            ops,
+            dim,
+        ));
+    }
+    rows
+}
+
+/// The CI gate over a store sweep: every tiered cell must have kept its
+/// resident set within budget (bounded memory is the whole point), hit
+/// the hot tier at or above `hit_floor` (the Zipf hot set must fit),
+/// and actually exercised the cold tier; the flat baseline must accrue
+/// zero modelled disk time.
+pub fn store_sweep_gate(rows: &[StoreSweepRow], hit_floor: f64) -> Result<(), String> {
+    let mem = rows
+        .iter()
+        .find(|r| r.backend == "mem")
+        .ok_or("store-sweep gate: no mem baseline row")?;
+    if mem.io_ms != 0.0 {
+        return Err(format!(
+            "store-sweep gate: flat store accrued {} ms of disk time",
+            mem.io_ms
+        ));
+    }
+    for r in rows.iter().filter(|r| r.hot_rows > 0) {
+        if r.resident_rows > r.hot_rows {
+            return Err(format!(
+                "store-sweep gate: {} holds {} resident rows over its {}-row budget",
+                r.backend, r.resident_rows, r.hot_rows
+            ));
+        }
+        if r.hot_hit_rate < hit_floor {
+            return Err(format!(
+                "store-sweep gate: {} hot hit rate {:.4} is below the {hit_floor:.2} floor",
+                r.backend, r.hot_hit_rate
+            ));
+        }
+        if r.distinct_keys > r.hot_rows && r.io_ms <= 0.0 {
+            return Err(format!(
+                "store-sweep gate: {} spilled ({} keys > {} hot) but accrued no disk time",
+                r.backend, r.distinct_keys, r.hot_rows
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// One leaderboard row of the eviction-policy shootout
 /// (`hetctl policy-shootout`): one (scenario × policy) cell. Train
 /// scenarios report cycle time and leave `p99_us` at 0; serve
@@ -698,6 +928,37 @@ mod tests {
             assert!(report.total_iterations >= 32, "{}", w.name());
             assert!(report.final_metric.is_finite(), "{}", w.name());
         }
+    }
+
+    #[test]
+    fn store_sweep_is_deterministic_and_gated() {
+        let a = store_sweep(100_000, 24_000, &[512, 4_096], 16, None);
+        let b = store_sweep(100_000, 24_000, &[512, 4_096], 16, None);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            // Everything but host wall time must reproduce exactly.
+            assert_eq!(x.backend, y.backend);
+            assert_eq!(x.distinct_keys, y.distinct_keys);
+            assert_eq!(x.resident_rows, y.resident_rows);
+            assert_eq!(x.hot_hit_rate, y.hot_hit_rate);
+            assert_eq!(x.io_ms, y.io_ms);
+            assert_eq!(x.cold_read_mb, y.cold_read_mb);
+            assert_eq!(x.compactions, y.compactions);
+        }
+        store_sweep_gate(&a, 0.5).expect("gate");
+        // The crossover shape: both tiered cells bound memory below the
+        // flat baseline, and the larger hot budget pays less disk.
+        let (mem, small, large) = (&a[0], &a[1], &a[2]);
+        assert_eq!(mem.io_ms, 0.0);
+        assert!(small.resident_rows < mem.resident_rows);
+        assert!(large.resident_rows < mem.resident_rows);
+        assert!(
+            small.io_ms > large.io_ms,
+            "{} <= {}",
+            small.io_ms,
+            large.io_ms
+        );
+        assert!(small.hot_hit_rate < large.hot_hit_rate);
     }
 
     #[test]

@@ -181,7 +181,12 @@ impl std::fmt::Display for PolicyKind {
 /// The table guarantees: `on_insert` is called once per resident key,
 /// `on_access` only for resident keys, `on_remove` exactly once when a
 /// key leaves, and `pop_victim` only when at least one key is resident.
-pub trait CachePolicy: Send {
+///
+/// `Sync` is required (every method takes `&mut self`, so it costs the
+/// implementations nothing) so a policy can live inside the parameter
+/// server's per-shard locks, which hand out `&Shard` to concurrent
+/// readers.
+pub trait CachePolicy: Send + Sync {
     /// A key became resident.
     fn on_insert(&mut self, key: Key);
     /// A key became resident, with its α-β refetch cost and in-cache

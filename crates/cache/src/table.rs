@@ -403,8 +403,13 @@ impl CacheTable {
     }
 
     /// Drains every entry (end of training: flush all pending updates).
+    /// Key-ordered: the drain feeds per-key server pushes, and the
+    /// server's row store may be order-sensitive (a tiered store's
+    /// demotion sequence follows the access stream), so walking raw
+    /// HashMap order would leak its randomness into the run.
     pub fn drain_all(&mut self) -> Vec<(Key, EvictedEntry)> {
-        let keys: Vec<Key> = self.entries.keys().copied().collect();
+        let mut keys: Vec<Key> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
         keys.into_iter()
             .filter_map(|k| self.evict(k).map(|e| (k, e)))
             .collect()

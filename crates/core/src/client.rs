@@ -48,6 +48,14 @@ fn outage_wait<'a>(
     wait
 }
 
+/// Drains the disk time the server's row store accrued serving the
+/// current leg (zero with the flat in-memory store), as a duration to
+/// charge into the same span as the leg's wire time — disk time flows
+/// into simulated clocks exactly like network time.
+fn store_io(server: &PsServer) -> SimDuration {
+    SimDuration::from_nanos(server.take_io_ns())
+}
+
 /// The cache-enabled embedding client of one worker.
 pub struct HetClient {
     cache: CacheTable,
@@ -280,6 +288,7 @@ impl HetClient {
                 let pulled = server.pull(k);
                 self.install_fetched(k, pulled.vector, pulled.clock, server);
             }
+            t_missing += store_io(server);
         }
         time += t_clock.max(t_missing);
 
@@ -300,6 +309,7 @@ impl HetClient {
         if dirty_pushes > 0 {
             let bytes = self.costs.push(dirty_pushes, self.dim);
             stats.record(CommCategory::EmbeddingPush, bytes);
+            time += store_io(server);
             let mut t_push = net.ps_transfer(bytes);
             if let Some(f) = faults.as_mut() {
                 t_push = f.charge_leg(
@@ -327,6 +337,7 @@ impl HetClient {
                 let pulled = server.pull(k);
                 self.install_fetched(k, pulled.vector, pulled.clock, server);
             }
+            time += store_io(server);
         }
 
         // Serve the batch from the cache.
@@ -438,6 +449,7 @@ impl HetClient {
         if dirty_keys.is_empty() {
             return SimDuration::ZERO;
         }
+        let io = store_io(server);
         let wait = outage_wait(dirty_keys.iter(), server, &mut faults);
         let bytes = self.costs.push(dirty_keys.len(), self.dim);
         stats.record(CommCategory::EmbeddingPush, bytes);
@@ -446,10 +458,10 @@ impl HetClient {
             t = f.charge_leg(t, |b| stats.record(CommCategory::EmbeddingPush, b), bytes);
         }
         if self.write_behind {
-            self.deferred_push += wait + t;
+            self.deferred_push += wait + t + io;
             SimDuration::ZERO
         } else {
-            wait + t
+            wait + t + io
         }
     }
 
@@ -495,7 +507,7 @@ impl HetClient {
         if dirty > 0 {
             let bytes = self.costs.push(dirty, self.dim);
             stats.record(CommCategory::EmbeddingPush, bytes);
-            net.ps_transfer(bytes)
+            net.ps_transfer(bytes) + store_io(server)
         } else {
             SimDuration::ZERO
         }
@@ -550,7 +562,7 @@ impl DirectPsClient {
         for &k in keys {
             store.insert(k, server.pull(k).vector);
         }
-        (store, wait + time)
+        (store, wait + time + store_io(server))
     }
 
     /// Pushes the batch's gradients to the server.
@@ -576,11 +588,12 @@ impl DirectPsClient {
         }
         let bytes = self.costs.push(grads.len(), self.dim);
         stats.record(CommCategory::EmbeddingPush, bytes);
+        let io = store_io(server);
         let mut t = net.ps_transfer(bytes);
         if let Some(f) = faults.as_mut() {
             t = f.charge_leg(t, |b| stats.record(CommCategory::EmbeddingPush, b), bytes);
         }
-        wait + t
+        wait + t + io
     }
 }
 

@@ -3,6 +3,7 @@
 
 use crate::fault::FaultConfig;
 use het_cache::PolicyKind;
+pub use het_ps::{StoreSpec, TieredConfig};
 use het_simnet::{ClusterSpec, TieBreak};
 
 /// How dense (non-embedding) parameters are synchronised.
@@ -251,6 +252,12 @@ pub struct TrainerConfig {
     /// disables the prefetcher entirely and reproduces the legacy path
     /// byte-for-byte. Only meaningful under `SparseMode::Cached`.
     pub lookahead_depth: u64,
+    /// Row-store backend for every PS shard. [`StoreSpec::Mem`] (the
+    /// default) is the flat in-memory table and reproduces the legacy
+    /// simulation byte-for-byte; [`StoreSpec::Tiered`] bounds resident
+    /// rows per the spec's hot budget and spills the rest to a modelled
+    /// cold tier whose disk time flows into the simulated clocks.
+    pub store: StoreSpec,
 }
 
 impl TrainerConfig {
@@ -272,6 +279,7 @@ impl TrainerConfig {
             tie_break: TieBreak::Fifo,
             sabotage_extra_staleness: 0,
             lookahead_depth: 0,
+            store: StoreSpec::Mem,
         }
     }
 
@@ -294,6 +302,7 @@ impl TrainerConfig {
             tie_break: TieBreak::Fifo,
             sabotage_extra_staleness: 0,
             lookahead_depth: 0,
+            store: StoreSpec::Mem,
         }
     }
 

@@ -50,10 +50,11 @@ pub mod trainer;
 
 pub use client::HetClient;
 pub use config::{
-    Backbone, DenseSync, SparseMode, SyncMode, SystemConfig, SystemPreset, TrainerConfig,
+    Backbone, DenseSync, SparseMode, StoreSpec, SyncMode, SystemConfig, SystemPreset, TieredConfig,
+    TrainerConfig,
 };
 pub use fault::{FaultConfig, FaultRecord, FaultStats};
 pub use prefetch::{PrefetchAudit, PrefetchSummary, Prefetcher};
-pub use report::{ConvergencePoint, TimeBreakdown, TrainReport};
+pub use report::{ConvergencePoint, StoreSummary, TimeBreakdown, TrainReport};
 pub use retry::RetryPolicy;
 pub use trainer::Trainer;

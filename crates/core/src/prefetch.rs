@@ -459,17 +459,22 @@ impl Prefetcher {
             }
             let req = self.costs.fetch_request(live.len());
             let resp = self.costs.fetch_response(live.len(), self.dim);
-            let transfer = self.net.ps_transfer(req) + self.net.ps_transfer(resp);
+            // Pull before pricing the exchange: if the server has to
+            // promote cold rows to answer, that disk time lengthens the
+            // prefetch transfer (it is still off the critical path
+            // unless the read catches up to it).
+            let pulled: Vec<_> = live.iter().map(|&k| (k, self.server.pull(k))).collect();
+            let io = SimDuration::from_nanos(self.server.take_io_ns());
+            let transfer = self.net.ps_transfer(req) + self.net.ps_transfer(resp) + io;
             let (start, ready_at) = self.plane.borrow_mut().rx_transfer(w, t, transfer);
             let n = live.len() as u64;
             {
                 let mut plane = self.plane.borrow_mut();
-                for &k in &live {
-                    let pulled = self.server.pull(k);
+                for (k, p) in pulled {
                     plane.ready[w].push(ReadyResult {
                         key: k,
-                        vector: pulled.vector,
-                        clock: pulled.clock,
+                        vector: p.vector,
+                        clock: p.clock,
                         ready_at,
                     });
                 }

@@ -5,6 +5,7 @@ use crate::fault::{FaultRecord, FaultStats};
 use crate::prefetch::PrefetchSummary;
 use het_cache::CacheStats;
 use het_json::{Json, ToJson};
+use het_ps::StoreStats;
 use het_simnet::{CommStats, SimDuration, SimTime};
 
 /// One point on a convergence curve.
@@ -91,6 +92,66 @@ impl TimeBreakdown {
     }
 }
 
+/// Tiered-store accounting for one run: the shard-summed row-store
+/// counters plus the server-level split of modelled disk time into
+/// client-visible and background pools.
+#[derive(Clone, Debug, Default)]
+pub struct StoreSummary {
+    /// Shard-summed row-store counters.
+    pub stats: StoreStats,
+    /// Modelled disk nanoseconds charged into request/leg latency.
+    pub client_io_ns: u64,
+    /// Modelled disk nanoseconds from maintenance paths (checkpoints,
+    /// migration, warmup, evaluation views).
+    pub background_io_ns: u64,
+    /// Rows resident in hot tiers at the end of the run.
+    pub resident_rows: u64,
+    /// Total rows stored (hot + cold) at the end of the run.
+    pub total_rows: u64,
+}
+
+impl ToJson for StoreSummary {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("hot_hits".to_string(), Json::UInt(self.stats.hot_hits)),
+            ("promotions".to_string(), Json::UInt(self.stats.promotions)),
+            ("demotions".to_string(), Json::UInt(self.stats.demotions)),
+            (
+                "clean_drops".to_string(),
+                Json::UInt(self.stats.clean_drops),
+            ),
+            (
+                "cold_read_bytes".to_string(),
+                Json::UInt(self.stats.cold_read_bytes),
+            ),
+            (
+                "cold_write_bytes".to_string(),
+                Json::UInt(self.stats.cold_write_bytes),
+            ),
+            (
+                "compactions".to_string(),
+                Json::UInt(self.stats.compactions),
+            ),
+            (
+                "reclaimed_bytes".to_string(),
+                Json::UInt(self.stats.reclaimed_bytes),
+            ),
+            (
+                "hot_hit_rate".to_string(),
+                Json::Num(self.stats.hot_hit_rate()),
+            ),
+            ("io_ns".to_string(), Json::UInt(self.stats.io_ns)),
+            ("client_io_ns".to_string(), Json::UInt(self.client_io_ns)),
+            (
+                "background_io_ns".to_string(),
+                Json::UInt(self.background_io_ns),
+            ),
+            ("resident_rows".to_string(), Json::UInt(self.resident_rows)),
+            ("total_rows".to_string(), Json::UInt(self.total_rows)),
+        ])
+    }
+}
+
 /// The result of one training run.
 #[derive(Clone, Debug)]
 pub struct TrainReport {
@@ -131,6 +192,10 @@ pub struct TrainReport {
     /// prefetcher (`lookahead_depth = 0`), which also keeps the
     /// serialized report byte-identical to the legacy path.
     pub prefetch: Option<PrefetchSummary>,
+    /// Tiered-store accounting; `None` when the run used the flat
+    /// in-memory store (the default), which keeps the serialized report
+    /// byte-identical to the legacy path.
+    pub store: Option<StoreSummary>,
 }
 
 impl ToJson for TrainReport {
@@ -162,6 +227,10 @@ impl ToJson for TrainReport {
         // prefetcher at all.
         if let Some(p) = &self.prefetch {
             fields.push(("prefetch".to_string(), p.to_json()));
+        }
+        // Likewise absent for in-memory-store runs.
+        if let Some(s) = &self.store {
+            fields.push(("store".to_string(), s.to_json()));
         }
         Json::Obj(fields)
     }
@@ -228,6 +297,7 @@ mod tests {
             faults: FaultStats::default(),
             fault_events: Vec::new(),
             prefetch: None,
+            store: None,
         }
     }
 

@@ -161,7 +161,8 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             optimizer: het_ps::ServerOptimizer::Sgd,
             grad_clip: config.server_grad_clip,
         };
-        let server = ServerHandle::new(PsServer::with_spare_shards(ps_config, spare_shards));
+        let server =
+            ServerHandle::new(PsServer::with_store(ps_config, spare_shards, &config.store));
 
         let plan = config.faults.plan(
             config.seed,
@@ -627,6 +628,9 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
                         superseded += 1;
                     }
                 }
+                // Installs can displace dirty rows back to the server;
+                // that write-back's disk time stalls this read.
+                prefetch_wait += SimDuration::from_nanos(server.take_io_ns());
                 let mut plane = plane_rc.borrow_mut();
                 plane.note_install(installed, stall);
                 plane.note_cancelled(superseded);
@@ -653,6 +657,10 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
                 for &k in keys {
                     store.insert(k, server.pull(k).vector);
                 }
+                // Replica reads stand for local table lookups, not a
+                // priced PS leg — keep their disk time out of request
+                // latency.
+                server.reclassify_pending_io();
                 (store, SimDuration::ZERO)
             }
         };
@@ -853,7 +861,9 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         for k in merged.sorted_keys() {
             self.server.push_inc(k, merged.get(k).expect("merged key"));
         }
-        let t = net.allgather(max_block);
+        // The merged apply is the gathered update landing in every
+        // replica; its disk time rides the barrier it happens behind.
+        let t = net.allgather(max_block) + SimDuration::from_nanos(self.server.take_io_ns());
         for worker in &mut self.workers {
             worker.breakdown.sparse_write += t;
         }
@@ -892,6 +902,8 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
                 .unwrap_or_else(|| self.server.pull(k).vector);
             store.insert(k, v);
         }
+        // Evaluation is outside the simulated clocks entirely.
+        self.server.reclassify_pending_io();
         store
     }
 
@@ -1221,6 +1233,34 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         }
         let examples = self.global_iterations * self.config.batch_size as u64;
         let epochs = examples as f64 / self.dataset.epoch_examples().max(1) as f64;
+        // Tiered-store accounting: absent for Mem runs so their reports
+        // (and traces) stay byte-identical to the legacy path. Any disk
+        // time the final flush left pending has no leg to ride — fold
+        // it into the client pool total here.
+        let store = match &self.config.store {
+            het_ps::StoreSpec::Mem => None,
+            het_ps::StoreSpec::Tiered(_) => {
+                let stats = self.server.store_stats();
+                let client_io_ns = stats.io_ns.saturating_sub(self.server.background_io_ns());
+                let summary = crate::report::StoreSummary {
+                    client_io_ns,
+                    background_io_ns: self.server.background_io_ns(),
+                    resident_rows: self.server.resident_rows() as u64,
+                    total_rows: self.server.len() as u64,
+                    stats,
+                };
+                // The per-op counters (hot_hits, demotions, …) are
+                // emitted by the store itself; only the modelled disk
+                // time — which the store accrues silently — is stamped
+                // here, split the way the report splits it.
+                if het_trace::enabled() {
+                    het_trace::counter_add("store", "io_ns", summary.stats.io_ns);
+                    het_trace::counter_add("store", "client_io_ns", summary.client_io_ns);
+                    het_trace::counter_add("store", "background_io_ns", summary.background_io_ns);
+                }
+                Some(summary)
+            }
+        };
         TrainReport {
             system: self.config.system.name.to_string(),
             curve: self.curve.clone(),
@@ -1237,6 +1277,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             faults: self.fault_stats.clone(),
             fault_events: self.fault_events.clone(),
             prefetch: self.plane.as_ref().map(|p| p.borrow().summary()),
+            store,
         }
     }
 }

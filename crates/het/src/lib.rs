@@ -61,11 +61,12 @@ pub use het_trace as trace;
 pub mod prelude {
     pub use het_cache::{CacheStats, PolicyKind};
     pub use het_core::config::{
-        Backbone, DenseSync, SparseMode, SyncMode, SystemConfig, SystemPreset, TrainerConfig,
+        Backbone, DenseSync, SparseMode, StoreSpec, SyncMode, SystemConfig, SystemPreset,
+        TieredConfig, TrainerConfig,
     };
     pub use het_core::{
         FaultConfig, FaultRecord, FaultStats, HetClient, PrefetchAudit, PrefetchSummary,
-        Prefetcher, TrainReport, Trainer,
+        Prefetcher, StoreSummary, TrainReport, Trainer,
     };
     pub use het_data::{
         auc, CtrBatch, CtrConfig, CtrDataset, GnnBatch, Graph, GraphConfig, Key, NeighborSampler,

@@ -13,7 +13,8 @@
 use crate::{check_replay, OracleReport, OracleSpec, Violation};
 use het_cache::PolicyKind;
 use het_core::config::{
-    Backbone, DenseSync, SparseMode, SyncMode, SystemConfig, SystemPreset, TrainerConfig,
+    Backbone, DenseSync, SparseMode, StoreSpec, SyncMode, SystemConfig, SystemPreset, TieredConfig,
+    TrainerConfig,
 };
 use het_core::{FaultConfig, TrainReport, Trainer};
 use het_data::{CtrConfig, CtrDataset};
@@ -57,6 +58,10 @@ pub struct Scenario {
     /// Prefetch lookahead depth (0 = legacy demand-only path; sampled
     /// only for cached scenarios, where the prefetcher can exist).
     pub lookahead: u64,
+    /// Hot-tier row budget when PS shards run the tiered memory/disk
+    /// store (0 = flat in-memory store). Sampled budgets are tiny so
+    /// short fuzz runs actually demote, spill, and compact.
+    pub tiered_hot: u64,
 }
 
 fn mix(master_seed: u64, index: u64) -> u64 {
@@ -131,6 +136,14 @@ impl Scenario {
         } else {
             (0, 0, 0, 0.0)
         };
+        // A third of runs exercise the tiered memory/disk store; the
+        // tiny tables mean even an 8-row hot tier sees real demotion
+        // and cold-log compaction traffic.
+        let tiered_hot = if rng.gen_bool(0.35) {
+            [8u64, 32, 128][rng.gen_range(0usize..3)]
+        } else {
+            0
+        };
         Scenario {
             seed: rng.gen_range(0u64..1 << 32),
             workers,
@@ -145,6 +158,7 @@ impl Scenario {
             drop_prob,
             extra_staleness: 0,
             lookahead,
+            tiered_hot,
         }
     }
 
@@ -169,6 +183,9 @@ impl Scenario {
         config.seed = self.seed;
         config.tie_break = self.tie_break;
         config.lookahead_depth = self.lookahead;
+        if self.tiered_hot > 0 {
+            config.store = StoreSpec::Tiered(TieredConfig::new(self.tiered_hot as usize));
+        }
         config
     }
 
@@ -290,6 +307,7 @@ impl ToJson for Scenario {
                 Json::UInt(self.extra_staleness),
             ),
             ("lookahead".to_string(), Json::UInt(self.lookahead)),
+            ("tiered_hot".to_string(), Json::UInt(self.tiered_hot)),
         ])
     }
 }
@@ -366,6 +384,8 @@ impl Scenario {
             extra_staleness: get_uint(obj, "extra_staleness")?,
             // Absent in repro files written before prefetching existed.
             lookahead: get_uint(obj, "lookahead").unwrap_or(0),
+            // Absent in repro files written before the tiered store.
+            tiered_hot: get_uint(obj, "tiered_hot").unwrap_or(0),
         })
     }
 }
@@ -454,6 +474,12 @@ fn shrink_candidates(s: &Scenario) -> Vec<Scenario> {
     if s.lookahead > 0 {
         push(Scenario {
             lookahead: 0,
+            ..s.clone()
+        });
+    }
+    if s.tiered_hot > 0 {
+        push(Scenario {
+            tiered_hot: 0,
             ..s.clone()
         });
     }
@@ -552,6 +578,8 @@ pub struct FuzzOutcome {
     pub cached_runs: u64,
     /// Runs with a nonzero prefetch lookahead.
     pub prefetch_runs: u64,
+    /// Runs on the tiered memory/disk row store.
+    pub tiered_runs: u64,
     /// Runs with at least one scheduled fault.
     pub faulted_runs: u64,
     /// Total iteration completions checked.
@@ -621,6 +649,9 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
         if scenario.lookahead > 0 {
             out.prefetch_runs += 1;
         }
+        if scenario.tiered_hot > 0 {
+            out.tiered_runs += 1;
+        }
         if scenario.has_faults() {
             out.faulted_runs += 1;
         }
@@ -685,6 +716,7 @@ mod tests {
         let mut ssp = 0;
         let mut cached = 0;
         let mut prefetched = 0;
+        let mut tiered = 0;
         let mut faulted = 0;
         let mut zoo: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
         let mut adaptive = 0;
@@ -707,6 +739,14 @@ mod tests {
             if s.lookahead > 0 {
                 prefetched += 1;
             }
+            if s.tiered_hot > 0 {
+                tiered += 1;
+                assert!(
+                    [8, 32, 128].contains(&s.tiered_hot),
+                    "unexpected hot budget {}",
+                    s.tiered_hot
+                );
+            }
             if s.has_faults() {
                 faulted += 1;
             }
@@ -714,6 +754,7 @@ mod tests {
         assert!(bsp > 20 && asp > 20 && ssp > 20, "{bsp}/{asp}/{ssp}");
         assert!(cached > 60, "cached only {cached}/200");
         assert!(prefetched > 30, "prefetched only {prefetched}/200");
+        assert!(tiered > 30, "tiered only {tiered}/200");
         assert!(faulted > 30, "faulted only {faulted}/200");
         // The policy dimension spans the whole zoo, with enough
         // adaptive runs that forced switch points get exercised.
@@ -744,6 +785,7 @@ mod tests {
             drop_prob: 0.0,
             extra_staleness: 0,
             lookahead: 0,
+            tiered_hot: 0,
         };
         let outcome = run_scenario(&scenario);
         let report = outcome.oracle.expect("clean run must pass");
@@ -757,7 +799,7 @@ mod tests {
         // still passes every check, now with prefetch coverage.
         let prefetched = Scenario {
             lookahead: 4,
-            ..scenario
+            ..scenario.clone()
         };
         let outcome = run_scenario(&prefetched);
         let report = outcome.oracle.expect("clean prefetch run must pass");
@@ -765,5 +807,20 @@ mod tests {
             report.prefetch_installs > 0,
             "prefetch run reconciled no installs"
         );
+
+        // And on the tiered store: a hot tier small enough to force
+        // demotion to the cold log must not perturb any checked
+        // invariant — tiering moves bytes between tiers and charges
+        // modelled disk time, but never changes values or clocks.
+        let tiered = Scenario {
+            tiered_hot: 8,
+            ..scenario
+        };
+        let outcome = run_scenario(&tiered);
+        let report = outcome.oracle.expect("clean tiered run must pass");
+        assert!(report.computes >= 24);
+        assert!(report.window_reads > 0);
+        let store = outcome.report.store.expect("tiered run must report store");
+        assert!(store.stats.demotions > 0, "8-row hot tier never demoted");
     }
 }

@@ -33,6 +33,7 @@ fn base_scenario() -> Scenario {
         drop_prob: 0.0,
         extra_staleness: 0,
         lookahead: 0,
+        tiered_hot: 0,
     }
 }
 
@@ -91,6 +92,20 @@ fn sabotaged_staleness_check_is_caught_with_prefetching_enabled() {
     let violation = run_scenario(&scenario)
         .oracle
         .expect_err("oracle must catch the widened window under prefetching");
+    assert_eq!(violation.check, "cache-window", "{violation:?}");
+}
+
+#[test]
+fn sabotaged_staleness_check_is_caught_on_the_tiered_store() {
+    // Demotion to the cold log and re-promotion must not launder the
+    // planted staleness bug either: the oracle judges the trace, not
+    // the storage tier the row happened to live in.
+    let mut scenario = base_scenario();
+    scenario.extra_staleness = 8;
+    scenario.tiered_hot = 8;
+    let violation = run_scenario(&scenario)
+        .oracle
+        .expect_err("oracle must catch the widened window on the tiered store");
     assert_eq!(violation.check, "cache-window", "{violation:?}");
 }
 

@@ -1,9 +1,11 @@
 //! Embedding-table checkpointing.
 //!
 //! Production embedding-model training checkpoints the server state
-//! (tables this large cannot be retrained casually). The format is a
-//! simple self-describing text format — one row per line — which keeps
-//! this crate dependency-free and the files diffable:
+//! (tables this large cannot be retrained casually). The byte format is
+//! the shared `HET-CKPT v1` page encoding from [`het_store::page`] —
+//! one self-describing text page with a checksummed footer — which is
+//! also the unit of the tiered store's cold tier, so the two on-disk
+//! formats cannot drift:
 //!
 //! ```text
 //! HET-CKPT v1 dim=<D>
@@ -14,38 +16,18 @@
 //! The footer makes corruption detectable: a truncated file is missing
 //! it (or has fewer rows than it claims), and a flipped byte anywhere
 //! in the header or rows changes the checksum. Readers additionally
-//! reject non-finite vector values and duplicate keys — a checkpoint is
-//! the recovery path of record, so a bad one must fail loudly at read
-//! time, not corrupt a failover.
+//! reject non-finite vector values and — at this layer, on top of the
+//! page reader — duplicate keys: a checkpoint is the recovery path of
+//! record, so a bad one must fail loudly at read time, not corrupt a
+//! failover. (The page layer itself permits duplicates because the cold
+//! tier encodes optimiser state as a same-key follow-up row.)
 
 use crate::server::{PsConfig, PsServer};
-use crate::Key;
-use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use het_store::page;
+use std::io::{self, Read, Write};
 
-/// One exported embedding row.
-#[derive(Clone, Debug, PartialEq)]
-pub struct CheckpointRow {
-    /// The embedding key.
-    pub key: Key,
-    /// The global clock `c_g`.
-    pub clock: u64,
-    /// The embedding vector.
-    pub vector: Vec<f32>,
-}
-
-/// FNV-1a 64-bit, the checksum in the `HET-CKPT-END` footer. Chosen for
-/// being tiny, dependency-free, and byte-order independent; this is a
-/// corruption check, not a cryptographic seal.
-fn fnv1a64(bytes: &[u8], mut state: u64) -> u64 {
-    for &b in bytes {
-        state ^= b as u64;
-        state = state.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    state
-}
-
-/// The FNV-1a offset basis (initial state).
-const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// One exported embedding row — the shared page row type.
+pub use het_store::page::PageRow as CheckpointRow;
 
 fn data_err(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
@@ -55,36 +37,7 @@ fn data_err(msg: String) -> io::Error {
 /// vectors finite — violations are rejected, since a checkpoint that
 /// cannot be read back is worse than no checkpoint).
 pub fn write_checkpoint<W: Write>(w: W, dim: usize, rows: &[CheckpointRow]) -> io::Result<()> {
-    let mut w = BufWriter::new(w);
-    let mut crc = FNV_OFFSET;
-    let header = format!("HET-CKPT v1 dim={dim}\n");
-    crc = fnv1a64(header.as_bytes(), crc);
-    w.write_all(header.as_bytes())?;
-    let mut line = String::new();
-    for row in rows {
-        if row.vector.len() != dim {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("row {} has dim {} != {}", row.key, row.vector.len(), dim),
-            ));
-        }
-        if row.vector.iter().any(|v| !v.is_finite()) {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("row {} contains a non-finite value", row.key),
-            ));
-        }
-        line.clear();
-        line.push_str(&format!("{} {}", row.key, row.clock));
-        for v in &row.vector {
-            line.push_str(&format!(" {v}"));
-        }
-        line.push('\n');
-        crc = fnv1a64(line.as_bytes(), crc);
-        w.write_all(line.as_bytes())?;
-    }
-    writeln!(w, "HET-CKPT-END rows={} crc={:016x}", rows.len(), crc)?;
-    w.flush()
+    page::write_page(w, dim, rows)
 }
 
 /// Reads a checkpoint, returning `(dim, rows)`.
@@ -93,76 +46,7 @@ pub fn write_checkpoint<W: Write>(w: W, dim: usize, rows: &[CheckpointRow]) -> i
 /// (truncation), a row-count or checksum mismatch, short/long/non-finite
 /// vectors, and duplicate keys.
 pub fn read_checkpoint<R: Read>(r: R) -> io::Result<(usize, Vec<CheckpointRow>)> {
-    let mut lines = BufReader::new(r).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| data_err("empty checkpoint".to_string()))??;
-    let dim = header
-        .strip_prefix("HET-CKPT v1 dim=")
-        .and_then(|d| d.parse::<usize>().ok())
-        .ok_or_else(|| data_err(format!("bad header: {header}")))?;
-    let mut crc = fnv1a64(format!("{header}\n").as_bytes(), FNV_OFFSET);
-    let mut rows: Vec<CheckpointRow> = Vec::new();
-    let mut footer: Option<String> = None;
-    for (lineno, line) in lines.enumerate() {
-        let line = line?;
-        if let Some(rest) = line.strip_prefix("HET-CKPT-END ") {
-            footer = Some(rest.to_string());
-            break;
-        }
-        if line.is_empty() {
-            continue;
-        }
-        crc = fnv1a64(format!("{line}\n").as_bytes(), crc);
-        let mut parts = line.split_ascii_whitespace();
-        let parse_err = |what: &str| data_err(format!("line {}: bad {what}", lineno + 2));
-        let key: Key = parts
-            .next()
-            .ok_or_else(|| parse_err("key"))?
-            .parse()
-            .map_err(|_| parse_err("key"))?;
-        let clock: u64 = parts
-            .next()
-            .ok_or_else(|| parse_err("clock"))?
-            .parse()
-            .map_err(|_| parse_err("clock"))?;
-        let vector: Vec<f32> = parts
-            .map(|p| p.parse::<f32>().map_err(|_| parse_err("value")))
-            .collect::<Result<_, _>>()?;
-        if vector.len() != dim {
-            return Err(parse_err("vector length"));
-        }
-        if vector.iter().any(|v| !v.is_finite()) {
-            return Err(data_err(format!(
-                "line {}: non-finite value for key {key}",
-                lineno + 2
-            )));
-        }
-        rows.push(CheckpointRow { key, clock, vector });
-    }
-    let footer = footer.ok_or_else(|| data_err("truncated checkpoint: missing footer".into()))?;
-    let (rows_part, crc_part) = footer
-        .split_once(' ')
-        .ok_or_else(|| data_err(format!("bad footer: {footer}")))?;
-    let claimed_rows: usize = rows_part
-        .strip_prefix("rows=")
-        .and_then(|n| n.parse().ok())
-        .ok_or_else(|| data_err(format!("bad footer row count: {footer}")))?;
-    let claimed_crc: u64 = crc_part
-        .strip_prefix("crc=")
-        .and_then(|c| u64::from_str_radix(c, 16).ok())
-        .ok_or_else(|| data_err(format!("bad footer checksum: {footer}")))?;
-    if claimed_rows != rows.len() {
-        return Err(data_err(format!(
-            "truncated checkpoint: footer claims {claimed_rows} rows, found {}",
-            rows.len()
-        )));
-    }
-    if claimed_crc != crc {
-        return Err(data_err(format!(
-            "checkpoint checksum mismatch: footer {claimed_crc:016x}, computed {crc:016x}"
-        )));
-    }
+    let (dim, rows) = page::read_page(r)?;
     let mut seen = std::collections::HashSet::with_capacity(rows.len());
     for row in &rows {
         if !seen.insert(row.key) {
@@ -193,6 +77,7 @@ pub fn restore_server(config: PsConfig, dim: usize, rows: &[CheckpointRow]) -> P
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Key;
 
     fn demo_rows() -> Vec<CheckpointRow> {
         vec![
@@ -222,6 +107,15 @@ mod tests {
         let (dim, restored) = read_checkpoint(buf.as_slice()).unwrap();
         assert_eq!(dim, 2);
         assert_eq!(restored, rows);
+    }
+
+    /// The checkpoint writer and the shared page writer must produce the
+    /// same bytes — checkpoints written before the encoding moved to
+    /// `het-store` must stay readable forever.
+    #[test]
+    fn byte_layout_matches_shared_page_encoding() {
+        let rows = demo_rows();
+        assert_eq!(encode(&rows, 2), page::encode_page(2, &rows).unwrap());
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub use dense::DenseStore;
 pub use optimizer::ServerOptimizer;
 pub use recovery::{FailoverOutcome, ShardCheckpointStore};
 pub use server::{PsConfig, PsServer, PullResult};
+// The storage vocabulary comes from `het-store`; re-exported so callers
+// configuring a server need not name that crate.
+pub use het_store::{RowStore, StoreSpec, StoreStats, StoredRow, TieredConfig};
 
 /// An embedding key (feature ID).
 pub type Key = u64;

@@ -3,7 +3,8 @@
 use crate::optimizer::ServerOptimizer;
 use crate::sync::RwLock;
 use crate::Key;
-use std::collections::HashMap;
+use het_store::{RowStore, StoreSpec, StoreStats, StoredRow};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration of the embedding server.
 #[derive(Clone, Copy, Debug)]
@@ -52,16 +53,8 @@ pub struct PullResult {
     pub clock: u64,
 }
 
-struct Entry {
-    vector: Vec<f32>,
-    clock: u64,
-    /// Optimiser state (empty for SGD, the Adagrad accumulator
-    /// otherwise).
-    opt_state: Vec<f32>,
-}
-
 struct Shard {
-    table: HashMap<Key, Entry>,
+    store: Box<dyn RowStore>,
 }
 
 /// One live or completed shard split. While `complete` is false the
@@ -91,6 +84,15 @@ fn child_side(key: Key, salt: u64) -> bool {
 /// Base routing only ever targets base shards; spares receive keys
 /// solely through live splits ([`PsServer::begin_split`]), so a server
 /// with unused spares is byte-identical in behaviour to one without.
+///
+/// Each shard's rows live behind the [`RowStore`] trait: the flat
+/// in-memory map by default ([`StoreSpec::Mem`], byte-identical to the
+/// historical behaviour), or the tiered hot/cold store
+/// ([`StoreSpec::Tiered`]) for paper-scale key spaces. Modelled disk
+/// time accrued by client-path operations is drained with
+/// [`PsServer::take_io_ns`] so the simulation can charge it into the
+/// same clocks that carry network time; background maintenance I/O
+/// (checkpoints, failover, migration) accrues separately.
 pub struct PsServer {
     config: PsConfig,
     /// Shards addressed by base routing (`== config.n_shards`).
@@ -99,6 +101,12 @@ pub struct PsServer {
     /// Applied in order by [`PsServer::shard_index_of`]; splits are
     /// append-only so routing decisions replay deterministically.
     splits: RwLock<Vec<SplitState>>,
+    /// Disk nanoseconds accrued by client-path operations (pull, push,
+    /// clock queries) since the last [`PsServer::take_io_ns`].
+    pending_io_ns: AtomicU64,
+    /// Cumulative disk nanoseconds from maintenance paths (export,
+    /// restore, migration, snapshots) — never charged to request legs.
+    background_io_ns: AtomicU64,
 }
 
 /// Scales `grad` down to L2 norm `clip` if it exceeds it, returning the
@@ -142,12 +150,24 @@ impl PsServer {
     /// # Panics
     /// Panics on a zero dimension or zero shard count.
     pub fn with_spare_shards(config: PsConfig, spare_shards: usize) -> Self {
+        Self::with_store(config, spare_shards, &StoreSpec::Mem)
+    }
+
+    /// Creates an empty server whose shards use the row store described
+    /// by `spec`. A tiered spec's `hot_rows` budget is divided over the
+    /// *base* shards; spare shards get the same per-shard slice (they
+    /// inherit a parent's working set when a split activates them).
+    ///
+    /// # Panics
+    /// Panics on a zero dimension or zero shard count, or if a tiered
+    /// spec's spill directory cannot be created.
+    pub fn with_store(config: PsConfig, spare_shards: usize, spec: &StoreSpec) -> Self {
         assert!(config.dim > 0, "embedding dimension must be positive");
         assert!(config.n_shards > 0, "need at least one shard");
         let shards = (0..config.n_shards + spare_shards)
-            .map(|_| {
+            .map(|i| {
                 RwLock::new(Shard {
-                    table: HashMap::new(),
+                    store: spec.build_shard(config.dim, i, config.n_shards),
                 })
             })
             .collect();
@@ -156,6 +176,8 @@ impl PsServer {
             base_shards: config.n_shards,
             shards,
             splits: RwLock::new(Vec::new()),
+            pending_io_ns: AtomicU64::new(0),
+            background_io_ns: AtomicU64::new(0),
         }
     }
 
@@ -167,6 +189,73 @@ impl PsServer {
     /// Embedding dimension D.
     pub fn dim(&self) -> usize {
         self.config.dim
+    }
+
+    /// Moves a shard store's freshly accrued disk time into the
+    /// client-visible pending pool.
+    fn charge_io(&self, shard: &mut Shard) {
+        let ns = shard.store.take_io_ns();
+        if ns > 0 {
+            self.pending_io_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Same, but for maintenance paths whose disk time must not leak
+    /// into a client request's simulated latency.
+    fn charge_background_io(&self, shard: &mut Shard) {
+        let ns = shard.store.take_io_ns();
+        if ns > 0 {
+            self.background_io_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Drains the modelled disk nanoseconds accrued by client-path
+    /// operations (pull/push/remove) since the last call. The simulation
+    /// client charges this into the same protocol leg that carried the
+    /// request, so disk time flows into simulated clocks exactly like
+    /// network time. Always 0 with the flat in-memory store.
+    pub fn take_io_ns(&self) -> u64 {
+        self.pending_io_ns.swap(0, Ordering::Relaxed)
+    }
+
+    /// Moves whatever is in the client-visible pending pool to the
+    /// background pool. Callers that pull/push outside a priced protocol
+    /// leg (replication reads, allgather barrier updates, evaluation
+    /// views) use this so the disk time is still accounted for but never
+    /// double-charged into a later request's latency.
+    pub fn reclassify_pending_io(&self) {
+        let ns = self.pending_io_ns.swap(0, Ordering::Relaxed);
+        if ns > 0 {
+            self.background_io_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Cumulative modelled disk nanoseconds from maintenance paths:
+    /// checkpoint export, restore, shard migration, snapshots. Kept out
+    /// of [`PsServer::take_io_ns`] so background work never inflates a
+    /// client request's latency.
+    pub fn background_io_ns(&self) -> u64 {
+        self.background_io_ns.load(Ordering::Relaxed)
+    }
+
+    /// Aggregated row-store statistics across all shards (all zeros with
+    /// the flat in-memory store).
+    pub fn store_stats(&self) -> StoreStats {
+        let mut total = StoreStats::default();
+        for shard in &self.shards {
+            total.accumulate(&shard.read().store.stats());
+        }
+        total
+    }
+
+    /// Rows currently resident in memory across all shards — equal to
+    /// [`PsServer::len`] for the flat store, the hot-tier occupancy for
+    /// the tiered store.
+    pub fn resident_rows(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().store.resident_rows())
+            .sum()
     }
 
     /// The shard a key lives on — public so the failover path and the
@@ -183,7 +272,7 @@ impl PsServer {
         for s in splits.iter() {
             if s.parent == idx
                 && child_side(key, s.salt)
-                && (s.complete || self.shards[s.child].read().table.contains_key(&key))
+                && (s.complete || self.shards[s.child].read().store.contains(key))
             {
                 idx = s.child;
             }
@@ -223,31 +312,39 @@ impl PsServer {
             .collect()
     }
 
+    /// A freshly initialised row for `key`.
+    fn make_row(&self, key: Key) -> StoredRow {
+        StoredRow {
+            vector: self.initial_vector(key),
+            clock: 0,
+            opt_state: Vec::new(),
+        }
+    }
+
     /// Pulls one embedding, lazily initialising it on first touch.
     pub fn pull(&self, key: Key) -> PullResult {
         if het_trace::enabled() {
             het_trace::counter_add_at("ps", "pulls", Some(self.shard_index_of(key) as u64), 1);
         }
         let shard = self.shard_of(key);
-        {
-            let guard = shard.read();
-            if let Some(e) = guard.table.get(&key) {
-                return PullResult {
-                    vector: e.vector.clone(),
-                    clock: e.clock,
-                };
-            }
-        }
         let mut guard = shard.write();
-        let e = guard.table.entry(key).or_insert_with(|| Entry {
-            vector: self.initial_vector(key),
-            clock: 0,
-            opt_state: Vec::new(),
-        });
-        PullResult {
-            vector: e.vector.clone(),
-            clock: e.clock,
-        }
+        let result = match guard.store.get(key) {
+            Some(row) => PullResult {
+                vector: row.vector.clone(),
+                clock: row.clock,
+            },
+            None => {
+                let row = self.make_row(key);
+                let result = PullResult {
+                    vector: row.vector.clone(),
+                    clock: row.clock,
+                };
+                guard.store.insert(key, row);
+                result
+            }
+        };
+        self.charge_io(&mut guard);
+        result
     }
 
     /// Pulls a batch of embeddings.
@@ -270,14 +367,13 @@ impl PsServer {
         let mut scratch = Vec::new();
         let grad = clipped(grad, self.config.grad_clip, &mut scratch);
         let mut guard = self.shard_of(key).write();
-        let init = || Entry {
-            vector: self.initial_vector(key),
-            clock: 0,
-            opt_state: Vec::new(),
-        };
-        let e = guard.table.entry(key).or_insert_with(init);
-        opt.apply(&mut e.vector, &mut e.opt_state, grad, lr);
-        e.clock = e.clock.max(candidate_clock);
+        guard
+            .store
+            .apply(key, &mut || self.make_row(key), &mut |e| {
+                opt.apply(&mut e.vector, &mut e.opt_state, grad, lr);
+                e.clock = e.clock.max(candidate_clock);
+            });
+        self.charge_io(&mut guard);
     }
 
     /// Plain-PS push (the no-cache baselines): applies the gradient and
@@ -294,18 +390,20 @@ impl PsServer {
         let mut scratch = Vec::new();
         let grad = clipped(grad, self.config.grad_clip, &mut scratch);
         let mut guard = self.shard_of(key).write();
-        let init = || Entry {
-            vector: self.initial_vector(key),
-            clock: 0,
-            opt_state: Vec::new(),
-        };
-        let e = guard.table.entry(key).or_insert_with(init);
-        opt.apply(&mut e.vector, &mut e.opt_state, grad, lr);
-        e.clock += 1;
+        guard
+            .store
+            .apply(key, &mut || self.make_row(key), &mut |e| {
+                opt.apply(&mut e.vector, &mut e.opt_state, grad, lr);
+                e.clock += 1;
+            });
+        self.charge_io(&mut guard);
     }
 
     /// The global clock of a key (0 for never-touched keys). This is the
-    /// clock-only query behind `CheckValid` condition (2).
+    /// clock-only query behind `CheckValid` condition (2). Served from
+    /// the hot tier or the in-memory cold index — never charges disk
+    /// time, mirroring how the wire protocol ships clocks without
+    /// payloads.
     pub fn clock_of(&self, key: Key) -> u64 {
         if het_trace::enabled() {
             het_trace::counter_add_at(
@@ -315,11 +413,7 @@ impl PsServer {
                 1,
             );
         }
-        self.shard_of(key)
-            .read()
-            .table
-            .get(&key)
-            .map_or(0, |e| e.clock)
+        self.shard_of(key).read().store.clock_of(key).unwrap_or(0)
     }
 
     /// Batched [`PsServer::clock_of`].
@@ -329,7 +423,7 @@ impl PsServer {
 
     /// Number of materialised embeddings across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().table.len()).sum()
+        self.shards.iter().map(|s| s.read().store.len()).sum()
     }
 
     /// True when no embedding has been touched yet.
@@ -337,28 +431,30 @@ impl PsServer {
         self.len() == 0
     }
 
-    /// Read-only snapshot of one vector without affecting clocks — a test
-    /// oracle helper.
+    /// Read-only snapshot of one vector without affecting clocks or tier
+    /// residency — a test oracle helper.
     pub fn snapshot(&self, key: Key) -> Option<Vec<f32>> {
-        self.shard_of(key)
-            .read()
-            .table
-            .get(&key)
-            .map(|e| e.vector.clone())
+        let mut guard = self.shard_of(key).write();
+        let out = guard.store.peek(key).map(|e| e.vector);
+        self.charge_background_io(&mut guard);
+        out
     }
 
     /// Exports every materialised row, key-sorted, for checkpointing.
+    /// Reads cold rows in place (tiered stores), charging the disk time
+    /// as background I/O.
     pub fn export_rows(&self) -> Vec<crate::checkpoint::CheckpointRow> {
         let mut rows = Vec::with_capacity(self.len());
         for shard in &self.shards {
-            let guard = shard.read();
-            for (&key, e) in &guard.table {
-                rows.push(crate::checkpoint::CheckpointRow {
+            let mut guard = shard.write();
+            rows.extend(guard.store.export_rows().into_iter().map(|(key, row)| {
+                crate::checkpoint::CheckpointRow {
                     key,
-                    clock: e.clock,
-                    vector: e.vector.clone(),
-                });
-            }
+                    clock: row.clock,
+                    vector: row.vector,
+                }
+            }));
+            self.charge_background_io(&mut guard);
         }
         rows.sort_unstable_by_key(|r| r.key);
         rows
@@ -369,14 +465,15 @@ impl PsServer {
     pub fn restore_entry(&self, key: Key, vector: Vec<f32>, clock: u64) {
         assert_eq!(vector.len(), self.config.dim, "row dimension mismatch");
         let mut guard = self.shard_of(key).write();
-        guard.table.insert(
+        guard.store.insert(
             key,
-            Entry {
+            StoredRow {
                 vector,
                 clock,
                 opt_state: Vec::new(),
             },
         );
+        self.charge_background_io(&mut guard);
     }
 
     /// Exports the materialised rows of one shard, key-sorted (the unit
@@ -385,17 +482,18 @@ impl PsServer {
     /// # Panics
     /// Panics on an out-of-range shard index.
     pub fn export_shard_rows(&self, shard: usize) -> Vec<crate::checkpoint::CheckpointRow> {
-        let guard = self.shards[shard].read();
-        let mut rows: Vec<_> = guard
-            .table
-            .iter()
-            .map(|(&key, e)| crate::checkpoint::CheckpointRow {
+        let mut guard = self.shards[shard].write();
+        let rows = guard
+            .store
+            .export_rows()
+            .into_iter()
+            .map(|(key, row)| crate::checkpoint::CheckpointRow {
                 key,
-                clock: e.clock,
-                vector: e.vector.clone(),
+                clock: row.clock,
+                vector: row.vector,
             })
             .collect();
-        rows.sort_unstable_by_key(|r| r.key);
+        self.charge_background_io(&mut guard);
         rows
     }
 
@@ -407,9 +505,8 @@ impl PsServer {
     /// Panics on an out-of-range shard index.
     pub fn clear_shard(&self, shard: usize) -> Vec<(Key, u64)> {
         let mut guard = self.shards[shard].write();
-        let mut lost: Vec<(Key, u64)> = guard.table.iter().map(|(&k, e)| (k, e.clock)).collect();
-        guard.table.clear();
-        lost.sort_unstable();
+        let lost = guard.store.clear();
+        self.charge_background_io(&mut guard);
         lost
     }
 
@@ -430,7 +527,7 @@ impl PsServer {
             "split child must be a spare shard (index >= n_base_shards)"
         );
         assert!(
-            self.shards[child].read().table.is_empty(),
+            self.shards[child].read().store.is_empty(),
             "split child shard must be empty"
         );
         let mut splits = self.splits.write();
@@ -465,7 +562,9 @@ impl PsServer {
     /// so migration is deterministic) from `parent` to its split child,
     /// wholesale — vector, clock, and optimiser state travel together
     /// and no push/pull counters fire, so gradient accounting is
-    /// conserved across the move. Returns how many keys moved.
+    /// conserved across the move. Cold rows are read back from the
+    /// parent's log as they move (background I/O). Returns how many keys
+    /// moved.
     ///
     /// # Panics
     /// Panics if `parent` has no migration in flight.
@@ -474,22 +573,19 @@ impl PsServer {
             .active_split(parent)
             .expect("migrate_batch: no migration in flight for this shard");
         let mut src = self.shards[split.parent].write();
-        let mut moving: Vec<Key> = src
-            .table
-            .keys()
-            .copied()
-            .filter(|&k| child_side(k, split.salt))
-            .collect();
-        moving.sort_unstable();
+        let mut moving: Vec<Key> = src.store.sorted_keys();
+        moving.retain(|&k| child_side(k, split.salt));
         moving.truncate(max_keys);
         if moving.is_empty() {
             return 0;
         }
         let mut dst = self.shards[split.child].write();
         for key in &moving {
-            let entry = src.table.remove(key).expect("key vanished mid-batch");
-            dst.table.insert(*key, entry);
+            let row = src.store.remove(*key).expect("key vanished mid-batch");
+            dst.store.insert(*key, row);
         }
+        self.charge_background_io(&mut src);
+        self.charge_background_io(&mut dst);
         moving.len()
     }
 
@@ -501,8 +597,9 @@ impl PsServer {
         };
         self.shards[split.parent]
             .read()
-            .table
-            .keys()
+            .store
+            .sorted_keys()
+            .iter()
             .filter(|&&k| child_side(k, split.salt))
             .count()
     }
@@ -530,6 +627,8 @@ impl PsServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use het_store::TieredConfig;
+    use std::collections::HashMap;
 
     fn server(dim: usize) -> PsServer {
         PsServer::new(PsConfig {
@@ -645,6 +744,20 @@ mod tests {
     fn wrong_grad_dim_rejected() {
         let s = server(4);
         s.push_inc(1, &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn mem_store_never_accrues_io() {
+        let s = server(2);
+        for k in 0..50u64 {
+            s.push_inc(k, &[1.0, -1.0]);
+            let _ = s.pull(k);
+        }
+        let _ = s.export_rows();
+        assert_eq!(s.take_io_ns(), 0);
+        assert_eq!(s.background_io_ns(), 0);
+        assert_eq!(s.store_stats(), StoreStats::default());
+        assert_eq!(s.resident_rows(), s.len());
     }
 
     /// Asserts every materialised key lives on exactly one physical
@@ -838,5 +951,120 @@ mod tests {
         let init = server(1).pull(77).vector[0];
         let v = s.pull(77).vector[0];
         assert!((v - (init - 0.5 * 1000.0)).abs() < 1e-2);
+    }
+
+    fn tiered_spec(hot_rows: usize) -> StoreSpec {
+        let mut cfg = TieredConfig::new(hot_rows);
+        // Small segments + a low floor so these tests exercise segment
+        // rolls and compaction, not just the happy path.
+        cfg.segment_bytes = 2 << 10;
+        cfg.gc_min_bytes = 1 << 10;
+        StoreSpec::Tiered(cfg)
+    }
+
+    #[test]
+    fn tiered_server_matches_mem_server_row_for_row() {
+        let cfg = PsConfig {
+            dim: 2,
+            n_shards: 4,
+            lr: 0.5,
+            seed: 99,
+            optimizer: ServerOptimizer::Sgd,
+            grad_clip: None,
+        };
+        let tiered = PsServer::with_store(cfg, 0, &tiered_spec(8));
+        let flat = PsServer::new(cfg);
+        for round in 0..3 {
+            for k in 0..120u64 {
+                tiered.push_inc(k, &[1.0, -1.0]);
+                flat.push_inc(k, &[1.0, -1.0]);
+                if k % 3 == round {
+                    assert_eq!(tiered.pull(k), flat.pull(k), "key {k} round {round}");
+                }
+            }
+        }
+        assert_eq!(tiered.len(), flat.len());
+        assert!(
+            tiered.resident_rows() < tiered.len(),
+            "most rows must have spilled cold (resident {} of {})",
+            tiered.resident_rows(),
+            tiered.len()
+        );
+        for k in 0..120u64 {
+            assert_eq!(tiered.pull(k), flat.pull(k), "key {k} final");
+            assert_eq!(tiered.clock_of(k), flat.clock_of(k));
+        }
+        assert_eq!(tiered.export_rows(), flat.export_rows());
+        assert!(tiered.take_io_ns() > 0, "tier traffic must cost disk time");
+        let st = tiered.store_stats();
+        assert!(st.demotions > 0 && st.promotions > 0);
+    }
+
+    #[test]
+    fn tiered_clock_queries_are_io_free() {
+        let cfg = PsConfig {
+            dim: 2,
+            n_shards: 2,
+            lr: 0.1,
+            seed: 5,
+            optimizer: ServerOptimizer::Sgd,
+            grad_clip: None,
+        };
+        let s = PsServer::with_store(cfg, 0, &tiered_spec(4));
+        for k in 0..60u64 {
+            s.push_inc(k, &[1.0, 0.0]);
+        }
+        let _ = s.take_io_ns();
+        for k in 0..60u64 {
+            assert_eq!(s.clock_of(k), 1);
+        }
+        assert_eq!(s.take_io_ns(), 0, "clock queries are served from the index");
+    }
+
+    /// Satellite check: a live split while most parent rows sit cold.
+    /// Every row — hot or cold — must move wholesale, dual-read routing
+    /// must agree with placement at each step, and the disk time of the
+    /// move must land in the background pool, not on clients.
+    #[test]
+    fn split_while_rows_are_cold_resident_conserves_state() {
+        let cfg = PsConfig {
+            dim: 2,
+            n_shards: 2,
+            lr: 0.5,
+            seed: 5,
+            optimizer: ServerOptimizer::Sgd,
+            grad_clip: None,
+        };
+        let s = PsServer::with_store(cfg, 1, &tiered_spec(6));
+        let control = PsServer::new(cfg);
+        for k in 0..200u64 {
+            s.push_inc(k, &[1.0, -1.0]);
+            control.push_inc(k, &[1.0, -1.0]);
+        }
+        assert!(
+            s.resident_rows() < 200,
+            "test needs cold rows on the parent"
+        );
+        let _ = s.take_io_ns(); // drain client-path io from the setup
+        s.begin_split(0, 2, 0xC01D);
+        while s.remaining_to_migrate(0) > 0 {
+            s.migrate_batch(0, 9);
+            assert_exactly_one_owner(&s);
+        }
+        s.complete_split(0);
+        assert_exactly_one_owner(&s);
+        assert_eq!(
+            s.take_io_ns(),
+            0,
+            "migration disk time must not be charged to clients"
+        );
+        assert!(
+            s.background_io_ns() > 0,
+            "moving cold rows must cost background disk time"
+        );
+        assert_eq!(s.len(), control.len());
+        for k in 0..200u64 {
+            assert_eq!(s.pull(k), control.pull(k), "key {k} diverged");
+        }
     }
 }

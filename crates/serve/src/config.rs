@@ -3,6 +3,7 @@
 use crate::supervise::{AutoscaleConfig, SupervisionConfig};
 use het_cache::PolicyKind;
 use het_core::FaultConfig;
+use het_ps::StoreSpec;
 use het_simnet::{ClusterSpec, SimDuration, SimTime};
 
 /// Configuration of a [`ServeSim`](crate::ServeSim) run: the request
@@ -77,6 +78,11 @@ pub struct ServeConfig {
     /// Queue-depth autoscaling of the replica pool (disabled by
     /// default).
     pub autoscale: AutoscaleConfig,
+    /// Row-store backend of the PS shards behind the fleet.
+    /// [`StoreSpec::Mem`] (the default) keeps every row resident;
+    /// [`StoreSpec::Tiered`] bounds resident rows and charges modelled
+    /// disk time on cold fetches, which flows into miss latency.
+    pub store: StoreSpec,
 }
 
 impl ServeConfig {
@@ -113,6 +119,7 @@ impl ServeConfig {
             cluster: ClusterSpec::cluster_a(n_replicas, n_shards),
             supervision: SupervisionConfig::disabled(),
             autoscale: AutoscaleConfig::disabled(),
+            store: StoreSpec::Mem,
         }
     }
 
@@ -149,6 +156,7 @@ impl ServeConfig {
             cluster: ClusterSpec::cluster_a(n_replicas, n_shards),
             supervision: SupervisionConfig::disabled(),
             autoscale: AutoscaleConfig::disabled(),
+            store: StoreSpec::Mem,
         }
     }
 

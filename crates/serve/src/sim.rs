@@ -125,7 +125,7 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
         // A planned live split needs a spare physical shard to split
         // into; an unused spare changes nothing about routing.
         let spares = usize::from(cfg.supervision.reshard.is_some());
-        let server = ServerHandle::new(PsServer::with_spare_shards(
+        let server = ServerHandle::new(PsServer::with_store(
             PsConfig {
                 dim: cfg.dim,
                 n_shards: cfg.n_shards,
@@ -135,6 +135,7 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
                 grad_clip: None,
             },
             spares,
+            &cfg.store,
         ));
         Self::assemble(cfg, server, plan, 0, model_fn)
     }
@@ -284,6 +285,9 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
             }
             het_trace::counter_add("serve", "warmed_keys", top.len() as u64);
         }
+        // Warmup runs before the first request; its cold fetches must
+        // not surface in request latency.
+        self.server.reclassify_pending_io();
     }
 
     /// Join-shortest-queue over `cand`, ties to the earliest-free then
@@ -605,6 +609,7 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
                 .cache_mut()
                 .install(k, pulled.vector, pulled.clock);
         }
+        self.server.reclassify_pending_io();
         het_trace::counter_add("serve", "warmed_keys", top.len() as u64);
         top.len() as u64
     }
@@ -661,6 +666,9 @@ impl<M: EmbeddingModel<Batch = CtrBatch>> ServeSim<M> {
             );
             installed += 1;
         }
+        // Drift prefetch is asynchronous background work; its cold
+        // fetches hide behind serving, like the trainer's prefetcher.
+        self.server.reclassify_pending_io();
         if installed > 0 {
             self.drift_prefetched += installed;
             het_trace::event!("serve", "drift_prefetch",

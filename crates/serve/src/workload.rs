@@ -96,6 +96,9 @@ pub fn pretrain(cfg: &ServeConfig, server: &PsServer, n: u64) -> u64 {
             .collect();
         server.push_inc(key, &grad);
     }
+    // Pretraining happens before t = 0 — its disk time is history, not
+    // serving latency.
+    server.reclassify_pending_io();
     n
 }
 

@@ -1,0 +1,139 @@
+//! Disk I/O cost model.
+//!
+//! The tiered parameter-server store (`het-store`) spills cold embedding
+//! rows to a log-structured on-disk tier; the time those reads and
+//! writes take must flow into the simulated clocks exactly like network
+//! time does, or the memory-vs-disk trade-off the tiering exists to
+//! explore would be invisible. A disk access is priced with the same
+//! α–β shape as [`crate::link::LinkSpec`]: a fixed per-access seek term
+//! (α) plus a per-byte transfer term (β). The model is a pure function
+//! of the byte count, so charging it is deterministic — same seed, same
+//! access stream, same simulated clock.
+//!
+//! Bandwidths are in **bytes** per second (the storage convention),
+//! unlike `LinkSpec`, which follows the networking convention of bits
+//! per second.
+
+use crate::time::SimDuration;
+
+/// Seek latency + read/write bandwidth description of one storage
+/// device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiskSpec {
+    /// Fixed per-access positioning cost (the α term): head seek for
+    /// spinning media, command/queue overhead for flash.
+    pub seek: SimDuration,
+    /// Sequential read bandwidth in bytes per second (the β term for
+    /// reads).
+    pub read_bytes_per_sec: f64,
+    /// Sequential write bandwidth in bytes per second (the β term for
+    /// writes).
+    pub write_bytes_per_sec: f64,
+}
+
+impl DiskSpec {
+    /// Creates a disk model from a seek time and read/write bandwidths
+    /// (bytes per second).
+    ///
+    /// # Panics
+    /// Panics if either bandwidth is not strictly positive and finite.
+    pub fn new(seek: SimDuration, read_bytes_per_sec: f64, write_bytes_per_sec: f64) -> Self {
+        assert!(
+            read_bytes_per_sec > 0.0 && read_bytes_per_sec.is_finite(),
+            "disk read bandwidth must be positive and finite, got {read_bytes_per_sec}"
+        );
+        assert!(
+            write_bytes_per_sec > 0.0 && write_bytes_per_sec.is_finite(),
+            "disk write bandwidth must be positive and finite, got {write_bytes_per_sec}"
+        );
+        DiskSpec {
+            seek,
+            read_bytes_per_sec,
+            write_bytes_per_sec,
+        }
+    }
+
+    /// A datacenter NVMe flash device: ~20 µs access overhead,
+    /// 2.5 GB/s reads, 1.2 GB/s writes. The default for the tiered
+    /// store's cold tier.
+    pub fn nvme() -> Self {
+        DiskSpec::new(SimDuration::from_micros(20), 2.5e9, 1.2e9)
+    }
+
+    /// A 7200 rpm hard drive: ~8 ms average seek, 180/120 MB/s
+    /// sequential read/write. The pessimistic end of the sweep.
+    pub fn hdd() -> Self {
+        DiskSpec::new(SimDuration::from_millis(8), 1.8e8, 1.2e8)
+    }
+
+    /// Time to read `bytes` in one access: seek + payload.
+    pub fn read_time(&self, bytes: u64) -> SimDuration {
+        self.seek + SimDuration::from_secs_f64(bytes as f64 / self.read_bytes_per_sec)
+    }
+
+    /// Time to write `bytes` in one access: seek + payload.
+    pub fn write_time(&self, bytes: u64) -> SimDuration {
+        self.seek + SimDuration::from_secs_f64(bytes as f64 / self.write_bytes_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_time_is_seek_plus_payload() {
+        let d = DiskSpec::new(SimDuration::from_micros(100), 1e6, 1e6);
+        // 1 MB at 1 MB/s = 1 s, plus 100 µs seek.
+        let t = d.read_time(1_000_000);
+        assert!((t.as_secs_f64() - 1.0001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seek_dominates_small_accesses() {
+        let d = DiskSpec::hdd();
+        let t = d.read_time(256); // one embedding-row page
+        let seek = d.seek.as_secs_f64();
+        assert!(t.as_secs_f64() >= seek);
+        assert!(t.as_secs_f64() < seek * 1.01);
+    }
+
+    #[test]
+    fn nvme_is_faster_than_hdd() {
+        let b = 1_000_000u64;
+        assert!(DiskSpec::nvme().read_time(b) < DiskSpec::hdd().read_time(b));
+        assert!(DiskSpec::nvme().write_time(b) < DiskSpec::hdd().write_time(b));
+    }
+
+    #[test]
+    fn writes_cost_at_least_reads_on_asymmetric_devices() {
+        let d = DiskSpec::nvme();
+        assert!(d.write_time(1_000_000) > d.read_time(1_000_000));
+    }
+
+    #[test]
+    fn times_are_monotone_in_bytes() {
+        let d = DiskSpec::nvme();
+        let mut prev = SimDuration::ZERO;
+        for bytes in [0u64, 1, 100, 10_000, 1_000_000] {
+            let t = d.write_time(bytes);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn cost_is_deterministic() {
+        let d = DiskSpec::nvme();
+        for bytes in [0u64, 17, 4096, 123_456_789] {
+            assert_eq!(d.read_time(bytes), d.read_time(bytes));
+            assert_eq!(d.write_time(bytes), d.write_time(bytes));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "read bandwidth must be positive")]
+    fn zero_read_bandwidth_rejected() {
+        let _ = DiskSpec::new(SimDuration::ZERO, 0.0, 1.0);
+    }
+}

@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod disk;
 pub mod event;
 pub mod fault;
 pub mod link;
@@ -38,6 +39,7 @@ pub mod time;
 pub mod topology;
 pub mod wire;
 
+pub use disk::DiskSpec;
 pub use event::{EventQueue, TieBreak};
 pub use fault::{FaultEvent, FaultPlan, FaultSpec, LinkFactors};
 pub use link::LinkSpec;

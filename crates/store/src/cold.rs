@@ -1,0 +1,720 @@
+//! The cold tier: an append-only log of `HET-CKPT v1` pages.
+//!
+//! Rows demoted from the hot tier are appended as single-row pages
+//! (plus a same-key follow-up row when the row carries optimiser
+//! state) to the active segment; an in-memory index maps each key to
+//! its latest `(segment, offset, len)` plus the clock, so clock-only
+//! queries never touch the disk model. Overwrites mark the superseded
+//! page as garbage; when the garbage ratio crosses the configured
+//! threshold, a compaction pass rewrites the live rows (ascending key
+//! order, so it is deterministic) into fresh segments and drops the old
+//! ones.
+//!
+//! Segments live either in memory (`dir: None` — the deterministic
+//! test/oracle configuration) or as `seg-<id>.log` files under a shard
+//! directory. Opening a file-backed log replays any existing segments
+//! in id order — later pages win, and a torn or corrupt tail page
+//! (detected by the page footer/checksum) ends that segment's replay,
+//! which is the crash-recovery path.
+
+use crate::page::{self, PageRow};
+use crate::{Key, StoredRow};
+use het_simnet::DiskSpec;
+use std::collections::{BTreeMap, HashMap};
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Where a key's latest page lives, plus its clock (kept in memory so
+/// `CheckValid` clock queries are free, like the wire protocol's
+/// clock-only messages).
+#[derive(Clone, Copy, Debug)]
+struct ColdEntry {
+    seg: u32,
+    offset: u32,
+    len: u32,
+    clock: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct SegMeta {
+    /// Bytes appended (including any torn tail found at replay).
+    len: u64,
+    /// Bytes no longer live (superseded or removed pages, torn tails).
+    dead: u64,
+}
+
+enum Backend {
+    Mem(HashMap<u32, Vec<u8>>),
+    File {
+        dir: PathBuf,
+        /// Kept open across appends to the same segment.
+        active: Option<(u32, fs::File)>,
+    },
+}
+
+impl Backend {
+    fn seg_path(dir: &Path, seg: u32) -> PathBuf {
+        dir.join(format!("seg-{seg:08}.log"))
+    }
+
+    fn append(&mut self, seg: u32, bytes: &[u8]) -> io::Result<()> {
+        match self {
+            Backend::Mem(segs) => {
+                segs.entry(seg).or_default().extend_from_slice(bytes);
+                Ok(())
+            }
+            Backend::File { dir, active } => {
+                if active.as_ref().map(|(s, _)| *s) != Some(seg) {
+                    let f = fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(Self::seg_path(dir, seg))?;
+                    *active = Some((seg, f));
+                }
+                let (_, f) = active.as_mut().expect("active segment just set");
+                f.write_all(bytes)?;
+                f.flush()
+            }
+        }
+    }
+
+    fn read(&mut self, seg: u32, offset: u32, len: u32) -> io::Result<Vec<u8>> {
+        match self {
+            Backend::Mem(segs) => {
+                let data = segs
+                    .get(&seg)
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such segment"))?;
+                let start = offset as usize;
+                let end = start + len as usize;
+                if end > data.len() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "page beyond segment end",
+                    ));
+                }
+                Ok(data[start..end].to_vec())
+            }
+            Backend::File { dir, .. } => {
+                let mut f = fs::File::open(Self::seg_path(dir, seg))?;
+                f.seek(SeekFrom::Start(offset as u64))?;
+                let mut buf = vec![0u8; len as usize];
+                f.read_exact(&mut buf)?;
+                Ok(buf)
+            }
+        }
+    }
+
+    fn remove_segment(&mut self, seg: u32) -> io::Result<()> {
+        match self {
+            Backend::Mem(segs) => {
+                segs.remove(&seg);
+                Ok(())
+            }
+            Backend::File { dir, active } => {
+                if active.as_ref().map(|(s, _)| *s) == Some(seg) {
+                    *active = None;
+                }
+                fs::remove_file(Self::seg_path(dir, seg))
+            }
+        }
+    }
+}
+
+/// Decodes one page into a row. A page is one data row, optionally
+/// followed by a same-key row carrying the optimiser state.
+fn decode_row(dim: usize, bytes: &[u8]) -> io::Result<StoredRow> {
+    let (page_dim, mut rows) = page::read_page(bytes)?;
+    if page_dim != dim {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("cold page dim {page_dim} != store dim {dim}"),
+        ));
+    }
+    match rows.len() {
+        1 => {
+            let r = rows.pop().expect("len checked");
+            Ok(StoredRow {
+                vector: r.vector,
+                clock: r.clock,
+                opt_state: Vec::new(),
+            })
+        }
+        2 if rows[0].key == rows[1].key => {
+            let opt = rows.pop().expect("len checked");
+            let r = rows.pop().expect("len checked");
+            Ok(StoredRow {
+                vector: r.vector,
+                clock: r.clock,
+                opt_state: opt.vector,
+            })
+        }
+        n => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("cold page has unexpected shape ({n} rows)"),
+        )),
+    }
+}
+
+pub(crate) struct ColdLog {
+    dim: usize,
+    backend: Backend,
+    index: HashMap<Key, ColdEntry>,
+    segs: BTreeMap<u32, SegMeta>,
+    next_seg: u32,
+    /// The segment currently receiving appends (`None` until the first
+    /// append after open — recovery never appends to a replayed
+    /// segment, so a torn tail can never be written after).
+    active: Option<u32>,
+    segment_bytes: u64,
+    gc_ratio: f64,
+    gc_min_bytes: u64,
+    disk: DiskSpec,
+    /// Modelled nanoseconds not yet drained by `take_io_ns`.
+    pending_io_ns: u64,
+    // Cumulative counters, surfaced through `StoreStats`.
+    pub(crate) read_bytes: u64,
+    pub(crate) write_bytes: u64,
+    pub(crate) io_ns_total: u64,
+    pub(crate) compactions: u64,
+    pub(crate) reclaimed_bytes: u64,
+}
+
+impl ColdLog {
+    /// Opens the log, replaying existing segments for a file-backed
+    /// directory. Returns the log and the number of rows recovered.
+    pub(crate) fn open(
+        dim: usize,
+        dir: Option<PathBuf>,
+        segment_bytes: u64,
+        gc_ratio: f64,
+        gc_min_bytes: u64,
+        disk: DiskSpec,
+    ) -> io::Result<(Self, usize)> {
+        assert!(dim > 0, "cold tier dimension must be positive");
+        assert!(segment_bytes > 0, "segment size must be positive");
+        assert!(
+            (0.0..=1.0).contains(&gc_ratio),
+            "gc_ratio must be in [0, 1], got {gc_ratio}"
+        );
+        let mut log = ColdLog {
+            dim,
+            backend: match dir {
+                None => Backend::Mem(HashMap::new()),
+                Some(dir) => {
+                    fs::create_dir_all(&dir)?;
+                    Backend::File { dir, active: None }
+                }
+            },
+            index: HashMap::new(),
+            segs: BTreeMap::new(),
+            next_seg: 0,
+            active: None,
+            segment_bytes,
+            gc_ratio,
+            gc_min_bytes,
+            disk,
+            pending_io_ns: 0,
+            read_bytes: 0,
+            write_bytes: 0,
+            io_ns_total: 0,
+            compactions: 0,
+            reclaimed_bytes: 0,
+        };
+        let recovered = log.replay()?;
+        Ok((log, recovered))
+    }
+
+    /// Replays existing segment files in id order (no-op for the memory
+    /// backend). Later pages win; a torn/corrupt tail ends a segment's
+    /// replay and its remaining bytes are accounted as garbage.
+    fn replay(&mut self) -> io::Result<usize> {
+        let Backend::File { dir, .. } = &self.backend else {
+            return Ok(0);
+        };
+        let mut seg_ids: Vec<u32> = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(id) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse::<u32>().ok())
+            {
+                seg_ids.push(id);
+            }
+        }
+        seg_ids.sort_unstable();
+        let dir = dir.clone();
+        for seg in seg_ids {
+            let bytes = fs::read(Backend::seg_path(&dir, seg))?;
+            let mut pos = 0usize;
+            while pos < bytes.len() {
+                let rest = &bytes[pos..];
+                let Some(page_len) = page_span(rest) else {
+                    break; // torn or corrupt tail: stop replaying here
+                };
+                let slice = &rest[..page_len];
+                // Validate the full page shape (dim, checksum, opt-state
+                // layout) exactly as a later read would.
+                if decode_row(self.dim, slice).is_err() {
+                    break;
+                }
+                let (_, rows) = page::read_page(slice).expect("validated above");
+                self.install(
+                    rows[0].key,
+                    ColdEntry {
+                        seg,
+                        offset: pos as u32,
+                        len: page_len as u32,
+                        clock: rows[0].clock,
+                    },
+                );
+                pos += page_len;
+            }
+            let meta = self.segs.entry(seg).or_default();
+            meta.len = bytes.len() as u64;
+            // Anything past the last valid page is garbage.
+            meta.dead += bytes.len() as u64 - pos as u64;
+            self.next_seg = self.next_seg.max(seg + 1);
+        }
+        Ok(self.index.len())
+    }
+
+    /// Points the index at a new page, accounting the superseded one as
+    /// garbage.
+    fn install(&mut self, key: Key, entry: ColdEntry) {
+        if let Some(old) = self.index.insert(key, entry) {
+            if let Some(meta) = self.segs.get_mut(&old.seg) {
+                meta.dead += old.len as u64;
+            }
+        }
+    }
+
+    fn charge_read(&mut self, bytes: u64) {
+        let ns = self.disk.read_time(bytes).as_nanos();
+        self.pending_io_ns += ns;
+        self.io_ns_total += ns;
+        self.read_bytes += bytes;
+    }
+
+    fn charge_write(&mut self, bytes: u64) {
+        let ns = self.disk.write_time(bytes).as_nanos();
+        self.pending_io_ns += ns;
+        self.io_ns_total += ns;
+        self.write_bytes += bytes;
+    }
+
+    fn encode(&self, key: Key, row: &StoredRow) -> io::Result<Vec<u8>> {
+        let mut rows = vec![PageRow {
+            key,
+            clock: row.clock,
+            vector: row.vector.clone(),
+        }];
+        if !row.opt_state.is_empty() {
+            assert_eq!(
+                row.opt_state.len(),
+                self.dim,
+                "optimiser state dimension must match the embedding dim to page out"
+            );
+            rows.push(PageRow {
+                key,
+                clock: row.clock,
+                vector: row.opt_state.clone(),
+            });
+        }
+        page::encode_page(self.dim, &rows)
+    }
+
+    /// Appends `row` as the new latest page for `key`, charging one
+    /// random write, then compacts if the garbage ratio crossed the
+    /// threshold.
+    pub(crate) fn append_row(&mut self, key: Key, row: &StoredRow) -> io::Result<()> {
+        let bytes = self.encode(key, row)?;
+        let entry = self.append_page(key, row.clock, &bytes)?;
+        self.install(key, entry);
+        self.charge_write(bytes.len() as u64);
+        self.maybe_compact()
+    }
+
+    /// Low-level append of an encoded page; rolls the active segment at
+    /// the size threshold. Does not touch the index or the disk model.
+    fn append_page(&mut self, _key: Key, clock: u64, bytes: &[u8]) -> io::Result<ColdEntry> {
+        let seg = match self.active {
+            Some(seg)
+                if self.segs.get(&seg).map_or(0, |m| m.len) + bytes.len() as u64
+                    <= self.segment_bytes =>
+            {
+                seg
+            }
+            _ => {
+                let seg = self.next_seg;
+                self.next_seg += 1;
+                self.active = Some(seg);
+                self.segs.insert(seg, SegMeta::default());
+                seg
+            }
+        };
+        let meta = self.segs.get_mut(&seg).expect("segment registered");
+        let offset = meta.len;
+        meta.len += bytes.len() as u64;
+        self.backend.append(seg, bytes)?;
+        Ok(ColdEntry {
+            seg,
+            offset: offset as u32,
+            len: bytes.len() as u32,
+            clock,
+        })
+    }
+
+    /// Reads the latest page for `key`, charging one random read. The
+    /// index entry stays — the cold copy remains valid until the hot
+    /// tier dirties the row.
+    pub(crate) fn read_row(&mut self, key: Key) -> io::Result<Option<StoredRow>> {
+        let Some(entry) = self.index.get(&key).copied() else {
+            return Ok(None);
+        };
+        let bytes = self.backend.read(entry.seg, entry.offset, entry.len)?;
+        self.charge_read(entry.len as u64);
+        decode_row(self.dim, &bytes).map(Some)
+    }
+
+    /// Removes `key` entirely, returning its row (one random read).
+    pub(crate) fn remove(&mut self, key: Key) -> io::Result<Option<StoredRow>> {
+        let row = self.read_row(key)?;
+        if row.is_some() {
+            self.mark_dead(key);
+        }
+        Ok(row)
+    }
+
+    /// Drops `key` from the index without reading it (the overwrite
+    /// path: a verbatim insert makes the cold copy garbage).
+    pub(crate) fn mark_dead(&mut self, key: Key) {
+        if let Some(old) = self.index.remove(&key) {
+            if let Some(meta) = self.segs.get_mut(&old.seg) {
+                meta.dead += old.len as u64;
+            }
+        }
+    }
+
+    pub(crate) fn contains(&self, key: Key) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    pub(crate) fn clock_of(&self, key: Key) -> Option<u64> {
+        self.index.get(&key).map(|e| e.clock)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub(crate) fn keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.index.keys().copied()
+    }
+
+    pub(crate) fn clocks(&self) -> impl Iterator<Item = (Key, u64)> + '_ {
+        self.index.iter().map(|(&k, e)| (k, e.clock))
+    }
+
+    /// Total and dead appended bytes across all segments.
+    pub(crate) fn garbage(&self) -> (u64, u64) {
+        let mut total = 0;
+        let mut dead = 0;
+        for meta in self.segs.values() {
+            total += meta.len;
+            dead += meta.dead;
+        }
+        (total, dead)
+    }
+
+    fn maybe_compact(&mut self) -> io::Result<()> {
+        let (total, dead) = self.garbage();
+        if total >= self.gc_min_bytes && dead as f64 > self.gc_ratio * total as f64 {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites every live row, ascending by key, into fresh segments
+    /// and drops the old ones. Sequential I/O: one seek per old segment
+    /// read plus per-byte, one seek per new segment written plus
+    /// per-byte — unlike promotions, which pay a seek per page.
+    pub(crate) fn compact(&mut self) -> io::Result<()> {
+        let (total_before, dead_before) = self.garbage();
+        let mut live: Vec<Key> = self.index.keys().copied().collect();
+        live.sort_unstable();
+
+        // Read every live row (per-segment sequential cost).
+        let mut per_seg_read: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut rows: Vec<(Key, StoredRow)> = Vec::with_capacity(live.len());
+        for &key in &live {
+            let entry = self.index[&key];
+            let bytes = self.backend.read(entry.seg, entry.offset, entry.len)?;
+            *per_seg_read.entry(entry.seg).or_insert(0) += entry.len as u64;
+            rows.push((key, decode_row(self.dim, &bytes)?));
+        }
+        for (_, bytes) in per_seg_read {
+            let ns = self.disk.read_time(bytes).as_nanos();
+            self.pending_io_ns += ns;
+            self.io_ns_total += ns;
+            self.read_bytes += bytes;
+        }
+
+        // Drop the old generation.
+        let old_segs: Vec<u32> = self.segs.keys().copied().collect();
+        for seg in old_segs {
+            self.backend.remove_segment(seg)?;
+        }
+        self.segs.clear();
+        self.index.clear();
+        self.active = None;
+
+        // Rewrite live rows sequentially (per-new-segment write cost).
+        let mut seg_written: BTreeMap<u32, u64> = BTreeMap::new();
+        for (key, row) in rows {
+            let bytes = self.encode(key, &row)?;
+            let entry = self.append_page(key, row.clock, &bytes)?;
+            *seg_written.entry(entry.seg).or_insert(0) += bytes.len() as u64;
+            self.index.insert(key, entry);
+        }
+        for (_, bytes) in seg_written {
+            let ns = self.disk.write_time(bytes).as_nanos();
+            self.pending_io_ns += ns;
+            self.io_ns_total += ns;
+            self.write_bytes += bytes;
+        }
+
+        let (total_after, _) = self.garbage();
+        self.compactions += 1;
+        self.reclaimed_bytes += total_before.saturating_sub(total_after);
+        let _ = dead_before;
+        Ok(())
+    }
+
+    /// Deletes every segment and resets the log (the shard-loss path).
+    pub(crate) fn clear(&mut self) -> io::Result<()> {
+        let old_segs: Vec<u32> = self.segs.keys().copied().collect();
+        for seg in old_segs {
+            self.backend.remove_segment(seg)?;
+        }
+        self.segs.clear();
+        self.index.clear();
+        self.active = None;
+        Ok(())
+    }
+
+    pub(crate) fn take_io_ns(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_io_ns)
+    }
+
+    /// A deterministic text rendering of the index and segment state —
+    /// the compaction tests compare this byte-for-byte across same-seed
+    /// runs.
+    pub(crate) fn index_fingerprint(&self) -> String {
+        let mut keys: Vec<Key> = self.index.keys().copied().collect();
+        keys.sort_unstable();
+        let mut out = String::new();
+        for key in keys {
+            let e = self.index[&key];
+            out.push_str(&format!(
+                "{key} seg={} off={} len={} clock={}\n",
+                e.seg, e.offset, e.len, e.clock
+            ));
+        }
+        for (seg, meta) in &self.segs {
+            out.push_str(&format!("seg {seg}: len={} dead={}\n", meta.len, meta.dead));
+        }
+        out
+    }
+}
+
+/// Length of the page starting at the head of `bytes`, if a complete
+/// one is present: from the `HET-CKPT v1` header through the newline
+/// ending the `HET-CKPT-END` footer line.
+fn page_span(bytes: &[u8]) -> Option<usize> {
+    if !bytes.starts_with(b"HET-CKPT v1 ") {
+        return None;
+    }
+    const FOOTER: &[u8] = b"\nHET-CKPT-END ";
+    let footer_at = bytes.windows(FOOTER.len()).position(|w| w == FOOTER)?;
+    let after = footer_at + FOOTER.len();
+    let end = bytes[after..].iter().position(|&b| b == b'\n')?;
+    Some(after + end + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nvme_log() -> ColdLog {
+        ColdLog::open(2, None, 1 << 20, 0.5, 1 << 30, DiskSpec::nvme())
+            .unwrap()
+            .0
+    }
+
+    fn row(v: f32, clock: u64) -> StoredRow {
+        StoredRow {
+            vector: vec![v, -v],
+            clock,
+            opt_state: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn append_read_round_trip_charges_io() {
+        let mut log = nvme_log();
+        log.append_row(7, &row(1.5, 3)).unwrap();
+        assert!(log.contains(7));
+        assert_eq!(log.clock_of(7), Some(3));
+        assert_eq!(log.read_row(7).unwrap(), Some(row(1.5, 3)));
+        assert_eq!(log.read_row(8).unwrap(), None);
+        let ns = log.take_io_ns();
+        assert!(ns > 0, "one write and one read must cost time");
+        assert_eq!(log.take_io_ns(), 0, "drained");
+    }
+
+    #[test]
+    fn opt_state_survives_the_page_round_trip() {
+        let mut log = nvme_log();
+        let r = StoredRow {
+            vector: vec![1.0, 2.0],
+            clock: 9,
+            opt_state: vec![0.5, 0.25],
+        };
+        log.append_row(4, &r).unwrap();
+        assert_eq!(log.read_row(4).unwrap(), Some(r));
+    }
+
+    #[test]
+    fn overwrites_accrue_garbage_and_compaction_reclaims() {
+        let mut log = ColdLog::open(2, None, 1 << 20, 0.4, 0, DiskSpec::nvme())
+            .unwrap()
+            .0;
+        // gc_min_bytes = 0 → the second version of the key makes ~50%
+        // of the log garbage, strictly above the 40% trigger.
+        log.append_row(1, &row(1.0, 1)).unwrap();
+        log.append_row(1, &row(2.0, 2)).unwrap();
+        assert_eq!(log.compactions, 1, "overwrite must have compacted");
+        let (total, dead) = log.garbage();
+        assert_eq!(dead, 0, "compaction leaves no garbage");
+        assert!(total > 0);
+        assert_eq!(log.read_row(1).unwrap(), Some(row(2.0, 2)));
+    }
+
+    #[test]
+    fn segments_roll_at_the_size_threshold() {
+        let mut log = ColdLog::open(2, None, 64, 0.9, 1 << 30, DiskSpec::nvme())
+            .unwrap()
+            .0;
+        for k in 0..6u64 {
+            log.append_row(k, &row(k as f32, k)).unwrap();
+        }
+        assert!(log.segs.len() > 1, "64-byte segments must roll");
+        for k in 0..6u64 {
+            assert_eq!(log.read_row(k).unwrap(), Some(row(k as f32, k)));
+        }
+    }
+
+    #[test]
+    fn page_span_finds_page_boundaries() {
+        let page_bytes = page::encode_page(
+            1,
+            &[PageRow {
+                key: 1,
+                clock: 0,
+                vector: vec![0.5],
+            }],
+        )
+        .unwrap();
+        assert_eq!(page_span(&page_bytes), Some(page_bytes.len()));
+        let mut two = page_bytes.clone();
+        two.extend_from_slice(&page_bytes);
+        assert_eq!(page_span(&two), Some(page_bytes.len()));
+        assert_eq!(page_span(b"garbage"), None);
+        assert_eq!(page_span(&page_bytes[..page_bytes.len() - 4]), None);
+    }
+
+    #[test]
+    fn file_backend_replays_after_drop() {
+        let dir = std::env::temp_dir().join(format!("het-cold-replay-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let (mut log, recovered) = ColdLog::open(
+                2,
+                Some(dir.clone()),
+                1 << 20,
+                0.5,
+                1 << 30,
+                DiskSpec::nvme(),
+            )
+            .unwrap();
+            assert_eq!(recovered, 0);
+            for k in 0..20u64 {
+                log.append_row(k, &row(k as f32, k + 1)).unwrap();
+            }
+            // Overwrite a few so replay must pick the later page.
+            log.append_row(3, &row(33.0, 40)).unwrap();
+            log.append_row(7, &row(77.0, 80)).unwrap();
+        }
+        let (mut log, recovered) = ColdLog::open(
+            2,
+            Some(dir.clone()),
+            1 << 20,
+            0.5,
+            1 << 30,
+            DiskSpec::nvme(),
+        )
+        .unwrap();
+        assert_eq!(recovered, 20);
+        assert_eq!(log.read_row(3).unwrap(), Some(row(33.0, 40)));
+        assert_eq!(log.read_row(7).unwrap(), Some(row(77.0, 80)));
+        assert_eq!(log.read_row(5).unwrap(), Some(row(5.0, 6)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_earlier_pages_survive() {
+        let dir = std::env::temp_dir().join(format!("het-cold-torn-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let (mut log, _) = ColdLog::open(
+                2,
+                Some(dir.clone()),
+                1 << 20,
+                0.5,
+                1 << 30,
+                DiskSpec::nvme(),
+            )
+            .unwrap();
+            for k in 0..5u64 {
+                log.append_row(k, &row(k as f32, k)).unwrap();
+            }
+        }
+        // Simulate a crash mid-append: truncate the single segment file
+        // inside its final page.
+        let seg0 = dir.join("seg-00000000.log");
+        let bytes = fs::read(&seg0).unwrap();
+        fs::write(&seg0, &bytes[..bytes.len() - 7]).unwrap();
+
+        let (mut log, recovered) = ColdLog::open(
+            2,
+            Some(dir.clone()),
+            1 << 20,
+            0.5,
+            1 << 30,
+            DiskSpec::nvme(),
+        )
+        .unwrap();
+        assert_eq!(recovered, 4, "the torn final page must be dropped");
+        for k in 0..4u64 {
+            assert_eq!(log.read_row(k).unwrap(), Some(row(k as f32, k)));
+        }
+        assert_eq!(log.read_row(4).unwrap(), None);
+        let (total, dead) = log.garbage();
+        assert!(dead > 0, "torn bytes count as garbage");
+        assert!(total >= dead);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

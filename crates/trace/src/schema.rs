@@ -22,6 +22,7 @@ use std::collections::BTreeSet;
 /// | `ps`      | events: `failover`; counters: pulls, pushes (per shard) |
 /// | `serve`   | events: `request`, `batch`, `lookup`, `infer`, `replica_crash`, `replica_respawn`, `replica_admit`, `retry_wait`, `drift_prefetch` (respawn prefetch of recently-hot keys); counters: requests, batches, queue_wait_ns, lookup_ns, infer_ns, degraded_reads, warmed_keys, drift_prefetched_keys, retry_waits (per replica) |
 /// | `simnet`  | events: link/fault schedule milestones |
+/// | `store`   | counters: hot_hits, promotions, demotions, clean_drops, cold_read_bytes, cold_write_bytes, compactions (per PS shard; emitted only when a shard runs the tiered store, so flat-store traces are unchanged) |
 /// | `supervisor` | events: `detect_crash`, `respawn`, `detect_outage`, `shard_restored`, `split_begin`, `migrate`, `split_done` (failure detection + driven recovery + live resharding); counters: heartbeats, detections, respawns, migrated_keys |
 /// | `trainer` | events: iteration/fault spans (`blocked_wait`, …); counters: degraded_reads, … |
 ///
@@ -34,6 +35,7 @@ pub const KNOWN_COMPONENTS: &[&str] = &[
     "ps",
     "serve",
     "simnet",
+    "store",
     "supervisor",
     "trainer",
 ];
@@ -302,6 +304,17 @@ mod tests {
         assert!(s.components.contains("autoscaler"));
         assert!(s.event_kinds.contains("supervisor.detect_crash"));
         assert!(s.event_kinds.contains("autoscaler.scale_up"));
+    }
+
+    #[test]
+    fn store_component_is_accepted() {
+        crate::start(vec![]);
+        crate::set_scope(30, None);
+        crate::counter_add_at("store", "demotions", Some(2), 5);
+        crate::counter_add_at("store", "cold_write_bytes", Some(2), 640);
+        let jsonl = crate::finish().to_jsonl();
+        let s = validate_jsonl(&jsonl).unwrap();
+        assert!(s.components.contains("store"));
     }
 
     #[test]

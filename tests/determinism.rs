@@ -199,6 +199,83 @@ fn policy_zoo_seed_matrix_identical_reports_and_traces() {
     }
 }
 
+/// The tiered memory/disk store joins the matrix: with a hot tier
+/// small enough to force demotion to the cold log (and modelled disk
+/// time flowing into leg latency), same seed ⇒ byte-identical report
+/// JSON *and* byte-identical trace, clean and faulted. The faulted
+/// half covers checkpoint/failover over a store whose rows live
+/// partly in cold pages.
+#[test]
+fn tiered_store_seed_matrix_identical_reports_and_traces() {
+    let run_tiered = |seed: u64, hot: usize, faults: FaultConfig| -> (TrainReport, String) {
+        let dataset = CtrDataset::new(CtrConfig::tiny(seed));
+        let mut config = TrainerConfig::tiny(SystemPreset::HetCache { staleness: 10 });
+        config.seed = seed;
+        config.max_iterations = 240;
+        config.store = StoreSpec::Tiered(TieredConfig::new(hot));
+        config.faults = faults;
+        het::trace::start(Vec::new());
+        let mut trainer = Trainer::new(config, dataset, |rng| WideDeep::new(rng, 4, 8, &[16]));
+        let report = trainer.run();
+        (report, het::trace::finish().to_jsonl())
+    };
+    for (hot, label) in [(16usize, "tiered-16"), (256, "tiered-256")] {
+        for seed in [3u64, 7] {
+            let (clean_a, trace_a) = run_tiered(seed, hot, FaultConfig::disabled());
+            let (clean_b, trace_b) = run_tiered(seed, hot, FaultConfig::disabled());
+            assert_eq!(
+                clean_a.to_json().encode(),
+                clean_b.to_json().encode(),
+                "{label} seed {seed} clean: reports diverged"
+            );
+            assert_eq!(
+                trace_a, trace_b,
+                "{label} seed {seed} clean: traces diverged"
+            );
+            let store = clean_a
+                .store
+                .as_ref()
+                .expect("tiered run must report store accounting");
+            // The 256-row tier holds the tiny run's whole key space —
+            // that cell checks that an oversized budget degenerates to
+            // flat-store behaviour; only the 16-row cell must spill.
+            if hot == 16 {
+                assert!(
+                    store.stats.demotions > 0,
+                    "{label} seed {seed}: hot tier never demoted — the cell \
+                     is not actually exercising the cold log"
+                );
+            }
+            assert!(
+                store.resident_rows <= store.total_rows,
+                "{label} seed {seed}: more resident than stored rows"
+            );
+
+            let horizon = SimDuration::from_secs_f64(clean_a.total_sim_time.as_secs_f64() * 0.8);
+            let (faulted_a, ftrace_a) = run_tiered(seed, hot, fault_spec(horizon));
+            let (faulted_b, ftrace_b) = run_tiered(seed, hot, fault_spec(horizon));
+            assert_eq!(
+                faulted_a.to_json().encode(),
+                faulted_b.to_json().encode(),
+                "{label} seed {seed} faulted: reports diverged"
+            );
+            assert_eq!(
+                ftrace_a, ftrace_b,
+                "{label} seed {seed} faulted: traces diverged"
+            );
+            assert!(
+                faulted_a.faults.worker_crashes > 0 || faulted_a.faults.shard_failovers > 0,
+                "{label} seed {seed}: fault schedule never fired"
+            );
+            assert_ne!(
+                clean_a.to_json().encode(),
+                faulted_a.to_json().encode(),
+                "{label} seed {seed}: faulted run identical to clean run"
+            );
+        }
+    }
+}
+
 #[test]
 fn different_seeds_differ() {
     let a = run(

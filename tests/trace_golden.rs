@@ -272,12 +272,36 @@ fn fixture_bsp_prefetch() -> (TrainReport, trace::TraceLog) {
     (report, trace::finish())
 }
 
+/// The tiered-store fixture: BSP HET Cache over `tiered:32`, clean
+/// schedule — a hot tier small enough that demotion, cold reads, and
+/// compaction all fire inside 60 iterations. Pins the `store`
+/// component's counter instrumentation at fixture granularity.
+fn fixture_bsp_tiered() -> (TrainReport, trace::TraceLog) {
+    let preset = SystemPreset::HetCache { staleness: 10 };
+    let mut cfg = config(FIXTURE_SEED, preset, FIXTURE_ITERS, FaultConfig::disabled());
+    cfg.store = StoreSpec::Tiered(TieredConfig::new(32));
+    trace::start(vec![
+        (
+            "system".to_string(),
+            Json::Str(preset.config().name.to_string()),
+        ),
+        ("seed".to_string(), Json::UInt(FIXTURE_SEED)),
+        ("iters".to_string(), Json::UInt(FIXTURE_ITERS)),
+        ("tiered_hot".to_string(), Json::UInt(32)),
+    ]);
+    let dataset = CtrDataset::new(CtrConfig::tiny(FIXTURE_SEED));
+    let mut trainer = Trainer::new(cfg, dataset, |rng| WideDeep::new(rng, 4, 8, &[16]));
+    let report = trainer.run();
+    (report, trace::finish())
+}
+
 #[test]
 fn committed_golden_fixtures_validate_against_the_schema() {
-    for (name, want_cache, want_prefetch) in [
-        ("bsp_cache_faulted.trace.jsonl", true, false),
-        ("asp_ps_clean.trace.jsonl", false, false),
-        ("bsp_cache_prefetch.trace.jsonl", true, true),
+    for (name, want_cache, want_prefetch, want_store) in [
+        ("bsp_cache_faulted.trace.jsonl", true, false, false),
+        ("asp_ps_clean.trace.jsonl", false, false, false),
+        ("bsp_cache_prefetch.trace.jsonl", true, true, false),
+        ("bsp_cache_tiered.trace.jsonl", true, false, true),
     ] {
         let path = format!("{GOLDEN_DIR}/{name}");
         let text = std::fs::read_to_string(&path)
@@ -304,7 +328,35 @@ fn committed_golden_fixtures_validate_against_the_schema() {
             want_prefetch,
             "{name}"
         );
+        // Likewise the store lane appears only in tiered runs — the
+        // Mem fixtures staying store-free *is* the flat-store
+        // byte-identity guarantee, pinned at fixture granularity.
+        assert_eq!(summary.components.contains("store"), want_store, "{name}");
     }
+}
+
+/// The tiered fixture run's trace reconciles with its report: the
+/// `store` counters match the shard-summed `StoreSummary`, the
+/// client/background split of modelled disk time closes exactly, and
+/// the hot tier actually spilled (demotions, cold reads, compactions
+/// all nonzero — otherwise the fixture pins nothing).
+#[test]
+fn tiered_fixture_reconciles_store_counters() {
+    let (report, log) = fixture_bsp_tiered();
+    let s = report.store.expect("tiered fixture must report store");
+    assert!(s.stats.demotions > 0, "32-row hot tier never demoted");
+    assert!(s.stats.cold_read_bytes > 0, "no row was ever read back");
+    assert!(s.stats.io_ns > 0, "tiering charged no modelled disk time");
+    assert_eq!(
+        s.stats.io_ns,
+        s.client_io_ns + s.background_io_ns,
+        "disk time does not split cleanly into client + background"
+    );
+    assert_eq!(log.counter("store", "hot_hits"), s.stats.hot_hits);
+    assert_eq!(log.counter("store", "promotions"), s.stats.promotions);
+    assert_eq!(log.counter("store", "demotions"), s.stats.demotions);
+    assert_eq!(log.counter("store", "compactions"), s.stats.compactions);
+    assert_eq!(log.counter("store", "io_ns"), s.stats.io_ns);
 }
 
 /// The committed fixtures must be byte-identical to a freshly derived
@@ -387,6 +439,7 @@ fn golden_fixtures_are_current() {
         ("bsp_cache_faulted.trace.jsonl", fixture_bsp_faulted()),
         ("asp_ps_clean.trace.jsonl", fixture_asp_clean()),
         ("bsp_cache_prefetch.trace.jsonl", fixture_bsp_prefetch().1),
+        ("bsp_cache_tiered.trace.jsonl", fixture_bsp_tiered().1),
     ] {
         let path = format!("{GOLDEN_DIR}/{name}");
         let committed = std::fs::read_to_string(&path)
@@ -419,6 +472,7 @@ fn regenerate_golden_fixtures() {
     let bsp = fixture_bsp_faulted().to_jsonl();
     let asp = fixture_asp_clean().to_jsonl();
     let prefetch = fixture_bsp_prefetch().1.to_jsonl();
+    let tiered = fixture_bsp_tiered().1.to_jsonl();
     std::fs::write(format!("{GOLDEN_DIR}/bsp_cache_faulted.trace.jsonl"), bsp).unwrap();
     std::fs::write(format!("{GOLDEN_DIR}/asp_ps_clean.trace.jsonl"), asp).unwrap();
     std::fs::write(
@@ -426,4 +480,5 @@ fn regenerate_golden_fixtures() {
         prefetch,
     )
     .unwrap();
+    std::fs::write(format!("{GOLDEN_DIR}/bsp_cache_tiered.trace.jsonl"), tiered).unwrap();
 }
