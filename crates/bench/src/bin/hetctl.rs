@@ -11,8 +11,19 @@
 //! hetctl oracle   --repro target/oracle/repro-0-17.json
 //! hetctl prefetch-sweep [--depths 0,1,2,4,8 --iters 600 --gate 0.30]
 //! hetctl store-sweep [--keys 10000000 --ops 1000000 --hot 16384,65536 --gate 0.5]
+//! hetctl scale-sweep [--threads 1,2,4 --iters 240 --gate 0.85]
 //! hetctl list
 //! ```
+//!
+//! `train`, `serve`, and `colocate` additionally take
+//! `--backend sim|threads:<n>`: `sim` (the default) is the
+//! deterministic discrete-event simulator, `threads:<n>` runs the same
+//! job on n real OS threads (one per worker/replica) over the shared
+//! PS fabric, reporting wall-clock throughput. A threaded training run
+//! always collects a merged per-thread trace and replays it through
+//! `het-oracle` before printing — the simulator stays the correctness
+//! oracle. `scale-sweep` charts threaded throughput against the thread
+//! count on the Fig. 2 CTR recipe.
 //!
 //! Runs a (workload × system) training simulation and prints the report;
 //! `compare` additionally runs a baseline and prints speedups — the
@@ -35,10 +46,11 @@
 //! `--fault-plan-dump FILE.json` (write the plan actually used, in the
 //! same format — dump, edit, replay).
 
-use het_bench::{run_workload, run_workload_traced, RunSummary, Workload};
+use het_bench::{run_workload, run_workload_threaded, run_workload_traced, RunSummary, Workload};
 use het_cache::PolicyKind;
 use het_core::config::{SparseMode, SystemPreset, TrainerConfig};
 use het_core::{FaultConfig, TrainReport};
+use het_runtime::ExecutionBackend;
 use het_simnet::{ClusterSpec, SimDuration};
 use std::process::ExitCode;
 
@@ -364,6 +376,177 @@ fn run_one(
     Ok((summary, report, log))
 }
 
+/// The `--backend sim|threads:<n>` flag (default `sim`).
+fn backend_of(args: &Args) -> Result<ExecutionBackend, String> {
+    ExecutionBackend::parse(args.get("backend").unwrap_or("sim"))
+}
+
+fn print_parallel_report(workload: Workload, report: &het_core::ParallelReport) {
+    println!("workload          {}", workload.name());
+    println!("system            {}", report.system);
+    println!(
+        "backend           {} ({} threads)",
+        report.backend, report.n_threads
+    );
+    println!("iterations        {}", report.total_iterations);
+    println!("wall time         {:.3} ms", report.wall_ns as f64 / 1e6);
+    println!("throughput        {:.1} iters/s", report.ops_per_sec);
+    println!("final metric      {:.4}", report.final_metric);
+    println!("cache hit rate    {:.1} %", 100.0 * report.cache.hit_rate());
+    if let Some(t) = report.converged_at_ns {
+        println!("time to target    {:.3} ms (wall)", t as f64 / 1e6);
+    }
+}
+
+/// A training run on the threaded backend: same flags as the sim path
+/// (minus the sim-only ones), one OS thread per worker. The run always
+/// collects a merged per-thread trace and replays it through the
+/// model-based oracle before reporting — every threaded run is checked
+/// against the consistency model, not just timed.
+fn run_one_threaded(
+    workload: Workload,
+    preset: SystemPreset,
+    args: &Args,
+    n_threads: usize,
+) -> Result<(), String> {
+    let servers: usize = args.get_parsed("servers", 1)?;
+    let dim: usize = args.get_parsed("dim", 16)?;
+    let iters: u64 = args.get_parsed("iters", 1_600)?;
+    let cache_frac: f64 = args.get_parsed("cache-frac", 0.10)?;
+    let policy = policy_of(args.get("policy").unwrap_or("lightlfu"))?;
+    let band = args.get("network").unwrap_or("1gbe").to_string();
+    let target: f64 = args.get_parsed("target", -1.0)?;
+    let lr: f64 = args.get_parsed("lr", -1.0)?;
+    let store = store_spec_of(args.get("store").unwrap_or("mem"))?;
+    let faults = fault_config_of(args)?;
+    if faults.enabled {
+        return Err(
+            "the threaded backend does not support fault injection; use --backend sim".to_string(),
+        );
+    }
+
+    let tweak = move |c: &mut TrainerConfig| {
+        c.cluster = match band.as_str() {
+            "10gbe" => ClusterSpec::cluster_b(n_threads, servers),
+            _ => ClusterSpec::cluster_a(n_threads, servers),
+        };
+        c.dim = dim;
+        c.max_iterations = iters;
+        c.eval_every = (iters / 4).max(1);
+        if target > 0.0 {
+            c.target_metric = Some(target);
+        }
+        if lr > 0.0 {
+            c.lr = lr as f32;
+        }
+        *c = c.clone().with_cache(cache_frac, policy);
+        c.store = store.clone();
+    };
+    let meta = vec![
+        (
+            "kind".to_string(),
+            het_json::Json::Str("train-threaded".to_string()),
+        ),
+        (
+            "workload".to_string(),
+            het_json::Json::Str(workload.name().to_string()),
+        ),
+    ];
+    let (report, config) = run_workload_threaded(workload, preset, &tweak, Some(meta))?;
+    let log = report
+        .trace
+        .as_ref()
+        .ok_or("threaded run returned no trace to replay")?;
+    let replay = het_trace::replay::ReplayLog::from(log);
+    match het_oracle::check_replay(&replay, &het_oracle::OracleSpec::of(&config)) {
+        Ok(o) => println!(
+            "oracle replay: clean ({} events, {} computes, {} window reads)",
+            o.events, o.computes, o.window_reads
+        ),
+        Err(v) => {
+            return Err(format!(
+                "oracle replay violation: [{}] t={}ns worker={:?}: {}",
+                v.check, v.t_ns, v.worker, v.message
+            ))
+        }
+    }
+    print_parallel_report(workload, &report);
+    TraceArgs::of(args).write(log)?;
+    Ok(())
+}
+
+/// Runs the thread-scaling sweep (`het_bench::scale_sweep`) on the
+/// Fig. 2 CTR recipe, prints the wall-clock throughput table, and
+/// writes the rows to `target/experiments/scale_sweep.json`. With
+/// `--gate F` the command fails unless the threads:4 row reaches at
+/// least `F ×` the threads:1 throughput — the CI smoke gate (`ci.sh`
+/// derives F from `nproc`: 1.0 on multi-core hosts, a tolerance below
+/// 1 on single-core boxes where extra threads only add coordination).
+fn cmd_scale_sweep(args: &Args) -> Result<(), String> {
+    let iters: u64 = args.get_parsed("iters", 240)?;
+    let gate: f64 = args.get_parsed("gate", 0.0)?;
+    let threads: Vec<usize> = match args.get("threads") {
+        None => vec![1, 2, 4],
+        Some(s) => s
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .map_err(|_| format!("--threads: cannot parse '{t}'"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let rows = het_bench::scale_sweep(&threads, iters)?;
+    println!(
+        "{:>7} {:>7} {:>10} {:>11} {:>12} {:>8}",
+        "threads", "iters", "wall(s)", "ops/sec", "cycle(us)", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:>7} {:>7} {:>10.3} {:>11.1} {:>12.1} {:>7.2}x",
+            r.threads, r.iterations, r.wall_s, r.ops_per_sec, r.cycle_time_us, r.speedup_vs_one
+        );
+    }
+    het_bench::out::write_json(
+        "scale_sweep",
+        &het_json::Json::Arr(rows.iter().map(het_json::ToJson::to_json).collect()),
+    );
+    if gate > 0.0 {
+        het_bench::scale_sweep_gate(&rows, gate)?;
+        println!("verdict: PASS (threads:4 >= {gate:.2} x threads:1 throughput)");
+    }
+    Ok(())
+}
+
+fn print_threaded_serve_report(report: &het_serve::ThreadedServeReport) {
+    println!("backend           threads ({} replicas)", report.n_threads);
+    println!("requests          {}", report.requests);
+    println!("batches           {}", report.batches);
+    println!("wall time         {:.3} ms", report.wall_ns as f64 / 1e6);
+    println!("throughput        {:.0} req/s", report.throughput_rps);
+    println!(
+        "latency           p50 {:.1} us, p95 {:.1} us, p99 {:.1} us, max {:.1} us",
+        report.latency_p50_ns as f64 / 1e3,
+        report.latency_p95_ns as f64 / 1e3,
+        report.latency_p99_ns as f64 / 1e3,
+        report.latency_max_ns as f64 / 1e3
+    );
+    println!(
+        "cache miss rate   {:.2} % ({} hits / {} misses / {} invalidations)",
+        100.0 * report.cache.miss_rate(),
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.invalidations
+    );
+    if report.warmed_keys > 0 {
+        println!("warmed keys       {} per replica", report.warmed_keys);
+    }
+    if report.pretrain_updates > 0 {
+        println!("pretrain updates  {}", report.pretrain_updates);
+    }
+    println!("score mean        {:.4}", report.score_mean);
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     use het_serve::{ServeConfig, ServeSim};
 
@@ -407,6 +590,25 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         cfg.supervision.enabled = true;
         cfg.supervision.heartbeat_every =
             SimDuration::from_micros(args.get_parsed("heartbeat-us", 250u64)?);
+    }
+
+    if let ExecutionBackend::Threads(n) = backend_of(args)? {
+        // One OS thread per replica; the sim-only machinery (faults,
+        // supervision, scripted plans, traces) stays on `--backend sim`
+        // — `run_threaded_serve` rejects what slips past these checks.
+        if TraceArgs::of(args).requested() {
+            return Err("--trace/--trace-chrome on serve are sim-only; use --backend sim".into());
+        }
+        if args.get("fault-plan").is_some() || args.get("fault-plan-dump").is_some() {
+            return Err("--fault-plan[-dump] is sim-only; use --backend sim".into());
+        }
+        cfg.n_replicas = n;
+        let (n_fields, dim) = (cfg.n_fields, cfg.dim);
+        let report = het_serve::run_threaded_serve(cfg, n, move |rng| {
+            het_models::WideDeep::new(rng, n_fields, dim, &[32])
+        })?;
+        print_threaded_serve_report(&report);
+        return Ok(());
     }
 
     // `--fault-plan` replaces the plan `cfg.faults` would derive;
@@ -553,6 +755,35 @@ fn cmd_colocate(args: &Args) -> Result<(), String> {
     serve_cfg.n_requests = args.get_parsed("requests", serve_cfg.n_requests)?;
     serve_cfg.pretrain_updates = args.get_parsed("pretrain-updates", serve_cfg.pretrain_updates)?;
     serve_cfg.warmup_requests = args.get_parsed("warmup", serve_cfg.warmup_requests)?;
+
+    if let ExecutionBackend::Threads(n) = backend_of(args)? {
+        // Trainer workers and serving replicas each get a real OS
+        // thread, sharing one live PS fabric; `threads:<n>` sizes the
+        // trainer side, `--replicas` the fleet.
+        if TraceArgs::of(args).requested() {
+            return Err(
+                "--trace/--trace-chrome on colocate are sim-only; use --backend sim".into(),
+            );
+        }
+        if args.get("fault-plan").is_some() || args.get("fault-plan-dump").is_some() {
+            return Err("--fault-plan[-dump] is sim-only; use --backend sim".into());
+        }
+        train_cfg.cluster = ClusterSpec::cluster_a(n, servers);
+        let mut trainer = Trainer::new(train_cfg, CtrDataset::new(CtrConfig::tiny(seed)), |rng| {
+            het_models::WideDeep::new(rng, 4, 8, &[16])
+        });
+        let (n_fields, dim) = (serve_cfg.n_fields, serve_cfg.dim);
+        let replicas = serve_cfg.n_replicas;
+        let (train, serve) =
+            het_serve::run_threaded_colocated(&mut trainer, serve_cfg, replicas, move |rng| {
+                het_models::WideDeep::new(rng, n_fields, dim, &[16])
+            })?;
+        println!("--- train ---");
+        print_parallel_report(Workload::WdlCriteo, &train);
+        println!("--- serve ---");
+        print_threaded_serve_report(&serve);
+        return Ok(());
+    }
 
     let mut trainer = Trainer::with_shared_members(
         train_cfg,
@@ -1008,7 +1239,7 @@ fn main() -> ExitCode {
     let Some(command) = argv.first().map(String::as_str) else {
         eprintln!(
             "usage: hetctl <train|compare|serve|colocate|chaos|oracle|prefetch-sweep|\
-             store-sweep|policy-shootout|list> [--flag value ...]"
+             scale-sweep|store-sweep|policy-shootout|list> [--flag value ...]"
         );
         return ExitCode::FAILURE;
     };
@@ -1022,6 +1253,10 @@ fn main() -> ExitCode {
                  lru|lfu|lightlfu[:T]|clock|slru|lfuda|gdsf|adaptive[:W]"
             );
             println!("           --target METRIC --lr RATE --lookahead DEPTH (prefetcher)");
+            println!(
+                "           --backend sim|threads:N (train/serve/colocate: real OS threads;\n           \
+                 threaded training always oracle-replays its merged trace)"
+            );
             println!("           --fault-crashes N --fault-outages N --fault-stragglers N");
             println!("           --fault-degradations N --fault-drop P --fault-horizon SECS");
             println!("           --fault-checkpoint-every ITERS");
@@ -1031,6 +1266,7 @@ fn main() -> ExitCode {
             println!("           --sabotage-staleness N --out DIR --repro FILE.json");
             println!("           --store mem|tiered:HOT_ROWS (PS row-store backend)");
             println!("prefetch-sweep: --depths 0,1,2,4,8 --iters N --gate FRACTION");
+            println!("scale-sweep: --threads 1,2,4 --iters N --gate RATIO (wall-clock scaling)");
             println!("store-sweep: --keys N --ops N --hot A,B,C --dim N --spill 0|1 --gate FLOOR");
             println!("policy-shootout: --iters N --requests N --gate HIT_RATE_MARGIN");
             println!("serve:     --replicas N --servers N --dim N --fields N --keys N");
@@ -1061,6 +1297,15 @@ fn main() -> ExitCode {
             let staleness: u64 = args.get_parsed("staleness", 100)?;
             let system_name = args.get("system").unwrap_or("het-cache").to_string();
             let preset = system_of(&system_name, staleness)?;
+            if let ExecutionBackend::Threads(n) = backend_of(&args)? {
+                if command == "compare" {
+                    return Err(
+                        "compare is sim-only (its baselines are simulated); use --backend sim"
+                            .to_string(),
+                    );
+                }
+                return run_one_threaded(workload, preset, &args, n);
+            }
             let trace = TraceArgs::of(&args);
             let (summary, report, log) = run_one(workload, preset, &args, trace.requested())?;
             print_report(workload, &system_name, &summary, &report);
@@ -1088,6 +1333,7 @@ fn main() -> ExitCode {
             Ok(())
         })(),
         "prefetch-sweep" => Args::parse(&argv[1..]).and_then(|args| cmd_prefetch_sweep(&args)),
+        "scale-sweep" => Args::parse(&argv[1..]).and_then(|args| cmd_scale_sweep(&args)),
         "store-sweep" => Args::parse(&argv[1..]).and_then(|args| cmd_store_sweep(&args)),
         "policy-shootout" => Args::parse(&argv[1..]).and_then(|args| cmd_policy_shootout(&args)),
         "serve" => Args::parse(&argv[1..]).and_then(|args| cmd_serve(&args)),
@@ -1096,7 +1342,7 @@ fn main() -> ExitCode {
         "oracle" => Args::parse(&argv[1..]).and_then(|args| cmd_oracle(&args)),
         other => Err(format!(
             "unknown command '{other}' (try: train compare serve colocate chaos oracle \
-             prefetch-sweep store-sweep policy-shootout list)"
+             prefetch-sweep scale-sweep store-sweep policy-shootout list)"
         )),
     };
     match result {

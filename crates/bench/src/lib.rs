@@ -246,6 +246,53 @@ pub fn run_workload_traced(
     (report, log)
 }
 
+/// [`run_workload`] on the threaded execution backend: the same
+/// (workload × system) pair run through [`Trainer::run_threaded`] on
+/// real OS threads (one per configured worker). Returns the
+/// [`het_core::ParallelReport`] plus the resolved config, so callers
+/// can hand the trace to `het-oracle` with a matching `OracleSpec`.
+/// Pass `trace_meta` to collect a per-thread merged trace; `None`
+/// skips tracing entirely.
+pub fn run_workload_threaded(
+    workload: Workload,
+    preset: SystemPreset,
+    tweak: &dyn Fn(&mut TrainerConfig),
+    trace_meta: Option<Vec<(String, het_json::Json)>>,
+) -> Result<(het_core::ParallelReport, TrainerConfig), String> {
+    let mut config = bench_config(preset);
+    config.lr = workload.learning_rate();
+    tweak(&mut config);
+    let dim = config.dim;
+    match workload {
+        Workload::WdlCriteo => {
+            let mut t = Trainer::new(config, ctr_dataset(0xC0), move |rng| {
+                WideDeep::new(rng, CTR_FIELDS, dim, &[64, 32])
+            });
+            Ok((t.run_threaded(trace_meta)?, t.config().clone()))
+        }
+        Workload::DfmCriteo => {
+            let mut t = Trainer::new(config, ctr_dataset(0xC1), move |rng| {
+                DeepFm::new(rng, CTR_FIELDS, dim, &[64, 32])
+            });
+            Ok((t.run_threaded(trace_meta)?, t.config().clone()))
+        }
+        Workload::DcnCriteo => {
+            let mut t = Trainer::new(config, ctr_dataset(0xC2), move |rng| {
+                DeepCross::new(rng, CTR_FIELDS, dim, 3, &[64, 32])
+            });
+            Ok((t.run_threaded(trace_meta)?, t.config().clone()))
+        }
+        Workload::GnnReddit | Workload::GnnAmazon | Workload::GnnOgbnMag => {
+            let dataset = graph_dataset(workload, 0xD0 + workload.n_keys() as u64);
+            let classes = dataset.graph().config().n_classes;
+            let mut t = Trainer::new(config, dataset, move |rng| {
+                GraphSage::new(rng, dim, 32, classes)
+            });
+            Ok((t.run_threaded(trace_meta)?, t.config().clone()))
+        }
+    }
+}
+
 /// The systems compared throughout §5, in the paper's order.
 pub fn evaluated_systems() -> Vec<(&'static str, SystemPreset)> {
     vec![
@@ -462,6 +509,109 @@ pub fn prefetch_sweep_with(
         });
     }
     rows
+}
+
+/// One row of the thread-scaling sweep (`hetctl scale-sweep`): the
+/// Fig. 2 CTR recipe re-run at one `--backend threads:<n>` width,
+/// everything else held fixed. Unlike every other sweep in this crate
+/// the numbers here are **wall-clock**, so they vary run to run and
+/// with the host's core count — the sweep measures the machine, not
+/// the model.
+#[derive(Clone, Debug)]
+pub struct ScaleSweepRow {
+    /// Worker-thread count of this run.
+    pub threads: u64,
+    /// Training iterations completed (all runs complete the recipe).
+    pub iterations: u64,
+    /// Wall-clock seconds for the whole run.
+    pub wall_s: f64,
+    /// Training iterations per wall-clock second.
+    pub ops_per_sec: f64,
+    /// Wall-clock microseconds per training iteration (cycle time).
+    pub cycle_time_us: f64,
+    /// Throughput relative to the `threads = 1` row of the same sweep.
+    pub speedup_vs_one: f64,
+}
+
+impl_to_json!(ScaleSweepRow {
+    threads,
+    iterations,
+    wall_s,
+    ops_per_sec,
+    cycle_time_us,
+    speedup_vs_one,
+});
+
+/// The scale-sweep recipe: the paper's Fig. 2 CTR deployment shape —
+/// Wide&Deep over Criteo-like data behind the HET cache — with the
+/// cluster resized to `threads` workers so the threaded backend runs
+/// one OS thread per worker. BSP keeps every width on the sim-identical
+/// convergence path; only the wall clock changes.
+fn scale_sweep_config(c: &mut TrainerConfig, iters: u64, threads: usize) {
+    c.cluster = het_simnet::ClusterSpec::cluster_a(threads, 1);
+    c.dim = 32;
+    *c = c
+        .clone()
+        .with_cache(0.10, het_cache::PolicyKind::light_lfu());
+    c.max_iterations = iters;
+    c.eval_every = iters;
+    c.lookahead_depth = 0;
+}
+
+/// Runs the thread-scaling sweep: one threaded training run per entry
+/// of `threads_list` (the first entry must be 1 — that row is the
+/// baseline every speedup is measured against), `iters` iterations
+/// each, all on the Fig. 2 CTR recipe.
+pub fn scale_sweep(threads_list: &[usize], iters: u64) -> Result<Vec<ScaleSweepRow>, String> {
+    if threads_list.first() != Some(&1) {
+        return Err("scale-sweep must start at the threads:1 baseline".to_string());
+    }
+    let mut rows: Vec<ScaleSweepRow> = Vec::new();
+    for &threads in threads_list {
+        let (report, _) = run_workload_threaded(
+            Workload::WdlCriteo,
+            SystemPreset::HetCache { staleness: 100 },
+            &|c| scale_sweep_config(c, iters, threads),
+            None,
+        )?;
+        let wall_s = report.wall_ns as f64 / 1e9;
+        let cycle_time_us = report.wall_ns as f64 / 1e3 / report.total_iterations.max(1) as f64;
+        let base = rows.first().map_or(report.ops_per_sec, |r| r.ops_per_sec);
+        rows.push(ScaleSweepRow {
+            threads: threads as u64,
+            iterations: report.total_iterations,
+            wall_s,
+            ops_per_sec: report.ops_per_sec,
+            cycle_time_us,
+            speedup_vs_one: report.ops_per_sec / base,
+        });
+    }
+    Ok(rows)
+}
+
+/// The CI gate over a scale sweep: the `threads = 4` row must reach at
+/// least `threshold ×` the `threads = 1` throughput. On a multi-core
+/// host the threshold is 1.0 (parallelism must not lose); single-core
+/// CI boxes pass a tolerance < 1 instead, because four time-sliced
+/// threads doing BSP turnstiles can only add coordination overhead
+/// there — `ci.sh` picks the threshold from `nproc`.
+pub fn scale_sweep_gate(rows: &[ScaleSweepRow], threshold: f64) -> Result<(), String> {
+    let one = rows
+        .iter()
+        .find(|r| r.threads == 1)
+        .ok_or("scale-sweep gate: no threads:1 baseline row")?;
+    let four = rows
+        .iter()
+        .find(|r| r.threads == 4)
+        .ok_or("scale-sweep gate: no threads:4 row")?;
+    if four.ops_per_sec < threshold * one.ops_per_sec {
+        return Err(format!(
+            "scale-sweep gate: threads:4 throughput {:.1} ops/s fell below {threshold:.2} x \
+             threads:1 ({:.1} ops/s)",
+            four.ops_per_sec, one.ops_per_sec
+        ));
+    }
+    Ok(())
 }
 
 /// One row of the tiered-store sweep (`hetctl store-sweep`): the same

@@ -43,9 +43,8 @@
 //! into the final worker clocks, so deferred pushes never make a run
 //! look faster than its wire traffic allows.
 
-use std::cell::RefCell;
 use std::collections::{HashSet, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use het_data::Key;
 use het_json::{Json, ToJson};
@@ -384,7 +383,7 @@ impl PrefetchPlane {
 /// frees. An order issued during iteration `i` for target `i + d` has
 /// `d` compute spans to land before its read.
 pub struct Prefetcher {
-    plane: Rc<RefCell<PrefetchPlane>>,
+    plane: Arc<Mutex<PrefetchPlane>>,
     server: ServerHandle,
     net: Collectives,
     costs: MessageCosts,
@@ -394,7 +393,7 @@ pub struct Prefetcher {
 
 impl Prefetcher {
     pub(crate) fn new(
-        plane: Rc<RefCell<PrefetchPlane>>,
+        plane: Arc<Mutex<PrefetchPlane>>,
         server: ServerHandle,
         net: Collectives,
         costs: MessageCosts,
@@ -421,7 +420,7 @@ impl Prefetcher {
             het_trace::set_scope(t.as_nanos(), Some(w as u64));
         }
         loop {
-            let Some(order) = self.plane.borrow_mut().pop_order(w) else {
+            let Some(order) = self.plane.lock().unwrap().pop_order(w) else {
                 break;
             };
             // Fault routing: keys on a shard that is mid-failover at
@@ -430,7 +429,7 @@ impl Prefetcher {
             let mut live = Vec::with_capacity(order.keys.len());
             let mut down = 0u64;
             {
-                let mut plane = self.plane.borrow_mut();
+                let mut plane = self.plane.lock().unwrap();
                 for &k in &order.keys {
                     if !self.plan.is_empty()
                         && self.plan.shard_down(self.server.shard_index_of(k), t)
@@ -466,10 +465,10 @@ impl Prefetcher {
             let pulled: Vec<_> = live.iter().map(|&k| (k, self.server.pull(k))).collect();
             let io = SimDuration::from_nanos(self.server.take_io_ns());
             let transfer = self.net.ps_transfer(req) + self.net.ps_transfer(resp) + io;
-            let (start, ready_at) = self.plane.borrow_mut().rx_transfer(w, t, transfer);
+            let (start, ready_at) = self.plane.lock().unwrap().rx_transfer(w, t, transfer);
             let n = live.len() as u64;
             {
-                let mut plane = self.plane.borrow_mut();
+                let mut plane = self.plane.lock().unwrap();
                 for (k, p) in pulled {
                     plane.ready[w].push(ReadyResult {
                         key: k,

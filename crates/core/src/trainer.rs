@@ -22,6 +22,8 @@
 //! delivery, so a co-scheduled job (e.g. a serving fleet on the same PS
 //! fabric) shares one plan, one queue, and one clock domain.
 
+pub mod parallel;
+
 use crate::client::{DirectPsClient, HetClient};
 use crate::config::{Backbone, DenseSync, SparseMode, SyncMode, TrainerConfig};
 use crate::fault::{FaultContext, FaultRecord, FaultStats};
@@ -37,8 +39,7 @@ use het_simnet::{
     wire, Collectives, CommCategory, CommStats, FaultPlan, SimDuration, SimTime, TieBreak,
 };
 use het_tensor::{FlatGrads, FlatParams, Sgd};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Per-worker sparse path.
 enum SparseEngine {
@@ -105,7 +106,7 @@ pub struct Trainer<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> {
     last_checkpoint_iter: u64,
     /// Lookahead-prefetch state shared with the [`Prefetcher`] process;
     /// `None` unless `lookahead_depth > 0` under a cached sparse mode.
-    plane: Option<Rc<RefCell<PrefetchPlane>>>,
+    plane: Option<Arc<Mutex<PrefetchPlane>>>,
     /// The co-registered prefetcher's process id. Planning is inert
     /// until this is set — a run without a prefetcher process (e.g. a
     /// co-scheduled runtime that never registered one) stays on the
@@ -244,7 +245,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         let plane = (config.lookahead_depth > 0
             && matches!(config.system.sparse, SparseMode::Cached { .. }))
         .then(|| {
-            Rc::new(RefCell::new(PrefetchPlane::new(
+            Arc::new(Mutex::new(PrefetchPlane::new(
                 config.cluster.n_workers,
                 config.lookahead_depth,
             )))
@@ -356,7 +357,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
     pub fn make_prefetcher(&self) -> Option<Prefetcher> {
         self.plane.as_ref().map(|plane| {
             Prefetcher::new(
-                Rc::clone(plane),
+                Arc::clone(plane),
                 self.server.clone(),
                 self.net,
                 wire::MessageCosts {
@@ -380,13 +381,15 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
     /// harness hook — costs memory proportional to the run length.
     pub fn enable_prefetch_audit(&mut self) {
         if let Some(plane) = &self.plane {
-            plane.borrow_mut().enable_audit();
+            plane.lock().unwrap().enable_audit();
         }
     }
 
     /// The recorded plan audit (see [`Trainer::enable_prefetch_audit`]).
     pub fn prefetch_audit(&self) -> Option<Vec<PrefetchAudit>> {
-        self.plane.as_ref().and_then(|p| p.borrow().audit_clone())
+        self.plane
+            .as_ref()
+            .and_then(|p| p.lock().unwrap().audit_clone())
     }
 
     /// Plans lookahead pulls for worker `w` after it finished an
@@ -406,7 +409,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         let SparseEngine::Cached(client) = &self.workers[w].sparse else {
             return;
         };
-        let mut plane = plane_rc.borrow_mut();
+        let mut plane = plane_rc.lock().unwrap();
         let next_read = self.workers[w].iterations;
         let from = plane.planned_until(w).max(next_read);
         let to = next_read + plane.depth();
@@ -460,7 +463,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
     /// residual prefetcher wake-ups find empty queues and stay silent.
     fn stop_prefetch(&self) {
         if let Some(plane) = &self.plane {
-            plane.borrow_mut().cancel_all();
+            plane.lock().unwrap().cancel_all();
         }
     }
 
@@ -544,7 +547,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         // from the worker's post-restart iteration.
         let mut prefetch_dropped = 0u64;
         if let Some(p) = plane {
-            prefetch_dropped = p.borrow_mut().cancel_worker(w);
+            prefetch_dropped = p.lock().unwrap().cancel_worker(w);
         }
         let waste_before = match &worker.sparse {
             SparseEngine::Cached(c) => c.cache().stats().prefetch_wasted,
@@ -617,7 +620,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         let mut prefetch_wait = SimDuration::ZERO;
         if let Some(plane_rc) = plane {
             if let SparseEngine::Cached(c) = &mut worker.sparse {
-                let (landed, stall) = plane_rc.borrow_mut().take_for_read(w, now, keys);
+                let (landed, stall) = plane_rc.lock().unwrap().take_for_read(w, now, keys);
                 prefetch_wait = stall;
                 let mut installed = 0u64;
                 let mut superseded = 0u64;
@@ -631,7 +634,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
                 // Installs can displace dirty rows back to the server;
                 // that write-back's disk time stalls this read.
                 prefetch_wait += SimDuration::from_nanos(server.take_io_ns());
-                let mut plane = plane_rc.borrow_mut();
+                let mut plane = plane_rc.lock().unwrap();
                 plane.note_install(installed, stall);
                 plane.note_cancelled(superseded);
                 if het_trace::enabled() && (installed > 0 || stall > SimDuration::ZERO) {
@@ -748,7 +751,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
                 let bg = c.take_deferred_push();
                 if bg > SimDuration::ZERO {
                     let issue_at = now + read_time + compute;
-                    let (start, _) = plane_rc.borrow_mut().tx_transfer(w, issue_at, bg);
+                    let (start, _) = plane_rc.lock().unwrap().tx_transfer(w, issue_at, bg);
                     if het_trace::enabled() {
                         het_trace::set_scope(start.as_nanos(), Some(w as u64));
                         het_trace::span!("prefetcher", "writeback_bg", bg.as_nanos());
@@ -1158,11 +1161,11 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
         // Strand whatever the prefetcher still had queued or in flight
         // at shutdown: those keys count as cancelled, never installed.
         if let Some(p) = &self.plane {
-            p.borrow_mut().cancel_all();
+            p.lock().unwrap().cancel_all();
             // Drain the transmit channels: deferred write-backs already
             // updated the server, but their wire time must finish
             // streaming before the run counts as over.
-            let plane = p.borrow();
+            let plane = p.lock().unwrap();
             for (i, worker) in self.workers.iter_mut().enumerate() {
                 let drain = plane.tx_drain(i);
                 if drain > worker.clock {
@@ -1276,7 +1279,7 @@ impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
             resident_keys_per_worker,
             faults: self.fault_stats.clone(),
             fault_events: self.fault_events.clone(),
-            prefetch: self.plane.as_ref().map(|p| p.borrow().summary()),
+            prefetch: self.plane.as_ref().map(|p| p.lock().unwrap().summary()),
             store,
         }
     }

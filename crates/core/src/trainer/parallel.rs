@@ -1,0 +1,877 @@
+//! The threaded execution backend for the trainer.
+//!
+//! [`Trainer::run`] schedules every worker on the single-threaded
+//! discrete-event runtime; this module runs the *same* training job on
+//! real OS threads — one thread per worker — behind the
+//! `--backend threads:<n>` seam (`het_runtime::ExecutionBackend`). The
+//! simulator stays the correctness oracle:
+//!
+//! * **BSP** rounds are replayed with the sim's exact server-visible
+//!   operation order: reads pass through an ordered [`Turnstile`],
+//!   compute runs genuinely in parallel, writes pass through a second
+//!   turnstile, and the round tail (sparse AllGather merge, dense
+//!   gradient averaging, evaluation) runs on the deterministic barrier
+//!   leader (the thread that owns worker 0). Because every PS-mutating
+//!   step happens in worker order and the gradient average accumulates
+//!   in worker order, the final dense parameters and the convergence
+//!   curve are **bit-identical** to the sim backend's.
+//! * **ASP/SSP** workers free-run against the shared PS (per-shard
+//!   locks carry the concurrency); an iteration is claimed under a
+//!   progress lock before it runs, and the SSP gate blocks a worker
+//!   whose completed-iteration count is more than `staleness` ahead of
+//!   the slowest — so a merged trace always satisfies the oracle's
+//!   spread bound (`s + 1`, counting the in-flight iteration).
+//!
+//! Tracing: each worker thread runs its own thread-local collector (the
+//! existing sink, unchanged); events are stamped from a shared
+//! strictly-increasing [`WallClock`] and merged at join time with
+//! [`het_trace::merge_threads`], which orders by `(t, tid)`. Callers
+//! that want a trace pass `trace_meta` to [`Trainer::run_threaded`] and
+//! must **not** have their own collector running on the calling thread
+//! — the run starts one for the post-join flush and merges it in as the
+//! last part.
+//!
+//! Locking order (DESIGN.md §3.13): progress/phase locks → PS shard
+//! locks → trace scope. Nothing in this module takes a shard lock while
+//! holding another shard's lock, and no PS call is made while holding
+//! the progress or tail mutex.
+//!
+//! Not supported (rejected up front): fault injection and lookahead
+//! prefetch, both of which are defined in terms of the simulated clock.
+//! Mid-run evaluation is BSP-only; ASP/SSP threaded runs evaluate once
+//! at the end (the sim backend remains the tool for async convergence
+//! curves).
+
+use super::{SparseEngine, Trainer, Worker};
+use crate::config::{DenseSync, SyncMode, TrainerConfig};
+use crate::report::ConvergencePoint;
+use het_cache::CacheStats;
+use het_json::{Json, ToJson};
+use het_models::{Dataset, EmbeddingModel, EmbeddingStore, EvalChunk, ModelBatch, SparseGrads};
+use het_ps::{DenseStore, PsServer};
+use het_runtime::{Barrier, Turnstile, WallClock};
+use het_simnet::{wire, Collectives, CommCategory, CommStats, SimTime};
+use het_tensor::{FlatGrads, FlatParams, Sgd};
+use het_trace::TraceLog;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// The result of one threaded training run.
+///
+/// Times are wall-clock nanoseconds (`curve[i].sim_time` holds the wall
+/// stamp of the evaluation), unlike [`crate::report::TrainReport`]'s
+/// simulated times — the two are not comparable on the time axis, only
+/// on iterations, metrics, and (for BSP) the parameters themselves.
+#[derive(Clone, Debug)]
+pub struct ParallelReport {
+    /// The system's display name.
+    pub system: String,
+    /// Backend label, `"threads:<n>"`.
+    pub backend: String,
+    /// Worker-thread count.
+    pub n_threads: usize,
+    /// Total iterations summed over workers.
+    pub total_iterations: u64,
+    /// Wall-clock run time in nanoseconds (training only; the final
+    /// flush and evaluation are excluded).
+    pub wall_ns: u64,
+    /// Iterations per wall-clock second.
+    pub ops_per_sec: f64,
+    /// Metric at the final evaluation (after the end-of-run flush).
+    pub final_metric: f64,
+    /// Wall stamp at which the target metric was reached, if it was.
+    pub converged_at_ns: Option<u64>,
+    /// Convergence curve; `sim_time` carries the wall stamp. BSP curves
+    /// are metric- and loss-identical to the sim backend's.
+    pub curve: Vec<ConvergencePoint>,
+    /// Per-category communication bytes/messages (merged over workers).
+    pub comm: CommStats,
+    /// Cache statistics (zeroed for cache-less systems).
+    pub cache: CacheStats,
+    /// Worker 0's flat dense parameters at the end of the run — the
+    /// cross-backend bit-identity probe (compare against
+    /// [`Trainer::export_dense_params`] on a sim run).
+    pub final_dense: Vec<f32>,
+    /// The merged per-thread trace, when `trace_meta` was passed.
+    pub trace: Option<TraceLog>,
+}
+
+impl ToJson for ParallelReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("system".to_string(), self.system.to_json()),
+            ("backend".to_string(), self.backend.to_json()),
+            ("n_threads".to_string(), Json::UInt(self.n_threads as u64)),
+            (
+                "total_iterations".to_string(),
+                Json::UInt(self.total_iterations),
+            ),
+            ("wall_ns".to_string(), Json::UInt(self.wall_ns)),
+            ("ops_per_sec".to_string(), Json::Num(self.ops_per_sec)),
+            ("final_metric".to_string(), Json::Num(self.final_metric)),
+            (
+                "converged_at_ns".to_string(),
+                self.converged_at_ns.map(Json::UInt).unwrap_or(Json::Null),
+            ),
+            ("curve".to_string(), self.curve.to_json()),
+            ("comm".to_string(), self.comm.to_json()),
+        ])
+    }
+}
+
+/// Immutable per-run state shared by every worker thread.
+struct ThreadCtx<'a, D> {
+    config: &'a TrainerConfig,
+    dataset: &'a D,
+    server: &'a PsServer,
+    dense_store: Option<&'a DenseStore>,
+    net: Collectives,
+    sgd: Sgd,
+    n: usize,
+    tracing: bool,
+}
+
+/// Leader-side BSP round accounting.
+#[derive(Default)]
+struct BspTail {
+    rounds: u64,
+    curve: Vec<ConvergencePoint>,
+    converged_at_ns: Option<u64>,
+}
+
+/// Everything the BSP threads rendezvous on.
+struct BspShared {
+    read_ts: Turnstile,
+    write_ts: Turnstile,
+    /// All reads + computes done; no write may precede a later worker's
+    /// read (the sim runs the whole read phase before the write phase).
+    computed: Barrier,
+    /// All writes done; the leader tail may merge.
+    written: Barrier,
+    /// Leader tail done; followers may apply the averaged gradient.
+    applied: Barrier,
+    clock: WallClock,
+    stop: AtomicBool,
+    /// Per-worker exported dense gradients, filled in the write phase.
+    dense_slots: Mutex<Vec<Option<FlatGrads>>>,
+    /// Per-worker sparse gradient blocks (HET AR only).
+    gathered: Mutex<Vec<Option<SparseGrads>>>,
+    /// The round's averaged dense gradient, published by the leader.
+    avg: Mutex<FlatGrads>,
+    /// Per-worker `(loss_sum, loss_count)` slots; summed in worker
+    /// order at evaluation so the reported train loss is bit-identical
+    /// to the sim's (float addition order matters).
+    loss: Mutex<Vec<(f64, u64)>>,
+    tail: Mutex<BspTail>,
+}
+
+/// ASP/SSP progress ledger: completed iterations per worker plus the
+/// global claim counter. Claim-before-run: a worker increments `global`
+/// under this lock before the iteration executes, so exactly
+/// `max_iterations` iterations run in total.
+struct AsyncProgress {
+    iters: Vec<u64>,
+    global: u64,
+}
+
+struct AsyncShared {
+    clock: WallClock,
+    progress: Mutex<AsyncProgress>,
+    cv: Condvar,
+}
+
+impl<M: EmbeddingModel, D: Dataset<Batch = M::Batch>> Trainer<M, D> {
+    /// Runs the training job on real threads (one per configured
+    /// worker) and returns the [`ParallelReport`]. Pass `trace_meta` to
+    /// collect a merged wall-clock trace (see the module docs for the
+    /// collector contract).
+    ///
+    /// Errors if the configuration requires the simulated clock: a
+    /// non-empty fault plan or lookahead prefetching.
+    pub fn run_threaded(
+        &mut self,
+        trace_meta: Option<Vec<(String, Json)>>,
+    ) -> Result<ParallelReport, String> {
+        if !self.plan.is_empty() {
+            return Err(
+                "the threaded backend does not support fault injection; use --backend sim"
+                    .to_string(),
+            );
+        }
+        if self.config.lookahead_depth > 0 {
+            return Err(
+                "the threaded backend does not support lookahead prefetch; use --backend sim"
+                    .to_string(),
+            );
+        }
+        Ok(match self.config.system.sync {
+            SyncMode::Bsp => self.run_threaded_bsp(trace_meta),
+            SyncMode::Asp => self.run_threaded_async(None, trace_meta),
+            SyncMode::Ssp { staleness } => self.run_threaded_async(Some(staleness), trace_meta),
+        })
+    }
+
+    /// Worker 0's flat dense parameters, for cross-backend bit-identity
+    /// probes against [`ParallelReport::final_dense`].
+    pub fn export_dense_params(&mut self) -> Vec<f32> {
+        let mut flat = FlatParams::new();
+        flat.export_from(&mut self.workers[0].model);
+        flat.into_vec()
+    }
+
+    fn run_threaded_bsp(&mut self, trace_meta: Option<Vec<(String, Json)>>) -> ParallelReport {
+        let n = self.workers.len();
+        let tracing = trace_meta.is_some();
+        let shared = BspShared {
+            read_ts: Turnstile::new(n),
+            write_ts: Turnstile::new(n),
+            computed: Barrier::new(n),
+            written: Barrier::new(n),
+            applied: Barrier::new(n),
+            clock: WallClock::new(),
+            stop: AtomicBool::new(false),
+            dense_slots: Mutex::new((0..n).map(|_| None).collect()),
+            gathered: Mutex::new((0..n).map(|_| None).collect()),
+            avg: Mutex::new(FlatGrads::new()),
+            loss: Mutex::new(vec![(0.0, 0u64); n]),
+            tail: Mutex::new(BspTail::default()),
+        };
+        let Trainer {
+            config,
+            dataset,
+            server,
+            dense_store,
+            workers,
+            net,
+            sgd,
+            ..
+        } = &mut *self;
+        let ctx = ThreadCtx {
+            config,
+            dataset,
+            server,
+            dense_store: dense_store.as_ref(),
+            net: *net,
+            sgd: *sgd,
+            n,
+            tracing,
+        };
+        let logs: Vec<TraceLog> = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(n);
+            for (w, worker) in workers.iter_mut().enumerate() {
+                let shared = &shared;
+                let ctx = &ctx;
+                handles.push(s.spawn(move || {
+                    if ctx.tracing {
+                        het_trace::start(Vec::new());
+                    }
+                    bsp_worker_loop(w, worker, shared, ctx);
+                    het_trace::finish()
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        let tail = std::mem::take(&mut *shared.tail.lock().unwrap());
+        let total = tail.rounds * n as u64;
+        self.finish_threaded(
+            n,
+            &shared.clock,
+            logs,
+            trace_meta,
+            total,
+            tail.curve,
+            tail.converged_at_ns,
+            false,
+        )
+    }
+
+    fn run_threaded_async(
+        &mut self,
+        staleness: Option<u64>,
+        trace_meta: Option<Vec<(String, Json)>>,
+    ) -> ParallelReport {
+        let n = self.workers.len();
+        let tracing = trace_meta.is_some();
+        let shared = AsyncShared {
+            clock: WallClock::new(),
+            progress: Mutex::new(AsyncProgress {
+                iters: vec![0; n],
+                global: 0,
+            }),
+            cv: Condvar::new(),
+        };
+        let Trainer {
+            config,
+            dataset,
+            server,
+            dense_store,
+            workers,
+            net,
+            sgd,
+            ..
+        } = &mut *self;
+        let ctx = ThreadCtx {
+            config,
+            dataset,
+            server,
+            dense_store: dense_store.as_ref(),
+            net: *net,
+            sgd: *sgd,
+            n,
+            tracing,
+        };
+        let logs: Vec<TraceLog> = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(n);
+            for (w, worker) in workers.iter_mut().enumerate() {
+                let shared = &shared;
+                let ctx = &ctx;
+                handles.push(s.spawn(move || {
+                    if ctx.tracing {
+                        het_trace::start(Vec::new());
+                    }
+                    async_worker_loop(w, worker, shared, ctx, staleness);
+                    het_trace::finish()
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        let total = shared.progress.lock().unwrap().global;
+        self.finish_threaded(
+            n,
+            &shared.clock,
+            logs,
+            trace_meta,
+            total,
+            Vec::new(),
+            None,
+            true,
+        )
+    }
+
+    /// Post-join tail shared by both modes: flush every cache (wall
+    /// stamps, on the main thread's own collector), evaluate, merge the
+    /// per-thread traces, and assemble the report.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_threaded(
+        &mut self,
+        n: usize,
+        clock: &WallClock,
+        logs: Vec<TraceLog>,
+        trace_meta: Option<Vec<(String, Json)>>,
+        total: u64,
+        mut curve: Vec<ConvergencePoint>,
+        converged_at_ns: Option<u64>,
+        push_final_point: bool,
+    ) -> ParallelReport {
+        let tracing = trace_meta.is_some();
+        let wall_ns = clock.elapsed_ns();
+        if tracing {
+            het_trace::start(Vec::new());
+        }
+        {
+            let Trainer {
+                server,
+                net,
+                workers,
+                ..
+            } = &mut *self;
+            let server = &**server;
+            for (i, worker) in workers.iter_mut().enumerate() {
+                if let SparseEngine::Cached(c) = &mut worker.sparse {
+                    if tracing {
+                        het_trace::set_scope(clock.stamp(), Some(i as u64));
+                    }
+                    let t = c.flush(server, net, &mut worker.comm);
+                    worker.breakdown.sparse_write += t;
+                    het_trace::span!("trainer", "flush", t.as_nanos());
+                }
+            }
+        }
+        let final_metric = self.evaluate_now();
+        let trace = trace_meta.map(|meta| {
+            let mut parts = logs;
+            parts.push(het_trace::finish());
+            het_trace::merge_threads(meta, parts)
+        });
+        if push_final_point {
+            let loss_sum: f64 = self.workers.iter().map(|w| w.loss_sum).sum();
+            let loss_count: u64 = self.workers.iter().map(|w| w.loss_count).sum();
+            curve.push(ConvergencePoint {
+                sim_time: SimTime::from_nanos(wall_ns),
+                iteration: total,
+                metric: final_metric,
+                train_loss: if loss_count > 0 {
+                    loss_sum / loss_count as f64
+                } else {
+                    0.0
+                },
+            });
+        }
+        let mut comm = CommStats::new();
+        let mut cache = CacheStats::default();
+        for worker in &self.workers {
+            comm.merge(&worker.comm);
+            if let SparseEngine::Cached(c) = &worker.sparse {
+                cache.merge(c.cache().stats());
+            }
+        }
+        self.global_iterations = total;
+        self.curve = curve.clone();
+        let wall_s = wall_ns as f64 / 1e9;
+        ParallelReport {
+            system: self.config.system.name.to_string(),
+            backend: format!("threads:{n}"),
+            n_threads: n,
+            total_iterations: total,
+            wall_ns,
+            ops_per_sec: if wall_s > 0.0 {
+                total as f64 / wall_s
+            } else {
+                0.0
+            },
+            final_metric,
+            converged_at_ns,
+            curve,
+            comm,
+            cache,
+            final_dense: self.export_dense_params(),
+            trace,
+        }
+    }
+}
+
+/// One worker thread's BSP loop. Per round: ordered read, parallel
+/// compute, barrier, ordered write (+ dense export or ordered dense PS
+/// sync), barrier, leader tail, barrier, apply averaged gradient.
+fn bsp_worker_loop<M: EmbeddingModel, D: Dataset<Batch = M::Batch>>(
+    w: usize,
+    worker: &mut Worker<M>,
+    shared: &BspShared,
+    ctx: &ThreadCtx<'_, D>,
+) {
+    let dim = ctx.config.dim;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let cursor = (worker.iterations * ctx.n as u64 + w as u64) * ctx.config.batch_size as u64;
+        let batch = ctx.dataset.train_batch(cursor, ctx.config.batch_size);
+        let keys = batch.unique_keys();
+        let store = shared.read_ts.pass(w, || {
+            if ctx.tracing {
+                het_trace::set_scope(shared.clock.stamp(), Some(w as u64));
+            }
+            engine_read(worker, &keys, ctx)
+        });
+        let c0 = shared.clock.elapsed_ns();
+        let (loss, grads) = worker.model.forward_backward(&batch, &store);
+        let compute_ns = shared.clock.elapsed_ns().saturating_sub(c0);
+        shared.computed.wait(w);
+        shared.write_ts.pass(w, || {
+            if ctx.tracing {
+                het_trace::set_scope(shared.clock.stamp(), Some(w as u64));
+            }
+            if matches!(worker.sparse, SparseEngine::Replicated) {
+                let block = wire::sparse_allgather_block_bytes(grads.len(), dim);
+                let bytes = ctx.net.allgather_bytes_per_worker(block);
+                if bytes > 0 {
+                    worker.comm.record(CommCategory::SparseAllGather, bytes);
+                }
+                shared.gathered.lock().unwrap()[w] = Some(grads);
+            } else {
+                engine_write(worker, &grads, ctx);
+            }
+            match ctx.config.system.dense {
+                DenseSync::AllReduce => {
+                    let mut g = FlatGrads::new();
+                    g.export_from(&mut worker.model);
+                    shared.dense_slots.lock().unwrap()[w] = Some(g);
+                }
+                DenseSync::Ps => {
+                    dense_ps_sync(worker, ctx.dense_store.expect("dense PS store"), &ctx.net);
+                }
+            }
+            worker.iterations += 1;
+            {
+                let mut slots = shared.loss.lock().unwrap();
+                slots[w].0 += loss as f64;
+                slots[w].1 += 1;
+            }
+            het_trace::span!("trainer", "compute", compute_ns, "loss" => loss as f64);
+        });
+        if shared.written.wait(w) {
+            bsp_leader_tail(worker, shared, ctx);
+        }
+        shared.applied.wait(w);
+        if matches!(ctx.config.system.dense, DenseSync::AllReduce) {
+            let avg = shared.avg.lock().unwrap();
+            if w != 0 {
+                // The leader already applied it to worker 0's replica
+                // (before evaluating, mirroring the sim's apply-then-
+                // eval order).
+                avg.import_into(&mut worker.model);
+                ctx.sgd.step(&mut worker.model);
+            }
+            let bytes = (avg.len() * wire::F32_BYTES as usize) as u64;
+            let per_worker = ctx.net.ring_allreduce_bytes_per_worker(bytes);
+            if per_worker > 0 {
+                worker.comm.record(CommCategory::DenseAllReduce, per_worker);
+            }
+        }
+    }
+}
+
+/// The single-threaded tail of a BSP round, run by the barrier leader
+/// (worker 0's thread): sparse AllGather merge, dense gradient
+/// averaging (worker-order accumulation — the sim's float addition
+/// order), round accounting, and evaluation at the sim's cadence.
+fn bsp_leader_tail<M: EmbeddingModel, D: Dataset<Batch = M::Batch>>(
+    worker: &mut Worker<M>,
+    shared: &BspShared,
+    ctx: &ThreadCtx<'_, D>,
+) {
+    let n = ctx.n;
+    let gathered: Vec<Option<SparseGrads>> = {
+        let mut g = shared.gathered.lock().unwrap();
+        g.iter_mut().map(|s| s.take()).collect()
+    };
+    if gathered.iter().any(|g| g.is_some()) {
+        let mut merged = SparseGrads::new(ctx.config.dim);
+        for g in gathered.iter().flatten() {
+            merged.merge(g);
+        }
+        for k in merged.sorted_keys() {
+            ctx.server.push_inc(k, merged.get(k).expect("merged key"));
+        }
+        ctx.server.take_io_ns();
+    }
+    if matches!(ctx.config.system.dense, DenseSync::AllReduce) {
+        let slots: Vec<FlatGrads> = {
+            let mut s = shared.dense_slots.lock().unwrap();
+            s.iter_mut()
+                .map(|g| g.take().expect("dense slot filled in write phase"))
+                .collect()
+        };
+        let mut sum = FlatGrads::new();
+        for g in &slots {
+            sum.accumulate(g);
+        }
+        sum.scale(1.0 / n as f32);
+        sum.import_into(&mut worker.model);
+        ctx.sgd.step(&mut worker.model);
+        *shared.avg.lock().unwrap() = sum;
+    }
+    let mut tail = shared.tail.lock().unwrap();
+    tail.rounds += 1;
+    let global = tail.rounds * n as u64;
+    let t_ns = shared.clock.stamp();
+    if ctx.tracing {
+        het_trace::set_scope(t_ns, None);
+        het_trace::span!("trainer", "barrier", 0u64,
+            "round_iters" => n, "round_end_ns" => t_ns);
+    }
+    if global % ctx.config.eval_every < n as u64 {
+        let metric = eval_worker0(&*worker, ctx);
+        let (mut loss_sum, mut loss_count) = (0.0f64, 0u64);
+        {
+            let mut slots = shared.loss.lock().unwrap();
+            for s in slots.iter_mut() {
+                loss_sum += s.0;
+                loss_count += s.1;
+                *s = (0.0, 0);
+            }
+        }
+        let train_loss = if loss_count > 0 {
+            loss_sum / loss_count as f64
+        } else {
+            0.0
+        };
+        if ctx.tracing {
+            het_trace::event!("trainer", "eval",
+                "iteration" => global, "metric" => metric, "train_loss" => train_loss);
+        }
+        tail.curve.push(ConvergencePoint {
+            sim_time: SimTime::from_nanos(t_ns),
+            iteration: global,
+            metric,
+            train_loss,
+        });
+        if let Some(target) = ctx.config.target_metric {
+            if metric >= target && tail.converged_at_ns.is_none() {
+                tail.converged_at_ns = Some(t_ns);
+                shared.stop.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+    if global >= ctx.config.max_iterations {
+        shared.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+/// One worker thread's ASP/SSP loop: claim an iteration under the
+/// progress lock (blocking at the SSP gate), run it against the shared
+/// PS, then publish completion — stamping and emitting the compute
+/// event *inside* the lock, so the merged `(t, tid)` order equals the
+/// completion order and the oracle's spread bound holds at every event.
+fn async_worker_loop<M: EmbeddingModel, D: Dataset<Batch = M::Batch>>(
+    w: usize,
+    worker: &mut Worker<M>,
+    shared: &AsyncShared,
+    ctx: &ThreadCtx<'_, D>,
+    staleness: Option<u64>,
+) {
+    let max = ctx.config.max_iterations;
+    loop {
+        {
+            let mut p = shared.progress.lock().unwrap();
+            loop {
+                if p.global >= max {
+                    shared.cv.notify_all();
+                    return;
+                }
+                if let Some(s) = staleness {
+                    let min = p.iters.iter().copied().min().unwrap_or(0);
+                    if p.iters[w] > min + s {
+                        p = shared.cv.wait(p).unwrap();
+                        continue;
+                    }
+                }
+                break;
+            }
+            p.global += 1;
+        }
+        let cursor = (worker.iterations * ctx.n as u64 + w as u64) * ctx.config.batch_size as u64;
+        let batch = ctx.dataset.train_batch(cursor, ctx.config.batch_size);
+        let keys = batch.unique_keys();
+        if ctx.tracing {
+            het_trace::set_scope(shared.clock.stamp(), Some(w as u64));
+        }
+        let store = engine_read(worker, &keys, ctx);
+        let c0 = shared.clock.elapsed_ns();
+        let (loss, grads) = worker.model.forward_backward(&batch, &store);
+        let compute_ns = shared.clock.elapsed_ns().saturating_sub(c0);
+        worker.loss_sum += loss as f64;
+        worker.loss_count += 1;
+        engine_write(worker, &grads, ctx);
+        if matches!(ctx.config.system.dense, DenseSync::Ps) {
+            dense_ps_sync(worker, ctx.dense_store.expect("dense PS store"), &ctx.net);
+        }
+        {
+            let mut p = shared.progress.lock().unwrap();
+            if ctx.tracing {
+                het_trace::set_scope(shared.clock.stamp(), Some(w as u64));
+                het_trace::span!("trainer", "compute", compute_ns, "loss" => loss as f64);
+            }
+            p.iters[w] += 1;
+            worker.iterations += 1;
+            shared.cv.notify_all();
+        }
+    }
+}
+
+/// The sparse read, minus the sim-only prefetch/fault paths.
+fn engine_read<M: EmbeddingModel, D: Dataset>(
+    worker: &mut Worker<M>,
+    keys: &[het_data::Key],
+    ctx: &ThreadCtx<'_, D>,
+) -> EmbeddingStore {
+    let (store, t) = match &mut worker.sparse {
+        SparseEngine::Direct(c) => c.read(keys, ctx.server, &ctx.net, &mut worker.comm, None),
+        SparseEngine::Cached(c) => c.read(keys, ctx.server, &ctx.net, &mut worker.comm, None),
+        SparseEngine::Replicated => {
+            let mut store = EmbeddingStore::new(ctx.server.dim());
+            for &k in keys {
+                store.insert(k, ctx.server.pull(k).vector);
+            }
+            ctx.server.reclassify_pending_io();
+            (store, het_simnet::SimDuration::ZERO)
+        }
+    };
+    worker.breakdown.sparse_read += t;
+    het_trace::span!("trainer", "read", t.as_nanos(), "keys" => keys.len());
+    store
+}
+
+/// The sparse write for the direct and cached engines (replicated mode
+/// gathers at the barrier instead).
+fn engine_write<M: EmbeddingModel, D: Dataset>(
+    worker: &mut Worker<M>,
+    grads: &SparseGrads,
+    ctx: &ThreadCtx<'_, D>,
+) {
+    let t = match &mut worker.sparse {
+        SparseEngine::Direct(c) => c.write(grads, ctx.server, &ctx.net, &mut worker.comm, None),
+        SparseEngine::Cached(c) => c.write(grads, ctx.server, &ctx.net, &mut worker.comm, None),
+        SparseEngine::Replicated => unreachable!("replicated writes gather at the barrier"),
+    };
+    worker.breakdown.sparse_write += t;
+    het_trace::span!("trainer", "write", t.as_nanos());
+}
+
+/// Dense PS push/pull, mirroring the sim's `dense_ps_sync` math (the
+/// `DenseStore` is internally synchronised).
+fn dense_ps_sync<M: EmbeddingModel>(worker: &mut Worker<M>, store: &DenseStore, net: &Collectives) {
+    let mut grads = FlatGrads::new();
+    grads.export_from(&mut worker.model);
+    store.push(grads.as_slice());
+    let (params, _version) = store.pull();
+    FlatParams::from_vec(params).import_into(&mut worker.model);
+    worker.model.zero_grads();
+    let bytes = wire::dense_transfer_bytes(grads.len());
+    worker.comm.record(CommCategory::DensePs, bytes);
+    worker.comm.record(CommCategory::DensePs, bytes);
+    let t = net.ps_transfer(bytes) * 2;
+    worker.breakdown.dense_sync += t;
+    het_trace::span!("trainer", "dense_sync", t.as_nanos(), "bytes" => bytes * 2);
+}
+
+/// Held-out evaluation from worker 0's point of view — the same view
+/// the sim's `evaluate_now` builds: cached values where resident,
+/// server values otherwise.
+fn eval_worker0<M: EmbeddingModel, D: Dataset<Batch = M::Batch>>(
+    worker: &Worker<M>,
+    ctx: &ThreadCtx<'_, D>,
+) -> f64 {
+    let mut chunk = EvalChunk::default();
+    let cache = match &worker.sparse {
+        SparseEngine::Cached(c) => Some(c.cache()),
+        _ => None,
+    };
+    for b in 0..ctx.config.eval_batches {
+        let batch = ctx
+            .dataset
+            .test_batch((b * ctx.config.batch_size) as u64, ctx.config.batch_size);
+        let keys = batch.unique_keys();
+        let mut store = EmbeddingStore::new(ctx.config.dim);
+        for &k in &keys {
+            let v = cache
+                .and_then(|c| c.peek(k).map(|e| e.vector.clone()))
+                .unwrap_or_else(|| ctx.server.pull(k).vector);
+            store.insert(k, v);
+        }
+        ctx.server.reclassify_pending_io();
+        chunk.extend(worker.model.evaluate(&batch, &store));
+    }
+    chunk.metric(worker.model.metric_kind())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemPreset;
+    use het_data::{CtrConfig, CtrDataset};
+    use het_models::WideDeep;
+
+    fn ctr_trainer(preset: SystemPreset) -> Trainer<WideDeep, CtrDataset> {
+        let dataset = CtrDataset::new(CtrConfig::tiny(7));
+        let config = TrainerConfig::tiny(preset);
+        Trainer::new(config, dataset, |rng| WideDeep::new(rng, 4, 8, &[16]))
+    }
+
+    #[test]
+    fn threaded_bsp_cached_matches_sim_bit_for_bit() {
+        let mut sim = ctr_trainer(SystemPreset::HetCache { staleness: 10 });
+        let sim_report = sim.run();
+        let sim_dense = sim.export_dense_params();
+
+        let mut thr = ctr_trainer(SystemPreset::HetCache { staleness: 10 });
+        let report = thr.run_threaded(None).unwrap();
+
+        assert_eq!(report.total_iterations, sim_report.total_iterations);
+        assert_eq!(
+            report.final_dense, sim_dense,
+            "dense params must be bit-identical"
+        );
+        assert_eq!(report.final_metric, sim_report.final_metric);
+        assert_eq!(report.curve.len(), sim_report.curve.len());
+        for (a, b) in report.curve.iter().zip(&sim_report.curve) {
+            assert_eq!(a.iteration, b.iteration);
+            assert_eq!(
+                a.metric, b.metric,
+                "eval metric diverged at iter {}",
+                a.iteration
+            );
+            assert_eq!(a.train_loss, b.train_loss);
+        }
+        assert_eq!(report.comm, sim_report.comm, "comm accounting diverged");
+    }
+
+    #[test]
+    fn threaded_bsp_allgather_matches_sim() {
+        let mut sim = ctr_trainer(SystemPreset::HetAr);
+        let sim_report = sim.run();
+        let sim_dense = sim.export_dense_params();
+        let mut thr = ctr_trainer(SystemPreset::HetAr);
+        let report = thr.run_threaded(None).unwrap();
+        assert_eq!(report.final_dense, sim_dense);
+        assert_eq!(report.final_metric, sim_report.final_metric);
+    }
+
+    #[test]
+    fn threaded_asp_runs_every_iteration() {
+        let mut thr = ctr_trainer(SystemPreset::HetPs);
+        let report = thr.run_threaded(None).unwrap();
+        assert_eq!(report.total_iterations, 200);
+        assert!(report.final_metric.is_finite());
+        let per_worker: u64 = (0..thr.n_workers()).map(|w| thr.worker_iterations(w)).sum();
+        assert_eq!(per_worker, 200);
+    }
+
+    #[test]
+    fn threaded_ssp_bounds_completed_spread() {
+        let mut thr = ctr_trainer(SystemPreset::Ssp { staleness: 2 });
+        let report = thr.run_threaded(None).unwrap();
+        assert_eq!(report.total_iterations, 200);
+        let iters: Vec<u64> = (0..thr.n_workers())
+            .map(|w| thr.worker_iterations(w))
+            .collect();
+        let min = *iters.iter().min().unwrap();
+        let max = *iters.iter().max().unwrap();
+        assert!(max - min <= 3, "SSP spread {min}..{max} exceeds s + 1");
+    }
+
+    #[test]
+    fn threaded_rejects_sim_only_features() {
+        let dataset = CtrDataset::new(CtrConfig::tiny(7));
+        let mut config = TrainerConfig::tiny(SystemPreset::HetCache { staleness: 10 });
+        config.lookahead_depth = 2;
+        let mut t = Trainer::new(config, dataset, |rng| WideDeep::new(rng, 4, 8, &[16]));
+        assert!(t.run_threaded(None).unwrap_err().contains("lookahead"));
+    }
+
+    #[test]
+    fn threaded_trace_merges_and_orders() {
+        let mut thr = ctr_trainer(SystemPreset::HetCache { staleness: 10 });
+        let report = thr
+            .run_threaded(Some(vec![(
+                "run".to_string(),
+                Json::Str("threaded-test".to_string()),
+            )]))
+            .unwrap();
+        let trace = report.trace.expect("trace requested");
+        assert!(trace
+            .meta
+            .iter()
+            .any(|(k, v)| k == het_trace::CLOCK_META_KEY && *v == Json::Str("wall".into())));
+        // Every event is tid-tagged and the stream is (t, tid)-sorted.
+        let mut last = (0u64, 0u64);
+        for e in &trace.events {
+            let tid = e.tid.expect("merged events carry a tid");
+            assert!((e.t_ns, tid) >= last, "merge order violated");
+            last = (e.t_ns, tid);
+        }
+        let computes = trace
+            .events
+            .iter()
+            .filter(|e| e.comp == "trainer" && e.name == "compute")
+            .count() as u64;
+        assert_eq!(computes, report.total_iterations);
+        het_trace::schema::validate_jsonl(&trace.to_jsonl()).expect("schema-valid");
+    }
+}

@@ -40,4 +40,12 @@ pub type Key = u64;
 /// so every pull/push/clock observes one table; standalone jobs wrap a
 /// private server in one. All of [`PsServer`]'s methods take `&self`, so
 /// a handle is as capable as the server itself.
-pub type ServerHandle = std::rc::Rc<PsServer>;
+///
+/// The handle is an [`std::sync::Arc`] because the server is the one
+/// structure genuinely shared across execution backends: the sim
+/// backend clones it between single-threaded processes (where the
+/// atomic refcount is only a couple of nanoseconds of overhead per
+/// clone, never per pull), and the threaded backend clones it into
+/// worker/replica OS threads, where the per-shard `RwLock`s inside
+/// [`PsServer`] carry the actual concurrency.
+pub type ServerHandle = std::sync::Arc<PsServer>;

@@ -37,6 +37,10 @@
 
 #![warn(missing_docs)]
 
+pub mod thread;
+
+pub use thread::{Barrier, ExecutionBackend, Turnstile, WallClock};
+
 use het_simnet::{EventQueue, FaultPlan, SimDuration, SimTime, TieBreak};
 
 /// Identifies a registered process within one [`ClusterRuntime`].

@@ -1,0 +1,318 @@
+//! The threaded half of the execution-backend seam.
+//!
+//! The discrete-event [`ClusterRuntime`](crate::ClusterRuntime) gives
+//! every job a deterministic, single-threaded schedule; this module
+//! supplies the primitives for running the *same* job on real OS
+//! threads — the `ThreadRuntime` of DESIGN.md §3.13. Where the sim
+//! runtime offers `plan/schedule/wait_until`, the threaded world maps
+//! each process to a thread and replaces those verbs with:
+//!
+//! * **[`ExecutionBackend`]** — the user-facing selector parsed from
+//!   `--backend sim|threads:<n>`; everything downstream branches on it
+//!   exactly once, at job launch.
+//! * **[`WallClock`]** — a monotonic, *strictly increasing* nanosecond
+//!   stamp shared by every thread of a run. Strictness is what makes
+//!   the per-thread trace buffers mergeable into one deterministic
+//!   stream: two events can never tie on `t`, so the documented
+//!   `(t, tid)` merge order is total (`het_trace::merge_threads`).
+//! * **[`Turnstile`]** — an ordered-section primitive: threads pass in
+//!   a fixed index order, one at a time. The threaded BSP trainer runs
+//!   its read and write phases through a turnstile so server-visible
+//!   mutations happen in exactly the sim's worker order — the property
+//!   its bit-identity guarantee rests on — while the compute between
+//!   them runs genuinely in parallel.
+//! * **[`Barrier`]** — a reusable all-thread rendezvous (BSP round
+//!   edges). `std::sync::Barrier` would do, but this one is built on
+//!   the same poison-free Mutex/Condvar idiom as the rest of the crate
+//!   and reports the leader deterministically (index 0, not "some
+//!   thread"), which the trainer uses to run the single-threaded round
+//!   tail (allreduce, eval) on a fixed thread.
+//!
+//! Locking order, repo-wide (documented in DESIGN.md §3.13 and enforced
+//! by review, not by types): **progress/phase locks → PS shard locks →
+//! trace scope**. No code path takes a shard lock while holding another
+//! shard's lock (shards are strictly disjoint), and nothing calls back
+//! into the runtime while holding a shard lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Which executor runs a job: the deterministic discrete-event
+/// simulator (the correctness oracle) or real OS threads.
+///
+/// Parsed from the CLI's `--backend` flag. `threads:<n>` carries the
+/// worker-thread count: the threaded trainer runs one thread per
+/// worker, so `threads:4` *is* a 4-worker cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutionBackend {
+    /// Single-threaded discrete-event simulation (the default).
+    Sim,
+    /// Real OS threads; the payload is the worker-thread count (≥ 1).
+    Threads(usize),
+}
+
+impl ExecutionBackend {
+    /// Parses `"sim"` or `"threads:<n>"` (n ≥ 1).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if s == "sim" {
+            return Ok(ExecutionBackend::Sim);
+        }
+        if let Some(n) = s.strip_prefix("threads:") {
+            let n: usize = n
+                .parse()
+                .map_err(|_| format!("--backend threads:<n>: '{n}' is not a number"))?;
+            if n == 0 {
+                return Err("--backend threads:<n> requires n >= 1".to_string());
+            }
+            return Ok(ExecutionBackend::Threads(n));
+        }
+        Err(format!(
+            "unknown backend '{s}' (expected 'sim' or 'threads:<n>')"
+        ))
+    }
+
+    /// The worker-thread count, or `None` on the sim backend.
+    pub fn threads(&self) -> Option<usize> {
+        match self {
+            ExecutionBackend::Sim => None,
+            ExecutionBackend::Threads(n) => Some(*n),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutionBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionBackend::Sim => write!(f, "sim"),
+            ExecutionBackend::Threads(n) => write!(f, "threads:{n}"),
+        }
+    }
+}
+
+/// A shared run clock issuing *strictly increasing* wall-clock stamps.
+///
+/// `elapsed` alone is monotone but not strict — two threads (or one
+/// fast loop) can read the same nanosecond. Trace merging needs strict
+/// stamps so `(t, tid)` ordering is total and replay order equals
+/// emission order; the clock therefore hands out
+/// `max(last + 1, elapsed_ns)` with a lock-free compare-exchange loop
+/// on the last issued stamp.
+pub struct WallClock {
+    origin: Instant,
+    last: AtomicU64,
+}
+
+impl WallClock {
+    /// Starts the clock at the run's origin (stamp 0 is never issued).
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+            last: AtomicU64::new(0),
+        }
+    }
+
+    /// Issues the next stamp: strictly greater than every stamp issued
+    /// before it, and `>=` the real elapsed nanoseconds.
+    pub fn stamp(&self) -> u64 {
+        let now = self.origin.elapsed().as_nanos() as u64;
+        let mut stamped = 0;
+        self.last
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |last| {
+                stamped = now.max(last + 1);
+                Some(stamped)
+            })
+            .expect("fetch_update closure never returns None");
+        stamped
+    }
+
+    /// Real elapsed nanoseconds since the clock started (non-strict;
+    /// for durations and throughput, not for trace stamps).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+/// An ordered section: `n` threads each enter once per cycle, strictly
+/// in index order `0, 1, .., n-1`, one at a time.
+///
+/// The threaded BSP trainer wraps its read and write phases in a
+/// turnstile: worker `w` blocks until workers `0..w` have finished the
+/// phase this cycle, runs its (server-mutating) phase body alone, then
+/// admits `w + 1`. After `n-1` passes, the turnstile resets for the
+/// next cycle. Compute between the phases runs outside the turnstile,
+/// fully parallel.
+pub struct Turnstile {
+    n: usize,
+    turn: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Turnstile {
+    /// A turnstile for `n` threads (indices `0..n`).
+    // `turn` is a Mutex<usize>, not an atomic, because waiters block on
+    // the Condvar — which requires the Mutex (the CI lint wall denies
+    // `clippy::mutex_atomic` exactly so exceptions carry this note).
+    #[allow(clippy::mutex_atomic)]
+    pub fn new(n: usize) -> Self {
+        Turnstile {
+            n: n.max(1),
+            turn: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Runs `body` when it is thread `index`'s turn this cycle, then
+    /// passes the turn on. Returns `body`'s result.
+    pub fn pass<T>(&self, index: usize, body: impl FnOnce() -> T) -> T {
+        let mut turn = self.turn.lock().unwrap_or_else(|e| e.into_inner());
+        while *turn != index {
+            turn = self.cv.wait(turn).unwrap_or_else(|e| e.into_inner());
+        }
+        let out = body();
+        *turn = (index + 1) % self.n;
+        self.cv.notify_all();
+        out
+    }
+}
+
+/// A reusable rendezvous for `n` threads with a deterministic leader.
+///
+/// Each [`wait`](Barrier::wait) blocks until all `n` threads of the
+/// current generation have arrived, then releases them together and
+/// reports `true` to exactly the thread that arrived with `index == 0`
+/// — so "the leader" is a fixed thread across every round, and the
+/// single-threaded tail of a BSP round (gradient merge, eval) always
+/// runs on the thread that owns worker 0, mirroring the sim's
+/// worker-0-first orderings.
+pub struct Barrier {
+    n: usize,
+    state: Mutex<(usize, u64)>, // (arrived this generation, generation)
+    cv: Condvar,
+}
+
+impl Barrier {
+    /// A barrier for `n` threads.
+    pub fn new(n: usize) -> Self {
+        Barrier {
+            n: n.max(1),
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until all threads arrive; returns `true` iff this caller
+    /// passed `index == 0`.
+    pub fn wait(&self, index: usize) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.0 += 1;
+        if state.0 == self.n {
+            state.0 = 0;
+            state.1 += 1;
+            self.cv.notify_all();
+        } else {
+            let gen = state.1;
+            while state.1 == gen {
+                state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        index == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn backend_parses_and_displays() {
+        assert_eq!(ExecutionBackend::parse("sim"), Ok(ExecutionBackend::Sim));
+        assert_eq!(
+            ExecutionBackend::parse("threads:4"),
+            Ok(ExecutionBackend::Threads(4))
+        );
+        assert!(ExecutionBackend::parse("threads:0").is_err());
+        assert!(ExecutionBackend::parse("threads:x").is_err());
+        assert!(ExecutionBackend::parse("gpu").is_err());
+        assert_eq!(ExecutionBackend::Threads(2).to_string(), "threads:2");
+        assert_eq!(ExecutionBackend::Sim.threads(), None);
+        assert_eq!(ExecutionBackend::Threads(3).threads(), Some(3));
+    }
+
+    #[test]
+    fn wall_clock_stamps_are_strictly_increasing_across_threads() {
+        let clock = Arc::new(WallClock::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let clock = Arc::clone(&clock);
+            handles.push(std::thread::spawn(move || {
+                (0..500).map(|_| clock.stamp()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "stamps must never collide");
+    }
+
+    #[test]
+    fn turnstile_enforces_index_order_per_cycle() {
+        const N: usize = 4;
+        const CYCLES: usize = 25;
+        let ts = Arc::new(Turnstile::new(N));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for i in 0..N {
+            let ts = Arc::clone(&ts);
+            let order = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..CYCLES {
+                    ts.pass(i, || order.lock().unwrap().push(i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let order = order.lock().unwrap();
+        assert_eq!(order.len(), N * CYCLES);
+        for (k, &i) in order.iter().enumerate() {
+            assert_eq!(i, k % N, "cycle order must be 0..n, repeated");
+        }
+    }
+
+    #[test]
+    fn barrier_releases_all_and_elects_index_zero() {
+        const N: usize = 4;
+        let barrier = Arc::new(Barrier::new(N));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for i in 0..N {
+            let barrier = Arc::clone(&barrier);
+            let leaders = Arc::clone(&leaders);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    if barrier.wait(i) {
+                        leaders.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::Relaxed), 50, "one leader per round");
+    }
+}

@@ -31,9 +31,15 @@
 //!   while traffic continues — all opt-in, all deterministic;
 //! * a **chaos campaign harness** ([`chaos`]) that co-schedules
 //!   trainer + supervised fleet under a compound fault scenario and
-//!   asserts SLO/RTO outcomes.
+//!   asserts SLO/RTO outcomes;
+//! * a **threaded backend** ([`thread`]): the same replica machinery on
+//!   real OS threads behind `--backend threads:<n>` — one thread per
+//!   replica over the shared PS fabric, reporting wall-clock
+//!   throughput/latency instead of simulated time (the simulator stays
+//!   the correctness oracle).
 //!
-//! Same seed ⇒ byte-identical report JSON and byte-identical trace.
+//! Same seed ⇒ byte-identical report JSON and byte-identical trace
+//! (on the sim backend; wall-clock measurements are exempt by design).
 
 #![warn(missing_docs)]
 
@@ -43,6 +49,7 @@ pub mod config;
 pub mod report;
 pub mod sim;
 pub mod supervise;
+pub mod thread;
 pub mod workload;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
@@ -52,5 +59,8 @@ pub use report::{ReplicaReport, ServeReport};
 pub use sim::ServeSim;
 pub use supervise::{
     AutoscaleConfig, Autoscaler, ControlPlane, ReshardPlan, SupervisionConfig, Supervisor,
+};
+pub use thread::{
+    run_threaded_colocated, run_threaded_serve, run_threaded_serve_shared, ThreadedServeReport,
 };
 pub use workload::{generate_requests, pretrain, Request};

@@ -135,6 +135,7 @@ mod tests {
                 TraceEvent {
                     t_ns: 2_000,
                     worker: Some(1),
+                    tid: None,
                     comp: "trainer",
                     name: "read",
                     dur_ns: Some(1_500),
@@ -143,6 +144,7 @@ mod tests {
                 TraceEvent {
                     t_ns: 5_000,
                     worker: None,
+                    tid: None,
                     comp: "ps",
                     name: "failover",
                     dur_ns: None,
@@ -183,6 +185,7 @@ mod tests {
                 TraceEvent {
                     t_ns: 1_000,
                     worker: Some(0),
+                    tid: None,
                     comp: "trainer",
                     name: "iteration",
                     dur_ns: Some(500),
@@ -191,6 +194,7 @@ mod tests {
                 TraceEvent {
                     t_ns: 2_000,
                     worker: Some(1),
+                    tid: None,
                     comp: "serve",
                     name: "batch",
                     dur_ns: Some(700),

@@ -120,6 +120,11 @@ pub struct TraceEvent {
     pub t_ns: u64,
     /// Worker the event is attributed to (`None` = global/round scope).
     pub worker: Option<u64>,
+    /// Emitting thread, for traces merged from per-thread buffers
+    /// ([`merge_threads`]). `None` on the single-threaded sim backend —
+    /// and the field is omitted from the JSONL line when `None`, so sim
+    /// traces stay byte-identical to pre-threading fixtures.
+    pub tid: Option<u64>,
     /// Emitting component: `"simnet"`, `"ps"`, `"cache"`, `"trainer"`.
     pub comp: &'static str,
     /// Event name within the component (e.g. `"read"`, `"failover"`).
@@ -212,6 +217,9 @@ impl TraceLog {
                 ("comp".to_string(), Json::Str(e.comp.to_string())),
                 ("name".to_string(), Json::Str(e.name.to_string())),
             ];
+            if let Some(tid) = e.tid {
+                fields.push(("tid".to_string(), Json::UInt(tid)));
+            }
             if let Some(dur) = e.dur_ns {
                 fields.push(("dur".to_string(), Json::UInt(dur)));
             }
@@ -337,6 +345,7 @@ pub fn emit(
             col.events.push(TraceEvent {
                 t_ns: col.t_ns,
                 worker: col.worker,
+                tid: None,
                 comp,
                 name,
                 dur_ns,
@@ -364,6 +373,7 @@ pub fn emit_at(
             col.events.push(TraceEvent {
                 t_ns,
                 worker: col.worker,
+                tid: None,
                 comp,
                 name,
                 dur_ns,
@@ -400,6 +410,67 @@ pub fn counter_add_at(comp: &'static str, name: &'static str, idx: Option<u64>, 
             *col.counters.entry((comp, name, idx)).or_insert(0) += delta;
         }
     });
+}
+
+/// Meta key announcing that a trace's timestamps are wall-clock
+/// nanoseconds merged from per-thread buffers (value: `"wall"`). The
+/// schema validator switches to per-thread monotonicity rules when it
+/// sees this key; sim traces never carry it.
+pub const CLOCK_META_KEY: &str = "clock";
+
+/// Merges per-thread trace buffers into one deterministic [`TraceLog`].
+///
+/// The threaded backend runs one collector per OS thread (the existing
+/// thread-local sink, unchanged); at join time the parent thread calls
+/// this with each thread's [`finish`]ed log, in thread-id order. The
+/// merge rule — the one documented contract the validator and the
+/// replay tools rely on — is:
+///
+/// 1. every event from buffer `i` is tagged `tid = i` (pre-tagged
+///    events keep their tag, so re-merging is idempotent);
+/// 2. events are **stable-sorted by `(t_ns, tid)`** — wall-clock stamp
+///    first, thread id as the tie-breaker — so two runs that produce
+///    the same per-thread stamps serialise identically no matter how
+///    the OS interleaved the threads;
+/// 3. counters are summed across buffers per `(comp, name, idx)` and
+///    laid out in sorted order, exactly like a single collector;
+/// 4. the merged meta gains `"clock": "wall"` (see [`CLOCK_META_KEY`])
+///    unless the caller already set it.
+///
+/// Within one thread the collector preserves emission order, and stamps
+/// from a strictly-increasing wall clock never tie, so the merged
+/// stream is per-thread monotone *and* globally `(t, tid)`-sorted —
+/// which is what [`schema::validate_jsonl`] checks for wall-clock
+/// traces.
+pub fn merge_threads(mut meta: Vec<(String, Json)>, parts: Vec<TraceLog>) -> TraceLog {
+    if !meta.iter().any(|(k, _)| k == CLOCK_META_KEY) {
+        meta.push((CLOCK_META_KEY.to_string(), Json::Str("wall".to_string())));
+    }
+    let mut events = Vec::new();
+    let mut counters: BTreeMap<(&'static str, &'static str, Option<u64>), u64> = BTreeMap::new();
+    for (i, part) in parts.into_iter().enumerate() {
+        for mut e in part.events {
+            e.tid = Some(e.tid.unwrap_or(i as u64));
+            events.push(e);
+        }
+        for c in part.counters {
+            *counters.entry((c.comp, c.name, c.idx)).or_insert(0) += c.value;
+        }
+    }
+    events.sort_by_key(|e| (e.t_ns, e.tid));
+    TraceLog {
+        meta,
+        events,
+        counters: counters
+            .into_iter()
+            .map(|((comp, name, idx), value)| CounterEntry {
+                comp,
+                name,
+                idx,
+                value,
+            })
+            .collect(),
+    }
 }
 
 /// Emits an instant event at the ambient scope:
@@ -558,6 +629,39 @@ mod tests {
                 ("ps", "pull", Some(2)),
             ]
         );
+    }
+
+    #[test]
+    fn merge_threads_sums_counters_and_sorts_by_stamp_then_tid() {
+        let part = |t0: u64, hits: u64| {
+            start(vec![]);
+            set_scope(t0, Some(0));
+            event!("trainer", "compute");
+            set_scope(t0 + 10, Some(0));
+            event!("trainer", "compute");
+            counter_add("cache", "hits", hits);
+            finish()
+        };
+        let a = part(5, 2); // events at t=5, 15
+        let b = part(0, 3); // events at t=0, 10
+        let merged = merge_threads(vec![("seed".to_string(), Json::UInt(1))], vec![a, b]);
+        let order: Vec<(u64, Option<u64>)> =
+            merged.events.iter().map(|e| (e.t_ns, e.tid)).collect();
+        assert_eq!(
+            order,
+            vec![(0, Some(1)), (5, Some(0)), (10, Some(1)), (15, Some(0))]
+        );
+        assert_eq!(merged.counter("cache", "hits"), 5);
+        assert!(merged
+            .meta
+            .iter()
+            .any(|(k, v)| k == CLOCK_META_KEY && *v == Json::Str("wall".to_string())));
+        // The tid surfaces in the JSONL line; sim traces (tid: None)
+        // never carry the key, so existing fixtures are untouched.
+        let jsonl = merged.to_jsonl();
+        assert!(jsonl.contains(r#""name":"compute","tid":1,"fields""#));
+        let sim = part(0, 1).to_jsonl();
+        assert!(!sim.contains("tid"));
     }
 
     #[test]

@@ -105,6 +105,16 @@ pub fn validate_jsonl(input: &str) -> Result<TraceSummary, String> {
     let mut saw_meta = false;
     let mut in_counter_tail = false;
     let mut last_counter_key: Option<(String, String, Option<u64>)> = None;
+    // Wall-clock (threaded, merged) traces carry `"clock":"wall"` in
+    // the meta line. The single sim clock is globally serial but NOT
+    // monotone in emission order (the trainer re-scopes backwards at
+    // phase boundaries), so no ordering is checked for sim traces —
+    // exactly the pre-threading behaviour. A merged wall-clock trace,
+    // by the documented merge rule (`merge_threads`), must instead be
+    // (t, tid)-sorted with a tid on every event; that global order
+    // implies per-thread monotonicity, which is what we enforce.
+    let mut wall_clock = false;
+    let mut last_event_key: Option<(u64, u64)> = None;
 
     for (i, raw) in input.lines().enumerate() {
         let line = i + 1;
@@ -128,6 +138,11 @@ pub fn validate_jsonl(input: &str) -> Result<TraceSummary, String> {
                     crate::SCHEMA_VERSION
                 ));
             }
+            if let Some(Json::Str(clock)) = get(&obj, crate::CLOCK_META_KEY) {
+                if clock == "wall" {
+                    wall_clock = true;
+                }
+            }
             saw_meta = true;
             continue;
         }
@@ -139,8 +154,33 @@ pub fn validate_jsonl(input: &str) -> Result<TraceSummary, String> {
                         "line {line}: event after counter tail (counters must come last)"
                     ));
                 }
-                require_uint(&obj, "t", line)?;
+                let t = require_uint(&obj, "t", line)?;
                 require_uint_or_null(&obj, "w", line)?;
+                match get(&obj, "tid") {
+                    Some(Json::UInt(tid)) if wall_clock => {
+                        let key = (t, *tid);
+                        if let Some(prev) = last_event_key {
+                            if key < prev {
+                                return Err(format!(
+                                    "line {line}: wall-clock events out of (t, tid) merge \
+                                     order (got t={t} tid={tid} after t={} tid={})",
+                                    prev.0, prev.1
+                                ));
+                            }
+                        }
+                        last_event_key = Some(key);
+                    }
+                    Some(Json::UInt(_)) => {}
+                    Some(_) => {
+                        return Err(format!("line {line}: 'tid' must be an unsigned integer"))
+                    }
+                    None if wall_clock => {
+                        return Err(format!(
+                            "line {line}: wall-clock trace event is missing 'tid'"
+                        ))
+                    }
+                    None => {}
+                }
                 let comp = require_str(&obj, "comp", line)?;
                 if !known_component(&comp) {
                     return Err(format!("line {line}: unknown component '{comp}'"));
@@ -315,6 +355,69 @@ mod tests {
         let jsonl = crate::finish().to_jsonl();
         let s = validate_jsonl(&jsonl).unwrap();
         assert!(s.components.contains("store"));
+    }
+
+    #[test]
+    fn wall_clock_interleaved_two_thread_stream_validates() {
+        // Two per-thread buffers whose stamps interleave (thread 0 at
+        // t=10,30; thread 1 at t=20,30): the merged stream must be
+        // (t, tid)-sorted — the t=30 tie breaks on tid — and validate.
+        let part = |ts: &[u64]| crate::TraceLog {
+            meta: vec![],
+            events: ts
+                .iter()
+                .map(|&t| crate::TraceEvent {
+                    t_ns: t,
+                    worker: Some(0),
+                    tid: None,
+                    comp: "trainer",
+                    name: "compute",
+                    dur_ns: None,
+                    fields: vec![],
+                })
+                .collect(),
+            counters: vec![],
+        };
+        let merged = crate::merge_threads(vec![], vec![part(&[10, 30]), part(&[20, 30])]);
+        let order: Vec<(u64, Option<u64>)> =
+            merged.events.iter().map(|e| (e.t_ns, e.tid)).collect();
+        assert_eq!(
+            order,
+            vec![(10, Some(0)), (20, Some(1)), (30, Some(0)), (30, Some(1))]
+        );
+        let jsonl = merged.to_jsonl();
+        assert!(jsonl.lines().next().unwrap().contains(r#""clock":"wall""#));
+        let s = validate_jsonl(&jsonl).unwrap();
+        assert_eq!(s.events, 4);
+
+        // Per-thread monotone but mis-merged (global order violated):
+        // swapping two lines must be rejected for a wall-clock trace.
+        let mut lines: Vec<&str> = jsonl.lines().collect();
+        lines.swap(1, 2);
+        let shuffled: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        let err = validate_jsonl(&shuffled).unwrap_err();
+        assert!(err.contains("(t, tid) merge order"), "got: {err}");
+
+        // A wall-clock event without a tid is rejected.
+        let untagged = jsonl.replace(r#""tid":1,"#, "");
+        assert_ne!(untagged, jsonl);
+        let err = validate_jsonl(&untagged).unwrap_err();
+        assert!(err.contains("missing 'tid'"), "got: {err}");
+    }
+
+    #[test]
+    fn sim_traces_without_wall_clock_skip_ordering_checks() {
+        // The sim backend re-scopes time backwards at phase boundaries;
+        // an out-of-order stream without the wall-clock meta stays
+        // valid, exactly as before the threaded backend existed.
+        crate::start(vec![]);
+        crate::set_scope(500, Some(0));
+        crate::emit("trainer", "compute", None, vec![]);
+        crate::set_scope(100, Some(1));
+        crate::emit("trainer", "compute", None, vec![]);
+        let jsonl = crate::finish().to_jsonl();
+        let s = validate_jsonl(&jsonl).unwrap();
+        assert_eq!(s.events, 2);
     }
 
     #[test]
